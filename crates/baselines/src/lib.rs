@@ -1,0 +1,30 @@
+//! # baselines — the incumbent programmable-NIC architectures
+//!
+//! §2.3 critiques three existing designs (Figure 2); reproducing the
+//! paper's comparisons requires *implementing* them, on the same
+//! engines and workloads as PANIC:
+//!
+//! * [`pipeline_nic`] — Figure 2a: offloads in a fixed line, a "bump
+//!   in the wire". Exhibits pass-through waste and head-of-line
+//!   blocking at slow offloads (§2.3.1).
+//! * [`manycore`] — Figure 2b: embedded cores orchestrate every
+//!   packet, adding ~10 µs of software latency (§2.3.2, citing
+//!   Firestone et al.).
+//! * [`rmt_only`] — Figure 2c: a FlexNIC-style match+action pipeline
+//!   with no engines; complex offloads are inexpressible and must be
+//!   emulated by recirculation or punted to the host (§2.3.3).
+//!
+//! Each model reports the same shape of results (delivered count,
+//! latency summaries, drops) so benches can place them side by side
+//! with PANIC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manycore;
+pub mod pipeline_nic;
+pub mod rmt_only;
+
+pub use manycore::{ManycoreConfig, ManycoreNic};
+pub use pipeline_nic::{PipelineNic, PipelineNicConfig, StageSpec};
+pub use rmt_only::{RmtOnlyConfig, RmtOnlyNic};

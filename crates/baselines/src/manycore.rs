@@ -1,0 +1,379 @@
+//! The manycore (tiled embedded-CPU) NIC of Figure 2b.
+//!
+//! §2.3.2: "manycore designs use a CPU to generate requests to
+//! hardware offloads as needed ... Firestone et al. report that
+//! processing a packet in one of the cores on a manycore NIC adds a
+//! latency of 10 µs or more." The structure here:
+//!
+//! * a dispatcher spreads packets across `cores` by flow hash (IPv4
+//!   ident here — per-flow affinity without reordering);
+//! * each core is a run-to-completion processor: per-packet software
+//!   orchestration time (the 10 µs), during which it decides which
+//!   hardware engines the packet needs;
+//! * hardware offload engines are shared, FIFO-queued devices the
+//!   cores call into, one request at a time;
+//! * after its engine visits, the packet egresses.
+//!
+//! The contrast with PANIC is architectural, not parametric: the same
+//! offload engines are used, but every packet pays the orchestration
+//! latency and the core pool throughput ceiling `cores /
+//! orchestration_cycles`.
+
+use std::collections::VecDeque;
+
+use engines::engine::{Offload, Output};
+use packet::message::{Message, Priority};
+use sim_core::stats::Histogram;
+use sim_core::time::{Cycle, Cycles};
+
+/// Manycore NIC configuration.
+pub struct ManycoreConfig {
+    /// Number of embedded cores.
+    pub cores: usize,
+    /// Software orchestration cycles per packet (~10 µs ⇒ 5000 cycles
+    /// at 500 MHz).
+    pub orchestration_cycles: u64,
+    /// Shared hardware engines, with the UDP ports each applies to
+    /// (`None` = all packets visit it).
+    pub engines: Vec<(Box<dyn Offload>, Option<Vec<u16>>)>,
+    /// Per-core input queue capacity.
+    pub core_queue_capacity: usize,
+}
+
+struct Core {
+    queue: VecDeque<Message>,
+    /// Busy with software until this cycle; the message then moves to
+    /// its engine sequence.
+    busy: Option<(Message, Cycle)>,
+}
+
+struct HwEngine {
+    offload: Box<dyn Offload>,
+    ports: Option<Vec<u16>>,
+    queue: VecDeque<(Message, usize)>, // (msg, next engine index after this)
+    in_service: Option<(Message, usize, Cycle)>,
+}
+
+/// The manycore NIC.
+pub struct ManycoreNic {
+    cores: Vec<Core>,
+    hw: Vec<HwEngine>,
+    orchestration: Cycles,
+    core_queue_capacity: usize,
+    egress: Vec<Message>,
+    latency: [Histogram; 3],
+    /// Packets dropped at full core queues.
+    pub drops: u64,
+    /// Packets consumed by engines.
+    pub consumed: u64,
+    /// Packets accepted.
+    pub accepted: u64,
+}
+
+fn flow_hash(msg: &Message) -> u64 {
+    use packet::headers::{EthernetHeader, Ipv4Header};
+    let h = EthernetHeader::parse(&msg.payload)
+        .ok()
+        .and_then(|(_, n1)| Ipv4Header::parse(&msg.payload[n1..]).ok())
+        .map_or(msg.id.0, |(ip, _)| {
+            u64::from(ip.src.as_u32()) ^ (u64::from(ip.ident) << 32)
+        });
+    // A bare multiply never mixes high bits into the low bits that
+    // `% cores` uses; run a full SplitMix64 finalizer instead.
+    sim_core::rng::SplitMix64::new(h).next_u64()
+}
+
+fn udp_dst_port(frame: &[u8]) -> Option<u16> {
+    use packet::headers::{EthernetHeader, Ipv4Header, UdpHeader};
+    let (_, n1) = EthernetHeader::parse(frame).ok()?;
+    let (ip, n2) = Ipv4Header::parse(&frame[n1..]).ok()?;
+    if ip.protocol != packet::headers::ipproto::UDP {
+        return None;
+    }
+    UdpHeader::parse(&frame[n1 + n2..]).ok().map(|(u, _)| u.dst_port)
+}
+
+impl ManycoreNic {
+    /// Builds the manycore NIC.
+    ///
+    /// # Panics
+    /// Panics with zero cores.
+    #[must_use]
+    pub fn new(config: ManycoreConfig) -> ManycoreNic {
+        assert!(config.cores > 0, "zero cores");
+        ManycoreNic {
+            cores: (0..config.cores)
+                .map(|_| Core {
+                    queue: VecDeque::new(),
+                    busy: None,
+                })
+                .collect(),
+            hw: config
+                .engines
+                .into_iter()
+                .map(|(offload, ports)| HwEngine {
+                    offload,
+                    ports,
+                    queue: VecDeque::new(),
+                    in_service: None,
+                })
+                .collect(),
+            orchestration: Cycles(config.orchestration_cycles),
+            core_queue_capacity: config.core_queue_capacity.max(1),
+            egress: Vec::new(),
+            latency: [Histogram::new(), Histogram::new(), Histogram::new()],
+            drops: 0,
+            consumed: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Offers a packet to the dispatcher.
+    pub fn rx(&mut self, msg: Message) {
+        let core = (flow_hash(&msg) % self.cores.len() as u64) as usize;
+        if self.cores[core].queue.len() >= self.core_queue_capacity {
+            self.drops += 1;
+            return;
+        }
+        self.accepted += 1;
+        self.cores[core].queue.push_back(msg);
+    }
+
+    fn finish(&mut self, msg: Message, now: Cycle) {
+        let idx = match msg.priority {
+            Priority::Latency => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        };
+        self.latency[idx].record(now.saturating_since(msg.injected_at).count());
+        self.egress.push(msg);
+    }
+
+    /// Drains completed packets.
+    pub fn take_egress(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.egress)
+    }
+
+    /// Latency histogram for a priority class.
+    #[must_use]
+    pub fn latency_of(&self, p: Priority) -> &Histogram {
+        match p {
+            Priority::Latency => &self.latency[0],
+            Priority::Normal => &self.latency[1],
+            Priority::Bulk => &self.latency[2],
+        }
+    }
+
+    /// First engine index ≥ `from` that applies to `msg`, or the
+    /// engine count (= egress).
+    fn next_engine_for(&self, msg: &Message, from: usize) -> usize {
+        let port = udp_dst_port(&msg.payload);
+        for (i, e) in self.hw.iter().enumerate().skip(from) {
+            match &e.ports {
+                None => return i,
+                Some(ps) => {
+                    if port.is_some_and(|p| ps.contains(&p)) {
+                        return i;
+                    }
+                }
+            }
+        }
+        self.hw.len()
+    }
+
+    fn dispatch_to_engine_or_finish(&mut self, msg: Message, from: usize, now: Cycle) {
+        let target = self.next_engine_for(&msg, from);
+        if target >= self.hw.len() {
+            self.finish(msg, now);
+        } else {
+            self.hw[target].queue.push_back((msg, target + 1));
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // Hardware engines.
+        for i in 0..self.hw.len() {
+            if let Some((_, _, done)) = &self.hw[i].in_service {
+                if now >= *done {
+                    let (msg, next, _) = self.hw[i].in_service.take().expect("checked");
+                    for out in self.hw[i].offload.process(msg, now) {
+                        match out {
+                            Output::Forward(m)
+                            | Output::ForwardTo(_, m)
+                            | Output::ToPipeline(m) => {
+                                self.dispatch_to_engine_or_finish(m, next, now);
+                            }
+                            Output::Egress(_, m) => self.finish(m, now),
+                            Output::Consumed => self.consumed += 1,
+                        }
+                    }
+                }
+            }
+            if self.hw[i].in_service.is_none() {
+                if let Some((msg, next)) = self.hw[i].queue.pop_front() {
+                    let st = self.hw[i].offload.service_time(&msg);
+                    self.hw[i].in_service = Some((msg, next, now + st));
+                }
+            }
+        }
+
+        // Cores.
+        for c in 0..self.cores.len() {
+            if let Some((_, done)) = &self.cores[c].busy {
+                if now >= *done {
+                    let (msg, _) = self.cores[c].busy.take().expect("checked");
+                    // Orchestration finished: issue to the first engine
+                    // this packet needs (or straight to egress).
+                    self.dispatch_to_engine_or_finish(msg, 0, now);
+                }
+            }
+            if self.cores[c].busy.is_none() {
+                if let Some(msg) = self.cores[c].queue.pop_front() {
+                    self.cores[c].busy = Some((msg, now + self.orchestration));
+                }
+            }
+        }
+    }
+
+    /// True when idle everywhere.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.cores.iter().all(|c| c.queue.is_empty() && c.busy.is_none())
+            && self
+                .hw
+                .iter()
+                .all(|e| e.queue.is_empty() && e.in_service.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::engine::NullOffload;
+    use packet::chain::EngineClass;
+    use packet::message::{MessageId, MessageKind};
+    use workloads::frames::FrameFactory;
+
+    fn frame_msg(id: u64, port: u16, now: Cycle) -> Message {
+        let mut f = FrameFactory::for_nic_port(0);
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(f.min_frame(id as u16, port))
+            .injected_at(now)
+            .build()
+    }
+
+    fn run(nic: &mut ManycoreNic, from: Cycle, cycles: u64) -> Cycle {
+        let mut now = from;
+        for _ in 0..cycles {
+            nic.tick(now);
+            now = now.next();
+        }
+        now
+    }
+
+    fn config(cores: usize, orch: u64) -> ManycoreConfig {
+        ManycoreConfig {
+            cores,
+            orchestration_cycles: orch,
+            engines: vec![(
+                Box::new(NullOffload::new("hw", EngineClass::Asic, Cycles(2))),
+                Some(vec![443]),
+            )],
+            core_queue_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn every_packet_pays_orchestration_latency() {
+        let mut nic = ManycoreNic::new(config(4, 5000));
+        nic.rx(frame_msg(1, 80, Cycle(0)));
+        run(&mut nic, Cycle(0), 6000);
+        let out = nic.take_egress();
+        assert_eq!(out.len(), 1);
+        let lat = nic.latency_of(Priority::Normal).max();
+        assert!(lat >= 5000, "latency {lat} below orchestration floor");
+        assert!(nic.is_quiescent());
+    }
+
+    #[test]
+    fn core_pool_bounds_throughput() {
+        // 4 cores x 100-cycle orchestration = 1 packet / 25 cycles.
+        let mut nic = ManycoreNic::new(config(4, 100));
+        for i in 0..100 {
+            nic.rx(frame_msg(i, 80, Cycle(0)));
+        }
+        let mut done = 0;
+        let mut now = Cycle(0);
+        let mut cycles = 0u64;
+        while done < 100 && cycles < 100_000 {
+            nic.tick(now);
+            now = now.next();
+            done += nic.take_egress().len();
+            cycles += 1;
+        }
+        assert_eq!(done, 100);
+        // Perfect balance would take 2500 cycles; flow-hash imbalance
+        // costs some, but it must be within ~3x of ideal and far above
+        // single-core time (10000).
+        assert!((2500..9000).contains(&cycles), "took {cycles}");
+    }
+
+    #[test]
+    fn packets_visit_only_matching_engines() {
+        let mut nic = ManycoreNic::new(config(1, 10));
+        nic.rx(frame_msg(1, 443, Cycle(0))); // visits hw engine
+        nic.rx(frame_msg(2, 80, Cycle(0))); // skips it
+        run(&mut nic, Cycle(0), 200);
+        let out = nic.take_egress();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn full_core_queue_drops() {
+        let mut nic = ManycoreNic::new(ManycoreConfig {
+            cores: 1,
+            orchestration_cycles: 10_000,
+            engines: vec![],
+            core_queue_capacity: 2,
+        });
+        for i in 0..10 {
+            nic.rx(frame_msg(i, 80, Cycle(0)));
+        }
+        assert!(nic.drops >= 7, "drops {}", nic.drops);
+    }
+
+    #[test]
+    fn flow_affinity_keeps_order_within_flow() {
+        // Same source/flow -> same core -> FIFO order preserved.
+        let mut nic = ManycoreNic::new(config(8, 50));
+        let mut f = FrameFactory::for_nic_port(0);
+        for i in 0..5u64 {
+            // Same flow id (same src ip), distinct idents increase but
+            // hash uses src ^ ident<<32 — use same factory flow 3 and
+            // force equal ident by rebuilding factory each time.
+            let mut f2 = FrameFactory::for_nic_port(0);
+            let _ = &mut f;
+            let msg = Message::builder(MessageId(i), MessageKind::EthernetFrame)
+                .payload(f2.min_frame(3, 80))
+                .injected_at(Cycle(0))
+                .build();
+            nic.rx(msg);
+        }
+        run(&mut nic, Cycle(0), 5000);
+        let out = nic.take_egress();
+        let ids: Vec<u64> = out.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cores")]
+    fn zero_cores_rejected() {
+        let _ = ManycoreNic::new(ManycoreConfig {
+            cores: 0,
+            orchestration_cycles: 1,
+            engines: vec![],
+            core_queue_capacity: 1,
+        });
+    }
+}

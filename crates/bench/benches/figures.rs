@@ -1,0 +1,62 @@
+//! Criterion benches for the paper's figure-level claims (the §2.3
+//! architecture comparisons and the §3/§4 design arguments).
+//!
+//! Each group prints its regenerated comparison table, then times one
+//! representative simulation so `cargo bench` tracks simulator
+//! performance across the full model stack (PANIC, pipeline NIC,
+//! manycore NIC, RMT-only NIC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panic_bench::experiments::{
+    chain_crossover, hol, isolation, kvs_e2e, manycore_latency, memory_pressure, rmt_limits,
+    rmt_throughput,
+};
+
+fn bench_rmt_claims(c: &mut Criterion) {
+    println!("{}", rmt_throughput::run(true));
+    println!("{}", chain_crossover::run(true));
+    let mut g = c.benchmark_group("s42");
+    g.sample_size(10);
+    g.bench_function("chain_crossover_L4_4k_cycles", |b| {
+        b.iter(|| std::hint::black_box(chain_crossover::panic_fraction(4, 4_000)))
+    });
+    g.finish();
+}
+
+fn bench_architecture_comparisons(c: &mut Criterion) {
+    println!("{}", hol::run(true));
+    println!("{}", manycore_latency::run(true));
+    println!("{}", rmt_limits::run(true));
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("hol_panic_20k_cycles", |b| {
+        b.iter(|| std::hint::black_box(hol::panic_victim_latency(0.5, 20_000, 1).p99))
+    });
+    g.bench_function("manycore_20k_cycles", |b| {
+        b.iter(|| std::hint::black_box(manycore_latency::manycore_latency(20_000).p50))
+    });
+    g.finish();
+}
+
+fn bench_panic_design(c: &mut Criterion) {
+    println!("{}", kvs_e2e::run(true));
+    println!("{}", isolation::run(true));
+    println!("{}", memory_pressure::run(true));
+    let mut g = c.benchmark_group("panic");
+    g.sample_size(10);
+    g.bench_function("kvs_scenario_20k_cycles", |b| {
+        b.iter(|| {
+            let s = kvs_e2e::run_once(50, 20_000);
+            std::hint::black_box(s.report().cache_hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_rmt_claims,
+    bench_architecture_comparisons,
+    bench_panic_design
+);
+criterion_main!(figures);

@@ -1,0 +1,56 @@
+//! Criterion benches for the paper's tables.
+//!
+//! Each bench group first *prints* the regenerated table (the
+//! reproduction artifact), then times the simulation kernel behind it
+//! so `cargo bench` doubles as a performance regression check on the
+//! simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::topology::Topology;
+use panic_bench::experiments::{table1, table2, table3};
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::run(true));
+    c.bench_function("table1/taxonomy", |b| {
+        b.iter(|| std::hint::black_box(engines::taxonomy::table1().len()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("{}", table2::run(true));
+    c.bench_function("table2/pipeline_1k_cycles_p2", |b| {
+        b.iter(|| std::hint::black_box(table2::simulate_pipeline_pps(2, 1_000)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    println!("{}", table3::run(true));
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("mesh6x6_uniform_2k_cycles", |b| {
+        b.iter(|| {
+            std::hint::black_box(table3::simulate_uniform_load(
+                Topology::mesh6x6(),
+                64,
+                0.5,
+                2_000,
+                7,
+            ))
+        })
+    });
+    g.bench_function("mesh8x8_uniform_2k_cycles", |b| {
+        b.iter(|| {
+            std::hint::black_box(table3::simulate_uniform_load(
+                Topology::mesh8x8(),
+                128,
+                0.5,
+                2_000,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3);
+criterion_main!(tables);

@@ -1,0 +1,43 @@
+//! `repro` — regenerate the paper's tables and figure claims.
+//!
+//! ```text
+//! repro              # list experiments
+//! repro all          # run everything (full length)
+//! repro all --quick  # run everything (short simulations)
+//! repro table3 kvs   # run a subset
+//! ```
+
+use panic_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let all = experiments::all();
+    if selected.is_empty() {
+        eprintln!("usage: repro [--quick] <experiment>... | all\n");
+        eprintln!("experiments:");
+        for (id, desc, _) in &all {
+            eprintln!("  {id:<16} {desc}");
+        }
+        std::process::exit(2);
+    }
+
+    let run_all = selected.iter().any(|s| s.as_str() == "all");
+    let mut ran = 0;
+    for (id, desc, runner) in &all {
+        if run_all || selected.iter().any(|s| s.as_str() == *id) {
+            eprintln!("running {id}: {desc} ...");
+            print!("{}", runner(quick));
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no matching experiment; run with no args to list them");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Ablation 3 (§3.1.3): the per-engine scheduling discipline.
+//!
+//! §3.1.3 claims the slack interface "is able to implement any
+//! arbitrary local scheduling algorithm". This ablation runs one
+//! contended engine queue under three disciplines fed the *same*
+//! arrival trace:
+//!
+//! * **LSTF** — the PANIC default: PIFO ordered by deadline;
+//! * **FIFO** — what a scheduler-less design gives;
+//! * **DRR** — byte-fair round-robin across tenants, the classic
+//!   non-deadline policy (shows the framework expresses it too).
+//!
+//! Metrics: probe-tenant wait times and bulk throughput share.
+
+use packet::chain::{ChainHeader, EngineId, Slack};
+use packet::message::{Message, MessageId, MessageKind, Priority, TenantId};
+use sched::admission::AdmissionPolicy;
+use sched::drr::DrrScheduler;
+use sched::queue::SchedQueue;
+use sim_core::rng::SimRng;
+use sim_core::stats::Histogram;
+use sim_core::time::Cycle;
+
+use crate::fmt::TableFmt;
+
+/// The discipline under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Slack-ordered PIFO (probe slack 50, bulk slack BULK).
+    Lstf,
+    /// Arrival order (both classes get equal slack).
+    Fifo,
+    /// Deficit round-robin across tenants (equal quanta).
+    Drr,
+}
+
+/// One run's result.
+#[derive(Debug, Clone)]
+pub struct SchedPoint {
+    /// Probe wait-time histogram (cycles in queue).
+    pub probe_wait: Histogram,
+    /// Bulk messages served.
+    pub bulk_served: u64,
+}
+
+/// Simulates a single engine with deterministic service time `service`
+/// fed by one bulk tenant (~90% utilization) and sparse probes, under
+/// `discipline`, for `cycles` cycles.
+#[must_use]
+pub fn run_discipline(discipline: Discipline, cycles: u64) -> SchedPoint {
+    let service = 40u64;
+    let mut rng = SimRng::new(23);
+    let mut probe_wait = Histogram::new();
+    let mut bulk_served = 0u64;
+
+    // Engine state: busy until cycle X.
+    let mut busy_until = 0u64;
+
+    // The three queue implementations, only one used per run.
+    let mut pifo = SchedQueue::new(4096, AdmissionPolicy::TailDrop);
+    let mut drr = DrrScheduler::new(128);
+
+    let mk_msg = |id: u64, tenant: u16, slack: Slack, size: usize| {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(bytes::Bytes::from(vec![0u8; size]))
+            .tenant(TenantId(tenant))
+            .priority(if tenant == 1 {
+                Priority::Latency
+            } else {
+                Priority::Bulk
+            })
+            .chain(ChainHeader::uniform(&[EngineId(0)], slack).unwrap())
+            .build()
+    };
+
+    // Track enqueue times by message id for wait computation.
+    let mut enqueued_at = std::collections::HashMap::new();
+    let mut next_id = 0u64;
+
+    for now in 0..cycles {
+        // Bulk: Bernoulli at ~0.9 utilization (p = 0.9/40).
+        if rng.gen_bool(0.9 / service as f64) {
+            let slack = match discipline {
+                Discipline::Lstf => Slack::BULK,
+                _ => Slack(10_000),
+            };
+            let m = mk_msg(next_id, 2, slack, 1024);
+            enqueued_at.insert(next_id, now);
+            next_id += 1;
+            match discipline {
+                Discipline::Drr => drr.push(m),
+                _ => {
+                    let _ = pifo.offer(m, Cycle(now));
+                }
+            }
+        }
+        // Probe: Bernoulli at 1/800.
+        if rng.gen_bool(1.0 / 800.0) {
+            let slack = match discipline {
+                Discipline::Lstf => Slack(50),
+                _ => Slack(10_000),
+            };
+            let m = mk_msg(next_id, 1, slack, 64);
+            enqueued_at.insert(next_id, now);
+            next_id += 1;
+            match discipline {
+                Discipline::Drr => drr.push(m),
+                _ => {
+                    let _ = pifo.offer(m, Cycle(now));
+                }
+            }
+        }
+        // Serve.
+        if now >= busy_until {
+            let popped = match discipline {
+                Discipline::Drr => drr.pop(),
+                _ => pifo.pop(Cycle(now)),
+            };
+            if let Some(m) = popped {
+                let t0 = enqueued_at.remove(&m.id.0).unwrap_or(now);
+                if m.tenant == TenantId(1) {
+                    probe_wait.record(now - t0);
+                } else {
+                    bulk_served += 1;
+                }
+                busy_until = now + service;
+            }
+        }
+    }
+    SchedPoint {
+        probe_wait,
+        bulk_served,
+    }
+}
+
+/// Regenerates the scheduler ablation table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let cycles = if quick { 100_000 } else { 1_000_000 };
+    let mut t = TableFmt::new(
+        "Ablation (S3.1.3) — probe wait at one contended engine: LSTF vs FIFO vs DRR (cycles)",
+        &["Discipline", "Probe p50", "Probe p99", "Probe max", "Bulk served"],
+    );
+    for (name, d) in [
+        ("LSTF (slack PIFO)", Discipline::Lstf),
+        ("FIFO", Discipline::Fifo),
+        ("DRR (equal quanta)", Discipline::Drr),
+    ] {
+        let p = run_discipline(d, cycles);
+        let s = p.probe_wait.summary();
+        t.row(vec![
+            name.into(),
+            s.p50.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+            p.bulk_served.to_string(),
+        ]);
+    }
+    t.note(
+        "Identical arrival trace (seeded). LSTF bounds probe waits by the residual service of \
+         the message in flight; FIFO makes probes wait the whole backlog. With one bulk tenant \
+         and sparse probes DRR matches LSTF (the probe queue is served every round); with many \
+         competing classes DRR cannot express deadlines, which is what slack adds. Bulk \
+         throughput is unchanged: the engine is work-conserving under all three.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstf_beats_fifo_beats_nothing() {
+        let lstf = run_discipline(Discipline::Lstf, 200_000);
+        let fifo = run_discipline(Discipline::Fifo, 200_000);
+        let s_l = lstf.probe_wait.summary();
+        let s_f = fifo.probe_wait.summary();
+        assert!(s_l.count > 100, "probes measured {}", s_l.count);
+        assert!(
+            s_f.p99 > s_l.p99 * 2,
+            "FIFO p99 {} vs LSTF p99 {}",
+            s_f.p99,
+            s_l.p99
+        );
+    }
+
+    #[test]
+    fn drr_isolates_better_than_fifo() {
+        let drr = run_discipline(Discipline::Drr, 200_000);
+        let fifo = run_discipline(Discipline::Fifo, 200_000);
+        assert!(
+            drr.probe_wait.summary().p99 < fifo.probe_wait.summary().p99,
+            "DRR p99 {} vs FIFO p99 {}",
+            drr.probe_wait.summary().p99,
+            fifo.probe_wait.summary().p99
+        );
+    }
+
+    #[test]
+    fn work_conservation_across_disciplines() {
+        let lstf = run_discipline(Discipline::Lstf, 200_000);
+        let fifo = run_discipline(Discipline::Fifo, 200_000);
+        let ratio = lstf.bulk_served as f64 / fifo.bulk_served.max(1) as f64;
+        assert!((0.95..1.05).contains(&ratio), "bulk ratio {ratio}");
+    }
+}

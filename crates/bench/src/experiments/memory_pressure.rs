@@ -1,0 +1,207 @@
+//! §4.3: memory pressure and intelligent drops.
+//!
+//! "Offloads that do not run at line-rate must buffer and eventually
+//! drop or pause traffic ... PANIC introduces mechanisms unavailable
+//! in other designs that can be used to intelligently drop packets
+//! when memory pressure is a limiting factor."
+//!
+//! A slow offload (50 cycles/packet) is offered 2× its capacity with
+//! a 32-message scheduling queue: buffering is bounded by
+//! construction. The question is *what* gets dropped. Tail drop sheds
+//! whatever arrives at a full queue — latency-class and bulk alike.
+//! The slack-aware eviction policy sheds the message with the most
+//! remaining slack, so the latency class survives.
+
+use engines::engine::NullOffload;
+use engines::mac::MacEngine;
+use engines::tile::TileConfig;
+use noc::router::RouterConfig;
+use noc::topology::Topology;
+use packet::chain::{EngineClass, EngineId};
+use packet::message::{Priority, TenantId};
+use packet::phv::Field;
+use rmt::action::{Action, Primitive, SlackExpr};
+use rmt::parse::ParseGraph;
+use rmt::pipeline::PipelineConfig;
+use rmt::program::ProgramBuilder;
+use rmt::table::{MatchKind, Table};
+use sched::admission::AdmissionPolicy;
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use panic_core::nic::{NicConfig, PanicNic};
+use workloads::frames::FrameFactory;
+
+use crate::fmt::{f, TableFmt};
+
+/// Results of one overload run.
+#[derive(Debug, Clone, Copy)]
+pub struct PressurePoint {
+    /// Latency-class frames delivered / offered.
+    pub latency_delivery: f64,
+    /// Bulk frames delivered / offered.
+    pub bulk_delivery: f64,
+    /// Drops at the slow engine's scheduling queue.
+    pub drops: u64,
+    /// Peak scheduling-queue depth (bounded memory, §4.3).
+    pub peak_depth: usize,
+}
+
+fn two_hop_program(slow: EngineId, eth: EngineId) -> rmt::program::RmtProgram {
+    let slack = SlackExpr::ByPriority {
+        latency: 100,
+        normal: 100_000,
+    };
+    ProgramBuilder::new("pressure", ParseGraph::standard(6379))
+        .stage(Table::new(
+            "all-via-slow",
+            MatchKind::Exact(vec![Field::EthType]),
+            Action::named(
+                "chain",
+                vec![
+                    Primitive::PushHop {
+                        engine: slow,
+                        slack,
+                    },
+                    Primitive::PushHop {
+                        engine: eth,
+                        slack,
+                    },
+                ],
+            ),
+        ))
+        .build()
+}
+
+/// Runs the overload with the given admission policy at the slow tile.
+#[must_use]
+pub fn run_with_policy(policy: AdmissionPolicy, cycles: u64) -> PressurePoint {
+    let freq = Freq::PANIC_DEFAULT;
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(4, 4),
+        width_bits: 64,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 2,
+            depth: 18,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let slow = b.engine(
+        Box::new(NullOffload::new("slow", EngineClass::Asic, Cycles(50))),
+        TileConfig {
+            queue_capacity: 32,
+            admission: policy,
+        },
+    );
+    let _ = b.rmt_portal();
+    let _ = b.rmt_portal();
+    b.program(two_hop_program(slow, eth));
+    let mut nic = b.build();
+
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut rng = sim_core::rng::SimRng::new(17);
+    let mut now = Cycle(0);
+    let mut offered = [0u64; 2]; // [latency, bulk]
+    let mut delivered = [0u64; 2];
+    for step in 0..cycles {
+        let _ = step;
+        // 2x overload of the 1/50 engine: Bernoulli arrivals at 1/25
+        // per cycle (randomized — periodic arrivals phase-lock with
+        // service completions and hide the policy difference), one in
+        // eight latency-class.
+        if rng.gen_bool(1.0 / 25.0) {
+            let latency_class = rng.gen_bool(1.0 / 8.0);
+            let (tenant, priority, idx) = if latency_class {
+                (TenantId(1), Priority::Latency, 0)
+            } else {
+                (TenantId(2), Priority::Normal, 1)
+            };
+            nic.rx_frame(eth, factory.min_frame(tenant.0, 80), tenant, priority, now);
+            offered[idx] += 1;
+        }
+        nic.tick(now);
+        now = now.next();
+        for m in nic.take_wire_tx() {
+            let idx = usize::from(m.priority != Priority::Latency);
+            delivered[idx] += 1;
+        }
+    }
+    let tile = nic.tile(slow).expect("slow tile");
+    PressurePoint {
+        latency_delivery: delivered[0] as f64 / offered[0].max(1) as f64,
+        bulk_delivery: delivered[1] as f64 / offered[1].max(1) as f64,
+        drops: tile.stats().dropped,
+        peak_depth: tile.queue_stats().peak_depth,
+    }
+}
+
+/// Regenerates the memory-pressure comparison.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let cycles = if quick { 60_000 } else { 600_000 };
+    let tail = run_with_policy(AdmissionPolicy::TailDrop, cycles);
+    let smart = run_with_policy(AdmissionPolicy::EvictLargestRank, cycles);
+    let mut t = TableFmt::new(
+        "S4.3 — overload at a slow engine (2x capacity): tail drop vs intelligent drop",
+        &[
+            "Policy",
+            "Latency-class delivery",
+            "Bulk delivery",
+            "Drops",
+            "Peak queue depth",
+        ],
+    );
+    t.row(vec![
+        "Tail drop".into(),
+        f(tail.latency_delivery, 3),
+        f(tail.bulk_delivery, 3),
+        tail.drops.to_string(),
+        tail.peak_depth.to_string(),
+    ]);
+    t.row(vec![
+        "Evict largest slack (PANIC)".into(),
+        f(smart.latency_delivery, 3),
+        f(smart.bulk_delivery, 3),
+        smart.drops.to_string(),
+        smart.peak_depth.to_string(),
+    ]);
+    t.note(
+        "Buffering is bounded at 32 messages under both policies (no added memory pressure); \
+         what differs is the victim selection. Slack-aware eviction sheds bulk, keeping the \
+         latency class near 100% delivery at identical total drop counts.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intelligent_drop_protects_latency_class() {
+        let tail = run_with_policy(AdmissionPolicy::TailDrop, 80_000);
+        let smart = run_with_policy(AdmissionPolicy::EvictLargestRank, 80_000);
+        assert!(
+            smart.latency_delivery > 0.95,
+            "latency-class delivery {}",
+            smart.latency_delivery
+        );
+        assert!(
+            smart.latency_delivery > tail.latency_delivery + 0.2,
+            "smart {} vs tail {}",
+            smart.latency_delivery,
+            tail.latency_delivery
+        );
+    }
+
+    #[test]
+    fn buffering_is_bounded_under_overload() {
+        let tail = run_with_policy(AdmissionPolicy::TailDrop, 40_000);
+        assert!(tail.peak_depth <= 32);
+        assert!(tail.drops > 100, "overload produced drops: {}", tail.drops);
+    }
+}

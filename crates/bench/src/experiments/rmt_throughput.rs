@@ -1,0 +1,57 @@
+//! §4.2 claim (a): the heavyweight pipeline processes `F × P` packets
+//! per second, and two 500 MHz pipelines cover every Table 2 line-rate
+//! requirement at one pass per packet — but not at two.
+
+use noc::analytic;
+use sim_core::time::Freq;
+
+use crate::experiments::table2::simulate_pipeline_pps;
+use crate::fmt::{mpps, TableFmt};
+
+/// Regenerates the pipeline-throughput analysis.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let cycles = if quick { 2_000 } else { 50_000 };
+    let freq = Freq::mhz(500);
+    let mut t = TableFmt::new(
+        "S4.2 — RMT pipeline throughput (F x P) vs line-rate requirements",
+        &[
+            "Pipelines (P)",
+            "Analytic F*P",
+            "Simulated",
+            "Sustains 2x100G @1 pass",
+            "Sustains 2x100G @2 passes",
+        ],
+    );
+    let need = analytic::line_rate_row(sim_core::time::Bandwidth::gbps(100), 2).pps_exact as f64;
+    for p in [1u32, 2, 4] {
+        let analytic_pps = analytic::rmt_pipeline_pps(freq, u64::from(p)) as f64;
+        let sim = simulate_pipeline_pps(p, cycles);
+        t.row(vec![
+            p.to_string(),
+            mpps(analytic_pps),
+            mpps(sim),
+            (sim >= need).to_string(),
+            (sim >= 2.0 * need).to_string(),
+        ]);
+    }
+    t.note(format!(
+        "2x100G RX+TX min-size requirement: {} — P=2 covers one pass per packet; \
+         per-offload pipeline traversals would immediately exceed it, which is the \
+         architectural case for switching chains over the NoC instead.",
+        mpps(need)
+    ));
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn p2_sustains_one_pass_not_two() {
+        let s = super::run(true);
+        // The P=2 row must read: sustains@1pass=true, @2passes=false.
+        let p2_line = s.lines().find(|l| l.starts_with("| 2 ")).expect("P=2 row");
+        assert!(p2_line.contains("true"), "{p2_line}");
+        assert!(p2_line.contains("false"), "{p2_line}");
+    }
+}

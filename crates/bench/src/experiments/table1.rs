@@ -1,0 +1,43 @@
+//! Table 1: the offload taxonomy of prior work (§2.1).
+
+use engines::taxonomy::table1;
+
+use crate::fmt::TableFmt;
+
+/// Regenerates Table 1 from the typed taxonomy.
+#[must_use]
+pub fn run(_quick: bool) -> String {
+    let mut t = TableFmt::new(
+        "Table 1 — offload types used by prior work",
+        &["Project", "Offload Type"],
+    );
+    for row in table1() {
+        t.row(vec![
+            row.project.to_string(),
+            format!("{} {} {}", row.beneficiary, row.placement, row.resource),
+        ]);
+    }
+    t.note("Regenerated from engines::taxonomy; matches the paper row for row (Emu spans two rows).");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_rows() {
+        let s = super::run(true);
+        for p in [
+            "FlexNIC",
+            "Emu",
+            "SENIC",
+            "sNICh",
+            "DCQCN",
+            "TCP Offload Engines",
+            "Uno",
+            "Azure SmartNIC",
+            "RDMA",
+        ] {
+            assert!(s.contains(p), "missing {p} in\n{s}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # panic-bench — regenerating every table and figure
+//!
+//! Each module under [`experiments`] reproduces one artifact of the
+//! paper (see DESIGN.md's experiment index). All of them expose
+//! `run(quick) -> String` returning a rendered markdown table, so the
+//! `repro` binary and the criterion benches execute identical code.
+//!
+//! `quick = true` shortens simulations for CI/criterion; `quick =
+//! false` is what EXPERIMENTS.md numbers are produced with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use fmt::TableFmt;

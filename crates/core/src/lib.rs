@@ -1,0 +1,30 @@
+//! # panic-core — the PANIC NIC
+//!
+//! This crate assembles the paper's three components (§3) into a
+//! runnable NIC model:
+//!
+//! 1. **Self-contained offload engines** — [`engines`] tiles wrapped
+//!    with local scheduling queues and lookup-table routing;
+//! 2. **a logical switch** — the [`noc`] 2D mesh plus the heavyweight
+//!    [`rmt`] pipeline, reachable through *portal tiles* on the mesh;
+//! 3. **a logical scheduler** — slack values computed by the pipeline
+//!    program and enforced by every tile's [`sched`] queue.
+//!
+//! * [`nic`] — [`nic::PanicNic`] and its builder: placement,
+//!   per-cycle orchestration, egress capture, and statistics.
+//! * [`programs`] — canonical RMT programs: the §3.2 KVS program, a
+//!   chain-everything program for topology experiments, and a plain
+//!   host-delivery program.
+//! * [`scenarios`] — end-to-end experiment harnesses built on the NIC:
+//!   the multi-tenant KVS of §3.2 and a synthetic chain workload used
+//!   by the Table 3 and HOL-blocking reproductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nic;
+pub mod programs;
+pub mod scenarios;
+
+pub use nic::{NicBuilder, NicConfig, NicStats, PanicNic};
+pub use programs::{chain_program, host_delivery_program, kvs_program, KvsProgramSpec, SlackProfile};

@@ -1,0 +1,265 @@
+//! The checksum offload engine.
+//!
+//! The classic fixed-function inline offload (the paper cites Intel's
+//! 82599-era TCP/IP checksum engines as the ancestral pipeline
+//! design, §2.3.1). Two modes:
+//!
+//! * **Verify** — recompute the IPv4 header checksum and an L4
+//!   payload checksum; consume (drop) the frame on mismatch.
+//! * **Compute** — fill in the UDP checksum field from the payload.
+//!
+//! The L4 checksum here covers the UDP header + payload with the
+//! checksum field zeroed (no pseudo-header — a simulator-local
+//! convention, applied consistently by both modes).
+
+use bytes::BytesMut;
+use packet::chain::EngineClass;
+use packet::headers::{internet_checksum, EthernetHeader, Ipv4Header, UdpHeader};
+use packet::message::{Message, MessageKind};
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{Offload, Output};
+
+/// Checksum engine mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumMode {
+    /// Verify and drop on failure (RX side).
+    Verify,
+    /// Compute and fill in (TX side).
+    Compute,
+}
+
+/// The checksum engine.
+#[derive(Debug)]
+pub struct ChecksumEngine {
+    name: String,
+    mode: ChecksumMode,
+    /// Frames that passed verification / got checksums computed.
+    pub ok: u64,
+    /// Frames dropped for bad checksums.
+    pub failed: u64,
+}
+
+/// Computes the simulator's UDP checksum: over the UDP header with a
+/// zeroed checksum field, plus the payload.
+#[must_use]
+pub fn udp_payload_checksum(udp_and_payload: &[u8]) -> u16 {
+    if udp_and_payload.len() < UdpHeader::SIZE {
+        return 0;
+    }
+    let mut copy = udp_and_payload.to_vec();
+    copy[6] = 0;
+    copy[7] = 0;
+    let c = internet_checksum(&copy);
+    // 0 means "no checksum" in UDP; fold to 0xffff as RFC 768 does.
+    if c == 0 {
+        0xffff
+    } else {
+        c
+    }
+}
+
+impl ChecksumEngine {
+    /// Builds a checksum engine.
+    #[must_use]
+    pub fn new(name: impl Into<String>, mode: ChecksumMode) -> ChecksumEngine {
+        ChecksumEngine {
+            name: name.into(),
+            mode,
+            ok: 0,
+            failed: 0,
+        }
+    }
+
+    /// Offsets of the UDP section, if this is an Ethernet/IPv4/UDP
+    /// frame with a checksum-valid IP header.
+    fn udp_offset(frame: &[u8]) -> Option<usize> {
+        let (_, n1) = EthernetHeader::parse(frame).ok()?;
+        let (ip, n2) = Ipv4Header::parse(&frame[n1..]).ok()?;
+        if ip.protocol != packet::headers::ipproto::UDP {
+            return None;
+        }
+        Some(n1 + n2)
+    }
+}
+
+impl Offload for ChecksumEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Asic
+    }
+
+    fn service_time(&self, msg: &Message) -> Cycles {
+        // One cycle per 64 bytes summed, min 1: a wide adder tree.
+        Cycles((msg.payload.len() as u64).div_ceil(64).max(1))
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        if msg.kind != MessageKind::EthernetFrame {
+            return vec![Output::Forward(msg)];
+        }
+        // An invalid IP header (checksum) fails Ipv4Header::parse, so
+        // udp_offset None covers both "not UDP" and "corrupt IP".
+        let Some(off) = Self::udp_offset(&msg.payload) else {
+            return match self.mode {
+                ChecksumMode::Verify => {
+                    // Distinguish non-UDP (forward) from corrupt IP (drop).
+                    match EthernetHeader::parse(&msg.payload)
+                        .ok()
+                        .map(|(_, n1)| Ipv4Header::parse(&msg.payload[n1..]).is_ok())
+                    {
+                        Some(true) | None => {
+                            self.ok += 1;
+                            vec![Output::Forward(msg)]
+                        }
+                        Some(false) => {
+                            self.failed += 1;
+                            vec![Output::Consumed]
+                        }
+                    }
+                }
+                ChecksumMode::Compute => vec![Output::Forward(msg)],
+            };
+        };
+        match self.mode {
+            ChecksumMode::Verify => {
+                let (udp, _) = UdpHeader::parse(&msg.payload[off..]).expect("udp_offset checked");
+                if udp.checksum == 0
+                    || udp.checksum == udp_payload_checksum(&msg.payload[off..])
+                {
+                    self.ok += 1;
+                    vec![Output::Forward(msg)]
+                } else {
+                    self.failed += 1;
+                    vec![Output::Consumed]
+                }
+            }
+            ChecksumMode::Compute => {
+                let csum = udp_payload_checksum(&msg.payload[off..]);
+                let mut bytes = BytesMut::from(&msg.payload[..]);
+                bytes[off + 6..off + 8].copy_from_slice(&csum.to_be_bytes());
+                let mut out = msg;
+                out.payload = bytes.freeze();
+                self.ok += 1;
+                vec![Output::Forward(out)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use packet::headers::{build_udp_frame, ethertype, Ipv4Addr, MacAddr};
+    use packet::message::MessageId;
+
+    fn frame() -> Bytes {
+        build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 0,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                dst: Ipv4Addr::new(2, 2, 2, 2),
+            },
+            UdpHeader {
+                src_port: 10,
+                dst_port: 20,
+                len: 0,
+                checksum: 0,
+            },
+            b"some payload bytes",
+        )
+    }
+
+    fn msg(payload: Bytes) -> Message {
+        Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(payload)
+            .build()
+    }
+
+    #[test]
+    fn compute_then_verify_roundtrip() {
+        let mut cs = ChecksumEngine::new("tx-csum", ChecksumMode::Compute);
+        let out = cs.process(msg(frame()), Cycle(0));
+        let Output::Forward(m) = &out[0] else {
+            panic!("expected Forward");
+        };
+        // The checksum field is now non-zero and verifies.
+        let mut verify = ChecksumEngine::new("rx-csum", ChecksumMode::Verify);
+        let out2 = verify.process(msg(m.payload.clone()), Cycle(0));
+        assert!(matches!(out2[0], Output::Forward(_)));
+        assert_eq!(verify.ok, 1);
+        assert_eq!(verify.failed, 0);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_verification() {
+        let mut cs = ChecksumEngine::new("tx", ChecksumMode::Compute);
+        let out = cs.process(msg(frame()), Cycle(0));
+        let Output::Forward(m) = &out[0] else { panic!() };
+        let mut bad = m.payload.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let mut verify = ChecksumEngine::new("rx", ChecksumMode::Verify);
+        let out2 = verify.process(msg(Bytes::from(bad)), Cycle(0));
+        assert!(matches!(out2[0], Output::Consumed));
+        assert_eq!(verify.failed, 1);
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        // frame() has checksum 0: verify passes it through.
+        let mut verify = ChecksumEngine::new("rx", ChecksumMode::Verify);
+        let out = verify.process(msg(frame()), Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert_eq!(verify.ok, 1);
+    }
+
+    #[test]
+    fn corrupt_ip_header_dropped_in_verify() {
+        let mut raw = frame().to_vec();
+        raw[16] ^= 0xaa; // corrupt IP header; checksum now invalid
+        let mut verify = ChecksumEngine::new("rx", ChecksumMode::Verify);
+        let out = verify.process(msg(Bytes::from(raw)), Cycle(0));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(verify.failed, 1);
+    }
+
+    #[test]
+    fn non_frames_and_non_udp_pass() {
+        let mut verify = ChecksumEngine::new("rx", ChecksumMode::Verify);
+        let dma = Message::builder(MessageId(2), MessageKind::DmaRead).build();
+        assert!(matches!(verify.process(dma, Cycle(0))[0], Output::Forward(_)));
+        // Truncated/garbage frame: can't even parse Ethernet — forward
+        // (let the pipeline's ACL decide).
+        let garbage = msg(Bytes::from_static(b"xx"));
+        assert!(matches!(verify.process(garbage, Cycle(0))[0], Output::Forward(_)));
+    }
+
+    #[test]
+    fn service_time_scales() {
+        let cs = ChecksumEngine::new("x", ChecksumMode::Verify);
+        assert_eq!(cs.service_time(&msg(Bytes::from(vec![0; 64]))), Cycles(1));
+        assert_eq!(cs.service_time(&msg(Bytes::from(vec![0; 1500]))), Cycles(24));
+    }
+}

@@ -1,0 +1,277 @@
+//! The compression engine.
+//!
+//! Manycore NICs ship hardware compression blocks (§2.3.2 cites
+//! Tile-GX's "hardware engines for cryptography and compression");
+//! like IPSec, compression is a canonical cannot-run-in-RMT offload
+//! because output size depends on input content. The codec is a
+//! from-scratch byte-oriented RLE with a literal-run escape —
+//! deterministic, reversible, and with a real worst case (incompressible
+//! data grows by 1/127), which the memory-pressure experiments use.
+//!
+//! Format: a sequence of blocks, each `tag: u8` then data.
+//! `tag < 0x80`: `tag + 1` literal bytes follow.
+//! `tag >= 0x80`: one byte follows, repeated `tag - 0x80 + 2` times.
+
+use bytes::Bytes;
+use packet::chain::EngineClass;
+use packet::message::Message;
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{Offload, Output};
+
+/// Compresses `data` with the RLE codec.
+#[must_use]
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < 129 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push(0x80 + (run - 2) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            // Collect literals until the next run of >= 3 (runs of 2
+            // aren't worth breaking a literal block for).
+            let start = i;
+            while i < data.len() && (i - start) < 128 {
+                let c = data[i];
+                let mut r = 1;
+                while i + r < data.len() && data[i + r] == c {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                i += 1;
+            }
+            if i == start {
+                // Next byte starts a run; loop around and emit it.
+                continue;
+            }
+            out.push((i - start - 1) as u8);
+            out.extend_from_slice(&data[start..i]);
+        }
+    }
+    out
+}
+
+/// Decompresses RLE data. Returns `None` on a malformed stream.
+#[must_use]
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let tag = data[i];
+        i += 1;
+        if tag < 0x80 {
+            let n = usize::from(tag) + 1;
+            if i + n > data.len() {
+                return None;
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else {
+            if i >= data.len() {
+                return None;
+            }
+            let n = usize::from(tag - 0x80) + 2;
+            out.extend(std::iter::repeat_n(data[i], n));
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Engine direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressMode {
+    /// Compress payloads.
+    Compress,
+    /// Decompress payloads (consume malformed input).
+    Decompress,
+}
+
+/// The compression engine. Payloads are treated as opaque bytes; the
+/// NIC programs place this engine on host-bound chains (compress before
+/// DMA) or wire-bound ones (decompress after RX).
+#[derive(Debug)]
+pub struct CompressEngine {
+    name: String,
+    mode: CompressMode,
+    /// Cycles per 32 input bytes (compression is the slow direction).
+    cycles_per_32b: u64,
+    /// Payload bytes in.
+    pub bytes_in: u64,
+    /// Payload bytes out.
+    pub bytes_out: u64,
+    /// Malformed streams consumed (decompress mode).
+    pub errors: u64,
+}
+
+impl CompressEngine {
+    /// Builds a compression engine.
+    #[must_use]
+    pub fn new(name: impl Into<String>, mode: CompressMode, cycles_per_32b: u64) -> CompressEngine {
+        CompressEngine {
+            name: name.into(),
+            mode,
+            cycles_per_32b: cycles_per_32b.max(1),
+            bytes_in: 0,
+            bytes_out: 0,
+            errors: 0,
+        }
+    }
+
+    /// Achieved compression ratio so far (in/out).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            1.0
+        } else {
+            self.bytes_in as f64 / self.bytes_out as f64
+        }
+    }
+}
+
+impl Offload for CompressEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Asic
+    }
+
+    fn service_time(&self, msg: &Message) -> Cycles {
+        Cycles(4 + (msg.payload.len() as u64).div_ceil(32) * self.cycles_per_32b)
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        self.bytes_in += msg.payload.len() as u64;
+        let transformed = match self.mode {
+            CompressMode::Compress => Some(compress(&msg.payload)),
+            CompressMode::Decompress => decompress(&msg.payload),
+        };
+        match transformed {
+            Some(data) => {
+                self.bytes_out += data.len() as u64;
+                let mut out = msg;
+                out.payload = Bytes::from(data);
+                vec![Output::Forward(out)]
+            }
+            None => {
+                self.errors += 1;
+                vec![Output::Consumed]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::message::{MessageId, MessageKind};
+    use sim_core::rng::SimRng;
+
+    #[test]
+    fn roundtrip_runs_and_literals() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 1000],
+            b"abcdefg".to_vec(),
+            b"aaabbbcccabcabc".to_vec(),
+            vec![1, 1, 2, 2, 2, 3, 3, 3, 3, 0, 0],
+        ];
+        for case in cases {
+            let c = compress(&case);
+            assert_eq!(decompress(&c).unwrap(), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let mut rng = SimRng::new(77);
+        for len in [1usize, 31, 128, 129, 130, 1000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn zeros_compress_well() {
+        let c = compress(&[0u8; 1024]);
+        assert!(c.len() < 20, "1024 zero bytes -> {} bytes", c.len());
+    }
+
+    #[test]
+    fn worst_case_expansion_is_bounded() {
+        // Alternating bytes never form runs: pure literals.
+        let data: Vec<u8> = (0..1024).map(|i| (i % 2) as u8 * 0x55).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 127 + 2);
+    }
+
+    #[test]
+    fn malformed_stream_rejected() {
+        assert_eq!(decompress(&[0x85]), None); // run tag, no byte
+        assert_eq!(decompress(&[0x05, 1, 2]), None); // literal tag, short
+    }
+
+    #[test]
+    fn engine_compress_then_decompress_chain() {
+        let mut c = CompressEngine::new("z", CompressMode::Compress, 1);
+        let mut d = CompressEngine::new("unz", CompressMode::Decompress, 1);
+        let payload = Bytes::from(vec![9u8; 500]);
+        let m = Message::builder(MessageId(1), MessageKind::Internal)
+            .payload(payload.clone())
+            .build();
+        let out = c.process(m, Cycle(0));
+        let Output::Forward(m2) = out.into_iter().next().unwrap() else {
+            panic!("expected Forward");
+        };
+        assert!(m2.payload.len() < 20);
+        assert!(c.ratio() > 20.0);
+        let out2 = d.process(m2, Cycle(0));
+        let Output::Forward(m3) = out2.into_iter().next().unwrap() else {
+            panic!("expected Forward");
+        };
+        assert_eq!(m3.payload, payload);
+    }
+
+    #[test]
+    fn engine_consumes_garbage_in_decompress_mode() {
+        let mut d = CompressEngine::new("unz", CompressMode::Decompress, 1);
+        let m = Message::builder(MessageId(1), MessageKind::Internal)
+            .payload(Bytes::from_static(&[0x90]))
+            .build();
+        assert!(matches!(d.process(m, Cycle(0))[0], Output::Consumed));
+        assert_eq!(d.errors, 1);
+    }
+
+    #[test]
+    fn service_time_uses_rate_knob() {
+        let fast = CompressEngine::new("f", CompressMode::Compress, 1);
+        let slow = CompressEngine::new("s", CompressMode::Compress, 16);
+        let m = Message::builder(MessageId(1), MessageKind::Internal)
+            .payload(Bytes::from(vec![0; 320]))
+            .build();
+        assert_eq!(fast.service_time(&m), Cycles(14));
+        assert_eq!(slow.service_time(&m), Cycles(164));
+    }
+}

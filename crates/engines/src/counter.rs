@@ -1,0 +1,182 @@
+//! The flow-counter engine: inline per-flow statistics.
+//!
+//! The cheapest possible inline offload — a counter bank updated per
+//! packet — and a useful foil in experiments: it runs at line rate, so
+//! adding it to a chain must cost exactly one mesh traversal and one
+//! cycle of service, nothing more. Real NICs use this for billing,
+//! heavy-hitter detection, and telemetry.
+
+use std::collections::HashMap;
+
+use packet::chain::EngineClass;
+use packet::headers::{EthernetHeader, Ipv4Header};
+use packet::message::{Message, MessageKind};
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{Offload, Output};
+
+/// Per-flow statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Packets counted.
+    pub packets: u64,
+    /// Frame bytes counted.
+    pub bytes: u64,
+}
+
+/// The counter engine: counts by (src ip, dst ip) pair. Bounded: when
+/// the table is full, new flows land in an overflow bucket rather than
+/// growing memory (§4.3's bounded-memory discipline applies to state,
+/// not just packet buffers).
+#[derive(Debug)]
+pub struct CounterEngine {
+    name: String,
+    flows: HashMap<(u32, u32), FlowStats>,
+    capacity: usize,
+    /// Stats for flows that didn't fit in the table.
+    pub overflow: FlowStats,
+    /// Frames that weren't parseable IPv4 (counted in aggregate only).
+    pub unparsed: u64,
+}
+
+impl CounterEngine {
+    /// A counter bank tracking up to `capacity` flows.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity: usize) -> CounterEngine {
+        CounterEngine {
+            name: name.into(),
+            flows: HashMap::new(),
+            capacity: capacity.max(1),
+            overflow: FlowStats::default(),
+            unparsed: 0,
+        }
+    }
+
+    /// Stats for a flow, if tracked.
+    #[must_use]
+    pub fn flow(&self, src: u32, dst: u32) -> Option<FlowStats> {
+        self.flows.get(&(src, dst)).copied()
+    }
+
+    /// Number of tracked flows.
+    #[must_use]
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total packets across all tracked flows and overflow.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.flows.values().map(|s| s.packets).sum::<u64>() + self.overflow.packets
+    }
+}
+
+impl Offload for CounterEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Asic
+    }
+
+    fn service_time(&self, _msg: &Message) -> Cycles {
+        Cycles(1) // one read-modify-write
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        if msg.kind == MessageKind::EthernetFrame {
+            let parsed = EthernetHeader::parse(&msg.payload)
+                .ok()
+                .and_then(|(_, n1)| Ipv4Header::parse(&msg.payload[n1..]).ok());
+            match parsed {
+                Some((ip, _)) => {
+                    let key = (ip.src.as_u32(), ip.dst.as_u32());
+                    let slot = if self.flows.contains_key(&key) || self.flows.len() < self.capacity
+                    {
+                        self.flows.entry(key).or_default()
+                    } else {
+                        &mut self.overflow
+                    };
+                    slot.packets += 1;
+                    slot.bytes += msg.payload.len() as u64;
+                }
+                None => self.unparsed += 1,
+            }
+        }
+        vec![Output::Forward(msg)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::message::MessageId;
+    use workloads::frames::FrameFactory;
+
+    fn frame_msg(id: u64, flow: u16) -> Message {
+        let mut f = FrameFactory::for_nic_port(0);
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(f.min_frame(flow, 80))
+            .build()
+    }
+
+    #[test]
+    fn counts_per_flow() {
+        let mut c = CounterEngine::new("ctr", 16);
+        for i in 0..5 {
+            let out = c.process(frame_msg(i, 1), Cycle(0));
+            assert!(matches!(out[0], Output::Forward(_)));
+        }
+        for i in 0..3 {
+            let _ = c.process(frame_msg(10 + i, 2), Cycle(0));
+        }
+        let src1 = FrameFactory::lan_client_ip(1).as_u32();
+        let src2 = FrameFactory::lan_client_ip(2).as_u32();
+        let dst = packet::headers::Ipv4Addr::new(10, 1, 0, 0).as_u32();
+        assert_eq!(c.flow(src1, dst).unwrap().packets, 5);
+        assert_eq!(c.flow(src1, dst).unwrap().bytes, 320);
+        assert_eq!(c.flow(src2, dst).unwrap().packets, 3);
+        assert_eq!(c.tracked_flows(), 2);
+        assert_eq!(c.total_packets(), 8);
+    }
+
+    #[test]
+    fn overflow_bucket_bounds_state() {
+        let mut c = CounterEngine::new("ctr", 2);
+        for flow in 0..5u16 {
+            let _ = c.process(frame_msg(u64::from(flow), flow), Cycle(0));
+        }
+        assert_eq!(c.tracked_flows(), 2);
+        assert_eq!(c.overflow.packets, 3);
+        assert_eq!(c.total_packets(), 5);
+    }
+
+    #[test]
+    fn non_ip_counted_as_unparsed_but_forwarded() {
+        let mut c = CounterEngine::new("ctr", 4);
+        let m = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(bytes::Bytes::from_static(b"short"))
+            .build();
+        let out = c.process(m, Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert_eq!(c.unparsed, 1);
+    }
+
+    #[test]
+    fn control_messages_ignored() {
+        let mut c = CounterEngine::new("ctr", 4);
+        let m = Message::builder(MessageId(1), MessageKind::DmaRead).build();
+        let out = c.process(m, Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert_eq!(c.total_packets(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! The firewall / DPI engine.
+//!
+//! A stateful content-inspection offload of the kind regular-expression
+//! engines provide on smart NICs (§1 lists "regular expression engines"
+//! among useful offloads). Matching is multi-pattern substring search;
+//! service time scales with payload length, making this another engine
+//! that cannot promise line rate — and therefore another client of the
+//! logical scheduler.
+
+use packet::chain::EngineClass;
+use packet::message::{Message, MessageKind};
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{Offload, Output};
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchAction {
+    /// Drop matching packets (blocklist).
+    Drop,
+    /// Count matches but forward (monitor mode).
+    Count,
+}
+
+/// The DPI engine.
+#[derive(Debug)]
+pub struct FirewallEngine {
+    name: String,
+    patterns: Vec<Vec<u8>>,
+    action: MatchAction,
+    /// Packets inspected.
+    pub inspected: u64,
+    /// Packets that matched a pattern.
+    pub matched: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+}
+
+impl FirewallEngine {
+    /// Builds a DPI engine with byte `patterns` to search for.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        patterns: Vec<Vec<u8>>,
+        action: MatchAction,
+    ) -> FirewallEngine {
+        FirewallEngine {
+            name: name.into(),
+            patterns,
+            action,
+            inspected: 0,
+            matched: 0,
+            dropped: 0,
+        }
+    }
+
+    fn matches(&self, data: &[u8]) -> bool {
+        self.patterns.iter().any(|p| {
+            !p.is_empty() && data.windows(p.len()).any(|w| w == &p[..])
+        })
+    }
+}
+
+impl Offload for FirewallEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Fpga
+    }
+
+    fn service_time(&self, msg: &Message) -> Cycles {
+        // One cycle per 16 bytes scanned per pattern group of 4:
+        // a DFA scanner processes a fixed stride per cycle.
+        let strides = (msg.payload.len() as u64).div_ceil(16);
+        let groups = (self.patterns.len() as u64).div_ceil(4).max(1);
+        Cycles(2 + strides * groups)
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        if msg.kind != MessageKind::EthernetFrame {
+            return vec![Output::Forward(msg)];
+        }
+        self.inspected += 1;
+        if self.matches(&msg.payload) {
+            self.matched += 1;
+            match self.action {
+                MatchAction::Drop => {
+                    self.dropped += 1;
+                    vec![Output::Consumed]
+                }
+                MatchAction::Count => vec![Output::Forward(msg)],
+            }
+        } else {
+            vec![Output::Forward(msg)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use packet::message::MessageId;
+
+    fn msg(payload: &'static [u8]) -> Message {
+        Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(Bytes::from_static(payload))
+            .build()
+    }
+
+    #[test]
+    fn drops_on_blocklist_match() {
+        let mut fw = FirewallEngine::new(
+            "fw",
+            vec![b"attack".to_vec(), b"exploit".to_vec()],
+            MatchAction::Drop,
+        );
+        let out = fw.process(msg(b"GET /launch-attack HTTP/1.1"), Cycle(0));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(fw.matched, 1);
+        assert_eq!(fw.dropped, 1);
+
+        let out = fw.process(msg(b"GET /index.html HTTP/1.1"), Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert_eq!(fw.inspected, 2);
+        assert_eq!(fw.dropped, 1);
+    }
+
+    #[test]
+    fn count_mode_forwards_matches() {
+        let mut fw = FirewallEngine::new("ids", vec![b"probe".to_vec()], MatchAction::Count);
+        let out = fw.process(msg(b"a probe packet"), Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert_eq!(fw.matched, 1);
+        assert_eq!(fw.dropped, 0);
+    }
+
+    #[test]
+    fn match_at_boundaries() {
+        let mut fw = FirewallEngine::new("fw", vec![b"xyz".to_vec()], MatchAction::Drop);
+        assert!(matches!(fw.process(msg(b"xyzabc"), Cycle(0))[0], Output::Consumed));
+        assert!(matches!(fw.process(msg(b"abcxyz"), Cycle(0))[0], Output::Consumed));
+        assert!(matches!(fw.process(msg(b"xy"), Cycle(0))[0], Output::Forward(_)));
+    }
+
+    #[test]
+    fn empty_pattern_never_matches() {
+        let mut fw = FirewallEngine::new("fw", vec![vec![]], MatchAction::Drop);
+        assert!(matches!(fw.process(msg(b"anything"), Cycle(0))[0], Output::Forward(_)));
+    }
+
+    #[test]
+    fn service_time_scales_with_payload_and_patterns() {
+        let small = FirewallEngine::new("a", vec![b"x".to_vec()], MatchAction::Drop);
+        let many = FirewallEngine::new(
+            "b",
+            (0..16).map(|i| vec![i as u8]).collect(),
+            MatchAction::Drop,
+        );
+        let m = msg(&[0u8; 160]);
+        assert_eq!(small.service_time(&m), Cycles(12)); // 2 + 10*1
+        assert_eq!(many.service_time(&m), Cycles(42)); // 2 + 10*4
+    }
+
+    #[test]
+    fn non_frames_skip_inspection() {
+        let mut fw = FirewallEngine::new("fw", vec![b"attack".to_vec()], MatchAction::Drop);
+        let m = Message::builder(MessageId(2), MessageKind::DmaRead)
+            .payload(Bytes::from_static(b"attack"))
+            .build();
+        assert!(matches!(fw.process(m, Cycle(0))[0], Output::Forward(_)));
+        assert_eq!(fw.inspected, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The host-memory model behind the DMA engine.
+//!
+//! The paper's substrate includes a host whose memory the NIC reads
+//! and writes over PCIe. We model it as a sparse byte-addressable
+//! store plus a bump allocator, which is all the §3.2 walk-through
+//! needs: SETs append values to a log, the KVS cache records value
+//! *locations*, and RDMA replies read them back.
+
+use std::collections::HashMap;
+
+/// Sparse byte-addressable host memory, organized in 4 KiB pages.
+#[derive(Debug, Default)]
+pub struct HostMemory {
+    pages: HashMap<u64, Box<[u8; Self::PAGE]>>,
+    /// Next free address for [`HostMemory::alloc`].
+    alloc_cursor: u64,
+    /// Bytes read/written over the lifetime (traffic accounting).
+    pub bytes_read: u64,
+    /// Bytes written over the lifetime.
+    pub bytes_written: u64,
+}
+
+impl HostMemory {
+    const PAGE: usize = 4096;
+
+    /// An empty memory; allocation starts at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> HostMemory {
+        HostMemory {
+            alloc_cursor: base,
+            ..HostMemory::default()
+        }
+    }
+
+    /// Reserves `len` bytes and returns their base address.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        let addr = self.alloc_cursor;
+        self.alloc_cursor += len.max(1);
+        addr
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.bytes_written += data.len() as u64;
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = a / Self::PAGE as u64;
+            let off = (a % Self::PAGE as u64) as usize;
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; Self::PAGE]))[off] = b;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` (untouched bytes read as zero).
+    #[must_use]
+    pub fn read(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        self.bytes_read += len as u64;
+        (0..len)
+            .map(|i| {
+                let a = addr + i as u64;
+                let page = a / Self::PAGE as u64;
+                let off = (a % Self::PAGE as u64) as usize;
+                self.pages.get(&page).map_or(0, |p| p[off])
+            })
+            .collect()
+    }
+
+    /// Number of resident pages (memory-pressure reporting).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = HostMemory::new(0x1000);
+        m.write(0x1000, b"hello host");
+        assert_eq!(m.read(0x1000, 10), b"hello host");
+        assert_eq!(m.bytes_written, 10);
+        assert_eq!(m.bytes_read, 10);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mut m = HostMemory::new(0);
+        assert_eq!(m.read(0xdead_0000, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn writes_span_page_boundaries() {
+        let mut m = HostMemory::new(0);
+        let addr = 4096 - 2;
+        m.write(addr, &[1, 2, 3, 4]);
+        assert_eq!(m.read(addr, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn alloc_is_disjoint_and_monotonic() {
+        let mut m = HostMemory::new(0x10_0000);
+        let a = m.alloc(100);
+        let b = m.alloc(50);
+        let c = m.alloc(0); // zero-size still gets a unique address
+        assert_eq!(a, 0x10_0000);
+        assert_eq!(b, a + 100);
+        assert_eq!(c, b + 50);
+        let d = m.alloc(8);
+        assert_eq!(d, c + 1);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut m = HostMemory::new(0);
+        m.write(8, b"aaaa");
+        m.write(8, b"bb");
+        assert_eq!(m.read(8, 4), b"bbaa");
+    }
+}

@@ -1,0 +1,418 @@
+//! The IPSec engine: tunnel-mode ESP encrypt/decrypt.
+//!
+//! The paper's canonical "too complex for an RMT pipeline" offload
+//! (§2.3.3: "it is not possible to perform IPSec offloading with an
+//! RMT pipeline") and the driver of the two-pass pattern: an ESP
+//! packet's inner headers are invisible until decryption, so the
+//! message must revisit the heavyweight pipeline afterwards (§3.1.2).
+//!
+//! The cipher is a keyed XOR keystream with a 4-byte integrity tag —
+//! *toy-grade by design*: the architecture experiments need real,
+//! reversible byte transformation at a configurable service rate, not
+//! cryptographic strength. The tag makes wrong-key/corruption failures
+//! observable, which the failure-injection tests exercise.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use packet::chain::EngineClass;
+use packet::headers::{
+    build_esp_frame, EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr,
+};
+use packet::message::{Message, MessageKind};
+use sim_core::rng::SplitMix64;
+use sim_core::time::{Cycle, Cycles};
+use std::collections::HashMap;
+
+use crate::engine::{Offload, Output};
+
+/// A security association: key material for one SPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityAssoc {
+    /// Security Parameter Index.
+    pub spi: u32,
+    /// Key material.
+    pub key: u64,
+}
+
+/// Tunnel endpoints for encryption.
+#[derive(Debug, Clone, Copy)]
+pub struct TunnelConfig {
+    /// SA used for outbound traffic.
+    pub sa: SecurityAssoc,
+    /// Outer Ethernet source/destination.
+    pub outer_src_mac: MacAddr,
+    /// Outer destination MAC.
+    pub outer_dst_mac: MacAddr,
+    /// Outer IPv4 source.
+    pub outer_src_ip: Ipv4Addr,
+    /// Outer IPv4 destination.
+    pub outer_dst_ip: Ipv4Addr,
+}
+
+fn keystream_xor(key: u64, seq: u32, data: &[u8]) -> Vec<u8> {
+    let mut sm = SplitMix64::new(key ^ (u64::from(seq).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut out = Vec::with_capacity(data.len());
+    let mut word = 0u64;
+    for (i, &b) in data.iter().enumerate() {
+        if i % 8 == 0 {
+            word = sm.next_u64();
+        }
+        out.push(b ^ (word >> ((i % 8) * 8)) as u8);
+        // keep clippy quiet about the last partial word
+    }
+    out
+}
+
+fn integrity_tag(data: &[u8]) -> [u8; 4] {
+    // FNV-1a, truncated.
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h.to_be_bytes()
+}
+
+/// Encrypts `inner_frame` into a tunnel-mode ESP frame.
+#[must_use]
+pub fn encrypt_frame(inner_frame: &[u8], tunnel: &TunnelConfig, seq: u32) -> Bytes {
+    let mut plaintext = BytesMut::with_capacity(inner_frame.len() + 4);
+    plaintext.put_slice(inner_frame);
+    plaintext.put_slice(&integrity_tag(inner_frame));
+    let ciphertext = keystream_xor(tunnel.sa.key, seq, &plaintext);
+    build_esp_frame(
+        EthernetHeader {
+            dst: tunnel.outer_dst_mac,
+            src: tunnel.outer_src_mac,
+            ethertype: packet::headers::ethertype::IPV4,
+        },
+        Ipv4Header {
+            tos: 0,
+            total_len: 0,
+            ident: seq as u16,
+            ttl: 64,
+            protocol: 0,
+            src: tunnel.outer_src_ip,
+            dst: tunnel.outer_dst_ip,
+        },
+        EspHeader {
+            spi: tunnel.sa.spi,
+            seq,
+        },
+        &ciphertext,
+    )
+}
+
+/// Decrypts a tunnel-mode ESP frame back to its inner frame. Returns
+/// `None` on parse failure, unknown SPI, or integrity-tag mismatch.
+#[must_use]
+pub fn decrypt_frame(outer: &[u8], sas: &HashMap<u32, SecurityAssoc>) -> Option<Bytes> {
+    let (_, n1) = EthernetHeader::parse(outer).ok()?;
+    let (_, n2) = Ipv4Header::parse(&outer[n1..]).ok()?;
+    let (esp, n3) = EspHeader::parse(&outer[n1 + n2..]).ok()?;
+    let sa = sas.get(&esp.spi)?;
+    let plaintext = keystream_xor(sa.key, esp.seq, &outer[n1 + n2 + n3..]);
+    if plaintext.len() < 4 {
+        return None;
+    }
+    let (inner, tag) = plaintext.split_at(plaintext.len() - 4);
+    if integrity_tag(inner) != tag {
+        return None;
+    }
+    Some(Bytes::copy_from_slice(inner))
+}
+
+/// The IPSec engine: decrypts inbound ESP frames, encrypts everything
+/// else using the configured tunnel.
+pub struct IpsecEngine {
+    name: String,
+    sas: HashMap<u32, SecurityAssoc>,
+    tunnel: Option<TunnelConfig>,
+    tx_seq: u32,
+    /// Cycles per 32 processed bytes — the engine's (configurable)
+    /// crypto rate. 32 B/cycle ≈ 128 Gbps at 500 MHz; larger values
+    /// model a slower engine.
+    cycles_per_32b: u64,
+    /// Fixed per-packet setup cost.
+    base_cycles: u64,
+    /// Frames decrypted.
+    pub decrypted: u64,
+    /// Frames encrypted.
+    pub encrypted: u64,
+    /// Authentication / parse failures (frames consumed).
+    pub auth_failures: u64,
+}
+
+impl std::fmt::Debug for IpsecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IpsecEngine")
+            .field("name", &self.name)
+            .field("decrypted", &self.decrypted)
+            .field("encrypted", &self.encrypted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IpsecEngine {
+    /// Builds an IPSec engine. `cycles_per_32b = 1` is a line-rate
+    /// crypto block at 500 MHz/100 G; larger values model slower
+    /// engines (the HOL-blocking experiments use this knob).
+    #[must_use]
+    pub fn new(name: impl Into<String>, cycles_per_32b: u64, base_cycles: u64) -> IpsecEngine {
+        IpsecEngine {
+            name: name.into(),
+            sas: HashMap::new(),
+            tunnel: None,
+            tx_seq: 0,
+            cycles_per_32b: cycles_per_32b.max(1),
+            base_cycles,
+            decrypted: 0,
+            encrypted: 0,
+            auth_failures: 0,
+        }
+    }
+
+    /// Installs a security association for inbound decryption.
+    pub fn install_sa(&mut self, sa: SecurityAssoc) {
+        self.sas.insert(sa.spi, sa);
+    }
+
+    /// Configures the outbound tunnel (enables encryption).
+    pub fn set_tunnel(&mut self, tunnel: TunnelConfig) {
+        self.install_sa(tunnel.sa);
+        self.tunnel = Some(tunnel);
+    }
+
+    fn is_esp(frame: &[u8]) -> bool {
+        EthernetHeader::parse(frame)
+            .ok()
+            .and_then(|(_, n1)| Ipv4Header::parse(&frame[n1..]).ok())
+            .is_some_and(|(ip, _)| ip.protocol == packet::headers::ipproto::ESP)
+    }
+}
+
+impl Offload for IpsecEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Asic
+    }
+
+    fn service_time(&self, msg: &Message) -> Cycles {
+        let blocks = (msg.payload.len() as u64).div_ceil(32);
+        Cycles(self.base_cycles + blocks * self.cycles_per_32b)
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        if msg.kind != MessageKind::EthernetFrame {
+            return vec![Output::Forward(msg)];
+        }
+        if Self::is_esp(&msg.payload) {
+            match decrypt_frame(&msg.payload, &self.sas) {
+                Some(inner) => {
+                    self.decrypted += 1;
+                    let mut out = msg;
+                    out.payload = inner;
+                    // The inner headers are new to the NIC: second pass
+                    // through the heavyweight pipeline (§3.1.2).
+                    vec![Output::ToPipeline(out)]
+                }
+                None => {
+                    self.auth_failures += 1;
+                    vec![Output::Consumed]
+                }
+            }
+        } else {
+            match &self.tunnel {
+                Some(t) => {
+                    let seq = self.tx_seq;
+                    self.tx_seq += 1;
+                    let enc = encrypt_frame(&msg.payload, t, seq);
+                    self.encrypted += 1;
+                    let mut out = msg;
+                    out.payload = enc;
+                    vec![Output::Forward(out)]
+                }
+                None => {
+                    // No tunnel: a plaintext frame at a decrypt-only
+                    // engine is a policy violation.
+                    self.auth_failures += 1;
+                    vec![Output::Consumed]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::headers::{build_udp_frame, ethertype, UdpHeader};
+    use packet::message::MessageId;
+
+    fn tunnel() -> TunnelConfig {
+        TunnelConfig {
+            sa: SecurityAssoc {
+                spi: 0x1001,
+                key: 0xfeed_f00d_dead_beef,
+            },
+            outer_src_mac: MacAddr::for_port(10),
+            outer_dst_mac: MacAddr::for_port(11),
+            outer_src_ip: Ipv4Addr::new(203, 0, 113, 1),
+            outer_dst_ip: Ipv4Addr::new(198, 51, 100, 2),
+        }
+    }
+
+    fn inner_frame() -> Bytes {
+        build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 0,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            UdpHeader {
+                src_port: 1,
+                dst_port: 6379,
+                len: 0,
+                checksum: 0,
+            },
+            b"GET key",
+        )
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let t = tunnel();
+        let inner = inner_frame();
+        let outer = encrypt_frame(&inner, &t, 7);
+        // The outer frame hides the inner bytes entirely.
+        assert!(!outer
+            .windows(inner.len())
+            .any(|w| w == &inner[..]));
+        let mut sas = HashMap::new();
+        sas.insert(t.sa.spi, t.sa);
+        let back = decrypt_frame(&outer, &sas).unwrap();
+        assert_eq!(&back[..], &inner[..]);
+    }
+
+    #[test]
+    fn wrong_key_fails_integrity() {
+        let t = tunnel();
+        let outer = encrypt_frame(&inner_frame(), &t, 7);
+        let mut sas = HashMap::new();
+        sas.insert(
+            t.sa.spi,
+            SecurityAssoc {
+                spi: t.sa.spi,
+                key: 0x1234,
+            },
+        );
+        assert!(decrypt_frame(&outer, &sas).is_none());
+    }
+
+    #[test]
+    fn unknown_spi_fails() {
+        let t = tunnel();
+        let outer = encrypt_frame(&inner_frame(), &t, 7);
+        assert!(decrypt_frame(&outer, &HashMap::new()).is_none());
+    }
+
+    #[test]
+    fn corrupted_ciphertext_fails_integrity() {
+        let t = tunnel();
+        let mut outer = encrypt_frame(&inner_frame(), &t, 7).to_vec();
+        let last = outer.len() - 1;
+        outer[last] ^= 0x01;
+        let mut sas = HashMap::new();
+        sas.insert(t.sa.spi, t.sa);
+        assert!(decrypt_frame(&outer, &sas).is_none());
+    }
+
+    #[test]
+    fn engine_decrypts_and_requests_second_pass() {
+        let t = tunnel();
+        let mut e = IpsecEngine::new("ipsec", 1, 4);
+        e.install_sa(t.sa);
+        let outer = encrypt_frame(&inner_frame(), &t, 3);
+        let msg = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(outer)
+            .build();
+        let out = e.process(msg, Cycle(0));
+        match &out[0] {
+            Output::ToPipeline(m) => assert_eq!(&m.payload[..], &inner_frame()[..]),
+            other => panic!("expected ToPipeline, got {other:?}"),
+        }
+        assert_eq!(e.decrypted, 1);
+    }
+
+    #[test]
+    fn engine_encrypts_plaintext_with_tunnel() {
+        let t = tunnel();
+        let mut e = IpsecEngine::new("ipsec", 1, 4);
+        e.set_tunnel(t);
+        let msg = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(inner_frame())
+            .build();
+        let out = e.process(msg, Cycle(0));
+        match &out[0] {
+            Output::Forward(m) => {
+                assert!(IpsecEngine::is_esp(&m.payload));
+                // And it decrypts back.
+                let mut sas = HashMap::new();
+                sas.insert(t.sa.spi, t.sa);
+                assert_eq!(
+                    &decrypt_frame(&m.payload, &sas).unwrap()[..],
+                    &inner_frame()[..]
+                );
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+        assert_eq!(e.encrypted, 1);
+    }
+
+    #[test]
+    fn plaintext_without_tunnel_is_consumed() {
+        let mut e = IpsecEngine::new("ipsec", 1, 4);
+        let msg = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(inner_frame())
+            .build();
+        assert!(matches!(e.process(msg, Cycle(0))[0], Output::Consumed));
+        assert_eq!(e.auth_failures, 1);
+    }
+
+    #[test]
+    fn service_time_scales_with_size_and_rate() {
+        let fast = IpsecEngine::new("fast", 1, 4);
+        let slow = IpsecEngine::new("slow", 8, 4);
+        let msg = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(Bytes::from(vec![0u8; 320])) // 10 blocks
+            .build();
+        assert_eq!(fast.service_time(&msg), Cycles(14));
+        assert_eq!(slow.service_time(&msg), Cycles(84));
+    }
+
+    #[test]
+    fn non_frames_pass_through() {
+        let mut e = IpsecEngine::new("ipsec", 1, 4);
+        let msg = Message::builder(MessageId(1), MessageKind::DmaRead).build();
+        assert!(matches!(e.process(msg, Cycle(0))[0], Output::Forward(_)));
+    }
+}

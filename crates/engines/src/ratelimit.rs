@@ -1,0 +1,221 @@
+//! The rate-limiter engine: per-tenant token buckets.
+//!
+//! SENIC \[29\] made the case for NIC-resident rate limiting at scale;
+//! in PANIC a rate limiter is just one more engine on the mesh. Each
+//! tenant gets a token bucket refilled continuously at `rate`
+//! bytes/cycle (fixed-point) up to `burst` bytes; non-conforming
+//! packets are dropped (policing) — shaping would hold them, but a
+//! held message belongs in the scheduling queue, which the NIC can
+//! already express by routing through a slack re-ranking.
+
+use packet::chain::EngineClass;
+use packet::message::{Message, MessageKind, TenantId};
+use sim_core::time::{Cycle, Cycles};
+use std::collections::HashMap;
+
+/// Fixed-point scale for token accounting (tokens are in 1/1024 byte).
+const SCALE: u64 = 1024;
+
+use crate::engine::{Offload, Output};
+
+/// One tenant's bucket.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Scaled tokens currently available.
+    tokens: u64,
+    /// Scaled tokens added per cycle.
+    rate: u64,
+    /// Scaled cap.
+    burst: u64,
+    /// Last refill time.
+    last: Cycle,
+}
+
+impl Bucket {
+    fn refill(&mut self, now: Cycle) {
+        let dt = now.saturating_since(self.last).count();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.last = now;
+    }
+}
+
+/// The rate limiter.
+#[derive(Debug)]
+pub struct RateLimitEngine {
+    name: String,
+    buckets: HashMap<TenantId, Bucket>,
+    /// Default policy for unconfigured tenants: None = unlimited.
+    default_rate: Option<(u64, u64)>,
+    /// Conforming packets forwarded.
+    pub conformed: u64,
+    /// Packets policed (dropped).
+    pub policed: u64,
+}
+
+impl RateLimitEngine {
+    /// Builds a rate limiter. `default_rate` is `(bytes_per_kcycle,
+    /// burst_bytes)` applied to tenants without explicit configuration;
+    /// `None` leaves them unlimited.
+    #[must_use]
+    pub fn new(name: impl Into<String>, default_rate: Option<(u64, u64)>) -> RateLimitEngine {
+        RateLimitEngine {
+            name: name.into(),
+            buckets: HashMap::new(),
+            default_rate,
+            conformed: 0,
+            policed: 0,
+        }
+    }
+
+    /// Configures `tenant` to `bytes_per_kcycle` (bytes per 1000
+    /// cycles; at 500 MHz, 1 byte/kcycle = 4 Mbps) with `burst_bytes`.
+    pub fn set_rate(&mut self, tenant: TenantId, bytes_per_kcycle: u64, burst_bytes: u64) {
+        self.buckets.insert(
+            tenant,
+            Bucket {
+                tokens: burst_bytes * SCALE,
+                rate: bytes_per_kcycle * SCALE / 1000,
+                burst: burst_bytes * SCALE,
+                last: Cycle::ZERO,
+            },
+        );
+    }
+}
+
+impl Offload for RateLimitEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Asic
+    }
+
+    fn service_time(&self, _msg: &Message) -> Cycles {
+        Cycles(1)
+    }
+
+    fn process(&mut self, msg: Message, now: Cycle) -> Vec<Output> {
+        if msg.kind != MessageKind::EthernetFrame {
+            return vec![Output::Forward(msg)];
+        }
+        let bucket = match self.buckets.get_mut(&msg.tenant) {
+            Some(b) => b,
+            None => match self.default_rate {
+                Some((rate, burst)) => {
+                    self.set_rate(msg.tenant, rate, burst);
+                    self.buckets.get_mut(&msg.tenant).expect("just inserted")
+                }
+                None => {
+                    self.conformed += 1;
+                    return vec![Output::Forward(msg)];
+                }
+            },
+        };
+        bucket.refill(now);
+        let need = msg.payload.len() as u64 * SCALE;
+        if bucket.tokens >= need {
+            bucket.tokens -= need;
+            self.conformed += 1;
+            vec![Output::Forward(msg)]
+        } else {
+            self.policed += 1;
+            vec![Output::Consumed]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use packet::message::MessageId;
+
+    fn msg(id: u64, tenant: u16, size: usize) -> Message {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(Bytes::from(vec![0u8; size]))
+            .tenant(TenantId(tenant))
+            .build()
+    }
+
+    #[test]
+    fn burst_then_policed() {
+        let mut rl = RateLimitEngine::new("rl", None);
+        rl.set_rate(TenantId(1), 0, 128); // zero refill, 128B burst
+        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(0))[0], Output::Consumed));
+        assert_eq!(rl.conformed, 2);
+        assert_eq!(rl.policed, 1);
+    }
+
+    #[test]
+    fn refill_restores_conformance() {
+        let mut rl = RateLimitEngine::new("rl", None);
+        rl.set_rate(TenantId(1), 1000, 64); // 1 byte/cycle
+        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
+        // Immediately after, empty bucket: policed.
+        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(1))[0], Output::Consumed));
+        // 64 cycles later the bucket refilled 64 bytes.
+        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(66))[0], Output::Forward(_)));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut rl = RateLimitEngine::new("rl", None);
+        rl.set_rate(TenantId(1), 0, 64);
+        rl.set_rate(TenantId(2), 0, 6400);
+        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(0))[0], Output::Consumed));
+        // Tenant 2 unaffected by tenant 1's exhaustion.
+        for i in 0..10 {
+            assert!(matches!(
+                rl.process(msg(10 + i, 2, 64), Cycle(0))[0],
+                Output::Forward(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn unconfigured_tenant_unlimited_without_default() {
+        let mut rl = RateLimitEngine::new("rl", None);
+        for i in 0..100 {
+            assert!(matches!(rl.process(msg(i, 9, 1500), Cycle(0))[0], Output::Forward(_)));
+        }
+        assert_eq!(rl.policed, 0);
+    }
+
+    #[test]
+    fn default_rate_applies_to_new_tenants() {
+        let mut rl = RateLimitEngine::new("rl", Some((0, 100)));
+        assert!(matches!(rl.process(msg(1, 5, 64), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(2, 5, 64), Cycle(0))[0], Output::Consumed));
+    }
+
+    #[test]
+    fn burst_cap_limits_idle_accumulation() {
+        let mut rl = RateLimitEngine::new("rl", None);
+        rl.set_rate(TenantId(1), 1000, 128); // 1B/cycle, 128B cap
+        // Long idle: tokens cap at 128, allowing two 64B packets only.
+        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(100_000))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(100_000))[0], Output::Forward(_)));
+        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(100_000))[0], Output::Consumed));
+    }
+
+    #[test]
+    fn control_messages_bypass_policing() {
+        let mut rl = RateLimitEngine::new("rl", Some((0, 0)));
+        let m = Message::builder(MessageId(1), MessageKind::DmaRead)
+            .tenant(TenantId(5))
+            .build();
+        assert!(matches!(rl.process(m, Cycle(0))[0], Output::Forward(_)));
+    }
+}

@@ -1,0 +1,210 @@
+//! The offload taxonomy of §2.1 and Table 1.
+//!
+//! The paper classifies NIC offloads along three dimensions and then
+//! places nine prior systems in that space. Encoding the taxonomy as
+//! types (and the table as data) lets the Table 1 bench regenerate the
+//! table and lets engines in this crate declare where they sit.
+
+use std::fmt;
+
+/// Who the offload serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Beneficiary {
+    /// Application-level logic (e.g. KVS request handling).
+    Application,
+    /// Infrastructure (networking stack, hypervisor, transport).
+    Infrastructure,
+}
+
+/// Where the offload sits relative to the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Inline: on the packet's normal path through the NIC.
+    Inline,
+    /// CPU-bypass: the NIC completes the operation without the CPU.
+    CpuBypass,
+    /// Both modes, depending on the operation.
+    InlineOrBypass,
+}
+
+/// What resource the offload primarily exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Computation (transforms bytes).
+    Computation,
+    /// Memory (reads/writes host or NIC memory).
+    Memory,
+    /// Network (transport/forwarding functions).
+    Network,
+    /// Memory and network both.
+    MemoryAndNetwork,
+    /// Network and memory, varying by operation (the RDMA row).
+    NetworkOrMemory,
+}
+
+impl fmt::Display for Beneficiary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Beneficiary::Application => "Application",
+            Beneficiary::Infrastructure => "Infrastructure",
+        })
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::Inline => "Inline",
+            Placement::CpuBypass => "CPU-bypass",
+            Placement::InlineOrBypass => "Inline/CPU-bypass",
+        })
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Computation => "Computation",
+            Resource::Memory => "Memory",
+            Resource::Network => "Network",
+            Resource::MemoryAndNetwork => "Memory and Network",
+            Resource::NetworkOrMemory => "Network/Memory",
+        })
+    }
+}
+
+/// One classified offload (a row fragment of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffloadKind {
+    /// Prior system providing the offload.
+    pub project: &'static str,
+    /// Who it serves.
+    pub beneficiary: Beneficiary,
+    /// Inline vs CPU-bypass.
+    pub placement: Placement,
+    /// Resource dimension.
+    pub resource: Resource,
+}
+
+/// Table 1, row for row. Systems with two classifications (Emu) get
+/// two entries, matching the two lines in the paper's table.
+#[must_use]
+pub fn table1() -> Vec<OffloadKind> {
+    use Beneficiary::*;
+    use Placement::*;
+    use Resource::*;
+    vec![
+        OffloadKind {
+            project: "FlexNIC",
+            beneficiary: Application,
+            placement: Inline,
+            resource: Computation,
+        },
+        OffloadKind {
+            project: "Emu",
+            beneficiary: Application,
+            placement: CpuBypass,
+            resource: Memory,
+        },
+        OffloadKind {
+            project: "Emu",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "SENIC",
+            beneficiary: Infrastructure,
+            placement: Inline,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "sNICh",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "DCQCN",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "TCP Offload Engines",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "Uno",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "Azure SmartNIC",
+            beneficiary: Infrastructure,
+            placement: CpuBypass,
+            resource: Network,
+        },
+        OffloadKind {
+            project: "RDMA",
+            beneficiary: Application,
+            placement: InlineOrBypass,
+            resource: NetworkOrMemory,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_nine_systems() {
+        let rows = table1();
+        let mut projects: Vec<&str> = rows.iter().map(|r| r.project).collect();
+        projects.dedup();
+        assert_eq!(
+            projects,
+            vec![
+                "FlexNIC",
+                "Emu",
+                "SENIC",
+                "sNICh",
+                "DCQCN",
+                "TCP Offload Engines",
+                "Uno",
+                "Azure SmartNIC",
+                "RDMA"
+            ]
+        );
+        assert_eq!(rows.len(), 10); // Emu appears twice
+    }
+
+    #[test]
+    fn every_dimension_is_used() {
+        // §2.1: "most of the different possible types of offloads
+        // already exist and all different types are potentially useful."
+        let rows = table1();
+        assert!(rows.iter().any(|r| r.beneficiary == Beneficiary::Application));
+        assert!(rows
+            .iter()
+            .any(|r| r.beneficiary == Beneficiary::Infrastructure));
+        assert!(rows.iter().any(|r| r.placement == Placement::Inline));
+        assert!(rows.iter().any(|r| r.placement == Placement::CpuBypass));
+        assert!(rows.iter().any(|r| r.resource == Resource::Computation));
+        assert!(rows.iter().any(|r| r.resource == Resource::Memory));
+        assert!(rows.iter().any(|r| r.resource == Resource::Network));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Beneficiary::Application.to_string(), "Application");
+        assert_eq!(Placement::CpuBypass.to_string(), "CPU-bypass");
+        assert_eq!(Placement::InlineOrBypass.to_string(), "Inline/CPU-bypass");
+        assert_eq!(Resource::NetworkOrMemory.to_string(), "Network/Memory");
+        assert_eq!(Resource::MemoryAndNetwork.to_string(), "Memory and Network");
+    }
+}

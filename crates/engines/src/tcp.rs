@@ -1,0 +1,494 @@
+//! The TCP offload engine (TOE).
+//!
+//! Figure 3c places `TCP 1`/`TCP 2` tiles on the mesh, and Table 1
+//! lists TCP Offload Engines \[26\] among the classic CPU-bypass network
+//! offloads. This model implements the receive half of a TOE at the
+//! granularity the architecture cares about:
+//!
+//! * **connection tracking** — SYN handling creates per-flow state,
+//!   FIN/RST tears it down;
+//! * **in-order delivery** — segments advancing `rcv_nxt` are passed
+//!   along the chain (toward the DMA engine) immediately; out-of-order
+//!   segments are buffered and released in order when the gap fills;
+//! * **ACK generation** — every delivered segment produces an ACK
+//!   frame injected back through the pipeline for transmission
+//!   (delayed-ACK coalescing: one ACK per `ack_every` segments).
+//!
+//! Like every other engine, the TOE is just a tile: its service time
+//! makes it another client of the logical scheduler, and its ACKs are
+//! ordinary messages on the unified network.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use packet::chain::EngineClass;
+use packet::headers::{
+    EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader,
+};
+use packet::message::{Message, MessageKind};
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{MsgIdGen, Offload, Output};
+
+/// TCP flag bits.
+pub mod flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A connection key: (src ip, src port, dst ip, dst port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    src: u32,
+    sport: u16,
+    dst: u32,
+    dport: u16,
+}
+
+/// Per-connection receive state.
+#[derive(Debug)]
+struct Connection {
+    /// Next expected sequence number.
+    rcv_nxt: u32,
+    /// Out-of-order segments, keyed by sequence number.
+    ooo: BTreeMap<u32, Message>,
+    /// Segments delivered since the last ACK.
+    unacked: u32,
+    /// For building ACK frames: the peer's addressing.
+    peer_mac: MacAddr,
+    local_mac: MacAddr,
+    peer_ip: Ipv4Addr,
+    local_ip: Ipv4Addr,
+    peer_port: u16,
+    local_port: u16,
+}
+
+/// The TCP offload engine.
+pub struct TcpEngine {
+    name: String,
+    ids: MsgIdGen,
+    conns: HashMap<FlowKey, Connection>,
+    /// Generate one ACK per this many delivered segments.
+    ack_every: u32,
+    /// Cap on buffered out-of-order segments per connection.
+    ooo_capacity: usize,
+    /// Connections opened / closed.
+    pub opened: u64,
+    /// Connections torn down (FIN/RST).
+    pub closed: u64,
+    /// Segments delivered in order.
+    pub delivered: u64,
+    /// Segments buffered out of order (later released).
+    pub reordered: u64,
+    /// Segments dropped: no connection, bad parse, or OOO overflow.
+    pub dropped: u64,
+    /// ACK frames generated.
+    pub acks: u64,
+}
+
+impl std::fmt::Debug for TcpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpEngine")
+            .field("name", &self.name)
+            .field("connections", &self.conns.len())
+            .field("delivered", &self.delivered)
+            .finish_non_exhaustive()
+    }
+}
+
+struct ParsedSeg {
+    key: FlowKey,
+    tcp: TcpHeader,
+    eth: EthernetHeader,
+    ip: Ipv4Header,
+    payload_len: u32,
+}
+
+impl TcpEngine {
+    /// Builds a TOE. `engine_id` seeds generated-message ids.
+    #[must_use]
+    pub fn new(name: impl Into<String>, engine_id: u16, ack_every: u32) -> TcpEngine {
+        TcpEngine {
+            name: name.into(),
+            ids: MsgIdGen::for_engine(engine_id),
+            conns: HashMap::new(),
+            ack_every: ack_every.max(1),
+            ooo_capacity: 64,
+            opened: 0,
+            closed: 0,
+            delivered: 0,
+            reordered: 0,
+            dropped: 0,
+            acks: 0,
+        }
+    }
+
+    /// Open connections right now.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn parse(frame: &[u8]) -> Option<ParsedSeg> {
+        let (eth, n1) = EthernetHeader::parse(frame).ok()?;
+        let (ip, n2) = Ipv4Header::parse(&frame[n1..]).ok()?;
+        if ip.protocol != packet::headers::ipproto::TCP {
+            return None;
+        }
+        let (tcp, n3) = TcpHeader::parse(&frame[n1 + n2..]).ok()?;
+        let payload_len = (frame.len() - n1 - n2 - n3) as u32;
+        Some(ParsedSeg {
+            key: FlowKey {
+                src: ip.src.as_u32(),
+                sport: tcp.src_port,
+                dst: ip.dst.as_u32(),
+                dport: tcp.dst_port,
+            },
+            tcp,
+            eth,
+            ip,
+            payload_len,
+        })
+    }
+
+    /// Builds a pure-ACK frame back to the peer.
+    fn build_ack(conn: &Connection) -> Bytes {
+        use bytes::BytesMut;
+        let mut out = BytesMut::with_capacity(54);
+        EthernetHeader {
+            dst: conn.peer_mac,
+            src: conn.local_mac,
+            ethertype: packet::headers::ethertype::IPV4,
+        }
+        .emit(&mut out);
+        Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::SIZE + TcpHeader::SIZE) as u16,
+            ident: 0,
+            ttl: 64,
+            protocol: packet::headers::ipproto::TCP,
+            src: conn.local_ip,
+            dst: conn.peer_ip,
+        }
+        .emit(&mut out);
+        TcpHeader {
+            src_port: conn.local_port,
+            dst_port: conn.peer_port,
+            seq: 0,
+            ack: conn.rcv_nxt,
+            flags: flags::ACK,
+            window: 0xffff,
+            checksum: 0,
+        }
+        .emit(&mut out);
+        out.freeze()
+    }
+
+    /// Delivers `msg` in order and releases any now-contiguous OOO
+    /// segments. Returns the outputs (deliveries + possibly an ACK).
+    fn deliver_in_order(&mut self, key: FlowKey, msg: Message, seg_len: u32) -> Vec<Output> {
+        let mut outs = Vec::new();
+        let conn = self.conns.get_mut(&key).expect("caller checked");
+        conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg_len.max(1));
+        conn.unacked += 1;
+        self.delivered += 1;
+        outs.push(Output::Forward(msg));
+        // Release contiguous out-of-order segments.
+        loop {
+            let conn = self.conns.get_mut(&key).expect("still present");
+            let Some((&seq, _)) = conn.ooo.iter().next() else {
+                break;
+            };
+            if seq != conn.rcv_nxt {
+                break;
+            }
+            let buffered = conn.ooo.remove(&seq).expect("checked");
+            let len = Self::parse(&buffered.payload).map_or(1, |p| p.payload_len.max(1));
+            conn.rcv_nxt = conn.rcv_nxt.wrapping_add(len);
+            conn.unacked += 1;
+            self.delivered += 1;
+            outs.push(Output::Forward(buffered));
+        }
+        // Delayed ACK.
+        let conn = self.conns.get_mut(&key).expect("still present");
+        if conn.unacked >= self.ack_every {
+            conn.unacked = 0;
+            let ack_frame = Self::build_ack(conn);
+            self.acks += 1;
+            outs.push(Output::ToPipeline(
+                Message::builder(self.ids.next(), MessageKind::EthernetFrame)
+                    .payload(ack_frame)
+                    .build(),
+            ));
+        }
+        outs
+    }
+}
+
+impl Offload for TcpEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn class(&self) -> EngineClass {
+        EngineClass::Tcp
+    }
+
+    fn service_time(&self, msg: &Message) -> Cycles {
+        // Connection lookup + state update: a few cycles, plus a small
+        // per-byte cost for the reassembly buffer copy.
+        Cycles(4 + (msg.payload.len() as u64) / 128)
+    }
+
+    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+        if msg.kind != MessageKind::EthernetFrame {
+            return vec![Output::Forward(msg)];
+        }
+        let Some(seg) = Self::parse(&msg.payload) else {
+            // Not TCP: none of this engine's business.
+            return vec![Output::Forward(msg)];
+        };
+
+        if seg.tcp.flags & flags::RST != 0 {
+            if self.conns.remove(&seg.key).is_some() {
+                self.closed += 1;
+            }
+            return vec![Output::Consumed];
+        }
+        if seg.tcp.flags & flags::SYN != 0 {
+            self.conns.insert(
+                seg.key,
+                Connection {
+                    rcv_nxt: seg.tcp.seq.wrapping_add(1),
+                    ooo: BTreeMap::new(),
+                    unacked: 0,
+                    peer_mac: seg.eth.src,
+                    local_mac: seg.eth.dst,
+                    peer_ip: seg.ip.src,
+                    local_ip: seg.ip.dst,
+                    peer_port: seg.tcp.src_port,
+                    local_port: seg.tcp.dst_port,
+                },
+            );
+            self.opened += 1;
+            // SYN itself is consumed; the SYN-ACK would come from the
+            // host stack or a full TOE — out of scope for RX offload.
+            return vec![Output::Consumed];
+        }
+        let Some(conn) = self.conns.get_mut(&seg.key) else {
+            self.dropped += 1;
+            return vec![Output::Consumed];
+        };
+        if seg.tcp.flags & flags::FIN != 0 {
+            self.conns.remove(&seg.key);
+            self.closed += 1;
+            return vec![Output::Consumed];
+        }
+        if seg.payload_len == 0 {
+            // Pure ACK from the peer: nothing to deliver.
+            return vec![Output::Consumed];
+        }
+        if seg.tcp.seq == conn.rcv_nxt {
+            self.deliver_in_order(seg.key, msg, seg.payload_len)
+        } else if seg.tcp.seq.wrapping_sub(conn.rcv_nxt) < 1 << 30 {
+            // Ahead of the window: buffer out of order.
+            if conn.ooo.len() >= self.ooo_capacity {
+                self.dropped += 1;
+                return vec![Output::Consumed];
+            }
+            conn.ooo.insert(seg.tcp.seq, msg);
+            self.reordered += 1;
+            vec![]
+        } else {
+            // Duplicate / old segment.
+            self.dropped += 1;
+            vec![Output::Consumed]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{BufMut, BytesMut};
+    use packet::message::MessageId;
+
+    fn tcp_frame(seq: u32, flags_: u8, payload: &[u8]) -> Bytes {
+        let mut out = BytesMut::new();
+        EthernetHeader {
+            dst: MacAddr::for_port(0),
+            src: MacAddr::for_port(9),
+            ethertype: packet::headers::ethertype::IPV4,
+        }
+        .emit(&mut out);
+        Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::SIZE + TcpHeader::SIZE + payload.len()) as u16,
+            ident: 0,
+            ttl: 64,
+            protocol: packet::headers::ipproto::TCP,
+            src: Ipv4Addr::new(10, 0, 0, 9),
+            dst: Ipv4Addr::new(10, 1, 0, 0),
+        }
+        .emit(&mut out);
+        TcpHeader {
+            src_port: 5555,
+            dst_port: 80,
+            seq,
+            ack: 0,
+            flags: flags_,
+            window: 0xffff,
+            checksum: 0,
+        }
+        .emit(&mut out);
+        out.put_slice(payload);
+        out.freeze()
+    }
+
+    fn msg(id: u64, frame: Bytes) -> Message {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(frame)
+            .build()
+    }
+
+    fn opened_engine() -> TcpEngine {
+        let mut e = TcpEngine::new("toe", 7, 2);
+        let out = e.process(msg(0, tcp_frame(100, flags::SYN, b"")), Cycle(0));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(e.connections(), 1);
+        e
+    }
+
+    #[test]
+    fn in_order_segments_flow_through() {
+        let mut e = opened_engine();
+        // SYN consumed seq 100 -> rcv_nxt 101.
+        let out = e.process(msg(1, tcp_frame(101, flags::ACK, b"hello")), Cycle(1));
+        assert!(matches!(out[0], Output::Forward(_)));
+        let out = e.process(msg(2, tcp_frame(106, flags::ACK, b"world")), Cycle(2));
+        // Second delivery triggers the delayed ACK (ack_every = 2).
+        assert!(matches!(out[0], Output::Forward(_)));
+        assert!(matches!(out[1], Output::ToPipeline(_)));
+        assert_eq!(e.delivered, 2);
+        assert_eq!(e.acks, 1);
+    }
+
+    #[test]
+    fn out_of_order_segments_are_reassembled() {
+        let mut e = opened_engine();
+        // Send seq 106 before 101.
+        let out = e.process(msg(1, tcp_frame(106, flags::ACK, b"world")), Cycle(1));
+        assert!(out.is_empty(), "buffered, nothing forwarded");
+        assert_eq!(e.reordered, 1);
+        // The gap-filler releases both, in order.
+        let out = e.process(msg(2, tcp_frame(101, flags::ACK, b"hello")), Cycle(2));
+        let forwarded: Vec<u64> = out
+            .iter()
+            .filter_map(|o| match o {
+                Output::Forward(m) => Some(m.id.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forwarded, vec![2, 1], "in-order release: 101 then 106");
+        assert_eq!(e.delivered, 2);
+    }
+
+    #[test]
+    fn ack_frame_is_well_formed_and_addressed_to_peer() {
+        let mut e = TcpEngine::new("toe", 7, 1); // ACK every segment
+        let _ = e.process(msg(0, tcp_frame(100, flags::SYN, b"")), Cycle(0));
+        let out = e.process(msg(1, tcp_frame(101, flags::ACK, b"data")), Cycle(1));
+        let ack = out
+            .iter()
+            .find_map(|o| match o {
+                Output::ToPipeline(m) => Some(m.payload.clone()),
+                _ => None,
+            })
+            .expect("ACK generated");
+        let (eth, n1) = EthernetHeader::parse(&ack).unwrap();
+        assert_eq!(eth.dst, MacAddr::for_port(9)); // back to peer
+        let (ip, n2) = Ipv4Header::parse(&ack[n1..]).unwrap();
+        assert_eq!(ip.dst, Ipv4Addr::new(10, 0, 0, 9));
+        let (tcp, _) = TcpHeader::parse(&ack[n1 + n2..]).unwrap();
+        assert_eq!(tcp.flags, flags::ACK);
+        assert_eq!(tcp.ack, 101 + 4); // past "data"
+        assert_eq!(tcp.src_port, 80);
+        assert_eq!(tcp.dst_port, 5555);
+    }
+
+    #[test]
+    fn unknown_connection_is_dropped() {
+        let mut e = TcpEngine::new("toe", 7, 2);
+        let out = e.process(msg(1, tcp_frame(500, flags::ACK, b"x")), Cycle(0));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(e.dropped, 1);
+    }
+
+    #[test]
+    fn fin_and_rst_tear_down() {
+        let mut e = opened_engine();
+        let _ = e.process(msg(1, tcp_frame(101, flags::FIN | flags::ACK, b"")), Cycle(1));
+        assert_eq!(e.connections(), 0);
+        assert_eq!(e.closed, 1);
+
+        let mut e2 = opened_engine();
+        let _ = e2.process(msg(1, tcp_frame(101, flags::RST, b"")), Cycle(1));
+        assert_eq!(e2.connections(), 0);
+    }
+
+    #[test]
+    fn duplicate_segment_is_dropped() {
+        let mut e = opened_engine();
+        let _ = e.process(msg(1, tcp_frame(101, flags::ACK, b"hello")), Cycle(1));
+        let out = e.process(msg(2, tcp_frame(101, flags::ACK, b"hello")), Cycle(2));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(e.dropped, 1);
+        assert_eq!(e.delivered, 1);
+    }
+
+    #[test]
+    fn ooo_buffer_is_bounded() {
+        let mut e = opened_engine();
+        e.ooo_capacity = 4;
+        for i in 0..10u32 {
+            // All ahead of rcv_nxt, none contiguous.
+            let _ = e.process(
+                msg(u64::from(i), tcp_frame(200 + i * 10, flags::ACK, b"x")),
+                Cycle(1),
+            );
+        }
+        assert_eq!(e.reordered, 4);
+        assert_eq!(e.dropped, 6);
+    }
+
+    #[test]
+    fn non_tcp_traffic_passes_through() {
+        let mut e = TcpEngine::new("toe", 7, 2);
+        let mut f = workloads::frames::FrameFactory::for_nic_port(0);
+        let udp = f.min_frame(1, 80);
+        let out = e.process(msg(1, udp), Cycle(0));
+        assert!(matches!(out[0], Output::Forward(_)));
+    }
+
+    #[test]
+    fn pure_ack_is_absorbed() {
+        let mut e = opened_engine();
+        let out = e.process(msg(1, tcp_frame(101, flags::ACK, b"")), Cycle(1));
+        assert!(matches!(out[0], Output::Consumed));
+        assert_eq!(e.delivered, 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! [`EngineTile`] — what turns an [`Offload`] into a PANIC tile.
+//!
+//! Figure 3a: besides the compute engine itself, a tile contains the
+//! *local lookup tables* (here: chain-cursor advance plus the default
+//! route back to the heavyweight pipeline, §3.1.2) and the *local
+//! scheduling queue* (a slack-ordered [`SchedQueue`], §3.1.3). The
+//! router is owned by the NoC; the tile talks to it through the
+//! accept/emit interface the NIC model plumbs.
+//!
+//! Backpressure contract: the tile exposes [`EngineTile::rx_ready`].
+//! When false, the NIC must stop polling the NoC ejection buffer for
+//! this tile, which in turn exhausts the router's local-port credits —
+//! pressure propagates losslessly into the mesh exactly as §3.1.2
+//! requires. Loss, when permitted, happens only in the scheduling
+//! queue's admission policy (§4.3).
+
+use packet::chain::EngineId;
+use packet::message::Message;
+use sched::admission::{Admission, AdmissionPolicy};
+use sched::queue::SchedQueue;
+use sim_core::stats::Histogram;
+use sim_core::time::{Cycle, Cycles};
+
+use crate::engine::{EgressKind, Offload, Output};
+
+/// Tile configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TileConfig {
+    /// Scheduling-queue capacity in messages.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            queue_capacity: 64,
+            admission: AdmissionPolicy::TailDrop,
+        }
+    }
+}
+
+/// A message leaving a tile, addressed for the NIC to route.
+#[derive(Debug)]
+pub enum Emit {
+    /// Send over the NoC to the next chain engine.
+    To(EngineId, Message),
+    /// Send to the heavyweight pipeline for (re)classification.
+    ToPipeline(Message),
+    /// The message left the NIC.
+    Egress(EgressKind, Message),
+    /// The message was absorbed by the offload (e.g. failed a check).
+    Consumed,
+}
+
+/// Tile counters.
+#[derive(Debug)]
+pub struct TileStats {
+    /// Messages that completed service here.
+    pub processed: u64,
+    /// Messages dropped by the scheduling queue.
+    pub dropped: u64,
+    /// Busy cycles (a message was in service).
+    pub busy_cycles: u64,
+    /// Observed service times.
+    pub service: Histogram,
+}
+
+impl TileStats {
+    fn new() -> TileStats {
+        TileStats {
+            processed: 0,
+            dropped: 0,
+            busy_cycles: 0,
+            service: Histogram::new(),
+        }
+    }
+}
+
+/// An offload wrapped with its local queue and lookup-table logic.
+pub struct EngineTile {
+    id: EngineId,
+    offload: Box<dyn Offload>,
+    queue: SchedQueue,
+    /// A message currently in service completes at this cycle.
+    in_service: Option<(Message, Cycle)>,
+    /// RX holding slot for a message the queue refused (backpressure).
+    pending: Option<Message>,
+    stats: TileStats,
+}
+
+impl std::fmt::Debug for EngineTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineTile")
+            .field("id", &self.id)
+            .field("offload", &self.offload.name())
+            .field("queue_len", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineTile {
+    /// Wraps `offload` as tile `id`.
+    #[must_use]
+    pub fn new(id: EngineId, offload: Box<dyn Offload>, config: TileConfig) -> EngineTile {
+        EngineTile {
+            id,
+            offload,
+            queue: SchedQueue::new(config.queue_capacity, config.admission),
+            in_service: None,
+            pending: None,
+            stats: TileStats::new(),
+        }
+    }
+
+    /// The tile's engine address.
+    #[must_use]
+    pub fn id(&self) -> EngineId {
+        self.id
+    }
+
+    /// Name of the wrapped offload.
+    #[must_use]
+    pub fn offload_name(&self) -> &str {
+        self.offload.name()
+    }
+
+    /// Mutable access to the wrapped offload (for configuration —
+    /// e.g. installing KVS cache entries).
+    pub fn offload_mut(&mut self) -> &mut dyn Offload {
+        self.offload.as_mut()
+    }
+
+    /// Immutable access to the wrapped offload.
+    #[must_use]
+    pub fn offload(&self) -> &dyn Offload {
+        self.offload.as_ref()
+    }
+
+    /// Typed access to the wrapped offload.
+    #[must_use]
+    pub fn offload_as<T: 'static>(&self) -> Option<&T> {
+        self.offload.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to the wrapped offload.
+    pub fn offload_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.offload.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Tile counters.
+    #[must_use]
+    pub fn stats(&self) -> &TileStats {
+        &self.stats
+    }
+
+    /// Scheduling-queue statistics.
+    #[must_use]
+    pub fn queue_stats(&self) -> &sched::queue::SchedStats {
+        self.queue.stats()
+    }
+
+    /// Current scheduling-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the tile can take another message from the network
+    /// this cycle. False propagates backpressure into the NoC.
+    #[must_use]
+    pub fn rx_ready(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Hands the tile a message from the network.
+    ///
+    /// # Panics
+    /// Panics if called while `rx_ready()` is false — the NIC must
+    /// check first; ignoring backpressure would silently drop.
+    pub fn accept(&mut self, msg: Message, now: Cycle) {
+        assert!(self.pending.is_none(), "tile {}: accept while busy", self.id);
+        match self.queue.offer(msg, now) {
+            Admission::Accepted => {}
+            Admission::Dropped { .. } => self.stats.dropped += 1,
+            Admission::Refused(m) => self.pending = Some(m),
+        }
+    }
+
+    /// True when a message is being serviced.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Advances one cycle. Returns everything the tile emits.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Emit> {
+        // Retry a refused RX message first: its slot blocks the
+        // network until the queue admits it.
+        if let Some(msg) = self.pending.take() {
+            match self.queue.offer(msg, now) {
+                Admission::Accepted => {}
+                Admission::Dropped { .. } => self.stats.dropped += 1,
+                Admission::Refused(m) => self.pending = Some(m),
+            }
+        }
+
+        let mut emits = Vec::new();
+
+        // Complete service.
+        if let Some((_, done_at)) = &self.in_service {
+            if now >= *done_at {
+                let (msg, _) = self.in_service.take().expect("checked");
+                self.stats.processed += 1;
+                for out in self.offload.process(msg, now) {
+                    emits.push(self.route_output(out));
+                }
+            }
+        }
+
+        // Start service.
+        if self.in_service.is_none() {
+            if let Some(msg) = self.queue.pop(now) {
+                let st = self.offload.service_time(&msg);
+                self.stats.service.record(st.count());
+                if st == Cycles::ZERO {
+                    // Line-rate engine: completes this cycle.
+                    self.stats.processed += 1;
+                    for out in self.offload.process(msg, now) {
+                        emits.push(self.route_output(out));
+                    }
+                } else {
+                    self.in_service = Some((msg, now + st));
+                }
+            }
+        }
+
+        if self.in_service.is_some() {
+            self.stats.busy_cycles += 1;
+        }
+        emits
+    }
+
+    /// The local lookup table: maps an offload output to a NIC-level
+    /// emission, advancing the chain cursor for forwards and falling
+    /// back to the pipeline when the chain is exhausted (§3.1.2's
+    /// "default route back to the heavyweight RMT pipeline").
+    fn route_output(&mut self, out: Output) -> Emit {
+        match out {
+            Output::Forward(mut msg) => match msg.chain.advance() {
+                Some(hop) => Emit::To(hop.engine, msg),
+                None => Emit::ToPipeline(msg),
+            },
+            Output::ForwardTo(dest, msg) => Emit::To(dest, msg),
+            Output::ToPipeline(msg) => Emit::ToPipeline(msg),
+            Output::Egress(kind, msg) => Emit::Egress(kind, msg),
+            Output::Consumed => Emit::Consumed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullOffload;
+    use bytes::Bytes;
+    use packet::chain::{ChainHeader, EngineClass, Slack};
+    use packet::message::{MessageId, MessageKind};
+
+    fn tile(service: u64) -> EngineTile {
+        EngineTile::new(
+            EngineId(5),
+            Box::new(NullOffload::new("null", EngineClass::Asic, Cycles(service))),
+            TileConfig::default(),
+        )
+    }
+
+    fn msg_with_chain(id: u64, chain: &[u16], slack: Slack) -> Message {
+        let engines: Vec<EngineId> = chain.iter().map(|&e| EngineId(e)).collect();
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(Bytes::from_static(&[0u8; 32]))
+            .chain(ChainHeader::uniform(&engines, slack).unwrap())
+            .build()
+    }
+
+    #[test]
+    fn forwards_to_next_chain_hop() {
+        let mut t = tile(0);
+        // Chain [5, 9]: tile 5 is current; after processing, go to 9.
+        t.accept(msg_with_chain(1, &[5, 9], Slack(10)), Cycle(0));
+        let emits = t.tick(Cycle(0));
+        assert_eq!(emits.len(), 1);
+        match &emits[0] {
+            Emit::To(dest, m) => {
+                assert_eq!(*dest, EngineId(9));
+                assert_eq!(m.id, MessageId(1));
+                assert_eq!(m.next_engine(), Some(EngineId(9)));
+            }
+            other => panic!("expected To, got {other:?}"),
+        }
+        assert_eq!(t.stats().processed, 1);
+    }
+
+    #[test]
+    fn exhausted_chain_falls_back_to_pipeline() {
+        let mut t = tile(0);
+        t.accept(msg_with_chain(1, &[5], Slack(10)), Cycle(0));
+        let emits = t.tick(Cycle(0));
+        assert!(matches!(emits[0], Emit::ToPipeline(_)));
+    }
+
+    #[test]
+    fn service_time_delays_completion() {
+        let mut t = tile(4);
+        t.accept(msg_with_chain(1, &[5, 9], Slack(10)), Cycle(0));
+        assert!(t.tick(Cycle(0)).is_empty()); // starts service
+        assert!(t.is_busy());
+        assert!(t.tick(Cycle(1)).is_empty());
+        assert!(t.tick(Cycle(2)).is_empty());
+        assert!(t.tick(Cycle(3)).is_empty());
+        let emits = t.tick(Cycle(4));
+        assert_eq!(emits.len(), 1);
+        assert!(!t.is_busy() || t.queue_depth() > 0);
+        assert_eq!(t.stats().busy_cycles, 4);
+    }
+
+    #[test]
+    fn slack_order_at_the_tile() {
+        let mut t = tile(100);
+        // Busy the engine with a bulk message, then queue another bulk
+        // and an urgent one. The urgent one must be served next.
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        let _ = t.tick(Cycle(0)); // 1 enters service
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(1));
+        let _ = t.tick(Cycle(1));
+        t.accept(msg_with_chain(3, &[5], Slack(5)), Cycle(2));
+        // Run to completion of msg 1 at cycle 100 and the next pop.
+        let mut order = Vec::new();
+        for c in 2..400u64 {
+            for e in t.tick(Cycle(c)) {
+                if let Emit::ToPipeline(m) = e {
+                    order.push(m.id.0);
+                }
+            }
+        }
+        assert_eq!(order, vec![1, 3, 2], "urgent message bypassed bulk");
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let cfg = TileConfig {
+            queue_capacity: 2,
+            admission: AdmissionPolicy::TailDrop,
+        };
+        let mut t = EngineTile::new(
+            EngineId(5),
+            Box::new(NullOffload::new("slow", EngineClass::Asic, Cycles(1000))),
+            cfg,
+        );
+        for i in 0..5 {
+            t.accept(msg_with_chain(i, &[5], Slack::BULK), Cycle(0));
+        }
+        // One may have entered service... no tick yet, so all 5 offered
+        // to a 2-deep queue: 3 drops.
+        assert_eq!(t.stats().dropped, 3);
+        assert_eq!(t.queue_depth(), 2);
+    }
+
+    #[test]
+    fn backpressure_holds_message_and_blocks_rx() {
+        let cfg = TileConfig {
+            queue_capacity: 1,
+            admission: AdmissionPolicy::Backpressure,
+        };
+        let mut t = EngineTile::new(
+            EngineId(5),
+            Box::new(NullOffload::new("slow", EngineClass::Dma, Cycles(1000))),
+            cfg,
+        );
+        assert!(t.rx_ready());
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        assert!(t.rx_ready()); // queued fine
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(0));
+        assert!(!t.rx_ready(), "second message parked in pending");
+        // Tick: msg 1 enters service, freeing a queue slot; pending
+        // drains into the queue.
+        let _ = t.tick(Cycle(0));
+        let _ = t.tick(Cycle(1));
+        assert!(t.rx_ready());
+        assert_eq!(t.stats().dropped, 0, "lossless under backpressure");
+    }
+
+    #[test]
+    #[should_panic(expected = "accept while busy")]
+    fn accept_past_backpressure_panics() {
+        let cfg = TileConfig {
+            queue_capacity: 1,
+            admission: AdmissionPolicy::Backpressure,
+        };
+        let mut t = EngineTile::new(
+            EngineId(5),
+            Box::new(NullOffload::new("slow", EngineClass::Dma, Cycles(1000))),
+            cfg,
+        );
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(0));
+        t.accept(msg_with_chain(3, &[5], Slack::BULK), Cycle(0));
+    }
+
+    #[test]
+    fn zero_service_is_one_message_per_cycle() {
+        let mut t = tile(0);
+        for i in 0..3 {
+            t.accept(msg_with_chain(i, &[5, 9], Slack(10)), Cycle(0));
+        }
+        // Even at zero service time, one pop per tick.
+        assert_eq!(t.tick(Cycle(0)).len(), 1);
+        assert_eq!(t.tick(Cycle(1)).len(), 1);
+        assert_eq!(t.tick(Cycle(2)).len(), 1);
+        assert_eq!(t.tick(Cycle(3)).len(), 0);
+    }
+
+    #[test]
+    fn debug_and_accessors() {
+        let t = tile(1);
+        assert_eq!(t.id(), EngineId(5));
+        assert_eq!(t.offload_name(), "null");
+        assert_eq!(t.offload().class(), EngineClass::Asic);
+        let s = format!("{t:?}");
+        assert!(s.contains("null"), "{s}");
+        assert_eq!(t.queue_stats().accepted, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Closed-form models behind the paper's Table 2 and Table 3.
+//!
+//! Keeping these formulas in code — next to the simulator that is
+//! configured from the same numbers — means the analytic tables and the
+//! simulated cross-checks can never drift apart silently.
+//!
+//! ## Table 2 — packets per second at line rate
+//!
+//! A minimal Ethernet frame occupies 84 bytes of wire time: 64 B frame
+//! + 8 B preamble/SFD + 12 B inter-frame gap. One 40 Gbps direction
+//! therefore carries at most `40e9 / (84·8) ≈ 59.5 Mpps`; the paper
+//! rounds this to 60 Mpps per port-direction (and 150 Mpps at 100 Gbps)
+//! and reports RX+TX across all ports.
+//!
+//! ## Table 3 — mesh capacity and sustainable chain length
+//!
+//! For a `k×k` mesh of `b`-bit channels at frequency `f`:
+//!
+//! * channel bandwidth `c = b·f`;
+//! * **bisection bandwidth** = `2k` directed channels × `c` (cutting the
+//!   mesh down the middle severs `k` links, each carrying both ways);
+//! * **uniform-traffic capacity** (all-to-all throughput) = `4k·c` =
+//!   2× bisection: under uniform random traffic half of all traffic
+//!   crosses the bisection, so aggregate injection saturates at twice
+//!   the bisection bandwidth (Dally & Towles [10, 11]);
+//! * **sustainable chain length**: each line-rate packet consumes one
+//!   network traversal per chain hop plus a fixed number of non-offload
+//!   traversals (ingress→RMT, RMT→chain, chain→DMA/egress, and the
+//!   DMA→PCIe completion of §3.2 — 4 in total). With per-direction
+//!   offered load `L = ports × line_rate`,
+//!   `chain = capacity/L − OVERHEAD_TRAVERSALS`.
+//!
+//! This model reproduces every row of Table 3 exactly (see tests).
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::{Bandwidth, ByteSize, Freq};
+
+use crate::topology::Topology;
+
+/// Fixed non-offload network traversals charged to every packet in the
+/// chain-length model: ingress→RMT, RMT→first hop, last hop→DMA/egress,
+/// and the DMA→PCIe completion message (§3.2).
+pub const OVERHEAD_TRAVERSALS: f64 = 4.0;
+
+/// One row of Table 2: line-rate minimal-packet forwarding requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineRateRow {
+    /// Per-port line rate.
+    pub line_rate: Bandwidth,
+    /// Number of Ethernet ports.
+    pub ports: u32,
+    /// Exact min-size packets/s across all ports and both directions.
+    pub pps_exact: u64,
+    /// The paper's rounded figure (60/150 Mpps per port-direction).
+    pub pps_paper: u64,
+}
+
+/// Wire occupancy of a minimal Ethernet frame: 64 B + 20 B overhead.
+#[must_use]
+pub fn min_frame_wire_bytes() -> ByteSize {
+    ByteSize::MIN_ETHERNET_FRAME + ByteSize::ETHERNET_WIRE_OVERHEAD
+}
+
+/// Exact minimal-packet rate for one direction of one port.
+#[must_use]
+pub fn min_packet_rate_per_direction(line_rate: Bandwidth) -> u64 {
+    line_rate.packets_per_second(min_frame_wire_bytes().get())
+}
+
+/// Computes one Table 2 row: `pps` needed for RX+TX line-rate
+/// forwarding of minimal packets on `ports` ports.
+#[must_use]
+pub fn line_rate_row(line_rate: Bandwidth, ports: u32) -> LineRateRow {
+    let per_dir = min_packet_rate_per_direction(line_rate);
+    // The paper rounds 59.52→60 and 148.8→150 Mpps per port-direction.
+    let per_dir_paper = match line_rate.as_bps() {
+        40_000_000_000 => 60_000_000,
+        100_000_000_000 => 150_000_000,
+        other => {
+            // Generic rounding to the nearest 10 Mpps for non-paper rates.
+            let _ = other;
+            (per_dir + 5_000_000) / 10_000_000 * 10_000_000
+        }
+    };
+    LineRateRow {
+        line_rate,
+        ports,
+        pps_exact: per_dir * u64::from(ports) * 2,
+        pps_paper: per_dir_paper * u64::from(ports) * 2,
+    }
+}
+
+/// The four configurations of Table 2, in the paper's row order.
+#[must_use]
+pub fn table2() -> Vec<LineRateRow> {
+    vec![
+        line_rate_row(Bandwidth::gbps(40), 2),
+        line_rate_row(Bandwidth::gbps(40), 4),
+        line_rate_row(Bandwidth::gbps(100), 1),
+        line_rate_row(Bandwidth::gbps(100), 2),
+    ]
+}
+
+/// RMT pipeline packet throughput: `F × P` (§4.2).
+#[must_use]
+pub fn rmt_pipeline_pps(freq: Freq, parallel_pipelines: u64) -> u64 {
+    freq.events_per_second(parallel_pipelines)
+}
+
+/// True when `pipelines` RMT pipelines at `freq` can give every RX and
+/// TX packet `passes` pipeline passes at line rate (§4.2's adequacy
+/// criterion).
+#[must_use]
+pub fn rmt_sustains_line_rate(
+    freq: Freq,
+    pipelines: u64,
+    line_rate: Bandwidth,
+    ports: u32,
+    passes_per_packet: f64,
+) -> bool {
+    let required = line_rate_row(line_rate, ports).pps_exact as f64 * passes_per_packet;
+    rmt_pipeline_pps(freq, pipelines) as f64 >= required
+}
+
+/// One row of Table 3: mesh throughput and sustainable chain length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshRow {
+    /// Per-port line rate.
+    pub line_rate: Bandwidth,
+    /// Number of Ethernet ports (the paper's rows are all ×2).
+    pub ports: u32,
+    /// Clock frequency of the on-chip network.
+    pub freq: Freq,
+    /// Channel width in bits.
+    pub bit_width: u64,
+    /// Mesh side (k of the k×k mesh).
+    pub mesh_k: u8,
+    /// Bisection bandwidth (the paper's "Bisec BW" column).
+    pub bisection_bw: Bandwidth,
+    /// Uniform-traffic all-to-all capacity (= 2 × bisection).
+    pub capacity: Bandwidth,
+    /// Sustainable average chain length (the paper's "Chain Len").
+    pub chain_len: f64,
+}
+
+/// Per-channel bandwidth for a `bit_width`-bit channel at `freq`.
+#[must_use]
+pub fn channel_bw(bit_width: u64, freq: Freq) -> Bandwidth {
+    Bandwidth::of_channel(bit_width, freq)
+}
+
+/// Bisection bandwidth of `topology` with `bit_width`-bit channels at
+/// `freq`.
+#[must_use]
+pub fn bisection_bw(topology: Topology, bit_width: u64, freq: Freq) -> Bandwidth {
+    channel_bw(bit_width, freq).scale(topology.bisection_directed_channels())
+}
+
+/// Uniform-random-traffic saturation capacity: 2 × bisection bandwidth.
+///
+/// Under uniform traffic half of all bytes cross the bisection, so the
+/// aggregate injected load saturates at twice what the bisection can
+/// carry (Dally & Towles).
+#[must_use]
+pub fn uniform_capacity(topology: Topology, bit_width: u64, freq: Freq) -> Bandwidth {
+    bisection_bw(topology, bit_width, freq).scale(2)
+}
+
+/// Sustainable average chain length for per-direction offered load
+/// `ports × line_rate`: `capacity / load − OVERHEAD_TRAVERSALS`.
+///
+/// Negative results clamp to zero — the configuration cannot even carry
+/// its overhead traversals.
+#[must_use]
+pub fn chain_length(
+    topology: Topology,
+    bit_width: u64,
+    freq: Freq,
+    line_rate: Bandwidth,
+    ports: u32,
+) -> f64 {
+    let cap = uniform_capacity(topology, bit_width, freq).as_bps() as f64;
+    let load = (line_rate.as_bps() * u64::from(ports)) as f64;
+    (cap / load - OVERHEAD_TRAVERSALS).max(0.0)
+}
+
+/// Computes one Table 3 row.
+#[must_use]
+pub fn mesh_row(
+    line_rate: Bandwidth,
+    ports: u32,
+    freq: Freq,
+    bit_width: u64,
+    mesh_k: u8,
+) -> MeshRow {
+    let topo = Topology::mesh(mesh_k, mesh_k);
+    MeshRow {
+        line_rate,
+        ports,
+        freq,
+        bit_width,
+        mesh_k,
+        bisection_bw: bisection_bw(topo, bit_width, freq),
+        capacity: uniform_capacity(topo, bit_width, freq),
+        chain_len: chain_length(topo, bit_width, freq, line_rate, ports),
+    }
+}
+
+/// The four configurations of Table 3, in the paper's row order.
+#[must_use]
+pub fn table3() -> Vec<MeshRow> {
+    let f = Freq::mhz(500);
+    vec![
+        mesh_row(Bandwidth::gbps(40), 2, f, 64, 6),
+        mesh_row(Bandwidth::gbps(40), 2, f, 64, 8),
+        mesh_row(Bandwidth::gbps(100), 2, f, 128, 6),
+        mesh_row(Bandwidth::gbps(100), 2, f, 128, 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2();
+        let paper_pps = [240_000_000u64, 480_000_000, 300_000_000, 600_000_000];
+        for (row, &want) in rows.iter().zip(&paper_pps) {
+            assert_eq!(row.pps_paper, want, "row {row:?}");
+            // Exact figures are within 1.5% of the rounded ones.
+            let err = (row.pps_exact as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.015, "row {row:?} exact diverges {err}");
+        }
+        // Spot-check an exact value: 40G -> 59,523,809 pps/direction.
+        assert_eq!(rows[0].pps_exact, 59_523_809 * 4);
+    }
+
+    #[test]
+    fn rmt_throughput_claims_of_s42() {
+        let f = Freq::mhz(500);
+        // "Two 500MHz pipelines can process packets at a rate of 1000Mpps."
+        assert_eq!(rmt_pipeline_pps(f, 2), 1_000_000_000);
+        // "With two RMT pipelines and a 500 MHz clock frequency, PANIC can
+        // forward every packet through the RMT pipeline at least once and
+        // still sustain line-rate even for a two port 100 Gbps NIC."
+        assert!(rmt_sustains_line_rate(f, 2, Bandwidth::gbps(100), 2, 1.0));
+        // "it would not be possible to send each packet to even a single
+        // offload" — i.e. two passes per packet — "given a two port
+        // 100Gbps NIC and two RMT pipelines at 500MHz."
+        assert!(!rmt_sustains_line_rate(f, 2, Bandwidth::gbps(100), 2, 2.0));
+    }
+
+    #[test]
+    fn table3_bisection_matches_paper() {
+        let rows = table3();
+        let paper_bisec = [384u64, 512, 768, 1024];
+        for (row, &want) in rows.iter().zip(&paper_bisec) {
+            assert_eq!(
+                row.bisection_bw,
+                Bandwidth::gbps(want),
+                "bisection mismatch for k={}",
+                row.mesh_k
+            );
+        }
+    }
+
+    #[test]
+    fn table3_chain_length_matches_paper() {
+        let rows = table3();
+        let paper_chain = [5.60, 8.80, 3.68, 6.24];
+        for (row, &want) in rows.iter().zip(&paper_chain) {
+            assert!(
+                (row.chain_len - want).abs() < 1e-9,
+                "chain mismatch: k={} width={} got {} want {}",
+                row.mesh_k,
+                row.bit_width,
+                row.chain_len,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_is_twice_bisection() {
+        for row in table3() {
+            assert_eq!(row.capacity.as_bps(), row.bisection_bw.as_bps() * 2);
+        }
+    }
+
+    #[test]
+    fn chain_length_clamps_at_zero() {
+        // A tiny 2x2 mesh with narrow channels can't even carry the
+        // overhead traversals of a 2x100G load.
+        let c = chain_length(
+            Topology::mesh(2, 2),
+            32,
+            Freq::mhz(500),
+            Bandwidth::gbps(100),
+            2,
+        );
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn wider_channels_and_bigger_meshes_help() {
+        let f = Freq::mhz(500);
+        let base = chain_length(Topology::mesh6x6(), 64, f, Bandwidth::gbps(40), 2);
+        let wider = chain_length(Topology::mesh6x6(), 128, f, Bandwidth::gbps(40), 2);
+        let bigger = chain_length(Topology::mesh8x8(), 64, f, Bandwidth::gbps(40), 2);
+        assert!(wider > base);
+        assert!(bigger > base);
+    }
+
+    #[test]
+    fn generic_line_rate_rounding() {
+        // A non-paper rate still produces a sensible rounded figure.
+        let row = line_rate_row(Bandwidth::gbps(25), 1);
+        assert_eq!(row.pps_exact, 37_202_380 * 2);
+        assert_eq!(row.pps_paper, 40_000_000 * 2);
+    }
+
+    #[test]
+    fn min_frame_is_84_wire_bytes() {
+        assert_eq!(min_frame_wire_bytes().get(), 84);
+    }
+}

@@ -1,0 +1,517 @@
+//! The assembled mesh network.
+//!
+//! [`MeshNetwork`] owns one [`Router`] per tile plus per-tile source
+//! (injection) and ejection buffers, and exposes the interface engine
+//! tiles use:
+//!
+//! * [`MeshNetwork::send`] — segment a message into flits and queue it
+//!   at the source tile (the engine's TX interface);
+//! * [`MeshNetwork::poll_ejected`] — drain one flit per cycle from the
+//!   tile's ejection buffer, yielding a [`Message`] when its tail
+//!   arrives (the engine's RX interface);
+//! * [`MeshNetwork::tick`] — advance the whole network one cycle in
+//!   two phases (all routers compute, then all transfers commit).
+//!
+//! The network is lossless end to end: the only place a message can
+//! wait indefinitely is a source queue, which models the engine-side
+//! buffering the paper assigns to engines that don't run at line rate
+//! (§4.3).
+
+use std::collections::{HashMap, VecDeque};
+
+use packet::{EngineId, Flit, Message, MessageId};
+use sim_core::stats::Histogram;
+use sim_core::time::Cycle;
+
+use crate::router::{PortDir, Router, RouterConfig, StagedOutputs};
+use crate::topology::{Coord, Placement, Topology};
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Mesh shape.
+    pub topology: Topology,
+    /// Channel width in bits (Table 3 studies 64 and 128).
+    pub width_bits: u64,
+    /// Per-router buffer sizes.
+    pub router: RouterConfig,
+}
+
+impl NetworkConfig {
+    /// The paper's small reference configuration: 6×6 mesh, 64-bit
+    /// channels.
+    #[must_use]
+    pub fn panic_6x6_64b() -> NetworkConfig {
+        NetworkConfig {
+            topology: Topology::mesh6x6(),
+            width_bits: 64,
+            router: RouterConfig::default(),
+        }
+    }
+
+    /// The larger Table 3 configuration: 8×8 mesh, 128-bit channels.
+    #[must_use]
+    pub fn panic_8x8_128b() -> NetworkConfig {
+        NetworkConfig {
+            topology: Topology::mesh8x8(),
+            width_bits: 128,
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug)]
+pub struct NetworkStats {
+    /// Messages accepted by `send`.
+    pub injected_messages: u64,
+    /// Messages fully delivered (tail flit handed to the tile).
+    pub delivered_messages: u64,
+    /// Flits delivered to ejection buffers.
+    pub delivered_flits: u64,
+    /// Network latency (send → tail ejected), in cycles.
+    pub latency: Histogram,
+}
+
+impl NetworkStats {
+    fn new() -> NetworkStats {
+        NetworkStats {
+            injected_messages: 0,
+            delivered_messages: 0,
+            delivered_flits: 0,
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// The mesh network of routers.
+#[derive(Debug)]
+pub struct MeshNetwork {
+    config: NetworkConfig,
+    placement: Placement,
+    routers: Vec<Router>,
+    /// Per-tile source (injection) queues. Unbounded: they model the
+    /// sending engine's own buffering; occupancy is observable so
+    /// experiments can detect source-queue growth (= saturation).
+    source: Vec<VecDeque<Flit>>,
+    /// Per-tile ejection buffers, bounded in practice by Local credits.
+    ejection: Vec<VecDeque<Flit>>,
+    /// Send timestamps for in-flight messages (for latency accounting).
+    in_flight: HashMap<MessageId, Cycle>,
+    stats: NetworkStats,
+}
+
+impl MeshNetwork {
+    /// Builds the network. `placement` must place every engine that
+    /// will ever be addressed; tiles without engines simply route
+    /// through.
+    #[must_use]
+    pub fn new(config: NetworkConfig, placement: Placement) -> MeshNetwork {
+        let routers = config
+            .topology
+            .coords()
+            .map(|c| Router::new(c, config.topology, config.router))
+            .collect();
+        let n = config.topology.nodes();
+        MeshNetwork {
+            config,
+            placement,
+            routers,
+            source: (0..n).map(|_| VecDeque::new()).collect(),
+            ejection: (0..n).map(|_| VecDeque::new()).collect(),
+            in_flight: HashMap::new(),
+            stats: NetworkStats::new(),
+        }
+    }
+
+    /// The network's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The engine placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Traffic statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    fn tile_of(&self, engine: EngineId) -> usize {
+        let coord = self
+            .placement
+            .coord_of(engine)
+            .unwrap_or_else(|| panic!("engine {engine} not placed"));
+        self.config.topology.index(coord)
+    }
+
+    /// Queues `msg` for transmission from `from` toward
+    /// `msg.next_engine()` (or `to` explicitly). Segments into flits at
+    /// the configured channel width.
+    ///
+    /// # Panics
+    /// Panics if either engine is not placed.
+    pub fn send(&mut self, from: EngineId, to: EngineId, msg: Message, now: Cycle) {
+        let tile = self.tile_of(from);
+        // Destination must be resolvable at send time; `tile_of` panics
+        // on unplaced destinations when routing, so check here where
+        // the error is attributable to the sender.
+        let _ = self.tile_of(to);
+        self.in_flight.insert(msg.id, now);
+        self.stats.injected_messages += 1;
+        for flit in Flit::segment(msg, to, self.config.width_bits) {
+            self.source[tile].push_back(flit);
+        }
+    }
+
+    /// Flits waiting in `engine`'s source queue (growth here means the
+    /// network is saturated for this sender).
+    #[must_use]
+    pub fn source_depth(&self, engine: EngineId) -> usize {
+        self.source[self.tile_of(engine)].len()
+    }
+
+    /// Flits waiting in `engine`'s ejection buffer.
+    #[must_use]
+    pub fn ejection_depth(&self, engine: EngineId) -> usize {
+        self.ejection[self.tile_of(engine)].len()
+    }
+
+    /// Drains one flit from `engine`'s ejection buffer (the tile's
+    /// one-flit-per-cycle RX interface). Returns the assembled message
+    /// when the drained flit is a tail.
+    pub fn poll_ejected(&mut self, engine: EngineId, now: Cycle) -> Option<Message> {
+        let tile = self.tile_of(engine);
+        let flit = self.ejection[tile].pop_front()?;
+        self.routers[tile].refill_credit(PortDir::Local);
+        if flit.kind.is_tail() {
+            let msg = flit.into_message();
+            if let Some(sent) = self.in_flight.remove(&msg.id) {
+                self.stats.latency.record(now.since(sent).count());
+            }
+            self.stats.delivered_messages += 1;
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
+    /// Drains everything already in `engine`'s ejection buffer,
+    /// ignoring the per-cycle RX limit. Test/measurement helper — NIC
+    /// models must use [`Self::poll_ejected`].
+    pub fn drain_ejected(&mut self, engine: EngineId, now: Cycle) -> Vec<Message> {
+        let mut out = Vec::new();
+        while self.ejection_depth(engine) > 0 {
+            if let Some(m) = self.poll_ejected(engine, now) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Advances the network one cycle.
+    pub fn tick(&mut self, _now: Cycle) {
+        let n = self.routers.len();
+        let topo = self.config.topology;
+
+        // Injection: each tile's Local input accepts at most one flit
+        // per cycle from the source queue (the local channel is one
+        // flit wide, like every other channel).
+        for tile in 0..n {
+            if !self.source[tile].is_empty() && self.routers[tile].input_space(PortDir::Local) > 0
+            {
+                let flit = self.source[tile].pop_front().expect("non-empty");
+                self.routers[tile].accept(PortDir::Local, flit);
+            }
+        }
+
+        // Phase 1: all routers allocate and stage.
+        let staged: Vec<StagedOutputs> = self
+            .routers
+            .iter_mut()
+            .map(|r| r.compute(topo, &self.placement))
+            .collect();
+
+        // Phase 2: commit all transfers.
+        for (tile, out) in staged.into_iter().enumerate() {
+            let coord = topo.coord(tile);
+            let StagedOutputs { flits, credits } = out;
+            // Credit returns to upstream routers (Local input drains
+            // come from the source queue, which is not credited).
+            for (p, &drained) in credits.iter().enumerate() {
+                let port = PortDir::ALL[p];
+                if drained && port != PortDir::Local {
+                    let dir = port.direction().expect("non-local");
+                    let up = topo
+                        .neighbor(coord, dir)
+                        .expect("credit from a port with no link");
+                    let up_idx = topo.index(up);
+                    self.routers[up_idx].refill_credit(port.opposite());
+                }
+            }
+            // Flit transfers.
+            for (p, slot) in flits.into_iter().enumerate() {
+                let Some(flit) = slot else { continue };
+                let port = PortDir::ALL[p];
+                if port == PortDir::Local {
+                    self.stats.delivered_flits += 1;
+                    self.ejection[tile].push_back(flit);
+                } else {
+                    let dir = port.direction().expect("non-local");
+                    let down = topo
+                        .neighbor(coord, dir)
+                        .expect("staged flit toward a missing link");
+                    let down_idx = topo.index(down);
+                    self.routers[down_idx].accept(port.opposite(), flit);
+                }
+            }
+        }
+    }
+
+    /// True when no flit is anywhere in the network (sources, router
+    /// buffers, or ejection buffers).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.source.iter().all(VecDeque::is_empty)
+            && self.ejection.iter().all(VecDeque::is_empty)
+            && self.routers.iter().all(|r| r.buffered_flits() == 0)
+    }
+
+    /// Total flits forwarded by all routers (≈ flit-hops).
+    #[must_use]
+    pub fn total_flit_hops(&self) -> u64 {
+        self.routers.iter().map(Router::flits_forwarded).sum()
+    }
+
+    /// Coordinate of `engine`'s tile.
+    #[must_use]
+    pub fn coord_of(&self, engine: EngineId) -> Coord {
+        self.placement.coord_of(engine).expect("engine placed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use packet::{MessageBuilder, MessageKind};
+    use sim_core::rng::SimRng;
+
+    fn msg(id: u64, payload: usize) -> Message {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(Bytes::from(vec![0xAB; payload]))
+            .build()
+    }
+
+    #[allow(dead_code)]
+    fn builder_sanity(b: MessageBuilder) -> Message {
+        b.build()
+    }
+
+    fn net_3x3() -> MeshNetwork {
+        let topo = Topology::mesh(3, 3);
+        let cfg = NetworkConfig {
+            topology: topo,
+            width_bits: 64,
+            router: RouterConfig::default(),
+        };
+        MeshNetwork::new(cfg, Placement::row_major(topo))
+    }
+
+    fn run(net: &mut MeshNetwork, from: Cycle, cycles: u64) -> Cycle {
+        let mut now = from;
+        for _ in 0..cycles {
+            net.tick(now);
+            now = now.next();
+        }
+        now
+    }
+
+    #[test]
+    fn single_message_crosses_the_mesh() {
+        let mut net = net_3x3();
+        // Engine 0 at (0,0) sends 64B to engine 8 at (2,2): 4 hops.
+        net.send(EngineId(0), EngineId(8), msg(1, 64), Cycle(0));
+        let mut now = Cycle(0);
+        let mut got = None;
+        for _ in 0..200 {
+            net.tick(now);
+            now = now.next();
+            if let Some(m) = net.poll_ejected(EngineId(8), now) {
+                got = Some(m);
+                break;
+            }
+        }
+        let m = got.expect("message delivered");
+        assert_eq!(m.id, MessageId(1));
+        assert_eq!(m.payload.len(), 64);
+        assert_eq!(net.stats().delivered_messages, 1);
+        assert_eq!(net.stats().injected_messages, 1);
+        // 9 flits, 4 hops + ejection: serialization dominates. The tail
+        // leaves the source after 9 injection cycles, then needs ~5 more
+        // to arrive: latency must be at least flits + distance.
+        let lat = net.stats().latency.max();
+        assert!(lat >= 13, "latency {lat} too small to be physical");
+        assert!(lat <= 40, "latency {lat} unexpectedly large");
+    }
+
+    #[test]
+    fn message_to_self_tile_loops_through_local_port() {
+        let mut net = net_3x3();
+        net.send(EngineId(4), EngineId(4), msg(7, 16), Cycle(0));
+        let mut now = Cycle(0);
+        for _ in 0..50 {
+            net.tick(now);
+            now = now.next();
+            if let Some(m) = net.poll_ejected(EngineId(4), now) {
+                assert_eq!(m.id, MessageId(7));
+                return;
+            }
+        }
+        panic!("self-addressed message never delivered");
+    }
+
+    #[test]
+    fn many_messages_all_arrive_exactly_once() {
+        let mut net = net_3x3();
+        let mut rng = SimRng::new(42);
+        let mut sent = 0u64;
+        let mut now = Cycle(0);
+        let mut received: Vec<u64> = Vec::new();
+        // Inject 60 random unicasts over 300 cycles, draining as we go.
+        for step in 0..2000u64 {
+            if step < 300 && step % 5 == 0 {
+                let from = EngineId(rng.gen_range(9) as u16);
+                let to = EngineId(rng.gen_range(9) as u16);
+                net.send(from, to, msg(1000 + sent, 64), now);
+                sent += 1;
+            }
+            net.tick(now);
+            now = now.next();
+            for e in 0..9u16 {
+                if let Some(m) = net.poll_ejected(EngineId(e), now) {
+                    received.push(m.id.0);
+                }
+            }
+            if received.len() as u64 == sent && step > 300 {
+                break;
+            }
+        }
+        assert_eq!(received.len() as u64, sent, "lossless delivery");
+        received.sort_unstable();
+        received.dedup();
+        assert_eq!(received.len() as u64, sent, "no duplicates");
+        assert!(net.is_quiescent(), "network drained");
+    }
+
+    #[test]
+    fn congestion_backpressures_into_source_queue_without_loss() {
+        let mut net = net_3x3();
+        // Everyone blasts engine 8: its single ejection port (1 flit
+        // per cycle) is the bottleneck. Nothing may be lost.
+        let mut now = Cycle(0);
+        let mut sent = 0u64;
+        for burst in 0..40u64 {
+            for e in 0..8u16 {
+                net.send(EngineId(e), EngineId(8), msg(burst * 100 + u64::from(e), 64), now);
+                sent += 1;
+            }
+        }
+        let mut received = 0u64;
+        for _ in 0..40_000 {
+            net.tick(now);
+            now = now.next();
+            if net.poll_ejected(EngineId(8), now).is_some() {
+                received += 1;
+            }
+            if received == sent {
+                break;
+            }
+        }
+        assert_eq!(received, sent, "all messages delivered despite congestion");
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn ejection_is_one_flit_per_cycle() {
+        let mut net = net_3x3();
+        // Two 64B messages to engine 8 take 18 flits; receiving all of
+        // them requires at least 18 poll cycles.
+        net.send(EngineId(0), EngineId(8), msg(1, 64), Cycle(0));
+        net.send(EngineId(1), EngineId(8), msg(2, 64), Cycle(0));
+        let mut now = Cycle(0);
+        let mut deliveries = 0;
+        let mut polls = 0u64;
+        while deliveries < 2 && polls < 1000 {
+            net.tick(now);
+            now = now.next();
+            polls += 1;
+            if net.poll_ejected(EngineId(8), now).is_some() {
+                deliveries += 1;
+            }
+        }
+        assert_eq!(deliveries, 2);
+        assert!(polls >= 18, "9-flit messages cannot eject faster than 1 flit/cycle");
+    }
+
+    #[test]
+    fn source_depth_reports_backlog() {
+        let mut net = net_3x3();
+        for i in 0..10 {
+            net.send(EngineId(0), EngineId(8), msg(i, 64), Cycle(0));
+        }
+        assert_eq!(net.source_depth(EngineId(0)), 90); // 10 msgs x 9 flits
+        run(&mut net, Cycle(0), 5);
+        assert!(net.source_depth(EngineId(0)) < 90, "injection is draining");
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        // Average delivery latency to a far corner exceeds latency to a
+        // neighbor, all else equal.
+        let mut near_net = net_3x3();
+        let mut far_net = net_3x3();
+        for i in 0..20 {
+            near_net.send(EngineId(0), EngineId(1), msg(i, 64), Cycle(0));
+            far_net.send(EngineId(0), EngineId(8), msg(i, 64), Cycle(0));
+        }
+        let mut now = Cycle(0);
+        for _ in 0..3000 {
+            near_net.tick(now);
+            far_net.tick(now);
+            now = now.next();
+            let _ = near_net.poll_ejected(EngineId(1), now);
+            let _ = far_net.poll_ejected(EngineId(8), now);
+        }
+        assert_eq!(near_net.stats().delivered_messages, 20);
+        assert_eq!(far_net.stats().delivered_messages, 20);
+        assert!(
+            far_net.stats().latency.mean() > near_net.stats().latency.mean(),
+            "far {} <= near {}",
+            far_net.stats().latency.mean(),
+            near_net.stats().latency.mean()
+        );
+    }
+
+    #[test]
+    fn drain_ejected_returns_complete_messages() {
+        let mut net = net_3x3();
+        net.send(EngineId(3), EngineId(4), msg(5, 32), Cycle(0));
+        let now = run(&mut net, Cycle(0), 30);
+        let msgs = net.drain_ejected(EngineId(4), now);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].id, MessageId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not placed")]
+    fn send_to_unplaced_engine_panics() {
+        let mut net = net_3x3();
+        net.send(EngineId(0), EngineId(99), msg(1, 8), Cycle(0));
+    }
+}

@@ -1,0 +1,478 @@
+//! The PANIC lightweight chain header.
+//!
+//! §3.1.2: "When a message is processed by the RMT pipeline, instead of
+//! only looking up the next hop, a chain of engine destinations is found
+//! and added as a lightweight message header. These addresses are then
+//! matched on at each engine without requiring an additional heavyweight
+//! pipeline traversal."
+//!
+//! The chain header is the keystone of the logical switch: it is what
+//! lets a message hop engine→engine over the on-chip network while only
+//! paying the heavyweight pipeline's latency once. It carries, per hop,
+//! the destination [`EngineId`] and the [`Slack`] budget the logical
+//! scheduler uses to order competing messages (§3.1.3).
+//!
+//! The header has a real wire encoding because it occupies real channel
+//! bytes: on-NIC bandwidth accounting (Table 3) must include it.
+
+use std::fmt;
+
+/// The on-NIC address of an engine: a tile in the on-chip network.
+///
+/// `EngineId` is a *logical* address; the NoC maps it to mesh
+/// coordinates. Keeping the two separate lets the same chain program run
+/// on any topology/placement (one of the paper's §6 open questions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EngineId(pub u16);
+
+impl fmt::Display for EngineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// Broad classes of engine, mirroring Figure 3c's tile legend. Used for
+/// placement, for reporting, and by workloads that address "any engine
+/// of class X".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineClass {
+    /// Ethernet MAC + PHY port.
+    EthernetPort,
+    /// RMT pipeline segment (heavyweight pipeline tile).
+    Rmt,
+    /// DMA engine (host memory reads/writes).
+    Dma,
+    /// PCIe engine (doorbells, interrupts).
+    Pcie,
+    /// Embedded CPU core.
+    Core,
+    /// FPGA region.
+    Fpga,
+    /// Fixed-function ASIC offload.
+    Asic,
+    /// TCP offload engine.
+    Tcp,
+    /// RDMA engine.
+    Rdma,
+}
+
+impl fmt::Display for EngineClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EngineClass::EthernetPort => "eth",
+            EngineClass::Rmt => "rmt",
+            EngineClass::Dma => "dma",
+            EngineClass::Pcie => "pcie",
+            EngineClass::Core => "core",
+            EngineClass::Fpga => "fpga",
+            EngineClass::Asic => "asic",
+            EngineClass::Tcp => "tcp",
+            EngineClass::Rdma => "rdma",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A slack budget in cycles: how long this message can afford to wait at
+/// the engine before it risks missing its end-to-end deadline.
+///
+/// Smaller slack = more urgent. Computed by the RMT pipeline (§3.1.3)
+/// and consumed by each engine's local priority queue — the
+/// Least-Slack-Time-First discipline of Mittal et al. \[25\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Slack(pub u32);
+
+impl Slack {
+    /// Effectively-infinite slack: bulk traffic that never preempts.
+    pub const BULK: Slack = Slack(u32::MAX);
+    /// Zero slack: must go next.
+    pub const URGENT: Slack = Slack(0);
+
+    /// Consumes `waited` cycles of budget, saturating at zero.
+    #[must_use]
+    pub fn spend(self, waited: u32) -> Slack {
+        if self == Slack::BULK {
+            // Bulk never becomes urgent by waiting.
+            Slack::BULK
+        } else {
+            Slack(self.0.saturating_sub(waited))
+        }
+    }
+}
+
+impl fmt::Display for Slack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Slack::BULK {
+            f.write_str("bulk")
+        } else {
+            write!(f, "{}cy", self.0)
+        }
+    }
+}
+
+/// One hop in an offload chain: destination engine plus the slack budget
+/// at that engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Which engine processes the message at this step.
+    pub engine: EngineId,
+    /// Slack budget at that engine.
+    pub slack: Slack,
+}
+
+/// The chain header: an ordered list of hops and a cursor.
+///
+/// The cursor (`next`) is advanced by each engine's local lookup table
+/// after it finishes processing; when the cursor passes the last hop the
+/// chain is complete. A chain may end with an RMT engine as its last
+/// hop — that is how "the RMT pipeline includes itself as a nexthop...so
+/// that it can generate the remainder of the chain" (§3.1.2) is encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChainHeader {
+    hops: Vec<Hop>,
+    next: usize,
+}
+
+/// Chain parse/validity errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// Decoded byte stream was shorter than its own length field claims.
+    Truncated,
+    /// A chain longer than [`ChainHeader::MAX_HOPS`] was requested.
+    TooLong,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Truncated => f.write_str("chain header truncated"),
+            ChainError::TooLong => f.write_str("chain exceeds MAX_HOPS"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl ChainHeader {
+    /// Maximum chain length. Table 3's longest sustainable average chain
+    /// is 8.80 hops; 16 gives headroom for explicit experiments beyond
+    /// the sustainable point.
+    pub const MAX_HOPS: usize = 16;
+
+    /// Bytes per encoded hop: 2 (engine) + 4 (slack).
+    pub const HOP_BYTES: usize = 6;
+    /// Fixed bytes: 1 (hop count) + 1 (cursor).
+    pub const FIXED_BYTES: usize = 2;
+
+    /// An empty chain (message goes nowhere further).
+    #[must_use]
+    pub fn empty() -> ChainHeader {
+        ChainHeader::default()
+    }
+
+    /// Builds a chain from hops.
+    ///
+    /// # Errors
+    /// [`ChainError::TooLong`] if more than [`Self::MAX_HOPS`] hops.
+    pub fn new(hops: Vec<Hop>) -> Result<ChainHeader, ChainError> {
+        if hops.len() > Self::MAX_HOPS {
+            return Err(ChainError::TooLong);
+        }
+        Ok(ChainHeader { hops, next: 0 })
+    }
+
+    /// Convenience: a chain visiting `engines` in order, all with the
+    /// same `slack`.
+    pub fn uniform(engines: &[EngineId], slack: Slack) -> Result<ChainHeader, ChainError> {
+        ChainHeader::new(
+            engines
+                .iter()
+                .map(|&engine| Hop { engine, slack })
+                .collect(),
+        )
+    }
+
+    /// The hop the message should travel to next, if any.
+    #[must_use]
+    pub fn current(&self) -> Option<Hop> {
+        self.hops.get(self.next).copied()
+    }
+
+    /// Advances the cursor past the current hop (called by the engine's
+    /// local lookup table when processing completes) and returns the new
+    /// current hop.
+    pub fn advance(&mut self) -> Option<Hop> {
+        if self.next < self.hops.len() {
+            self.next += 1;
+        }
+        self.current()
+    }
+
+    /// True when every hop has been visited.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.hops.len()
+    }
+
+    /// Hops remaining (including the current one).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.hops.len() - self.next
+    }
+
+    /// Total hops in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if the chain has no hops at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// All hops (visited and pending).
+    #[must_use]
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Appends hops produced by a later pipeline pass (the "RMT includes
+    /// itself as a nexthop" continuation pattern).
+    ///
+    /// # Errors
+    /// [`ChainError::TooLong`] if the result would exceed `MAX_HOPS`.
+    pub fn extend(&mut self, more: &[Hop]) -> Result<(), ChainError> {
+        if self.hops.len() + more.len() > Self::MAX_HOPS {
+            return Err(ChainError::TooLong);
+        }
+        self.hops.extend_from_slice(more);
+        Ok(())
+    }
+
+    /// Size of the encoded header in bytes — this is charged against
+    /// channel bandwidth when the message is flitted.
+    ///
+    /// Only *pending* hops ride the wire: each engine's local lookup
+    /// table strips its own entry as it matches (§3.1.2), so messages
+    /// shrink as they progress through their chains. Consumed hops are
+    /// retained in memory for diagnostics but cost no bandwidth.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        Self::FIXED_BYTES + self.remaining() * Self::HOP_BYTES
+    }
+
+    /// Encodes the *pending* hops to bytes (count, reserved cursor
+    /// byte, then per-hop engine + slack, all big-endian) — the wire
+    /// representation after visited entries were stripped.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.push(self.remaining() as u8);
+        out.push(0);
+        for hop in &self.hops[self.next..] {
+            out.extend_from_slice(&hop.engine.0.to_be_bytes());
+            out.extend_from_slice(&hop.slack.0.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decodes from bytes, returning the header and bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(ChainHeader, usize), ChainError> {
+        if data.len() < Self::FIXED_BYTES {
+            return Err(ChainError::Truncated);
+        }
+        let count = data[0] as usize;
+        let next = data[1] as usize;
+        if count > Self::MAX_HOPS {
+            return Err(ChainError::TooLong);
+        }
+        let need = Self::FIXED_BYTES + count * Self::HOP_BYTES;
+        if data.len() < need {
+            return Err(ChainError::Truncated);
+        }
+        let mut hops = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = Self::FIXED_BYTES + i * Self::HOP_BYTES;
+            let engine = EngineId(u16::from_be_bytes([data[off], data[off + 1]]));
+            let slack = Slack(u32::from_be_bytes([
+                data[off + 2],
+                data[off + 3],
+                data[off + 4],
+                data[off + 5],
+            ]));
+            hops.push(Hop { engine, slack });
+        }
+        Ok((
+            ChainHeader {
+                hops,
+                next: next.min(count),
+            },
+            need,
+        ))
+    }
+}
+
+impl fmt::Display for ChainHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            if i == self.next {
+                write!(f, "*")?;
+            }
+            write!(f, "{}", hop.engine)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> ChainHeader {
+        ChainHeader::new(vec![
+            Hop {
+                engine: EngineId(4),
+                slack: Slack(100),
+            },
+            Hop {
+                engine: EngineId(9),
+                slack: Slack(50),
+            },
+            Hop {
+                engine: EngineId(1),
+                slack: Slack::BULK,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cursor_walks_the_chain() {
+        let mut c = chain3();
+        assert_eq!(c.current().unwrap().engine, EngineId(4));
+        assert_eq!(c.remaining(), 3);
+        assert!(!c.is_complete());
+
+        assert_eq!(c.advance().unwrap().engine, EngineId(9));
+        assert_eq!(c.advance().unwrap().engine, EngineId(1));
+        assert_eq!(c.advance(), None);
+        assert!(c.is_complete());
+        assert_eq!(c.remaining(), 0);
+        // Advancing past the end stays complete.
+        assert_eq!(c.advance(), None);
+    }
+
+    #[test]
+    fn empty_chain_is_complete() {
+        let c = ChainHeader::empty();
+        assert!(c.is_complete());
+        assert!(c.is_empty());
+        assert_eq!(c.current(), None);
+        assert_eq!(c.wire_bytes(), 2);
+    }
+
+    #[test]
+    fn encode_strips_visited_hops() {
+        let mut c = chain3();
+        c.advance();
+        let bytes = c.encode();
+        assert_eq!(bytes.len(), c.wire_bytes());
+        assert_eq!(bytes.len(), 2 + 2 * ChainHeader::HOP_BYTES);
+        let (decoded, used) = ChainHeader::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        // The decoded header holds only the pending hops, cursor at 0.
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded.current().unwrap().engine, EngineId(9));
+        assert_eq!(decoded.hops()[1].engine, EngineId(1));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let c = chain3();
+        let bytes = c.encode();
+        assert_eq!(
+            ChainHeader::decode(&bytes[..bytes.len() - 1]),
+            Err(ChainError::Truncated)
+        );
+        assert_eq!(ChainHeader::decode(&[]), Err(ChainError::Truncated));
+        assert_eq!(ChainHeader::decode(&[1]), Err(ChainError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_count() {
+        let data = [200u8, 0];
+        assert_eq!(ChainHeader::decode(&data), Err(ChainError::TooLong));
+    }
+
+    #[test]
+    fn max_hops_enforced() {
+        let hops: Vec<Hop> = (0..17)
+            .map(|i| Hop {
+                engine: EngineId(i),
+                slack: Slack(0),
+            })
+            .collect();
+        assert_eq!(ChainHeader::new(hops), Err(ChainError::TooLong));
+    }
+
+    #[test]
+    fn extend_appends_and_respects_cap() {
+        let mut c = ChainHeader::uniform(&[EngineId(1)], Slack(10)).unwrap();
+        c.extend(&[Hop {
+            engine: EngineId(2),
+            slack: Slack(5),
+        }])
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        let too_many: Vec<Hop> = (0..16)
+            .map(|i| Hop {
+                engine: EngineId(i),
+                slack: Slack(0),
+            })
+            .collect();
+        assert_eq!(c.extend(&too_many), Err(ChainError::TooLong));
+        // Failed extend leaves the chain unchanged.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn slack_spend_saturates_and_bulk_is_sticky() {
+        assert_eq!(Slack(100).spend(30), Slack(70));
+        assert_eq!(Slack(10).spend(30), Slack(0));
+        assert_eq!(Slack::BULK.spend(u32::MAX), Slack::BULK);
+        assert_eq!(Slack::URGENT.spend(1), Slack(0));
+    }
+
+    #[test]
+    fn wire_bytes_matches_encoding_and_shrinks() {
+        for n in 0..=ChainHeader::MAX_HOPS {
+            let engines: Vec<EngineId> = (0..n as u16).map(EngineId).collect();
+            let mut c = ChainHeader::uniform(&engines, Slack(1)).unwrap();
+            assert_eq!(c.encode().len(), c.wire_bytes());
+            assert_eq!(c.wire_bytes(), 2 + 6 * n);
+            if n > 0 {
+                c.advance();
+                assert_eq!(c.wire_bytes(), 2 + 6 * (n - 1));
+                assert_eq!(c.encode().len(), c.wire_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn display_marks_cursor() {
+        let mut c = chain3();
+        c.advance();
+        let s = c.to_string();
+        assert_eq!(s, "[E4 -> *E9 -> E1]");
+        assert_eq!(Slack(5).to_string(), "5cy");
+        assert_eq!(Slack::BULK.to_string(), "bulk");
+        assert_eq!(EngineId(3).to_string(), "E3");
+        assert_eq!(EngineClass::Dma.to_string(), "dma");
+    }
+}

@@ -1,0 +1,164 @@
+//! Flit segmentation for the wormhole-routed on-chip network.
+//!
+//! On-chip channels are `width` bits wide (Table 3 evaluates 64-bit and
+//! 128-bit channels), so a message occupies `ceil(bits / width)` cycles
+//! of every link it crosses. The NoC routes *flits*: the head flit
+//! carries routing information and reserves the path; body flits
+//! follow; the tail flit releases it and, in this simulator, carries
+//! the [`Message`] object itself so ownership moves with the data.
+
+use crate::chain::EngineId;
+use crate::message::{Message, MessageId};
+
+/// Position of a flit within its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit: carries routing info, allocates the path.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit: releases the path, carries the message object.
+    Tail,
+    /// A single-flit message (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True if this flit opens a wormhole (Head or HeadTail).
+    #[must_use]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True if this flit closes a wormhole (Tail or HeadTail).
+    #[must_use]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flit on an on-chip channel.
+#[derive(Debug, Clone)]
+pub struct Flit {
+    /// Message this flit belongs to.
+    pub msg_id: MessageId,
+    /// Head/body/tail position.
+    pub kind: FlitKind,
+    /// Destination engine — the NoC maps this to a mesh coordinate.
+    /// Present on every flit so the simulator need not track per-channel
+    /// wormhole state to know where a body flit is going.
+    pub dest: EngineId,
+    /// Index of this flit within the message (0-based).
+    pub seq: u32,
+    /// Total flits in the message.
+    pub total: u32,
+    /// The message itself, carried by the tail flit only.
+    pub message: Option<Box<Message>>,
+}
+
+impl Flit {
+    /// Segments `msg` into flits for a `width_bits`-wide channel headed
+    /// to `dest`. Always produces at least one flit.
+    ///
+    /// # Panics
+    /// Panics if `width_bits` is zero.
+    #[must_use]
+    pub fn segment(msg: Message, dest: EngineId, width_bits: u64) -> Vec<Flit> {
+        let total = msg.wire_size().beats(width_bits).max(1) as u32;
+        let msg_id = msg.id;
+        let mut flits = Vec::with_capacity(total as usize);
+        for seq in 0..total {
+            let kind = match (seq, total) {
+                (0, 1) => FlitKind::HeadTail,
+                (0, _) => FlitKind::Head,
+                (s, t) if s + 1 == t => FlitKind::Tail,
+                _ => FlitKind::Body,
+            };
+            flits.push(Flit {
+                msg_id,
+                kind,
+                dest,
+                seq,
+                total,
+                message: None,
+            });
+        }
+        // The tail flit carries the message object.
+        flits
+            .last_mut()
+            .expect("at least one flit")
+            .message = Some(Box::new(msg));
+        flits
+    }
+
+    /// Extracts the message from a tail flit.
+    ///
+    /// # Panics
+    /// Panics if called on a non-tail flit — that is a protocol bug in
+    /// the router model, not a recoverable condition.
+    #[must_use]
+    pub fn into_message(self) -> Message {
+        assert!(self.kind.is_tail(), "into_message on non-tail flit");
+        *self.message.expect("tail flit must carry its message")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use bytes::Bytes;
+
+    fn msg(payload_len: usize) -> Message {
+        Message::builder(MessageId(9), MessageKind::EthernetFrame)
+            .payload(Bytes::from(vec![0u8; payload_len]))
+            .build()
+    }
+
+    #[test]
+    fn single_flit_message() {
+        // Empty chain header is 2 bytes; payload 4 bytes => 48 bits,
+        // one 64-bit flit.
+        let flits = Flit::segment(msg(4), EngineId(3), 64);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head() && flits[0].kind.is_tail());
+        assert_eq!(flits[0].dest, EngineId(3));
+        assert_eq!(flits[0].total, 1);
+        let m = flits.into_iter().next().unwrap().into_message();
+        assert_eq!(m.id, MessageId(9));
+    }
+
+    #[test]
+    fn multi_flit_structure() {
+        // 64B payload + 2B chain = 66B = 528 bits => 9 flits at 64 bits.
+        let flits = Flit::segment(msg(64), EngineId(1), 64);
+        assert_eq!(flits.len(), 9);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert!(flits[1..8].iter().all(|f| f.kind == FlitKind::Body));
+        assert_eq!(flits[8].kind, FlitKind::Tail);
+        assert!(flits[..8].iter().all(|f| f.message.is_none()));
+        assert!(flits[8].message.is_some());
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq, i as u32);
+            assert_eq!(f.total, 9);
+            assert_eq!(f.msg_id, MessageId(9));
+        }
+    }
+
+    #[test]
+    fn wider_channel_fewer_flits() {
+        let narrow = Flit::segment(msg(64), EngineId(0), 64).len();
+        let wide = Flit::segment(msg(64), EngineId(0), 128).len();
+        assert_eq!(narrow, 9);
+        assert_eq!(wide, 5); // 528 bits / 128 = 4.125 -> 5
+    }
+
+    #[test]
+    #[should_panic(expected = "non-tail flit")]
+    fn into_message_rejects_head() {
+        let flits = Flit::segment(msg(64), EngineId(0), 64);
+        let head = flits.into_iter().next().unwrap();
+        let _ = head.into_message();
+    }
+}

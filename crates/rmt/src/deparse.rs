@@ -1,0 +1,291 @@
+//! The deparser: writes modified PHV fields back to wire bytes.
+//!
+//! After the match+action stages rewrite PHV fields (TTL decrement,
+//! DSCP remark, KVS op rewrite, …) the deparser reconstructs the
+//! packet: each recognized layer is re-emitted with PHV values patched
+//! over the original header, the IPv4 checksum is recomputed, and the
+//! unparsed payload is appended untouched. Metadata fields never reach
+//! the wire.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use packet::headers::{EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader, UdpHeader};
+use packet::kvs::KvsRequest;
+use packet::phv::{Field, Phv};
+
+use crate::parse::{Layer, ParseOutcome};
+
+fn mac_from_u64(v: u64) -> MacAddr {
+    let b = v.to_be_bytes();
+    MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Re-emits `original` with `phv` values patched into every layer the
+/// parser recognized (per `outcome`). Layers the parser did not reach
+/// are copied through verbatim as payload.
+///
+/// # Panics
+/// Panics if `outcome` does not describe `original` (offsets out of
+/// range) — the pair must come from the same parse.
+#[must_use]
+pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
+    let mut out = BytesMut::with_capacity(original.len() + 8);
+    for &(layer, offset) in &outcome.layers {
+        let slice = &original[offset..];
+        match layer {
+            Layer::Ethernet => {
+                let (mut h, _) = EthernetHeader::parse(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::EthDst) {
+                    h.dst = mac_from_u64(v);
+                }
+                if let Some(v) = phv.get(Field::EthSrc) {
+                    h.src = mac_from_u64(v);
+                }
+                if let Some(v) = phv.get(Field::EthType) {
+                    h.ethertype = v as u16;
+                }
+                h.emit(&mut out);
+            }
+            Layer::Ipv4 => {
+                let (mut h, _) = Ipv4Header::parse(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::IpTos) {
+                    h.tos = v as u8;
+                }
+                if let Some(v) = phv.get(Field::IpTotalLen) {
+                    h.total_len = v as u16;
+                }
+                if let Some(v) = phv.get(Field::IpIdent) {
+                    h.ident = v as u16;
+                }
+                if let Some(v) = phv.get(Field::IpTtl) {
+                    h.ttl = v as u8;
+                }
+                if let Some(v) = phv.get(Field::IpProto) {
+                    h.protocol = v as u8;
+                }
+                if let Some(v) = phv.get(Field::IpSrc) {
+                    h.src = Ipv4Addr::from_u32(v as u32);
+                }
+                if let Some(v) = phv.get(Field::IpDst) {
+                    h.dst = Ipv4Addr::from_u32(v as u32);
+                }
+                // emit() recomputes the checksum over the patched header.
+                h.emit(&mut out);
+            }
+            Layer::Udp => {
+                let (mut h, _) = UdpHeader::parse(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::L4SrcPort) {
+                    h.src_port = v as u16;
+                }
+                if let Some(v) = phv.get(Field::L4DstPort) {
+                    h.dst_port = v as u16;
+                }
+                h.emit(&mut out);
+            }
+            Layer::Tcp => {
+                let (mut h, _) = TcpHeader::parse(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::L4SrcPort) {
+                    h.src_port = v as u16;
+                }
+                if let Some(v) = phv.get(Field::L4DstPort) {
+                    h.dst_port = v as u16;
+                }
+                if let Some(v) = phv.get(Field::TcpFlags) {
+                    h.flags = v as u8;
+                }
+                h.emit(&mut out);
+            }
+            Layer::Esp => {
+                let (mut h, _) = EspHeader::parse(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::EspSpi) {
+                    h.spi = v as u32;
+                }
+                if let Some(v) = phv.get(Field::EspSeq) {
+                    h.seq = v as u32;
+                }
+                h.emit(&mut out);
+            }
+            Layer::Kvs => {
+                let mut r = KvsRequest::decode(slice).expect("reparse");
+                if let Some(v) = phv.get(Field::KvsOp) {
+                    r.op = match v {
+                        1 => packet::kvs::KvsOp::Get,
+                        2 => packet::kvs::KvsOp::Set,
+                        3 => packet::kvs::KvsOp::Del,
+                        _ => packet::kvs::KvsOp::Reply,
+                    };
+                }
+                if let Some(v) = phv.get(Field::KvsTenant) {
+                    r.tenant = v as u16;
+                }
+                if let Some(v) = phv.get(Field::KvsKey) {
+                    r.key = v;
+                }
+                if let Some(v) = phv.get(Field::KvsRequestId) {
+                    r.request_id = v as u32;
+                }
+                // encode() emits header + value; the value bytes counted
+                // in payload below must therefore be skipped. KVS is
+                // always the last parsed layer, so emit header only and
+                // let the tail copy carry the value bytes.
+                let encoded = r.encode();
+                out.put_slice(&encoded[..KvsRequest::HEADER_SIZE]);
+            }
+        }
+    }
+    out.put_slice(&original[outcome.payload_offset..]);
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::ParseGraph;
+    use packet::headers::{build_udp_frame, ethertype, internet_checksum};
+
+    const KVS_PORT: u16 = 6379;
+
+    fn frame() -> Bytes {
+        let req = KvsRequest::get(2, 9, 0xabc);
+        build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 5,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            UdpHeader {
+                src_port: 777,
+                dst_port: KVS_PORT,
+                len: 0,
+                checksum: 0,
+            },
+            &req.encode(),
+        )
+    }
+
+    #[test]
+    fn identity_deparse_reproduces_bytes() {
+        let f = frame();
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let rebuilt = deparse(&f, &out, &out.phv);
+        assert_eq!(&rebuilt[..], &f[..]);
+    }
+
+    #[test]
+    fn ttl_rewrite_updates_checksum() {
+        let f = frame();
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let mut phv = out.phv.clone();
+        phv.set(Field::IpTtl, 63);
+        let rebuilt = deparse(&f, &out, &phv);
+        // Reparses cleanly (checksum valid) with the new TTL.
+        let (ip, _) = Ipv4Header::parse(&rebuilt[14..]).unwrap();
+        assert_eq!(ip.ttl, 63);
+        assert_eq!(internet_checksum(&rebuilt[14..34]), 0);
+        // Only the TTL and checksum bytes changed.
+        assert_eq!(rebuilt.len(), f.len());
+        let diffs: Vec<usize> = (0..f.len()).filter(|&i| f[i] != rebuilt[i]).collect();
+        assert!(diffs.iter().all(|&i| (14..34).contains(&i)), "{diffs:?}");
+    }
+
+    #[test]
+    fn kvs_op_rewrite_survives_roundtrip() {
+        // Rewriting GET -> REPLY in the PHV (what the KVS cache path
+        // does) must produce a decodable reply with the same key.
+        let f = frame();
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let mut phv = out.phv.clone();
+        phv.set(Field::KvsOp, 4);
+        let rebuilt = deparse(&f, &out, &phv);
+        let req = KvsRequest::decode(&rebuilt[42..]).unwrap();
+        assert_eq!(req.op, packet::kvs::KvsOp::Reply);
+        assert_eq!(req.key, 0xabc);
+        assert_eq!(req.tenant, 2);
+    }
+
+    #[test]
+    fn address_swap() {
+        // The RDMA reply path swaps src/dst at both L2 and L3.
+        let f = frame();
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let mut phv = out.phv.clone();
+        let (s, d) = (
+            phv.get(Field::IpSrc).unwrap(),
+            phv.get(Field::IpDst).unwrap(),
+        );
+        phv.set(Field::IpSrc, d);
+        phv.set(Field::IpDst, s);
+        let (es, ed) = (
+            phv.get(Field::EthSrc).unwrap(),
+            phv.get(Field::EthDst).unwrap(),
+        );
+        phv.set(Field::EthSrc, ed);
+        phv.set(Field::EthDst, es);
+        let rebuilt = deparse(&f, &out, &phv);
+        let (eth, _) = EthernetHeader::parse(&rebuilt).unwrap();
+        assert_eq!(eth.dst, MacAddr::for_port(1));
+        assert_eq!(eth.src, MacAddr::for_port(0));
+        let (ip, _) = Ipv4Header::parse(&rebuilt[14..]).unwrap();
+        assert_eq!(ip.src, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(ip.dst, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn metadata_fields_never_reach_the_wire() {
+        let f = frame();
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let mut phv = out.phv.clone();
+        phv.set(Field::MetaSlack, 12345);
+        phv.set(Field::MetaRxQueue, 7);
+        phv.set(Field::MetaPriority, 2);
+        let rebuilt = deparse(&f, &out, &phv);
+        assert_eq!(&rebuilt[..], &f[..]);
+    }
+
+    #[test]
+    fn unparsed_tail_copied_verbatim() {
+        // A UDP frame to a non-KVS port: bytes after UDP are payload.
+        let payload = b"opaque application bytes";
+        let f = build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 0,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                dst: Ipv4Addr::new(2, 2, 2, 2),
+            },
+            UdpHeader {
+                src_port: 1,
+                dst_port: 80,
+                len: 0,
+                checksum: 0,
+            },
+            payload,
+        );
+        let g = ParseGraph::standard(KVS_PORT);
+        let out = g.parse(&f);
+        let rebuilt = deparse(&f, &out, &out.phv);
+        assert_eq!(&rebuilt[..], &f[..]);
+        assert_eq!(&rebuilt[rebuilt.len() - payload.len()..], payload);
+    }
+}

@@ -1,0 +1,382 @@
+//! The pipeline timing model.
+//!
+//! §4.2: "given a clock frequency of F and P parallel pipelines, the
+//! heavyweight RMT pipeline in PANIC can process F × P packets per
+//! second." [`RmtPipeline`] realizes that model cycle by cycle:
+//!
+//! * each of the `P` parallel pipelines accepts **one** message per
+//!   cycle from the shared input queue;
+//! * a message emerges `depth` cycles later (parser + stages +
+//!   deparser), transformed by the program;
+//! * the pipelines are fully pipelined: a new message can enter every
+//!   cycle regardless of depth.
+//!
+//! Neighboring RMT engines "may be configured to independently process
+//! messages or be chained to form a longer pipeline" (§3.1.2) — that is
+//! the `parallel` / `depth` trade-off in [`PipelineConfig`].
+
+use std::collections::VecDeque;
+
+use packet::message::Message;
+use sim_core::events::EventQueue;
+use sim_core::time::{Cycle, Cycles, Freq};
+
+use crate::action::Verdict;
+use crate::program::RmtProgram;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of parallel pipelines (P in §4.2).
+    pub parallel: u32,
+    /// Latency through one pipeline in cycles: parser + match+action
+    /// stages + deparser.
+    pub depth: u32,
+    /// Clock frequency (F in §4.2) — used only for reporting rates.
+    pub freq: Freq,
+}
+
+impl PipelineConfig {
+    /// The paper's reference point: two 500 MHz pipelines (⇒ 1000 Mpps)
+    /// with a 16-stage depth plus parser and deparser.
+    #[must_use]
+    pub fn panic_default() -> PipelineConfig {
+        PipelineConfig {
+            parallel: 2,
+            depth: 18,
+            freq: Freq::PANIC_DEFAULT,
+        }
+    }
+
+    /// Peak throughput in packets per second: `F × P`.
+    #[must_use]
+    pub fn peak_pps(self) -> u64 {
+        self.freq.events_per_second(u64::from(self.parallel))
+    }
+}
+
+/// Counters exposed by the pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Messages accepted into a pipeline.
+    pub accepted: u64,
+    /// Messages that completed with a Forward or Recirculate verdict.
+    pub emitted: u64,
+    /// Messages dropped by program verdict.
+    pub dropped: u64,
+    /// Messages that asked for recirculation.
+    pub recirculated: u64,
+    /// Cycles in which at least one pipeline slot went unused while the
+    /// input queue was empty (idle capacity).
+    pub idle_slots: u64,
+}
+
+/// A message emerging from the pipeline with its verdict.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The processed message (payload deparsed, chain installed).
+    pub msg: Message,
+    /// Forward or Recirculate (drops never emerge).
+    pub verdict: Verdict,
+}
+
+/// The heavyweight RMT pipeline.
+#[derive(Debug)]
+pub struct RmtPipeline {
+    config: PipelineConfig,
+    program: RmtProgram,
+    /// Shared input queue feeding all parallel pipelines. Unbounded:
+    /// admission control is the *caller's* job (in PANIC, upstream
+    /// engines see backpressure through the NoC; in the RMT-only
+    /// baseline this queue's growth is itself the measurement).
+    input: VecDeque<Message>,
+    /// In-flight messages, completing `depth` cycles after acceptance.
+    in_flight: EventQueue<PipelineOutput>,
+    stats: PipelineStats,
+}
+
+impl RmtPipeline {
+    /// Builds a pipeline running `program`.
+    #[must_use]
+    pub fn new(config: PipelineConfig, program: RmtProgram) -> RmtPipeline {
+        assert!(config.parallel > 0, "zero pipelines");
+        assert!(config.depth > 0, "zero depth");
+        RmtPipeline {
+            config,
+            program,
+            input: VecDeque::new(),
+            in_flight: EventQueue::new(),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// The loaded program.
+    #[must_use]
+    pub fn program(&self) -> &RmtProgram {
+        &self.program
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Messages waiting to enter a pipeline. Sustained growth means the
+    /// offered load exceeds `F × P`.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Messages currently inside pipeline stages.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Queues a message for processing.
+    pub fn submit(&mut self, msg: Message) {
+        self.input.push_back(msg);
+    }
+
+    /// Advances one cycle: accepts up to `P` messages from the input
+    /// queue (processing them functionally, completion scheduled
+    /// `depth` cycles out) and returns the messages whose latency
+    /// elapsed this cycle.
+    pub fn tick(&mut self, now: Cycle) -> Vec<PipelineOutput> {
+        // Accept.
+        for _ in 0..self.config.parallel {
+            match self.input.pop_front() {
+                Some(mut msg) => {
+                    self.stats.accepted += 1;
+                    let verdict = self.program.process(&mut msg);
+                    match verdict {
+                        Verdict::Drop => {
+                            self.stats.dropped += 1;
+                            // Dropped messages still occupied the slot —
+                            // they are simply not emitted.
+                        }
+                        v => {
+                            if v == Verdict::Recirculate {
+                                self.stats.recirculated += 1;
+                            }
+                            self.in_flight.schedule(
+                                now + Cycles(u64::from(self.config.depth)),
+                                PipelineOutput { msg, verdict: v },
+                            );
+                        }
+                    }
+                }
+                None => self.stats.idle_slots += 1,
+            }
+        }
+        // Emit.
+        let out = self.in_flight.drain_due(now);
+        self.stats.emitted += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Primitive, SlackExpr};
+    use crate::parse::ParseGraph;
+    use crate::program::ProgramBuilder;
+    use crate::table::{MatchKey, MatchKind, Table, TableEntry};
+    use bytes::Bytes;
+    use packet::chain::EngineId;
+    use packet::headers::{
+        build_udp_frame, ethertype, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, UdpHeader,
+    };
+    use packet::message::{MessageId, MessageKind};
+    use packet::phv::Field;
+
+    fn frame(port: u16) -> Bytes {
+        build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 0,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(1, 0, 0, 1),
+                dst: Ipv4Addr::new(1, 0, 0, 2),
+            },
+            UdpHeader {
+                src_port: 9,
+                dst_port: port,
+                len: 0,
+                checksum: 0,
+            },
+            b"x",
+        )
+    }
+
+    fn msg(id: u64, port: u16) -> Message {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(frame(port))
+            .build()
+    }
+
+    fn route_all_program() -> RmtProgram {
+        ProgramBuilder::new("route-all", ParseGraph::standard(6379))
+            .stage(Table::new(
+                "t",
+                MatchKind::Exact(vec![Field::IpProto]),
+                Action::named(
+                    "to-1",
+                    vec![Primitive::PushHop {
+                        engine: EngineId(1),
+                        slack: SlackExpr::Const(5),
+                    }],
+                ),
+            ))
+            .build()
+    }
+
+    fn dropping_program() -> RmtProgram {
+        let mut t = Table::new("t", MatchKind::Exact(vec![Field::L4DstPort]), Action::noop());
+        t.insert(TableEntry {
+            key: MatchKey::Exact(vec![23]),
+            priority: 0,
+            action: Action::drop_msg(),
+        });
+        ProgramBuilder::new("drop-telnet", ParseGraph::standard(6379))
+            .stage(t)
+            .build()
+    }
+
+    fn cfg(parallel: u32, depth: u32) -> PipelineConfig {
+        PipelineConfig {
+            parallel,
+            depth,
+            freq: Freq::mhz(500),
+        }
+    }
+
+    #[test]
+    fn latency_equals_depth() {
+        let mut p = RmtPipeline::new(cfg(1, 10), route_all_program());
+        p.submit(msg(1, 80));
+        let mut now = Cycle(0);
+        let mut emitted_at = None;
+        for _ in 0..30 {
+            let out = p.tick(now);
+            if !out.is_empty() {
+                emitted_at = Some(now);
+                assert_eq!(out[0].msg.id, MessageId(1));
+                assert_eq!(out[0].msg.chain.len(), 1);
+                break;
+            }
+            now = now.next();
+        }
+        // Accepted at cycle 0, due at cycle 10.
+        assert_eq!(emitted_at, Some(Cycle(10)));
+    }
+
+    #[test]
+    fn throughput_is_p_per_cycle() {
+        // 100 messages through P=2: drain takes ~50 cycles + depth.
+        let mut p = RmtPipeline::new(cfg(2, 5), route_all_program());
+        for i in 0..100 {
+            p.submit(msg(i, 80));
+        }
+        let mut now = Cycle(0);
+        let mut done = 0;
+        let mut cycles = 0;
+        while done < 100 {
+            done += p.tick(now).len();
+            now = now.next();
+            cycles += 1;
+            assert!(cycles < 200, "pipeline too slow");
+        }
+        assert_eq!(cycles, 55); // last accept at cycle 49, due at 54: ticks 0..=54
+        assert_eq!(p.stats().accepted, 100);
+        assert_eq!(p.stats().emitted, 100);
+        assert_eq!(p.backlog(), 0);
+        assert_eq!(p.occupancy(), 0);
+    }
+
+    #[test]
+    fn single_pipeline_halves_throughput() {
+        let run = |parallel: u32| {
+            let mut p = RmtPipeline::new(cfg(parallel, 5), route_all_program());
+            for i in 0..100 {
+                p.submit(msg(i, 80));
+            }
+            let mut now = Cycle(0);
+            let mut done = 0;
+            let mut cycles = 0u64;
+            while done < 100 {
+                done += p.tick(now).len();
+                now = now.next();
+                cycles += 1;
+            }
+            cycles
+        };
+        let c1 = run(1);
+        let c2 = run(2);
+        assert!(c1 > c2);
+        assert!((c1 as f64 / c2 as f64) > 1.7, "c1={c1} c2={c2}");
+    }
+
+    #[test]
+    fn drops_never_emerge() {
+        let mut p = RmtPipeline::new(cfg(2, 3), dropping_program());
+        p.submit(msg(1, 23)); // dropped
+        p.submit(msg(2, 80)); // forwarded
+        let mut now = Cycle(0);
+        let mut seen = Vec::new();
+        for _ in 0..20 {
+            for o in p.tick(now) {
+                seen.push(o.msg.id.0);
+            }
+            now = now.next();
+        }
+        assert_eq!(seen, vec![2]);
+        assert_eq!(p.stats().dropped, 1);
+        assert_eq!(p.stats().emitted, 1);
+    }
+
+    #[test]
+    fn idle_slots_counted() {
+        let mut p = RmtPipeline::new(cfg(2, 3), route_all_program());
+        p.tick(Cycle(0)); // nothing queued: 2 idle slots
+        assert_eq!(p.stats().idle_slots, 2);
+        p.submit(msg(1, 80));
+        p.tick(Cycle(1)); // 1 used, 1 idle
+        assert_eq!(p.stats().idle_slots, 3);
+    }
+
+    #[test]
+    fn peak_pps_matches_paper() {
+        assert_eq!(PipelineConfig::panic_default().peak_pps(), 1_000_000_000);
+        assert_eq!(cfg(4, 18).peak_pps(), 2_000_000_000);
+    }
+
+    #[test]
+    fn config_and_program_accessors() {
+        let p = RmtPipeline::new(PipelineConfig::panic_default(), route_all_program());
+        assert_eq!(p.config().parallel, 2);
+        assert_eq!(p.program().name(), "route-all");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pipelines")]
+    fn zero_parallel_rejected() {
+        let _ = RmtPipeline::new(cfg(0, 3), route_all_program());
+    }
+}

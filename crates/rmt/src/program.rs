@@ -1,0 +1,392 @@
+//! An RMT *program*: parser + one match+action table per stage.
+//!
+//! This is the "P4-lite" layer (§4.1: "The heavyweight RMT pipeline and
+//! lightweight lookup tables are programmed similarly to how current
+//! RMT switches are programmed (e.g., using P4)"). A program is pure
+//! configuration — the same [`RmtPipeline`](crate::pipeline::RmtPipeline)
+//! timing model runs any program.
+
+use packet::chain::{ChainHeader, Hop};
+use packet::message::Message;
+use packet::phv::Field;
+
+use crate::action::{priority_code, priority_from_code, Verdict};
+use crate::deparse::deparse;
+use crate::parse::ParseGraph;
+use crate::table::Table;
+
+/// A complete RMT program.
+#[derive(Debug, Clone)]
+pub struct RmtProgram {
+    name: String,
+    parser: ParseGraph,
+    tables: Vec<Table>,
+}
+
+impl RmtProgram {
+    /// Program name (diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of match+action stages this program occupies.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The parse graph.
+    #[must_use]
+    pub fn parser(&self) -> &ParseGraph {
+        &self.parser
+    }
+
+    /// Runs the program over `msg` *functionally* (no timing):
+    /// parse → match+action stages → deparse. On `Forward` /
+    /// `Recirculate` the message's payload, chain, priority, PHV and
+    /// pass count are updated in place; on `Drop` the message is left
+    /// untouched except for the pass count.
+    pub fn process(&self, msg: &mut Message) -> Verdict {
+        let outcome = self.parser.parse(&msg.payload);
+        let mut phv = outcome.phv.clone();
+
+        // Standard metadata available to every program.
+        phv.set(Field::MetaIngress, u64::from(msg.source.0));
+        phv.set(Field::MetaPasses, u64::from(msg.pipeline_passes));
+        phv.set(Field::MetaPriority, priority_code(msg.priority));
+
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut verdict = Verdict::Forward;
+        for table in &self.tables {
+            let (action, _hit) = table.lookup(&phv);
+            match action.apply(&mut phv, &mut hops) {
+                Verdict::Forward => {}
+                Verdict::Drop => {
+                    verdict = Verdict::Drop;
+                    break;
+                }
+                Verdict::Recirculate => verdict = Verdict::Recirculate,
+            }
+        }
+
+        msg.pipeline_passes += 1;
+        if verdict == Verdict::Drop {
+            return verdict;
+        }
+
+        msg.payload = deparse(&msg.payload, &outcome, &phv);
+        msg.chain = ChainHeader::new(hops)
+            .expect("programs cannot build chains beyond MAX_HOPS");
+        msg.priority = priority_from_code(phv.get_or_zero(Field::MetaPriority));
+        msg.phv = Some(phv);
+        verdict
+    }
+}
+
+/// Builder for [`RmtProgram`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    parser: ParseGraph,
+    tables: Vec<Table>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program with the given parser.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parser: ParseGraph) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            parser,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a stage (one table).
+    #[must_use]
+    pub fn stage(mut self, table: Table) -> ProgramBuilder {
+        self.tables.push(table);
+        self
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    /// Panics on a program with zero stages — it could never route
+    /// anything, which is always a configuration mistake.
+    #[must_use]
+    pub fn build(self) -> RmtProgram {
+        assert!(
+            !self.tables.is_empty(),
+            "program {} has no stages",
+            self.name
+        );
+        RmtProgram {
+            name: self.name,
+            parser: self.parser,
+            tables: self.tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Primitive, SlackExpr};
+    use crate::parse::Layer;
+    use crate::table::{MatchKey, MatchKind, TableEntry};
+    use bytes::Bytes;
+    use packet::chain::{EngineId, Slack};
+    use packet::headers::{
+        build_udp_frame, ethertype, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, UdpHeader,
+    };
+    use packet::message::{MessageId, MessageKind, Priority};
+
+    const KVS_PORT: u16 = 6379;
+
+    fn udp_frame(dst_port: u16) -> Bytes {
+        build_udp_frame(
+            EthernetHeader {
+                dst: MacAddr::for_port(0),
+                src: MacAddr::for_port(1),
+                ethertype: ethertype::IPV4,
+            },
+            Ipv4Header {
+                tos: 0,
+                total_len: 0,
+                ident: 0,
+                ttl: 64,
+                protocol: 0,
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            UdpHeader {
+                src_port: 1000,
+                dst_port,
+                len: 0,
+                checksum: 0,
+            },
+            b"payload",
+        )
+    }
+
+    fn msg_of(frame: Bytes) -> Message {
+        Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .payload(frame)
+            .source(EngineId(0))
+            .build()
+    }
+
+    /// A two-stage program: stage 1 classifies priority by UDP port,
+    /// stage 2 routes KVS traffic through engines 4 then 9, everything
+    /// else straight to engine 9 (the DMA engine, say).
+    fn demo_program() -> RmtProgram {
+        let mut classify = Table::new(
+            "classify",
+            MatchKind::Exact(vec![Field::L4DstPort]),
+            Action::named("bulk", vec![Primitive::SetPriority(Priority::Bulk)]),
+        );
+        classify.insert(TableEntry {
+            key: MatchKey::Exact(vec![u64::from(KVS_PORT)]),
+            priority: 0,
+            action: Action::named("lat", vec![Primitive::SetPriority(Priority::Latency)]),
+        });
+
+        let mut route = Table::new(
+            "route",
+            MatchKind::Exact(vec![Field::L4DstPort]),
+            Action::named(
+                "to-dma",
+                vec![Primitive::PushHop {
+                    engine: EngineId(9),
+                    slack: SlackExpr::Bulk,
+                }],
+            ),
+        );
+        route.insert(TableEntry {
+            key: MatchKey::Exact(vec![u64::from(KVS_PORT)]),
+            priority: 0,
+            action: Action::named(
+                "kvs-chain",
+                vec![
+                    Primitive::PushHop {
+                        engine: EngineId(4),
+                        slack: SlackExpr::ByPriority {
+                            latency: 50,
+                            normal: 500,
+                        },
+                    },
+                    Primitive::PushHop {
+                        engine: EngineId(9),
+                        slack: SlackExpr::ByPriority {
+                            latency: 100,
+                            normal: 1000,
+                        },
+                    },
+                ],
+            ),
+        });
+
+        ProgramBuilder::new("demo", ParseGraph::standard(KVS_PORT))
+            .stage(classify)
+            .stage(route)
+            .build()
+    }
+
+    #[test]
+    fn kvs_traffic_gets_priority_and_chain() {
+        let mut m = msg_of(udp_frame(KVS_PORT));
+        let v = demo_program().process(&mut m);
+        assert_eq!(v, Verdict::Forward);
+        assert_eq!(m.priority, Priority::Latency);
+        assert_eq!(m.chain.len(), 2);
+        assert_eq!(m.chain.hops()[0].engine, EngineId(4));
+        // Slack came from the ByPriority ladder with latency class.
+        assert_eq!(m.chain.hops()[0].slack, Slack(50));
+        assert_eq!(m.pipeline_passes, 1);
+        assert!(m.phv.is_some());
+    }
+
+    #[test]
+    fn other_traffic_is_bulk_to_dma() {
+        let mut m = msg_of(udp_frame(80));
+        demo_program().process(&mut m);
+        assert_eq!(m.priority, Priority::Bulk);
+        assert_eq!(m.chain.len(), 1);
+        assert_eq!(m.chain.hops()[0].engine, EngineId(9));
+        assert_eq!(m.chain.hops()[0].slack, Slack::BULK);
+    }
+
+    #[test]
+    fn drop_leaves_payload_untouched_but_counts_pass() {
+        let mut acl = Table::new(
+            "acl",
+            MatchKind::Exact(vec![Field::L4DstPort]),
+            Action::noop(),
+        );
+        acl.insert(TableEntry {
+            key: MatchKey::Exact(vec![23]),
+            priority: 0,
+            action: Action::drop_msg(),
+        });
+        let prog = ProgramBuilder::new("acl-only", ParseGraph::standard(KVS_PORT))
+            .stage(acl)
+            .build();
+        let frame = udp_frame(23);
+        let mut m = msg_of(frame.clone());
+        let v = prog.process(&mut m);
+        assert_eq!(v, Verdict::Drop);
+        assert_eq!(&m.payload[..], &frame[..]);
+        assert!(m.chain.is_empty());
+        assert_eq!(m.pipeline_passes, 1);
+    }
+
+    #[test]
+    fn drop_short_circuits_later_stages() {
+        // Stage 1 drops; stage 2 would push a hop. The chain must stay
+        // empty and priority unchanged.
+        let mut s1 = Table::new("s1", MatchKind::Exact(vec![Field::IpProto]), Action::noop());
+        s1.insert(TableEntry {
+            key: MatchKey::Exact(vec![17]),
+            priority: 0,
+            action: Action::drop_msg(),
+        });
+        let s2 = Table::new(
+            "s2",
+            MatchKind::Exact(vec![Field::IpProto]),
+            Action::named(
+                "push",
+                vec![Primitive::PushHop {
+                    engine: EngineId(1),
+                    slack: SlackExpr::Const(1),
+                }],
+            ),
+        );
+        let prog = ProgramBuilder::new("p", ParseGraph::standard(KVS_PORT))
+            .stage(s1)
+            .stage(s2)
+            .build();
+        let mut m = msg_of(udp_frame(80));
+        assert_eq!(prog.process(&mut m), Verdict::Drop);
+        assert!(m.chain.is_empty());
+    }
+
+    #[test]
+    fn recirculate_verdict_propagates() {
+        let prog = ProgramBuilder::new("recirc", ParseGraph::standard(KVS_PORT))
+            .stage(Table::new(
+                "t",
+                MatchKind::Exact(vec![Field::IpProto]),
+                Action::named(
+                    "again",
+                    vec![
+                        Primitive::PushHop {
+                            engine: EngineId(3),
+                            slack: SlackExpr::Const(10),
+                        },
+                        Primitive::Recirculate,
+                    ],
+                ),
+            ))
+            .build();
+        let mut m = msg_of(udp_frame(80));
+        assert_eq!(prog.process(&mut m), Verdict::Recirculate);
+        assert_eq!(m.chain.len(), 1);
+    }
+
+    #[test]
+    fn metadata_visible_to_programs() {
+        // A program that routes on MetaPasses: pass 0 -> engine 1,
+        // later passes -> engine 2. This is the two-pass IPSec pattern.
+        let mut t = Table::new(
+            "by-pass",
+            MatchKind::Exact(vec![Field::MetaPasses]),
+            Action::named(
+                "later",
+                vec![Primitive::PushHop {
+                    engine: EngineId(2),
+                    slack: SlackExpr::Const(1),
+                }],
+            ),
+        );
+        t.insert(TableEntry {
+            key: MatchKey::Exact(vec![0]),
+            priority: 0,
+            action: Action::named(
+                "first",
+                vec![Primitive::PushHop {
+                    engine: EngineId(1),
+                    slack: SlackExpr::Const(1),
+                }],
+            ),
+        });
+        let prog = ProgramBuilder::new("p", ParseGraph::standard(KVS_PORT))
+            .stage(t)
+            .build();
+        let mut m = msg_of(udp_frame(80));
+        prog.process(&mut m);
+        assert_eq!(m.chain.hops()[0].engine, EngineId(1));
+        prog.process(&mut m);
+        assert_eq!(m.chain.hops()[0].engine, EngineId(2));
+        assert_eq!(m.pipeline_passes, 2);
+    }
+
+    #[test]
+    fn stages_and_name_reported() {
+        let p = demo_program();
+        assert_eq!(p.stages(), 2);
+        assert_eq!(p.name(), "demo");
+        // Parser accessor exists and parses (the UDP payload here is
+        // not a KVS request, so parsing stops at UDP).
+        let out = p.parser().parse(&udp_frame(KVS_PORT));
+        assert!(out.has_layer(Layer::Udp));
+        assert!(!out.has_layer(Layer::Kvs));
+    }
+
+    #[test]
+    #[should_panic(expected = "no stages")]
+    fn empty_program_rejected() {
+        let _ = ProgramBuilder::new("empty", ParseGraph::standard(KVS_PORT)).build();
+    }
+}

@@ -1,0 +1,478 @@
+//! Match tables: exact, longest-prefix, and ternary.
+//!
+//! Each pipeline stage owns one table. A table declares *how* it
+//! matches (its [`MatchKind`]: which PHV fields, compared how), holds
+//! entries mapping concrete keys to [`Action`]s, and has a default
+//! action for misses. Entry counts on NICs are small (thousands, not
+//! millions), so entries are stored in plain vectors — the simulator
+//! charges one cycle per stage regardless, as real RMT hardware does.
+
+use packet::phv::{Field, Phv};
+
+use crate::action::Action;
+
+/// How a table matches the PHV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchKind {
+    /// All listed fields must equal the entry's values exactly.
+    Exact(Vec<Field>),
+    /// Longest-prefix match on one field (e.g. `IpDst`).
+    Lpm(Field),
+    /// Value/mask match on the listed fields; ties broken by entry
+    /// priority (higher wins), then insertion order.
+    Ternary(Vec<Field>),
+}
+
+/// A concrete key in a table entry. Must structurally agree with the
+/// table's [`MatchKind`] — checked at insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchKey {
+    /// Exact values, one per declared field.
+    Exact(Vec<u64>),
+    /// Prefix value + length in bits (from the MSB of the 32-bit
+    /// address space for IP fields; width is caller-defined).
+    Lpm {
+        /// Prefix value, right-aligned.
+        value: u64,
+        /// Number of significant leading bits, counted within
+        /// `width_bits`.
+        prefix_len: u8,
+        /// Total width of the field in bits (32 for IPv4 addresses).
+        width_bits: u8,
+    },
+    /// Value/mask pairs, one per declared field. A field matches when
+    /// `phv & mask == value & mask`.
+    Ternary(Vec<(u64, u64)>),
+}
+
+/// One table entry.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// The key to match.
+    pub key: MatchKey,
+    /// Priority for ternary tie-breaks (higher wins). Ignored for
+    /// exact and LPM tables.
+    pub priority: i32,
+    /// Action to run on match.
+    pub action: Action,
+}
+
+/// A match+action table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    kind: MatchKind,
+    entries: Vec<TableEntry>,
+    default_action: Action,
+}
+
+impl Table {
+    /// Creates a table. `default_action` runs when no entry matches.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: MatchKind, default_action: Action) -> Table {
+        Table {
+            name: name.into(),
+            kind,
+            entries: Vec::new(),
+            default_action,
+        }
+    }
+
+    /// Table name (diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The match kind.
+    #[must_use]
+    pub fn kind(&self) -> &MatchKind {
+        &self.kind
+    }
+
+    /// Number of installed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs an entry.
+    ///
+    /// # Panics
+    /// Panics if the key's shape doesn't match the table's kind (wrong
+    /// variant or wrong field count) — a control-plane programming bug.
+    pub fn insert(&mut self, entry: TableEntry) {
+        match (&self.kind, &entry.key) {
+            (MatchKind::Exact(fields), MatchKey::Exact(vals)) => {
+                assert_eq!(
+                    fields.len(),
+                    vals.len(),
+                    "table {}: exact key arity mismatch",
+                    self.name
+                );
+            }
+            (MatchKind::Lpm(_), MatchKey::Lpm { prefix_len, width_bits, .. }) => {
+                assert!(
+                    prefix_len <= width_bits,
+                    "table {}: prefix_len {} > width {}",
+                    self.name,
+                    prefix_len,
+                    width_bits
+                );
+            }
+            (MatchKind::Ternary(fields), MatchKey::Ternary(pairs)) => {
+                assert_eq!(
+                    fields.len(),
+                    pairs.len(),
+                    "table {}: ternary key arity mismatch",
+                    self.name
+                );
+            }
+            _ => panic!(
+                "table {}: key shape {:?} incompatible with kind {:?}",
+                self.name, entry.key, self.kind
+            ),
+        }
+        self.entries.push(entry);
+    }
+
+    /// Looks up the PHV, returning the matched action (or the default).
+    /// Also reports whether it was a hit.
+    #[must_use]
+    pub fn lookup(&self, phv: &Phv) -> (&Action, bool) {
+        match &self.kind {
+            MatchKind::Exact(fields) => {
+                for e in &self.entries {
+                    let MatchKey::Exact(vals) = &e.key else { continue };
+                    if fields
+                        .iter()
+                        .zip(vals)
+                        .all(|(&f, &v)| phv.get(f) == Some(v))
+                    {
+                        return (&e.action, true);
+                    }
+                }
+                (&self.default_action, false)
+            }
+            MatchKind::Lpm(field) => {
+                let Some(value) = phv.get(*field) else {
+                    return (&self.default_action, false);
+                };
+                let mut best: Option<(&TableEntry, u8)> = None;
+                for e in &self.entries {
+                    let MatchKey::Lpm {
+                        value: pfx,
+                        prefix_len,
+                        width_bits,
+                    } = e.key
+                    else {
+                        continue;
+                    };
+                    let shift = u32::from(width_bits - prefix_len);
+                    let matches = if prefix_len == 0 {
+                        true
+                    } else {
+                        (value >> shift) == (pfx >> shift)
+                    };
+                    if matches && best.is_none_or(|(_, l)| prefix_len > l) {
+                        best = Some((e, prefix_len));
+                    }
+                }
+                match best {
+                    Some((e, _)) => (&e.action, true),
+                    None => (&self.default_action, false),
+                }
+            }
+            MatchKind::Ternary(fields) => {
+                let mut best: Option<(&TableEntry, i32, usize)> = None;
+                for (idx, e) in self.entries.iter().enumerate() {
+                    let MatchKey::Ternary(pairs) = &e.key else { continue };
+                    let hit = fields.iter().zip(pairs).all(|(&f, &(v, m))| {
+                        // Mask 0 is an explicit don't-care: it matches
+                        // even when the parser never populated the field
+                        // (needed for entries spanning optional headers).
+                        m == 0 || phv.get(f).is_some_and(|pv| pv & m == v & m)
+                    });
+                    if hit
+                        && best.is_none_or(|(_, p, i)| {
+                            e.priority > p || (e.priority == p && idx < i)
+                        })
+                    {
+                        best = Some((e, e.priority, idx));
+                    }
+                }
+                match best {
+                    Some((e, _, _)) => (&e.action, true),
+                    None => (&self.default_action, false),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Primitive};
+
+    fn noop(name: &str) -> Action {
+        Action::named(name, vec![Primitive::NoOp])
+    }
+
+    fn phv_with(pairs: &[(Field, u64)]) -> Phv {
+        let mut phv = Phv::new();
+        for &(f, v) in pairs {
+            phv.set(f, v);
+        }
+        phv
+    }
+
+    #[test]
+    fn exact_match_hit_and_miss() {
+        let mut t = Table::new(
+            "l4",
+            MatchKind::Exact(vec![Field::IpProto, Field::L4DstPort]),
+            noop("default"),
+        );
+        t.insert(TableEntry {
+            key: MatchKey::Exact(vec![17, 6379]),
+            priority: 0,
+            action: noop("kvs"),
+        });
+        let (a, hit) = t.lookup(&phv_with(&[(Field::IpProto, 17), (Field::L4DstPort, 6379)]));
+        assert!(hit);
+        assert_eq!(a.name(), "kvs");
+        let (a, hit) = t.lookup(&phv_with(&[(Field::IpProto, 17), (Field::L4DstPort, 80)]));
+        assert!(!hit);
+        assert_eq!(a.name(), "default");
+        // Absent field never matches.
+        let (_, hit) = t.lookup(&phv_with(&[(Field::IpProto, 17)]));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn lpm_prefers_longest_prefix() {
+        let mut t = Table::new("route", MatchKind::Lpm(Field::IpDst), noop("default"));
+        // 10.0.0.0/8 -> wan ; 10.1.0.0/16 -> lan
+        t.insert(TableEntry {
+            key: MatchKey::Lpm {
+                value: 0x0a000000,
+                prefix_len: 8,
+                width_bits: 32,
+            },
+            priority: 0,
+            action: noop("wan"),
+        });
+        t.insert(TableEntry {
+            key: MatchKey::Lpm {
+                value: 0x0a010000,
+                prefix_len: 16,
+                width_bits: 32,
+            },
+            priority: 0,
+            action: noop("lan"),
+        });
+        let (a, hit) = t.lookup(&phv_with(&[(Field::IpDst, 0x0a010203)]));
+        assert!(hit);
+        assert_eq!(a.name(), "lan");
+        let (a, _) = t.lookup(&phv_with(&[(Field::IpDst, 0x0a990203)]));
+        assert_eq!(a.name(), "wan");
+        let (a, hit) = t.lookup(&phv_with(&[(Field::IpDst, 0x0b000001)]));
+        assert!(!hit);
+        assert_eq!(a.name(), "default");
+    }
+
+    #[test]
+    fn lpm_zero_prefix_is_catch_all() {
+        let mut t = Table::new("route", MatchKind::Lpm(Field::IpDst), noop("default"));
+        t.insert(TableEntry {
+            key: MatchKey::Lpm {
+                value: 0,
+                prefix_len: 0,
+                width_bits: 32,
+            },
+            priority: 0,
+            action: noop("any"),
+        });
+        let (a, hit) = t.lookup(&phv_with(&[(Field::IpDst, 0xffffffff)]));
+        assert!(hit);
+        assert_eq!(a.name(), "any");
+    }
+
+    #[test]
+    fn ternary_priority_breaks_ties() {
+        let mut t = Table::new(
+            "acl",
+            MatchKind::Ternary(vec![Field::IpSrc, Field::L4DstPort]),
+            noop("permit"),
+        );
+        // Deny everything from 10.0.0.0/8 (mask high byte), low priority.
+        t.insert(TableEntry {
+            key: MatchKey::Ternary(vec![(0x0a000000, 0xff000000), (0, 0)]),
+            priority: 1,
+            action: noop("deny"),
+        });
+        // But allow 10.*:443, higher priority.
+        t.insert(TableEntry {
+            key: MatchKey::Ternary(vec![(0x0a000000, 0xff000000), (443, 0xffff)]),
+            priority: 10,
+            action: noop("allow-tls"),
+        });
+        let (a, _) = t.lookup(&phv_with(&[(Field::IpSrc, 0x0a010101), (Field::L4DstPort, 443)]));
+        assert_eq!(a.name(), "allow-tls");
+        let (a, _) = t.lookup(&phv_with(&[(Field::IpSrc, 0x0a010101), (Field::L4DstPort, 80)]));
+        assert_eq!(a.name(), "deny");
+        let (a, hit) =
+            t.lookup(&phv_with(&[(Field::IpSrc, 0x0b010101), (Field::L4DstPort, 80)]));
+        assert!(!hit);
+        assert_eq!(a.name(), "permit");
+    }
+
+    #[test]
+    fn ternary_equal_priority_first_inserted_wins() {
+        let mut t = Table::new("t", MatchKind::Ternary(vec![Field::IpProto]), noop("d"));
+        t.insert(TableEntry {
+            key: MatchKey::Ternary(vec![(17, 0xff)]),
+            priority: 5,
+            action: noop("first"),
+        });
+        t.insert(TableEntry {
+            key: MatchKey::Ternary(vec![(17, 0xff)]),
+            priority: 5,
+            action: noop("second"),
+        });
+        let (a, _) = t.lookup(&phv_with(&[(Field::IpProto, 17)]));
+        assert_eq!(a.name(), "first");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn exact_arity_checked() {
+        let mut t = Table::new("t", MatchKind::Exact(vec![Field::IpProto]), noop("d"));
+        t.insert(TableEntry {
+            key: MatchKey::Exact(vec![1, 2]),
+            priority: 0,
+            action: noop("x"),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn key_shape_checked() {
+        let mut t = Table::new("t", MatchKind::Lpm(Field::IpDst), noop("d"));
+        t.insert(TableEntry {
+            key: MatchKey::Exact(vec![1]),
+            priority: 0,
+            action: noop("x"),
+        });
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Table::new("t", MatchKind::Lpm(Field::IpDst), noop("d"));
+        assert_eq!(t.name(), "t");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.kind(), &MatchKind::Lpm(Field::IpDst));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::action::Action;
+    use proptest::prelude::*;
+
+    fn noop(name: &str) -> Action {
+        Action::named(name, vec![crate::action::Primitive::NoOp])
+    }
+
+    proptest! {
+        /// LPM lookup equals the naive longest-matching-prefix scan.
+        #[test]
+        fn lpm_matches_naive_model(
+            prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..24),
+            probe in any::<u32>(),
+        ) {
+            let mut t = Table::new("lpm", MatchKind::Lpm(Field::IpDst), noop("miss"));
+            for (i, &(value, len)) in prefixes.iter().enumerate() {
+                t.insert(TableEntry {
+                    key: MatchKey::Lpm {
+                        value: u64::from(value),
+                        prefix_len: len,
+                        width_bits: 32,
+                    },
+                    priority: 0,
+                    action: noop(&format!("e{i}")),
+                });
+            }
+            let mut phv = Phv::new();
+            phv.set(Field::IpDst, u64::from(probe));
+            let (action, hit) = t.lookup(&phv);
+
+            // Naive model: longest prefix whose leading bits match.
+            let best = prefixes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(value, len))| {
+                    len == 0 || (probe >> (32 - u32::from(len))) == (value >> (32 - u32::from(len)))
+                })
+                .max_by_key(|&(i, &(_, len))| (len, std::cmp::Reverse(i)));
+            match best {
+                Some((i, _)) => {
+                    prop_assert!(hit);
+                    // Any entry with the same (maximal) length is an
+                    // acceptable winner; check length equivalence.
+                    let won: usize = action.name()[1..].parse().unwrap();
+                    prop_assert_eq!(prefixes[won].1, prefixes[i].1);
+                }
+                None => prop_assert!(!hit),
+            }
+        }
+
+        /// Ternary lookup returns the highest-priority matching entry
+        /// (earliest on ties), per the naive scan.
+        #[test]
+        fn ternary_matches_naive_model(
+            entries in proptest::collection::vec((any::<u8>(), any::<u8>(), -10i32..10), 1..24),
+            probe in any::<u8>(),
+        ) {
+            let mut t = Table::new(
+                "acl",
+                MatchKind::Ternary(vec![Field::IpProto]),
+                noop("miss"),
+            );
+            for (i, &(v, m, pri)) in entries.iter().enumerate() {
+                t.insert(TableEntry {
+                    key: MatchKey::Ternary(vec![(u64::from(v), u64::from(m))]),
+                    priority: pri,
+                    action: noop(&format!("e{i}")),
+                });
+            }
+            let mut phv = Phv::new();
+            phv.set(Field::IpProto, u64::from(probe));
+            let (action, hit) = t.lookup(&phv);
+
+            let matches = |v: u8, m: u8| m == 0 || (probe & m) == (v & m);
+            let best = entries
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(v, m, _))| matches(v, m))
+                .max_by_key(|&(i, &(_, _, p))| (p, std::cmp::Reverse(i)));
+            match best {
+                Some((i, _)) => {
+                    prop_assert!(hit);
+                    prop_assert_eq!(action.name(), format!("e{i}"));
+                }
+                None => prop_assert!(!hit),
+            }
+        }
+    }
+}
+

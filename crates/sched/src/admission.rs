@@ -1,0 +1,85 @@
+//! Admission control: what a full scheduling queue does.
+//!
+//! Two of the paper's points meet here. §4.3: offloads that don't run
+//! at line rate "must buffer and eventually drop or pause traffic",
+//! and PANIC "introduces mechanisms unavailable in other designs that
+//! can be used to intelligently drop packets when memory pressure is a
+//! limiting factor". §6 asks how to combine lossless forwarding for
+//! critical messages (DMA descriptor requests) with lossy forwarding
+//! for droppable ones (DoS traffic). The three policies here are the
+//! design points that discussion spans.
+
+use std::fmt;
+
+/// Policy when an enqueue meets a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject the arriving message (classic tail drop).
+    TailDrop,
+    /// Admit the arriving message and evict the queued message with
+    /// the largest rank — the one with the most slack, i.e. the one
+    /// best able to absorb a retry. The paper's "intelligent drop".
+    /// If the arrival itself has the largest rank, it is the victim.
+    EvictLargestRank,
+    /// Refuse without dropping: the message stays upstream and the
+    /// caller must hold it (lossless backpressure). This is the only
+    /// admissible policy for control-class messages.
+    Backpressure,
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdmissionPolicy::TailDrop => "tail-drop",
+            AdmissionPolicy::EvictLargestRank => "evict-largest-rank",
+            AdmissionPolicy::Backpressure => "backpressure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of offering a message to a [`SchedQueue`](crate::queue::SchedQueue).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission<T> {
+    /// The message was enqueued.
+    Accepted,
+    /// The queue was full and `victim` was dropped to admit the
+    /// arrival (or the arrival itself was the victim).
+    Dropped {
+        /// The message that was shed.
+        victim: T,
+    },
+    /// The queue was full and refuses the message; the caller keeps it
+    /// and must retry later (lossless backpressure).
+    Refused(T),
+}
+
+impl<T> Admission<T> {
+    /// True when the offered message is now queued.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admission::Accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AdmissionPolicy::TailDrop.to_string(), "tail-drop");
+        assert_eq!(
+            AdmissionPolicy::EvictLargestRank.to_string(),
+            "evict-largest-rank"
+        );
+        assert_eq!(AdmissionPolicy::Backpressure.to_string(), "backpressure");
+    }
+
+    #[test]
+    fn accepted_predicate() {
+        assert!(Admission::<u8>::Accepted.is_accepted());
+        assert!(!Admission::Dropped { victim: 1u8 }.is_accepted());
+        assert!(!Admission::Refused(1u8).is_accepted());
+    }
+}

@@ -1,0 +1,37 @@
+//! # sched — the PANIC logical scheduler
+//!
+//! §3.1.3: "Every engine contains a local scheduling queue ... each
+//! local scheduling queue is a priority queue. When the heavyweight RMT
+//! pipeline computes the chain of offloads to send a message through,
+//! it also computes an end-to-end slack time for each offload in the
+//! chain ... Although simple, this approach is able to implement any
+//! arbitrary local scheduling algorithm \[25\]."
+//!
+//! * [`pifo`] — a Push-In-First-Out priority queue (Sivaraman et al.
+//!   \[35\]): push with an arbitrary rank, pop minimum rank, FIFO within
+//!   equal ranks.
+//! * [`slack`] — Least-Slack-Time-First ranking (Mittal et al. \[25\]):
+//!   a message arriving at cycle `t` with slack budget `s` gets rank
+//!   `t + s`, its local deadline. A PIFO over deadlines *is* LSTF.
+//! * [`admission`] — what happens when a queue is full: tail-drop,
+//!   intelligent drop (shed the largest-slack message, §4.3), or
+//!   lossless backpressure (§6's DMA-descriptor requirement).
+//! * [`queue`] — [`queue::SchedQueue`], the assembled
+//!   per-engine scheduler: PIFO + admission + wait-time accounting.
+//! * [`drr`] — deficit round-robin across tenants, an alternative
+//!   discipline demonstrating that the slack interface is not the only
+//!   policy the architecture admits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod drr;
+pub mod pifo;
+pub mod queue;
+pub mod slack;
+
+pub use admission::{Admission, AdmissionPolicy};
+pub use pifo::Pifo;
+pub use queue::{SchedQueue, SchedStats};
+pub use slack::deadline_rank;

@@ -1,0 +1,41 @@
+//! # sim-core — deterministic cycle-level simulation kernel
+//!
+//! The PANIC reproduction simulates a NIC at cycle granularity: routers,
+//! match+action stages, and offload engines all advance one clock cycle at
+//! a time. This crate provides the shared substrate those models are built
+//! on:
+//!
+//! * [`time`] — strongly-typed cycles, frequencies, durations, and
+//!   bandwidths, plus the arithmetic that converts between them. All of
+//!   the paper's Table 2/Table 3 unit math lives on these types.
+//! * [`rng`] — small, seedable, splittable PRNGs. Every stochastic
+//!   component derives its stream from a root seed so a run is a pure
+//!   function of its configuration.
+//! * [`events`] — a deterministic future-event queue for long-latency
+//!   completions (DMA round trips, host interrupts).
+//! * [`queue`] — bounded FIFOs with occupancy accounting and credit
+//!   counters, the building block for lossless on-chip flow control.
+//! * [`stats`] — counters, rate meters, and log-bucketed histograms used
+//!   to report throughput and latency percentiles.
+//! * [`clock`] — the two-phase `Clocked` component trait and a tiny
+//!   driver for running a set of components for N cycles.
+//!
+//! Nothing in this crate knows about packets or NICs; it is a generic
+//! discrete-time kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::{run_for, Clocked};
+pub use events::EventQueue;
+pub use queue::{BoundedQueue, CreditCounter};
+pub use rng::{SimRng, SplitMix64};
+pub use stats::{Counter, Histogram, RateMeter, Summary};
+pub use time::{Bandwidth, ByteSize, Cycle, Cycles, Freq, Time};

@@ -1,0 +1,260 @@
+//! Bounded queues and credit counters.
+//!
+//! The PANIC on-chip network is *lossless* (§3.1.2): routers never drop
+//! flits; instead, a sender may only transmit when the receiver has
+//! buffer space, tracked with credits. [`BoundedQueue`] is the buffer
+//! half and [`CreditCounter`] the sender-side half of that protocol.
+//! Both keep occupancy statistics so experiments can report buffer
+//! pressure (§4.3).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with occupancy accounting.
+///
+/// Pushing into a full queue is an *error return*, not a panic: in a
+/// lossless network the caller must treat it as backpressure, and in a
+/// lossy context the caller counts it as a drop.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark of occupancy over the queue's lifetime.
+    peak: usize,
+    /// Total items ever accepted.
+    accepted: u64,
+    /// Total push attempts rejected because the queue was full.
+    rejected: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity buffer can never
+    /// make progress and always indicates a configuration bug.
+    #[must_use]
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "zero-capacity queue");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Attempts to enqueue. Returns `Err(item)` (giving the item back)
+    /// if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more items fit.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining space.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime high-water mark of occupancy.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total items accepted over the queue's lifetime.
+    #[must_use]
+    pub fn total_accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total push attempts rejected (drops, in a lossy context).
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Iterates over queued items front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+/// Sender-side credit tracking for lossless links.
+///
+/// The counter starts at the downstream buffer's capacity. Sending a
+/// unit consumes a credit; the downstream returns one credit per unit it
+/// drains. The invariant `0 <= credits <= initial` is enforced, because
+/// either violation means the flow-control protocol is broken (overrun
+/// or phantom credit) and continuing would mask the bug.
+#[derive(Debug, Clone)]
+pub struct CreditCounter {
+    credits: usize,
+    initial: usize,
+}
+
+impl CreditCounter {
+    /// A counter for a downstream buffer of `initial` units.
+    #[must_use]
+    pub fn new(initial: usize) -> CreditCounter {
+        CreditCounter {
+            credits: initial,
+            initial,
+        }
+    }
+
+    /// True if at least one credit is available.
+    #[must_use]
+    pub fn available(&self) -> bool {
+        self.credits > 0
+    }
+
+    /// Current credit count.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.credits
+    }
+
+    /// Consumes one credit to send one unit.
+    ///
+    /// # Panics
+    /// Panics if no credit is available — sending without a credit would
+    /// overrun the lossless downstream buffer.
+    pub fn consume(&mut self) {
+        assert!(self.credits > 0, "credit underflow: send without credit");
+        self.credits -= 1;
+    }
+
+    /// Returns one credit (downstream drained one unit).
+    ///
+    /// # Panics
+    /// Panics if this would exceed the initial credit count — a phantom
+    /// credit means the protocol double-counted a drain.
+    pub fn refill(&mut self) {
+        assert!(
+            self.credits < self.initial,
+            "credit overflow: refill beyond initial {}",
+            self.initial
+        );
+        self.credits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.front(), Some(&2));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut q = BoundedQueue::new(3);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        q.pop();
+        q.push('c').unwrap();
+        assert_eq!(q.peak_occupancy(), 2);
+        assert_eq!(q.total_accepted(), 3);
+        assert_eq!(q.total_rejected(), 0);
+        q.push('d').unwrap();
+        let _ = q.push('e');
+        assert_eq!(q.peak_occupancy(), 3);
+        assert_eq!(q.total_rejected(), 1);
+        assert_eq!(q.free(), 0);
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec!['b', 'c', 'd']);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn credits_roundtrip() {
+        let mut c = CreditCounter::new(2);
+        assert!(c.available());
+        c.consume();
+        c.consume();
+        assert!(!c.available());
+        assert_eq!(c.count(), 0);
+        c.refill();
+        assert!(c.available());
+        c.consume();
+        c.refill();
+        c.refill();
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit underflow")]
+    fn send_without_credit_panics() {
+        let mut c = CreditCounter::new(1);
+        c.consume();
+        c.consume();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn phantom_credit_panics() {
+        let mut c = CreditCounter::new(1);
+        c.refill();
+    }
+}

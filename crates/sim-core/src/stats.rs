@@ -1,0 +1,438 @@
+//! Measurement: counters, rate meters, and latency histograms.
+//!
+//! Experiments report three kinds of numbers: totals (packets forwarded,
+//! drops), rates (packets/cycles ⇒ pps, Gbps), and latency distributions
+//! (mean, p50/p99/max in cycles or µs). The histogram uses logarithmic
+//! bucketing with linear sub-buckets (HDR-histogram style): bounded
+//! memory regardless of range, with relative quantile error under ~6%.
+
+use crate::time::{Cycle, Cycles};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.value
+    }
+}
+
+/// Converts an event count over a simulated interval into a rate.
+///
+/// A `RateMeter` is windowless by design: simulations run for a fixed
+/// horizon and the rate of interest is `events / horizon`. The caller
+/// supplies the component clock frequency to express the rate per
+/// second.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMeter {
+    events: u64,
+    units: u64,
+    start: Cycle,
+}
+
+impl RateMeter {
+    /// Starts measuring at `start`.
+    #[must_use]
+    pub fn new(start: Cycle) -> RateMeter {
+        RateMeter {
+            events: 0,
+            units: 0,
+            start,
+        }
+    }
+
+    /// Records one event carrying `units` of payload (e.g. bytes).
+    pub fn record(&mut self, units: u64) {
+        self.events += 1;
+        self.units += units;
+    }
+
+    /// Events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Payload units recorded so far.
+    #[must_use]
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Events per cycle over `[start, now]`. Zero if no time elapsed.
+    #[must_use]
+    pub fn events_per_cycle(&self, now: Cycle) -> f64 {
+        let elapsed = now.saturating_since(self.start).count();
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.events as f64 / elapsed as f64
+        }
+    }
+
+    /// Payload units per cycle over `[start, now]`.
+    #[must_use]
+    pub fn units_per_cycle(&self, now: Cycle) -> f64 {
+        let elapsed = now.saturating_since(self.start).count();
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.units as f64 / elapsed as f64
+        }
+    }
+
+    /// Events per second given the component clock `freq_hz`.
+    #[must_use]
+    pub fn events_per_second(&self, now: Cycle, freq_hz: u64) -> f64 {
+        self.events_per_cycle(now) * freq_hz as f64
+    }
+
+    /// Payload bits per second, if units are bytes.
+    #[must_use]
+    pub fn bits_per_second(&self, now: Cycle, freq_hz: u64) -> f64 {
+        self.units_per_cycle(now) * 8.0 * freq_hz as f64
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 gives a
+/// worst-case relative error of 1/32 ≈ 3.1% on recovered quantiles.
+const SUB_BUCKETS: usize = 32;
+const SUB_BUCKET_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-bucketed histogram of `u64` samples (HDR-histogram style).
+///
+/// Values up to `SUB_BUCKETS` are recorded exactly; larger values land
+/// in `(log2-range, linear sub-bucket)` cells. Memory is O(64 × 32)
+/// regardless of the value range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // The bucket is determined by the position of the leading bit;
+        // the sub-bucket by the next SUB_BUCKET_BITS bits.
+        let leading = 63 - value.leading_zeros();
+        let bucket = leading - SUB_BUCKET_BITS + 1;
+        let sub = (value >> (leading - SUB_BUCKET_BITS)) as usize & (SUB_BUCKETS - 1);
+        (bucket as usize) * SUB_BUCKETS + sub + SUB_BUCKETS
+    }
+
+    /// Representative (midpoint-ish lower bound) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let index = index - SUB_BUCKETS;
+        let bucket = (index / SUB_BUCKETS) as u32;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << (bucket + SUB_BUCKET_BITS - 1);
+        base + sub * (base >> SUB_BUCKET_BITS)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a latency expressed in cycles.
+    pub fn record_cycles(&mut self, value: Cycles) {
+        self.record(value.count());
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, within bucket resolution.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: p50.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: p99.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Snapshot of the distribution's headline numbers.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max,
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Headline numbers of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} p50={} p90={} p99={} p99.9={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.p999, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn rate_meter_basic_rates() {
+        let mut m = RateMeter::new(Cycle(100));
+        for _ in 0..50 {
+            m.record(64);
+        }
+        let now = Cycle(200); // 100 cycles elapsed
+        assert!((m.events_per_cycle(now) - 0.5).abs() < 1e-12);
+        assert!((m.units_per_cycle(now) - 32.0).abs() < 1e-12);
+        // At 500MHz: 0.5 events/cycle = 250M events/s.
+        assert!((m.events_per_second(now, 500_000_000) - 250e6).abs() < 1.0);
+        // 32 B/cycle * 8 * 500MHz = 128 Gbps.
+        assert!((m.bits_per_second(now, 500_000_000) - 128e9).abs() < 1e3);
+        assert_eq!(m.events(), 50);
+        assert_eq!(m.units(), 3200);
+    }
+
+    #[test]
+    fn rate_meter_zero_elapsed_is_zero() {
+        let m = RateMeter::new(Cycle(5));
+        assert_eq!(m.events_per_cycle(Cycle(5)), 0.0);
+        assert_eq!(m.units_per_cycle(Cycle(3)), 0.0);
+    }
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(0.0), 0);
+        // Small values are exact.
+        assert_eq!(h.quantile(1.0), 31);
+        assert!((h.mean() - 15.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 5000u64), (0.9, 9000), (0.99, 9900)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.07, "q={q}: got {got}, want ~{expect}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2000);
+    }
+
+    #[test]
+    fn histogram_empty_summary() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn histogram_record_cycles() {
+        let mut h = Histogram::new();
+        h.record_cycles(Cycles(42));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn summary_displays() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = h.summary().to_string();
+        assert!(s.contains("n=1"), "{s}");
+    }
+
+    #[test]
+    fn index_value_roundtrip_monotonicity() {
+        // value_of(index_of(v)) must be <= v and within 6.25% of v.
+        for shift in 0..40 {
+            for off in [0u64, 1, 3, 7] {
+                let v = (1u64 << shift) + off;
+                let idx = Histogram::index_of(v);
+                let rep = Histogram::value_of(idx);
+                assert!(rep <= v, "rep {rep} > v {v}");
+                assert!(
+                    (v - rep) as f64 <= v as f64 / 16.0,
+                    "v={v} rep={rep} error too large"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Arrival processes.
+//!
+//! Each process answers one question per cycle: does a packet arrive
+//! now? Three shapes cover the experiments:
+//!
+//! * [`ArrivalProcess::Periodic`] — exactly `num/den` packets per
+//!   cycle on a deterministic accumulator; this is how "line rate" is
+//!   offered (e.g. a min-size 100 G stream at a 500 MHz NIC is
+//!   num/den = 125/420... expressed exactly, with zero jitter).
+//! * [`ArrivalProcess::Bernoulli`] — independent per-cycle arrivals
+//!   with probability `p` (the discrete analogue of Poisson traffic,
+//!   and the standard load model for NoC saturation studies).
+//! * [`ArrivalProcess::OnOff`] — a two-state Markov source: bursts at
+//!   line rate during ON, silence during OFF. Burstiness is what makes
+//!   scheduler isolation interesting.
+
+use sim_core::rng::SimRng;
+
+/// A per-cycle arrival process.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Deterministic `num/den` arrivals per cycle (`num <= den`).
+    Periodic {
+        /// Numerator of the per-cycle rate.
+        num: u64,
+        /// Denominator of the per-cycle rate.
+        den: u64,
+        /// Internal accumulator.
+        acc: u64,
+    },
+    /// One arrival with probability `p` each cycle.
+    Bernoulli {
+        /// Per-cycle arrival probability.
+        p: f64,
+    },
+    /// Markov on/off: in ON, arrivals at rate `num/den`; transitions
+    /// ON→OFF with probability `p_off`, OFF→ON with `p_on`, evaluated
+    /// per cycle.
+    OnOff {
+        /// Per-cycle rate while ON (numerator).
+        num: u64,
+        /// Per-cycle rate while ON (denominator).
+        den: u64,
+        /// P(ON → OFF) per cycle.
+        p_off: f64,
+        /// P(OFF → ON) per cycle.
+        p_on: f64,
+        /// Current state.
+        on: bool,
+        /// Internal accumulator.
+        acc: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A deterministic process emitting `num/den` packets per cycle.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or the rate exceeds one per cycle.
+    #[must_use]
+    pub fn periodic(num: u64, den: u64) -> ArrivalProcess {
+        assert!(den > 0, "zero denominator");
+        assert!(num <= den, "rate above one arrival per cycle");
+        ArrivalProcess::Periodic { num, den, acc: 0 }
+    }
+
+    /// A Bernoulli process with per-cycle probability `p`.
+    #[must_use]
+    pub fn bernoulli(p: f64) -> ArrivalProcess {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ArrivalProcess::Bernoulli { p }
+    }
+
+    /// A Markov on/off process, starting ON.
+    #[must_use]
+    pub fn on_off(num: u64, den: u64, p_off: f64, p_on: f64) -> ArrivalProcess {
+        assert!(den > 0 && num <= den, "bad on-rate");
+        ArrivalProcess::OnOff {
+            num,
+            den,
+            p_off,
+            p_on,
+            on: true,
+            acc: 0,
+        }
+    }
+
+    /// The long-run average rate in packets per cycle.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Periodic { num, den, .. } => *num as f64 / *den as f64,
+            ArrivalProcess::Bernoulli { p } => *p,
+            ArrivalProcess::OnOff {
+                num,
+                den,
+                p_off,
+                p_on,
+                ..
+            } => {
+                let duty = p_on / (p_on + p_off);
+                (*num as f64 / *den as f64) * duty
+            }
+        }
+    }
+
+    /// Polls the process for this cycle: `true` = one packet arrives.
+    pub fn poll(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            ArrivalProcess::Periodic { num, den, acc } => {
+                *acc += *num;
+                if *acc >= *den {
+                    *acc -= *den;
+                    true
+                } else {
+                    false
+                }
+            }
+            ArrivalProcess::Bernoulli { p } => rng.gen_bool(*p),
+            ArrivalProcess::OnOff {
+                num,
+                den,
+                p_off,
+                p_on,
+                on,
+                acc,
+            } => {
+                if *on {
+                    if rng.gen_bool(*p_off) {
+                        *on = false;
+                    }
+                } else if rng.gen_bool(*p_on) {
+                    *on = true;
+                }
+                if *on {
+                    *acc += *num;
+                    if *acc >= *den {
+                        *acc -= *den;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(p: &mut ArrivalProcess, rng: &mut SimRng, cycles: u64) -> u64 {
+        (0..cycles).filter(|_| p.poll(rng)).count() as u64
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let mut rng = SimRng::new(1);
+        let mut p = ArrivalProcess::periodic(3, 7);
+        // Over 7000 cycles: exactly 3000 arrivals.
+        assert_eq!(count(&mut p, &mut rng, 7000), 3000);
+        assert!((p.mean_rate() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_full_rate_every_cycle() {
+        let mut rng = SimRng::new(1);
+        let mut p = ArrivalProcess::periodic(1, 1);
+        assert_eq!(count(&mut p, &mut rng, 100), 100);
+    }
+
+    #[test]
+    fn periodic_spacing_is_even() {
+        let mut rng = SimRng::new(1);
+        let mut p = ArrivalProcess::periodic(1, 4);
+        let pattern: Vec<bool> = (0..12).map(|_| p.poll(&mut rng)).collect();
+        // Exactly every 4th cycle.
+        assert_eq!(
+            pattern,
+            vec![false, false, false, true, false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn bernoulli_rate_approximates_p() {
+        let mut rng = SimRng::new(2);
+        let mut p = ArrivalProcess::bernoulli(0.3);
+        let c = count(&mut p, &mut rng, 100_000);
+        assert!((29_000..31_000).contains(&c), "{c}");
+        assert!((p.mean_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_off_duty_cycle() {
+        let mut rng = SimRng::new(3);
+        // Mean ON period 100 cycles, OFF 300: duty 25%, on-rate 1.
+        let mut p = ArrivalProcess::on_off(1, 1, 0.01, 1.0 / 300.0);
+        let c = count(&mut p, &mut rng, 400_000);
+        let rate = c as f64 / 400_000.0;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
+        assert!((p.mean_rate() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn on_off_produces_bursts() {
+        let mut rng = SimRng::new(4);
+        let mut p = ArrivalProcess::on_off(1, 1, 0.02, 0.02);
+        // Look for at least one run of >= 10 consecutive arrivals —
+        // overwhelmingly likely with mean burst length 50.
+        let mut best = 0;
+        let mut cur = 0;
+        for _ in 0..10_000 {
+            if p.poll(&mut rng) {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        assert!(best >= 10, "longest burst {best}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut p = ArrivalProcess::bernoulli(0.5);
+            (0..64).map(|_| p.poll(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate above one")]
+    fn super_unit_rate_rejected() {
+        let _ = ArrivalProcess::periodic(2, 1);
+    }
+}

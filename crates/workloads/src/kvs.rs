@@ -1,0 +1,319 @@
+//! The multi-tenant KVS workload of §2.2 / §3.2.
+//!
+//! "Consider a key-value store like DynamoDB that serves requests from
+//! multiple different tenants that may potentially be geodistributed
+//! across multiple data centers." Each tenant has its own arrival
+//! process, priority class, GET/SET mix, and WAN flag; keys are drawn
+//! Zipf. WAN-bound requests are emitted as plaintext with `wan = true`
+//! — the scenario wraps them in ESP with the tunnel configuration it
+//! shares with its IPSec engine, so the workload crate stays
+//! independent of engine internals.
+
+use bytes::Bytes;
+use packet::kvs::KvsRequest;
+use packet::message::{Priority, TenantId};
+use sim_core::rng::SimRng;
+
+use crate::arrivals::ArrivalProcess;
+use crate::frames::{ports, FrameFactory};
+use crate::zipf::Zipf;
+
+/// One tenant's traffic description.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant id.
+    pub tenant: TenantId,
+    /// Arrival process for this tenant's requests.
+    pub arrivals: ArrivalProcess,
+    /// Priority class (drives slack computation in the NIC program).
+    pub priority: Priority,
+    /// Fraction of requests that are GETs (rest are SETs).
+    pub get_ratio: f64,
+    /// True if this tenant reaches the NIC over the WAN (IPSec).
+    pub wan: bool,
+    /// Value size for SETs (and for values stored under this tenant).
+    pub value_size: usize,
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct KvsWorkloadConfig {
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// Number of distinct keys per tenant.
+    pub keys_per_tenant: usize,
+    /// Zipf exponent for key popularity.
+    pub zipf_theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One generated request.
+#[derive(Debug, Clone)]
+pub struct KvsEvent {
+    /// Owning tenant spec index.
+    pub tenant_idx: usize,
+    /// The tenant id.
+    pub tenant: TenantId,
+    /// Priority class.
+    pub priority: Priority,
+    /// Whether the frame must be ESP-wrapped before injection.
+    pub wan: bool,
+    /// The decoded request (for checking replies).
+    pub request: KvsRequest,
+    /// The plaintext request frame.
+    pub frame: Bytes,
+}
+
+/// The workload generator.
+#[derive(Debug)]
+pub struct KvsWorkload {
+    tenants: Vec<TenantSpec>,
+    zipf: Zipf,
+    rng: SimRng,
+    factory: FrameFactory,
+    next_request_id: u32,
+    /// Requests generated so far.
+    pub generated: u64,
+}
+
+impl KvsWorkload {
+    /// Builds the generator.
+    ///
+    /// # Panics
+    /// Panics if no tenants are configured.
+    #[must_use]
+    pub fn new(config: KvsWorkloadConfig) -> KvsWorkload {
+        assert!(!config.tenants.is_empty(), "no tenants");
+        KvsWorkload {
+            zipf: Zipf::new(config.keys_per_tenant, config.zipf_theta),
+            tenants: config.tenants,
+            rng: SimRng::new(config.seed),
+            factory: FrameFactory::for_nic_port(0),
+            next_request_id: 1,
+            generated: 0,
+        }
+    }
+
+    /// The key space size per tenant.
+    #[must_use]
+    pub fn keys_per_tenant(&self) -> usize {
+        self.zipf.len()
+    }
+
+    /// Namespaced key: tenant in the top bits, rank below.
+    #[must_use]
+    pub fn key_for(tenant: TenantId, rank: usize) -> u64 {
+        (u64::from(tenant.0) << 32) | rank as u64
+    }
+
+    /// Deterministic value bytes for a key (verifiable end to end).
+    #[must_use]
+    pub fn value_for(key: u64, len: usize) -> Bytes {
+        let mut v = Vec::with_capacity(len);
+        let mut x = key ^ 0x0a1_0000 ^ 0x5555_5555;
+        for _ in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push((x >> 56) as u8);
+        }
+        Bytes::from(v)
+    }
+
+    /// Advances one cycle, returning the requests arriving this cycle
+    /// (at most one per tenant).
+    pub fn tick(&mut self) -> Vec<KvsEvent> {
+        let mut events = Vec::new();
+        for idx in 0..self.tenants.len() {
+            let arrived = self.tenants[idx].arrivals.poll(&mut self.rng);
+            if !arrived {
+                continue;
+            }
+            let spec = &self.tenants[idx];
+            let rank = self.zipf.sample(&mut self.rng);
+            let key = Self::key_for(spec.tenant, rank);
+            let request_id = self.next_request_id;
+            self.next_request_id = self.next_request_id.wrapping_add(1);
+            let is_get = self.rng.gen_bool(spec.get_ratio);
+            let request = if is_get {
+                KvsRequest::get(spec.tenant.0, request_id, key)
+            } else {
+                KvsRequest::set(
+                    spec.tenant.0,
+                    request_id,
+                    key,
+                    Self::value_for(key, spec.value_size),
+                )
+            };
+            let src_ip = if spec.wan {
+                FrameFactory::wan_client_ip(spec.tenant.0)
+            } else {
+                FrameFactory::lan_client_ip(spec.tenant.0)
+            };
+            let frame = self.factory.inbound_udp(
+                src_ip,
+                20_000 + spec.tenant.0,
+                ports::KVS,
+                &request.encode(),
+                64,
+            );
+            self.generated += 1;
+            events.push(KvsEvent {
+                tenant_idx: idx,
+                tenant: spec.tenant,
+                priority: spec.priority,
+                wan: spec.wan,
+                request,
+                frame,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packet::kvs::KvsOp;
+
+    fn config() -> KvsWorkloadConfig {
+        KvsWorkloadConfig {
+            tenants: vec![
+                TenantSpec {
+                    tenant: TenantId(1),
+                    arrivals: ArrivalProcess::periodic(1, 4),
+                    priority: Priority::Latency,
+                    get_ratio: 0.9,
+                    wan: false,
+                    value_size: 32,
+                },
+                TenantSpec {
+                    tenant: TenantId(2),
+                    arrivals: ArrivalProcess::periodic(1, 2),
+                    priority: Priority::Bulk,
+                    get_ratio: 0.5,
+                    wan: true,
+                    value_size: 128,
+                },
+            ],
+            keys_per_tenant: 100,
+            zipf_theta: 0.99,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn rates_follow_arrival_processes() {
+        let mut w = KvsWorkload::new(config());
+        let mut per_tenant = [0u32; 2];
+        for _ in 0..4000 {
+            for e in w.tick() {
+                per_tenant[e.tenant_idx] += 1;
+            }
+        }
+        assert_eq!(per_tenant[0], 1000);
+        assert_eq!(per_tenant[1], 2000);
+        assert_eq!(w.generated, 3000);
+    }
+
+    #[test]
+    fn get_set_mix_approximates_ratio() {
+        let mut w = KvsWorkload::new(config());
+        let mut gets = 0;
+        let mut sets = 0;
+        for _ in 0..4000 {
+            for e in w.tick() {
+                if e.tenant_idx == 0 {
+                    match e.request.op {
+                        KvsOp::Get => gets += 1,
+                        KvsOp::Set => sets += 1,
+                        _ => panic!("unexpected op"),
+                    }
+                }
+            }
+        }
+        let ratio = f64::from(gets) / f64::from(gets + sets);
+        assert!((0.85..0.95).contains(&ratio), "get ratio {ratio}");
+    }
+
+    #[test]
+    fn frames_decode_back_to_requests() {
+        let mut w = KvsWorkload::new(config());
+        for _ in 0..100 {
+            for e in w.tick() {
+                // Frame is >= 64B and the embedded request matches.
+                assert!(e.frame.len() >= 64);
+                let decoded = KvsRequest::decode(&e.frame[42..]).unwrap();
+                assert_eq!(decoded, e.request);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_tenant_namespaced_and_zipf_skewed() {
+        let mut w = KvsWorkload::new(config());
+        let mut rank0 = 0u32;
+        let mut total = 0u32;
+        for _ in 0..8000 {
+            for e in w.tick() {
+                assert_eq!(e.request.key >> 32, u64::from(e.tenant.0));
+                if e.request.key & 0xffff_ffff == 0 {
+                    rank0 += 1;
+                }
+                total += 1;
+            }
+        }
+        // Rank 0 should be far above uniform (1%).
+        let frac = f64::from(rank0) / f64::from(total);
+        assert!(frac > 0.1, "rank-0 fraction {frac}");
+    }
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        let a = KvsWorkload::value_for(42, 64);
+        let b = KvsWorkload::value_for(42, 64);
+        let c = KvsWorkload::value_for(43, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn wan_flag_and_addressing() {
+        let mut w = KvsWorkload::new(config());
+        for _ in 0..100 {
+            for e in w.tick() {
+                let src_octet = e.frame[26]; // IP src first octet
+                if e.wan {
+                    assert_eq!(src_octet, 198);
+                } else {
+                    assert_eq!(src_octet, 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut w1 = KvsWorkload::new(config());
+        let mut w2 = KvsWorkload::new(config());
+        for _ in 0..200 {
+            let e1 = w1.tick();
+            let e2 = w2.tick();
+            assert_eq!(e1.len(), e2.len());
+            for (a, b) in e1.iter().zip(&e2) {
+                assert_eq!(a.frame, b.frame);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no tenants")]
+    fn empty_tenants_rejected() {
+        let _ = KvsWorkload::new(KvsWorkloadConfig {
+            tenants: vec![],
+            keys_per_tenant: 1,
+            zipf_theta: 0.0,
+            seed: 0,
+        });
+    }
+}

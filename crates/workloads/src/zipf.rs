@@ -1,0 +1,136 @@
+//! Zipf-distributed sampling.
+//!
+//! KVS key popularity is classically Zipfian (the DynamoDB/memcached
+//! literature the paper's example leans on). The sampler precomputes
+//! the CDF once — O(n) setup, O(log n) sampling by binary search —
+//! which is fine at the 10^4–10^6 key counts experiments use.
+
+use sim_core::rng::SimRng;
+
+/// A Zipf(θ) sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta`.
+    /// `theta = 0` is uniform; `theta ≈ 0.99` is the YCSB default.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `theta` is negative.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "empty key space");
+        assert!(theta >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point undershoot at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction); for clippy symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `r`.
+    #[must_use]
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::new(5);
+        let mut head = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 and n=1000, the top-10 ranks carry ~38% of
+        // the mass.
+        let frac = f64::from(head) / f64::from(n);
+        assert!((0.30..0.45).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_cover_range_and_respect_ranking() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = SimRng::new(6);
+        let mut counts = vec![0u32; 50];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+        assert!(counts.iter().all(|&c| c > 0), "full support");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.8);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn single_item_always_samples_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_items_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}
