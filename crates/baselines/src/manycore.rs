@@ -26,6 +26,10 @@ use packet::message::{Message, Priority};
 use sim_core::stats::Histogram;
 use sim_core::time::{Cycle, Cycles};
 
+/// A shared hardware engine plus the UDP ports it applies to
+/// (`None` = every packet visits it).
+pub type PortFilteredEngine = (Box<dyn Offload>, Option<Vec<u16>>);
+
 /// Manycore NIC configuration.
 pub struct ManycoreConfig {
     /// Number of embedded cores.
@@ -35,9 +39,20 @@ pub struct ManycoreConfig {
     pub orchestration_cycles: u64,
     /// Shared hardware engines, with the UDP ports each applies to
     /// (`None` = all packets visit it).
-    pub engines: Vec<(Box<dyn Offload>, Option<Vec<u16>>)>,
+    pub engines: Vec<PortFilteredEngine>,
     /// Per-core input queue capacity.
     pub core_queue_capacity: usize,
+}
+
+impl std::fmt::Debug for ManycoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManycoreConfig")
+            .field("cores", &self.cores)
+            .field("orchestration_cycles", &self.orchestration_cycles)
+            .field("engines", &self.engines.len())
+            .field("core_queue_capacity", &self.core_queue_capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 struct Core {
@@ -70,6 +85,15 @@ pub struct ManycoreNic {
     pub accepted: u64,
 }
 
+impl std::fmt::Debug for ManycoreNic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManycoreNic")
+            .field("cores", &self.cores.len())
+            .field("hw", &self.hw.len())
+            .finish_non_exhaustive()
+    }
+}
+
 fn flow_hash(msg: &Message) -> u64 {
     use packet::headers::{EthernetHeader, Ipv4Header};
     let h = EthernetHeader::parse(&msg.payload)
@@ -90,7 +114,9 @@ fn udp_dst_port(frame: &[u8]) -> Option<u16> {
     if ip.protocol != packet::headers::ipproto::UDP {
         return None;
     }
-    UdpHeader::parse(&frame[n1 + n2..]).ok().map(|(u, _)| u.dst_port)
+    UdpHeader::parse(&frame[n1 + n2..])
+        .ok()
+        .map(|(u, _)| u.dst_port)
 }
 
 impl ManycoreNic {
@@ -239,7 +265,9 @@ impl ManycoreNic {
     /// True when idle everywhere.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.cores.iter().all(|c| c.queue.is_empty() && c.busy.is_none())
+        self.cores
+            .iter()
+            .all(|c| c.queue.is_empty() && c.busy.is_none())
             && self
                 .hw
                 .iter()

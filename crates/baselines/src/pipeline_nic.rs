@@ -28,6 +28,14 @@ pub struct StageSpec {
     pub applies_to_ports: Option<Vec<u16>>,
 }
 
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("applies_to_ports", &self.applies_to_ports)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Pipeline NIC configuration.
 pub struct PipelineNicConfig {
     /// The stages, in wire order.
@@ -38,6 +46,15 @@ pub struct PipelineNicConfig {
     pub bypass_logic: bool,
     /// Per-stage input queue capacity (FIFO; overflow drops).
     pub stage_queue_capacity: usize,
+}
+
+impl std::fmt::Debug for PipelineNicConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineNicConfig")
+            .field("stages", &self.stages.len())
+            .field("stage_queue_capacity", &self.stage_queue_capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 struct Stage {
@@ -63,7 +80,9 @@ fn udp_dst_port(frame: &[u8]) -> Option<u16> {
     if ip.protocol != packet::headers::ipproto::UDP {
         return None;
     }
-    UdpHeader::parse(&frame[n1 + n2..]).ok().map(|(u, _)| u.dst_port)
+    UdpHeader::parse(&frame[n1 + n2..])
+        .ok()
+        .map(|(u, _)| u.dst_port)
 }
 
 /// The pipelined NIC.
@@ -81,6 +100,14 @@ pub struct PipelineNic {
     pub consumed: u64,
     /// Packets accepted.
     pub accepted: u64,
+}
+
+impl std::fmt::Debug for PipelineNic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineNic")
+            .field("stages", &self.stages.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl PipelineNic {
@@ -156,8 +183,7 @@ impl PipelineNic {
             // Complete service.
             if let Some((_, done_at, _)) = &self.stages[i].in_service {
                 if now >= *done_at {
-                    let (msg, _, applied) =
-                        self.stages[i].in_service.take().expect("checked");
+                    let (msg, _, applied) = self.stages[i].in_service.take().expect("checked");
                     let outputs = if applied {
                         self.stages[i].offload.process(msg, now)
                     } else {
@@ -170,9 +196,7 @@ impl PipelineNic {
                             | Output::ToPipeline(m) => {
                                 // Fixed topology: next stage or egress.
                                 if i + 1 < self.stages.len() {
-                                    if self.stages[i + 1].queue.len()
-                                        >= self.stage_queue_capacity
-                                    {
+                                    if self.stages[i + 1].queue.len() >= self.stage_queue_capacity {
                                         self.drops += 1;
                                     } else {
                                         self.stages[i + 1].queue.push_back(m);
@@ -252,7 +276,11 @@ mod tests {
     #[test]
     fn packets_traverse_all_stages_in_order() {
         let mut nic = PipelineNic::new(PipelineNicConfig {
-            stages: vec![null_stage(1, None), null_stage(1, None), null_stage(1, None)],
+            stages: vec![
+                null_stage(1, None),
+                null_stage(1, None),
+                null_stage(1, None),
+            ],
             bypass_logic: false,
             stage_queue_capacity: 16,
         });

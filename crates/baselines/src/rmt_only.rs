@@ -88,6 +88,16 @@ pub struct RmtOnlyNic {
     pub accepted: u64,
 }
 
+impl std::fmt::Debug for RmtOnlyNic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmtOnlyNic")
+            .field("punted", &self.punted)
+            .field("recirculation_passes", &self.recirculation_passes)
+            .field("accepted", &self.accepted)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RmtOnlyNic {
     /// Builds the NIC.
     #[must_use]

@@ -7,15 +7,43 @@
 //! repro table3 kvs   # run a subset
 //! ```
 
+#![forbid(unsafe_code)]
+
 use panic_bench::experiments;
+use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
+
+/// Statically verifies the scenario configurations the experiments are
+/// built on, so a broken config fails fast with readable diagnostics
+/// instead of a mysterious mid-simulation panic. Error-severity
+/// findings abort; warnings (e.g. PV002's chain-length model on
+/// deliberately overdriven configs) are reported and tolerated.
+fn preflight_lint() {
+    let specs = [
+        (
+            "chain",
+            ChainScenario::lint_spec(&ChainScenarioConfig::default()),
+        ),
+        (
+            "kvs",
+            KvsScenario::lint_spec(&KvsScenarioConfig::two_tenant_default()),
+        ),
+    ];
+    for (name, spec) in &specs {
+        let report = panic_verify::verify(spec);
+        if report.error_count() > 0 {
+            eprintln!(
+                "preflight lint failed for `{name}`:\n{}",
+                report.render_human()
+            );
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let selected: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
 
     let all = experiments::all();
     if selected.is_empty() {
@@ -26,6 +54,8 @@ fn main() {
         }
         std::process::exit(2);
     }
+
+    preflight_lint();
 
     let run_all = selected.iter().any(|s| s.as_str() == "all");
     let mut ran = 0;

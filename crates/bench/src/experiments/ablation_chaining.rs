@@ -17,13 +17,13 @@ use noc::topology::Topology;
 use packet::chain::{EngineClass, EngineId};
 use packet::message::{Priority, TenantId};
 use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
 use rmt::action::{Action, Primitive, SlackExpr};
 use rmt::parse::ParseGraph;
 use rmt::pipeline::PipelineConfig;
 use rmt::program::{ProgramBuilder, RmtProgram};
 use rmt::table::{MatchKey, MatchKind, Table, TableEntry};
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
 use workloads::frames::FrameFactory;
 
 use crate::fmt::{f, TableFmt};
@@ -70,10 +70,7 @@ fn recirc_program(offloads: &[EngineId], egress: EngineId) -> RmtProgram {
             priority: 0,
             action: Action::named(
                 "one-hop",
-                vec![
-                    Primitive::PushHop { engine, slack },
-                    Primitive::Recirculate,
-                ],
+                vec![Primitive::PushHop { engine, slack }, Primitive::Recirculate],
             ),
         });
     }
@@ -124,7 +121,11 @@ pub fn run_mode(mode: ChainMode, chain_len: usize, period: u64, cycles: u64) -> 
     let offloads: Vec<EngineId> = (0..chain_len)
         .map(|i| {
             b.engine(
-                Box::new(NullOffload::new(format!("o{i}"), EngineClass::Asic, Cycles(1))),
+                Box::new(NullOffload::new(
+                    format!("o{i}"),
+                    EngineClass::Asic,
+                    Cycles(1),
+                )),
                 TileConfig::default(),
             )
         })

@@ -15,8 +15,8 @@
 //!   accepting the mesh's latency to escape the crossbar's wiring.
 
 use bytes::Bytes;
-use packet::{Message, MessageId, MessageKind};
 use noc::topology::Topology;
+use packet::{Message, MessageId, MessageKind};
 use sim_core::rng::SimRng;
 use std::collections::VecDeque;
 
@@ -27,6 +27,7 @@ use crate::fmt::{f, TableFmt};
 /// per cycle to its head-of-line destination if that output is free.
 /// (No virtual output queues, so it exhibits classic HOL limiting at
 /// ~58% under uniform traffic — the best a *simple* crossbar does.)
+#[derive(Debug)]
 pub struct Crossbar {
     inputs: Vec<VecDeque<(u32, usize, Option<Message>)>>, // (flits_left, dest, msg)
     delivered_flits: u64,

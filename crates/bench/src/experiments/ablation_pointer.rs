@@ -101,9 +101,21 @@ pub fn run(quick: bool) -> String {
         let ptr = run_mode(16, rate, cycles);
         t.row(vec![
             f(rate, 2),
-            format!("{} / {}", f(big.delivered_per_cycle, 2), f(big.mean_latency, 0)),
-            format!("{} / {}", f(small.delivered_per_cycle, 2), f(small.mean_latency, 0)),
-            format!("{} / {}", f(ptr.delivered_per_cycle, 2), f(ptr.mean_latency, 0)),
+            format!(
+                "{} / {}",
+                f(big.delivered_per_cycle, 2),
+                f(big.mean_latency, 0)
+            ),
+            format!(
+                "{} / {}",
+                f(small.delivered_per_cycle, 2),
+                f(small.mean_latency, 0)
+            ),
+            format!(
+                "{} / {}",
+                f(ptr.delivered_per_cycle, 2),
+                f(ptr.mean_latency, 0)
+            ),
         ]);
     }
     t.note(

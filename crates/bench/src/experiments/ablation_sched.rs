@@ -139,7 +139,13 @@ pub fn run(quick: bool) -> String {
     let cycles = if quick { 100_000 } else { 1_000_000 };
     let mut t = TableFmt::new(
         "Ablation (S3.1.3) — probe wait at one contended engine: LSTF vs FIFO vs DRR (cycles)",
-        &["Discipline", "Probe p50", "Probe p99", "Probe max", "Bulk served"],
+        &[
+            "Discipline",
+            "Probe p50",
+            "Probe p99",
+            "Probe max",
+            "Bulk served",
+        ],
     );
     for (name, d) in [
         ("LSTF (slack PIFO)", Discipline::Lstf),

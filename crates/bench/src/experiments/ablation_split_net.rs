@@ -53,11 +53,7 @@ pub fn run_config(unified: bool, data_share: f64, cycles: u64) -> f64 {
             // One message attempt per node per 8 cycles keeps sources
             // saturated without unbounded queues (source cap below).
             let is_data = rng.gen_bool(data_share);
-            let which = if unified {
-                0
-            } else {
-                usize::from(!is_data)
-            };
+            let which = if unified { 0 } else { usize::from(!is_data) };
             let src = EngineId(node as u16);
             if nets[which].source_depth(src) < 32 {
                 let mut dst = rng.gen_range(n as u64) as usize;

@@ -11,8 +11,8 @@
 //! pipeline switching collapses beyond `(L+1) × 0.25 > 2`, i.e.
 //! `L > 7`, while PANIC stays flat.
 
-use bytes::Bytes;
 use baselines::rmt_only::{ComplexPolicy, RmtOnlyConfig, RmtOnlyNic};
+use bytes::Bytes;
 use packet::headers::{
     build_esp_frame, ethertype, EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr,
 };
@@ -113,11 +113,7 @@ pub fn run(quick: bool) -> String {
     for len in [0usize, 1, 2, 4, 6, 8, 12] {
         let panic_frac = panic_fraction(len, cycles);
         let rmt_frac = pipeline_switched_fraction(len as u32 + 1, cycles);
-        t.row(vec![
-            len.to_string(),
-            f(panic_frac, 3),
-            f(rmt_frac, 3),
-        ]);
+        t.row(vec![len.to_string(), f(panic_frac, 3), f(rmt_frac, 3)]);
     }
     t.note(
         "Offered: min-size frames at 0.25 packets/cycle. Pipeline capacity F x P = 2/cycle: \

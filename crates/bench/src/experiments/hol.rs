@@ -8,15 +8,16 @@
 //! pipeline routes probes straight to the egress port; they never
 //! visit the slow engine's queue.
 
+use baselines::pipeline_nic::{PipelineNic, PipelineNicConfig, StageSpec};
 use engines::engine::NullOffload;
 use engines::mac::MacEngine;
 use engines::tile::TileConfig;
-use baselines::pipeline_nic::{PipelineNic, PipelineNicConfig, StageSpec};
 use noc::router::RouterConfig;
 use noc::topology::Topology;
 use packet::chain::EngineClass;
 use packet::message::{Message, MessageId, MessageKind, Priority, TenantId};
 use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
 use rmt::action::{Action, Primitive, SlackExpr};
 use rmt::parse::ParseGraph;
 use rmt::pipeline::PipelineConfig;
@@ -25,7 +26,6 @@ use rmt::table::{MatchKey, MatchKind, Table, TableEntry};
 use sim_core::rng::SimRng;
 use sim_core::stats::Summary;
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
 use workloads::frames::FrameFactory;
 
 const SLOW_SERVICE: u64 = 60;

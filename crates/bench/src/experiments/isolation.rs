@@ -18,12 +18,12 @@ use engines::tile::TileConfig;
 use noc::router::RouterConfig;
 use noc::topology::Topology;
 use packet::message::{Priority, TenantId};
+use panic_core::nic::{NicConfig, PanicNic};
+use panic_core::programs::{host_delivery_program, SlackProfile};
 use rmt::pipeline::PipelineConfig;
 use sched::admission::AdmissionPolicy;
 use sim_core::stats::Summary;
 use sim_core::time::{Cycle, Cycles, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
-use panic_core::programs::{host_delivery_program, SlackProfile};
 use workloads::frames::{ports, FrameFactory};
 
 use crate::fmt::TableFmt;
@@ -81,6 +81,7 @@ pub fn run_with_profile(profile: SlackProfile, cycles: u64) -> IsolationPoint {
         TileConfig {
             queue_capacity: 512,
             admission: AdmissionPolicy::TailDrop,
+            ..TileConfig::default()
         },
     );
     let _ = b.rmt_portal();
@@ -95,13 +96,8 @@ pub fn run_with_profile(profile: SlackProfile, cycles: u64) -> IsolationPoint {
         // Bulk: a 1 KB frame every 190 cycles — ~0.96 utilization of
         // the DMA engine once contention is averaged in.
         if step % 190 == 0 {
-            let frame = factory.inbound_udp(
-                FrameFactory::lan_client_ip(2),
-                9,
-                ports::BULK,
-                &[],
-                1024,
-            );
+            let frame =
+                factory.inbound_udp(FrameFactory::lan_client_ip(2), 9, ports::BULK, &[], 1024);
             nic.rx_frame(eth, frame, TenantId(2), Priority::Normal, now);
         }
         // Probe: a min frame every 400 cycles.
@@ -191,7 +187,11 @@ mod tests {
             80_000,
         );
         let fifo = run_with_profile(SlackProfile::flat(5_000), 80_000);
-        assert!(lstf.probe.count > 100, "probes measured: {}", lstf.probe.count);
+        assert!(
+            lstf.probe.count > 100,
+            "probes measured: {}",
+            lstf.probe.count
+        );
         assert!(
             fifo.probe.p99 > lstf.probe.p99 * 2,
             "FIFO p99 {} vs LSTF p99 {}",

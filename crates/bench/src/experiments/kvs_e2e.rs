@@ -73,7 +73,11 @@ mod tests {
         // host path must still dominate.
         let s = super::run_once(0, 50_000);
         let r = s.report();
-        assert!(r.cache_misses > r.cache_hits, "{:?}", (r.cache_hits, r.cache_misses));
+        assert!(
+            r.cache_misses > r.cache_hits,
+            "{:?}",
+            (r.cache_hits, r.cache_misses)
+        );
         assert!(r.host_path.count > 50);
     }
 

@@ -7,19 +7,19 @@
 //! PANIC, where the pipeline + NoC + hardware engine path is all
 //! hardware.
 
+use baselines::manycore::{ManycoreConfig, ManycoreNic};
 use engines::engine::NullOffload;
 use engines::mac::MacEngine;
 use engines::tile::TileConfig;
-use baselines::manycore::{ManycoreConfig, ManycoreNic};
 use noc::router::RouterConfig;
 use noc::topology::Topology;
 use packet::chain::EngineClass;
 use packet::message::{Message, MessageId, MessageKind, Priority, TenantId};
+use panic_core::nic::{NicConfig, PanicNic};
+use panic_core::programs::chain_program;
 use rmt::pipeline::PipelineConfig;
 use sim_core::stats::Summary;
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
-use panic_core::programs::chain_program;
 use workloads::frames::FrameFactory;
 
 /// Orchestration cost: 10 µs at 500 MHz.
@@ -34,7 +34,11 @@ pub fn manycore_latency(cycles: u64) -> Summary {
         cores: 16,
         orchestration_cycles: ORCHESTRATION_CYCLES,
         engines: vec![(
-            Box::new(NullOffload::new("hw", EngineClass::Asic, Cycles(HW_SERVICE))),
+            Box::new(NullOffload::new(
+                "hw",
+                EngineClass::Asic,
+                Cycles(HW_SERVICE),
+            )),
             None,
         )],
         core_queue_capacity: 256,
@@ -81,7 +85,11 @@ pub fn panic_latency(cycles: u64) -> Summary {
         TileConfig::default(),
     );
     let hw = b.engine(
-        Box::new(NullOffload::new("hw", EngineClass::Asic, Cycles(HW_SERVICE))),
+        Box::new(NullOffload::new(
+            "hw",
+            EngineClass::Asic,
+            Cycles(HW_SERVICE),
+        )),
         TileConfig::default(),
     );
     let _ = b.rmt_portal();

@@ -20,6 +20,7 @@ use noc::topology::Topology;
 use packet::chain::{EngineClass, EngineId};
 use packet::message::{Priority, TenantId};
 use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
 use rmt::action::{Action, Primitive, SlackExpr};
 use rmt::parse::ParseGraph;
 use rmt::pipeline::PipelineConfig;
@@ -27,7 +28,6 @@ use rmt::program::ProgramBuilder;
 use rmt::table::{MatchKind, Table};
 use sched::admission::AdmissionPolicy;
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
 use workloads::frames::FrameFactory;
 
 use crate::fmt::{f, TableFmt};
@@ -61,10 +61,7 @@ fn two_hop_program(slow: EngineId, eth: EngineId) -> rmt::program::RmtProgram {
                         engine: slow,
                         slack,
                     },
-                    Primitive::PushHop {
-                        engine: eth,
-                        slack,
-                    },
+                    Primitive::PushHop { engine: eth, slack },
                 ],
             ),
         ))
@@ -95,6 +92,7 @@ pub fn run_with_policy(policy: AdmissionPolicy, cycles: u64) -> PressurePoint {
         TileConfig {
             queue_capacity: 32,
             admission: policy,
+            ..TileConfig::default()
         },
     );
     let _ = b.rmt_portal();

@@ -20,27 +20,103 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+/// One experiment entry: `(id, description, runner)`. The runner takes
+/// a `quick` flag and returns its rendered report.
+pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
+
 /// Every experiment: `(id, description, runner)`.
 #[must_use]
-pub fn all() -> Vec<(&'static str, &'static str, fn(bool) -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
-        ("table1", "Table 1: offload taxonomy of prior work", table1::run),
-        ("table2", "Table 2: line-rate PPS requirements + RMT pipeline throughput", table2::run),
-        ("table3", "Table 3: mesh bisection/capacity/chain length (analytic + simulated)", table3::run),
-        ("rmt-throughput", "S4.2: F x P pipeline throughput vs line-rate requirements", rmt_throughput::run),
-        ("chain-crossover", "S4.2: NoC-switched vs pipeline-switched chaining", chain_crossover::run),
-        ("hol", "S2.3.1 / Fig 2a: head-of-line blocking in the pipeline NIC vs PANIC", hol::run),
-        ("manycore", "S2.3.2 / Fig 2b: manycore orchestration latency vs PANIC", manycore_latency::run),
-        ("rmt-limits", "S2.3.3 / Fig 2c: RMT-only NIC vs PANIC under complex offload share", rmt_limits::run),
-        ("kvs", "S3.2: end-to-end multi-tenant KVS walk-through", kvs_e2e::run),
-        ("isolation", "S3.1.3: slack scheduling isolates latency traffic at a contended DMA", isolation::run),
-        ("memory", "S4.3: intelligent drop vs tail drop under overload", memory_pressure::run),
-        ("ab-chaining", "Ablation: lookup-table chains vs recirculate-per-hop", ablation_chaining::run),
-        ("ab-sched", "Ablation: LSTF vs FIFO vs DRR at one contended engine", ablation_sched::run),
-        ("ab-crossbar", "Ablation: 2D mesh vs single crossbar (throughput + wiring)", ablation_crossbar::run),
-        ("ab-pointer", "Ablation: full packets vs pointer descriptors on chain hops", ablation_pointer::run),
-        ("ab-splitnet", "Ablation: unified network vs per-class split networks", ablation_split_net::run),
-        ("open-questions", "S6: placement and topology-shape sweeps", open_questions::run),
-        ("open-lossless", "S6: lossless control + lossy data coexistence", open_lossless::run),
+        (
+            "table1",
+            "Table 1: offload taxonomy of prior work",
+            table1::run,
+        ),
+        (
+            "table2",
+            "Table 2: line-rate PPS requirements + RMT pipeline throughput",
+            table2::run,
+        ),
+        (
+            "table3",
+            "Table 3: mesh bisection/capacity/chain length (analytic + simulated)",
+            table3::run,
+        ),
+        (
+            "rmt-throughput",
+            "S4.2: F x P pipeline throughput vs line-rate requirements",
+            rmt_throughput::run,
+        ),
+        (
+            "chain-crossover",
+            "S4.2: NoC-switched vs pipeline-switched chaining",
+            chain_crossover::run,
+        ),
+        (
+            "hol",
+            "S2.3.1 / Fig 2a: head-of-line blocking in the pipeline NIC vs PANIC",
+            hol::run,
+        ),
+        (
+            "manycore",
+            "S2.3.2 / Fig 2b: manycore orchestration latency vs PANIC",
+            manycore_latency::run,
+        ),
+        (
+            "rmt-limits",
+            "S2.3.3 / Fig 2c: RMT-only NIC vs PANIC under complex offload share",
+            rmt_limits::run,
+        ),
+        (
+            "kvs",
+            "S3.2: end-to-end multi-tenant KVS walk-through",
+            kvs_e2e::run,
+        ),
+        (
+            "isolation",
+            "S3.1.3: slack scheduling isolates latency traffic at a contended DMA",
+            isolation::run,
+        ),
+        (
+            "memory",
+            "S4.3: intelligent drop vs tail drop under overload",
+            memory_pressure::run,
+        ),
+        (
+            "ab-chaining",
+            "Ablation: lookup-table chains vs recirculate-per-hop",
+            ablation_chaining::run,
+        ),
+        (
+            "ab-sched",
+            "Ablation: LSTF vs FIFO vs DRR at one contended engine",
+            ablation_sched::run,
+        ),
+        (
+            "ab-crossbar",
+            "Ablation: 2D mesh vs single crossbar (throughput + wiring)",
+            ablation_crossbar::run,
+        ),
+        (
+            "ab-pointer",
+            "Ablation: full packets vs pointer descriptors on chain hops",
+            ablation_pointer::run,
+        ),
+        (
+            "ab-splitnet",
+            "Ablation: unified network vs per-class split networks",
+            ablation_split_net::run,
+        ),
+        (
+            "open-questions",
+            "S6: placement and topology-shape sweeps",
+            open_questions::run,
+        ),
+        (
+            "open-lossless",
+            "S6: lossless control + lossy data coexistence",
+            open_lossless::run,
+        ),
     ]
 }

@@ -51,6 +51,7 @@ pub fn run_flood(flood_rate: f64, cycles: u64) -> LosslessPoint {
         TileConfig {
             queue_capacity: 32,
             admission: AdmissionPolicy::TailDrop,
+            ..TileConfig::default()
         },
     );
     let mut rng = SimRng::new(77);
@@ -132,10 +133,7 @@ pub fn run(quick: bool) -> String {
                 p.control_offered,
                 100.0 * p.control_done as f64 / p.control_offered.max(1) as f64
             ),
-            format!(
-                "{:.2}",
-                p.flood_done as f64 / p.flood_offered.max(1) as f64
-            ),
+            format!("{:.2}", p.flood_done as f64 / p.flood_offered.max(1) as f64),
             p.flood_dropped.to_string(),
         ]);
     }

@@ -33,10 +33,7 @@ fn run_one(
     });
     s.run(cycles);
     let r = s.report();
-    (
-        r.delivered as f64 / r.offered.max(1) as f64,
-        r.latency.p99,
-    )
+    (r.delivered as f64 / r.offered.max(1) as f64, r.latency.p99)
 }
 
 /// Regenerates the placement + topology tables.
@@ -45,7 +42,11 @@ pub fn run(quick: bool) -> String {
     let cycles = if quick { 10_000 } else { 80_000 };
     let mut t = TableFmt::new(
         "S6 open questions — placement and topology shape (chain length 4, 0.2 pkts/cycle)",
-        &["Configuration", "Delivered fraction", "p99 latency (cycles)"],
+        &[
+            "Configuration",
+            "Delivered fraction",
+            "p99 latency (cycles)",
+        ],
     );
     for (name, topo, placement) in [
         (

@@ -21,13 +21,13 @@ use noc::topology::Topology;
 use packet::headers::{Ipv4Addr, MacAddr};
 use packet::message::{Message, MessageId, MessageKind, Priority, TenantId};
 use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
 use rmt::action::{Action, Primitive, SlackExpr};
 use rmt::parse::ParseGraph;
 use rmt::pipeline::PipelineConfig;
 use rmt::program::ProgramBuilder;
 use rmt::table::{MatchKey, MatchKind, Table, TableEntry};
 use sim_core::time::{Bandwidth, Cycle, Freq};
-use panic_core::nic::{NicConfig, PanicNic};
 use workloads::frames::FrameFactory;
 
 use crate::fmt::{f, TableFmt};
@@ -240,7 +240,13 @@ pub fn run(quick: bool) -> String {
         ],
     );
     for share in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let punt = rmt_only_point(share, ComplexPolicy::Punt { host_cycles: HOST_CYCLES }, cycles);
+        let punt = rmt_only_point(
+            share,
+            ComplexPolicy::Punt {
+                host_cycles: HOST_CYCLES,
+            },
+            cycles,
+        );
         let rec = rmt_only_point(
             share,
             ComplexPolicy::Recirculate {
@@ -283,7 +289,13 @@ mod tests {
 
     #[test]
     fn punt_delivers_but_pays_host_latency() {
-        let p = rmt_only_point(0.5, ComplexPolicy::Punt { host_cycles: HOST_CYCLES }, 30_000);
+        let p = rmt_only_point(
+            0.5,
+            ComplexPolicy::Punt {
+                host_cycles: HOST_CYCLES,
+            },
+            30_000,
+        );
         assert!(p.delivered_fraction > 0.95, "frac {}", p.delivered_fraction);
         // Histogram buckets are lower bounds with <=6% relative error.
         assert!(p.p99 >= HOST_CYCLES * 94 / 100, "p99 {}", p.p99);

@@ -17,7 +17,9 @@ pub fn run(_quick: bool) -> String {
             format!("{} {} {}", row.beneficiary, row.placement, row.resource),
         ]);
     }
-    t.note("Regenerated from engines::taxonomy; matches the paper row for row (Emu spans two rows).");
+    t.note(
+        "Regenerated from engines::taxonomy; matches the paper row for row (Emu spans two rows).",
+    );
     t.render()
 }
 

@@ -155,8 +155,9 @@ mod tests {
     #[test]
     fn analytic_columns_match_paper() {
         let s = run(true);
-        for needle in ["384Gbps", "512Gbps", "768Gbps", "1024Gbps", "5.60", "8.80", "3.68", "6.24"]
-        {
+        for needle in [
+            "384Gbps", "512Gbps", "768Gbps", "1024Gbps", "5.60", "8.80", "3.68", "6.24",
+        ] {
             assert!(s.contains(needle), "missing {needle} in\n{s}");
         }
     }
@@ -197,6 +198,9 @@ mod tests {
     fn bandwidth_type_sanity() {
         // Guard against unit slips in the Gbps conversion above.
         use sim_core::time::Bandwidth;
-        assert_eq!(Bandwidth::of_channel(64, Freq::mhz(500)).as_gbps_f64(), 32.0);
+        assert_eq!(
+            Bandwidth::of_channel(64, Freq::mhz(500)).as_gbps_f64(),
+            32.0
+        );
     }
 }

@@ -21,10 +21,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod nic;
 pub mod programs;
 pub mod scenarios;
 
 pub use nic::{NicBuilder, NicConfig, NicStats, PanicNic};
-pub use programs::{chain_program, host_delivery_program, kvs_program, KvsProgramSpec, SlackProfile};
+pub use programs::{
+    chain_program, host_delivery_program, kvs_program, KvsProgramSpec, SlackProfile,
+};

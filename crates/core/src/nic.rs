@@ -21,6 +21,7 @@
 //! 4. advance the mesh one cycle.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use bytes::Bytes;
 use engines::engine::Offload;
@@ -68,10 +69,11 @@ impl NicConfig {
     }
 }
 
-/// What occupies a tile.
+/// What occupies a tile. The engine wrapper is boxed: an [`EngineTile`]
+/// is ~1.2 kB of queues and histograms, and portals carry nothing.
 enum TileSlot {
     /// A wrapped offload engine.
-    Engine(EngineTile),
+    Engine(Box<EngineTile>),
     /// A portal into the shared heavyweight pipeline.
     RmtPortal,
 }
@@ -143,6 +145,16 @@ enum SlotSpec {
     Portal,
 }
 
+impl fmt::Debug for NicBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NicBuilder")
+            .field("topology", &self.config.topology)
+            .field("slots", &self.slots.len())
+            .field("has_program", &self.program.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl NicBuilder {
     /// Starts a builder.
     #[must_use]
@@ -201,14 +213,113 @@ impl NicBuilder {
         self.program = Some(program);
     }
 
-    /// Builds the NIC.
+    /// Extracts the plain-data description of everything configured so
+    /// far, for the static verifier (`panic-verify`) or external tools.
+    ///
+    /// Runtime knobs map onto spec fields directly: each slot becomes
+    /// an [`panic_verify::EngineSpec`] carrying the offload's name,
+    /// class, and nominal service time plus the tile's queue sizing;
+    /// the port count and line rate come from the [`MacEngine`]s
+    /// present (defaulting to one 100 Gbps port when the configuration
+    /// has no MAC, so the PV002 chain-length model stays meaningful).
+    #[must_use]
+    pub fn to_spec(&self) -> panic_verify::NicSpec {
+        use engines::mac::MacEngine;
+        use packet::chain::EngineClass;
+
+        let mut spec = panic_verify::NicSpec::new(self.config.topology);
+        spec.width_bits = self.config.width_bits;
+        spec.freq = self.config.pipeline.freq;
+        spec.router = self.config.router;
+        spec.pipeline = self.config.pipeline;
+        spec.program = self.program.clone();
+
+        let mut ports = 0u32;
+        let mut line_rate = None;
+        for (id, coord, slot) in &self.slots {
+            let mut e = match slot {
+                SlotSpec::Engine(offload, cfg) => {
+                    if let Some(mac) = offload.as_any().downcast_ref::<MacEngine>() {
+                        ports += 1;
+                        let rate = mac.line_rate();
+                        line_rate =
+                            Some(line_rate.map_or(rate, |prev: sim_core::time::Bandwidth| {
+                                if rate.as_bps() > prev.as_bps() {
+                                    rate
+                                } else {
+                                    prev
+                                }
+                            }));
+                    }
+                    let mut e = panic_verify::EngineSpec::new(*id, offload.name(), offload.class());
+                    e.service_cycles = offload.nominal_service_cycles();
+                    e.queue_capacity = cfg.queue_capacity;
+                    e.admission = cfg.admission;
+                    e.lossless = cfg.lossless;
+                    e
+                }
+                SlotSpec::Portal => {
+                    let mut e = panic_verify::EngineSpec::new(*id, "rmt-portal", EngineClass::Rmt);
+                    e.is_portal = true;
+                    e
+                }
+            };
+            e.coord = *coord;
+            spec.engines.push(e);
+        }
+        if ports > 0 {
+            spec.ports = ports;
+        }
+        if let Some(rate) = line_rate {
+            spec.line_rate = rate;
+        }
+        spec
+    }
+
+    /// Lints the configuration accumulated so far and returns the full
+    /// diagnostic report (including warnings and notes). [`build`]
+    /// calls this and refuses configurations with errors;
+    /// use this directly for a non-fatal report.
+    ///
+    /// [`build`]: NicBuilder::build
+    #[must_use]
+    pub fn validate(&self) -> panic_verify::Report {
+        panic_verify::verify(&self.to_spec())
+    }
+
+    /// Builds the NIC, statically verifying the configuration first.
+    ///
+    /// # Panics
+    /// Panics if no program was loaded, or if the verifier finds an
+    /// error-severity diagnostic: a missing portal (PV204), a chain hop
+    /// to a nonexistent engine (PV001), an over-long worst-case chain
+    /// (PV002), a placement conflict or overflow (PV004), unbufferable
+    /// routers (PV102), an over-capacity program (PV203), or a lossless
+    /// engine without backpressure admission (PV303), among others. The
+    /// panic message carries the rendered diagnostics.
+    #[must_use]
+    pub fn build(self) -> PanicNic {
+        assert!(self.program.is_some(), "NIC built without a program");
+        let report = self.validate();
+        assert!(
+            report.error_count() == 0,
+            "NIC configuration failed verification:\n{}",
+            report.render_human()
+        );
+        self.build_unvalidated()
+    }
+
+    /// Builds the NIC without running the static verifier — the escape
+    /// hatch for experiments that deliberately construct pathological
+    /// configurations (e.g. HOL-blocking demonstrations that overdrive
+    /// a chain the linter would flag).
     ///
     /// # Panics
     /// Panics if no program was loaded, no portal was added, explicit
     /// coordinates collide, or more tiles are requested than the mesh
     /// has.
     #[must_use]
-    pub fn build(self) -> PanicNic {
+    pub fn build_unvalidated(self) -> PanicNic {
         let program = self.program.expect("NIC built without a program");
         let topology = self.config.topology;
         assert!(
@@ -249,7 +360,10 @@ impl NicBuilder {
         for (id, _, spec) in self.slots {
             match spec {
                 SlotSpec::Engine(offload, cfg) => {
-                    tiles.insert(id, TileSlot::Engine(EngineTile::new(id, offload, cfg)));
+                    tiles.insert(
+                        id,
+                        TileSlot::Engine(Box::new(EngineTile::new(id, offload, cfg))),
+                    );
                 }
                 SlotSpec::Portal => {
                     portals.push(id);
@@ -286,6 +400,17 @@ pub struct PanicNic {
     wire_tx: Vec<Message>,
     host_rx: Vec<Message>,
     stats: NicStats,
+}
+
+impl fmt::Debug for PanicNic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PanicNic")
+            .field("topology", &self.config.topology)
+            .field("tiles", &self.tiles.len())
+            .field("portals", &self.portals.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PanicNic {
@@ -474,11 +599,7 @@ impl PanicNic {
                 // in the chain so that it can generate the remainder of
                 // the chain."
                 let portal = self.next_portal();
-                let slack = msg
-                    .chain
-                    .hops()
-                    .last()
-                    .map_or(Slack::BULK, |h| h.slack);
+                let slack = msg.chain.hops().last().map_or(Slack::BULK, |h| h.slack);
                 msg.chain
                     .extend(&[Hop {
                         engine: portal,
@@ -503,7 +624,7 @@ impl PanicNic {
 
         // 3b. PCIe coalescing flush timer.
         let flush = self.config.pcie_flush_interval;
-        if flush > 0 && now.0 > 0 && now.0 % flush == 0 {
+        if flush > 0 && now.0 > 0 && now.0.is_multiple_of(flush) {
             for id in &ids {
                 let Some(TileSlot::Engine(tile)) = self.tiles.get_mut(id) else {
                     continue;
@@ -511,11 +632,9 @@ impl PanicNic {
                 let Some(pcie) = tile.offload_as_mut::<PcieEngine>() else {
                     continue;
                 };
-                if let Some(out) = pcie.flush() {
-                    if let engines::engine::Output::Egress(_, msg) = out {
-                        self.stats.host_deliveries += 1;
-                        self.host_rx.push(msg);
-                    }
+                if let Some(engines::engine::Output::Egress(_, msg)) = pcie.flush() {
+                    self.stats.host_deliveries += 1;
+                    self.host_rx.push(msg);
                 }
             }
         }
@@ -564,6 +683,12 @@ mod tests {
     /// back to the pipeline — not used as egress), one pass-through
     /// offload, one sink engine that the program chains through.
     fn tiny_nic() -> (PanicNic, EngineId, EngineId, EngineId) {
+        let (b, eth, off, portal) = tiny_builder();
+        (b.build(), eth, off, portal)
+    }
+
+    /// The builder behind [`tiny_nic`], for spec/validation tests.
+    fn tiny_builder() -> (NicBuilder, EngineId, EngineId, EngineId) {
         let mut b = PanicNic::builder(NicConfig {
             topology: Topology::mesh(3, 3),
             width_bits: 64,
@@ -611,7 +736,7 @@ mod tests {
                 .stage(table)
                 .build(),
         );
-        (b.build(), eth, off, _portal)
+        (b, eth, off, _portal)
     }
 
     #[test]
@@ -718,6 +843,93 @@ mod tests {
     }
 
     #[test]
+    fn builder_spec_reflects_configuration() {
+        let (b, _, _, _) = tiny_builder();
+        let spec = b.to_spec();
+        // Two engines + one portal.
+        assert_eq!(spec.engines.len(), 3);
+        assert_eq!(spec.ports, 1, "one MAC engine counted as a port");
+        assert_eq!(
+            spec.line_rate,
+            sim_core::time::Bandwidth::gbps(100),
+            "line rate lifted from the MAC"
+        );
+        assert!(spec.engines.iter().any(|e| e.is_portal));
+        assert!(spec.program.is_some());
+        let report = b.validate();
+        assert_eq!(report.error_count(), 0, "{}", report.render_human());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed verification")]
+    fn build_rejects_chain_to_unknown_engine() {
+        // PV001: the program pushes a hop to an engine id that does not
+        // exist on the mesh. The runtime would only discover this when
+        // a message tried to route there; the verifier refuses upfront.
+        let mut b = PanicNic::builder(NicConfig::small());
+        let _eth = b.engine(
+            Box::new(NullOffload::new(
+                "eth",
+                EngineClass::EthernetPort,
+                Cycles(1),
+            )),
+            TileConfig::default(),
+        );
+        let _ = b.rmt_portal();
+        b.program(
+            ProgramBuilder::new("bad", ParseGraph::standard(6379))
+                .stage(Table::new(
+                    "t",
+                    MatchKind::Exact(vec![packet::phv::Field::EthType]),
+                    Action::named(
+                        "to-nowhere",
+                        vec![Primitive::PushHop {
+                            engine: EngineId(99),
+                            slack: SlackExpr::Const(10),
+                        }],
+                    ),
+                ))
+                .build(),
+        );
+        let _ = b.build();
+    }
+
+    #[test]
+    fn build_unvalidated_skips_the_linter() {
+        // The same broken program as above constructs fine through the
+        // escape hatch (messages routed to the ghost engine would be
+        // dropped as unrouted at runtime).
+        let mut b = PanicNic::builder(NicConfig::small());
+        let _eth = b.engine(
+            Box::new(NullOffload::new(
+                "eth",
+                EngineClass::EthernetPort,
+                Cycles(1),
+            )),
+            TileConfig::default(),
+        );
+        let _ = b.rmt_portal();
+        b.program(
+            ProgramBuilder::new("bad", ParseGraph::standard(6379))
+                .stage(Table::new(
+                    "t",
+                    MatchKind::Exact(vec![packet::phv::Field::EthType]),
+                    Action::named(
+                        "to-nowhere",
+                        vec![Primitive::PushHop {
+                            engine: EngineId(99),
+                            slack: SlackExpr::Const(10),
+                        }],
+                    ),
+                ))
+                .build(),
+        );
+        let report = b.validate();
+        assert!(report.error_count() > 0, "PV001 expected");
+        let _nic = b.build_unvalidated();
+    }
+
+    #[test]
     fn explicit_placement_is_respected() {
         let mut b = PanicNic::builder(NicConfig::small());
         let e = b.engine_at(
@@ -748,13 +960,17 @@ mod tests {
             router: RouterConfig::default(),
             pipeline: PipelineConfig {
                 parallel: 1,
-                depth: 1,
+                depth: 3,
                 freq: sim_core::time::Freq::mhz(500),
             },
             pcie_flush_interval: 0,
         });
         let eth = b.engine(
-            Box::new(NullOffload::new("eth", EngineClass::EthernetPort, Cycles(1))),
+            Box::new(NullOffload::new(
+                "eth",
+                EngineClass::EthernetPort,
+                Cycles(1),
+            )),
             TileConfig::default(),
         );
         let _ = b.rmt_portal();

@@ -28,7 +28,7 @@ use workloads::frames::FrameFactory;
 
 use noc::topology::Coord;
 
-use crate::nic::{NicConfig, PanicNic};
+use crate::nic::{NicBuilder, NicConfig, PanicNic};
 
 /// Picks `count` evenly spaced coordinates from `pool` (keeps traffic
 /// from concentrating on a few mesh rows, which row-major placement
@@ -136,6 +136,17 @@ pub struct ChainScenario {
     now: Cycle,
 }
 
+impl std::fmt::Debug for ChainScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainScenario")
+            .field("ports", &self.ports.len())
+            .field("offloads", &self.offloads.len())
+            .field("offered", &self.offered)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Number of rotated chain variants: packets are spread across engine
 /// instances by the low bits of their IPv4 ident, realizing Table 3's
 /// "packets are uniformly distributed across offloads" assumption and
@@ -194,13 +205,11 @@ fn multi_port_chain_program(
 }
 
 impl ChainScenario {
-    /// Builds the scenario.
-    ///
-    /// # Panics
-    /// Panics if `chain_len > 0` with no offloads, if the chain would
-    /// exceed the chain-header limit, or if the mesh is too small.
-    #[must_use]
-    pub fn new(config: ChainScenarioConfig) -> ChainScenario {
+    /// Assembles the NIC builder (placement, engines, program) without
+    /// building: the shared seam between [`ChainScenario::new`] and
+    /// [`ChainScenario::lint_spec`]. Returns the builder plus the port
+    /// and offload ids in declaration order.
+    fn builder_for(config: &ChainScenarioConfig) -> (NicBuilder, Vec<EngineId>, Vec<EngineId>) {
         assert!(
             config.chain_len == 0 || config.num_offloads > 0,
             "chains need offloads"
@@ -251,23 +260,7 @@ impl ChainScenario {
                 config.chain_len,
                 config.slack,
             ));
-            let mac_probe = MacEngine::new("probe", config.line_rate, freq);
-            let ser = mac_probe.serialization_cycles(64).count();
-            let den = (ser as f64 * 1000.0 / config.offered_fraction).round() as u64;
-            let arrivals = (0..config.ports)
-                .map(|_| ArrivalProcess::periodic(1000, den.max(1000)))
-                .collect();
-            return ChainScenario {
-                nic: b.build(),
-                ports,
-                offloads,
-                arrivals,
-                factory: FrameFactory::for_nic_port(0),
-                rng: SimRng::new(config.seed),
-                offered: 0,
-                now: Cycle::ZERO,
-                config,
-            };
+            return (b, ports, offloads);
         }
 
         // Placement mirrors Figure 3c: external interfaces (Ethernet
@@ -321,11 +314,7 @@ impl ChainScenario {
             .map(|i| {
                 b.engine_at(
                     port_coords[i],
-                    Box::new(MacEngine::new(
-                        format!("eth{i}"),
-                        config.line_rate,
-                        freq,
-                    )),
+                    Box::new(MacEngine::new(format!("eth{i}"), config.line_rate, freq)),
                     TileConfig::default(),
                 )
             })
@@ -359,10 +348,30 @@ impl ChainScenario {
             config.chain_len,
             config.slack,
         ));
+        (b, ports, offloads)
+    }
+
+    /// The plain-data spec of the NIC this configuration would build,
+    /// for standalone linting (the `panic-lint` CLI) without paying for
+    /// construction or simulation.
+    #[must_use]
+    pub fn lint_spec(config: &ChainScenarioConfig) -> panic_verify::NicSpec {
+        Self::builder_for(config).0.to_spec()
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Panics
+    /// Panics if `chain_len > 0` with no offloads, if the chain would
+    /// exceed the chain-header limit, if the mesh is too small, or if
+    /// the configuration fails static verification.
+    #[must_use]
+    pub fn new(config: ChainScenarioConfig) -> ChainScenario {
+        let (b, ports, offloads) = Self::builder_for(&config);
 
         // Offered rate: fraction of min-frame line rate. One min frame
         // per `ser` cycles is line rate for this MAC.
-        let mac_probe = MacEngine::new("probe", config.line_rate, freq);
+        let mac_probe = MacEngine::new("probe", config.line_rate, Freq::PANIC_DEFAULT);
         let ser = mac_probe.serialization_cycles(64).count();
         // rate per cycle = offered_fraction / ser  -> periodic(num, den)
         let den = (ser as f64 * 1000.0 / config.offered_fraction).round() as u64;

@@ -32,9 +32,7 @@ use engines::tile::TileConfig;
 use noc::router::RouterConfig;
 use noc::topology::Topology;
 use packet::chain::EngineId;
-use packet::headers::{
-    build_udp_frame, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, UdpHeader,
-};
+use packet::headers::{build_udp_frame, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, UdpHeader};
 use packet::kvs::{KvsOp, KvsRequest};
 use packet::message::{MessageKind, Priority, TenantId};
 use rmt::pipeline::PipelineConfig;
@@ -44,7 +42,7 @@ use sim_core::stats::{Histogram, Summary};
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
 use workloads::kvs::{KvsWorkload, KvsWorkloadConfig, TenantSpec};
 
-use crate::nic::{NicConfig, PanicNic};
+use crate::nic::{NicBuilder, NicConfig, PanicNic};
 use crate::programs::{kvs_program, KvsProgramSpec, SlackProfile};
 
 /// KVS scenario configuration.
@@ -190,10 +188,40 @@ pub struct KvsScenario {
     now: Cycle,
 }
 
+impl std::fmt::Debug for KvsScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvsScenario")
+            .field("client_seq", &self.client_seq)
+            .field("outstanding", &self.outstanding.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
 impl KvsScenario {
-    /// Builds the scenario: NIC, engines, program, warm cache, store.
-    #[must_use]
-    pub fn new(config: KvsScenarioConfig) -> KvsScenario {
+    /// The inbound security association (clients → NIC), shared by the
+    /// NIC's IPSec engine and the scenario's client-side crypto model.
+    fn client_in_sa() -> SecurityAssoc {
+        SecurityAssoc {
+            spi: 0x1001,
+            key: 0x00c0_ffee_0000_aaaa,
+        }
+    }
+
+    /// The outbound tunnel association (NIC → WAN clients).
+    fn nic_wan_sa() -> SecurityAssoc {
+        SecurityAssoc {
+            spi: 0x2002,
+            key: 0x00d0_0dad_0000_bbbb,
+        }
+    }
+
+    /// Assembles the NIC builder (engines, portals, program) without
+    /// building: the shared seam between [`KvsScenario::new`] and
+    /// [`KvsScenario::lint_spec`]. Engine ids are fixed by declaration
+    /// order (asserted inside): `eth-lan`=0, `eth-wan`=1, `ipsec`=2,
+    /// `kvs-cache`=3, `rdma`=4, `dma`=5, `pcie`=6.
+    fn builder_for(config: &KvsScenarioConfig) -> NicBuilder {
         let freq = Freq::PANIC_DEFAULT;
         let mut b = PanicNic::builder(NicConfig {
             topology: config.topology,
@@ -226,17 +254,9 @@ impl KvsScenario {
 
         let mut ipsec = IpsecEngine::new("ipsec", 1, 8);
         // Inbound SA: clients -> NIC. Outbound tunnel: NIC -> clients.
-        let in_sa = SecurityAssoc {
-            spi: 0x1001,
-            key: 0x00c0_ffee_0000_aaaa,
-        };
-        let out_sa = SecurityAssoc {
-            spi: 0x2002,
-            key: 0x00d0_0dad_0000_bbbb,
-        };
-        ipsec.install_sa(in_sa);
+        ipsec.install_sa(Self::client_in_sa());
         ipsec.set_tunnel(TunnelConfig {
-            sa: out_sa,
+            sa: Self::nic_wan_sa(),
             outer_src_mac: MacAddr::for_port(1),
             outer_dst_mac: MacAddr::for_port(0xbeef),
             outer_src_ip: Ipv4Addr::new(10, 1, 0, 0),
@@ -270,12 +290,16 @@ impl KvsScenario {
                 TileConfig {
                     queue_capacity: 256,
                     admission: config.dma_admission,
+                    ..TileConfig::default()
                 },
             ),
             dma_id
         );
         assert_eq!(
-            b.engine(Box::new(PcieEngine::new("pcie", 6, 8)), TileConfig::default()),
+            b.engine(
+                Box::new(PcieEngine::new("pcie", 6, 8)),
+                TileConfig::default()
+            ),
             pcie_id
         );
         for _ in 0..config.pipelines {
@@ -296,6 +320,29 @@ impl KvsScenario {
                 .collect(),
             slack: config.slack,
         }));
+        b
+    }
+
+    /// The plain-data spec of the NIC this configuration would build,
+    /// for standalone linting (the `panic-lint` CLI) without paying for
+    /// construction or simulation.
+    #[must_use]
+    pub fn lint_spec(config: &KvsScenarioConfig) -> panic_verify::NicSpec {
+        Self::builder_for(config).to_spec()
+    }
+
+    /// Builds the scenario: NIC, engines, program, warm cache, store.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails static verification.
+    #[must_use]
+    pub fn new(config: KvsScenarioConfig) -> KvsScenario {
+        let b = Self::builder_for(&config);
+        // Ids fixed by `builder_for`'s declaration order.
+        let (eth_lan, eth_wan) = (EngineId(0), EngineId(1));
+        let cache_id = EngineId(3);
+        let dma_id = EngineId(5);
+        let pcie_id = EngineId(6);
         let mut nic = b.build();
 
         // Warm the cache and pre-populate the host store for the hot
@@ -361,13 +408,13 @@ impl KvsScenario {
             cache: cache_id,
             pcie: pcie_id,
             client_tunnel: TunnelConfig {
-                sa: in_sa,
+                sa: Self::client_in_sa(),
                 outer_src_mac: MacAddr::for_port(0xbeef),
                 outer_dst_mac: MacAddr::for_port(1),
                 outer_src_ip: Ipv4Addr::new(198, 51, 0, 1),
                 outer_dst_ip: Ipv4Addr::new(10, 1, 0, 0),
             },
-            nic_out_sa: out_sa,
+            nic_out_sa: Self::nic_wan_sa(),
             client_seq: 0,
             outstanding: HashMap::new(),
             host_events: EventQueue::new(),
@@ -430,7 +477,11 @@ impl KvsScenario {
 
         // 1. New client requests.
         for event in self.workload.tick() {
-            let port = if event.wan { self.eth_wan } else { self.eth_lan };
+            let port = if event.wan {
+                self.eth_wan
+            } else {
+                self.eth_lan
+            };
             let frame = if event.wan {
                 let seq = self.client_seq;
                 self.client_seq += 1;
@@ -481,9 +532,7 @@ impl KvsScenario {
                         .position(|t| t.tenant.0 == req.tenant)
                         .unwrap_or(0);
                     let value = key_value(req.key, idx);
-                    if let Some((reply, tenant)) =
-                        Self::build_host_reply(&msg.payload, value)
-                    {
+                    if let Some((reply, tenant)) = Self::build_host_reply(&msg.payload, value) {
                         self.host_events.schedule(
                             now + Cycles(self.config.host_service_cycles),
                             (reply, TenantId(tenant), msg.priority),
@@ -516,10 +565,8 @@ impl KvsScenario {
                 continue;
             };
             let m = &mut self.metrics[out.tenant_idx];
-            let expect = KvsWorkload::value_for(
-                out.key,
-                self.config.tenants[out.tenant_idx].value_size,
-            );
+            let expect =
+                KvsWorkload::value_for(out.key, self.config.tenants[out.tenant_idx].value_size);
             if req.value == expect {
                 m.replies_ok += 1;
             } else {
@@ -687,7 +734,10 @@ mod tests {
             s.run(40_000);
             let r = s.report();
             (
-                r.tenants.iter().map(|t| (t.gets, t.replies_ok)).collect::<Vec<_>>(),
+                r.tenants
+                    .iter()
+                    .map(|t| (t.gets, t.replies_ok))
+                    .collect::<Vec<_>>(),
                 r.cache_hits,
                 r.cache_misses,
             )

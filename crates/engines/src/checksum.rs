@@ -135,9 +135,7 @@ impl Offload for ChecksumEngine {
         match self.mode {
             ChecksumMode::Verify => {
                 let (udp, _) = UdpHeader::parse(&msg.payload[off..]).expect("udp_offset checked");
-                if udp.checksum == 0
-                    || udp.checksum == udp_payload_checksum(&msg.payload[off..])
-                {
+                if udp.checksum == 0 || udp.checksum == udp_payload_checksum(&msg.payload[off..]) {
                     self.ok += 1;
                     vec![Output::Forward(msg)]
                 } else {
@@ -216,7 +214,9 @@ mod tests {
     fn corrupted_payload_fails_verification() {
         let mut cs = ChecksumEngine::new("tx", ChecksumMode::Compute);
         let out = cs.process(msg(frame()), Cycle(0));
-        let Output::Forward(m) = &out[0] else { panic!() };
+        let Output::Forward(m) = &out[0] else {
+            panic!()
+        };
         let mut bad = m.payload.to_vec();
         let last = bad.len() - 1;
         bad[last] ^= 0xff;
@@ -249,17 +249,26 @@ mod tests {
     fn non_frames_and_non_udp_pass() {
         let mut verify = ChecksumEngine::new("rx", ChecksumMode::Verify);
         let dma = Message::builder(MessageId(2), MessageKind::DmaRead).build();
-        assert!(matches!(verify.process(dma, Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(
+            verify.process(dma, Cycle(0))[0],
+            Output::Forward(_)
+        ));
         // Truncated/garbage frame: can't even parse Ethernet — forward
         // (let the pipeline's ACL decide).
         let garbage = msg(Bytes::from_static(b"xx"));
-        assert!(matches!(verify.process(garbage, Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(
+            verify.process(garbage, Cycle(0))[0],
+            Output::Forward(_)
+        ));
     }
 
     #[test]
     fn service_time_scales() {
         let cs = ChecksumEngine::new("x", ChecksumMode::Verify);
         assert_eq!(cs.service_time(&msg(Bytes::from(vec![0; 64]))), Cycles(1));
-        assert_eq!(cs.service_time(&msg(Bytes::from(vec![0; 1500]))), Cycles(24));
+        assert_eq!(
+            cs.service_time(&msg(Bytes::from(vec![0; 1500]))),
+            Cycles(24)
+        );
     }
 }

@@ -214,8 +214,9 @@ impl Offload for DmaEngine {
 
     fn service_time(&self, msg: &Message) -> Cycles {
         let bytes = match msg.kind {
-            MessageKind::DmaRead => DmaDescriptor::decode(&msg.payload)
-                .map_or(0, |d| u64::from(d.len)),
+            MessageKind::DmaRead => {
+                DmaDescriptor::decode(&msg.payload).map_or(0, |d| u64::from(d.len))
+            }
             _ => msg.payload.len() as u64,
         };
         self.config.base_latency + self.transfer_cycles(bytes) + self.contention(msg.id.0)
@@ -258,16 +259,14 @@ impl Offload for DmaEngine {
                     .and_then(|p| p.get(Field::MetaRxQueue))
                     .unwrap_or(0) as usize
                     % self.rx_cursor.len();
-                let addr = self.rx_ring_base
-                    + q as u64 * self.rx_ring_stride
-                    + self.rx_cursor[q];
+                let addr = self.rx_ring_base + q as u64 * self.rx_ring_stride + self.rx_cursor[q];
                 self.host.write(addr, &msg.payload);
                 self.rx_cursor[q] += msg.payload.len() as u64;
                 self.deliveries += 1;
 
                 let mut outs = Vec::with_capacity(2);
                 if let Some(pcie) = self.pcie {
-                    let event = Message::builder(self.ids.next(), MessageKind::PcieEvent)
+                    let event = Message::builder(self.ids.next_id(), MessageKind::PcieEvent)
                         .tenant(msg.tenant)
                         .priority(msg.priority)
                         .injected_at(msg.injected_at)

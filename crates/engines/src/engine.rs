@@ -61,7 +61,7 @@ impl MsgIdGen {
     }
 
     /// The next fresh id.
-    pub fn next(&mut self) -> packet::message::MessageId {
+    pub fn next_id(&mut self) -> packet::message::MessageId {
         let id = self.base | self.next;
         self.next += 1;
         packet::message::MessageId(id)
@@ -88,6 +88,16 @@ pub trait Offload {
     /// message per cycle). This is the knob that makes an engine a
     /// bottleneck.
     fn service_time(&self, msg: &Message) -> Cycles;
+
+    /// A *static* service-time estimate, used by the configuration
+    /// verifier's slack-feasibility check (PV003): the smallest service
+    /// time a typical message could see here. [`Cycles::ZERO`] (the
+    /// default) means "unknown / data-dependent" and exempts the engine
+    /// from the check. Engines with a fixed or lower-bounded service
+    /// time should override this.
+    fn nominal_service_cycles(&self) -> Cycles {
+        Cycles::ZERO
+    }
 
     /// Transforms the message after `service_time` elapsed. May return
     /// zero, one, or several outputs (e.g. a DMA engine returning both
@@ -143,6 +153,10 @@ impl Offload for NullOffload {
     }
 
     fn service_time(&self, _msg: &Message) -> Cycles {
+        self.service
+    }
+
+    fn nominal_service_cycles(&self) -> Cycles {
         self.service
     }
 

@@ -55,9 +55,9 @@ impl FirewallEngine {
     }
 
     fn matches(&self, data: &[u8]) -> bool {
-        self.patterns.iter().any(|p| {
-            !p.is_empty() && data.windows(p.len()).any(|w| w == &p[..])
-        })
+        self.patterns
+            .iter()
+            .any(|p| !p.is_empty() && data.windows(p.len()).any(|w| w == &p[..]))
     }
 }
 
@@ -148,15 +148,27 @@ mod tests {
     #[test]
     fn match_at_boundaries() {
         let mut fw = FirewallEngine::new("fw", vec![b"xyz".to_vec()], MatchAction::Drop);
-        assert!(matches!(fw.process(msg(b"xyzabc"), Cycle(0))[0], Output::Consumed));
-        assert!(matches!(fw.process(msg(b"abcxyz"), Cycle(0))[0], Output::Consumed));
-        assert!(matches!(fw.process(msg(b"xy"), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(
+            fw.process(msg(b"xyzabc"), Cycle(0))[0],
+            Output::Consumed
+        ));
+        assert!(matches!(
+            fw.process(msg(b"abcxyz"), Cycle(0))[0],
+            Output::Consumed
+        ));
+        assert!(matches!(
+            fw.process(msg(b"xy"), Cycle(0))[0],
+            Output::Forward(_)
+        ));
     }
 
     #[test]
     fn empty_pattern_never_matches() {
         let mut fw = FirewallEngine::new("fw", vec![vec![]], MatchAction::Drop);
-        assert!(matches!(fw.process(msg(b"anything"), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(
+            fw.process(msg(b"anything"), Cycle(0))[0],
+            Output::Forward(_)
+        ));
     }
 
     #[test]

@@ -14,9 +14,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use packet::chain::EngineClass;
-use packet::headers::{
-    build_esp_frame, EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr,
-};
+use packet::headers::{build_esp_frame, EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr};
 use packet::message::{Message, MessageKind};
 use sim_core::rng::SplitMix64;
 use sim_core::time::{Cycle, Cycles};
@@ -304,9 +302,7 @@ mod tests {
         let inner = inner_frame();
         let outer = encrypt_frame(&inner, &t, 7);
         // The outer frame hides the inner bytes entirely.
-        assert!(!outer
-            .windows(inner.len())
-            .any(|w| w == &inner[..]));
+        assert!(!outer.windows(inner.len()).any(|w| w == &inner[..]));
         let mut sas = HashMap::new();
         sas.insert(t.sa.spi, t.sa);
         let back = decrypt_frame(&outer, &sas).unwrap();

@@ -296,9 +296,8 @@ impl Offload for KvsCacheEngine {
                 let mut out = msg;
                 out.kind = MessageKind::DmaWrite;
                 out.payload = desc.encode();
-                out.chain =
-                    ChainHeader::uniform(&[self.dma, self.self_id], out.current_slack())
-                        .expect("2 hops");
+                out.chain = ChainHeader::uniform(&[self.dma, self.self_id], out.current_slack())
+                    .expect("2 hops");
                 vec![Output::ForwardTo(self.dma, out)]
             }
             KvsOp::Del => {
@@ -425,12 +424,17 @@ mod tests {
         let completion = Message::builder(MessageId(9), MessageKind::DmaCompletion)
             .payload(Bytes::copy_from_slice(&7u64.to_be_bytes()))
             .build();
-        assert!(matches!(e.process(completion, Cycle(2))[0], Output::Consumed));
+        assert!(matches!(
+            e.process(completion, Cycle(2))[0],
+            Output::Consumed
+        ));
 
         // Now the GET hits.
         let get = KvsRequest::get(1, 9, 5);
         let out = e.process(msg_of(frame_for(&get)), Cycle(3));
-        assert!(matches!(&out[0], Output::ForwardTo(d, m) if *d == RDMA && m.kind == MessageKind::RdmaWork));
+        assert!(
+            matches!(&out[0], Output::ForwardTo(d, m) if *d == RDMA && m.kind == MessageKind::RdmaWork)
+        );
         assert_eq!(e.sets, 1);
         assert_eq!(e.hits, 1);
     }

@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod checksum;
 pub mod compress;
@@ -39,9 +40,9 @@ pub mod mac;
 pub mod pcie;
 pub mod ratelimit;
 pub mod rdma;
-pub mod tcp;
 pub mod taxonomy;
+pub mod tcp;
 pub mod tile;
 
 pub use engine::{EgressKind, Offload, Output};
-pub use tile::{EngineTile, Emit, TileConfig, TileStats};
+pub use tile::{Emit, EngineTile, TileConfig, TileStats};

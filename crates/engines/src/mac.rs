@@ -41,6 +41,14 @@ impl MacEngine {
         }
     }
 
+    /// The port's configured line rate. Exposed so the NIC builder can
+    /// report the aggregate wire rate to the static verifier (PV002's
+    /// sustainable-chain-length model needs `ports × line_rate`).
+    #[must_use]
+    pub fn line_rate(&self) -> Bandwidth {
+        self.line_rate
+    }
+
     /// Serialization time of a frame of `bytes` payload bytes at this
     /// port's line rate, in core-clock cycles (rounded up). Includes
     /// the 20 B preamble/SFD/IFG wire overhead.

@@ -60,7 +60,7 @@ impl PcieEngine {
         self.interrupts += 1;
         Some(Output::Egress(
             EgressKind::Host,
-            Message::builder(self.ids.next(), MessageKind::PcieEvent).build(),
+            Message::builder(self.ids.next_id(), MessageKind::PcieEvent).build(),
         ))
     }
 }

@@ -150,9 +150,18 @@ mod tests {
     fn burst_then_policed() {
         let mut rl = RateLimitEngine::new("rl", None);
         rl.set_rate(TenantId(1), 0, 128); // zero refill, 128B burst
-        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(0))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(0))[0], Output::Consumed));
+        assert!(matches!(
+            rl.process(msg(1, 1, 64), Cycle(0))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(2, 1, 64), Cycle(0))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(3, 1, 64), Cycle(0))[0],
+            Output::Consumed
+        ));
         assert_eq!(rl.conformed, 2);
         assert_eq!(rl.policed, 1);
     }
@@ -161,11 +170,20 @@ mod tests {
     fn refill_restores_conformance() {
         let mut rl = RateLimitEngine::new("rl", None);
         rl.set_rate(TenantId(1), 1000, 64); // 1 byte/cycle
-        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
+        assert!(matches!(
+            rl.process(msg(1, 1, 64), Cycle(0))[0],
+            Output::Forward(_)
+        ));
         // Immediately after, empty bucket: policed.
-        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(1))[0], Output::Consumed));
+        assert!(matches!(
+            rl.process(msg(2, 1, 64), Cycle(1))[0],
+            Output::Consumed
+        ));
         // 64 cycles later the bucket refilled 64 bytes.
-        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(66))[0], Output::Forward(_)));
+        assert!(matches!(
+            rl.process(msg(3, 1, 64), Cycle(66))[0],
+            Output::Forward(_)
+        ));
     }
 
     #[test]
@@ -173,8 +191,14 @@ mod tests {
         let mut rl = RateLimitEngine::new("rl", None);
         rl.set_rate(TenantId(1), 0, 64);
         rl.set_rate(TenantId(2), 0, 6400);
-        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(0))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(0))[0], Output::Consumed));
+        assert!(matches!(
+            rl.process(msg(1, 1, 64), Cycle(0))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(2, 1, 64), Cycle(0))[0],
+            Output::Consumed
+        ));
         // Tenant 2 unaffected by tenant 1's exhaustion.
         for i in 0..10 {
             assert!(matches!(
@@ -188,7 +212,10 @@ mod tests {
     fn unconfigured_tenant_unlimited_without_default() {
         let mut rl = RateLimitEngine::new("rl", None);
         for i in 0..100 {
-            assert!(matches!(rl.process(msg(i, 9, 1500), Cycle(0))[0], Output::Forward(_)));
+            assert!(matches!(
+                rl.process(msg(i, 9, 1500), Cycle(0))[0],
+                Output::Forward(_)
+            ));
         }
         assert_eq!(rl.policed, 0);
     }
@@ -196,18 +223,33 @@ mod tests {
     #[test]
     fn default_rate_applies_to_new_tenants() {
         let mut rl = RateLimitEngine::new("rl", Some((0, 100)));
-        assert!(matches!(rl.process(msg(1, 5, 64), Cycle(0))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(2, 5, 64), Cycle(0))[0], Output::Consumed));
+        assert!(matches!(
+            rl.process(msg(1, 5, 64), Cycle(0))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(2, 5, 64), Cycle(0))[0],
+            Output::Consumed
+        ));
     }
 
     #[test]
     fn burst_cap_limits_idle_accumulation() {
         let mut rl = RateLimitEngine::new("rl", None);
         rl.set_rate(TenantId(1), 1000, 128); // 1B/cycle, 128B cap
-        // Long idle: tokens cap at 128, allowing two 64B packets only.
-        assert!(matches!(rl.process(msg(1, 1, 64), Cycle(100_000))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(2, 1, 64), Cycle(100_000))[0], Output::Forward(_)));
-        assert!(matches!(rl.process(msg(3, 1, 64), Cycle(100_000))[0], Output::Consumed));
+                                             // Long idle: tokens cap at 128, allowing two 64B packets only.
+        assert!(matches!(
+            rl.process(msg(1, 1, 64), Cycle(100_000))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(2, 1, 64), Cycle(100_000))[0],
+            Output::Forward(_)
+        ));
+        assert!(matches!(
+            rl.process(msg(3, 1, 64), Cycle(100_000))[0],
+            Output::Consumed
+        ));
     }
 
     #[test]

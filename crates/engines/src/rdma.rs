@@ -155,8 +155,8 @@ impl Offload for RdmaEngine {
                 // lightweight chaining), and the DMA hop inherits the
                 // request's urgency.
                 let slack = read.current_slack();
-                read.chain = ChainHeader::uniform(&[self.dma, self.self_id], slack)
-                    .expect("2 hops");
+                read.chain =
+                    ChainHeader::uniform(&[self.dma, self.self_id], slack).expect("2 hops");
                 vec![Output::ForwardTo(self.dma, read)]
             }
             MessageKind::DmaCompletion => {
@@ -310,7 +310,10 @@ mod tests {
         let completion = Message::builder(MessageId(2), MessageKind::DmaCompletion)
             .payload(Bytes::from(payload))
             .build();
-        assert!(matches!(e.process(completion, Cycle(0))[0], Output::Consumed));
+        assert!(matches!(
+            e.process(completion, Cycle(0))[0],
+            Output::Consumed
+        ));
         assert_eq!(e.orphan_completions, 1);
     }
 

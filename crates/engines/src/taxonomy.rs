@@ -188,7 +188,9 @@ mod tests {
         // §2.1: "most of the different possible types of offloads
         // already exist and all different types are potentially useful."
         let rows = table1();
-        assert!(rows.iter().any(|r| r.beneficiary == Beneficiary::Application));
+        assert!(rows
+            .iter()
+            .any(|r| r.beneficiary == Beneficiary::Application));
         assert!(rows
             .iter()
             .any(|r| r.beneficiary == Beneficiary::Infrastructure));

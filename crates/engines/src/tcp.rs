@@ -22,9 +22,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use packet::chain::EngineClass;
-use packet::headers::{
-    EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader,
-};
+use packet::headers::{EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader};
 use packet::message::{Message, MessageKind};
 use sim_core::time::{Cycle, Cycles};
 
@@ -222,7 +220,7 @@ impl TcpEngine {
             let ack_frame = Self::build_ack(conn);
             self.acks += 1;
             outs.push(Output::ToPipeline(
-                Message::builder(self.ids.next(), MessageKind::EthernetFrame)
+                Message::builder(self.ids.next_id(), MessageKind::EthernetFrame)
                     .payload(ack_frame)
                     .build(),
             ));
@@ -441,7 +439,10 @@ mod tests {
     #[test]
     fn fin_and_rst_tear_down() {
         let mut e = opened_engine();
-        let _ = e.process(msg(1, tcp_frame(101, flags::FIN | flags::ACK, b"")), Cycle(1));
+        let _ = e.process(
+            msg(1, tcp_frame(101, flags::FIN | flags::ACK, b"")),
+            Cycle(1),
+        );
         assert_eq!(e.connections(), 0);
         assert_eq!(e.closed, 1);
 

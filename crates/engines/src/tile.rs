@@ -30,6 +30,12 @@ pub struct TileConfig {
     pub queue_capacity: usize,
     /// Full-queue behaviour.
     pub admission: AdmissionPolicy,
+    /// Declares this engine lossless: it must never drop a message.
+    /// The declaration is *checked, not enforced* — the static verifier
+    /// rejects (PV303) any lossless tile whose `admission` is not
+    /// [`AdmissionPolicy::Backpressure`], since every other policy can
+    /// drop under a full queue.
+    pub lossless: bool,
 }
 
 impl Default for TileConfig {
@@ -37,6 +43,20 @@ impl Default for TileConfig {
         TileConfig {
             queue_capacity: 64,
             admission: AdmissionPolicy::TailDrop,
+            lossless: false,
+        }
+    }
+}
+
+impl TileConfig {
+    /// A lossless tile: backpressure admission plus the lossless
+    /// declaration the verifier checks (PV303).
+    #[must_use]
+    pub fn lossless(queue_capacity: usize) -> TileConfig {
+        TileConfig {
+            queue_capacity,
+            admission: AdmissionPolicy::Backpressure,
+            lossless: true,
         }
     }
 }
@@ -180,7 +200,11 @@ impl EngineTile {
     /// Panics if called while `rx_ready()` is false — the NIC must
     /// check first; ignoring backpressure would silently drop.
     pub fn accept(&mut self, msg: Message, now: Cycle) {
-        assert!(self.pending.is_none(), "tile {}: accept while busy", self.id);
+        assert!(
+            self.pending.is_none(),
+            "tile {}: accept while busy",
+            self.id
+        );
         match self.queue.offer(msg, now) {
             Admission::Accepted => {}
             Admission::Dropped { .. } => self.stats.dropped += 1,
@@ -352,6 +376,7 @@ mod tests {
         let cfg = TileConfig {
             queue_capacity: 2,
             admission: AdmissionPolicy::TailDrop,
+            ..TileConfig::default()
         };
         let mut t = EngineTile::new(
             EngineId(5),
@@ -369,10 +394,7 @@ mod tests {
 
     #[test]
     fn backpressure_holds_message_and_blocks_rx() {
-        let cfg = TileConfig {
-            queue_capacity: 1,
-            admission: AdmissionPolicy::Backpressure,
-        };
+        let cfg = TileConfig::lossless(1);
         let mut t = EngineTile::new(
             EngineId(5),
             Box::new(NullOffload::new("slow", EngineClass::Dma, Cycles(1000))),
@@ -394,10 +416,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "accept while busy")]
     fn accept_past_backpressure_panics() {
-        let cfg = TileConfig {
-            queue_capacity: 1,
-            admission: AdmissionPolicy::Backpressure,
-        };
+        let cfg = TileConfig::lossless(1);
         let mut t = EngineTile::new(
             EngineId(5),
             Box::new(NullOffload::new("slow", EngineClass::Dma, Cycles(1000))),

@@ -6,8 +6,8 @@
 //!
 //! ## Table 2 — packets per second at line rate
 //!
-//! A minimal Ethernet frame occupies 84 bytes of wire time: 64 B frame
-//! + 8 B preamble/SFD + 12 B inter-frame gap. One 40 Gbps direction
+//! A minimal Ethernet frame occupies 84 bytes of wire time: a 64 B
+//! frame, 8 B preamble/SFD, and a 12 B inter-frame gap. One 40 Gbps direction
 //! therefore carries at most `40e9 / (84·8) ≈ 59.5 Mpps`; the paper
 //! rounds this to 60 Mpps per port-direction (and 150 Mpps at 100 Gbps)
 //! and reports RX+TX across all ports.
@@ -32,7 +32,6 @@
 //!
 //! This model reproduces every row of Table 3 exactly (see tests).
 
-use serde::{Deserialize, Serialize};
 use sim_core::time::{Bandwidth, ByteSize, Freq};
 
 use crate::topology::Topology;
@@ -43,7 +42,7 @@ use crate::topology::Topology;
 pub const OVERHEAD_TRAVERSALS: f64 = 4.0;
 
 /// One row of Table 2: line-rate minimal-packet forwarding requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineRateRow {
     /// Per-port line rate.
     pub line_rate: Bandwidth,
@@ -123,7 +122,7 @@ pub fn rmt_sustains_line_rate(
 }
 
 /// One row of Table 3: mesh throughput and sustainable chain length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeshRow {
     /// Per-port line rate.
     pub line_rate: Bandwidth,

@@ -223,8 +223,7 @@ impl MeshNetwork {
         // per cycle from the source queue (the local channel is one
         // flit wide, like every other channel).
         for tile in 0..n {
-            if !self.source[tile].is_empty() && self.routers[tile].input_space(PortDir::Local) > 0
-            {
+            if !self.source[tile].is_empty() && self.routers[tile].input_space(PortDir::Local) > 0 {
                 let flit = self.source[tile].pop_front().expect("non-empty");
                 self.routers[tile].accept(PortDir::Local, flit);
             }
@@ -418,7 +417,12 @@ mod tests {
         let mut sent = 0u64;
         for burst in 0..40u64 {
             for e in 0..8u16 {
-                net.send(EngineId(e), EngineId(8), msg(burst * 100 + u64::from(e), 64), now);
+                net.send(
+                    EngineId(e),
+                    EngineId(8),
+                    msg(burst * 100 + u64::from(e), 64),
+                    now,
+                );
                 sent += 1;
             }
         }
@@ -456,7 +460,10 @@ mod tests {
             }
         }
         assert_eq!(deliveries, 2);
-        assert!(polls >= 18, "9-flit messages cannot eject faster than 1 flit/cycle");
+        assert!(
+            polls >= 18,
+            "9-flit messages cannot eject faster than 1 flit/cycle"
+        );
     }
 
     #[test]

@@ -239,6 +239,20 @@ impl Router {
     /// all externally visible effects are in the returned
     /// [`StagedOutputs`], which the network applies in the commit phase.
     pub fn compute(&mut self, topology: Topology, placement: &Placement) -> StagedOutputs {
+        // Runtime shadow of the static credit lints: a credit counter
+        // must stay within [0, buffer capacity] (capacity 0 would make
+        // the link permanently mute — panic-verify PV102; the capacity
+        // bound itself is PV103's sizing model). `CreditCounter`
+        // asserts each transition; this checks the aggregate per cycle.
+        debug_assert!(
+            self.out_credits
+                .iter()
+                .flatten()
+                .all(|c| c.count() <= c.initial() && c.initial() > 0),
+            "router {}: credit counter outside [0, buffer capacity] \
+             (see lints PV102/PV103)",
+            self.coord
+        );
         let mut staged = StagedOutputs::default();
         let mut input_used = [false; PortDir::COUNT];
 

@@ -419,7 +419,9 @@ mod tests {
         let t = Topology::mesh(4, 4);
         let edges: Vec<Coord> = t.edge_coords().collect();
         assert_eq!(edges.len(), 12); // 4*4 - 2*2 interior
-        assert!(edges.iter().all(|c| c.x == 0 || c.y == 0 || c.x == 3 || c.y == 3));
+        assert!(edges
+            .iter()
+            .all(|c| c.x == 0 || c.y == 0 || c.x == 3 || c.y == 3));
     }
 
     #[test]
@@ -523,4 +525,3 @@ mod proptests {
         }
     }
 }
-

@@ -84,10 +84,7 @@ impl Flit {
             });
         }
         // The tail flit carries the message object.
-        flits
-            .last_mut()
-            .expect("at least one flit")
-            .message = Some(Box::new(msg));
+        flits.last_mut().expect("at least one flit").message = Some(Box::new(msg));
         flits
     }
 

@@ -323,17 +323,11 @@ mod tests {
     fn drop_wins_over_recirculate() {
         let mut phv = Phv::new();
         let mut chain = Vec::new();
-        let v = Action::named(
-            "x",
-            vec![Primitive::Recirculate, Primitive::Drop],
-        )
-        .apply(&mut phv, &mut chain);
+        let v = Action::named("x", vec![Primitive::Recirculate, Primitive::Drop])
+            .apply(&mut phv, &mut chain);
         assert_eq!(v, Verdict::Drop);
-        let v = Action::named(
-            "y",
-            vec![Primitive::Drop, Primitive::Recirculate],
-        )
-        .apply(&mut phv, &mut chain);
+        let v = Action::named("y", vec![Primitive::Drop, Primitive::Recirculate])
+            .apply(&mut phv, &mut chain);
         assert_eq!(v, Verdict::Drop);
     }
 
@@ -351,7 +345,10 @@ mod tests {
         let mut phv = Phv::new();
         let mut chain = Vec::new();
         assert_eq!(Action::noop().apply(&mut phv, &mut chain), Verdict::Forward);
-        assert_eq!(Action::drop_msg().apply(&mut phv, &mut chain), Verdict::Drop);
+        assert_eq!(
+            Action::drop_msg().apply(&mut phv, &mut chain),
+            Verdict::Drop
+        );
         assert_eq!(Action::noop().primitives(), &[Primitive::NoOp]);
     }
 }

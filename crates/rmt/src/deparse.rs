@@ -8,7 +8,9 @@
 //! the wire.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use packet::headers::{EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader, UdpHeader};
+use packet::headers::{
+    EspHeader, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr, TcpHeader, UdpHeader,
+};
 use packet::kvs::KvsRequest;
 use packet::phv::{Field, Phv};
 

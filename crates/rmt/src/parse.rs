@@ -43,6 +43,35 @@ impl Layer {
             Layer::Kvs => KvsRequest::HEADER_SIZE,
         }
     }
+
+    /// The PHV fields [`ParseGraph::parse`] writes when this layer is
+    /// recognized. Static metadata used by the verifier's def-use check
+    /// (PV202): a field is "defined" in the parser iff some reachable
+    /// layer lists it here.
+    #[must_use]
+    pub fn fields(self) -> &'static [Field] {
+        match self {
+            Layer::Ethernet => &[Field::EthDst, Field::EthSrc, Field::EthType],
+            Layer::Ipv4 => &[
+                Field::IpTos,
+                Field::IpTotalLen,
+                Field::IpIdent,
+                Field::IpTtl,
+                Field::IpProto,
+                Field::IpSrc,
+                Field::IpDst,
+            ],
+            Layer::Udp => &[Field::L4SrcPort, Field::L4DstPort],
+            Layer::Tcp => &[Field::L4SrcPort, Field::L4DstPort, Field::TcpFlags],
+            Layer::Esp => &[Field::EspSpi, Field::EspSeq],
+            Layer::Kvs => &[
+                Field::KvsOp,
+                Field::KvsTenant,
+                Field::KvsKey,
+                Field::KvsRequestId,
+            ],
+        }
+    }
 }
 
 /// A transition: from `layer`, when the selector field equals `value`,
@@ -87,7 +116,10 @@ impl ParseOutcome {
     /// Byte offset of `layer`, if recognized.
     #[must_use]
     pub fn offset_of(&self, layer: Layer) -> Option<usize> {
-        self.layers.iter().find(|&&(l, _)| l == layer).map(|&(_, o)| o)
+        self.layers
+            .iter()
+            .find(|&&(l, _)| l == layer)
+            .map(|&(_, o)| o)
     }
 }
 
@@ -122,6 +154,19 @@ impl ParseGraph {
             .with_edge(Layer::Udp, u64::from(kvs_port), Layer::Kvs)
     }
 
+    /// The start layer.
+    #[must_use]
+    pub fn start(&self) -> Layer {
+        self.start
+    }
+
+    /// All transitions as `(from, selector value, next)` triples —
+    /// read-only structural access for static analysis (cycle
+    /// detection, layer reachability).
+    pub fn edges(&self) -> impl Iterator<Item = (Layer, u64, Layer)> + '_ {
+        self.transitions.iter().map(|t| (t.from, t.value, t.next))
+    }
+
     fn next_layer(&self, from: Layer, selector: u64) -> Option<Layer> {
         self.transitions
             .iter()
@@ -143,16 +188,11 @@ impl ParseGraph {
         let mut layers = Vec::new();
         let mut offset = 0usize;
         let mut layer = self.start;
-        loop {
-            let (sel_a, sel_b) =
-                match self.extract(layer, &data[offset.min(data.len())..], &mut phv) {
-                    Some(sel) => {
-                        layers.push((layer, offset));
-                        offset += layer.header_size();
-                        sel
-                    }
-                    None => break,
-                };
+        while let Some((sel_a, sel_b)) =
+            self.extract(layer, &data[offset.min(data.len())..], &mut phv)
+        {
+            layers.push((layer, offset));
+            offset += layer.header_size();
             // L4 layers branch on either port (a KVS *reply* carries the
             // service port as its source), so each layer may offer a
             // secondary selector.
@@ -178,9 +218,8 @@ impl ParseGraph {
         match layer {
             Layer::Ethernet => {
                 let (h, _) = EthernetHeader::parse(data).ok()?;
-                let mac_u64 = |m: [u8; 6]| {
-                    u64::from_be_bytes([0, 0, m[0], m[1], m[2], m[3], m[4], m[5]])
-                };
+                let mac_u64 =
+                    |m: [u8; 6]| u64::from_be_bytes([0, 0, m[0], m[1], m[2], m[3], m[4], m[5]]);
                 phv.set(Field::EthDst, mac_u64(h.dst.0));
                 phv.set(Field::EthSrc, mac_u64(h.src.0));
                 phv.set(Field::EthType, u64::from(h.ethertype));
@@ -221,12 +260,15 @@ impl ParseGraph {
             }
             Layer::Kvs => {
                 let r = KvsRequest::decode(data).ok()?;
-                phv.set(Field::KvsOp, u64::from(match r.op {
-                    packet::kvs::KvsOp::Get => 1u8,
-                    packet::kvs::KvsOp::Set => 2,
-                    packet::kvs::KvsOp::Del => 3,
-                    packet::kvs::KvsOp::Reply => 4,
-                }));
+                phv.set(
+                    Field::KvsOp,
+                    u64::from(match r.op {
+                        packet::kvs::KvsOp::Get => 1u8,
+                        packet::kvs::KvsOp::Set => 2,
+                        packet::kvs::KvsOp::Del => 3,
+                        packet::kvs::KvsOp::Reply => 4,
+                    }),
+                );
                 phv.set(Field::KvsTenant, u64::from(r.tenant));
                 phv.set(Field::KvsKey, r.key);
                 phv.set(Field::KvsRequestId, u64::from(r.request_id));

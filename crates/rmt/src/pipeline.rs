@@ -248,7 +248,11 @@ mod tests {
     }
 
     fn dropping_program() -> RmtProgram {
-        let mut t = Table::new("t", MatchKind::Exact(vec![Field::L4DstPort]), Action::noop());
+        let mut t = Table::new(
+            "t",
+            MatchKind::Exact(vec![Field::L4DstPort]),
+            Action::noop(),
+        );
         t.insert(TableEntry {
             key: MatchKey::Exact(vec![23]),
             priority: 0,

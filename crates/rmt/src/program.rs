@@ -42,6 +42,13 @@ impl RmtProgram {
         &self.parser
     }
 
+    /// The match+action tables, one per stage, in pipeline order —
+    /// read-only structural access for static analysis.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
     /// Runs the program over `msg` *functionally* (no timing):
     /// parse → match+action stages → deparse. On `Forward` /
     /// `Recirculate` the message's payload, chain, priority, PHV and
@@ -76,8 +83,7 @@ impl RmtProgram {
         }
 
         msg.payload = deparse(&msg.payload, &outcome, &phv);
-        msg.chain = ChainHeader::new(hops)
-            .expect("programs cannot build chains beyond MAX_HOPS");
+        msg.chain = ChainHeader::new(hops).expect("programs cannot build chains beyond MAX_HOPS");
         msg.priority = priority_from_code(phv.get_or_zero(Field::MetaPriority));
         msg.phv = Some(phv);
         verdict

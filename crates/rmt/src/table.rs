@@ -102,6 +102,19 @@ impl Table {
         self.entries.is_empty()
     }
 
+    /// The installed entries, in insertion order — read-only structural
+    /// access for static analysis.
+    #[must_use]
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The miss action.
+    #[must_use]
+    pub fn default_action(&self) -> &Action {
+        &self.default_action
+    }
+
     /// Installs an entry.
     ///
     /// # Panics
@@ -117,7 +130,14 @@ impl Table {
                     self.name
                 );
             }
-            (MatchKind::Lpm(_), MatchKey::Lpm { prefix_len, width_bits, .. }) => {
+            (
+                MatchKind::Lpm(_),
+                MatchKey::Lpm {
+                    prefix_len,
+                    width_bits,
+                    ..
+                },
+            ) => {
                 assert!(
                     prefix_len <= width_bits,
                     "table {}: prefix_len {} > width {}",
@@ -149,7 +169,9 @@ impl Table {
         match &self.kind {
             MatchKind::Exact(fields) => {
                 for e in &self.entries {
-                    let MatchKey::Exact(vals) = &e.key else { continue };
+                    let MatchKey::Exact(vals) = &e.key else {
+                        continue;
+                    };
                     if fields
                         .iter()
                         .zip(vals)
@@ -192,7 +214,9 @@ impl Table {
             MatchKind::Ternary(fields) => {
                 let mut best: Option<(&TableEntry, i32, usize)> = None;
                 for (idx, e) in self.entries.iter().enumerate() {
-                    let MatchKey::Ternary(pairs) = &e.key else { continue };
+                    let MatchKey::Ternary(pairs) = &e.key else {
+                        continue;
+                    };
                     let hit = fields.iter().zip(pairs).all(|(&f, &(v, m))| {
                         // Mask 0 is an explicit don't-care: it matches
                         // even when the parser never populated the field
@@ -200,9 +224,8 @@ impl Table {
                         m == 0 || phv.get(f).is_some_and(|pv| pv & m == v & m)
                     });
                     if hit
-                        && best.is_none_or(|(_, p, i)| {
-                            e.priority > p || (e.priority == p && idx < i)
-                        })
+                        && best
+                            .is_none_or(|(_, p, i)| e.priority > p || (e.priority == p && idx < i))
                     {
                         best = Some((e, e.priority, idx));
                     }
@@ -324,12 +347,20 @@ mod tests {
             priority: 10,
             action: noop("allow-tls"),
         });
-        let (a, _) = t.lookup(&phv_with(&[(Field::IpSrc, 0x0a010101), (Field::L4DstPort, 443)]));
+        let (a, _) = t.lookup(&phv_with(&[
+            (Field::IpSrc, 0x0a010101),
+            (Field::L4DstPort, 443),
+        ]));
         assert_eq!(a.name(), "allow-tls");
-        let (a, _) = t.lookup(&phv_with(&[(Field::IpSrc, 0x0a010101), (Field::L4DstPort, 80)]));
+        let (a, _) = t.lookup(&phv_with(&[
+            (Field::IpSrc, 0x0a010101),
+            (Field::L4DstPort, 80),
+        ]));
         assert_eq!(a.name(), "deny");
-        let (a, hit) =
-            t.lookup(&phv_with(&[(Field::IpSrc, 0x0b010101), (Field::L4DstPort, 80)]));
+        let (a, hit) = t.lookup(&phv_with(&[
+            (Field::IpSrc, 0x0b010101),
+            (Field::L4DstPort, 80),
+        ]));
         assert!(!hit);
         assert_eq!(a.name(), "permit");
     }
@@ -475,4 +506,3 @@ mod proptests {
         }
     }
 }
-

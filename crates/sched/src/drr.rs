@@ -58,10 +58,7 @@ impl DrrScheduler {
     pub fn set_quantum(&mut self, tenant: TenantId, quantum: u64) {
         assert!(quantum > 0, "zero quantum");
         self.ensure(tenant);
-        self.tenants
-            .get_mut(&tenant)
-            .expect("just ensured")
-            .quantum = quantum;
+        self.tenants.get_mut(&tenant).expect("just ensured").quantum = quantum;
     }
 
     fn ensure(&mut self, tenant: TenantId) {
@@ -168,7 +165,10 @@ mod tests {
             let m = s.pop().unwrap();
             counts[m.tenant.0 as usize] += 1;
         }
-        assert!((counts[0] as i32 - counts[1] as i32).abs() <= 2, "{counts:?}");
+        assert!(
+            (counts[0] as i32 - counts[1] as i32).abs() <= 2,
+            "{counts:?}"
+        );
         assert_eq!(s.len(), 10);
     }
 

@@ -68,7 +68,20 @@ impl<T> Pifo<T> {
 
     /// Pops the minimum-rank item.
     pub fn pop(&mut self) -> Option<T> {
-        self.heap.pop().map(|Reverse(e)| e.item)
+        let popped = self.heap.pop().map(|Reverse(e)| (e.rank, e.item));
+        popped.map(|(rank, item)| {
+            // Rank monotonicity: nothing still queued outranks what just
+            // popped. The heap invariant guarantees this *unless* a rank
+            // computation overflowed the fixed-width rank word and
+            // wrapped — the runtime shadow of the static rank-width lint
+            // (panic-verify PV301).
+            debug_assert!(
+                self.peek_rank().is_none_or(|next| next >= rank),
+                "PIFO popped rank {rank} but a smaller rank remains \
+                 queued — rank wrapped its width? (see lint PV301)"
+            );
+            item
+        })
     }
 
     /// Rank of the element that would pop next.

@@ -114,10 +114,13 @@ impl SchedQueue {
     pub fn offer(&mut self, msg: Message, now: Cycle) -> Admission<Message> {
         let rank = deadline_rank(now, msg.current_slack());
         if !self.is_full() {
-            self.pifo.push(rank, Queued {
-                msg,
-                enqueued_at: now,
-            });
+            self.pifo.push(
+                rank,
+                Queued {
+                    msg,
+                    enqueued_at: now,
+                },
+            );
             self.stats.accepted += 1;
             self.stats.peak_depth = self.stats.peak_depth.max(self.pifo.len());
             return Admission::Accepted;
@@ -134,25 +137,24 @@ impl SchedQueue {
             AdmissionPolicy::EvictLargestRank => {
                 // If the arrival ranks >= the largest queued rank, the
                 // arrival is the better victim (it has the most slack).
-                let (max_rank, victim) = self
-                    .pifo
-                    .evict_max_rank()
-                    .expect("full queue is non-empty");
+                let (max_rank, victim) =
+                    self.pifo.evict_max_rank().expect("full queue is non-empty");
                 if rank >= max_rank {
                     // Arrival is the victim; put the evicted one back.
                     self.pifo.push(max_rank, victim);
                     self.stats.dropped += 1;
                     Admission::Dropped { victim: msg }
                 } else {
-                    self.pifo.push(rank, Queued {
-                        msg,
-                        enqueued_at: now,
-                    });
+                    self.pifo.push(
+                        rank,
+                        Queued {
+                            msg,
+                            enqueued_at: now,
+                        },
+                    );
                     self.stats.accepted += 1;
                     self.stats.dropped += 1;
-                    Admission::Dropped {
-                        victim: victim.msg,
-                    }
+                    Admission::Dropped { victim: victim.msg }
                 }
             }
             AdmissionPolicy::Backpressure => {

@@ -35,7 +35,11 @@ pub fn remaining_slack(arrival: Cycle, slack: Slack, now: Cycle) -> Slack {
         return Slack::BULK;
     }
     let waited = now.saturating_since(arrival).count();
-    Slack(slack.0.saturating_sub(waited.min(u64::from(u32::MAX)) as u32))
+    Slack(
+        slack
+            .0
+            .saturating_sub(waited.min(u64::from(u32::MAX)) as u32),
+    )
 }
 
 #[cfg(test)]

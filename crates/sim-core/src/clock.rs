@@ -35,11 +35,7 @@ pub trait Clocked {
 /// This helper suits homogeneous collections; full NIC models own their
 /// sub-components directly and implement [`Clocked`] themselves, then a
 /// single top-level call drives everything.
-pub fn run_for<C: Clocked + ?Sized>(
-    components: &mut [&mut C],
-    start: Cycle,
-    cycles: u64,
-) -> Cycle {
+pub fn run_for<C: Clocked + ?Sized>(components: &mut [&mut C], start: Cycle, cycles: u64) -> Cycle {
     let mut now = start;
     for _ in 0..cycles {
         for c in components.iter_mut() {

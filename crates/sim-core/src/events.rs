@@ -187,7 +187,12 @@ mod tests {
             q.schedule(Cycle(c), (c, i));
         }
         let fired = q.drain_due(Cycle(100));
-        let mut expect: Vec<(u64, usize)> = cycles.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        let mut expect: Vec<(u64, usize)> = cycles
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
         expect.sort_by_key(|&(c, i)| (c, i));
         assert_eq!(fired, expect);
     }

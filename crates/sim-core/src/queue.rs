@@ -157,6 +157,14 @@ impl CreditCounter {
         self.credits
     }
 
+    /// The initial (maximum) credit count — the downstream buffer's
+    /// capacity. Lets holders assert `count() <= initial()` as a
+    /// runtime invariant.
+    #[must_use]
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
     /// Consumes one credit to send one unit.
     ///
     /// # Panics

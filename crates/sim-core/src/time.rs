@@ -163,7 +163,7 @@ impl fmt::Display for Cycles {
 ///
 /// The paper's reference design runs RMT pipelines and the on-chip
 /// network at 500 MHz (§4.2); engines may be clocked differently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Freq {
     hz: u64,
 }
@@ -236,9 +236,9 @@ impl Freq {
 
 impl fmt::Display for Freq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hz % 1_000_000_000 == 0 {
+        if self.hz.is_multiple_of(1_000_000_000) {
             write!(f, "{}GHz", self.hz / 1_000_000_000)
-        } else if self.hz % 1_000_000 == 0 {
+        } else if self.hz.is_multiple_of(1_000_000) {
             write!(f, "{}MHz", self.hz / 1_000_000)
         } else {
             write!(f, "{}Hz", self.hz)
@@ -339,9 +339,7 @@ impl fmt::Display for Time {
 /// paper uses. Conversions deliberately round *up* cycle counts
 /// (serialization can't finish mid-cycle) and round *down* achievable
 /// packet rates (you can't forward a fraction of a packet).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth {
     bits_per_sec: u64,
 }
@@ -416,7 +414,7 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.bits_per_sec >= 1_000_000_000 && self.bits_per_sec % 1_000_000 == 0 {
+        if self.bits_per_sec >= 1_000_000_000 && self.bits_per_sec.is_multiple_of(1_000_000) {
             write!(f, "{}Gbps", self.bits_per_sec as f64 / 1e9)
         } else {
             write!(f, "{}bps", self.bits_per_sec)
@@ -425,19 +423,7 @@ impl fmt::Display for Bandwidth {
 }
 
 /// A size in bytes, with helpers for the wire/flit math used throughout.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -518,7 +504,10 @@ mod tests {
     fn freq_cycle_time_roundtrip() {
         let f = Freq::mhz(500);
         assert_eq!(f.cycle_picos(), 2000);
-        assert_eq!(f.cycles_to_time(Cycles(500_000_000)), Time::from_micros(1_000_000));
+        assert_eq!(
+            f.cycles_to_time(Cycles(500_000_000)),
+            Time::from_micros(1_000_000)
+        );
         assert_eq!(f.time_to_cycles(Time::from_nanos(10)), Cycles(5));
         // Partial cycles round up.
         assert_eq!(f.time_to_cycles(Time::from_nanos(11)), Cycles(6));
@@ -537,7 +526,10 @@ mod tests {
         let bw = Bandwidth::of_channel(64, Freq::mhz(500));
         assert_eq!(bw, Bandwidth::gbps(32));
         // 128-bit channel at 500MHz = 64 Gbps.
-        assert_eq!(Bandwidth::of_channel(128, Freq::mhz(500)), Bandwidth::gbps(64));
+        assert_eq!(
+            Bandwidth::of_channel(128, Freq::mhz(500)),
+            Bandwidth::gbps(64)
+        );
     }
 
     #[test]

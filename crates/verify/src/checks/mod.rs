@@ -1,0 +1,29 @@
+//! The four check families, individually callable.
+//!
+//! [`verify`] runs everything; the per-family functions exist so that
+//! callers configuring only a slice of the NIC (e.g. the baselines,
+//! which have no RMT program) can lint exactly the part they use.
+
+pub mod chain;
+pub mod noc;
+pub mod rmt;
+pub mod sched;
+
+pub use chain::check_chain;
+pub use noc::check_noc;
+pub use rmt::check_rmt;
+pub use sched::check_sched;
+
+use crate::diag::Report;
+use crate::spec::NicSpec;
+
+/// Runs every check family against `spec` and aggregates the findings.
+#[must_use]
+pub fn verify(spec: &NicSpec) -> Report {
+    let mut diags = Vec::new();
+    diags.extend(check_chain(spec));
+    diags.extend(check_noc(spec));
+    diags.extend(check_rmt(spec));
+    diags.extend(check_sched(spec));
+    Report::new(diags)
+}

@@ -1,0 +1,310 @@
+//! NoC deadlock & buffer checks (`PV1xx`).
+//!
+//! A switched NoC with credit flow control deadlocks iff its
+//! channel-dependency graph (CDG) has a cycle (Dally & Seitz). The
+//! checker builds the CDG induced by the configured routing function —
+//! nodes are directed mesh channels, an edge `c1 → c2` means some route
+//! holds `c1` while waiting for `c2` — and proves it acyclic with a
+//! DFS, or reports a witness cycle (PV101). Dimension-ordered XY
+//! routing always passes; a minimal fully-adaptive function with no
+//! escape virtual channels always fails on meshes of 2×2 or larger.
+//!
+//! The buffer lints are about credits: a zero-capacity buffer means a
+//! link that can never be granted a credit, i.e. a wire that carries
+//! nothing, which in this simulator manifests as a silent stall
+//! (PV102). Small-but-nonzero buffers are legal but throttle the link
+//! (PV103).
+
+use std::collections::HashMap;
+
+use noc::topology::Direction;
+use noc::{Coord, Topology};
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::spec::{NicSpec, RoutingKind};
+
+/// A directed mesh channel: the link from one router to an adjacent one.
+type Channel = (Coord, Coord);
+
+/// Runs the `PV1xx` family against `spec`.
+#[must_use]
+pub fn check_noc(spec: &NicSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_deadlock(spec, &mut out);
+    check_buffers(spec, &mut out);
+    out
+}
+
+/// All directed channels of the mesh.
+fn channels(topo: Topology) -> Vec<Channel> {
+    let mut chans = Vec::new();
+    for c in topo.coords() {
+        for dir in Direction::ALL {
+            if let Some(n) = topo.neighbor(c, dir) {
+                chans.push((c, n));
+            }
+        }
+    }
+    chans
+}
+
+/// CDG edges under dimension-ordered XY routing: walk every (src, dst)
+/// route the router would actually take and link consecutive channels.
+fn xy_edges(topo: Topology) -> Vec<(Channel, Channel)> {
+    let mut edges = Vec::new();
+    for src in topo.coords() {
+        for dst in topo.coords() {
+            if src == dst {
+                continue;
+            }
+            let mut prev: Option<Channel> = None;
+            let mut cur = src;
+            while cur != dst {
+                let dir = topo
+                    .route_xy(cur, dst)
+                    .expect("route_xy is total for distinct in-mesh coords");
+                let next = topo
+                    .neighbor(cur, dir)
+                    .expect("route_xy only returns traversable directions");
+                let chan = (cur, next);
+                if let Some(p) = prev {
+                    edges.push((p, chan));
+                }
+                prev = Some(chan);
+                cur = next;
+            }
+        }
+    }
+    edges.sort_unstable_by_key(|&((a, b), (c, d))| (a.x, a.y, b.x, b.y, c.x, c.y, d.x, d.y));
+    edges.dedup();
+    edges
+}
+
+/// CDG edges under minimal fully-adaptive routing with no escape VCs:
+/// at every router, any input channel may wait on any output channel
+/// except the U-turn back where it came from. This is the sound
+/// over-approximation of "the route may turn any direction that makes
+/// progress" — and it closes turn cycles on any mesh with a 2×2
+/// sub-mesh, which is exactly the classical result the lint encodes.
+fn adaptive_edges(topo: Topology) -> Vec<(Channel, Channel)> {
+    let mut edges = Vec::new();
+    for mid in topo.coords() {
+        for din in Direction::ALL {
+            let Some(a) = topo.neighbor(mid, din) else {
+                continue;
+            };
+            for dout in Direction::ALL {
+                let Some(b) = topo.neighbor(mid, dout) else {
+                    continue;
+                };
+                if b == a {
+                    continue; // no U-turns in minimal routing
+                }
+                edges.push(((a, mid), (mid, b)));
+            }
+        }
+    }
+    edges
+}
+
+/// DFS cycle detection over the CDG. Returns a witness channel on a
+/// cycle, `None` when acyclic.
+fn find_cycle(nodes: &[Channel], edges: &[(Channel, Channel)]) -> Option<Channel> {
+    let mut adj: HashMap<Channel, Vec<Channel>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color: HashMap<Channel, u8> = nodes.iter().map(|&c| (c, 0)).collect();
+    for &start in nodes {
+        if color[&start] != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack: Vec<(Channel, usize)> = vec![(start, 0)];
+        color.insert(start, 1);
+        while let Some(&(node, i)) = stack.last() {
+            let succs = adj.get(&node).map_or(&[][..], Vec::as_slice);
+            if i < succs.len() {
+                stack.last_mut().expect("stack is non-empty").1 = i + 1;
+                let next = succs[i];
+                match color.get(&next).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next, 1);
+                        stack.push((next, 0));
+                    }
+                    1 => return Some(next), // back edge: cycle witness
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// PV101: prove the routing function deadlock-free, or report the
+/// witness cycle.
+fn check_deadlock(spec: &NicSpec, out: &mut Vec<Diagnostic>) {
+    let topo = spec.topology;
+    let nodes = channels(topo);
+    let (edges, kind) = match spec.routing {
+        RoutingKind::XyDimensionOrdered => (xy_edges(topo), "XY dimension-ordered"),
+        RoutingKind::FullyAdaptiveMinimal => (adaptive_edges(topo), "fully-adaptive minimal"),
+    };
+    if let Some((a, b)) = find_cycle(&nodes, &edges) {
+        out.push(Diagnostic::new(
+            Code::PV101,
+            Severity::Error,
+            Span::at("noc", format!("channel {a}->{b}")),
+            format!(
+                "{kind} routing on the {} mesh has a cyclic channel-dependency \
+                 graph (witness cycle through channel {a}->{b}): credit deadlock is \
+                 reachable; use XY routing or add escape virtual channels",
+                topo
+            ),
+        ));
+    }
+}
+
+/// PV102 / PV103: buffer and credit sizing.
+fn check_buffers(spec: &NicSpec, out: &mut Vec<Diagnostic>) {
+    let r = spec.router;
+    if r.input_buffer_flits == 0 {
+        out.push(Diagnostic::new(
+            Code::PV102,
+            Severity::Error,
+            Span::at("noc", "input_buffer_flits"),
+            "router input buffers hold zero flits: neighbors start with zero \
+             credits and no flit can ever cross a link"
+                .to_string(),
+        ));
+    }
+    if r.ejection_buffer_flits == 0 {
+        out.push(Diagnostic::new(
+            Code::PV102,
+            Severity::Error,
+            Span::at("noc", "ejection_buffer_flits"),
+            "ejection buffers hold zero flits: no packet can ever leave the mesh".to_string(),
+        ));
+    }
+    if r.input_buffer_flits == 1 {
+        out.push(Diagnostic::new(
+            Code::PV103,
+            Severity::Warn,
+            Span::at("noc", "input_buffer_flits"),
+            "single-flit input buffers cannot cover the credit round-trip: every \
+             link stalls one cycle per flit, halving channel bandwidth"
+                .to_string(),
+        ));
+    } else if (r.input_buffer_flits as u64) < spec.max_frame_flits() {
+        out.push(Diagnostic::new(
+            Code::PV103,
+            Severity::Info,
+            Span::at("noc", "input_buffer_flits"),
+            format!(
+                "input buffers ({} flits) are smaller than the largest frame \
+                 ({} flits at {} B); large packets will span multiple routers \
+                 in flight, which is correct (wormhole) but couples their \
+                 blocking behavior",
+                r.input_buffer_flits,
+                spec.max_frame_flits(),
+                spec.max_frame_bytes
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(k: u8) -> NicSpec {
+        NicSpec::new(Topology::mesh(k, k))
+    }
+
+    #[test]
+    fn xy_routing_is_certified_deadlock_free() {
+        for k in [2u8, 3, 4, 6] {
+            let diags = check_noc(&spec(k));
+            assert!(
+                !diags.iter().any(|d| d.code == Code::PV101),
+                "XY flagged on {k}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pv101_adaptive_routing_without_escape_vcs() {
+        let mut s = spec(2);
+        s.routing = RoutingKind::FullyAdaptiveMinimal;
+        let diags = check_noc(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV101).expect("PV101");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("witness"), "{}", d.message);
+    }
+
+    #[test]
+    fn adaptive_on_a_line_is_fine() {
+        // A 1xN "mesh" has no turns, so even adaptive routing cannot
+        // close a cycle: the checker reasons from the graph, not the
+        // routing-kind label.
+        let mut s = NicSpec::new(Topology::mesh(1, 4));
+        s.routing = RoutingKind::FullyAdaptiveMinimal;
+        assert!(!check_noc(&s).iter().any(|d| d.code == Code::PV101));
+    }
+
+    #[test]
+    fn pv102_zero_credit_links() {
+        let mut s = spec(4);
+        s.router.input_buffer_flits = 0;
+        let diags = check_noc(&s);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::PV102 && d.severity == Severity::Error));
+
+        let mut s = spec(4);
+        s.router.ejection_buffer_flits = 0;
+        assert!(check_noc(&s).iter().any(|d| d.code == Code::PV102));
+    }
+
+    #[test]
+    fn pv103_single_flit_buffer_warns() {
+        let mut s = spec(4);
+        s.router.input_buffer_flits = 1;
+        let diags = check_noc(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV103).expect("PV103");
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn pv103_sub_frame_buffer_is_informational() {
+        // The default 8-flit buffer is smaller than a 1518 B frame:
+        // that is the normal wormhole regime, Info not Warn.
+        let diags = check_noc(&spec(4));
+        let d = diags.iter().find(|d| d.code == Code::PV103).expect("PV103");
+        assert_eq!(d.severity, Severity::Info);
+        // And a buffer at least one frame deep clears the lint.
+        let mut s = spec(4);
+        s.router.input_buffer_flits = 200;
+        assert!(!check_noc(&s).iter().any(|d| d.code == Code::PV103));
+    }
+
+    #[test]
+    fn xy_cdg_has_expected_shape() {
+        // On a 2x2 mesh the XY CDG must only ever turn from X channels
+        // into Y channels, never back — spot-check the edge set.
+        let topo = Topology::mesh(2, 2);
+        for ((a, b), (c, d)) in xy_edges(topo) {
+            assert_eq!(b, c, "edges must chain through a shared router");
+            let first_is_y = a.x == b.x;
+            let second_is_y = c.x == d.x;
+            assert!(
+                !first_is_y || second_is_y,
+                "Y->X turn {a}->{b} then {c}->{d} is illegal in XY routing"
+            );
+        }
+    }
+}

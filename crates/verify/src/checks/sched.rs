@@ -1,0 +1,257 @@
+//! Scheduler checks (`PV3xx`).
+//!
+//! PANIC's logical scheduler is a PIFO per engine ordered by LSTF
+//! deadlines (`arrival + slack`, §3.1.3). Hardware PIFOs store ranks in
+//! fixed-width SRAM words, so a deadline past `2^width − 1` wraps and a
+//! *later* deadline sorts *earlier* — silent priority inversion. PV301
+//! proves the configured scheduling horizon (plus the largest finite
+//! slack any program action can grant) fits the rank width. PV302 is
+//! the classic DRR sizing rule: a quantum below the maximum frame size
+//! starves large frames (a flow can only accumulate deficit; a frame
+//! bigger than any achievable deficit never sends). PV303 checks the
+//! §6 lossless/lossy split: an engine declared lossless whose admission
+//! policy can drop is a contradiction in the configuration.
+
+use rmt::action::{Primitive, SlackExpr};
+use sched::AdmissionPolicy;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::spec::NicSpec;
+
+/// Bits needed to represent `v` (0 needs 0 bits).
+fn bits_needed(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// The largest *finite* slack any action in the program can grant, or
+/// `None` when there is no program / only bulk slack.
+fn max_finite_slack(spec: &NicSpec) -> Option<u32> {
+    let program = spec.program.as_ref()?;
+    let mut max: Option<u32> = None;
+    for table in program.tables() {
+        let actions = std::iter::once(table.default_action())
+            .chain(table.entries().iter().map(|e| &e.action));
+        for action in actions {
+            for p in action.primitives() {
+                let Primitive::PushHop { slack, .. } = p else {
+                    continue;
+                };
+                let candidate = match slack {
+                    SlackExpr::Const(c) => Some(*c),
+                    SlackExpr::ByPriority { latency, normal } => Some((*latency).max(*normal)),
+                    SlackExpr::Bulk => None,
+                };
+                if let Some(c) = candidate {
+                    max = Some(max.map_or(c, |m| m.max(c)));
+                }
+            }
+        }
+    }
+    max
+}
+
+/// Runs the `PV3xx` family against `spec`.
+#[must_use]
+pub fn check_sched(spec: &NicSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_rank_width(spec, &mut out);
+    check_drr_quantum(spec, &mut out);
+    check_lossless(spec, &mut out);
+    out
+}
+
+/// PV301: the rank field must hold every deadline the run can produce.
+fn check_rank_width(spec: &NicSpec, out: &mut Vec<Diagnostic>) {
+    let width = spec.sched.rank_width_bits;
+    let horizon = spec.sched.horizon_cycles;
+    if bits_needed(horizon) > width {
+        out.push(Diagnostic::new(
+            Code::PV301,
+            Severity::Error,
+            Span::at("sched", "rank_width_bits"),
+            format!(
+                "scheduling horizon {horizon} cycles needs {} rank bits but the \
+                 PIFO stores {width}: deadlines wrap and LSTF ordering inverts",
+                bits_needed(horizon)
+            ),
+        ));
+        return;
+    }
+    if let Some(slack) = max_finite_slack(spec) {
+        let worst_deadline = horizon.saturating_add(u64::from(slack));
+        if bits_needed(worst_deadline) > width {
+            out.push(Diagnostic::new(
+                Code::PV301,
+                Severity::Warn,
+                Span::at("sched", "rank_width_bits"),
+                format!(
+                    "a message arriving at the horizon with the program's largest \
+                     slack ({slack}) ranks at {worst_deadline}, needing {} bits \
+                     against a {width}-bit PIFO rank: late-run deadlines can wrap",
+                    bits_needed(worst_deadline)
+                ),
+            ));
+        }
+    }
+}
+
+/// PV302: DRR quantum sizing.
+fn check_drr_quantum(spec: &NicSpec, out: &mut Vec<Diagnostic>) {
+    let Some(q) = spec.sched.drr_quantum else {
+        return;
+    };
+    if q == 0 {
+        out.push(Diagnostic::new(
+            Code::PV302,
+            Severity::Error,
+            Span::at("sched", "drr_quantum"),
+            "DRR quantum is zero: no flow ever accumulates deficit, the \
+             scheduler never dequeues"
+                .to_string(),
+        ));
+    } else if q < spec.max_frame_bytes {
+        out.push(Diagnostic::new(
+            Code::PV302,
+            Severity::Warn,
+            Span::at("sched", "drr_quantum"),
+            format!(
+                "DRR quantum {q} B is below the maximum frame size \
+                 {} B: a flow sending only maximum-size frames needs multiple \
+                 rounds per frame and, at quantum ≤ frame − 1, may starve \
+                 behind small-frame flows",
+                spec.max_frame_bytes
+            ),
+        ));
+    }
+}
+
+/// PV303: a lossless engine must use backpressure admission.
+fn check_lossless(spec: &NicSpec, out: &mut Vec<Diagnostic>) {
+    for e in &spec.engines {
+        if e.lossless && e.admission != AdmissionPolicy::Backpressure {
+            out.push(Diagnostic::new(
+                Code::PV303,
+                Severity::Error,
+                Span::at("sched", e.name.clone()),
+                format!(
+                    "engine '{}' is declared lossless but admits with {}: a full \
+                     queue will drop a message the configuration promised never \
+                     to lose",
+                    e.name, e.admission
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EngineSpec;
+    use noc::Topology;
+    use packet::phv::Field;
+    use packet::{EngineClass, EngineId};
+    use rmt::table::{MatchKind, Table};
+    use rmt::{Action, ParseGraph, ProgramBuilder};
+
+    fn spec() -> NicSpec {
+        NicSpec::new(Topology::mesh(4, 4))
+    }
+
+    #[test]
+    fn defaults_are_clean() {
+        assert!(check_sched(&spec()).is_empty());
+    }
+
+    #[test]
+    fn pv301_horizon_past_rank_width() {
+        let mut s = spec();
+        s.sched.rank_width_bits = 16;
+        s.sched.horizon_cycles = 1 << 20;
+        let diags = check_sched(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV301).expect("PV301");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("wrap"), "{}", d.message);
+    }
+
+    #[test]
+    fn pv301_warn_when_slack_tips_the_deadline_over() {
+        // Horizon fits exactly (2^32 - 1 in 32 bits), but the program
+        // can grant slack that pushes deadlines past the boundary.
+        let mut s = spec();
+        s.sched.rank_width_bits = 32;
+        s.sched.horizon_cycles = (1 << 32) - 1;
+        let action = Action::named(
+            "push",
+            vec![Primitive::PushHop {
+                engine: EngineId(1),
+                slack: SlackExpr::ByPriority {
+                    latency: 100,
+                    normal: 5_000,
+                },
+            }],
+        );
+        s.program = Some(
+            ProgramBuilder::new("p", ParseGraph::starting_at(rmt::parse::Layer::Ethernet))
+                .stage(Table::new(
+                    "t",
+                    MatchKind::Exact(vec![Field::EthType]),
+                    action,
+                ))
+                .build(),
+        );
+        let diags = check_sched(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV301).expect("PV301");
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(
+            d.message.contains("5000") || d.message.contains("5_000"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn pv302_zero_quantum_is_an_error() {
+        let mut s = spec();
+        s.sched.drr_quantum = Some(0);
+        let diags = check_sched(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV302).expect("PV302");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn pv302_sub_frame_quantum_warns() {
+        let mut s = spec();
+        s.sched.drr_quantum = Some(512); // < 1518
+        let diags = check_sched(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV302).expect("PV302");
+        assert_eq!(d.severity, Severity::Warn);
+        // A full-frame quantum is clean.
+        s.sched.drr_quantum = Some(1518);
+        assert!(!check_sched(&s).iter().any(|d| d.code == Code::PV302));
+    }
+
+    #[test]
+    fn pv303_lossless_with_droppy_admission() {
+        let mut s = spec();
+        let mut dma = EngineSpec::new(EngineId(5), "dma", EngineClass::Dma);
+        dma.lossless = true;
+        dma.admission = AdmissionPolicy::EvictLargestRank;
+        s.engines.push(dma);
+        let diags = check_sched(&s);
+        let d = diags.iter().find(|d| d.code == Code::PV303).expect("PV303");
+        assert_eq!(d.severity, Severity::Error);
+        // Backpressure honors the declaration.
+        s.engines[0].admission = AdmissionPolicy::Backpressure;
+        assert!(check_sched(&s).is_empty());
+    }
+
+    #[test]
+    fn bits_needed_edges() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,207 @@
+//! The declarative NIC description the verifier lints.
+//!
+//! The simulator's runtime types (boxed offloads, live queues, event
+//! wheels) are not inspectable after construction, so verification runs
+//! against a plain-data [`NicSpec`] extracted *before* the NIC is
+//! built. `panic-core`'s builder produces one via `to_spec()`;
+//! standalone tools (the `panic-lint` CLI, tests) can also assemble one
+//! by hand.
+//!
+//! Everything here is ordinary data with public fields: the point of
+//! the spec is that every check can see the whole configuration.
+
+use noc::{Coord, RouterConfig, Topology};
+use packet::{EngineClass, EngineId};
+use rmt::{PipelineConfig, RmtProgram};
+use sched::AdmissionPolicy;
+use sim_core::{Bandwidth, Cycles, Freq};
+
+/// Which routing function the mesh uses. The verifier proves (or
+/// refutes) deadlock freedom from the channel-dependency graph this
+/// induces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Dimension-ordered X-then-Y routing — what [`noc::Router`]
+    /// implements. Its channel-dependency graph is acyclic, so the
+    /// checker certifies it deadlock-free on any mesh.
+    XyDimensionOrdered,
+    /// Fully adaptive minimal routing with no extra virtual channels —
+    /// a hypothetical alternative the checker *rejects*: any minimal
+    /// adaptive function without VC escape paths closes turn cycles on
+    /// meshes of at least 2×2 (Dally & Seitz / Glass & Ni turn model).
+    FullyAdaptiveMinimal,
+}
+
+/// Scheduler-level parameters shared by every engine's local queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedSpec {
+    /// Width of the PIFO rank field in bits. The paper's PIFO block
+    /// \[34\] stores ranks in fixed-width SRAM words; ranks past
+    /// `2^width − 1` alias and break LSTF ordering.
+    pub rank_width_bits: u32,
+    /// The scheduling horizon: the largest cycle count at which the
+    /// simulation still enqueues ranked messages (`arrival + slack`
+    /// deadlines must fit in the rank field up to this point).
+    pub horizon_cycles: u64,
+    /// DRR quantum in bytes, when a deficit round-robin stage fronts
+    /// the PIFO. `None` when pure LSTF is used.
+    pub drr_quantum: Option<u64>,
+}
+
+impl Default for SchedSpec {
+    fn default() -> SchedSpec {
+        SchedSpec {
+            // u48 rank SRAM word, as in the PIFO block's reference RTL.
+            rank_width_bits: 48,
+            // A generous default horizon: ~2s of simulated time at
+            // 500 MHz, far past any shipped experiment.
+            horizon_cycles: 1 << 30,
+            drr_quantum: None,
+        }
+    }
+}
+
+/// One engine (compute tile) on the mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// Logical on-NIC address.
+    pub id: EngineId,
+    /// Human name, used in diagnostics.
+    pub name: String,
+    /// Broad engine class (Figure 3c legend).
+    pub class: EngineClass,
+    /// True for RMT portal tiles (heavyweight-pipeline access points).
+    pub is_portal: bool,
+    /// Explicit placement, or `None` for automatic row-major placement.
+    pub coord: Option<Coord>,
+    /// Nominal per-message service time, used by the slack-feasibility
+    /// check (PV003). Zero means "unknown / data-dependent".
+    pub service_cycles: Cycles,
+    /// Local scheduling-queue capacity in messages.
+    pub queue_capacity: usize,
+    /// What the local queue does when full.
+    pub admission: AdmissionPolicy,
+    /// Declared lossless: the engine must never drop a message. Only
+    /// [`AdmissionPolicy::Backpressure`] honors that (PV303).
+    pub lossless: bool,
+}
+
+impl EngineSpec {
+    /// An engine spec with the common defaults: auto placement,
+    /// unknown service time, a 64-entry tail-drop queue, lossy.
+    #[must_use]
+    pub fn new(id: EngineId, name: impl Into<String>, class: EngineClass) -> EngineSpec {
+        EngineSpec {
+            id,
+            name: name.into(),
+            class,
+            is_portal: class == EngineClass::Rmt,
+            coord: None,
+            service_cycles: Cycles(0),
+            queue_capacity: 64,
+            admission: AdmissionPolicy::TailDrop,
+            lossless: false,
+        }
+    }
+}
+
+/// The whole NIC, as data.
+#[derive(Debug, Clone)]
+pub struct NicSpec {
+    /// Mesh shape.
+    pub topology: Topology,
+    /// NoC channel width in bits (Table 3's "Bit Width").
+    pub width_bits: u64,
+    /// NoC clock frequency.
+    pub freq: Freq,
+    /// Per-port Ethernet line rate.
+    pub line_rate: Bandwidth,
+    /// Number of Ethernet ports feeding the mesh.
+    pub ports: u32,
+    /// Router buffer/credit sizing.
+    pub router: RouterConfig,
+    /// Heavyweight RMT pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Routing function (for the deadlock proof).
+    pub routing: RoutingKind,
+    /// Largest Ethernet frame the NIC must carry, in bytes.
+    pub max_frame_bytes: u64,
+    /// Per-table entry capacity of the RMT match stages.
+    pub table_entry_capacity: usize,
+    /// Scheduler parameters.
+    pub sched: SchedSpec,
+    /// All engines/tiles, portals included.
+    pub engines: Vec<EngineSpec>,
+    /// The RMT program, when known statically.
+    pub program: Option<RmtProgram>,
+}
+
+impl NicSpec {
+    /// A spec over `topology` with the paper's reference parameters:
+    /// 64-bit channels at 500 MHz, one 100 Gbps port, XY routing,
+    /// default router buffers, standard 1518-byte frames, and no
+    /// engines or program yet.
+    #[must_use]
+    pub fn new(topology: Topology) -> NicSpec {
+        NicSpec {
+            topology,
+            width_bits: 64,
+            freq: Freq::PANIC_DEFAULT,
+            line_rate: Bandwidth::gbps(100),
+            ports: 1,
+            router: RouterConfig::default(),
+            pipeline: PipelineConfig::panic_default(),
+            routing: RoutingKind::XyDimensionOrdered,
+            max_frame_bytes: 1518,
+            table_entry_capacity: 1024,
+            sched: SchedSpec::default(),
+            engines: Vec::new(),
+            program: None,
+        }
+    }
+
+    /// Looks up an engine by id.
+    #[must_use]
+    pub fn engine(&self, id: EngineId) -> Option<&EngineSpec> {
+        self.engines.iter().find(|e| e.id == id)
+    }
+
+    /// The mesh flit payload in bytes (channel width / 8, minimum 1).
+    #[must_use]
+    pub fn flit_bytes(&self) -> u64 {
+        (self.width_bits / 8).max(1)
+    }
+
+    /// Flits needed to carry the largest frame.
+    #[must_use]
+    pub fn max_frame_flits(&self) -> u64 {
+        self.max_frame_bytes.div_ceil(self.flit_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_paper_reference() {
+        let s = NicSpec::new(Topology::mesh(4, 4));
+        assert_eq!(s.width_bits, 64);
+        assert_eq!(s.freq, Freq::PANIC_DEFAULT);
+        assert_eq!(s.line_rate, Bandwidth::gbps(100));
+        assert_eq!(s.sched.rank_width_bits, 48);
+        assert_eq!(s.flit_bytes(), 8);
+        // 1518-byte frame over 8-byte flits.
+        assert_eq!(s.max_frame_flits(), 190);
+        assert!(s.engines.is_empty());
+    }
+
+    #[test]
+    fn engine_lookup_by_id() {
+        let mut s = NicSpec::new(Topology::mesh(2, 2));
+        s.engines
+            .push(EngineSpec::new(EngineId(7), "crypto", EngineClass::Asic));
+        assert_eq!(s.engine(EngineId(7)).unwrap().name, "crypto");
+        assert!(s.engine(EngineId(8)).is_none());
+    }
+}

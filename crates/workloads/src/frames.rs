@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn wan_and_lan_addressing_distinct() {
-        assert_eq!(FrameFactory::lan_client_ip(0x0102), Ipv4Addr::new(10, 0, 1, 2));
+        assert_eq!(
+            FrameFactory::lan_client_ip(0x0102),
+            Ipv4Addr::new(10, 0, 1, 2)
+        );
         assert_eq!(
             FrameFactory::wan_client_ip(0x0102),
             Ipv4Addr::new(198, 51, 1, 2)

@@ -101,7 +101,7 @@ mod tests {
     fn samples_cover_range_and_respect_ranking() {
         let z = Zipf::new(50, 1.0);
         let mut rng = SimRng::new(6);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..200_000 {
             counts[z.sample(&mut rng)] += 1;
         }

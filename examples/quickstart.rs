@@ -42,11 +42,19 @@ fn main() {
         TileConfig::default(),
     );
     let fast = builder.engine(
-        Box::new(NullOffload::new("fast-offload", EngineClass::Asic, Cycles(2))),
+        Box::new(NullOffload::new(
+            "fast-offload",
+            EngineClass::Asic,
+            Cycles(2),
+        )),
         TileConfig::default(),
     );
     let slow = builder.engine(
-        Box::new(NullOffload::new("slow-offload", EngineClass::Fpga, Cycles(12))),
+        Box::new(NullOffload::new(
+            "slow-offload",
+            EngineClass::Fpga,
+            Cycles(12),
+        )),
         TileConfig::default(),
     );
     let _portal_a = builder.rmt_portal();
@@ -56,6 +64,19 @@ fn main() {
     //    offloads, then transmits — with a 300-cycle slack budget per
     //    hop for the logical scheduler.
     builder.program(chain_program(&[fast, slow], eth, Some(300)));
+
+    // 3b. Statically verify the configuration before building it (the
+    //     builder does this again internally and refuses errors; here
+    //     we show the full report, warnings and notes included).
+    let report = builder.validate();
+    println!(
+        "static verification: {} error(s), {} warning(s)",
+        report.error_count(),
+        report.warn_count()
+    );
+    for d in report.diagnostics() {
+        println!("  {}", d.render());
+    }
     let mut nic = builder.build();
 
     // 4. Inject one minimal frame and run the clock.

@@ -26,7 +26,10 @@ fn main() {
     );
     let fifo = run_with_profile(SlackProfile::flat(5_000), cycles);
 
-    println!("{:<22} {:>8} {:>8} {:>8} {:>12}", "scheduler", "p50", "p99", "max", "bulk frames");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>12}",
+        "scheduler", "p50", "p99", "max", "bulk frames"
+    );
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>12}",
         "slack/LSTF (PANIC)", lstf.probe.p50, lstf.probe.p99, lstf.probe.max, lstf.bulk_delivered

@@ -1,0 +1,127 @@
+//! `panic-lint` — statically verify shipped NIC scenario configurations.
+//!
+//! Runs the `panic-verify` lint pass over the plain-data spec of each
+//! named scenario *without* constructing or simulating it, and reports
+//! diagnostics with stable codes (`PV001`…):
+//!
+//! ```text
+//! panic-lint                 # list scenarios
+//! panic-lint all             # lint every shipped scenario
+//! panic-lint kvs chain       # lint a subset
+//! panic-lint --json all      # machine-readable diagnostics
+//! panic-lint --deny-warnings # exit nonzero on warnings too
+//! ```
+//!
+//! Exit status: `0` when no scenario has error-severity diagnostics
+//! (or, with `--deny-warnings`, no warnings either), `1` otherwise,
+//! `2` on usage errors.
+
+#![forbid(unsafe_code)]
+
+use panic_core::scenarios::chain::PlacementStrategy;
+use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
+use panic_verify::{NicSpec, Report, Severity};
+
+/// A lintable scenario: name, description, spec producer.
+type Entry = (&'static str, &'static str, fn() -> NicSpec);
+
+fn scenarios() -> Vec<Entry> {
+    vec![
+        (
+            "chain",
+            "synthetic offload chains, Figure 3c spread placement (Table 3 cross-check)",
+            || ChainScenario::lint_spec(&ChainScenarioConfig::default()),
+        ),
+        (
+            "chain-rowmajor",
+            "the same chains with naive row-major placement (§6 placement question)",
+            || {
+                let config = ChainScenarioConfig {
+                    placement: PlacementStrategy::RowMajor,
+                    ..ChainScenarioConfig::default()
+                };
+                ChainScenario::lint_spec(&config)
+            },
+        ),
+        (
+            "chain-long",
+            "six-hop chains on the reference mesh (chain-length sweep upper end)",
+            || {
+                let config = ChainScenarioConfig {
+                    chain_len: 6,
+                    ..ChainScenarioConfig::default()
+                };
+                ChainScenario::lint_spec(&config)
+            },
+        ),
+        (
+            "kvs",
+            "the §3.2 multi-tenant geodistributed KVS (IPSec + cache + RDMA + DMA)",
+            || KvsScenario::lint_spec(&KvsScenarioConfig::two_tenant_default()),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings" || a == "-W");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    let all = scenarios();
+    if selected.is_empty() {
+        eprintln!("usage: panic-lint [--json] [--deny-warnings] <scenario>... | all\n");
+        eprintln!("scenarios:");
+        for (id, desc, _) in &all {
+            eprintln!("  {id:<16} {desc}");
+        }
+        std::process::exit(2);
+    }
+
+    let run_all = selected.iter().any(|s| s.as_str() == "all");
+    for sel in &selected {
+        if sel.as_str() != "all" && !all.iter().any(|(id, _, _)| *id == sel.as_str()) {
+            eprintln!("unknown scenario `{sel}`; run with no args to list them");
+            std::process::exit(2);
+        }
+    }
+
+    let mut failed = false;
+    let mut reports: Vec<(&str, Report)> = Vec::new();
+    for (id, _, spec_fn) in &all {
+        if run_all || selected.iter().any(|s| s.as_str() == *id) {
+            let report = panic_verify::verify(&spec_fn());
+            let bad = report.error_count() > 0 || (deny_warnings && report.warn_count() > 0);
+            failed |= bad;
+            reports.push((id, report));
+        }
+    }
+
+    if json {
+        // One JSON object per scenario, newline-delimited.
+        for (id, report) in &reports {
+            println!(
+                "{{\"scenario\":\"{id}\",\"report\":{}}}",
+                report.render_json()
+            );
+        }
+    } else {
+        for (id, report) in &reports {
+            let verdict = if report.error_count() > 0 {
+                "FAIL"
+            } else if report.warn_count() > 0 {
+                "warn"
+            } else {
+                "ok"
+            };
+            println!("{id}: {verdict}");
+            for d in report.diagnostics() {
+                if d.severity >= Severity::Warn || report.error_count() > 0 {
+                    println!("  {}", d.render());
+                }
+            }
+        }
+    }
+
+    std::process::exit(i32::from(failed));
+}

@@ -24,7 +24,6 @@ fn run_conservation(k: u8, width: u64, sends: &[(u8, u8, u16)], buffer: usize) {
             router: RouterConfig {
                 input_buffer_flits: buffer,
                 ejection_buffer_flits: buffer * 2,
-                ..RouterConfig::default()
             },
         },
         Placement::row_major(topo),

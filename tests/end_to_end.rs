@@ -170,7 +170,10 @@ fn latency_class_survives_contention_in_full_stack() {
                 Action::named(
                     "chain",
                     vec![
-                        Primitive::PushHop { engine: slow, slack },
+                        Primitive::PushHop {
+                            engine: slow,
+                            slack,
+                        },
                         Primitive::PushHop { engine: eth, slack },
                     ],
                 ),
@@ -186,10 +189,22 @@ fn latency_class_survives_contention_in_full_stack() {
         // Bulk at ~0.85 of the slow engine's capacity, randomized so
         // queues actually form.
         if rng.gen_bool(1.0 / 35.0) {
-            nic.rx_frame(eth, factory.min_frame(2, 9999), TenantId(2), Priority::Bulk, now);
+            nic.rx_frame(
+                eth,
+                factory.min_frame(2, 9999),
+                TenantId(2),
+                Priority::Bulk,
+                now,
+            );
         }
         if rng.gen_bool(1.0 / 400.0) {
-            nic.rx_frame(eth, factory.min_frame(1, 7), TenantId(1), Priority::Latency, now);
+            nic.rx_frame(
+                eth,
+                factory.min_frame(1, 7),
+                TenantId(1),
+                Priority::Latency,
+                now,
+            );
         }
         nic.tick(now);
         now = now.next();

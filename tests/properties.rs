@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use packet::chain::{ChainHeader, EngineId, Hop, Slack};
 use packet::headers::{
-    build_udp_frame, ethertype, internet_checksum, EthernetHeader, Ipv4Addr, Ipv4Header,
-    MacAddr, UdpHeader,
+    build_udp_frame, ethertype, internet_checksum, EthernetHeader, Ipv4Addr, Ipv4Header, MacAddr,
+    UdpHeader,
 };
 use packet::kvs::KvsRequest;
 use packet::message::{Message, MessageId, MessageKind};

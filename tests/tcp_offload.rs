@@ -74,10 +74,7 @@ fn build_nic() -> (PanicNic, packet::EngineId, packet::EngineId) {
         Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
         TileConfig::default(),
     );
-    let toe = b.engine(
-        Box::new(TcpEngine::new("toe", 1, 2)),
-        TileConfig::default(),
-    );
+    let toe = b.engine(Box::new(TcpEngine::new("toe", 1, 2)), TileConfig::default());
     let dma = b.engine(
         Box::new(DmaEngine::new("dma", 2, DmaConfig::default(), 2, None)),
         TileConfig::default(),
@@ -91,19 +88,13 @@ fn build_nic() -> (PanicNic, packet::EngineId, packet::EngineId) {
     let mut route = Table::new(
         "route",
         MatchKind::Ternary(vec![Field::IpProto, Field::L4SrcPort]),
-        Action::named(
-            "to-host",
-            vec![Primitive::PushHop { engine: dma, slack }],
-        ),
+        Action::named("to-host", vec![Primitive::PushHop { engine: dma, slack }]),
     );
     route.insert(TableEntry {
         // Locally generated ACKs: source port 80 -> transmit.
         key: MatchKey::Ternary(vec![(6, 0xff), (80, 0xffff)]),
         priority: 20,
-        action: Action::named(
-            "tx-ack",
-            vec![Primitive::PushHop { engine: eth, slack }],
-        ),
+        action: Action::named("tx-ack", vec![Primitive::PushHop { engine: eth, slack }]),
     });
     route.insert(TableEntry {
         key: MatchKey::Ternary(vec![(6, 0xff), (0, 0)]),
@@ -164,11 +155,7 @@ fn tcp_stream_reassembles_and_acks_on_nic() {
     // least one coalesced ACK was transmitted.
     assert!(acks_on_wire >= 1, "ACK generated on-NIC");
 
-    let toe_ref = nic
-        .tile(toe)
-        .unwrap()
-        .offload_as::<TcpEngine>()
-        .unwrap();
+    let toe_ref = nic.tile(toe).unwrap().offload_as::<TcpEngine>().unwrap();
     assert_eq!(toe_ref.delivered, 3);
     assert_eq!(toe_ref.reordered, 1, "segment 106 was buffered");
     assert_eq!(toe_ref.opened, 1);

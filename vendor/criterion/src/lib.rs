@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors a minimal, source-compatible subset of criterion:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`bench_function`/`finish`, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short
+//! calibrated measurement (warm-up, then repeated timed batches) and
+//! prints the best mean iteration time — enough to track hot-kernel
+//! regressions by eye and to keep `cargo bench` compiling and
+//! running offline.
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for upstream compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the closure given to `bench_function`; drives timing.
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    iters_done: u64,
+}
+
+impl fmt::Debug for Bencher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bencher(samples={})", self.samples)
+    }
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            best: Duration::MAX,
+            iters_done: 0,
+        }
+    }
+
+    /// Times `routine`, keeping the best mean over several batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // takes at least ~200us so Instant overhead is amortized.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let el = t0.elapsed();
+            if el >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let el = t0.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX);
+            if el < self.best {
+                self.best = el;
+            }
+            self.iters_done += batch;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters_done == 0 {
+        println!("{name:<48} (no measurement)");
+    } else {
+        println!("{name:<48} time: {:>12.3?}/iter", b.best);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group (no-op in the vendored harness).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny/add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+    }
+
+    criterion_group!(smoke, tiny);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1));
+        g.finish();
+    }
+}
