@@ -25,6 +25,7 @@ use engines::engine::{Offload, Output};
 use packet::message::{Message, Priority};
 use sim_core::stats::Histogram;
 use sim_core::time::{Cycle, Cycles};
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 /// A shared hardware engine plus the UDP ports it applies to
 /// (`None` = every packet visits it).
@@ -57,16 +58,17 @@ impl std::fmt::Debug for ManycoreConfig {
 
 struct Core {
     queue: VecDeque<Message>,
-    /// Busy with software until this cycle; the message then moves to
-    /// its engine sequence.
-    busy: Option<(Message, Cycle)>,
+    /// Busy with software from the first cycle until the second; the
+    /// message then moves to its engine sequence.
+    busy: Option<(Message, Cycle, Cycle)>,
 }
 
 struct HwEngine {
     offload: Box<dyn Offload>,
     ports: Option<Vec<u16>>,
     queue: VecDeque<(Message, usize)>, // (msg, next engine index after this)
-    in_service: Option<(Message, usize, Cycle)>,
+    /// `(msg, next_engine, started_at, done_at)`.
+    in_service: Option<(Message, usize, Cycle, Cycle)>,
 }
 
 /// The manycore NIC.
@@ -83,6 +85,11 @@ pub struct ManycoreNic {
     pub consumed: u64,
     /// Packets accepted.
     pub accepted: u64,
+    tracer: Tracer,
+    /// One track per embedded core.
+    core_tracks: Vec<TrackId>,
+    /// One track per shared hardware engine.
+    hw_tracks: Vec<TrackId>,
 }
 
 impl std::fmt::Debug for ManycoreNic {
@@ -151,6 +158,40 @@ impl ManycoreNic {
             drops: 0,
             consumed: 0,
             accepted: 0,
+            tracer: Tracer::disabled(),
+            core_tracks: Vec::new(),
+            hw_tracks: Vec::new(),
+        }
+    }
+
+    /// Attaches a tracer: one track per core (`baseline.core{c}`) and
+    /// per shared hardware engine (`baseline.hw{i}.{offload}`).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.core_tracks = (0..self.cores.len())
+            .map(|c| tracer.track(&format!("baseline.core{c}")))
+            .collect();
+        self.hw_tracks = self
+            .hw
+            .iter()
+            .enumerate()
+            .map(|(i, e)| tracer.track(&format!("baseline.hw{i}.{}", e.offload.name())))
+            .collect();
+    }
+
+    /// Exports counters and latency histograms under `prefix`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.accepted"), self.accepted);
+        m.counter_set(&format!("{prefix}.drops"), self.drops);
+        m.counter_set(&format!("{prefix}.consumed"), self.consumed);
+        for (name, h) in [
+            ("latency", &self.latency[0]),
+            ("normal", &self.latency[1]),
+            ("bulk", &self.latency[2]),
+        ] {
+            if h.count() > 0 {
+                m.merge_histogram(&format!("{prefix}.latency.{name}"), h);
+            }
         }
     }
 
@@ -220,9 +261,17 @@ impl ManycoreNic {
     pub fn tick(&mut self, now: Cycle) {
         // Hardware engines.
         for i in 0..self.hw.len() {
-            if let Some((_, _, done)) = &self.hw[i].in_service {
+            if let Some((_, _, _, done)) = &self.hw[i].in_service {
                 if now >= *done {
-                    let (msg, next, _) = self.hw[i].in_service.take().expect("checked");
+                    let (msg, next, started_at, _) = self.hw[i].in_service.take().expect("checked");
+                    self.tracer.complete_arg(
+                        self.hw_tracks.get(i).copied().unwrap_or(TrackId(0)),
+                        "baseline.service",
+                        started_at,
+                        now.since(started_at),
+                        "msg",
+                        msg.id.0,
+                    );
                     for out in self.hw[i].offload.process(msg, now) {
                         match out {
                             Output::Forward(m)
@@ -239,16 +288,26 @@ impl ManycoreNic {
             if self.hw[i].in_service.is_none() {
                 if let Some((msg, next)) = self.hw[i].queue.pop_front() {
                     let st = self.hw[i].offload.service_time(&msg);
-                    self.hw[i].in_service = Some((msg, next, now + st));
+                    self.hw[i].in_service = Some((msg, next, now, now + st));
                 }
             }
         }
 
         // Cores.
         for c in 0..self.cores.len() {
-            if let Some((_, done)) = &self.cores[c].busy {
+            if let Some((_, _, done)) = &self.cores[c].busy {
                 if now >= *done {
-                    let (msg, _) = self.cores[c].busy.take().expect("checked");
+                    let (msg, started_at, _) = self.cores[c].busy.take().expect("checked");
+                    // The 10 µs the paper complains about: every packet's
+                    // span on a core track is the orchestration time.
+                    self.tracer.complete_arg(
+                        self.core_tracks.get(c).copied().unwrap_or(TrackId(0)),
+                        "baseline.orchestration",
+                        started_at,
+                        now.since(started_at),
+                        "msg",
+                        msg.id.0,
+                    );
                     // Orchestration finished: issue to the first engine
                     // this packet needs (or straight to egress).
                     self.dispatch_to_engine_or_finish(msg, 0, now);
@@ -256,7 +315,7 @@ impl ManycoreNic {
             }
             if self.cores[c].busy.is_none() {
                 if let Some(msg) = self.cores[c].queue.pop_front() {
-                    self.cores[c].busy = Some((msg, now + self.orchestration));
+                    self.cores[c].busy = Some((msg, now, now + self.orchestration));
                 }
             }
         }
@@ -392,6 +451,26 @@ mod tests {
         let out = nic.take_egress();
         let ids: Vec<u64> = out.iter().map(|m| m.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tracer_records_orchestration_and_service_spans() {
+        let tracer = Tracer::ring(64);
+        let mut nic = ManycoreNic::new(config(2, 10));
+        nic.attach_tracer(&tracer);
+        nic.rx(frame_msg(1, 443, Cycle(0))); // visits the hw engine
+        run(&mut nic, Cycle(0), 100);
+        assert_eq!(nic.take_egress().len(), 1);
+        let events = tracer.ring_snapshot().expect("ring tracer");
+        let orch = events
+            .iter()
+            .find(|e| e.name == "baseline.orchestration")
+            .expect("orchestration span");
+        assert_eq!(orch.kind, trace::EventKind::Complete { dur: 10 });
+        assert!(events.iter().any(|e| e.name == "baseline.service"));
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m, "baseline.manycore");
+        assert_eq!(m.counter("baseline.manycore.accepted"), Some(1));
     }
 
     #[test]

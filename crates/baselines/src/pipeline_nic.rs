@@ -18,6 +18,7 @@ use engines::engine::{Offload, Output};
 use packet::message::{Message, Priority};
 use sim_core::stats::Histogram;
 use sim_core::time::{Cycle, Cycles};
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 /// One stage of the pipeline.
 pub struct StageSpec {
@@ -61,7 +62,8 @@ struct Stage {
     offload: Box<dyn Offload>,
     applies_to_ports: Option<Vec<u16>>,
     queue: VecDeque<Message>,
-    in_service: Option<(Message, Cycle, bool)>, // (msg, done_at, applied)
+    /// `(msg, started_at, done_at, applied)`.
+    in_service: Option<(Message, Cycle, Cycle, bool)>,
 }
 
 impl Stage {
@@ -100,6 +102,9 @@ pub struct PipelineNic {
     pub consumed: u64,
     /// Packets accepted.
     pub accepted: u64,
+    tracer: Tracer,
+    /// One trace track per stage (empty until [`PipelineNic::attach_tracer`]).
+    tracks: Vec<TrackId>,
 }
 
 impl std::fmt::Debug for PipelineNic {
@@ -132,6 +137,36 @@ impl PipelineNic {
             drops: 0,
             consumed: 0,
             accepted: 0,
+            tracer: Tracer::disabled(),
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Attaches a tracer; each stage gets its own track named
+    /// `baseline.pipe.stage{i}.{offload}`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.tracks = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| tracer.track(&format!("baseline.pipe.stage{i}.{}", s.offload.name())))
+            .collect();
+    }
+
+    /// Exports counters and latency histograms under `prefix`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.accepted"), self.accepted);
+        m.counter_set(&format!("{prefix}.drops"), self.drops);
+        m.counter_set(&format!("{prefix}.consumed"), self.consumed);
+        for (name, h) in [
+            ("latency", &self.latency[0]),
+            ("normal", &self.latency[1]),
+            ("bulk", &self.latency[2]),
+        ] {
+            if h.count() > 0 {
+                m.merge_histogram(&format!("{prefix}.latency.{name}"), h);
+            }
         }
     }
 
@@ -181,9 +216,28 @@ impl PipelineNic {
         // into the next stage's queue in the same cycle it frees up.
         for i in (0..self.stages.len()).rev() {
             // Complete service.
-            if let Some((_, done_at, _)) = &self.stages[i].in_service {
+            if let Some((_, _, done_at, _)) = &self.stages[i].in_service {
                 if now >= *done_at {
-                    let (msg, _, applied) = self.stages[i].in_service.take().expect("checked");
+                    let (msg, started_at, _, applied) =
+                        self.stages[i].in_service.take().expect("checked");
+                    if self.tracer.enabled() {
+                        // "baseline.bypass" spans make the HoL pathology
+                        // visible: a 1-cycle bypass that started late was
+                        // stuck behind the slow packet ahead of it.
+                        let name = if applied {
+                            "baseline.stage"
+                        } else {
+                            "baseline.bypass"
+                        };
+                        self.tracer.complete_arg(
+                            self.tracks[i],
+                            name,
+                            started_at,
+                            now.since(started_at),
+                            "msg",
+                            msg.id.0,
+                        );
+                    }
                     let outputs = if applied {
                         self.stages[i].offload.process(msg, now)
                     } else {
@@ -225,7 +279,7 @@ impl PipelineNic {
                         // engines pass unknown traffic at full cost).
                         self.stages[i].offload.service_time(&msg)
                     };
-                    self.stages[i].in_service = Some((msg, now + st.max(Cycles(1)), applies));
+                    self.stages[i].in_service = Some((msg, now, now + st.max(Cycles(1)), applies));
                 }
             }
         }
@@ -385,6 +439,28 @@ mod tests {
         run(&mut nic, Cycle(0), 10);
         assert_eq!(nic.consumed, 1);
         assert!(nic.take_egress().is_empty());
+    }
+
+    #[test]
+    fn tracer_records_stage_and_bypass_spans() {
+        let tracer = Tracer::ring(64);
+        let mut nic = PipelineNic::new(PipelineNicConfig {
+            stages: vec![null_stage(10, Some(vec![443]))],
+            bypass_logic: true,
+            stage_queue_capacity: 16,
+        });
+        nic.attach_tracer(&tracer);
+        nic.rx(frame_msg(1, 443, Priority::Normal, Cycle(0)));
+        nic.rx(frame_msg(2, 80, Priority::Normal, Cycle(0)));
+        run(&mut nic, Cycle(0), 100);
+        assert_eq!(nic.take_egress().len(), 2);
+        let events = tracer.ring_snapshot().expect("ring tracer");
+        assert!(events.iter().any(|e| e.name == "baseline.stage"));
+        assert!(events.iter().any(|e| e.name == "baseline.bypass"));
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m, "baseline.pipe");
+        assert_eq!(m.counter("baseline.pipe.accepted"), Some(2));
+        assert!(m.histogram("baseline.pipe.latency.normal").is_some());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use rmt::table::{MatchKey, MatchKind, Table, TableEntry};
 use sim_core::stats::Histogram;
 use sim_core::time::{Cycle, Cycles};
 use sim_core::EventQueue;
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 /// What the RMT-only NIC does with packets it cannot express.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,8 @@ pub struct RmtOnlyNic {
     pub recirculation_passes: u64,
     /// Packets accepted.
     pub accepted: u64,
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl std::fmt::Debug for RmtOnlyNic {
@@ -111,7 +114,39 @@ impl RmtOnlyNic {
             punted: 0,
             recirculation_passes: 0,
             accepted: 0,
+            tracer: Tracer::disabled(),
+            track: TrackId(0),
         }
+    }
+
+    /// Attaches a tracer to the NIC and its inner pipeline. Punt and
+    /// host-return events land on the `baseline.rmtonly` track; the
+    /// pipeline's own stage events on `rmt.pipeline`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.track = tracer.track("baseline.rmtonly");
+        self.pipeline.attach_tracer(tracer);
+    }
+
+    /// Exports counters and latency histograms under `prefix`; the
+    /// inner pipeline exports under `{prefix}.rmt`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.accepted"), self.accepted);
+        m.counter_set(&format!("{prefix}.punted"), self.punted);
+        m.counter_set(
+            &format!("{prefix}.recirculation_passes"),
+            self.recirculation_passes,
+        );
+        for (name, h) in [
+            ("latency", &self.latency[0]),
+            ("normal", &self.latency[1]),
+            ("bulk", &self.latency[2]),
+        ] {
+            if h.count() > 0 {
+                m.merge_histogram(&format!("{prefix}.latency.{name}"), h);
+            }
+        }
+        self.pipeline.export_metrics(m, &format!("{prefix}.rmt"));
     }
 
     /// Offers a packet.
@@ -160,6 +195,8 @@ impl RmtOnlyNic {
                 rmt::action::Verdict::Recirculate => match self.complex {
                     ComplexPolicy::Punt { host_cycles } => {
                         self.punted += 1;
+                        self.tracer
+                            .instant_arg(self.track, "baseline.punt", now, "msg", msg.id.0);
                         self.host.schedule(now + Cycles(host_cycles), msg);
                     }
                     ComplexPolicy::Recirculate { passes } => {
@@ -175,6 +212,8 @@ impl RmtOnlyNic {
             }
         }
         while let Some(msg) = self.host.pop_due(now) {
+            self.tracer
+                .instant_arg(self.track, "baseline.host_return", now, "msg", msg.id.0);
             self.finish(msg, now);
         }
     }
@@ -325,6 +364,26 @@ mod tests {
             polluted > clean * 3,
             "p99 with recirculation {polluted} vs clean {clean}"
         );
+    }
+
+    #[test]
+    fn tracer_records_punts_and_pipeline_events() {
+        let tracer = Tracer::ring(256);
+        let mut nic = RmtOnlyNic::new(cfg(ComplexPolicy::Punt { host_cycles: 50 }));
+        nic.attach_tracer(&tracer);
+        nic.rx(esp(1, Cycle(0)));
+        nic.rx(simple(2, Cycle(0)));
+        run(&mut nic, Cycle(0), 200);
+        assert_eq!(nic.take_egress().len(), 2);
+        let events = tracer.ring_snapshot().expect("ring tracer");
+        assert!(events.iter().any(|e| e.name == "baseline.punt"));
+        assert!(events.iter().any(|e| e.name == "baseline.host_return"));
+        // Inner pipeline events ride along on the same tracer.
+        assert!(events.iter().any(|e| e.name == "rmt.pipeline"));
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m, "baseline.rmtonly");
+        assert_eq!(m.counter("baseline.rmtonly.punted"), Some(1));
+        assert!(m.counter("baseline.rmtonly.rmt.accepted").is_some());
     }
 
     #[test]

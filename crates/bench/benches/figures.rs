@@ -11,10 +11,11 @@ use panic_bench::experiments::{
     chain_crossover, hol, isolation, kvs_e2e, manycore_latency, memory_pressure, rmt_limits,
     rmt_throughput,
 };
+use panic_bench::RunCtx;
 
 fn bench_rmt_claims(c: &mut Criterion) {
-    println!("{}", rmt_throughput::run(true));
-    println!("{}", chain_crossover::run(true));
+    println!("{}", rmt_throughput::run(&mut RunCtx::new(true)));
+    println!("{}", chain_crossover::run(&mut RunCtx::new(true)));
     let mut g = c.benchmark_group("s42");
     g.sample_size(10);
     g.bench_function("chain_crossover_L4_4k_cycles", |b| {
@@ -24,9 +25,9 @@ fn bench_rmt_claims(c: &mut Criterion) {
 }
 
 fn bench_architecture_comparisons(c: &mut Criterion) {
-    println!("{}", hol::run(true));
-    println!("{}", manycore_latency::run(true));
-    println!("{}", rmt_limits::run(true));
+    println!("{}", hol::run(&mut RunCtx::new(true)));
+    println!("{}", manycore_latency::run(&mut RunCtx::new(true)));
+    println!("{}", rmt_limits::run(&mut RunCtx::new(true)));
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     g.bench_function("hol_panic_20k_cycles", |b| {
@@ -39,9 +40,9 @@ fn bench_architecture_comparisons(c: &mut Criterion) {
 }
 
 fn bench_panic_design(c: &mut Criterion) {
-    println!("{}", kvs_e2e::run(true));
-    println!("{}", isolation::run(true));
-    println!("{}", memory_pressure::run(true));
+    println!("{}", kvs_e2e::run(&mut RunCtx::new(true)));
+    println!("{}", isolation::run(&mut RunCtx::new(true)));
+    println!("{}", memory_pressure::run(&mut RunCtx::new(true)));
     let mut g = c.benchmark_group("panic");
     g.sample_size(10);
     g.bench_function("kvs_scenario_20k_cycles", |b| {

@@ -8,23 +8,24 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc::topology::Topology;
 use panic_bench::experiments::{table1, table2, table3};
+use panic_bench::RunCtx;
 
 fn bench_table1(c: &mut Criterion) {
-    println!("{}", table1::run(true));
+    println!("{}", table1::run(&mut RunCtx::new(true)));
     c.bench_function("table1/taxonomy", |b| {
         b.iter(|| std::hint::black_box(engines::taxonomy::table1().len()))
     });
 }
 
 fn bench_table2(c: &mut Criterion) {
-    println!("{}", table2::run(true));
+    println!("{}", table2::run(&mut RunCtx::new(true)));
     c.bench_function("table2/pipeline_1k_cycles_p2", |b| {
         b.iter(|| std::hint::black_box(table2::simulate_pipeline_pps(2, 1_000)))
     });
 }
 
 fn bench_table3(c: &mut Criterion) {
-    println!("{}", table3::run(true));
+    println!("{}", table3::run(&mut RunCtx::new(true)));
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
     g.bench_function("mesh6x6_uniform_2k_cycles", |b| {

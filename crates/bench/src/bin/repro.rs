@@ -1,15 +1,24 @@
 //! `repro` — regenerate the paper's tables and figure claims.
 //!
 //! ```text
-//! repro              # list experiments
-//! repro all          # run everything (full length)
-//! repro all --quick  # run everything (short simulations)
-//! repro table3 kvs   # run a subset
+//! repro --help                   # full experiment catalog + flags
+//! repro all                      # run everything (full length)
+//! repro all --quick              # run everything (short simulations)
+//! repro table3 kvs               # run a subset
+//! repro table3 --trace t.json    # also capture a Chrome trace
+//! repro table3 --metrics -       # also print counters/percentiles
 //! ```
+//!
+//! `--trace` and `--metrics` attach a tracer/metrics registry to the
+//! selected experiments' observed windows (see `docs/TRACING.md`).
+//! Experiments without an instrumented window run unchanged; `table3`
+//! additionally runs a full-NIC chain-scenario window so the artifact
+//! contains router, engine, scheduler, and RMT events.
 
 #![forbid(unsafe_code)]
 
 use panic_bench::experiments;
+use panic_bench::RunCtx;
 use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
 
 /// Statically verifies the scenario configurations the experiments are
@@ -40,34 +49,137 @@ fn preflight_lint() {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+fn print_catalog(all: &[experiments::Experiment]) {
+    eprintln!("experiments:");
+    for (id, desc, _) in all {
+        eprintln!("  {id:<16} {desc}");
+    }
+}
 
-    let all = experiments::all();
-    if selected.is_empty() {
-        eprintln!("usage: repro [--quick] <experiment>... | all\n");
-        eprintln!("experiments:");
-        for (id, desc, _) in &all {
-            eprintln!("  {id:<16} {desc}");
+fn print_help(all: &[experiments::Experiment]) {
+    eprintln!("usage: repro [flags] <experiment>... | all\n");
+    eprintln!("flags:");
+    eprintln!("  -q, --quick        shortened simulations (CI-sized)");
+    eprintln!("  --trace <path>     write a Chrome trace_event JSON of the observed");
+    eprintln!("                     windows to <path> (\"-\" = stdout); open in Perfetto");
+    eprintln!("  --metrics <path>   write counters/histograms JSON to <path>");
+    eprintln!("                     (\"-\" = render a markdown summary to stdout)");
+    eprintln!("  -h, --help         this catalog\n");
+    print_catalog(all);
+}
+
+/// Parsed command line.
+struct Args {
+    quick: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+    selected: Vec<String>,
+}
+
+fn parse_args(all: &[experiments::Experiment]) -> Args {
+    let mut out = Args {
+        quick: false,
+        trace: None,
+        metrics: None,
+        selected: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_with_value = |name: &str, a: &str| -> Option<String> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Some(v.to_string());
+            }
+            if a == name {
+                return Some(it.next().unwrap_or_else(|| {
+                    eprintln!("{name} requires a path argument (\"-\" = stdout)");
+                    std::process::exit(2);
+                }));
+            }
+            None
+        };
+        if a == "--quick" || a == "-q" {
+            out.quick = true;
+        } else if a == "--help" || a == "-h" {
+            print_help(all);
+            std::process::exit(0);
+        } else if let Some(v) = flag_with_value("--trace", &a) {
+            out.trace = Some(v);
+        } else if let Some(v) = flag_with_value("--metrics", &a) {
+            out.metrics = Some(v);
+        } else if a.starts_with('-') {
+            eprintln!("unknown flag `{a}`; see --help");
+            std::process::exit(2);
+        } else {
+            out.selected.push(a);
         }
+    }
+    out
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    if path == "-" {
+        println!("{contents}");
+    } else if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let all = experiments::all();
+    let args = parse_args(&all);
+
+    if args.selected.is_empty() {
+        print_help(&all);
+        std::process::exit(2);
+    }
+
+    // Reject unknown experiment names up front: a typo should fail
+    // loudly, not silently run the subset that happened to match.
+    let unknown: Vec<&String> = args
+        .selected
+        .iter()
+        .filter(|s| s.as_str() != "all" && !all.iter().any(|(id, _, _)| id == s))
+        .collect();
+    if !unknown.is_empty() {
+        for u in &unknown {
+            eprintln!("unknown experiment `{u}`");
+        }
+        eprintln!("\nvalid names (or `all`):");
+        print_catalog(&all);
         std::process::exit(2);
     }
 
     preflight_lint();
 
-    let run_all = selected.iter().any(|s| s.as_str() == "all");
-    let mut ran = 0;
+    let tracer = if args.trace.is_some() {
+        trace::Tracer::chrome()
+    } else {
+        trace::Tracer::disabled()
+    };
+    let mut ctx = RunCtx::observed(args.quick, tracer, args.metrics.is_some());
+
+    let run_all = args.selected.iter().any(|s| s.as_str() == "all");
     for (id, desc, runner) in &all {
-        if run_all || selected.iter().any(|s| s.as_str() == *id) {
+        if run_all || args.selected.iter().any(|s| s.as_str() == *id) {
             eprintln!("running {id}: {desc} ...");
-            print!("{}", runner(quick));
-            ran += 1;
+            print!("{}", runner(&mut ctx));
         }
     }
-    if ran == 0 {
-        eprintln!("no matching experiment; run with no args to list them");
-        std::process::exit(2);
+
+    if let Some(path) = &args.trace {
+        match ctx.tracer.chrome_json() {
+            Some(json) => write_artifact(path, &json),
+            None => eprintln!("--trace: no trace captured (internal error)"),
+        }
+    }
+    if let Some(path) = &args.metrics {
+        if path == "-" {
+            println!("{}", ctx.metrics.render_markdown());
+        } else {
+            write_artifact(path, &ctx.metrics.to_json());
+        }
     }
 }

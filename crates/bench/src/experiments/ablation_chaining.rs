@@ -167,7 +167,8 @@ pub fn run_mode(mode: ChainMode, chain_len: usize, period: u64, cycles: u64) -> 
 
 /// Regenerates the ablation table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 30_000 } else { 200_000 };
     let mut t = TableFmt::new(
         "Ablation (S3.1.2) — lightweight lookup tables vs recirculate-per-hop",

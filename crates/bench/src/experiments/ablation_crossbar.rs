@@ -126,7 +126,8 @@ pub fn crossbar_uniform_load(n: usize, width_bits: u64, load: f64, cycles: u64) 
 
 /// Regenerates the mesh-vs-crossbar table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 4_000 } else { 40_000 };
     let width = 64u64;
     let mut t = TableFmt::new(

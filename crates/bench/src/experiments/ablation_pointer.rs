@@ -84,7 +84,8 @@ pub fn run_mode(bytes_on_wire: usize, msg_rate: f64, cycles: u64) -> PointerPoin
 
 /// Regenerates the pointer-vs-packet table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 6_000 } else { 60_000 };
     let mut t = TableFmt::new(
         "Ablation (S6) — chain hops carrying full packets vs 16B descriptors (6x6, 64-bit)",

@@ -135,7 +135,8 @@ pub fn run_discipline(discipline: Discipline, cycles: u64) -> SchedPoint {
 
 /// Regenerates the scheduler ablation table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 100_000 } else { 1_000_000 };
     let mut t = TableFmt::new(
         "Ablation (S3.1.3) — probe wait at one contended engine: LSTF vs FIFO vs DRR (cycles)",

@@ -97,7 +97,8 @@ pub fn run_config(unified: bool, data_share: f64, cycles: u64) -> f64 {
 
 /// Regenerates the unified-vs-split table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 4_000 } else { 30_000 };
     let mut t = TableFmt::new(
         "Ablation (S3.1 fn.1) — one 128-bit network vs two 64-bit class networks (6x6, saturated)",

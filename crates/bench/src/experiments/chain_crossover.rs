@@ -100,7 +100,8 @@ pub fn panic_fraction(chain_len: usize, cycles: u64) -> f64 {
 
 /// Regenerates the crossover table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 8_000 } else { 60_000 };
     let mut t = TableFmt::new(
         "S4.2 — chain length vs delivered fraction: NoC-switched (PANIC) vs pipeline-switched",

@@ -177,7 +177,8 @@ pub fn panic_victim_latency(crypto_share: f64, cycles: u64, seed: u64) -> Summar
 
 /// Regenerates the HOL-blocking comparison.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 30_000 } else { 300_000 };
     let mut t = TableFmt::new(
         "Fig 2a claim — probe-traffic latency vs crypto share (cycles)",

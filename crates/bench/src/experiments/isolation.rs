@@ -127,7 +127,8 @@ pub fn run_with_profile(profile: SlackProfile, cycles: u64) -> IsolationPoint {
 
 /// Regenerates the isolation comparison.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 60_000 } else { 600_000 };
     let lstf = run_with_profile(
         SlackProfile {

@@ -22,7 +22,8 @@ pub fn run_once(cached_hot_keys: usize, cycles: u64) -> KvsScenario {
 
 /// Regenerates the KVS end-to-end table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 60_000 } else { 400_000 };
     let mut t = TableFmt::new(
         "S3.2 — multi-tenant KVS: cache size sweep (cycles; 500MHz => 2ns/cycle)",

@@ -118,7 +118,8 @@ pub fn panic_latency(cycles: u64) -> Summary {
 
 /// Regenerates the latency comparison.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 40_000 } else { 400_000 };
     let mc = manycore_latency(cycles);
     let pk = panic_latency(cycles);

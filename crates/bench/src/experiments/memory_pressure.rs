@@ -139,7 +139,8 @@ pub fn run_with_policy(policy: AdmissionPolicy, cycles: u64) -> PressurePoint {
 
 /// Regenerates the memory-pressure comparison.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 60_000 } else { 600_000 };
     let tail = run_with_policy(AdmissionPolicy::TailDrop, cycles);
     let smart = run_with_policy(AdmissionPolicy::EvictLargestRank, cycles);

@@ -21,8 +21,13 @@ pub mod table2;
 pub mod table3;
 
 /// One experiment entry: `(id, description, runner)`. The runner takes
-/// a `quick` flag and returns its rendered report.
-pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
+/// a [`crate::obs::RunCtx`] (quick flag + optional tracer/metrics) and
+/// returns its rendered report.
+pub type Experiment = (
+    &'static str,
+    &'static str,
+    fn(&mut crate::obs::RunCtx) -> String,
+);
 
 /// Every experiment: `(id, description, runner)`.
 #[must_use]

@@ -112,7 +112,8 @@ pub fn run_flood(flood_rate: f64, cycles: u64) -> LosslessPoint {
 
 /// Regenerates the lossless/lossy coexistence table.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 60_000 } else { 400_000 };
     let mut t = TableFmt::new(
         "S6 open question — lossless control + lossy data at one overloaded engine",

@@ -38,7 +38,8 @@ fn run_one(
 
 /// Regenerates the placement + topology tables.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 10_000 } else { 80_000 };
     let mut t = TableFmt::new(
         "S6 open questions — placement and topology shape (chain length 4, 0.2 pkts/cycle)",

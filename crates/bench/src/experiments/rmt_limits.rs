@@ -228,7 +228,8 @@ pub fn panic_point(esp_share: f64, cycles: u64) -> LimitsPoint {
 
 /// Regenerates the comparison across ESP shares.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 20_000 } else { 200_000 };
     let mut t = TableFmt::new(
         "Fig 2c claim — complex-offload share vs RMT-only and PANIC (0.125 pkt/cycle offered)",

@@ -10,7 +10,8 @@ use crate::fmt::{mpps, TableFmt};
 
 /// Regenerates the pipeline-throughput analysis.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 2_000 } else { 50_000 };
     let freq = Freq::mhz(500);
     let mut t = TableFmt::new(
@@ -48,7 +49,7 @@ pub fn run(quick: bool) -> String {
 mod tests {
     #[test]
     fn p2_sustains_one_pass_not_two() {
-        let s = super::run(true);
+        let s = super::run(&mut crate::obs::RunCtx::new(true));
         // The P=2 row must read: sustains@1pass=true, @2passes=false.
         let p2_line = s.lines().find(|l| l.starts_with("| 2 ")).expect("P=2 row");
         assert!(p2_line.contains("true"), "{p2_line}");

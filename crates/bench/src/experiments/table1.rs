@@ -6,7 +6,7 @@ use crate::fmt::TableFmt;
 
 /// Regenerates Table 1 from the typed taxonomy.
 #[must_use]
-pub fn run(_quick: bool) -> String {
+pub fn run(_ctx: &mut crate::obs::RunCtx) -> String {
     let mut t = TableFmt::new(
         "Table 1 — offload types used by prior work",
         &["Project", "Offload Type"],
@@ -27,7 +27,7 @@ pub fn run(_quick: bool) -> String {
 mod tests {
     #[test]
     fn renders_all_rows() {
-        let s = super::run(true);
+        let s = super::run(&mut crate::obs::RunCtx::new(true));
         for p in [
             "FlexNIC",
             "Emu",

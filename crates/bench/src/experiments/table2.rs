@@ -65,7 +65,8 @@ pub fn simulate_pipeline_pps(parallel: u32, cycles: u64) -> f64 {
 
 /// Regenerates Table 2.
 #[must_use]
-pub fn run(quick: bool) -> String {
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
     let cycles = if quick { 2_000 } else { 50_000 };
     let mut t = TableFmt::new(
         "Table 2 — PPS for line-rate min-size forwarding (RX+TX)",
@@ -115,7 +116,7 @@ mod tests {
 
     #[test]
     fn table_contains_paper_rows() {
-        let s = run(true);
+        let s = run(&mut crate::obs::RunCtx::new(true));
         assert!(s.contains("240.0Mpps"), "{s}");
         assert!(s.contains("600.0Mpps"), "{s}");
         assert!(s.contains("true"), "sustain check printed: {s}");

@@ -2,11 +2,15 @@
 //!
 //! Each module under [`experiments`] reproduces one artifact of the
 //! paper (see DESIGN.md's experiment index). All of them expose
-//! `run(quick) -> String` returning a rendered markdown table, so the
-//! `repro` binary and the criterion benches execute identical code.
+//! `run(&mut RunCtx) -> String` returning a rendered markdown table,
+//! so the `repro` binary and the criterion benches execute identical
+//! code.
 //!
-//! `quick = true` shortens simulations for CI/criterion; `quick =
-//! false` is what EXPERIMENTS.md numbers are produced with.
+//! [`RunCtx::quick`] shortens simulations for CI/criterion; `quick =
+//! false` is what EXPERIMENTS.md numbers are produced with. The
+//! context also carries an optional [`trace::Tracer`] and
+//! [`trace::MetricsRegistry`] (see `docs/TRACING.md`) that observing
+//! experiments feed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,5 +18,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod obs;
 
 pub use fmt::TableFmt;
+pub use obs::RunCtx;

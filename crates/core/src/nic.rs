@@ -37,6 +37,7 @@ use rmt::pipeline::{PipelineConfig, RmtPipeline};
 use rmt::program::RmtProgram;
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 /// NIC-level configuration (topology and clocks; engines and programs
 /// are added through the builder).
@@ -219,7 +220,7 @@ impl NicBuilder {
     /// Runtime knobs map onto spec fields directly: each slot becomes
     /// an [`panic_verify::EngineSpec`] carrying the offload's name,
     /// class, and nominal service time plus the tile's queue sizing;
-    /// the port count and line rate come from the [`MacEngine`]s
+    /// the port count and line rate come from the [`engines::mac::MacEngine`]s
     /// present (defaulting to one 100 Gbps port when the configuration
     /// has no MAC, so the PV002 chain-length model stays meaningful).
     #[must_use]
@@ -384,6 +385,8 @@ impl NicBuilder {
             wire_tx: Vec::new(),
             host_rx: Vec::new(),
             stats: NicStats::new(),
+            tracer: Tracer::disabled(),
+            track: TrackId(0),
         }
     }
 }
@@ -400,6 +403,8 @@ pub struct PanicNic {
     wire_tx: Vec<Message>,
     host_rx: Vec<Message>,
     stats: NicStats,
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl fmt::Debug for PanicNic {
@@ -442,6 +447,54 @@ impl PanicNic {
     #[must_use]
     pub fn pipeline(&self) -> &RmtPipeline {
         &self.pipeline
+    }
+
+    /// Attaches `tracer` to every instrumented component at once: the
+    /// mesh (per-router tracks), each engine tile (service spans and
+    /// `sched.*` events), the heavyweight pipeline (per-stage
+    /// match/miss), and the NIC boundary itself (a `nic` track with
+    /// `nic.rx_frame` / `nic.tx_wire` / `nic.host_delivery` instants).
+    /// See `docs/TRACING.md` for the full taxonomy.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.track = tracer.track("nic");
+        self.network.attach_tracer(tracer);
+        self.pipeline.attach_tracer(tracer);
+        for slot in self.tiles.values_mut() {
+            if let TileSlot::Engine(tile) = slot {
+                tile.attach_tracer(tracer);
+            }
+        }
+    }
+
+    /// Exports every component's statistics into `m` under the uniform
+    /// schema: NIC counters and per-priority latency histograms under
+    /// `nic.*`, mesh traffic under `noc.*`, pipeline counters under
+    /// `rmt.*`, and per-tile counters under `engine.<id>.<offload>.*`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter_set("nic.rx_frames", self.stats.rx_frames);
+        m.counter_set("nic.tx_wire", self.stats.tx_wire);
+        m.counter_set("nic.host_deliveries", self.stats.host_deliveries);
+        m.counter_set("nic.consumed", self.stats.consumed);
+        m.counter_set("nic.control_completed", self.stats.control_completed);
+        m.counter_set("nic.unrouted", self.stats.unrouted);
+        for (name, p) in [
+            ("latency", Priority::Latency),
+            ("normal", Priority::Normal),
+            ("bulk", Priority::Bulk),
+        ] {
+            let h = self.stats.latency_of(p);
+            if h.count() > 0 {
+                m.merge_histogram(&format!("nic.latency.{name}"), h);
+            }
+        }
+        self.network.export_metrics(m, "noc");
+        self.pipeline.export_metrics(m, "rmt");
+        for (id, slot) in &self.tiles {
+            if let TileSlot::Engine(tile) = slot {
+                tile.export_metrics(m, &format!("engine.{}.{}", id.0, tile.offload_name()));
+            }
+        }
     }
 
     /// A tile's engine wrapper, if `id` is an engine tile.
@@ -493,6 +546,8 @@ impl PanicNic {
             .injected_at(now)
             .build();
         self.stats.rx_frames += 1;
+        self.tracer
+            .instant_arg(self.track, "nic.rx_frame", now, "msg", id.0);
         let portal = self.next_portal();
         self.network.send(port, portal, msg, now);
         id
@@ -557,11 +612,15 @@ impl PanicNic {
             Emit::Egress(engines::engine::EgressKind::Wire, msg) => {
                 self.stats.tx_wire += 1;
                 self.stats.record_latency(&msg, now);
+                self.tracer
+                    .instant_arg(self.track, "nic.tx_wire", now, "msg", msg.id.0);
                 self.wire_tx.push(msg);
             }
             Emit::Egress(engines::engine::EgressKind::Host, msg) => {
                 self.stats.host_deliveries += 1;
                 self.stats.record_latency(&msg, now);
+                self.tracer
+                    .instant_arg(self.track, "nic.host_delivery", now, "msg", msg.id.0);
                 self.host_rx.push(msg);
             }
             Emit::Consumed => self.stats.consumed += 1,
@@ -816,6 +875,52 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracer_covers_all_four_component_kinds() {
+        let (mut nic, eth, _, _) = tiny_nic();
+        let tracer = Tracer::chrome();
+        nic.attach_tracer(&tracer);
+        let mut f = FrameFactory::for_nic_port(0);
+        let mut now = Cycle(0);
+        for i in 0..5 {
+            nic.rx_frame(eth, f.min_frame(i, 80), TenantId(1), Priority::Normal, now);
+        }
+        for _ in 0..2000 {
+            nic.tick(now);
+            now = now.next();
+            if nic.is_quiescent() {
+                break;
+            }
+        }
+        let json = tracer.chrome_json().unwrap();
+        trace::json::validate(&json).unwrap();
+        // The acceptance criterion: one trace containing router, engine,
+        // scheduler, and RMT events, plus the NIC boundary.
+        // (The tiny program has no table entries, so every stage lookup
+        // takes the default action: a miss.)
+        for needle in [
+            "noc.hop",
+            "engine.service",
+            "sched.push",
+            "rmt.miss",
+            "rmt.pipeline",
+            "nic.rx_frame",
+            "nic.tx_wire",
+        ] {
+            assert!(json.contains(needle), "trace missing {needle}:\n{json}");
+        }
+
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m);
+        assert_eq!(m.counter("nic.rx_frames"), Some(5));
+        assert_eq!(m.counter("nic.tx_wire"), Some(5));
+        assert!(m.counter("noc.flit_hops").unwrap() > 0);
+        assert!(m.counter("rmt.accepted").unwrap() > 0);
+        assert_eq!(m.histogram("nic.latency.normal").unwrap().count(), 5);
+        assert!(m.histogram("engine.1.off.service").is_some());
+        trace::json::validate(&m.to_json()).unwrap();
     }
 
     #[test]

@@ -398,6 +398,18 @@ impl ChainScenario {
         &self.nic
     }
 
+    /// Attaches `tracer` to every component of the NIC under test
+    /// (see [`PanicNic::attach_tracer`]).
+    pub fn attach_tracer(&mut self, tracer: &trace::Tracer) {
+        self.nic.attach_tracer(tracer);
+    }
+
+    /// Exports the NIC's full metrics registry
+    /// (see [`PanicNic::export_metrics`]).
+    pub fn export_metrics(&self, m: &mut trace::MetricsRegistry) {
+        self.nic.export_metrics(m);
+    }
+
     /// Runs for `cycles` cycles.
     pub fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {

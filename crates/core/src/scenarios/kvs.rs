@@ -432,6 +432,18 @@ impl KvsScenario {
         &self.nic
     }
 
+    /// Attaches `tracer` to every component of the NIC under test
+    /// (see [`PanicNic::attach_tracer`]).
+    pub fn attach_tracer(&mut self, tracer: &trace::Tracer) {
+        self.nic.attach_tracer(tracer);
+    }
+
+    /// Exports the NIC's full metrics registry
+    /// (see [`PanicNic::export_metrics`]).
+    pub fn export_metrics(&self, m: &mut trace::MetricsRegistry) {
+        self.nic.export_metrics(m);
+    }
+
     /// Builds a host reply for a delivered GET frame.
     fn build_host_reply(frame: &[u8], value: Bytes) -> Option<(Bytes, u16)> {
         let (eth, n1) = EthernetHeader::parse(frame).ok()?;

@@ -20,6 +20,7 @@ use sched::admission::{Admission, AdmissionPolicy};
 use sched::queue::SchedQueue;
 use sim_core::stats::Histogram;
 use sim_core::time::{Cycle, Cycles};
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::engine::{EgressKind, Offload, Output};
 
@@ -103,11 +104,15 @@ pub struct EngineTile {
     id: EngineId,
     offload: Box<dyn Offload>,
     queue: SchedQueue,
-    /// A message currently in service completes at this cycle.
-    in_service: Option<(Message, Cycle)>,
+    /// A message currently in service: `(msg, started_at, done_at)`.
+    in_service: Option<(Message, Cycle, Cycle)>,
     /// RX holding slot for a message the queue refused (backpressure).
     pending: Option<Message>,
     stats: TileStats,
+    /// Trace handle (disabled by default; see [`EngineTile::attach_tracer`]).
+    tracer: Tracer,
+    /// This tile's track (`engine.<id>.<offload>`).
+    track: TrackId,
 }
 
 impl std::fmt::Debug for EngineTile {
@@ -131,7 +136,32 @@ impl EngineTile {
             in_service: None,
             pending: None,
             stats: TileStats::new(),
+            tracer: Tracer::disabled(),
+            track: TrackId(0),
         }
+    }
+
+    /// Attaches a tracer. The tile gets one track named
+    /// `engine.<id>.<offload>` carrying `engine.service` spans (service
+    /// start → completion) plus the scheduling queue's `sched.*` events
+    /// (the queue shares the tile's track). See `docs/TRACING.md`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.track = tracer.track(&format!("engine.{}.{}", self.id.0, self.offload.name()));
+        self.queue.attach_tracer(tracer, self.track);
+    }
+
+    /// Exports tile statistics into `m` under `prefix` (e.g.
+    /// `"engine.3.crc"`): counters `<prefix>.processed`,
+    /// `<prefix>.dropped`, `<prefix>.busy_cycles`, the
+    /// `<prefix>.service` histogram, and the scheduling queue's
+    /// metrics under `<prefix>.sched`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.processed"), self.stats.processed);
+        m.counter_set(&format!("{prefix}.dropped"), self.stats.dropped);
+        m.counter_set(&format!("{prefix}.busy_cycles"), self.stats.busy_cycles);
+        m.merge_histogram(&format!("{prefix}.service"), &self.stats.service);
+        self.queue.export_metrics(m, &format!("{prefix}.sched"));
     }
 
     /// The tile's engine address.
@@ -233,10 +263,20 @@ impl EngineTile {
         let mut emits = Vec::new();
 
         // Complete service.
-        if let Some((_, done_at)) = &self.in_service {
+        if let Some((_, _, done_at)) = &self.in_service {
             if now >= *done_at {
-                let (msg, _) = self.in_service.take().expect("checked");
+                let (msg, started_at, _) = self.in_service.take().expect("checked");
                 self.stats.processed += 1;
+                if self.tracer.enabled() {
+                    self.tracer.complete_arg(
+                        self.track,
+                        "engine.service",
+                        started_at,
+                        now.since(started_at),
+                        "msg",
+                        msg.id.0,
+                    );
+                }
                 for out in self.offload.process(msg, now) {
                     emits.push(self.route_output(out));
                 }
@@ -251,11 +291,21 @@ impl EngineTile {
                 if st == Cycles::ZERO {
                     // Line-rate engine: completes this cycle.
                     self.stats.processed += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.complete_arg(
+                            self.track,
+                            "engine.service",
+                            now,
+                            Cycles::ZERO,
+                            "msg",
+                            msg.id.0,
+                        );
+                    }
                     for out in self.offload.process(msg, now) {
                         emits.push(self.route_output(out));
                     }
                 } else {
-                    self.in_service = Some((msg, now + st));
+                    self.in_service = Some((msg, now, now + st));
                 }
             }
         }
@@ -438,6 +488,35 @@ mod tests {
         assert_eq!(t.tick(Cycle(1)).len(), 1);
         assert_eq!(t.tick(Cycle(2)).len(), 1);
         assert_eq!(t.tick(Cycle(3)).len(), 0);
+    }
+
+    #[test]
+    fn tracer_records_service_spans_and_metrics_export() {
+        use trace::EventKind;
+        let tracer = Tracer::ring(128);
+        let mut t = tile(4);
+        t.attach_tracer(&tracer);
+        t.accept(msg_with_chain(1, &[5, 9], Slack(10)), Cycle(0));
+        for c in 0..6u64 {
+            let _ = t.tick(Cycle(c));
+        }
+        let events = tracer.ring_snapshot().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.name == "engine.service")
+            .expect("service span recorded");
+        assert_eq!(span.ts, 0, "span starts when service starts");
+        assert_eq!(span.kind, EventKind::Complete { dur: 4 });
+        assert_eq!(span.args[0], Some(("msg", 1)));
+        // The queue shares the tile's track.
+        assert!(events.iter().any(|e| e.name == "sched.push"));
+        assert!(events.iter().all(|e| e.track == span.track));
+
+        let mut m = MetricsRegistry::new();
+        t.export_metrics(&mut m, "engine.5.null");
+        assert_eq!(m.counter("engine.5.null.processed"), Some(1));
+        assert_eq!(m.counter("engine.5.null.sched.accepted"), Some(1));
+        assert_eq!(m.histogram("engine.5.null.service").unwrap().max(), 4);
     }
 
     #[test]

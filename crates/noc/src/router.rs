@@ -129,6 +129,12 @@ pub struct StagedOutputs {
     /// `credits[p]`: true if input port `p` drained a flit this cycle
     /// (one credit to return to the upstream on that side).
     pub credits: [bool; PortDir::COUNT],
+    /// `stalled[p]`: true if output port `p` had traffic that wanted to
+    /// leave this cycle but was blocked by exhausted credits (the
+    /// downstream buffer is full). The network surfaces these as
+    /// `noc.credit_stall` trace events; they are the per-hop signature
+    /// of head-of-line blocking and backpressure (§3.1.2).
+    pub stalled: [bool; PortDir::COUNT],
 }
 
 /// The wormhole router at one tile.
@@ -233,6 +239,22 @@ impl Router {
         }
     }
 
+    /// True when some input holds a flit that would leave through
+    /// `out` this cycle if the output had a credit: either the
+    /// wormhole owner has its next flit ready, or (for an unowned
+    /// output) some head flit routes to it.
+    fn wants_output(&self, out: PortDir, topology: Topology, placement: &Placement) -> bool {
+        let o = out.index();
+        if let Some(i) = self.out_owner[o] {
+            return !self.inputs[i].is_empty();
+        }
+        self.inputs.iter().any(|q| {
+            q.front().is_some_and(|head| {
+                head.kind.is_head() && self.route(head.dest, topology, placement) == out
+            })
+        })
+    }
+
     /// Phase 1: switch allocation and traversal for one cycle.
     ///
     /// Reads only this router's own input FIFOs and credit counters;
@@ -263,6 +285,10 @@ impl Router {
                 continue;
             };
             if !credits.available() {
+                // Out of credits: record whether traffic actually
+                // wanted this output, so the cycle shows up as a
+                // credit stall rather than an idle port.
+                staged.stalled[o] = self.wants_output(out, topology, placement);
                 continue;
             }
 
@@ -420,9 +446,12 @@ mod tests {
         assert!(r.compute(topo(), &place()).flits[PortDir::East.index()].is_some());
         r.accept(PortDir::West, flits_for(EngineId(5), 4, 3).remove(0));
         assert!(r.compute(topo(), &place()).flits[PortDir::East.index()].is_some());
-        // No credits left: output stalls even though input has a flit.
+        // No credits left: output stalls even though input has a flit,
+        // and the stall is reported for the tracer.
         let staged = r.compute(topo(), &place());
         assert!(staged.flits[PortDir::East.index()].is_none());
+        assert!(staged.stalled[PortDir::East.index()]);
+        assert!(!staged.stalled[PortDir::North.index()], "idle != stalled");
         // Refill one credit: the stalled flit moves.
         r.refill_credit(PortDir::East);
         let staged = r.compute(topo(), &place());

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use packet::message::Message;
 use sim_core::events::EventQueue;
 use sim_core::time::{Cycle, Cycles, Freq};
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::action::Verdict;
 use crate::program::RmtProgram;
@@ -93,6 +94,15 @@ pub struct RmtPipeline {
     /// In-flight messages, completing `depth` cycles after acceptance.
     in_flight: EventQueue<PipelineOutput>,
     stats: PipelineStats,
+    /// Per-stage table hits, indexed by stage ([`PipelineStats`] is
+    /// `Copy`, so the variable-length stage counters live here).
+    stage_hits: Vec<u64>,
+    /// Per-stage table misses (default action taken), indexed by stage.
+    stage_misses: Vec<u64>,
+    /// Trace handle (disabled by default; see [`RmtPipeline::attach_tracer`]).
+    tracer: Tracer,
+    /// The pipeline's track (`rmt.pipeline`).
+    track: TrackId,
 }
 
 impl RmtPipeline {
@@ -101,12 +111,62 @@ impl RmtPipeline {
     pub fn new(config: PipelineConfig, program: RmtProgram) -> RmtPipeline {
         assert!(config.parallel > 0, "zero pipelines");
         assert!(config.depth > 0, "zero depth");
+        let stages = program.stages();
         RmtPipeline {
             config,
             program,
             input: VecDeque::new(),
             in_flight: EventQueue::new(),
             stats: PipelineStats::default(),
+            stage_hits: vec![0; stages],
+            stage_misses: vec![0; stages],
+            tracer: Tracer::disabled(),
+            track: TrackId(0),
+        }
+    }
+
+    /// Attaches a tracer. The pipeline gets one `rmt.pipeline` track
+    /// carrying per-stage `rmt.match` / `rmt.miss` instants, an
+    /// `rmt.pipeline` span per traversal (accept → emerge, `depth`
+    /// cycles), and an `rmt.backlog` counter. See `docs/TRACING.md`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.track = tracer.track("rmt.pipeline");
+    }
+
+    /// Per-stage table hits since construction, indexed by stage.
+    #[must_use]
+    pub fn stage_hits(&self) -> &[u64] {
+        &self.stage_hits
+    }
+
+    /// Per-stage table misses (default action) since construction.
+    #[must_use]
+    pub fn stage_misses(&self) -> &[u64] {
+        &self.stage_misses
+    }
+
+    /// Exports pipeline statistics into `m` under `prefix` (usually
+    /// `"rmt"`): counters `<prefix>.accepted`, `<prefix>.emitted`,
+    /// `<prefix>.dropped`, `<prefix>.recirculated`,
+    /// `<prefix>.idle_slots`, and per-stage
+    /// `<prefix>.stage.<i>.<table>.hits` / `.misses`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.accepted"), self.stats.accepted);
+        m.counter_set(&format!("{prefix}.emitted"), self.stats.emitted);
+        m.counter_set(&format!("{prefix}.dropped"), self.stats.dropped);
+        m.counter_set(&format!("{prefix}.recirculated"), self.stats.recirculated);
+        m.counter_set(&format!("{prefix}.idle_slots"), self.stats.idle_slots);
+        for (i, table) in self.program.tables().iter().enumerate() {
+            let name = table.name();
+            m.counter_set(
+                &format!("{prefix}.stage.{i}.{name}.hits"),
+                self.stage_hits[i],
+            );
+            m.counter_set(
+                &format!("{prefix}.stage.{i}.{name}.misses"),
+                self.stage_misses[i],
+            );
         }
     }
 
@@ -156,7 +216,31 @@ impl RmtPipeline {
             match self.input.pop_front() {
                 Some(mut msg) => {
                     self.stats.accepted += 1;
-                    let verdict = self.program.process(&mut msg);
+                    let msg_id = msg.id.0;
+                    // Split borrows: the observer mutates the stage
+                    // counters while the program runs.
+                    let (program, hits, misses, tracer, track) = (
+                        &self.program,
+                        &mut self.stage_hits,
+                        &mut self.stage_misses,
+                        &self.tracer,
+                        self.track,
+                    );
+                    let verdict = program.process_observed(&mut msg, &mut |stage, _name, hit| {
+                        if hit {
+                            hits[stage] += 1;
+                        } else {
+                            misses[stage] += 1;
+                        }
+                        if tracer.enabled() {
+                            let name = if hit { "rmt.match" } else { "rmt.miss" };
+                            tracer.emit(
+                                trace::Event::instant(track, name, now)
+                                    .with_arg("stage", stage as u64)
+                                    .with_arg("msg", msg_id),
+                            );
+                        }
+                    });
                     match verdict {
                         Verdict::Drop => {
                             self.stats.dropped += 1;
@@ -180,6 +264,26 @@ impl RmtPipeline {
         // Emit.
         let out = self.in_flight.drain_due(now);
         self.stats.emitted += out.len() as u64;
+        if self.tracer.enabled() {
+            // Each emerging message spent exactly `depth` cycles inside
+            // the stages: its span starts `depth` cycles ago.
+            let depth = u64::from(self.config.depth);
+            // Messages emerge no earlier than cycle `depth`, but guard
+            // anyway (saturate) so an empty drain at cycle 0 is safe.
+            let start = Cycle(now.0.saturating_sub(depth));
+            for o in &out {
+                self.tracer.complete_arg(
+                    self.track,
+                    "rmt.pipeline",
+                    start,
+                    Cycles(depth),
+                    "msg",
+                    o.msg.id.0,
+                );
+            }
+            self.tracer
+                .counter(self.track, "rmt.backlog", now, self.input.len() as u64);
+        }
         out
     }
 }
@@ -363,6 +467,53 @@ mod tests {
         p.submit(msg(1, 80));
         p.tick(Cycle(1)); // 1 used, 1 idle
         assert_eq!(p.stats().idle_slots, 3);
+    }
+
+    #[test]
+    fn tracer_records_stage_outcomes_and_spans() {
+        use trace::EventKind;
+        let tracer = Tracer::ring(256);
+        let mut p = RmtPipeline::new(cfg(1, 4), dropping_program());
+        p.attach_tracer(&tracer);
+        p.submit(msg(1, 23)); // matches the drop entry: a stage hit
+        p.submit(msg(2, 80)); // default action: a stage miss
+        let mut now = Cycle(0);
+        for _ in 0..10 {
+            let _ = p.tick(now);
+            now = now.next();
+        }
+        let events = tracer.ring_snapshot().unwrap();
+        assert!(events.iter().any(|e| e.name == "rmt.match"));
+        assert!(events.iter().any(|e| e.name == "rmt.miss"));
+        let span = events
+            .iter()
+            .find(|e| e.name == "rmt.pipeline")
+            .expect("traversal span");
+        assert_eq!(span.kind, EventKind::Complete { dur: 4 });
+        assert_eq!(span.args[0], Some(("msg", 2)), "dropped msg never emerges");
+
+        assert_eq!(p.stage_hits(), &[1]);
+        assert_eq!(p.stage_misses(), &[1]);
+        let mut m = MetricsRegistry::new();
+        p.export_metrics(&mut m, "rmt");
+        assert_eq!(m.counter("rmt.accepted"), Some(2));
+        assert_eq!(m.counter("rmt.stage.0.t.hits"), Some(1));
+        assert_eq!(m.counter("rmt.stage.0.t.misses"), Some(1));
+    }
+
+    #[test]
+    fn stage_counters_work_untraced() {
+        let mut p = RmtPipeline::new(cfg(2, 3), dropping_program());
+        for i in 0..4 {
+            p.submit(msg(i, 80));
+        }
+        let mut now = Cycle(0);
+        for _ in 0..10 {
+            let _ = p.tick(now);
+            now = now.next();
+        }
+        assert_eq!(p.stage_misses(), &[4], "default action is a miss");
+        assert_eq!(p.stage_hits(), &[0]);
     }
 
     #[test]

@@ -55,6 +55,21 @@ impl RmtProgram {
     /// pass count are updated in place; on `Drop` the message is left
     /// untouched except for the pass count.
     pub fn process(&self, msg: &mut Message) -> Verdict {
+        self.process_observed(msg, &mut |_, _, _| {})
+    }
+
+    /// Like [`RmtProgram::process`], but calls
+    /// `observer(stage_index, table_name, hit)` after each stage's
+    /// table lookup (before the action applies). This is the hook the
+    /// traced [`RmtPipeline`](crate::pipeline::RmtPipeline) uses to
+    /// count per-stage matches and misses and to emit `rmt.match` /
+    /// `rmt.miss` trace events. Stages skipped by an earlier `Drop`
+    /// short-circuit are not observed.
+    pub fn process_observed(
+        &self,
+        msg: &mut Message,
+        observer: &mut dyn FnMut(usize, &str, bool),
+    ) -> Verdict {
         let outcome = self.parser.parse(&msg.payload);
         let mut phv = outcome.phv.clone();
 
@@ -65,8 +80,9 @@ impl RmtProgram {
 
         let mut hops: Vec<Hop> = Vec::new();
         let mut verdict = Verdict::Forward;
-        for table in &self.tables {
-            let (action, _hit) = table.lookup(&phv);
+        for (stage, table) in self.tables.iter().enumerate() {
+            let (action, hit) = table.lookup(&phv);
+            observer(stage, table.name(), hit);
             match action.apply(&mut phv, &mut hops) {
                 Verdict::Forward => {}
                 Verdict::Drop => {

@@ -7,6 +7,7 @@
 use packet::message::Message;
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
+use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::admission::{Admission, AdmissionPolicy};
 use crate::pifo::Pifo;
@@ -53,6 +54,10 @@ pub struct SchedQueue {
     capacity: usize,
     policy: AdmissionPolicy,
     stats: SchedStats,
+    /// Trace handle (disabled by default; see [`SchedQueue::attach_tracer`]).
+    tracer: Tracer,
+    /// The owning component's track; sched events interleave with it.
+    track: TrackId,
 }
 
 impl SchedQueue {
@@ -69,7 +74,34 @@ impl SchedQueue {
             capacity,
             policy,
             stats: SchedStats::new(),
+            tracer: Tracer::disabled(),
+            track: TrackId(0),
         }
+    }
+
+    /// Attaches a tracer. `track` is the owning component's track (an
+    /// engine tile's, usually), so `sched.push` / `sched.pop` /
+    /// `sched.drop` / `sched.refuse` instants and the `sched.depth`
+    /// counter interleave with that component's service spans. See
+    /// `docs/TRACING.md`.
+    pub fn attach_tracer(&mut self, tracer: &Tracer, track: TrackId) {
+        self.tracer = tracer.clone();
+        self.track = track;
+    }
+
+    /// Exports queue statistics into `m` under `prefix` (e.g.
+    /// `"engine.3.sched"`): counters `<prefix>.accepted`,
+    /// `<prefix>.dropped`, `<prefix>.refused`, `<prefix>.peak_depth`,
+    /// and the `<prefix>.wait` histogram (enqueue → pop, cycles).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter_set(&format!("{prefix}.accepted"), self.stats.accepted);
+        m.counter_set(&format!("{prefix}.dropped"), self.stats.dropped);
+        m.counter_set(&format!("{prefix}.refused"), self.stats.refused);
+        m.counter_set(
+            &format!("{prefix}.peak_depth"),
+            self.stats.peak_depth as u64,
+        );
+        m.merge_histogram(&format!("{prefix}.wait"), &self.stats.wait);
     }
 
     /// The admission policy.
@@ -114,6 +146,7 @@ impl SchedQueue {
     pub fn offer(&mut self, msg: Message, now: Cycle) -> Admission<Message> {
         let rank = deadline_rank(now, msg.current_slack());
         if !self.is_full() {
+            self.trace_push(&msg, rank, now);
             self.pifo.push(
                 rank,
                 Queued {
@@ -123,15 +156,18 @@ impl SchedQueue {
             );
             self.stats.accepted += 1;
             self.stats.peak_depth = self.stats.peak_depth.max(self.pifo.len());
+            self.trace_depth(now);
             return Admission::Accepted;
         }
         if msg.kind.is_control() && self.policy != AdmissionPolicy::Backpressure {
             self.stats.refused += 1;
+            self.trace_instant("sched.refuse", &msg, now);
             return Admission::Refused(msg);
         }
         match self.policy {
             AdmissionPolicy::TailDrop => {
                 self.stats.dropped += 1;
+                self.trace_instant("sched.drop", &msg, now);
                 Admission::Dropped { victim: msg }
             }
             AdmissionPolicy::EvictLargestRank => {
@@ -143,8 +179,10 @@ impl SchedQueue {
                     // Arrival is the victim; put the evicted one back.
                     self.pifo.push(max_rank, victim);
                     self.stats.dropped += 1;
+                    self.trace_instant("sched.drop", &msg, now);
                     Admission::Dropped { victim: msg }
                 } else {
+                    self.trace_push(&msg, rank, now);
                     self.pifo.push(
                         rank,
                         Queued {
@@ -154,11 +192,13 @@ impl SchedQueue {
                     );
                     self.stats.accepted += 1;
                     self.stats.dropped += 1;
+                    self.trace_instant("sched.drop", &victim.msg, now);
                     Admission::Dropped { victim: victim.msg }
                 }
             }
             AdmissionPolicy::Backpressure => {
                 self.stats.refused += 1;
+                self.trace_instant("sched.refuse", &msg, now);
                 Admission::Refused(msg)
             }
         }
@@ -166,11 +206,43 @@ impl SchedQueue {
 
     /// Pops the most urgent message.
     pub fn pop(&mut self, now: Cycle) -> Option<Message> {
+        let rank = self.pifo.peek_rank();
         let q = self.pifo.pop()?;
         self.stats
             .wait
             .record(now.saturating_since(q.enqueued_at).count());
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                trace::Event::instant(self.track, "sched.pop", now)
+                    .with_arg("msg", q.msg.id.0)
+                    .with_arg("rank", rank.unwrap_or(u64::MAX)),
+            );
+            self.trace_depth(now);
+        }
         Some(q.msg)
+    }
+
+    /// Emits a `sched.push` instant carrying the message id and rank.
+    fn trace_push(&self, msg: &Message, rank: u64, now: Cycle) {
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                trace::Event::instant(self.track, "sched.push", now)
+                    .with_arg("msg", msg.id.0)
+                    .with_arg("rank", rank),
+            );
+        }
+    }
+
+    /// Emits a named instant carrying the message id.
+    fn trace_instant(&self, name: &'static str, msg: &Message, now: Cycle) {
+        self.tracer
+            .instant_arg(self.track, name, now, "msg", msg.id.0);
+    }
+
+    /// Samples the occupancy as a `sched.depth` counter.
+    fn trace_depth(&self, now: Cycle) {
+        self.tracer
+            .counter(self.track, "sched.depth", now, self.pifo.len() as u64);
     }
 
     /// Deadline rank of the message that would pop next.
@@ -316,6 +388,34 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_rejected() {
         let _ = SchedQueue::new(0, AdmissionPolicy::TailDrop);
+    }
+
+    #[test]
+    fn tracer_sees_push_pop_drop_and_depth() {
+        let tracer = Tracer::ring(64);
+        let track = tracer.track("engine.1.test");
+        let mut q = SchedQueue::new(1, AdmissionPolicy::TailDrop);
+        q.attach_tracer(&tracer, track);
+        q.offer(msg(1, Slack(5)), Cycle(0));
+        q.offer(msg(2, Slack(0)), Cycle(1)); // full: tail drop
+        let _ = q.pop(Cycle(2));
+        let events = tracer.ring_snapshot().unwrap();
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"sched.push"));
+        assert!(names.contains(&"sched.drop"));
+        assert!(names.contains(&"sched.pop"));
+        assert!(names.contains(&"sched.depth"));
+        // The push instant carries both the message id and its rank.
+        let push = events.iter().find(|e| e.name == "sched.push").unwrap();
+        assert_eq!(push.args[0], Some(("msg", 1)));
+        assert_eq!(push.args[1], Some(("rank", 5)));
+
+        let mut m = MetricsRegistry::new();
+        q.export_metrics(&mut m, "sched");
+        assert_eq!(m.counter("sched.accepted"), Some(1));
+        assert_eq!(m.counter("sched.dropped"), Some(1));
+        assert_eq!(m.counter("sched.peak_depth"), Some(1));
+        assert_eq!(m.histogram("sched.wait").unwrap().count(), 1);
     }
 
     #[test]

@@ -394,6 +394,86 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_sample_quantiles_clamp_exactly() {
+        // With one sample, every quantile must clamp to that sample —
+        // including values that sit exactly on a power-of-two bucket
+        // boundary, where the representative value would otherwise be
+        // the bucket midpoint.
+        for &v in &[
+            1u64,
+            31,
+            32,
+            33,
+            1023,
+            1024,
+            1025,
+            1 << 20,
+            u64::from(u32::MAX),
+        ] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_p99_ignores_a_one_percent_outlier() {
+        // 99 samples of 10, one of 10_000: ceil(0.99 * 100) = 99, so
+        // p99 is the 99th sample (10); only quantile(1.0) sees the
+        // outlier. This is the bucket-walk boundary the percentile
+        // docs promise.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(10_000);
+        assert_eq!(h.p99(), 10);
+        // quantile(1.0) lands in the outlier's bucket: within one
+        // sub-bucket (6.25%) of 10_000, never above the observed max.
+        let top = h.quantile(1.0);
+        assert!(top <= 10_000, "top={top}");
+        assert!((10_000 - top) as f64 / 10_000.0 < 0.0625, "top={top}");
+    }
+
+    #[test]
+    fn histogram_quantile_error_bounded_across_bucket_edge() {
+        // Samples straddling a power-of-two edge (just below and just
+        // above 1024): p50 must stay within one sub-bucket (6.25%) of
+        // the true median.
+        let mut h = Histogram::new();
+        for v in 960..=1088u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        let true_median = 1024.0;
+        let err = (p50 as f64 - true_median).abs() / true_median;
+        assert!(err < 0.0625, "p50={p50} err={err}");
+    }
+
+    #[test]
+    fn histogram_merge_preserves_quantiles() {
+        // Quantiles of a merged histogram equal quantiles of recording
+        // the union directly (bucket counts are additive).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+            all.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v * 7);
+            all.record(v * 7);
+        }
+        a.merge(&b);
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn histogram_empty_summary() {
         let h = Histogram::new();
         let s = h.summary();

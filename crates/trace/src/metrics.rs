@@ -1,0 +1,235 @@
+//! The [`MetricsRegistry`]: the uniform end-of-run metrics schema.
+//!
+//! Components keep their own cheap counters and histograms while
+//! simulating (see [`sim_core::stats`]); at the end of a run each
+//! exports them into one registry under dotted names
+//! (`component.instance.metric`), so every experiment — PANIC and the
+//! §2.3 baselines alike — reports the *same* histogram schema:
+//! `count/mean/min/p50/p90/p99/p999/max`, cycle-valued.
+
+use std::collections::BTreeMap;
+
+use sim_core::stats::Histogram;
+
+/// Named counters and cycle histograms with a stable JSON export.
+///
+/// Names are dotted paths (`"nic.tx_wire"`,
+/// `"engine.crc.service_cycles"`); the registry imposes no hierarchy
+/// beyond sorting, but `docs/TRACING.md` documents the naming
+/// conventions the simulator uses.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets counter `name` to `value` (last write wins).
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into histogram `name` (creating it empty).
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Merges an existing histogram into `name` — the export path for
+    /// components that already kept a [`Histogram`] during the run.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Current value of counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Histogram `name`, if any samples were recorded or merged.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the registry as JSON (the `--metrics out.json` format;
+    /// schema documented in `docs/TRACING.md`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"schema\":\"panic-metrics/v1\",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", crate::json::escape(k), v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = h.summary();
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{:.3},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                crate::json::escape(k),
+                s.count,
+                s.mean,
+                s.min,
+                s.p50,
+                s.p90,
+                s.p99,
+                s.p999,
+                s.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the registry as an aligned markdown report (what
+    /// `repro --metrics -` prints).
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("## Metrics\n\n");
+        if !self.counters.is_empty() {
+            let w = self.counters.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("### Counters\n\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<w$}  {v}");
+            }
+            out.push('\n');
+        }
+        if !self.histograms.is_empty() {
+            let w = self
+                .histograms
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(9);
+            out.push_str("### Histograms (cycles)\n\n");
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+                "histogram", "count", "mean", "min", "p50", "p90", "p99", "max"
+            );
+            for (k, h) in &self.histograms {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "  {k:<w$}  {:>9} {:>9.1} {:>7} {:>7} {:>7} {:>7} {:>7}",
+                    s.count, s.mean, s.min, s.p50, s.p90, s.p99, s.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.counter_add("a.b", 2);
+        m.counter_add("a.b", 3);
+        m.counter_set("a.c", 7);
+        m.counter_set("a.c", 9);
+        assert_eq!(m.counter("a.b"), Some(5));
+        assert_eq!(m.counter("a.c"), Some(9));
+        assert_eq!(m.counter("missing"), None);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn histograms_record_and_merge() {
+        let mut m = MetricsRegistry::new();
+        m.record("lat", 100);
+        m.record("lat", 300);
+        let mut extern_h = Histogram::new();
+        extern_h.record(200);
+        m.merge_histogram("lat", &extern_h);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn json_export_is_valid_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.last", 1);
+        m.counter_add("a.first", 2);
+        m.record("engine.\"q\".wait", 50);
+        let j = m.to_json();
+        json::validate(&j).unwrap();
+        assert!(j.contains("panic-metrics/v1"));
+        assert!(j.find("a.first").unwrap() < j.find("z.last").unwrap());
+        assert!(j.contains("\"p999\""));
+    }
+
+    #[test]
+    fn markdown_report_lists_everything() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("nic.rx", 4);
+        m.record("svc", 10);
+        let md = m.render_markdown();
+        assert!(md.contains("### Counters"));
+        assert!(md.contains("nic.rx"));
+        assert!(md.contains("### Histograms"));
+        assert!(md.contains("svc"));
+    }
+
+    #[test]
+    fn iterators_are_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b", 1);
+        m.counter_add("a", 1);
+        m.record("y", 1);
+        m.record("x", 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

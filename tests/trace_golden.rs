@@ -1,0 +1,108 @@
+//! Golden tests for the Chrome-trace export (`docs/TRACING.md`).
+//!
+//! A tiny 2×2 mesh is driven with seeded traffic; the resulting
+//! ChromeTraceSink JSON must (a) be valid JSON, (b) have monotonically
+//! nondecreasing `ts` values in file order, and (c) be byte-for-byte
+//! stable across runs with the same seed — the trace format is a
+//! documented artifact, so accidental nondeterminism is a bug.
+
+use bytes::Bytes;
+use noc::network::{MeshNetwork, NetworkConfig};
+use noc::router::RouterConfig;
+use noc::topology::{Placement, Topology};
+use packet::{EngineId, Message, MessageId, MessageKind};
+use sim_core::rng::SimRng;
+use sim_core::time::Cycle;
+use trace::Tracer;
+
+/// Drives a 2×2 mesh with seeded uniform traffic and returns the
+/// rendered Chrome trace JSON.
+fn traced_2x2_run(seed: u64) -> String {
+    let topology = Topology::mesh(2, 2);
+    let mut net = MeshNetwork::new(
+        NetworkConfig {
+            topology,
+            width_bits: 64,
+            router: RouterConfig::default(),
+        },
+        Placement::row_major(topology),
+    );
+    let tracer = Tracer::chrome();
+    net.attach_tracer(&tracer);
+    let mut rng = SimRng::new(seed);
+    let n = topology.nodes();
+    let mut now = Cycle(0);
+    for id in 0..40u64 {
+        let src = (rng.gen_range(n as u64)) as usize;
+        let mut dst = (rng.gen_range(n as u64)) as usize;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        let msg = Message::builder(MessageId(id), MessageKind::Internal)
+            .payload(Bytes::from(vec![0u8; 30]))
+            .build();
+        net.send(EngineId(src as u16), EngineId(dst as u16), msg, now);
+        // Interleave sends with ticks so the trace has realistic
+        // overlap (and, at this rate, some credit backpressure).
+        net.tick(now);
+        now = now.next();
+        for node in 0..n {
+            let _ = net.poll_ejected(EngineId(node as u16), now);
+        }
+    }
+    for _ in 0..200 {
+        net.tick(now);
+        now = now.next();
+        for node in 0..n {
+            let _ = net.poll_ejected(EngineId(node as u16), now);
+        }
+    }
+    tracer.chrome_json().expect("chrome tracer renders JSON")
+}
+
+/// Pulls every `"ts":<n>` out of the rendered JSON, in file order.
+fn ts_values(json: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"ts\":") {
+        rest = &rest[pos + 5..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        out.push(rest[..end].parse::<u64>().expect("numeric ts"));
+        rest = &rest[end..];
+    }
+    out
+}
+
+#[test]
+fn chrome_trace_is_valid_json() {
+    let json = traced_2x2_run(7);
+    trace::json::validate(&json).expect("trace output must be valid JSON");
+    // And it actually contains mesh traffic, not just metadata.
+    assert!(json.contains("noc.hop"), "expected hop events");
+    assert!(json.contains("noc.msg"), "expected message spans");
+}
+
+#[test]
+fn chrome_trace_timestamps_are_monotonic() {
+    let json = traced_2x2_run(7);
+    let ts = ts_values(&json);
+    assert!(
+        ts.len() > 50,
+        "expected a substantive trace, got {}",
+        ts.len()
+    );
+    for w in ts.windows(2) {
+        assert!(w[0] <= w[1], "ts regressed: {} -> {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn chrome_trace_is_deterministic_for_a_seed() {
+    let a = traced_2x2_run(7);
+    let b = traced_2x2_run(7);
+    assert_eq!(a, b, "same seed must give byte-identical traces");
+    let c = traced_2x2_run(8);
+    assert_ne!(a, c, "different seeds should change the trace");
+}
