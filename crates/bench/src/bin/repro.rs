@@ -64,6 +64,10 @@ fn print_help(all: &[experiments::Experiment]) {
     eprintln!("                     windows to <path> (\"-\" = stdout); open in Perfetto");
     eprintln!("  --metrics <path>   write counters/histograms JSON to <path>");
     eprintln!("                     (\"-\" = render a markdown summary to stdout)");
+    eprintln!("  --faults <arg>     fault schedule for fault-aware experiments");
+    eprintln!("                     (today: fault-recovery): a seed (decimal or 0x-hex)");
+    eprintln!("                     for the deterministic generator, or an explicit");
+    eprintln!("                     plan spec like `crash:1@500,stall:2@800+64`");
     eprintln!("  -h, --help         this catalog\n");
     print_catalog(all);
 }
@@ -73,6 +77,7 @@ struct Args {
     quick: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    faults: Option<faults::FaultArg>,
     selected: Vec<String>,
 }
 
@@ -81,6 +86,7 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
         quick: false,
         trace: None,
         metrics: None,
+        faults: None,
         selected: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -106,6 +112,14 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
             out.trace = Some(v);
         } else if let Some(v) = flag_with_value("--metrics", &a) {
             out.metrics = Some(v);
+        } else if let Some(v) = flag_with_value("--faults", &a) {
+            match v.parse::<faults::FaultArg>() {
+                Ok(arg) => out.faults = Some(arg),
+                Err(e) => {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(2);
+                }
+            }
         } else if a.starts_with('-') {
             eprintln!("unknown flag `{a}`; see --help");
             std::process::exit(2);
@@ -136,12 +150,15 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Experiment ids use hyphens; accept underscores as a convenience
+    // (`fault_recovery` == `fault-recovery`).
+    let selected: Vec<String> = args.selected.iter().map(|s| s.replace('_', "-")).collect();
+
     // Reject unknown experiment names up front: a typo should fail
     // loudly, not silently run the subset that happened to match.
-    let unknown: Vec<&String> = args
-        .selected
+    let unknown: Vec<&String> = selected
         .iter()
-        .filter(|s| s.as_str() != "all" && !all.iter().any(|(id, _, _)| id == s))
+        .filter(|s| s.as_str() != "all" && !all.iter().any(|(id, _, _)| id == *s))
         .collect();
     if !unknown.is_empty() {
         for u in &unknown {
@@ -160,10 +177,11 @@ fn main() {
         trace::Tracer::disabled()
     };
     let mut ctx = RunCtx::observed(args.quick, tracer, args.metrics.is_some());
+    ctx.faults = args.faults.clone();
 
-    let run_all = args.selected.iter().any(|s| s.as_str() == "all");
+    let run_all = selected.iter().any(|s| s.as_str() == "all");
     for (id, desc, runner) in &all {
-        if run_all || args.selected.iter().any(|s| s.as_str() == *id) {
+        if run_all || selected.iter().any(|s| s.as_str() == *id) {
             eprintln!("running {id}: {desc} ...");
             print!("{}", runner(&mut ctx));
         }

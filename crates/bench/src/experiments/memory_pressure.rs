@@ -132,7 +132,7 @@ pub fn run_with_policy(policy: AdmissionPolicy, cycles: u64) -> PressurePoint {
     PressurePoint {
         latency_delivery: delivered[0] as f64 / offered[0].max(1) as f64,
         bulk_delivery: delivered[1] as f64 / offered[1].max(1) as f64,
-        drops: tile.stats().dropped,
+        drops: tile.drops(),
         peak_depth: tile.queue_stats().peak_depth,
     }
 }

@@ -7,6 +7,7 @@ pub mod ablation_pointer;
 pub mod ablation_sched;
 pub mod ablation_split_net;
 pub mod chain_crossover;
+pub mod fault_recovery;
 pub mod hol;
 pub mod isolation;
 pub mod kvs_e2e;
@@ -87,6 +88,11 @@ pub fn all() -> Vec<Experiment> {
             "memory",
             "S4.3: intelligent drop vs tail drop under overload",
             memory_pressure::run,
+        ),
+        (
+            "fault-recovery",
+            "Robustness: goodput + watchdog failover under seeded fault plans",
+            fault_recovery::run,
         ),
         (
             "ab-chaining",

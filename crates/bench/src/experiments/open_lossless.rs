@@ -106,7 +106,7 @@ pub fn run_flood(flood_rate: f64, cycles: u64) -> LosslessPoint {
             }
         }
     }
-    point.flood_dropped = tile.stats().dropped;
+    point.flood_dropped = tile.drops();
     point
 }
 

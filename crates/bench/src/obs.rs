@@ -36,6 +36,11 @@ pub struct RunCtx {
     pub metrics: MetricsRegistry,
     /// Whether the caller wants [`RunCtx::metrics`] populated.
     pub collect_metrics: bool,
+    /// Fault schedule override from `repro --faults <seed|spec>`.
+    /// Experiments that model the fault plane (today: `fault-recovery`)
+    /// seed their [`faults::FaultPlan`] from this; everything else
+    /// ignores it.
+    pub faults: Option<faults::FaultArg>,
 }
 
 impl RunCtx {
@@ -47,6 +52,7 @@ impl RunCtx {
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
             collect_metrics: false,
+            faults: None,
         }
     }
 
@@ -59,6 +65,7 @@ impl RunCtx {
             tracer,
             metrics: MetricsRegistry::new(),
             collect_metrics,
+            faults: None,
         }
     }
 

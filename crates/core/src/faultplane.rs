@@ -1,0 +1,216 @@
+//! NIC-level fault-plane runtime state and conservation accounting.
+//!
+//! The [`crate::nic::PanicNic`] owns at most one `FaultRuntime`
+//! (boxed and `Option`al, so fault-free NICs pay one pointer and one
+//! `is_some` check per tick). The runtime carries:
+//!
+//! * the injection **plan** cursor — which [`faults::FaultEvent`]s have
+//!   already fired;
+//! * the **watchdog** ledger ([`faults::Watchdog`]) when one is
+//!   configured;
+//! * **engine-health** strike counters feeding the DOWN decision;
+//! * the **failover table**: engines marked DOWN and the replica (or
+//!   host fallback) traffic addressed to them is steered to.
+//!
+//! The companion [`Conservation`] report extends the fault-free
+//! identity (`rx == tx + host + consumed + …`) with every loss and
+//! duplication channel the fault plane can open, so tests can assert
+//! that *nothing vanishes unaccounted under any fault plan*. See
+//! `docs/FAULTS.md`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use faults::{FaultPlan, Watchdog};
+use packet::chain::EngineId;
+use sim_core::time::Cycle;
+use trace::TrackId;
+
+/// Per-NIC fault-plane state. Crate-internal: the public surface is
+/// [`crate::nic::PanicNic::enable_faults`] /
+/// [`crate::nic::PanicNic::set_watchdog`] /
+/// [`crate::nic::PanicNic::conservation`].
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    /// The injection schedule (sorted by cycle).
+    pub plan: FaultPlan,
+    /// Index of the next unfired event in `plan`.
+    pub cursor: usize,
+    /// Descriptor-deadline ledger; `None` when only raw injection is
+    /// wanted (no detection/recovery).
+    pub watchdog: Option<Watchdog>,
+    /// Engine-health strikes: consecutive wedged observations and the
+    /// cycle of the first one (for the time-to-failover metric).
+    pub strikes: HashMap<EngineId, (u32, Cycle)>,
+    /// Engines the watchdog marked DOWN, in marking order.
+    pub downed: Vec<EngineId>,
+    /// DOWN engine → replica chosen by the failover policy (`None`
+    /// means host fallback).
+    pub failover: HashMap<EngineId, Option<EngineId>>,
+    /// Lazily created `faults` trace track (only when a tracer is
+    /// attached *and* a fault-plane event fires).
+    pub track: Option<TrackId>,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(plan: FaultPlan, watchdog: Option<Watchdog>) -> FaultRuntime {
+        FaultRuntime {
+            plan,
+            cursor: 0,
+            watchdog,
+            strikes: HashMap::new(),
+            downed: Vec::new(),
+            failover: HashMap::new(),
+            track: None,
+        }
+    }
+
+    /// True once every planned event has fired.
+    pub(crate) fn plan_exhausted(&self) -> bool {
+        self.cursor >= self.plan.len()
+    }
+}
+
+/// Copy-level conservation report: every message copy the NIC ever
+/// held, bucketed by where it went. Meaningful once the NIC is
+/// quiescent and the fault plane settled
+/// ([`crate::nic::PanicNic::is_quiescent`] &&
+/// [`crate::nic::PanicNic::faults_settled`]); mid-flight copies are in
+/// neither side.
+///
+/// Identity ([`Conservation::holds`]):
+///
+/// ```text
+/// rx_frames + injected_internal + reissued ==
+///     tx_wire + host_deliveries + host_fallback + consumed
+///   + control_completed + unrouted + sched_drops + lost_noc
+///   + flushed + duplicates
+/// ```
+///
+/// Watchdog re-issues mint *copies* of a descriptor, so they appear on
+/// the source side; late copies suppressed at egress appear on the
+/// sink side as `duplicates`. A descriptor that exhausts its retry
+/// budget is *not* a copy sink — each of its copies already landed in
+/// a loss bucket — which is why `failed` (descriptor-level) is
+/// reported by [`crate::nic::NicStats`] but absent here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror NicStats / component counters
+pub struct Conservation {
+    pub rx_frames: u64,
+    pub injected_internal: u64,
+    pub reissued: u64,
+    pub tx_wire: u64,
+    pub host_deliveries: u64,
+    pub host_fallback: u64,
+    pub consumed: u64,
+    pub control_completed: u64,
+    pub unrouted: u64,
+    pub sched_drops: u64,
+    pub lost_noc: u64,
+    pub flushed: u64,
+    pub duplicates: u64,
+}
+
+impl Conservation {
+    /// Copies that entered the NIC boundary.
+    #[must_use]
+    pub fn sources(&self) -> u64 {
+        self.rx_frames + self.injected_internal + self.reissued
+    }
+
+    /// Copies that left (or were destroyed inside) the NIC boundary.
+    #[must_use]
+    pub fn sinks(&self) -> u64 {
+        self.tx_wire
+            + self.host_deliveries
+            + self.host_fallback
+            + self.consumed
+            + self.control_completed
+            + self.unrouted
+            + self.sched_drops
+            + self.lost_noc
+            + self.flushed
+            + self.duplicates
+    }
+
+    /// True when every copy is accounted for.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.sources() == self.sinks()
+    }
+}
+
+impl fmt::Display for Conservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sources {} = rx {} + injected {} + reissued {}",
+            self.sources(),
+            self.rx_frames,
+            self.injected_internal,
+            self.reissued
+        )?;
+        writeln!(
+            f,
+            "sinks   {} = tx {} + host {} + fallback {} + consumed {} + control {} \
+             + unrouted {} + sched_drops {} + lost_noc {} + flushed {} + duplicates {}",
+            self.sinks(),
+            self.tx_wire,
+            self.host_deliveries,
+            self.host_fallback,
+            self.consumed,
+            self.control_completed,
+            self.unrouted,
+            self.sched_drops,
+            self.lost_noc,
+            self.flushed,
+            self.duplicates
+        )?;
+        write!(
+            f,
+            "identity {}",
+            if self.holds() { "HOLDS" } else { "VIOLATED" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_arithmetic() {
+        let mut c = Conservation {
+            rx_frames: 10,
+            injected_internal: 2,
+            reissued: 3,
+            tx_wire: 7,
+            host_deliveries: 1,
+            host_fallback: 1,
+            consumed: 1,
+            control_completed: 0,
+            unrouted: 1,
+            sched_drops: 1,
+            lost_noc: 1,
+            flushed: 1,
+            duplicates: 1,
+        };
+        assert_eq!(c.sources(), 15);
+        assert_eq!(c.sinks(), 15);
+        assert!(c.holds());
+        let shown = c.to_string();
+        assert!(shown.contains("HOLDS"), "{shown}");
+        c.tx_wire -= 1;
+        assert!(!c.holds());
+        assert!(c.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn runtime_plan_cursor() {
+        let fr = FaultRuntime::new(FaultPlan::default(), None);
+        assert!(fr.plan_exhausted());
+        let plan = FaultPlan::parse("crash:1@10").unwrap();
+        let fr = FaultRuntime::new(plan, None);
+        assert!(!fr.plan_exhausted());
+    }
+}

@@ -12,6 +12,9 @@
 //!
 //! * [`nic`] — [`nic::PanicNic`] and its builder: placement,
 //!   per-cycle orchestration, egress capture, and statistics.
+//! * [`faultplane`] — runtime state behind the deterministic fault
+//!   plane ([`faults`] plans, watchdog ledger, failover table) and the
+//!   [`Conservation`] identity that must close under any fault plan.
 //! * [`programs`] — canonical RMT programs: the §3.2 KVS program, a
 //!   chain-everything program for topology experiments, and a plain
 //!   host-delivery program.
@@ -23,10 +26,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faultplane;
 pub mod nic;
 pub mod programs;
 pub mod scenarios;
 
+pub use faultplane::Conservation;
 pub use nic::{NicBuilder, NicConfig, NicStats, PanicNic};
 pub use programs::{
     chain_program, host_delivery_program, kvs_program, KvsProgramSpec, SlackProfile,

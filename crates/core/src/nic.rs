@@ -27,6 +27,7 @@ use bytes::Bytes;
 use engines::engine::Offload;
 use engines::pcie::PcieEngine;
 use engines::tile::{Emit, EngineTile, TileConfig};
+use faults::{CompleteOutcome, ExpiryAction, FaultKind, FaultPlan, Watchdog, WatchdogConfig};
 use noc::network::{MeshNetwork, NetworkConfig};
 use noc::router::RouterConfig;
 use noc::topology::{Coord, Placement, Topology};
@@ -38,6 +39,8 @@ use rmt::program::RmtProgram;
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer, TrackId};
+
+use crate::faultplane::{Conservation, FaultRuntime};
 
 /// NIC-level configuration (topology and clocks; engines and programs
 /// are added through the builder).
@@ -96,6 +99,29 @@ pub struct NicStats {
     /// Pipeline outputs with an empty chain (program bug or policy
     /// gap; these messages are dropped).
     pub unrouted: u64,
+    /// Messages injected from inside the NIC boundary
+    /// ([`PanicNic::inject_from`]) — a conservation source alongside
+    /// `rx_frames`.
+    pub injected_internal: u64,
+    /// Watchdog re-issues: fresh copies of timed-out descriptors
+    /// (fault plane only; always 0 without a watchdog).
+    pub reissued: u64,
+    /// Descriptors that exhausted their retry budget (fault plane
+    /// only). Descriptor-level — the copies themselves are in the
+    /// loss buckets.
+    pub failed: u64,
+    /// Late copies of already-completed descriptors suppressed at
+    /// egress (fault plane only).
+    pub duplicates: u64,
+    /// Messages steered to the host because their next engine was
+    /// DOWN with no replica available (fault plane only).
+    pub host_fallback: u64,
+    /// Recovery latency: first descriptor timeout → eventual
+    /// completion (fault plane only).
+    pub recovery: Histogram,
+    /// Detection-to-isolation latency: first wedged observation of an
+    /// engine → the watchdog marking it DOWN (fault plane only).
+    pub time_to_failover: Histogram,
     /// End-to-end latency (injection → wire/host egress), by priority.
     pub latency: [Histogram; 3],
 }
@@ -109,6 +135,13 @@ impl NicStats {
             consumed: 0,
             control_completed: 0,
             unrouted: 0,
+            injected_internal: 0,
+            reissued: 0,
+            failed: 0,
+            duplicates: 0,
+            host_fallback: 0,
+            recovery: Histogram::new(),
+            time_to_failover: Histogram::new(),
             latency: [Histogram::new(), Histogram::new(), Histogram::new()],
         }
     }
@@ -139,6 +172,7 @@ pub struct NicBuilder {
     slots: Vec<(EngineId, Option<Coord>, SlotSpec)>,
     next_id: u16,
     program: Option<RmtProgram>,
+    watchdog: Option<WatchdogConfig>,
 }
 
 enum SlotSpec {
@@ -165,6 +199,7 @@ impl NicBuilder {
             slots: Vec::new(),
             next_id: 0,
             program: None,
+            watchdog: None,
         }
     }
 
@@ -214,6 +249,14 @@ impl NicBuilder {
         self.program = Some(program);
     }
 
+    /// Arms the watchdog: every frame entering the NIC gets an
+    /// in-flight deadline, engines are health-checked, and timed-out
+    /// descriptors are re-issued per `config`. The configuration is
+    /// linted by the PV4xx checks at [`NicBuilder::build`] time.
+    pub fn watchdog(&mut self, config: WatchdogConfig) {
+        self.watchdog = Some(config);
+    }
+
     /// Extracts the plain-data description of everything configured so
     /// far, for the static verifier (`panic-verify`) or external tools.
     ///
@@ -234,6 +277,7 @@ impl NicBuilder {
         spec.router = self.config.router;
         spec.pipeline = self.config.pipeline;
         spec.program = self.program.clone();
+        spec.watchdog = self.watchdog;
 
         let mut ports = 0u32;
         let mut line_rate = None;
@@ -387,6 +431,12 @@ impl NicBuilder {
             stats: NicStats::new(),
             tracer: Tracer::disabled(),
             track: TrackId(0),
+            faults: self.watchdog.map(|cfg| {
+                Box::new(FaultRuntime::new(
+                    FaultPlan::default(),
+                    Some(Watchdog::new(cfg)),
+                ))
+            }),
         }
     }
 }
@@ -405,6 +455,10 @@ pub struct PanicNic {
     stats: NicStats,
     tracer: Tracer,
     track: TrackId,
+    /// Fault-plane runtime. `None` (the default) keeps the NIC on the
+    /// fault-free fast path: one `is_some` check per tick, no extra
+    /// metrics or trace tracks, byte-identical output.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl fmt::Debug for PanicNic {
@@ -449,6 +503,97 @@ impl PanicNic {
         &self.pipeline
     }
 
+    /// Arms the fault plane with an injection `plan`. Events fire at
+    /// the top of the [`PanicNic::tick`] whose cycle they name, in
+    /// plan order — same plan, same seed, same trace, every run.
+    /// Merges with any previously enabled plan/watchdog.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        match &mut self.faults {
+            Some(fr) => {
+                // Keep only the unfired tail of the old plan; events
+                // whose cycle already passed fire on the next tick.
+                let merged: Vec<faults::FaultEvent> = fr.plan.events()[fr.cursor..]
+                    .iter()
+                    .chain(plan.events())
+                    .copied()
+                    .collect();
+                fr.plan = FaultPlan::new(merged);
+                fr.cursor = 0;
+            }
+            None => self.faults = Some(Box::new(FaultRuntime::new(plan, None))),
+        }
+    }
+
+    /// Arms (or replaces) the watchdog at runtime. Prefer
+    /// [`NicBuilder::watchdog`], which also runs the PV4xx lints.
+    pub fn set_watchdog(&mut self, config: WatchdogConfig) {
+        let wd = Some(Watchdog::new(config));
+        match &mut self.faults {
+            Some(fr) => fr.watchdog = wd,
+            None => {
+                self.faults = Some(Box::new(FaultRuntime::new(FaultPlan::default(), wd)));
+            }
+        }
+    }
+
+    /// The watchdog's descriptor ledger, when one is armed.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.faults.as_ref().and_then(|fr| fr.watchdog.as_ref())
+    }
+
+    /// Engines the watchdog has marked DOWN, in marking order.
+    #[must_use]
+    pub fn downed_engines(&self) -> &[EngineId] {
+        self.faults.as_ref().map_or(&[], |fr| &fr.downed)
+    }
+
+    /// True when the fault plane has nothing left to do: every planned
+    /// event fired and no tracked descriptor is still awaiting a
+    /// deadline. Combined with [`PanicNic::is_quiescent`] this is the
+    /// drain condition under faults. Trivially true on a fault-free
+    /// NIC.
+    #[must_use]
+    pub fn faults_settled(&self) -> bool {
+        match &self.faults {
+            None => true,
+            Some(fr) => {
+                fr.plan_exhausted() && fr.watchdog.as_ref().is_none_or(|w| w.pending() == 0)
+            }
+        }
+    }
+
+    /// Snapshot of the copy-level conservation identity (see
+    /// [`Conservation`]). Meaningful once
+    /// `is_quiescent() && faults_settled()`; mid-run the in-flight
+    /// copies sit in neither column.
+    #[must_use]
+    pub fn conservation(&self) -> Conservation {
+        let mut sched_drops = 0;
+        let mut flushed = 0;
+        for slot in self.tiles.values() {
+            if let TileSlot::Engine(t) = slot {
+                sched_drops += t.drops();
+                flushed += t.stats().flushed;
+            }
+        }
+        Conservation {
+            rx_frames: self.stats.rx_frames,
+            injected_internal: self.stats.injected_internal,
+            reissued: self.stats.reissued,
+            tx_wire: self.stats.tx_wire,
+            host_deliveries: self.stats.host_deliveries,
+            host_fallback: self.stats.host_fallback,
+            consumed: self.stats.consumed,
+            control_completed: self.stats.control_completed,
+            unrouted: self.stats.unrouted,
+            sched_drops,
+            lost_noc: self.network.lost_messages(),
+            flushed,
+            duplicates: self.stats.duplicates,
+        }
+    }
+
     /// Attaches `tracer` to every instrumented component at once: the
     /// mesh (per-router tracks), each engine tile (service spans and
     /// `sched.*` events), the heavyweight pipeline (per-stage
@@ -478,6 +623,22 @@ impl PanicNic {
         m.counter_set("nic.consumed", self.stats.consumed);
         m.counter_set("nic.control_completed", self.stats.control_completed);
         m.counter_set("nic.unrouted", self.stats.unrouted);
+        // Fault-plane counters exist only when the fault plane is
+        // engaged, keeping fault-free metrics output byte-identical.
+        if self.faults.is_some() {
+            m.counter_set("nic.injected_internal", self.stats.injected_internal);
+            m.counter_set("nic.reissued", self.stats.reissued);
+            m.counter_set("nic.failed", self.stats.failed);
+            m.counter_set("nic.duplicates", self.stats.duplicates);
+            m.counter_set("nic.host_fallback", self.stats.host_fallback);
+            m.counter_set("nic.downed_engines", self.downed_engines().len() as u64);
+            if self.stats.recovery.count() > 0 {
+                m.merge_histogram("nic.recovery", &self.stats.recovery);
+            }
+            if self.stats.time_to_failover.count() > 0 {
+                m.merge_histogram("nic.time_to_failover", &self.stats.time_to_failover);
+            }
+        }
         for (name, p) in [
             ("latency", Priority::Latency),
             ("normal", Priority::Normal),
@@ -548,6 +709,7 @@ impl PanicNic {
         self.stats.rx_frames += 1;
         self.tracer
             .instant_arg(self.track, "nic.rx_frame", now, "msg", id.0);
+        self.watchdog_track(&msg, port, now);
         let portal = self.next_portal();
         self.network.send(port, portal, msg, now);
         id
@@ -571,9 +733,21 @@ impl PanicNic {
             .source(source)
             .injected_at(now)
             .build();
+        self.stats.injected_internal += 1;
+        self.watchdog_track(&msg, source, now);
         let portal = self.next_portal();
         self.network.send(source, portal, msg, now);
         id
+    }
+
+    /// Registers a freshly injected message with the watchdog ledger,
+    /// when one is armed.
+    fn watchdog_track(&mut self, msg: &Message, source: EngineId, now: Cycle) {
+        if let Some(fr) = &mut self.faults {
+            if let Some(wd) = &mut fr.watchdog {
+                wd.track(msg, source, now);
+            }
+        }
     }
 
     /// Drains frames transmitted on the wire since the last call.
@@ -590,26 +764,103 @@ impl PanicNic {
     /// its next chain hop, from mesh position `from`.
     fn route_onward(&mut self, from: EngineId, msg: Message, now: Cycle) {
         match msg.next_engine() {
-            Some(next) => self.network.send(from, next, msg, now),
+            Some(next) => self.send_resolved(from, next, msg, now),
             None => self.stats.unrouted += 1,
+        }
+    }
+
+    /// Sends `msg` toward `dest`, applying the failover policy when
+    /// `dest` is DOWN: rewrite the remaining chain hops onto the
+    /// replica and send there, or — with no replica — deliver the
+    /// message to the host (degraded but not lost).
+    fn send_resolved(&mut self, from: EngineId, dest: EngineId, mut msg: Message, now: Cycle) {
+        let redirect = match &self.faults {
+            Some(fr) if fr.failover.contains_key(&dest) => fr.failover[&dest],
+            _ => {
+                self.network.send(from, dest, msg, now);
+                return;
+            }
+        };
+        match redirect {
+            Some(replica) => {
+                msg.chain.rewrite_pending(dest, replica);
+                if self.tracer.enabled() {
+                    self.tracer
+                        .instant_arg(self.track, "failover.redirect", now, "msg", msg.id.0);
+                }
+                self.network.send(from, replica, msg, now);
+            }
+            None => {
+                // Host fallback: the offload service is gone; hand the
+                // packet to software instead of blackholing it. A late
+                // duplicate is charged to `duplicates` instead.
+                let duplicate = self.complete_descriptor(msg.id, now);
+                if self.tracer.enabled() {
+                    self.tracer
+                        .instant_arg(self.track, "failover.host", now, "msg", msg.id.0);
+                }
+                if !duplicate {
+                    self.stats.host_fallback += 1;
+                    self.stats.record_latency(&msg, now);
+                    self.host_rx.push(msg);
+                }
+            }
+        }
+    }
+
+    /// Marks descriptor `id` complete in the watchdog ledger. Returns
+    /// true when this copy is a *late duplicate* of a descriptor that
+    /// already completed (the caller must suppress the copy — it was
+    /// charged to `duplicates`).
+    fn complete_descriptor(&mut self, id: MessageId, now: Cycle) -> bool {
+        let Some(fr) = &mut self.faults else {
+            return false;
+        };
+        let Some(wd) = &mut fr.watchdog else {
+            return false;
+        };
+        match wd.on_complete(id, now) {
+            CompleteOutcome::First { recovery } => {
+                if let Some(r) = recovery {
+                    self.stats.recovery.record(r.count());
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .instant_arg(self.track, "watchdog.recovered", now, "msg", id.0);
+                    }
+                }
+                false
+            }
+            CompleteOutcome::Duplicate => {
+                self.stats.duplicates += 1;
+                if self.tracer.enabled() {
+                    self.tracer
+                        .instant_arg(self.track, "watchdog.duplicate", now, "msg", id.0);
+                }
+                true
+            }
+            CompleteOutcome::Untracked => false,
         }
     }
 
     /// Handles a tile emission.
     fn handle_emit(&mut self, from: EngineId, emit: Emit, now: Cycle) {
         match emit {
-            Emit::To(dest, msg) => self.network.send(from, dest, msg, now),
+            Emit::To(dest, msg) => self.send_resolved(from, dest, msg, now),
             Emit::ToPipeline(msg) => {
                 if msg.kind == MessageKind::EthernetFrame {
                     let portal = self.next_portal();
                     self.network.send(from, portal, msg, now);
-                } else {
+                } else if !self.complete_descriptor(msg.id, now) {
                     // A control message whose chain is complete has
-                    // simply finished its job.
+                    // simply finished its job. (A late duplicate is
+                    // charged to `duplicates` instead.)
                     self.stats.control_completed += 1;
                 }
             }
             Emit::Egress(engines::engine::EgressKind::Wire, msg) => {
+                if self.complete_descriptor(msg.id, now) {
+                    return; // late copy of an already-delivered frame
+                }
                 self.stats.tx_wire += 1;
                 self.stats.record_latency(&msg, now);
                 self.tracer
@@ -617,6 +868,9 @@ impl PanicNic {
                 self.wire_tx.push(msg);
             }
             Emit::Egress(engines::engine::EgressKind::Host, msg) => {
+                if self.complete_descriptor(msg.id, now) {
+                    return; // late copy of an already-delivered frame
+                }
                 self.stats.host_deliveries += 1;
                 self.stats.record_latency(&msg, now);
                 self.tracer
@@ -629,6 +883,13 @@ impl PanicNic {
 
     /// Advances the NIC one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // 0. Fault plane: fire due injection events, run the watchdog
+        //    (engine health + descriptor deadlines). Fault-free NICs
+        //    pay exactly this one branch.
+        if self.faults.is_some() {
+            self.drive_fault_plane(now);
+        }
+
         // 1. Ejections: tiles pull from the mesh, portals feed the
         //    pipeline.
         let ids: Vec<EngineId> = self.tiles.keys().copied().collect();
@@ -700,6 +961,236 @@ impl PanicNic {
 
         // 4. Mesh.
         self.network.tick(now);
+    }
+
+    // ---- fault-plane driver ----------------------------------------
+
+    /// One fault-plane step: fire due plan events, then (on watchdog
+    /// check cycles) scan engine health and expire descriptor
+    /// deadlines. Runs before anything else in the tick so a fault
+    /// scheduled "at cycle N" is visible to every component during
+    /// cycle N.
+    fn drive_fault_plane(&mut self, now: Cycle) {
+        let Some(mut fr) = self.faults.take() else {
+            return;
+        };
+
+        // 1. Injection plan.
+        while fr.cursor < fr.plan.len() && fr.plan.events()[fr.cursor].at <= now {
+            let ev = fr.plan.events()[fr.cursor];
+            fr.cursor += 1;
+            self.apply_fault(&mut fr, ev.kind, now);
+        }
+
+        // 2. Watchdog (every `check_interval` cycles).
+        if let Some(wd) = &fr.watchdog {
+            let interval = wd.config().check_interval.count().max(1);
+            if now.0.is_multiple_of(interval) {
+                self.watchdog_check(&mut fr, now);
+            }
+        }
+
+        self.faults = Some(fr);
+    }
+
+    /// Applies one planned fault event to the component it targets.
+    fn apply_fault(&mut self, fr: &mut FaultRuntime, kind: FaultKind, now: Cycle) {
+        let port_of = |p: u8| noc::router::PortDir::ALL[usize::from(p) % 5];
+        let name = match kind {
+            FaultKind::EngineCrash { .. } => "fault.crash",
+            FaultKind::EngineStall { .. } => "fault.stall",
+            FaultKind::EngineDegrade { .. } => "fault.degrade",
+            FaultKind::SchedRefuse { .. } => "fault.refuse",
+            FaultKind::LinkSlow { .. } => "fault.slow",
+            FaultKind::CreditHold { .. } => "fault.hold",
+            FaultKind::FlitDrop { .. } => "fault.drop",
+        };
+        match kind {
+            FaultKind::EngineCrash { engine } => {
+                if let Some(t) = self.tile_mut(engine) {
+                    t.fault_crash();
+                }
+            }
+            FaultKind::EngineStall { engine, duration } => {
+                if let Some(t) = self.tile_mut(engine) {
+                    t.fault_stall(now + duration);
+                }
+            }
+            FaultKind::EngineDegrade { engine, factor } => {
+                if let Some(t) = self.tile_mut(engine) {
+                    t.fault_degrade(factor);
+                }
+            }
+            FaultKind::SchedRefuse { engine, duration } => {
+                if let Some(t) = self.tile_mut(engine) {
+                    t.fault_refuse_until(now + duration);
+                }
+            }
+            FaultKind::LinkSlow {
+                engine,
+                port,
+                duration,
+                period,
+            } => {
+                if self.tiles.contains_key(&engine) {
+                    self.network
+                        .fault_link_slow(engine, port_of(port), now + duration, period);
+                }
+            }
+            FaultKind::CreditHold {
+                engine,
+                port,
+                credits,
+                duration,
+            } => {
+                if self.tiles.contains_key(&engine) {
+                    let _taken = self.network.fault_hold_credits(
+                        engine,
+                        port_of(port),
+                        credits as usize,
+                        now + duration,
+                    );
+                }
+            }
+            FaultKind::FlitDrop { engine } => {
+                if self.tiles.contains_key(&engine) {
+                    self.network.fault_drop_next_ejection(engine);
+                }
+            }
+        }
+        if self.tracer.enabled() {
+            let track = *fr.track.get_or_insert_with(|| self.tracer.track("faults"));
+            self.tracer
+                .instant_arg(track, name, now, "engine", u64::from(kind.engine().0));
+        }
+    }
+
+    /// Engine-health scan plus descriptor-deadline expiry.
+    fn watchdog_check(&mut self, fr: &mut FaultRuntime, now: Cycle) {
+        let Some(wd) = &mut fr.watchdog else {
+            return;
+        };
+        let timeout = wd.config().engine_timeout;
+        let down_after = wd.config().down_after.max(1);
+        let failover_enabled = wd.config().failover;
+
+        // 1. Health: consecutive wedged observations accumulate
+        //    strikes; any progress clears them. `down_after` strikes
+        //    isolate the engine.
+        let mut to_down: Vec<EngineId> = Vec::new();
+        for (&id, slot) in &self.tiles {
+            let TileSlot::Engine(t) = slot else { continue };
+            if t.is_down() {
+                continue;
+            }
+            if t.wedged(now, timeout) {
+                let entry = fr.strikes.entry(id).or_insert((0, now));
+                entry.0 += 1;
+                if entry.0 >= down_after {
+                    to_down.push(id);
+                }
+            } else {
+                fr.strikes.remove(&id);
+            }
+        }
+        for id in to_down {
+            let (_, first_wedge) = fr.strikes.remove(&id).unwrap_or((0, now));
+            self.stats
+                .time_to_failover
+                .record(now.saturating_since(first_wedge).count());
+            let replica = if failover_enabled {
+                self.find_replica(id)
+            } else {
+                None
+            };
+            let flushed = self
+                .tile_mut(id)
+                .map_or(0, engines::tile::EngineTile::watchdog_down);
+            fr.downed.push(id);
+            fr.failover.insert(id, replica);
+            if self.tracer.enabled() {
+                let track = *fr.track.get_or_insert_with(|| self.tracer.track("faults"));
+                self.tracer
+                    .instant_arg(track, "watchdog.down", now, "engine", u64::from(id.0));
+                self.tracer
+                    .instant_arg(track, "watchdog.flush", now, "count", flushed);
+                match replica {
+                    Some(r) => self.tracer.instant_arg(
+                        track,
+                        "failover.replica",
+                        now,
+                        "engine",
+                        u64::from(r.0),
+                    ),
+                    None => self.tracer.instant_arg(
+                        track,
+                        "failover.host",
+                        now,
+                        "engine",
+                        u64::from(id.0),
+                    ),
+                }
+            }
+        }
+
+        // 2. Descriptor deadlines: re-issue with backoff, or give up.
+        let Some(wd) = &mut fr.watchdog else {
+            return;
+        };
+        for expiry in wd.expired(now) {
+            match expiry.action {
+                ExpiryAction::Reissue {
+                    msg,
+                    source,
+                    attempt,
+                } => {
+                    self.stats.reissued += 1;
+                    if self.tracer.enabled() {
+                        let track = *fr.track.get_or_insert_with(|| self.tracer.track("faults"));
+                        self.tracer.instant_arg(
+                            track,
+                            "watchdog.reissue",
+                            now,
+                            "attempt",
+                            u64::from(attempt),
+                        );
+                    }
+                    let portal = self.next_portal();
+                    self.network.send(source, portal, *msg, now);
+                }
+                ExpiryAction::Fail => {
+                    self.stats.failed += 1;
+                    if self.tracer.enabled() {
+                        let track = *fr.track.get_or_insert_with(|| self.tracer.track("faults"));
+                        self.tracer
+                            .instant_arg(track, "watchdog.fail", now, "msg", expiry.id.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Failover policy: a replica for `down` is the lowest-id healthy
+    /// engine of the *same offload type* — same
+    /// [`packet::chain::EngineClass`] and the same name stem (name
+    /// minus a trailing replica index: `crc0`/`crc1` are replicas of
+    /// each other, `crc`/`aes` are not).
+    fn find_replica(&self, down: EngineId) -> Option<EngineId> {
+        let tile = self.tile(down)?;
+        let stem = faults::name_stem(tile.offload_name()).to_string();
+        let class = tile.offload().class();
+        self.tiles.iter().find_map(|(&id, slot)| match slot {
+            TileSlot::Engine(t)
+                if id != down
+                    && !t.is_down()
+                    && !t.is_crashed()
+                    && t.offload().class() == class
+                    && faults::name_stem(t.offload_name()) == stem =>
+            {
+                Some(id)
+            }
+            _ => None,
+        })
     }
 
     /// Runs `cycles` cycles from `start`, returning the next cycle.
@@ -1032,6 +1523,273 @@ mod tests {
         let report = b.validate();
         assert!(report.error_count() > 0, "PV001 expected");
         let _nic = b.build_unvalidated();
+    }
+
+    /// A NIC with two replica offloads (`off0`, `off1` — same stem,
+    /// same class) and the program chaining through `off0`, plus an
+    /// armed watchdog. The fault-plane acceptance scenario.
+    fn replicated_nic(watchdog: WatchdogConfig) -> (PanicNic, EngineId, EngineId, EngineId) {
+        let mut b = PanicNic::builder(NicConfig {
+            topology: Topology::mesh(3, 3),
+            width_bits: 64,
+            router: RouterConfig::default(),
+            pipeline: PipelineConfig {
+                parallel: 1,
+                depth: 3,
+                freq: sim_core::time::Freq::mhz(500),
+            },
+            pcie_flush_interval: 0,
+        });
+        let eth = b.engine(
+            Box::new(engines::mac::MacEngine::new(
+                "eth0",
+                sim_core::time::Bandwidth::gbps(100),
+                sim_core::time::Freq::mhz(500),
+            )),
+            TileConfig::default(),
+        );
+        let off0 = b.engine(
+            Box::new(NullOffload::new("off0", EngineClass::Asic, Cycles(2))),
+            TileConfig::default(),
+        );
+        let off1 = b.engine(
+            Box::new(NullOffload::new("off1", EngineClass::Asic, Cycles(2))),
+            TileConfig::default(),
+        );
+        let _portal = b.rmt_portal();
+        let table = Table::new(
+            "route",
+            MatchKind::Exact(vec![packet::phv::Field::EthType]),
+            Action::named(
+                "chain",
+                vec![
+                    Primitive::PushHop {
+                        engine: off0,
+                        slack: SlackExpr::Const(100),
+                    },
+                    Primitive::PushHop {
+                        engine: eth,
+                        slack: SlackExpr::Const(200),
+                    },
+                ],
+            ),
+        );
+        b.program(
+            ProgramBuilder::new("replicated", ParseGraph::standard(6379))
+                .stage(table)
+                .build(),
+        );
+        b.watchdog(watchdog);
+        (b.build(), eth, off0, off1)
+    }
+
+    fn chaos_watchdog() -> WatchdogConfig {
+        WatchdogConfig {
+            deadline: sim_core::time::Cycles(256),
+            max_retries: 4,
+            backoff: 2,
+            engine_timeout: sim_core::time::Cycles(64),
+            down_after: 2,
+            check_interval: sim_core::time::Cycles(16),
+            failover: true,
+        }
+    }
+
+    /// Drives `nic` while feeding `n` frames one per `gap` cycles,
+    /// returning the cycle after everything drained.
+    fn feed_and_drain(nic: &mut PanicNic, eth: EngineId, n: u64, gap: u64) -> Cycle {
+        let mut f = FrameFactory::for_nic_port(0);
+        let mut now = Cycle(0);
+        let mut sent = 0u64;
+        for _ in 0..100_000u64 {
+            if sent < n && now.0.is_multiple_of(gap) {
+                nic.rx_frame(
+                    eth,
+                    f.min_frame(sent as u16, 80),
+                    TenantId(1),
+                    Priority::Normal,
+                    now,
+                );
+                sent += 1;
+            }
+            nic.tick(now);
+            now = now.next();
+            if sent == n && nic.is_quiescent() && nic.faults_settled() {
+                return now;
+            }
+        }
+        panic!(
+            "NIC failed to drain under faults: {:?}\n{}",
+            nic.stats(),
+            nic.conservation()
+        );
+    }
+
+    #[test]
+    fn crash_watchdog_failover_to_replica_conserves() {
+        let (mut nic, eth, off0, off1) = replicated_nic(chaos_watchdog());
+        nic.enable_faults(faults::FaultPlan::parse("crash:1@100").unwrap());
+        assert_eq!(off0, EngineId(1), "plan targets off0");
+        feed_and_drain(&mut nic, eth, 40, 25);
+
+        // The watchdog detected the crash and isolated off0.
+        assert_eq!(nic.downed_engines(), &[off0]);
+        assert_eq!(nic.stats().time_to_failover.count(), 1);
+        // Lost descriptors were re-issued and completed via the
+        // replica: both offloads did real work.
+        assert!(nic.stats().reissued > 0, "{:?}", nic.stats());
+        assert!(nic.tile(off1).unwrap().stats().processed > 0);
+        assert!(nic.tile(off0).unwrap().stats().processed > 0);
+        assert_eq!(nic.stats().failed, 0, "replica recovered everything");
+        assert!(
+            nic.stats().recovery.count() > 0,
+            "recovery latency measured"
+        );
+        // Copy-level conservation closes despite the crash.
+        let c = nic.conservation();
+        assert!(c.holds(), "{c}");
+        assert!(c.flushed > 0, "DOWN-flush destroyed stranded copies:\n{c}");
+        // Every descriptor reached the wire exactly once.
+        assert_eq!(nic.stats().tx_wire + nic.stats().host_fallback, 40);
+
+        // Fault-plane metrics are present (and only because the fault
+        // plane is engaged).
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m);
+        assert_eq!(m.counter("nic.reissued"), Some(nic.stats().reissued));
+        assert_eq!(m.counter("nic.downed_engines"), Some(1));
+        assert!(m.histogram("nic.time_to_failover").is_some());
+    }
+
+    #[test]
+    fn crash_without_replica_degrades_to_host_fallback() {
+        // Same scenario but the replica is a *different* offload type:
+        // failover cannot re-route, so traffic falls back to the host.
+        let (mut nic, eth, off0, off1) = {
+            let mut b = PanicNic::builder(NicConfig {
+                topology: Topology::mesh(3, 3),
+                width_bits: 64,
+                router: RouterConfig::default(),
+                pipeline: PipelineConfig {
+                    parallel: 1,
+                    depth: 3,
+                    freq: sim_core::time::Freq::mhz(500),
+                },
+                pcie_flush_interval: 0,
+            });
+            let eth = b.engine(
+                Box::new(engines::mac::MacEngine::new(
+                    "eth0",
+                    sim_core::time::Bandwidth::gbps(100),
+                    sim_core::time::Freq::mhz(500),
+                )),
+                TileConfig::default(),
+            );
+            let off0 = b.engine(
+                Box::new(NullOffload::new("crc", EngineClass::Asic, Cycles(2))),
+                TileConfig::default(),
+            );
+            let off1 = b.engine(
+                Box::new(NullOffload::new("aes", EngineClass::Asic, Cycles(2))),
+                TileConfig::default(),
+            );
+            let _ = b.rmt_portal();
+            b.program(
+                ProgramBuilder::new("single", ParseGraph::standard(6379))
+                    .stage(Table::new(
+                        "route",
+                        MatchKind::Exact(vec![packet::phv::Field::EthType]),
+                        Action::named(
+                            "chain",
+                            vec![
+                                Primitive::PushHop {
+                                    engine: off0,
+                                    slack: SlackExpr::Const(100),
+                                },
+                                Primitive::PushHop {
+                                    engine: eth,
+                                    slack: SlackExpr::Const(200),
+                                },
+                            ],
+                        ),
+                    ))
+                    .build(),
+            );
+            b.watchdog(chaos_watchdog());
+            // PV401 warns (no replica) but warnings don't block build.
+            (b.build(), eth, off0, off1)
+        };
+        nic.enable_faults(faults::FaultPlan::parse("crash:1@100").unwrap());
+        feed_and_drain(&mut nic, eth, 30, 25);
+
+        assert_eq!(nic.downed_engines(), &[off0]);
+        assert!(nic.stats().host_fallback > 0, "{:?}", nic.stats());
+        assert_eq!(
+            nic.tile(off1).unwrap().stats().processed,
+            0,
+            "different offload type must not be used as a replica"
+        );
+        let c = nic.conservation();
+        assert!(c.holds(), "{c}");
+        assert_eq!(nic.stats().tx_wire + nic.stats().host_fallback, 30);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let run = || {
+            let (mut nic, eth, _, _) = replicated_nic(chaos_watchdog());
+            let plan = faults::FaultPlan::generate(
+                0xC0FFEE,
+                &faults::FaultUniverse::new(vec![EngineId(1), EngineId(2)], Cycle(600)),
+                6,
+            );
+            nic.enable_faults(plan);
+            let mut f = FrameFactory::for_nic_port(0);
+            let mut now = Cycle(0);
+            let mut log = Vec::new();
+            for i in 0..40u64 {
+                nic.rx_frame(
+                    eth,
+                    f.min_frame(i as u16, 80),
+                    TenantId(1),
+                    Priority::Normal,
+                    now,
+                );
+                for _ in 0..25 {
+                    nic.tick(now);
+                    now = now.next();
+                }
+            }
+            for _ in 0..30_000u64 {
+                nic.tick(now);
+                now = now.next();
+                for m in nic.take_wire_tx() {
+                    log.push((now.0, m.id.0));
+                }
+                if nic.is_quiescent() && nic.faults_settled() {
+                    break;
+                }
+            }
+            let c = nic.conservation();
+            assert!(c.holds(), "{c}");
+            (log, format!("{c}"))
+        };
+        assert_eq!(run(), run(), "same fault seed, same run");
+    }
+
+    #[test]
+    fn stall_fault_recovers_without_failover() {
+        // A transient stall shorter than the engine-health timeout:
+        // the watchdog may re-issue, but the engine must NOT be
+        // isolated (64-cycle timeout, 48-cycle stall).
+        let (mut nic, eth, off0, _) = replicated_nic(chaos_watchdog());
+        nic.enable_faults(faults::FaultPlan::parse("stall:1@100+48").unwrap());
+        feed_and_drain(&mut nic, eth, 30, 25);
+        assert!(nic.downed_engines().is_empty(), "transient stall, no DOWN");
+        assert!(!nic.tile(off0).unwrap().is_down());
+        let c = nic.conservation();
+        assert!(c.holds(), "{c}");
+        assert_eq!(nic.stats().tx_wire, 30, "everything still delivered");
     }
 
     #[test]

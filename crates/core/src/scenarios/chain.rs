@@ -455,7 +455,7 @@ impl ChainScenario {
             .iter()
             .chain(self.ports.iter())
             .filter_map(|&id| self.nic.tile(id))
-            .map(|t| t.stats().dropped)
+            .map(engines::tile::EngineTile::drops)
             .sum();
         let delivered = stats.tx_wire;
         ChainReport {

@@ -76,14 +76,23 @@ pub enum Emit {
 }
 
 /// Tile counters.
+///
+/// Drop/refusal accounting lives in the scheduling queue's
+/// [`sched::queue::SchedStats`] — the queue is the only component of a
+/// tile that can drop or refuse, so the tile re-exposes those counters
+/// via [`EngineTile::drops`] / [`EngineTile::refusals`] instead of
+/// keeping a shadow copy that could drift. (An earlier revision
+/// double-booked `dropped` here; the two counters were provably always
+/// equal, so the shadow was removed.)
 #[derive(Debug)]
 pub struct TileStats {
     /// Messages that completed service here.
     pub processed: u64,
-    /// Messages dropped by the scheduling queue.
-    pub dropped: u64,
     /// Busy cycles (a message was in service).
     pub busy_cycles: u64,
+    /// Messages destroyed by a watchdog DOWN-flush or absorbed by a
+    /// DOWN tile (fault plane only; always 0 in fault-free runs).
+    pub flushed: u64,
     /// Observed service times.
     pub service: Histogram,
 }
@@ -92,8 +101,8 @@ impl TileStats {
     fn new() -> TileStats {
         TileStats {
             processed: 0,
-            dropped: 0,
             busy_cycles: 0,
+            flushed: 0,
             service: Histogram::new(),
         }
     }
@@ -113,6 +122,26 @@ pub struct EngineTile {
     tracer: Tracer,
     /// This tile's track (`engine.<id>.<offload>`).
     track: TrackId,
+    /// Fault injection: the tile is frozen while `now < stall_until`.
+    /// `Cycle::ZERO` means "never" — the fault-free path pays one
+    /// always-false comparison.
+    stall_until: Cycle,
+    /// Fault injection: service-time multiplier applied at service
+    /// start. 1 = nominal.
+    degrade_mult: u32,
+    /// Fault injection: permanently frozen (only watchdog recovery
+    /// applies).
+    crashed: bool,
+    /// Marked DOWN by the watchdog: queue flushed, future accepts
+    /// absorbed, tick inert.
+    down: bool,
+    /// Last cycle this tile made progress (completed a service, or was
+    /// verifiably idle). Engine-health tracking compares this against
+    /// the watchdog's `engine_timeout`.
+    last_progress: Cycle,
+    /// True once any fault/watchdog API touched this tile; gates the
+    /// fault-only metrics so fault-free output stays byte-identical.
+    faulted: bool,
 }
 
 impl std::fmt::Debug for EngineTile {
@@ -138,6 +167,12 @@ impl EngineTile {
             stats: TileStats::new(),
             tracer: Tracer::disabled(),
             track: TrackId(0),
+            stall_until: Cycle::ZERO,
+            degrade_mult: 1,
+            crashed: false,
+            down: false,
+            last_progress: Cycle::ZERO,
+            faulted: false,
         }
     }
 
@@ -158,9 +193,15 @@ impl EngineTile {
     /// metrics under `<prefix>.sched`.
     pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
         m.counter_set(&format!("{prefix}.processed"), self.stats.processed);
-        m.counter_set(&format!("{prefix}.dropped"), self.stats.dropped);
+        // Sourced from the queue (the only dropper) — see [`TileStats`].
+        m.counter_set(&format!("{prefix}.dropped"), self.drops());
         m.counter_set(&format!("{prefix}.busy_cycles"), self.stats.busy_cycles);
         m.merge_histogram(&format!("{prefix}.service"), &self.stats.service);
+        // Fault-plane counters appear only once a fault touched this
+        // tile, keeping fault-free metrics output byte-identical.
+        if self.faulted {
+            m.counter_set(&format!("{prefix}.flushed"), self.stats.flushed);
+        }
         self.queue.export_metrics(m, &format!("{prefix}.sched"));
     }
 
@@ -205,6 +246,24 @@ impl EngineTile {
         &self.stats
     }
 
+    /// Messages dropped at this tile. Delegates to the scheduling
+    /// queue's counter — the queue is the only tile component that can
+    /// drop, and a single source of truth keeps NIC-level conservation
+    /// from double- or under-counting (the queue/tile counters were
+    /// previously tracked separately).
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.queue.stats().dropped
+    }
+
+    /// Offers refused with backpressure at this tile (same single
+    /// source of truth as [`EngineTile::drops`]). Refusals are *not*
+    /// losses: the refused message stays with the offerer.
+    #[must_use]
+    pub fn refusals(&self) -> u64 {
+        self.queue.stats().refused
+    }
+
     /// Scheduling-queue statistics.
     #[must_use]
     pub fn queue_stats(&self) -> &sched::queue::SchedStats {
@@ -235,9 +294,18 @@ impl EngineTile {
             "tile {}: accept while busy",
             self.id
         );
+        if self.down {
+            // A DOWN tile is a black hole: anything still addressed to
+            // it (in-flight before failover rewrote the chains) is
+            // absorbed and charged to the flushed bucket.
+            self.stats.flushed += 1;
+            return;
+        }
         match self.queue.offer(msg, now) {
-            Admission::Accepted => {}
-            Admission::Dropped { .. } => self.stats.dropped += 1,
+            // Queue drops/refusals are counted by the queue itself
+            // (see [`EngineTile::drops`]); the tile only parks refused
+            // messages for backpressure.
+            Admission::Accepted | Admission::Dropped { .. } => {}
             Admission::Refused(m) => self.pending = Some(m),
         }
     }
@@ -250,12 +318,18 @@ impl EngineTile {
 
     /// Advances one cycle. Returns everything the tile emits.
     pub fn tick(&mut self, now: Cycle) -> Vec<Emit> {
+        // Fault states: a DOWN tile is inert; a crashed or stalled
+        // tile is frozen (work in flight neither completes nor
+        // advances, which is exactly what the watchdog must detect).
+        if self.down || self.crashed || now < self.stall_until {
+            return Vec::new();
+        }
+
         // Retry a refused RX message first: its slot blocks the
         // network until the queue admits it.
         if let Some(msg) = self.pending.take() {
             match self.queue.offer(msg, now) {
-                Admission::Accepted => {}
-                Admission::Dropped { .. } => self.stats.dropped += 1,
+                Admission::Accepted | Admission::Dropped { .. } => {}
                 Admission::Refused(m) => self.pending = Some(m),
             }
         }
@@ -267,6 +341,7 @@ impl EngineTile {
             if now >= *done_at {
                 let (msg, started_at, _) = self.in_service.take().expect("checked");
                 self.stats.processed += 1;
+                self.last_progress = now;
                 if self.tracer.enabled() {
                     self.tracer.complete_arg(
                         self.track,
@@ -286,8 +361,13 @@ impl EngineTile {
         // Start service.
         if self.in_service.is_none() {
             if let Some(msg) = self.queue.pop(now) {
-                let st = self.offload.service_time(&msg);
+                // Degradation fault: every service started while the
+                // fault holds takes `degrade_mult`× nominal. The
+                // recorded service time is the degraded one — that is
+                // what the packet experienced.
+                let st = self.offload.service_time(&msg) * u64::from(self.degrade_mult);
                 self.stats.service.record(st.count());
+                self.last_progress = now;
                 if st == Cycles::ZERO {
                     // Line-rate engine: completes this cycle.
                     self.stats.processed += 1;
@@ -312,8 +392,91 @@ impl EngineTile {
 
         if self.in_service.is_some() {
             self.stats.busy_cycles += 1;
+        } else if self.queue.is_empty() && self.pending.is_none() {
+            // Verifiably idle: an idle tile is healthy, not wedged —
+            // keep the progress clock current so the watchdog's
+            // engine-health check only fires on tiles that hold work
+            // without advancing it.
+            self.last_progress = now;
         }
         emits
+    }
+
+    // ---- fault plane -----------------------------------------------
+
+    /// Fault injection: freeze the tile until `until` (max-extends an
+    /// existing stall). While stalled, `tick` is inert: in-flight work
+    /// neither completes nor advances.
+    pub fn fault_stall(&mut self, until: Cycle) {
+        self.faulted = true;
+        self.stall_until = self.stall_until.max(until);
+    }
+
+    /// Fault injection: permanently freeze the tile. Only watchdog
+    /// recovery ([`EngineTile::watchdog_down`]) applies afterwards.
+    pub fn fault_crash(&mut self) {
+        self.faulted = true;
+        self.crashed = true;
+    }
+
+    /// Fault injection: multiply all subsequently started service
+    /// times by `mult` (1 restores nominal speed).
+    ///
+    /// # Panics
+    /// Panics if `mult` is 0 — a zero multiplier would turn every
+    /// engine into a line-rate one, which is a speed-up, not a fault.
+    pub fn fault_degrade(&mut self, mult: u32) {
+        assert!(mult >= 1, "degrade multiplier must be >= 1");
+        self.faulted = true;
+        self.degrade_mult = mult;
+    }
+
+    /// Fault injection: the scheduling queue refuses all offers until
+    /// `until` (delegates to [`SchedQueue::fault_refuse_until`]).
+    pub fn fault_refuse_until(&mut self, until: Cycle) {
+        self.faulted = true;
+        self.queue.fault_refuse_until(until);
+    }
+
+    /// Watchdog recovery: marks the tile DOWN, flushes everything it
+    /// holds (queue, RX pending slot, in-service message) and returns
+    /// the number of messages destroyed. The flush is charged to
+    /// [`TileStats::flushed`] so NIC-level conservation still closes.
+    /// A DOWN tile absorbs (and counts) any message still routed to it.
+    pub fn watchdog_down(&mut self) -> u64 {
+        self.faulted = true;
+        self.down = true;
+        let mut flushed = self.queue.drain_for_flush().len() as u64;
+        if self.pending.take().is_some() {
+            flushed += 1;
+        }
+        if self.in_service.take().is_some() {
+            flushed += 1;
+        }
+        self.stats.flushed += flushed;
+        flushed
+    }
+
+    /// True when the watchdog marked this tile DOWN.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// True when a crash fault froze this tile.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Engine-health probe: true when the tile *holds work* but has
+    /// not made progress for longer than `timeout`. Idle tiles are
+    /// never wedged (their progress clock tracks `now`).
+    #[must_use]
+    pub fn wedged(&self, now: Cycle, timeout: Cycles) -> bool {
+        let has_work =
+            !self.queue.is_empty() || self.in_service.is_some() || self.pending.is_some();
+        has_work && now.saturating_since(self.last_progress) > timeout
     }
 
     /// The local lookup table: maps an offload output to a NIC-level
@@ -438,7 +601,7 @@ mod tests {
         }
         // One may have entered service... no tick yet, so all 5 offered
         // to a 2-deep queue: 3 drops.
-        assert_eq!(t.stats().dropped, 3);
+        assert_eq!(t.drops(), 3);
         assert_eq!(t.queue_depth(), 2);
     }
 
@@ -460,7 +623,7 @@ mod tests {
         let _ = t.tick(Cycle(0));
         let _ = t.tick(Cycle(1));
         assert!(t.rx_ready());
-        assert_eq!(t.stats().dropped, 0, "lossless under backpressure");
+        assert_eq!(t.drops(), 0, "lossless under backpressure");
     }
 
     #[test]
@@ -517,6 +680,108 @@ mod tests {
         assert_eq!(m.counter("engine.5.null.processed"), Some(1));
         assert_eq!(m.counter("engine.5.null.sched.accepted"), Some(1));
         assert_eq!(m.histogram("engine.5.null.service").unwrap().max(), 4);
+    }
+
+    #[test]
+    fn stall_freezes_then_resumes() {
+        let mut t = tile(2);
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        t.fault_stall(Cycle(10));
+        // Frozen: nothing happens while the stall holds.
+        for c in 0..10u64 {
+            assert!(t.tick(Cycle(c)).is_empty(), "frozen at cycle {c}");
+        }
+        // Resumes at cycle 10: service starts, completes at 12.
+        assert!(t.tick(Cycle(10)).is_empty());
+        assert!(t.is_busy());
+        assert!(t.tick(Cycle(11)).is_empty());
+        let emits = t.tick(Cycle(12));
+        assert_eq!(emits.len(), 1);
+        assert_eq!(t.stats().processed, 1);
+    }
+
+    #[test]
+    fn crash_freezes_forever_and_down_flushes() {
+        let mut t = tile(4);
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        let _ = t.tick(Cycle(0)); // msg 1 enters service
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(1));
+        t.fault_crash();
+        assert!(t.is_crashed());
+        for c in 1..200u64 {
+            assert!(t.tick(Cycle(c)).is_empty(), "crashed tile stays frozen");
+        }
+        // The tile holds work it cannot advance: the watchdog's health
+        // probe must see it as wedged.
+        assert!(t.wedged(Cycle(200), Cycles(64)));
+        // Watchdog recovery: DOWN-flush destroys both messages...
+        assert_eq!(t.watchdog_down(), 2);
+        assert!(t.is_down());
+        assert_eq!(t.stats().flushed, 2);
+        // ...and a DOWN tile absorbs anything still routed to it.
+        t.accept(msg_with_chain(3, &[5], Slack::BULK), Cycle(201));
+        assert_eq!(t.stats().flushed, 3);
+        assert!(t.rx_ready(), "DOWN tile never backpressures");
+        assert!(t.tick(Cycle(202)).is_empty());
+    }
+
+    #[test]
+    fn degrade_multiplies_service_time() {
+        let mut t = tile(4);
+        t.fault_degrade(3);
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        assert!(t.tick(Cycle(0)).is_empty()); // service starts, 12 cycles
+        for c in 1..12u64 {
+            assert!(t.tick(Cycle(c)).is_empty(), "degraded service at {c}");
+        }
+        assert_eq!(t.tick(Cycle(12)).len(), 1);
+        assert_eq!(t.stats().service.max(), 12);
+        // Restoring nominal speed takes effect at the next start.
+        t.fault_degrade(1);
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(13));
+        assert!(t.tick(Cycle(13)).is_empty());
+        assert_eq!(t.tick(Cycle(17)).len(), 1);
+    }
+
+    #[test]
+    fn refuse_fault_delegates_to_queue() {
+        let mut t = tile(1000);
+        t.fault_refuse_until(Cycle(50));
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        // The queue refused, so the message parked in the RX slot.
+        assert!(!t.rx_ready());
+        assert_eq!(t.refusals(), 1);
+        // After the window the pending retry drains into the queue.
+        let _ = t.tick(Cycle(50));
+        assert!(t.rx_ready());
+    }
+
+    #[test]
+    fn idle_tile_is_never_wedged() {
+        let mut t = tile(4);
+        // Long idle stretch: progress clock follows `now`.
+        for c in 0..500u64 {
+            let _ = t.tick(Cycle(c));
+        }
+        assert!(!t.wedged(Cycle(500), Cycles(64)));
+        // Work arrives and is served: still healthy.
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(500));
+        for c in 500..520u64 {
+            let _ = t.tick(Cycle(c));
+        }
+        assert!(!t.wedged(Cycle(520), Cycles(64)));
+    }
+
+    #[test]
+    fn fault_free_metrics_omit_flush_counter() {
+        let mut m = MetricsRegistry::new();
+        tile(1).export_metrics(&mut m, "engine.5.null");
+        assert_eq!(m.counter("engine.5.null.flushed"), None);
+        let mut t = tile(1);
+        let _ = t.watchdog_down();
+        let mut m2 = MetricsRegistry::new();
+        t.export_metrics(&mut m2, "engine.5.null");
+        assert_eq!(m2.counter("engine.5.null.flushed"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The PANIC fault plane: deterministic fault injection and recovery
+//! bookkeeping.
+//!
+//! PANIC's headline claims — isolation under multi-tenant load and a
+//! lossless credit-based NoC (§3.1.2) — are argued in the paper for
+//! the fault-free case only. A production NIC must keep those
+//! guarantees when an engine wedges, a link degrades, or credits leak.
+//! This crate supplies the machinery the simulator uses to re-validate
+//! every conservation and isolation claim *under injected faults*:
+//!
+//! * [`FaultPlan`] — a deterministic, seeded (or hand-written) schedule
+//!   of [`FaultKind`] events covering engines (stall / crash /
+//!   degradation), the NoC (link slowdown, flit drop with credit leak,
+//!   router buffer pressure), and the scheduler (refusal bursts).
+//! * [`Watchdog`] — a per-descriptor in-flight ledger with
+//!   exponential-backoff re-issue, the recovery half of the story.
+//! * [`WatchdogConfig`] — deadlines, retry budgets, and the engine
+//!   health / failover policy knobs, also consumed by the static
+//!   verifier's PV4xx lints.
+//!
+//! The crate is deliberately *mechanism only*: it owns no simulator
+//! state. `panic-core` threads the plan into the datapath and drives
+//! the watchdog; `panic-verify` lints the configuration; the `repro`
+//! CLI parses `--faults <seed|spec>` into a [`FaultArg`]. Everything
+//! is seeded through [`sim_core::rng::SimRng`], so the same seed
+//! always produces the same faults, the same detections, and the same
+//! recoveries — byte-identical traces included.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod plan;
+pub mod watchdog;
+
+pub use plan::{FaultArg, FaultEvent, FaultKind, FaultPlan, FaultUniverse};
+pub use watchdog::{CompleteOutcome, Expiry, ExpiryAction, Watchdog, WatchdogConfig};
+
+/// The offload-type stem of an engine name: the name with any trailing
+/// ASCII digits stripped. Replica engines of the same offload type are
+/// conventionally named `crc0`, `crc1`, ... — the failover policy (and
+/// the PV401 lint) treat engines with equal stems *and* equal
+/// [`packet::EngineClass`] as interchangeable replicas.
+///
+/// ```
+/// assert_eq!(faults::name_stem("crc0"), "crc");
+/// assert_eq!(faults::name_stem("off12"), "off");
+/// assert_eq!(faults::name_stem("dma"), "dma");
+/// assert_eq!(faults::name_stem("aes128"), "aes");
+/// ```
+#[must_use]
+pub fn name_stem(name: &str) -> &str {
+    name.trim_end_matches(|c: char| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stem_strips_trailing_digits_only() {
+        assert_eq!(name_stem("off0"), "off");
+        assert_eq!(name_stem("eth1"), "eth");
+        assert_eq!(name_stem("kvs"), "kvs");
+        assert_eq!(name_stem("v2ray9"), "v2ray");
+        assert_eq!(name_stem(""), "");
+        assert_eq!(name_stem("123"), "");
+    }
+}

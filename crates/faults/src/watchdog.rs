@@ -1,0 +1,483 @@
+//! The watchdog ledger: per-descriptor deadlines, bounded
+//! exponential-backoff re-issue, and duplicate suppression.
+//!
+//! Every frame the NIC accepts is [`Watchdog::track`]ed with a deadline.
+//! If the frame has not completed (egressed, been delivered to the
+//! host, or been consumed with an explicit completion) by its deadline,
+//! the watchdog hands back an [`Expiry`]:
+//!
+//! * while retries remain, an [`ExpiryAction::Reissue`] carrying a
+//!   clone of the original message (same [`MessageId`], same
+//!   `injected_at`, pristine chain) to re-inject from its original
+//!   source port, with the *next* deadline pushed out by the backoff
+//!   multiplier;
+//! * once the retry budget is exhausted, an [`ExpiryAction::Fail`] —
+//!   the descriptor is charged to the `failed` bucket of the
+//!   conservation identity and never retried again.
+//!
+//! Because a retry re-enters the datapath while the original copy may
+//! still be limping along, *two* copies of one descriptor can reach
+//! egress. The ledger arbitrates: the first completion wins
+//! ([`CompleteOutcome::First`], carrying the recovery time if the
+//! descriptor had ever timed out), every later copy is a
+//! [`CompleteOutcome::Duplicate`] the caller must suppress and count.
+//! A completion after [`ExpiryAction::Fail`] is likewise a duplicate:
+//! terminal states are sticky, so the descriptor-level identity
+//! `tracked == completed + failed` always closes.
+//!
+//! The ledger is pure bookkeeping — it never touches the datapath
+//! itself. `panic-core` owns re-injection, tracing, and the decision
+//! of *where* a reissued message goes (possibly a failover replica).
+
+use std::collections::{BTreeMap, HashMap};
+
+use packet::{EngineId, Message, MessageId};
+use sim_core::time::{Cycle, Cycles};
+
+/// Watchdog and failover policy knobs.
+///
+/// Consumed by the core's fault runtime and audited by the PV4xx lints
+/// in `panic-verify` (e.g. PV403: `deadline` must exceed the slowest
+/// engine's worst-case service time, or every slow-but-healthy packet
+/// would be spuriously retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Base completion deadline per descriptor: a frame must complete
+    /// within this many cycles of injection (or of its latest retry,
+    /// scaled by `backoff`).
+    pub deadline: Cycles,
+    /// Retry budget per descriptor. After this many re-issues the
+    /// descriptor is failed. `0` disables re-issue entirely (every
+    /// timeout is an immediate failure) — nonsensical with `failover`
+    /// enabled, which is what lint PV402 catches.
+    pub max_retries: u32,
+    /// Deadline multiplier per retry: retry `n` waits
+    /// `deadline × backoff^n`. Must be ≥ 1; 2 is the classic choice.
+    pub backoff: u32,
+    /// An engine that has work queued (or in service) but makes no
+    /// progress for this long is *wedged* — one strike.
+    pub engine_timeout: Cycles,
+    /// Consecutive wedged observations before an engine is marked DOWN
+    /// and its queue flushed.
+    pub down_after: u32,
+    /// How often (in cycles) engine health is sampled. Sampling is
+    /// cheap but not free; 64 is a good default.
+    pub check_interval: Cycles,
+    /// When true, chain hops naming a DOWN engine are rewritten to a
+    /// live replica of the same offload type (same name stem + engine
+    /// class); with no replica available the packet degrades to the
+    /// host-fallback path. When false, such packets are failed.
+    pub failover: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            deadline: Cycles(4096),
+            max_retries: 3,
+            backoff: 2,
+            engine_timeout: Cycles(512),
+            down_after: 3,
+            check_interval: Cycles(64),
+            failover: true,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The deadline for a descriptor that has already been retried
+    /// `retries` times: `deadline × backoff^retries`, saturating.
+    #[must_use]
+    pub fn deadline_after(&self, retries: u32) -> Cycles {
+        let mult = u64::from(self.backoff).saturating_pow(retries);
+        Cycles(self.deadline.0.saturating_mul(mult))
+    }
+}
+
+/// Why a tracked descriptor's deadline fired.
+#[derive(Debug, Clone)]
+pub struct Expiry {
+    /// The descriptor whose deadline fired.
+    pub id: MessageId,
+    /// What the datapath must do about it.
+    pub action: ExpiryAction,
+}
+
+/// The watchdog's verdict on an expired descriptor.
+#[derive(Debug, Clone)]
+pub enum ExpiryAction {
+    /// Re-inject this copy of the message from `source`. `attempt` is
+    /// 1 for the first retry.
+    Reissue {
+        /// Pristine clone of the original message (same id, same
+        /// `injected_at`, chain reset to the original).
+        msg: Box<Message>,
+        /// The ingress port the original arrived on.
+        source: EngineId,
+        /// Retry ordinal, starting at 1.
+        attempt: u32,
+    },
+    /// Retry budget exhausted: charge the descriptor to `failed`.
+    Fail,
+}
+
+/// Outcome of reporting a completion to the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// First completion for this descriptor — the real one. `recovery`
+    /// is the time from the descriptor's *first* timeout to now, if it
+    /// ever timed out (i.e. how long the watchdog took to get the work
+    /// back); `None` for descriptors that completed cleanly.
+    First {
+        /// First-timeout-to-completion time, when a retry was involved.
+        recovery: Option<Cycles>,
+    },
+    /// A later copy of an already-terminal descriptor (completed or
+    /// failed) — suppress and count as a duplicate.
+    Duplicate,
+    /// Never tracked (e.g. internally injected traffic the watchdog
+    /// does not cover).
+    Untracked,
+}
+
+/// Terminal state of a ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// In flight, deadline armed.
+    Pending,
+    /// Completed (first copy arrived).
+    Completed,
+    /// Retry budget exhausted.
+    Failed,
+}
+
+/// One tracked descriptor.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Pristine copy for re-issue.
+    template: Message,
+    /// Ingress port to re-inject from.
+    source: EngineId,
+    /// Current armed deadline.
+    deadline: Cycle,
+    /// Retries performed so far.
+    retries: u32,
+    /// Cycle of the first timeout, for recovery-time measurement.
+    first_timeout: Option<Cycle>,
+    /// Pending / Completed / Failed.
+    state: EntryState,
+}
+
+/// The per-descriptor in-flight ledger. See the module docs for the
+/// protocol; [`Watchdog::track`] / [`Watchdog::expired`] /
+/// [`Watchdog::on_complete`] are the whole API.
+#[derive(Debug)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    entries: HashMap<MessageId, Entry>,
+    /// Deadline wheel: cycle → descriptors whose deadline is that
+    /// cycle. Entries are lazily invalidated (completion does not
+    /// unlink), so `expired` re-checks the ledger before acting.
+    wheel: BTreeMap<Cycle, Vec<MessageId>>,
+    tracked: u64,
+    completed: u64,
+    failed: u64,
+    reissued: u64,
+}
+
+impl Watchdog {
+    /// An empty ledger with the given policy.
+    #[must_use]
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            config,
+            entries: HashMap::new(),
+            wheel: BTreeMap::new(),
+            tracked: 0,
+            completed: 0,
+            failed: 0,
+            reissued: 0,
+        }
+    }
+
+    /// The policy this ledger enforces.
+    #[must_use]
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Starts tracking a descriptor: clones `msg` as the re-issue
+    /// template and arms the base deadline. Tracking the same id twice
+    /// is a model bug.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `msg.id` is already tracked.
+    pub fn track(&mut self, msg: &Message, source: EngineId, now: Cycle) {
+        let deadline = now + self.config.deadline;
+        let prev = self.entries.insert(
+            msg.id,
+            Entry {
+                template: msg.clone(),
+                source,
+                deadline,
+                retries: 0,
+                first_timeout: None,
+                state: EntryState::Pending,
+            },
+        );
+        debug_assert!(prev.is_none(), "descriptor {:?} tracked twice", msg.id);
+        self.wheel.entry(deadline).or_default().push(msg.id);
+        self.tracked += 1;
+    }
+
+    /// Collects every descriptor whose deadline has passed as of `now`
+    /// and advances its state: re-issue while the budget lasts, fail
+    /// after. Call once per watchdog check; the returned actions must
+    /// be applied (re-injected / charged) by the caller.
+    pub fn expired(&mut self, now: Cycle) -> Vec<Expiry> {
+        let mut out = Vec::new();
+        // Split off the still-future part of the wheel; what remains
+        // keyed <= now is due.
+        let future = self.wheel.split_off(&now.next());
+        let due = std::mem::replace(&mut self.wheel, future);
+        for id in due.into_values().flatten() {
+            let Some(entry) = self.entries.get_mut(&id) else {
+                continue;
+            };
+            // Lazily-invalidated wheel slots: the entry may have
+            // completed, or been rearmed with a later deadline.
+            if entry.state != EntryState::Pending || entry.deadline > now {
+                continue;
+            }
+            entry.first_timeout.get_or_insert(now);
+            if entry.retries < self.config.max_retries {
+                entry.retries += 1;
+                let deadline = now + self.config.deadline_after(entry.retries);
+                entry.deadline = deadline;
+                self.wheel.entry(deadline).or_default().push(id);
+                self.reissued += 1;
+                out.push(Expiry {
+                    id,
+                    action: ExpiryAction::Reissue {
+                        msg: Box::new(entry.template.clone()),
+                        source: entry.source,
+                        attempt: entry.retries,
+                    },
+                });
+            } else {
+                entry.state = EntryState::Failed;
+                self.failed += 1;
+                out.push(Expiry {
+                    id,
+                    action: ExpiryAction::Fail,
+                });
+            }
+        }
+        out
+    }
+
+    /// Reports that a copy of descriptor `id` reached a completion
+    /// point. The first report wins; see [`CompleteOutcome`].
+    pub fn on_complete(&mut self, id: MessageId, now: Cycle) -> CompleteOutcome {
+        match self.entries.get_mut(&id) {
+            None => CompleteOutcome::Untracked,
+            Some(entry) if entry.state == EntryState::Pending => {
+                entry.state = EntryState::Completed;
+                self.completed += 1;
+                CompleteOutcome::First {
+                    recovery: entry.first_timeout.map(|t| now.saturating_since(t)),
+                }
+            }
+            Some(_) => CompleteOutcome::Duplicate,
+        }
+    }
+
+    /// Descriptors still pending (tracked, not yet terminal).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.state == EntryState::Pending)
+            .count()
+    }
+
+    /// The next armed deadline, if any descriptor is pending.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Cycle> {
+        self.entries
+            .values()
+            .filter(|e| e.state == EntryState::Pending)
+            .map(|e| e.deadline)
+            .min()
+    }
+
+    /// Total descriptors ever tracked.
+    #[must_use]
+    pub fn tracked(&self) -> u64 {
+        self.tracked
+    }
+
+    /// Descriptors that reached a first completion.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Descriptors that exhausted their retry budget.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Total re-issues performed (counts every retry, not descriptors).
+    #[must_use]
+    pub fn reissued(&self) -> u64 {
+        self.reissued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use packet::MessageKind;
+
+    fn msg(id: u64) -> Message {
+        Message::builder(MessageId(id), MessageKind::EthernetFrame)
+            .payload(Bytes::from_static(b"abc"))
+            .injected_at(Cycle(5))
+            .build()
+    }
+
+    fn small_config() -> WatchdogConfig {
+        WatchdogConfig {
+            deadline: Cycles(10),
+            max_retries: 2,
+            backoff: 2,
+            ..WatchdogConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_completion_never_expires() {
+        let mut wd = Watchdog::new(small_config());
+        wd.track(&msg(1), EngineId(0), Cycle(0));
+        assert_eq!(wd.pending(), 1);
+        assert_eq!(
+            wd.on_complete(MessageId(1), Cycle(4)),
+            CompleteOutcome::First { recovery: None }
+        );
+        assert!(wd.expired(Cycle(100)).is_empty(), "completed never expires");
+        assert_eq!(wd.pending(), 0);
+        assert_eq!((wd.tracked(), wd.completed(), wd.failed()), (1, 1, 0));
+    }
+
+    #[test]
+    fn expiry_reissues_with_backoff_then_fails() {
+        let mut wd = Watchdog::new(small_config());
+        wd.track(&msg(7), EngineId(3), Cycle(0));
+        // Not due yet.
+        assert!(wd.expired(Cycle(9)).is_empty());
+        // First deadline at 10: retry 1, next deadline 10 + 10*2 = 30.
+        let e = wd.expired(Cycle(10));
+        assert_eq!(e.len(), 1);
+        match &e[0].action {
+            ExpiryAction::Reissue {
+                msg,
+                source,
+                attempt,
+            } => {
+                assert_eq!(msg.id, MessageId(7));
+                assert_eq!(msg.injected_at, Cycle(5), "template keeps injected_at");
+                assert_eq!(*source, EngineId(3));
+                assert_eq!(*attempt, 1);
+            }
+            other => panic!("expected reissue, got {other:?}"),
+        }
+        assert!(wd.expired(Cycle(29)).is_empty(), "backoff pushed deadline");
+        // Retry 2 at 30, next deadline 30 + 10*4 = 70.
+        let e = wd.expired(Cycle(30));
+        assert!(matches!(
+            e[0].action,
+            ExpiryAction::Reissue { attempt: 2, .. }
+        ));
+        // Budget (2) exhausted: fail at 70.
+        let e = wd.expired(Cycle(70));
+        assert_eq!(e.len(), 1);
+        assert!(matches!(e[0].action, ExpiryAction::Fail));
+        assert_eq!((wd.failed(), wd.reissued(), wd.pending()), (1, 2, 0));
+        // Terminal is sticky: late arrival of a retried copy is a dup.
+        assert_eq!(
+            wd.on_complete(MessageId(7), Cycle(80)),
+            CompleteOutcome::Duplicate
+        );
+        assert_eq!(wd.completed(), 0, "failed stays failed");
+    }
+
+    #[test]
+    fn first_completion_wins_and_measures_recovery() {
+        let mut wd = Watchdog::new(small_config());
+        wd.track(&msg(2), EngineId(1), Cycle(0));
+        let e = wd.expired(Cycle(10));
+        assert_eq!(e.len(), 1, "first timeout fires");
+        // The reissued copy lands at 22: recovery = 22 - 10 = 12.
+        assert_eq!(
+            wd.on_complete(MessageId(2), Cycle(22)),
+            CompleteOutcome::First {
+                recovery: Some(Cycles(12))
+            }
+        );
+        // The slow original limps in later: duplicate.
+        assert_eq!(
+            wd.on_complete(MessageId(2), Cycle(40)),
+            CompleteOutcome::Duplicate
+        );
+        // Its stale wheel slot must not fire either.
+        assert!(wd.expired(Cycle(100)).is_empty());
+        assert_eq!((wd.completed(), wd.failed()), (1, 0));
+    }
+
+    #[test]
+    fn untracked_ids_are_reported_as_such() {
+        let mut wd = Watchdog::new(WatchdogConfig::default());
+        assert_eq!(
+            wd.on_complete(MessageId(99), Cycle(1)),
+            CompleteOutcome::Untracked
+        );
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_immediately() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            deadline: Cycles(10),
+            max_retries: 0,
+            ..WatchdogConfig::default()
+        });
+        wd.track(&msg(1), EngineId(0), Cycle(0));
+        let e = wd.expired(Cycle(10));
+        assert!(matches!(e[0].action, ExpiryAction::Fail));
+        assert_eq!(wd.reissued(), 0);
+    }
+
+    #[test]
+    fn deadline_after_saturates() {
+        let cfg = WatchdogConfig {
+            deadline: Cycles(u64::MAX / 2),
+            backoff: 2,
+            ..WatchdogConfig::default()
+        };
+        assert_eq!(cfg.deadline_after(0), Cycles(u64::MAX / 2));
+        assert_eq!(cfg.deadline_after(40), Cycles(u64::MAX));
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum_pending() {
+        let mut wd = Watchdog::new(small_config());
+        assert_eq!(wd.next_deadline(), None);
+        wd.track(&msg(1), EngineId(0), Cycle(0));
+        wd.track(&msg(2), EngineId(0), Cycle(3));
+        assert_eq!(wd.next_deadline(), Some(Cycle(10)));
+        wd.on_complete(MessageId(1), Cycle(4));
+        assert_eq!(wd.next_deadline(), Some(Cycle(13)));
+    }
+}

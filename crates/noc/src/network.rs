@@ -85,6 +85,44 @@ impl NetworkStats {
     }
 }
 
+/// An active link-slowdown fault: output `port` at `tile` passes a
+/// flit only on cycles where `cycle % period == 0`, until `until`.
+#[derive(Debug)]
+struct SlowLink {
+    tile: usize,
+    port: PortDir,
+    until: Cycle,
+    period: u64,
+}
+
+/// An active credit-hold fault: `taken` credits confiscated from
+/// (`tile`, `port`), returned at `until`.
+#[derive(Debug)]
+struct CreditHold {
+    tile: usize,
+    port: PortDir,
+    taken: usize,
+    until: Cycle,
+}
+
+/// Fault-injection state, allocated only when a fault API is first
+/// used — the fault-free path pays one `Option` check per tick.
+#[derive(Debug, Default)]
+struct NetFaults {
+    /// Per-tile count of armed ejection drops (each destroys the next
+    /// fully reassembled message at that tile and leaks its Local
+    /// credit).
+    drop_armed: HashMap<usize, u32>,
+    /// Active link slowdowns.
+    slow: Vec<SlowLink>,
+    /// Active credit holds.
+    holds: Vec<CreditHold>,
+    /// Messages destroyed by ejection drops.
+    lost_messages: u64,
+    /// Local credits leaked by ejection drops (never returned).
+    leaked_credits: u64,
+}
+
 /// The mesh network of routers.
 #[derive(Debug)]
 pub struct MeshNetwork {
@@ -104,6 +142,9 @@ pub struct MeshNetwork {
     tracer: Tracer,
     /// Per-tile trace tracks (`noc.router(x,y)`), parallel to `routers`.
     tracks: Vec<TrackId>,
+    /// Fault-injection state; `None` (no cost, no metrics) until a
+    /// `fault_*` method is called.
+    faults: Option<Box<NetFaults>>,
 }
 
 impl MeshNetwork {
@@ -128,6 +169,7 @@ impl MeshNetwork {
             stats: NetworkStats::new(),
             tracer: Tracer::disabled(),
             tracks: Vec::new(),
+            faults: None,
         }
     }
 
@@ -166,6 +208,12 @@ impl MeshNetwork {
         );
         m.counter_set(&format!("{prefix}.flit_hops"), self.total_flit_hops());
         m.merge_histogram(&format!("{prefix}.latency"), &self.stats.latency);
+        // Fault counters appear only when the fault plane was engaged,
+        // so fault-free metrics output stays byte-identical.
+        if let Some(faults) = &self.faults {
+            m.counter_set(&format!("{prefix}.lost_messages"), faults.lost_messages);
+            m.counter_set(&format!("{prefix}.leaked_credits"), faults.leaked_credits);
+        }
     }
 
     /// The network's configuration.
@@ -184,6 +232,111 @@ impl MeshNetwork {
     #[must_use]
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Lazily allocates the fault state.
+    fn faults_mut(&mut self) -> &mut NetFaults {
+        self.faults.get_or_insert_with(Box::default)
+    }
+
+    /// Fault injection: arms one ejection drop at `engine`'s tile. The
+    /// next *fully reassembled* message ejected there is destroyed and
+    /// its Local credit leaked (see [`MeshNetwork::poll_ejected`]).
+    /// Drops act only at the ejection boundary so wormhole invariants
+    /// (no partial message abandoned mid-mesh) are preserved; each
+    /// drop permanently shrinks the tile's ejection-credit pool by
+    /// one, so callers must arm fewer drops per tile than
+    /// `RouterConfig::ejection_buffer_flits`.
+    pub fn fault_drop_next_ejection(&mut self, engine: EngineId) {
+        let tile = self.tile_of(engine);
+        *self.faults_mut().drop_armed.entry(tile).or_insert(0) += 1;
+    }
+
+    /// Fault injection: from now until `until`, output `port` at
+    /// `engine`'s tile only moves a flit on cycles where
+    /// `cycle % period == 0` — a link at `1/period` of nominal
+    /// bandwidth. Credits are conserved; this is pure slowdown.
+    ///
+    /// # Panics
+    /// Panics if `period < 2` (that would be a healthy link).
+    pub fn fault_link_slow(&mut self, engine: EngineId, port: PortDir, until: Cycle, period: u64) {
+        assert!(period >= 2, "slow-link period must be >= 2");
+        let tile = self.tile_of(engine);
+        self.faults_mut().slow.push(SlowLink {
+            tile,
+            port,
+            until,
+            period,
+        });
+    }
+
+    /// Fault injection: confiscates up to `n` credits from
+    /// (`engine`, `port`) immediately, returning them at `until`.
+    /// Returns how many credits were actually taken (0 if the port has
+    /// no link or no credits are free right now).
+    pub fn fault_hold_credits(
+        &mut self,
+        engine: EngineId,
+        port: PortDir,
+        n: usize,
+        until: Cycle,
+    ) -> usize {
+        let tile = self.tile_of(engine);
+        let taken = self.routers[tile].fault_take_credits(port, n);
+        if taken > 0 {
+            self.faults_mut().holds.push(CreditHold {
+                tile,
+                port,
+                taken,
+                until,
+            });
+        }
+        taken
+    }
+
+    /// Messages destroyed by injected ejection drops (0 when no fault
+    /// API has been used).
+    #[must_use]
+    pub fn lost_messages(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.lost_messages)
+    }
+
+    /// Local credits leaked by injected ejection drops.
+    #[must_use]
+    pub fn leaked_credits(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.leaked_credits)
+    }
+
+    /// Applies time-varying fault state for this cycle: expires and
+    /// applies link slowdowns, returns credits whose hold elapsed.
+    /// Called at the top of [`MeshNetwork::tick`] when faults exist.
+    fn drive_faults(&mut self, now: Cycle) {
+        let Some(mut faults) = self.faults.take() else {
+            return;
+        };
+        // Expired slowdowns unmask their port; active ones mask it on
+        // off-period cycles.
+        faults.slow.retain(|s| {
+            if now >= s.until {
+                self.routers[s.tile].set_fault_blocked(s.port, false);
+                false
+            } else {
+                true
+            }
+        });
+        for s in &faults.slow {
+            self.routers[s.tile].set_fault_blocked(s.port, !now.0.is_multiple_of(s.period));
+        }
+        // Elapsed credit holds hand their credits back.
+        faults.holds.retain(|h| {
+            if now >= h.until {
+                self.routers[h.tile].fault_return_credits(h.port, h.taken);
+                false
+            } else {
+                true
+            }
+        });
+        self.faults = Some(faults);
     }
 
     fn tile_of(&self, engine: EngineId) -> usize {
@@ -232,6 +385,33 @@ impl MeshNetwork {
     pub fn poll_ejected(&mut self, engine: EngineId, now: Cycle) -> Option<Message> {
         let tile = self.tile_of(engine);
         let flit = self.ejection[tile].pop_front()?;
+        // Injected ejection drop: destroy the message at the tail (the
+        // earlier flits of the message were drained and credited
+        // normally) and leak the tail's Local credit — the canonical
+        // lost-packet-plus-leaked-credit failure.
+        if flit.kind.is_tail() {
+            if let Some(faults) = self.faults.as_deref_mut() {
+                if let Some(armed) = faults.drop_armed.get_mut(&tile) {
+                    if *armed > 0 {
+                        *armed -= 1;
+                        faults.lost_messages += 1;
+                        faults.leaked_credits += 1;
+                        let msg = flit.into_message();
+                        self.in_flight.remove(&msg.id);
+                        if self.tracer.enabled() {
+                            self.tracer.instant_arg(
+                                self.tracks[tile],
+                                "fault.drop",
+                                now,
+                                "msg",
+                                msg.id.0,
+                            );
+                        }
+                        return None;
+                    }
+                }
+            }
+        }
         self.routers[tile].refill_credit(PortDir::Local);
         if flit.kind.is_tail() {
             let msg = flit.into_message();
@@ -271,6 +451,9 @@ impl MeshNetwork {
 
     /// Advances the network one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        if self.faults.is_some() {
+            self.drive_faults(now);
+        }
         let n = self.routers.len();
         let topo = self.config.topology;
 
@@ -658,6 +841,107 @@ mod tests {
         assert_eq!(m.counter("noc.delivered_messages"), Some(sent));
         assert!(m.counter("noc.flit_hops").unwrap() > 0);
         assert_eq!(m.histogram("noc.latency").unwrap().count(), sent);
+    }
+
+    #[test]
+    fn ejection_drop_loses_message_and_leaks_exactly_one_credit() {
+        let mut net = net_3x3();
+        net.fault_drop_next_ejection(EngineId(8));
+        // Two messages race to engine 8; whichever tail reassembles
+        // first is the victim, the other must still arrive.
+        net.send(EngineId(0), EngineId(8), msg(1, 64), Cycle(0));
+        net.send(EngineId(1), EngineId(8), msg(2, 64), Cycle(0));
+        let mut now = Cycle(0);
+        let mut got = Vec::new();
+        for _ in 0..2000 {
+            net.tick(now);
+            now = now.next();
+            if let Some(m) = net.poll_ejected(EngineId(8), now) {
+                got.push(m.id.0);
+            }
+            if net.is_quiescent() && net.ejection_depth(EngineId(8)) == 0 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 1, "exactly one victim, one survivor: {got:?}");
+        assert_eq!(net.lost_messages(), 1);
+        assert_eq!(net.leaked_credits(), 1);
+        assert_eq!(net.stats().delivered_messages, 1);
+        assert!(net.is_quiescent(), "drop must not wedge the mesh");
+        // The shrunken credit pool still carries traffic.
+        net.send(EngineId(0), EngineId(8), msg(3, 64), now);
+        let mut ok = false;
+        for _ in 0..2000 {
+            net.tick(now);
+            now = now.next();
+            if net.poll_ejected(EngineId(8), now).is_some() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "tile must survive one leaked credit");
+    }
+
+    #[test]
+    fn slow_link_delays_but_delivers() {
+        let mut slow = net_3x3();
+        let mut fast = net_3x3();
+        // Throttle the East output of engine 0's tile to 1/4 rate for
+        // the whole experiment window.
+        slow.fault_link_slow(EngineId(0), PortDir::East, Cycle(100_000), 4);
+        for net in [&mut slow, &mut fast] {
+            for i in 0..10 {
+                net.send(EngineId(0), EngineId(2), msg(i, 64), Cycle(0));
+            }
+            let mut now = Cycle(0);
+            for _ in 0..5000 {
+                net.tick(now);
+                now = now.next();
+                let _ = net.poll_ejected(EngineId(2), now);
+                if net.stats().delivered_messages == 10 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(slow.stats().delivered_messages, 10, "slowdown is lossless");
+        assert_eq!(fast.stats().delivered_messages, 10);
+        assert!(
+            slow.stats().latency.mean() > 2.0 * fast.stats().latency.mean(),
+            "1/4-rate link should at least double latency: slow {} fast {}",
+            slow.stats().latency.mean(),
+            fast.stats().latency.mean()
+        );
+    }
+
+    #[test]
+    fn credit_hold_throttles_then_recovers() {
+        let mut net = net_3x3();
+        // Confiscate the whole East credit pool at engine 0's tile...
+        let taken = net.fault_hold_credits(EngineId(0), PortDir::East, 8, Cycle(50));
+        assert_eq!(taken, 8);
+        net.send(EngineId(0), EngineId(2), msg(1, 64), Cycle(0));
+        let mut now = Cycle(0);
+        let mut delivered_at = None;
+        for _ in 0..1000 {
+            net.tick(now);
+            now = now.next();
+            if net.poll_ejected(EngineId(2), now).is_some() {
+                delivered_at = Some(now);
+                break;
+            }
+        }
+        let at = delivered_at.expect("hold expires and message flows");
+        assert!(at >= Cycle(50), "nothing crossed the held link early");
+        assert!(net.is_quiescent());
+        // Metrics: fault counters only exist once faults were engaged.
+        let mut m = MetricsRegistry::new();
+        net.export_metrics(&mut m, "noc");
+        assert_eq!(m.counter("noc.lost_messages"), Some(0));
+        let mut clean = net_3x3();
+        clean.send(EngineId(0), EngineId(1), msg(1, 8), Cycle(0));
+        let mut m2 = MetricsRegistry::new();
+        clean.export_metrics(&mut m2, "noc");
+        assert_eq!(m2.counter("noc.lost_messages"), None, "zero-cost when off");
     }
 
     #[test]

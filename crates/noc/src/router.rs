@@ -151,6 +151,12 @@ pub struct Router {
     rr: [usize; PortDir::COUNT],
     /// Flits forwarded (any output) over the router's lifetime.
     forwarded: u64,
+    /// Fault injection: outputs masked off this cycle (link-slowdown
+    /// faults). A blocked output behaves exactly like one with no
+    /// credits — traffic wanting it stalls, credits are conserved.
+    /// All-false by default; the fault-free path pays one bool read
+    /// per output per cycle.
+    blocked: [bool; PortDir::COUNT],
 }
 
 impl Router {
@@ -176,6 +182,48 @@ impl Router {
             out_owner: [None; PortDir::COUNT],
             rr: [0; PortDir::COUNT],
             forwarded: 0,
+            blocked: [false; PortDir::COUNT],
+        }
+    }
+
+    /// Fault injection: masks output `port` on (`true`) or off. While
+    /// masked the output stalls as if creditless; the network's
+    /// link-slowdown driver toggles this per cycle to model a link
+    /// running at a fraction of nominal bandwidth.
+    pub fn set_fault_blocked(&mut self, port: PortDir, blocked: bool) {
+        self.blocked[port.index()] = blocked;
+    }
+
+    /// Fault injection: confiscates up to `n` credits from output
+    /// `port`, returning how many were actually taken (0 on a port
+    /// with no link). The caller must eventually hand them back via
+    /// [`Router::fault_return_credits`] or the output is permanently
+    /// throttled.
+    pub fn fault_take_credits(&mut self, port: PortDir, n: usize) -> usize {
+        let Some(credits) = self.out_credits[port.index()].as_mut() else {
+            return 0;
+        };
+        let mut taken = 0;
+        while taken < n && credits.available() {
+            credits.consume();
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Fault injection: returns `n` previously confiscated credits to
+    /// output `port` (see [`Router::fault_take_credits`]).
+    ///
+    /// # Panics
+    /// Panics if `port` has no link or the refill would exceed the
+    /// buffer capacity — returning credits that were never taken is a
+    /// fault-driver bug, not a modelled failure.
+    pub fn fault_return_credits(&mut self, port: PortDir, n: usize) {
+        let credits = self.out_credits[port.index()]
+            .as_mut()
+            .expect("credit return on a port with no link");
+        for _ in 0..n {
+            credits.refill();
         }
     }
 
@@ -284,10 +332,10 @@ impl Router {
             let Some(credits) = self.out_credits[o].as_ref() else {
                 continue;
             };
-            if !credits.available() {
-                // Out of credits: record whether traffic actually
-                // wanted this output, so the cycle shows up as a
-                // credit stall rather than an idle port.
+            if !credits.available() || self.blocked[o] {
+                // Out of credits (or fault-masked): record whether
+                // traffic actually wanted this output, so the cycle
+                // shows up as a credit stall rather than an idle port.
                 staged.stalled[o] = self.wants_output(out, topology, placement);
                 continue;
             }
@@ -507,6 +555,45 @@ mod tests {
         let mut r = Router::new(Coord::new(0, 0), topo(), cfg);
         r.accept(PortDir::East, flits_for(EngineId(0), 4, 1).remove(0));
         r.accept(PortDir::East, flits_for(EngineId(0), 4, 2).remove(0));
+    }
+
+    #[test]
+    fn blocked_output_stalls_and_resumes() {
+        let mut r = Router::new(Coord::new(1, 1), topo(), RouterConfig::default());
+        r.accept(PortDir::West, flits_for(EngineId(5), 4, 1).remove(0)); // East
+        r.set_fault_blocked(PortDir::East, true);
+        let staged = r.compute(topo(), &place());
+        assert!(staged.flits[PortDir::East.index()].is_none());
+        assert!(
+            staged.stalled[PortDir::East.index()],
+            "blocked looks stalled"
+        );
+        // Unblock: the flit moves, credits were conserved throughout.
+        r.set_fault_blocked(PortDir::East, false);
+        let staged = r.compute(topo(), &place());
+        assert!(staged.flits[PortDir::East.index()].is_some());
+    }
+
+    #[test]
+    fn credit_confiscation_throttles_and_return_restores() {
+        let cfg = RouterConfig {
+            input_buffer_flits: 2,
+            ejection_buffer_flits: 2,
+        };
+        let mut r = Router::new(Coord::new(1, 1), topo(), cfg);
+        // Take both East credits; asking for more only gets what exists.
+        assert_eq!(r.fault_take_credits(PortDir::East, 5), 2);
+        r.accept(PortDir::West, flits_for(EngineId(5), 4, 1).remove(0));
+        let staged = r.compute(topo(), &place());
+        assert!(staged.flits[PortDir::East.index()].is_none());
+        assert!(staged.stalled[PortDir::East.index()]);
+        // Return them: traffic flows again.
+        r.fault_return_credits(PortDir::East, 2);
+        let staged = r.compute(topo(), &place());
+        assert!(staged.flits[PortDir::East.index()].is_some());
+        // A port with no link yields nothing to confiscate.
+        let mut corner = Router::new(Coord::new(0, 0), topo(), cfg);
+        assert_eq!(corner.fault_take_credits(PortDir::North, 3), 0);
     }
 
     #[test]

@@ -251,6 +251,26 @@ impl ChainHeader {
         Ok(())
     }
 
+    /// Rewrites every *pending* hop (cursor position onward) addressed
+    /// to `from` so it targets `to` instead, returning how many hops
+    /// were rewritten. Visited hops are history and left untouched.
+    ///
+    /// This is the failover primitive: when the watchdog marks an
+    /// engine DOWN, the remaining chain steps of affected messages are
+    /// re-pointed at a live replica of the same offload type without a
+    /// second heavyweight pipeline pass — the chain header stays the
+    /// lightweight, locally-patchable structure §3.1.2 intends.
+    pub fn rewrite_pending(&mut self, from: EngineId, to: EngineId) -> usize {
+        let mut rewritten = 0;
+        for hop in &mut self.hops[self.next..] {
+            if hop.engine == from {
+                hop.engine = to;
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
     /// Size of the encoded header in bytes — this is charged against
     /// channel bandwidth when the message is flitted.
     ///
@@ -439,6 +459,22 @@ mod tests {
         assert_eq!(c.extend(&too_many), Err(ChainError::TooLong));
         // Failed extend leaves the chain unchanged.
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rewrite_pending_skips_visited_hops() {
+        // Chain E4 -> E9 -> E1; advance past E4, then fail E4 over to
+        // E9: the visited E4 hop must stay, pending hops must change.
+        let mut c =
+            ChainHeader::uniform(&[EngineId(4), EngineId(9), EngineId(4)], Slack(10)).unwrap();
+        c.advance();
+        assert_eq!(c.rewrite_pending(EngineId(4), EngineId(7)), 1);
+        assert_eq!(c.hops()[0].engine, EngineId(4), "visited hop untouched");
+        assert_eq!(c.hops()[2].engine, EngineId(7), "pending hop rewritten");
+        assert_eq!(c.rewrite_pending(EngineId(99), EngineId(0)), 0);
+        // Rewriting at the current hop works too.
+        assert_eq!(c.rewrite_pending(EngineId(9), EngineId(7)), 1);
+        assert_eq!(c.current().unwrap().engine, EngineId(7));
     }
 
     #[test]

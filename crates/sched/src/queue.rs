@@ -58,6 +58,10 @@ pub struct SchedQueue {
     tracer: Tracer,
     /// The owning component's track; sched events interleave with it.
     track: TrackId,
+    /// Fault injection: offers are refused while `now < refuse_until`.
+    /// `Cycle::ZERO` (the default) means "never", so the fault-free
+    /// path pays one always-false comparison.
+    refuse_until: Cycle,
 }
 
 impl SchedQueue {
@@ -76,7 +80,30 @@ impl SchedQueue {
             stats: SchedStats::new(),
             tracer: Tracer::disabled(),
             track: TrackId(0),
+            refuse_until: Cycle::ZERO,
         }
+    }
+
+    /// Fault injection (`refuse:` events): refuse every offer until
+    /// `until`. The refusal is indistinguishable from admission-control
+    /// backpressure to the offerer — lossless callers must hold the
+    /// message, lossy callers account a drop — which is exactly the
+    /// failure being modelled. Overlapping bursts extend, never shrink,
+    /// the window.
+    pub fn fault_refuse_until(&mut self, until: Cycle) {
+        self.refuse_until = self.refuse_until.max(until);
+    }
+
+    /// Drains every queued message without recording queueing-delay
+    /// samples — used by the watchdog when an engine is marked DOWN and
+    /// its queue is flushed. The flushed messages never *popped* in the
+    /// scheduling sense, so they must not pollute the `wait` histogram.
+    pub fn drain_for_flush(&mut self) -> Vec<Message> {
+        let mut out = Vec::with_capacity(self.pifo.len());
+        while let Some(q) = self.pifo.pop() {
+            out.push(q.msg);
+        }
+        out
     }
 
     /// Attaches a tracer. `track` is the owning component's track (an
@@ -144,6 +171,13 @@ impl SchedQueue {
     /// descriptors are never dropped" while ordinary traffic stays
     /// droppable.
     pub fn offer(&mut self, msg: Message, now: Cycle) -> Admission<Message> {
+        if now < self.refuse_until {
+            // Injected refusal burst: behave exactly like admission
+            // backpressure so callers exercise their real slow paths.
+            self.stats.refused += 1;
+            self.trace_instant("sched.refuse", &msg, now);
+            return Admission::Refused(msg);
+        }
         let rank = deadline_rank(now, msg.current_slack());
         if !self.is_full() {
             self.trace_push(&msg, rank, now);
@@ -416,6 +450,33 @@ mod tests {
         assert_eq!(m.counter("sched.dropped"), Some(1));
         assert_eq!(m.counter("sched.peak_depth"), Some(1));
         assert_eq!(m.histogram("sched.wait").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn fault_refusal_burst_then_recovery() {
+        let mut q = SchedQueue::new(4, AdmissionPolicy::TailDrop);
+        q.fault_refuse_until(Cycle(10));
+        // Overlapping shorter burst must not shrink the window.
+        q.fault_refuse_until(Cycle(5));
+        match q.offer(msg(1, Slack(5)), Cycle(9)) {
+            Admission::Refused(m) => assert_eq!(m.id, MessageId(1)),
+            other => panic!("expected fault refusal, got {other:?}"),
+        }
+        assert_eq!(q.stats().refused, 1);
+        assert_eq!(q.stats().accepted, 0);
+        // Window over: accepts again.
+        assert!(q.offer(msg(1, Slack(5)), Cycle(10)).is_accepted());
+    }
+
+    #[test]
+    fn flush_drain_skips_wait_accounting() {
+        let mut q = SchedQueue::new(4, AdmissionPolicy::TailDrop);
+        q.offer(msg(1, Slack(5)), Cycle(0));
+        q.offer(msg(2, Slack(9)), Cycle(0));
+        let flushed = q.drain_for_flush();
+        assert_eq!(flushed.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().wait.count(), 0, "flush must not record waits");
     }
 
     #[test]

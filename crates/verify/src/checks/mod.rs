@@ -5,11 +5,13 @@
 //! which have no RMT program) can lint exactly the part they use.
 
 pub mod chain;
+pub mod faultplane;
 pub mod noc;
 pub mod rmt;
 pub mod sched;
 
 pub use chain::check_chain;
+pub use faultplane::check_faultplane;
 pub use noc::check_noc;
 pub use rmt::check_rmt;
 pub use sched::check_sched;
@@ -25,5 +27,6 @@ pub fn verify(spec: &NicSpec) -> Report {
     diags.extend(check_noc(spec));
     diags.extend(check_rmt(spec));
     diags.extend(check_sched(spec));
+    diags.extend(check_faultplane(spec));
     Report::new(diags)
 }

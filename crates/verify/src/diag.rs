@@ -16,7 +16,8 @@ use std::fmt;
 /// * `PV0xx` — offload-chain / placement checks,
 /// * `PV1xx` — NoC deadlock and buffer checks,
 /// * `PV2xx` — RMT program checks,
-/// * `PV3xx` — scheduler checks.
+/// * `PV3xx` — scheduler checks,
+/// * `PV4xx` — fault-plane / watchdog checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -34,11 +35,14 @@ pub enum Code {
     PV301,
     PV302,
     PV303,
+    PV401,
+    PV402,
+    PV403,
 }
 
 impl Code {
     /// Every code the verifier can emit, in numeric order.
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 17] = [
         Code::PV001,
         Code::PV002,
         Code::PV003,
@@ -53,6 +57,9 @@ impl Code {
         Code::PV301,
         Code::PV302,
         Code::PV303,
+        Code::PV401,
+        Code::PV402,
+        Code::PV403,
     ];
 
     /// The code's stable name.
@@ -73,6 +80,9 @@ impl Code {
             Code::PV301 => "PV301",
             Code::PV302 => "PV302",
             Code::PV303 => "PV303",
+            Code::PV401 => "PV401",
+            Code::PV402 => "PV402",
+            Code::PV403 => "PV403",
         }
     }
 
@@ -98,6 +108,15 @@ impl Code {
             Code::PV301 => "PIFO rank width cannot represent the scheduling horizon",
             Code::PV302 => "DRR quantum is zero (Error) or below the maximum frame size (Warn)",
             Code::PV303 => "engine declared lossless but admission policy can drop",
+            Code::PV401 => {
+                "failover enabled but an offload type has no replica \
+                 (a failure degrades to host fallback)"
+            }
+            Code::PV402 => "watchdog retry budget is zero while failover is enabled",
+            Code::PV403 => {
+                "watchdog deadline not longer than the slowest engine's \
+                 worst-case service time (guaranteed spurious re-issues)"
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 //! does the moral equivalent for the simulated NIC. Given a plain-data
 //! [`NicSpec`] describing the mesh, the routing function, the engines,
 //! the scheduler parameters and (optionally) the RMT program, it runs
-//! four families of checks and returns a [`Report`] of
+//! five families of checks and returns a [`Report`] of
 //! [`Diagnostic`]s with stable codes:
 //!
 //! * **`PV0xx` — chains & placement** ([`checks::chain`]): hop targets
@@ -24,6 +24,11 @@
 //! * **`PV3xx` — scheduler** ([`checks::sched`]): PIFO rank width
 //!   covers the scheduling horizon (PV301), DRR quanta are frame-sized
 //!   (PV302), and lossless engines use backpressure admission (PV303).
+//! * **`PV4xx` — fault plane** ([`checks::faultplane`], armed
+//!   watchdogs only): failover has replicas to fail over *to* (PV401),
+//!   a non-zero retry budget when failover is on (PV402), and a
+//!   descriptor deadline clearing the slowest engine's service time
+//!   (PV403).
 //!
 //! Severities: an `Error` means the simulation would deadlock, panic,
 //! or silently break a modeled hardware invariant; a `Warn` means the
@@ -53,7 +58,7 @@ pub mod checks;
 pub mod diag;
 pub mod spec;
 
-pub use checks::{check_chain, check_noc, check_rmt, check_sched, verify};
+pub use checks::{check_chain, check_faultplane, check_noc, check_rmt, check_sched, verify};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use spec::{EngineSpec, NicSpec, RoutingKind, SchedSpec};
 
@@ -73,6 +78,10 @@ mod tests {
         let mut e = EngineSpec::new(EngineId(0), "dma", EngineClass::Dma);
         e.lossless = true; // PV303 (admission defaults to TailDrop)
         spec.engines.push(e); // no portal -> PV204
+        spec.watchdog = Some(faults::WatchdogConfig {
+            max_retries: 0, // PV402 (failover defaults to enabled)
+            ..faults::WatchdogConfig::default()
+        }); // the lone "dma" engine also has no replica -> PV401
         let report = verify(&spec);
         for code in [
             Code::PV101,
@@ -80,6 +89,8 @@ mod tests {
             Code::PV204,
             Code::PV302,
             Code::PV303,
+            Code::PV401,
+            Code::PV402,
         ] {
             assert!(
                 report.has(code),

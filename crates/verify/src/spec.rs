@@ -10,6 +10,7 @@
 //! Everything here is ordinary data with public fields: the point of
 //! the spec is that every check can see the whole configuration.
 
+use faults::WatchdogConfig;
 use noc::{Coord, RouterConfig, Topology};
 use packet::{EngineClass, EngineId};
 use rmt::{PipelineConfig, RmtProgram};
@@ -134,6 +135,9 @@ pub struct NicSpec {
     pub engines: Vec<EngineSpec>,
     /// The RMT program, when known statically.
     pub program: Option<RmtProgram>,
+    /// Watchdog / failover configuration, when the fault plane is
+    /// armed (`None` on fault-free NICs; enables the PV4xx checks).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl NicSpec {
@@ -157,6 +161,7 @@ impl NicSpec {
             sched: SchedSpec::default(),
             engines: Vec::new(),
             program: None,
+            watchdog: None,
         }
     }
 

@@ -136,7 +136,7 @@ fn accepted_configs_conserve(d: &Drawn) -> bool {
     let stats = nic.stats();
     let sched_drops: u64 = offloads
         .iter()
-        .filter_map(|&id| nic.tile(id).map(|t| t.stats().dropped))
+        .filter_map(|&id| nic.tile(id).map(engines::tile::EngineTile::drops))
         .sum();
     let accounted =
         stats.tx_wire + stats.host_deliveries + stats.consumed + stats.unrouted + sched_drops;
