@@ -332,6 +332,50 @@ impl ManycoreNic {
                 .iter()
                 .all(|e| e.queue.is_empty() && e.in_service.is_none())
     }
+
+    /// Fast-forward hint: the earliest cycle at which ticking can
+    /// change state. `None` = quiescent. An idle tick mutates nothing
+    /// and emits nothing, so skipped cycles need no replay (see
+    /// `docs/PERF.md`).
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut hint: Option<Cycle> = None;
+        let mut merge = |at: Cycle| {
+            hint = Some(hint.map_or(at, |h: Cycle| h.min(at)));
+        };
+        for c in &self.cores {
+            if !c.queue.is_empty() {
+                merge(now.next());
+            } else if let Some((_, _, done)) = &c.busy {
+                merge((*done).max(now.next()));
+            }
+        }
+        for e in &self.hw {
+            if !e.queue.is_empty() {
+                merge(now.next());
+            } else if let Some((_, _, _, done)) = &e.in_service {
+                merge((*done).max(now.next()));
+            }
+        }
+        hint
+    }
+
+    /// Runs `cycles` cycles from `start` with quiescence fast-forward,
+    /// byte-identical to the stepped loop. Returns `(end, skipped)`.
+    pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut skipped = 0u64;
+        let mut now = start;
+        while now < end {
+            self.tick(now);
+            let next = now.next();
+            let target = self.next_activity(now).unwrap_or(end).max(next).min(end);
+            // Idle ticks mutate nothing here: no skip_idle replay needed.
+            skipped += target.0 - next.0;
+            now = target;
+        }
+        (end, skipped)
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +515,43 @@ mod tests {
         let mut m = MetricsRegistry::new();
         nic.export_metrics(&mut m, "baseline.manycore");
         assert_eq!(m.counter("baseline.manycore.accepted"), Some(1));
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run() {
+        let build = |tracer: &Tracer| {
+            let mut nic = ManycoreNic::new(config(2, 5000));
+            nic.attach_tracer(tracer);
+            nic.rx(frame_msg(1, 443, Cycle(0)));
+            nic.rx(frame_msg(2, 80, Cycle(0)));
+            nic
+        };
+        let t1 = Tracer::ring(256);
+        let mut stepped = build(&t1);
+        run(&mut stepped, Cycle(0), 8000);
+        let t2 = Tracer::ring(256);
+        let mut ff = build(&t2);
+        let (end, skipped) = ff.run_ff(Cycle(0), 8000);
+        assert_eq!(end, Cycle(8000));
+        assert!(skipped > 4000, "only skipped {skipped}");
+        assert_eq!(
+            stepped
+                .take_egress()
+                .iter()
+                .map(|m| m.id)
+                .collect::<Vec<_>>(),
+            ff.take_egress().iter().map(|m| m.id).collect::<Vec<_>>()
+        );
+        let (mut m1, mut m2) = (MetricsRegistry::new(), MetricsRegistry::new());
+        stepped.export_metrics(&mut m1, "b");
+        ff.export_metrics(&mut m2, "b");
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(
+            t1.ring_snapshot().expect("ring"),
+            t2.ring_snapshot().expect("ring"),
+            "trace events must be byte-identical"
+        );
+        assert_eq!(ff.next_activity(Cycle(8000)), None, "quiescent at end");
     }
 
     #[test]

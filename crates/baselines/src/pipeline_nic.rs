@@ -292,6 +292,42 @@ impl PipelineNic {
             .iter()
             .all(|s| s.queue.is_empty() && s.in_service.is_none())
     }
+
+    /// Fast-forward hint: the earliest cycle at which ticking can
+    /// change state. `None` = quiescent. An idle tick of this NIC
+    /// mutates nothing and emits nothing, so skipped cycles need no
+    /// replay (see `docs/PERF.md`).
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut hint: Option<Cycle> = None;
+        for s in &self.stages {
+            if !s.queue.is_empty() {
+                return Some(now.next());
+            }
+            if let Some((_, _, done_at, _)) = &s.in_service {
+                let at = (*done_at).max(now.next());
+                hint = Some(hint.map_or(at, |h| h.min(at)));
+            }
+        }
+        hint
+    }
+
+    /// Runs `cycles` cycles from `start` with quiescence fast-forward,
+    /// byte-identical to the stepped loop. Returns `(end, skipped)`.
+    pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut skipped = 0u64;
+        let mut now = start;
+        while now < end {
+            self.tick(now);
+            let next = now.next();
+            let target = self.next_activity(now).unwrap_or(end).max(next).min(end);
+            // Idle ticks mutate nothing here: no skip_idle replay needed.
+            skipped += target.0 - next.0;
+            now = target;
+        }
+        (end, skipped)
+    }
 }
 
 #[cfg(test)]
@@ -423,8 +459,8 @@ mod tests {
             fn service_time(&self, _m: &Message) -> Cycles {
                 Cycles(1)
             }
-            fn process(&mut self, _m: Message, _now: Cycle) -> Vec<Output> {
-                vec![Output::Consumed]
+            fn process_into(&mut self, _m: Message, _now: Cycle, out: &mut Vec<Output>) {
+                out.push(Output::Consumed);
             }
         }
         let mut nic = PipelineNic::new(PipelineNicConfig {
@@ -461,6 +497,54 @@ mod tests {
         nic.export_metrics(&mut m, "baseline.pipe");
         assert_eq!(m.counter("baseline.pipe.accepted"), Some(2));
         assert!(m.histogram("baseline.pipe.latency.normal").is_some());
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run() {
+        let build = |tracer: &Tracer| {
+            let mut nic = PipelineNic::new(PipelineNicConfig {
+                stages: vec![null_stage(200, None), null_stage(3, None)],
+                bypass_logic: false,
+                stage_queue_capacity: 16,
+            });
+            nic.attach_tracer(tracer);
+            nic.rx(frame_msg(1, 80, Priority::Normal, Cycle(0)));
+            nic.rx(frame_msg(2, 80, Priority::Latency, Cycle(0)));
+            nic
+        };
+        let t1 = Tracer::ring(256);
+        let mut stepped = build(&t1);
+        run(&mut stepped, Cycle(0), 1000);
+        let t2 = Tracer::ring(256);
+        let mut ff = build(&t2);
+        let (end, skipped) = ff.run_ff(Cycle(0), 1000);
+        assert_eq!(end, Cycle(1000));
+        assert!(skipped > 500, "only skipped {skipped}");
+        let a = stepped.take_egress();
+        let b = ff.take_egress();
+        assert_eq!(
+            a.iter().map(|m| m.id).collect::<Vec<_>>(),
+            b.iter().map(|m| m.id).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            stepped.latency_of(Priority::Latency).max(),
+            ff.latency_of(Priority::Latency).max()
+        );
+        assert_eq!(
+            t1.ring_snapshot().expect("ring"),
+            t2.ring_snapshot().expect("ring"),
+            "trace events must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn next_activity_none_when_quiescent() {
+        let nic = PipelineNic::new(PipelineNicConfig {
+            stages: vec![null_stage(1, None)],
+            bypass_logic: false,
+            stage_queue_capacity: 4,
+        });
+        assert_eq!(nic.next_activity(Cycle(7)), None);
     }
 
     #[test]

@@ -223,6 +223,47 @@ impl RmtOnlyNic {
     pub fn is_quiescent(&self) -> bool {
         self.pipeline.backlog() == 0 && self.pipeline.occupancy() == 0 && self.host.is_empty()
     }
+
+    /// Fast-forward hint: min of the inner pipeline's hint and the
+    /// next host-return due time. `None` = quiescent.
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut hint = self.pipeline.next_activity(now);
+        if let Some(due) = self.host.next_due() {
+            let at = due.max(now.next());
+            hint = Some(hint.map_or(at, |h| h.min(at)));
+        }
+        hint
+    }
+
+    /// Replays the per-cycle bookkeeping of `[from, to)` idle ticks.
+    ///
+    /// Unlike the other baselines, an idle tick here is *not* free: the
+    /// inner RMT pipeline accrues `idle_slots` (and, when traced, a
+    /// backlog counter sample) every cycle. Delegating keeps a
+    /// fast-forwarded run byte-identical to the stepped one.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.pipeline.skip_idle(from, to);
+    }
+
+    /// Runs `cycles` cycles from `start` with quiescence fast-forward,
+    /// byte-identical to the stepped loop. Returns `(end, skipped)`.
+    pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut skipped = 0u64;
+        let mut now = start;
+        while now < end {
+            self.tick(now);
+            let next = now.next();
+            let target = self.next_activity(now).unwrap_or(end).max(next).min(end);
+            if target > next {
+                self.skip_idle(next, target);
+                skipped += target.0 - next.0;
+            }
+            now = target;
+        }
+        (end, skipped)
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +425,44 @@ mod tests {
         nic.export_metrics(&mut m, "baseline.rmtonly");
         assert_eq!(m.counter("baseline.rmtonly.punted"), Some(1));
         assert!(m.counter("baseline.rmtonly.rmt.accepted").is_some());
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run_including_idle_slots() {
+        let build = |tracer: &Tracer| {
+            let mut nic = RmtOnlyNic::new(cfg(ComplexPolicy::Punt { host_cycles: 5000 }));
+            nic.attach_tracer(tracer);
+            nic.rx(esp(1, Cycle(0)));
+            nic.rx(simple(2, Cycle(0)));
+            nic
+        };
+        let t1 = Tracer::ring(8192);
+        let mut stepped = build(&t1);
+        run(&mut stepped, Cycle(0), 8000);
+        let t2 = Tracer::ring(8192);
+        let mut ff = build(&t2);
+        let (end, skipped) = ff.run_ff(Cycle(0), 8000);
+        assert_eq!(end, Cycle(8000));
+        assert!(skipped > 2000, "only skipped {skipped}");
+        assert_eq!(
+            stepped
+                .take_egress()
+                .iter()
+                .map(|m| m.id)
+                .collect::<Vec<_>>(),
+            ff.take_egress().iter().map(|m| m.id).collect::<Vec<_>>()
+        );
+        // idle_slots is the sharp edge: the inner pipeline accrues it
+        // every stepped idle cycle, so skip_idle must replay it.
+        let (mut m1, mut m2) = (MetricsRegistry::new(), MetricsRegistry::new());
+        stepped.export_metrics(&mut m1, "b");
+        ff.export_metrics(&mut m2, "b");
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(
+            t1.ring_snapshot().expect("ring"),
+            t2.ring_snapshot().expect("ring"),
+            "trace events must be byte-identical"
+        );
     }
 
     #[test]

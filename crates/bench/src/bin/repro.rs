@@ -57,7 +57,7 @@ fn print_catalog(all: &[experiments::Experiment]) {
 }
 
 fn print_help(all: &[experiments::Experiment]) {
-    eprintln!("usage: repro [flags] <experiment>... | all\n");
+    eprintln!("usage: repro [flags] <experiment>... | all | bench\n");
     eprintln!("flags:");
     eprintln!("  -q, --quick        shortened simulations (CI-sized)");
     eprintln!("  --trace <path>     write a Chrome trace_event JSON of the observed");
@@ -68,7 +68,17 @@ fn print_help(all: &[experiments::Experiment]) {
     eprintln!("                     (today: fault-recovery): a seed (decimal or 0x-hex)");
     eprintln!("                     for the deterministic generator, or an explicit");
     eprintln!("                     plan spec like `crash:1@500,stall:2@800+64`");
+    eprintln!("  --no-fastforward   step every cycle instead of jumping provably idle");
+    eprintln!("                     gaps (byte-identical output; debugging/measurement");
+    eprintln!("                     aid — see docs/PERF.md)");
     eprintln!("  -h, --help         this catalog\n");
+    eprintln!("bench subcommand (simulator performance, see docs/PERF.md):");
+    eprintln!("  repro bench [--quick] [--out <path>] [--check <path>] [--threads <n>]");
+    eprintln!("    times the stepped vs fast-forward loop on a gap-dominated workload");
+    eprintln!("    and the serial vs parallel sweep runner; writes BENCH_PR4.json");
+    eprintln!("    (--out, default ./BENCH_PR4.json). With --check <path>, compares");
+    eprintln!("    against the committed baseline instead of writing: fails on a >5x");
+    eprintln!("    cycles/sec regression or a fast-forward speedup below 3x.\n");
     print_catalog(all);
 }
 
@@ -78,6 +88,10 @@ struct Args {
     trace: Option<String>,
     metrics: Option<String>,
     faults: Option<faults::FaultArg>,
+    no_fastforward: bool,
+    bench_out: Option<String>,
+    bench_check: Option<String>,
+    threads: Option<usize>,
     selected: Vec<String>,
 }
 
@@ -87,6 +101,10 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
         trace: None,
         metrics: None,
         faults: None,
+        no_fastforward: false,
+        bench_out: None,
+        bench_check: None,
+        threads: None,
         selected: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +123,8 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
         };
         if a == "--quick" || a == "-q" {
             out.quick = true;
+        } else if a == "--no-fastforward" {
+            out.no_fastforward = true;
         } else if a == "--help" || a == "-h" {
             print_help(all);
             std::process::exit(0);
@@ -112,6 +132,18 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
             out.trace = Some(v);
         } else if let Some(v) = flag_with_value("--metrics", &a) {
             out.metrics = Some(v);
+        } else if let Some(v) = flag_with_value("--out", &a) {
+            out.bench_out = Some(v);
+        } else if let Some(v) = flag_with_value("--check", &a) {
+            out.bench_check = Some(v);
+        } else if let Some(v) = flag_with_value("--threads", &a) {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => out.threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            }
         } else if let Some(v) = flag_with_value("--faults", &a) {
             match v.parse::<faults::FaultArg>() {
                 Ok(arg) => out.faults = Some(arg),
@@ -141,6 +173,33 @@ fn write_artifact(path: &str, contents: &str) {
     }
 }
 
+/// `repro bench`: time stepped vs fast-forward and the parallel sweep
+/// runner; write (or, with `--check`, validate against) the
+/// `BENCH_PR4.json` perf baseline.
+fn run_bench_command(args: &Args) -> ! {
+    let report = panic_bench::perf::run_bench(args.quick, args.threads);
+    print!("{}", report.render_markdown());
+    if let Some(baseline_path) = &args.bench_check {
+        let committed = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("--check: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        match panic_bench::perf::check(&report, &committed) {
+            Ok(()) => {
+                eprintln!("perf check against {baseline_path}: ok");
+                std::process::exit(0);
+            }
+            Err(problems) => {
+                eprintln!("perf check against {baseline_path} FAILED:\n{problems}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let out = args.bench_out.as_deref().unwrap_or("BENCH_PR4.json");
+    write_artifact(out, &report.to_json());
+    std::process::exit(0);
+}
+
 fn main() {
     let all = experiments::all();
     let args = parse_args(&all);
@@ -148,6 +207,14 @@ fn main() {
     if args.selected.is_empty() {
         print_help(&all);
         std::process::exit(2);
+    }
+
+    if args.selected.iter().any(|s| s == "bench") {
+        if args.selected.len() > 1 {
+            eprintln!("`bench` runs alone (it times the simulator, not an experiment)");
+            std::process::exit(2);
+        }
+        run_bench_command(&args);
     }
 
     // Experiment ids use hyphens; accept underscores as a convenience
@@ -178,6 +245,7 @@ fn main() {
     };
     let mut ctx = RunCtx::observed(args.quick, tracer, args.metrics.is_some());
     ctx.faults = args.faults.clone();
+    ctx.fastforward = !args.no_fastforward;
 
     let run_all = selected.iter().any(|s| s.as_str() == "all");
     for (id, desc, runner) in &all {

@@ -166,6 +166,7 @@ fn observe_full_nic(ctx: &mut crate::obs::RunCtx) {
     use panic_core::scenarios::{ChainScenario, ChainScenarioConfig};
     let cycles = if ctx.quick { 2_000 } else { 10_000 };
     let mut s = ChainScenario::new(ChainScenarioConfig::default());
+    s.set_fastforward(ctx.fastforward);
     s.attach_tracer(&ctx.tracer);
     s.run(cycles);
     s.drain(cycles);

@@ -19,6 +19,8 @@
 pub mod experiments;
 pub mod fmt;
 pub mod obs;
+pub mod perf;
+pub mod sweep;
 
 pub use fmt::TableFmt;
 pub use obs::RunCtx;

@@ -41,6 +41,12 @@ pub struct RunCtx {
     /// seed their [`faults::FaultPlan`] from this; everything else
     /// ignores it.
     pub faults: Option<faults::FaultArg>,
+    /// Whether scenario-driven experiments may use quiescence
+    /// fast-forward (`repro --no-fastforward` clears it). Fast-forward
+    /// is byte-identical to stepped execution — the flag exists for
+    /// debugging the fast-forward machinery itself, and for measuring
+    /// its benefit (`repro bench` times both modes).
+    pub fastforward: bool,
 }
 
 impl RunCtx {
@@ -53,6 +59,7 @@ impl RunCtx {
             metrics: MetricsRegistry::new(),
             collect_metrics: false,
             faults: None,
+            fastforward: true,
         }
     }
 
@@ -66,6 +73,7 @@ impl RunCtx {
             metrics: MetricsRegistry::new(),
             collect_metrics,
             faults: None,
+            fastforward: true,
         }
     }
 

@@ -1,0 +1,353 @@
+//! `repro bench` — simulator performance measurement and the tracked
+//! perf baseline (`BENCH_PR4.json`).
+//!
+//! Three measurements, one artifact:
+//!
+//! 1. **Stepped** — the reference one-tick-per-cycle loop on a
+//!    gap-dominated chain workload (large periodic arrival gaps, the
+//!    regime quiescence fast-forward exists for).
+//! 2. **Fast-forward** — the same workload, same seeds, byte-identical
+//!    results, with idle gaps skipped. The headline number is the
+//!    cycles/second ratio (`speedup`), which the perf-smoke CI job
+//!    requires to stay ≥ 3×.
+//! 3. **Sweep** — a chain-length sweep executed serially and through
+//!    [`crate::sweep::run_sweep`], checking the parallel merge is
+//!    byte-identical and recording the wall-clock win.
+//!
+//! `check` compares a fresh run against the committed baseline and
+//! fails on a >5× cycles/second regression — a loose floor by design:
+//! CI machines vary, but an accidental O(n) regression in the tick
+//! loop is comfortably larger than 5×. See `docs/PERF.md`.
+
+use std::time::Instant;
+
+use panic_core::scenarios::{ChainScenario, ChainScenarioConfig};
+
+use crate::fmt::TableFmt;
+use crate::sweep::run_sweep;
+
+/// Results of one `repro bench` run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Quick (CI-sized) run?
+    pub quick: bool,
+    /// Human description of the gap-dominated workload.
+    pub workload: String,
+    /// Simulated cycles per mode (run + drain budget).
+    pub cycles: u64,
+    /// Stepped wall time, milliseconds.
+    pub stepped_wall_ms: f64,
+    /// Stepped simulated cycles per wall second.
+    pub stepped_cycles_per_sec: f64,
+    /// Fast-forward wall time, milliseconds.
+    pub ff_wall_ms: f64,
+    /// Fast-forward simulated cycles per wall second.
+    pub ff_cycles_per_sec: f64,
+    /// Cycles the fast-forward run skipped.
+    pub cycles_skipped: u64,
+    /// `ff_cycles_per_sec / stepped_cycles_per_sec`.
+    pub speedup: f64,
+    /// Worker threads used for the sweep measurement.
+    pub sweep_threads: usize,
+    /// Sweep points.
+    pub sweep_points: usize,
+    /// Serial sweep wall time, milliseconds.
+    pub sweep_serial_wall_ms: f64,
+    /// Parallel sweep wall time, milliseconds.
+    pub sweep_parallel_wall_ms: f64,
+}
+
+fn gap_dominated_config(chain_len: usize) -> ChainScenarioConfig {
+    ChainScenarioConfig {
+        chain_len,
+        // 0.2% of min-frame line rate: arrivals separated by thousands
+        // of idle cycles — the telemetry/heartbeat regime where a
+        // stepped simulator burns almost all its time ticking nothing.
+        offered_fraction: 0.002,
+        ..ChainScenarioConfig::default()
+    }
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs the benchmark. `threads` caps the sweep fan-out
+/// ([`crate::sweep::default_threads`] when `None`).
+///
+/// # Panics
+/// Panics if the fast-forwarded run diverges from the stepped run —
+/// the benchmark refuses to report a speedup for wrong results.
+#[must_use]
+pub fn run_bench(quick: bool, threads: Option<usize>) -> BenchReport {
+    let cycles = if quick { 150_000 } else { 1_500_000 };
+    let chain_len = 2;
+
+    // Stepped reference.
+    let mut stepped = ChainScenario::new(gap_dominated_config(chain_len));
+    stepped.set_fastforward(false);
+    let t0 = Instant::now();
+    stepped.run(cycles);
+    stepped.drain(cycles);
+    let stepped_wall_ms = ms(t0);
+
+    // Fast-forward, identical seeds.
+    let mut ff = ChainScenario::new(gap_dominated_config(chain_len));
+    let t0 = Instant::now();
+    ff.run(cycles);
+    ff.drain(cycles);
+    let ff_wall_ms = ms(t0);
+
+    // Same results or no benchmark: a fast wrong simulator is useless.
+    let (rs, rf) = (stepped.report(), ff.report());
+    assert_eq!(rs.offered, rf.offered, "fast-forward diverged (offered)");
+    assert_eq!(
+        rs.delivered, rf.delivered,
+        "fast-forward diverged (delivered)"
+    );
+    assert_eq!(rs.latency, rf.latency, "fast-forward diverged (latency)");
+
+    // Parallel sweep: chain-length points, serial vs sharded.
+    let lens: Vec<usize> = vec![0, 1, 2, 3, 4, 6];
+    let sweep_cycles = if quick { 20_000 } else { 120_000 };
+    let point = |len: usize| {
+        let mut s = ChainScenario::new(gap_dominated_config(len));
+        s.run(sweep_cycles);
+        s.drain(sweep_cycles);
+        let r = s.report();
+        (r.offered, r.delivered, r.latency.p99)
+    };
+    let t0 = Instant::now();
+    let serial = run_sweep(&lens, 1, |_, l| point(*l));
+    let sweep_serial_wall_ms = ms(t0);
+    let threads = threads.unwrap_or_else(crate::sweep::default_threads);
+    let t0 = Instant::now();
+    let parallel = run_sweep(&lens, threads, |_, l| point(*l));
+    let sweep_parallel_wall_ms = ms(t0);
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must merge deterministically"
+    );
+
+    let cps = |wall_ms: f64| cycles as f64 / (wall_ms / 1e3).max(1e-9);
+    let stepped_cycles_per_sec = cps(stepped_wall_ms);
+    let ff_cycles_per_sec = cps(ff_wall_ms);
+    BenchReport {
+        quick,
+        workload: format!(
+            "chain scenario, mesh6x6, chain_len={chain_len}, offered_fraction=0.002 (gap-dominated)"
+        ),
+        cycles,
+        stepped_wall_ms,
+        stepped_cycles_per_sec,
+        ff_wall_ms,
+        ff_cycles_per_sec,
+        cycles_skipped: ff.cycles_skipped(),
+        speedup: ff_cycles_per_sec / stepped_cycles_per_sec,
+        sweep_threads: threads,
+        sweep_points: lens.len(),
+        sweep_serial_wall_ms,
+        sweep_parallel_wall_ms,
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as the `BENCH_PR4.json` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"panic-bench-pr4-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"stepped_wall_ms\": {:.3},\n  \"stepped_cycles_per_sec\": {:.0},\n  \"ff_wall_ms\": {:.3},\n  \"ff_cycles_per_sec\": {:.0},\n  \"cycles_skipped\": {},\n  \"speedup\": {:.2},\n  \"sweep_threads\": {},\n  \"sweep_points\": {},\n  \"sweep_serial_wall_ms\": {:.3},\n  \"sweep_parallel_wall_ms\": {:.3}\n}}\n",
+            self.quick,
+            self.workload,
+            self.cycles,
+            self.stepped_wall_ms,
+            self.stepped_cycles_per_sec,
+            self.ff_wall_ms,
+            self.ff_cycles_per_sec,
+            self.cycles_skipped,
+            self.speedup,
+            self.sweep_threads,
+            self.sweep_points,
+            self.sweep_serial_wall_ms,
+            self.sweep_parallel_wall_ms,
+        )
+    }
+
+    /// Renders the human-readable summary table.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut t = TableFmt::new(
+            "Simulator performance — stepped vs fast-forward (byte-identical results)",
+            &["Mode", "Wall (ms)", "Cycles/sec", "Skipped", "Speedup"],
+        );
+        t.row(vec![
+            "stepped".into(),
+            format!("{:.1}", self.stepped_wall_ms),
+            format!("{:.2e}", self.stepped_cycles_per_sec),
+            "0".into(),
+            "1.00x".into(),
+        ]);
+        t.row(vec![
+            "fast-forward".into(),
+            format!("{:.1}", self.ff_wall_ms),
+            format!("{:.2e}", self.ff_cycles_per_sec),
+            self.cycles_skipped.to_string(),
+            format!("{:.2}x", self.speedup),
+        ]);
+        t.row(vec![
+            format!("sweep x{} (serial)", self.sweep_points),
+            format!("{:.1}", self.sweep_serial_wall_ms),
+            "-".into(),
+            "-".into(),
+            "1.00x".into(),
+        ]);
+        t.row(vec![
+            format!(
+                "sweep x{} ({} threads)",
+                self.sweep_points, self.sweep_threads
+            ),
+            format!("{:.1}", self.sweep_parallel_wall_ms),
+            "-".into(),
+            "-".into(),
+            format!(
+                "{:.2}x",
+                self.sweep_serial_wall_ms / self.sweep_parallel_wall_ms.max(1e-9)
+            ),
+        ]);
+        t.note(format!(
+            "Workload: {}; {} simulated cycles per mode. Fast-forward and the parallel \
+             sweep are exactness-checked against their serial counterparts before any \
+             number is reported (see docs/PERF.md).",
+            self.workload, self.cycles
+        ));
+        t.render()
+    }
+}
+
+/// Extracts a numeric field from the (machine-written) baseline JSON.
+/// Not a general JSON parser — just enough for our own artifact, which
+/// keeps the vendored-dependency footprint at zero.
+fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates a fresh run against the committed baseline:
+///
+/// * the fast-forward speedup must stay ≥ 3× (the PR's headline
+///   property), and
+/// * stepped and fast-forward cycles/second must each be within 5× of
+///   the committed floor (catches gross tick-loop regressions while
+///   tolerating slow CI machines).
+///
+/// # Errors
+/// Returns every violated bound, one message per line.
+pub fn check(fresh: &BenchReport, committed_json: &str) -> Result<(), String> {
+    let mut problems = Vec::new();
+    if !committed_json.contains("\"schema\": \"panic-bench-pr4-v1\"") {
+        return Err("baseline JSON missing or malformed (wrong schema)".into());
+    }
+    if fresh.speedup < 3.0 {
+        problems.push(format!(
+            "fast-forward speedup {:.2}x below the required 3x",
+            fresh.speedup
+        ));
+    }
+    for key in ["stepped_cycles_per_sec", "ff_cycles_per_sec"] {
+        let Some(floor) = json_f64(committed_json, key) else {
+            problems.push(format!("baseline JSON lacks `{key}`"));
+            continue;
+        };
+        let fresh_v = if key == "stepped_cycles_per_sec" {
+            fresh.stepped_cycles_per_sec
+        } else {
+            fresh.ff_cycles_per_sec
+        };
+        if fresh_v * 5.0 < floor {
+            problems.push(format!(
+                "{key} regressed >5x: fresh {fresh_v:.0} vs committed {floor:.0}"
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> BenchReport {
+        BenchReport {
+            quick: true,
+            workload: "w".into(),
+            cycles: 1000,
+            stepped_wall_ms: 10.0,
+            stepped_cycles_per_sec: 1e6,
+            ff_wall_ms: 1.0,
+            ff_cycles_per_sec: 1e7,
+            cycles_skipped: 900,
+            speedup: 10.0,
+            sweep_threads: 2,
+            sweep_points: 3,
+            sweep_serial_wall_ms: 9.0,
+            sweep_parallel_wall_ms: 5.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_the_checked_fields() {
+        let r = fake_report();
+        let json = r.to_json();
+        assert_eq!(json_f64(&json, "stepped_cycles_per_sec"), Some(1e6));
+        assert_eq!(json_f64(&json, "ff_cycles_per_sec"), Some(1e7));
+        assert_eq!(json_f64(&json, "speedup"), Some(10.0));
+        assert_eq!(json_f64(&json, "cycles_skipped"), Some(900.0));
+    }
+
+    #[test]
+    fn check_accepts_same_machine_rerun() {
+        let r = fake_report();
+        assert!(check(&r, &r.to_json()).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_gross_regression_and_lost_speedup() {
+        let r = fake_report();
+        let mut slow = r.clone();
+        slow.stepped_cycles_per_sec = r.stepped_cycles_per_sec / 10.0;
+        let err = check(&slow, &r.to_json()).expect_err("regression");
+        assert!(err.contains("regressed >5x"), "{err}");
+        let mut no_ff = r.clone();
+        no_ff.speedup = 1.2;
+        let err = check(&no_ff, &r.to_json()).expect_err("speedup");
+        assert!(err.contains("below the required 3x"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_baseline() {
+        assert!(check(&fake_report(), "").is_err());
+        assert!(check(&fake_report(), "{}").is_err());
+    }
+
+    #[test]
+    fn quick_bench_runs_and_fast_forward_wins() {
+        let r = run_bench(true, Some(2));
+        assert!(r.cycles_skipped > 0);
+        assert!(
+            r.speedup > 1.0,
+            "fast-forward slower than stepped: {:.2}x",
+            r.speedup
+        );
+        assert!(r.to_json().contains("panic-bench-pr4-v1"));
+        assert!(r.render_markdown().contains("fast-forward"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Experiments are embarrassingly parallel across their sweep points
+//! (chain lengths, cache sizes, seeds): every point builds its own
+//! simulator with its own RNG, so points share nothing. This module
+//! shards the points across `std::thread::scope` workers and merges
+//! the results **by point index**, so the output is byte-identical to
+//! the serial loop regardless of thread count or scheduling. See
+//! `docs/PERF.md` for the contract.
+//!
+//! ```
+//! use panic_bench::sweep::run_sweep;
+//!
+//! let squares = run_sweep(&[1u64, 2, 3, 4], 2, |_, p| p * p);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the machine's available parallelism,
+/// falling back to one.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` over every point, fanned out across up to `threads` scoped
+/// workers, and returns the results **in point order** (index `i` of
+/// the output is `f(i, &points[i])`, exactly as the serial loop would
+/// produce).
+///
+/// Work is distributed by an atomic next-index counter, so a slow
+/// point never stalls the queue behind it; determinism comes from
+/// merging by index, not from the execution order.
+///
+/// # Panics
+/// Propagates a panic from any worker (the scope joins all threads
+/// first), and panics if an internal mutex was poisoned.
+pub fn run_sweep<P, R, F>(points: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let threads = threads.max(1).min(points.len().max(1));
+    if threads <= 1 {
+        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..points.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let r = f(i, &points[i]);
+                slots.lock().expect("sweep result mutex")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep result mutex")
+        .into_iter()
+        .map(|r| r.expect("every sweep point computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_point_order() {
+        let points: Vec<u64> = (0..100).collect();
+        let out = run_sweep(&points, 8, |i, p| {
+            // Make early points slow so completion order inverts.
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            p * 10
+        });
+        assert_eq!(out, points.iter().map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_execution() {
+        let points: Vec<u64> = (0..37).collect();
+        let serial = run_sweep(&points, 1, |i, p| p.wrapping_mul(31) ^ i as u64);
+        let parallel = run_sweep(&points, 4, |i, p| p.wrapping_mul(31) ^ i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_point_sweeps() {
+        let empty: Vec<u64> = vec![];
+        assert!(run_sweep(&empty, 4, |_, p| *p).is_empty());
+        assert_eq!(run_sweep(&[7u64], 4, |_, p| *p), vec![7]);
+    }
+
+    #[test]
+    fn simulations_in_parallel_match_serial() {
+        use panic_core::scenarios::{ChainScenario, ChainScenarioConfig};
+        let lens = [0usize, 1, 2];
+        let run_one = |len: usize| {
+            let mut s = ChainScenario::new(ChainScenarioConfig {
+                chain_len: len,
+                offered_fraction: 0.05,
+                ..ChainScenarioConfig::default()
+            });
+            s.run(3_000);
+            s.drain(3_000);
+            let r = s.report();
+            (r.offered, r.delivered)
+        };
+        let serial = run_sweep(&lens, 1, |_, l| run_one(*l));
+        let parallel = run_sweep(&lens, 3, |_, l| run_one(*l));
+        assert_eq!(serial, parallel);
+    }
+}

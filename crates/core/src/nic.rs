@@ -418,11 +418,15 @@ impl NicBuilder {
         }
         assert!(!portals.is_empty(), "NIC needs at least one RMT portal");
 
+        let tile_ids: Vec<EngineId> = tiles.keys().copied().collect();
         PanicNic {
             pipeline: RmtPipeline::new(self.config.pipeline, program),
             config: self.config,
             network,
             tiles,
+            tile_ids,
+            pipeline_scratch: Vec::new(),
+            emit_scratch: Vec::new(),
             portals,
             rr_portal: 0,
             next_msg_id: 0,
@@ -438,6 +442,16 @@ impl NicBuilder {
                 ))
             }),
         }
+    }
+}
+
+/// Minimum of two optional fast-forward hints, where `None` means
+/// "quiescent / no constraint".
+fn merge_hint(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -459,6 +473,15 @@ pub struct PanicNic {
     /// fault-free fast path: one `is_some` check per tick, no extra
     /// metrics or trace tracks, byte-identical output.
     faults: Option<Box<FaultRuntime>>,
+    /// Tile ids in iteration order, cached at build time (the tile set
+    /// is fixed after construction) so the tick loop doesn't rebuild a
+    /// `Vec` every cycle.
+    tile_ids: Vec<EngineId>,
+    /// Reusable buffer for pipeline outputs (zero-alloc steady state;
+    /// see `docs/PERF.md`).
+    pipeline_scratch: Vec<rmt::pipeline::PipelineOutput>,
+    /// Reusable buffer for tile emissions.
+    emit_scratch: Vec<Emit>,
 }
 
 impl fmt::Debug for PanicNic {
@@ -891,28 +914,30 @@ impl PanicNic {
         }
 
         // 1. Ejections: tiles pull from the mesh, portals feed the
-        //    pipeline.
-        let ids: Vec<EngineId> = self.tiles.keys().copied().collect();
-        for id in &ids {
-            match self.tiles.get_mut(id).expect("known id") {
+        //    pipeline. `tile_ids` is cached at build time; the index
+        //    loop sidesteps borrowing `self` across the mutations.
+        for i in 0..self.tile_ids.len() {
+            let id = self.tile_ids[i];
+            match self.tiles.get_mut(&id).expect("known id") {
                 TileSlot::Engine(tile) => {
                     if tile.rx_ready() {
-                        if let Some(msg) = self.network.poll_ejected(*id, now) {
+                        if let Some(msg) = self.network.poll_ejected(id, now) {
                             tile.accept(msg, now);
                         }
                     }
                 }
                 TileSlot::RmtPortal => {
-                    if let Some(msg) = self.network.poll_ejected(*id, now) {
+                    if let Some(msg) = self.network.poll_ejected(id, now) {
                         self.pipeline.submit(msg);
                     }
                 }
             }
         }
 
-        // 2. Pipeline.
-        let outputs = self.pipeline.tick(now);
-        for out in outputs {
+        // 2. Pipeline (into the reused scratch buffer).
+        let mut outputs = std::mem::take(&mut self.pipeline_scratch);
+        self.pipeline.tick_into(now, &mut outputs);
+        for out in outputs.drain(..) {
             let mut msg = out.msg;
             if out.verdict == Verdict::Recirculate {
                 // §3.1.2: "the RMT pipeline includes itself as a nexthop
@@ -930,23 +955,28 @@ impl PanicNic {
             let exit = self.next_portal();
             self.route_onward(exit, msg, now);
         }
+        self.pipeline_scratch = outputs;
 
-        // 3. Tiles.
-        for id in &ids {
-            let emits = match self.tiles.get_mut(id).expect("known id") {
-                TileSlot::Engine(tile) => tile.tick(now),
+        // 3. Tiles (one reused emission buffer across all tiles).
+        let mut emits = std::mem::take(&mut self.emit_scratch);
+        for i in 0..self.tile_ids.len() {
+            let id = self.tile_ids[i];
+            match self.tiles.get_mut(&id).expect("known id") {
+                TileSlot::Engine(tile) => tile.tick_into(now, &mut emits),
                 TileSlot::RmtPortal => continue,
-            };
-            for emit in emits {
-                self.handle_emit(*id, emit, now);
+            }
+            for emit in emits.drain(..) {
+                self.handle_emit(id, emit, now);
             }
         }
+        self.emit_scratch = emits;
 
         // 3b. PCIe coalescing flush timer.
         let flush = self.config.pcie_flush_interval;
         if flush > 0 && now.0 > 0 && now.0.is_multiple_of(flush) {
-            for id in &ids {
-                let Some(TileSlot::Engine(tile)) = self.tiles.get_mut(id) else {
+            for i in 0..self.tile_ids.len() {
+                let id = self.tile_ids[i];
+                let Some(TileSlot::Engine(tile)) = self.tiles.get_mut(&id) else {
                     continue;
                 };
                 let Some(pcie) = tile.offload_as_mut::<PcieEngine>() else {
@@ -1203,6 +1233,142 @@ impl PanicNic {
         now
     }
 
+    /// Runs `cycles` cycles from `start` with quiescence fast-forward:
+    /// after each tick the NIC computes the earliest cycle at which any
+    /// component could act ([`PanicNic::next_activity`]) and jumps the
+    /// clock there, replaying the skipped idle ticks' bookkeeping via
+    /// [`PanicNic::skip_idle`] so traces, metrics, and conservation
+    /// counts stay byte-identical to a stepped run (see `docs/PERF.md`).
+    ///
+    /// Returns the next cycle and the number of cycles skipped.
+    pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut now = start;
+        let mut skipped = 0u64;
+        while now < end {
+            self.tick(now);
+            let hint = self.next_activity(now).unwrap_or(end);
+            let next = now.next();
+            let target = hint.max(next).min(end);
+            if target > next {
+                self.skip_idle(next, target);
+                skipped += target.0 - next.0;
+            }
+            now = target;
+        }
+        (now, skipped)
+    }
+
+    /// Fast-forward hint: the earliest future cycle at which any NIC
+    /// component could do observable work, or `None` when the whole NIC
+    /// is quiescent (no in-flight message anywhere, no pending fault
+    /// event, no armed timer).
+    ///
+    /// The hint is the minimum over:
+    /// * the mesh (active whenever any flit is buffered anywhere);
+    /// * the heavyweight pipeline (backlog → next cycle; in-flight
+    ///   only → its earliest completion);
+    /// * every engine tile (queue/pending → next cycle; in service →
+    ///   completion; stalled → wake; DOWN/crashed → never);
+    /// * the fault plane (next planned event; next watchdog check
+    ///   while anything is tracked, striking, or holding work);
+    /// * the PCIe flush timer (next multiple of the flush interval
+    ///   while any coalescer holds pending events).
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let mut hint = merge_hint(
+            self.network.next_activity(now),
+            self.pipeline.next_activity(now),
+        );
+        for slot in self.tiles.values() {
+            if let TileSlot::Engine(t) = slot {
+                hint = merge_hint(hint, t.next_activity(now));
+            }
+        }
+        hint = merge_hint(hint, self.fault_plane_next_activity(now));
+        hint = merge_hint(hint, self.pcie_flush_next_activity(now));
+        hint
+    }
+
+    /// Replays the per-cycle bookkeeping of the skipped idle cycles
+    /// `[from, to)` (pipeline idle-slot accounting and traced backlog
+    /// samples, tile busy/progress clocks). The mesh has nothing to
+    /// replay — see [`MeshNetwork::next_activity`].
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.pipeline.skip_idle(from, to);
+        for slot in self.tiles.values_mut() {
+            if let TileSlot::Engine(t) = slot {
+                t.skip_idle(from, to);
+            }
+        }
+    }
+
+    /// Fault-plane contribution to [`PanicNic::next_activity`].
+    fn fault_plane_next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let fr = self.faults.as_ref()?;
+        let mut hint = None;
+        if fr.cursor < fr.plan.len() {
+            // Next planned injection (events whose cycle already passed
+            // fire on the next tick).
+            let at = fr.plan.events()[fr.cursor].at;
+            hint = Some(at.max(now.next()));
+        }
+        if let Some(wd) = &fr.watchdog {
+            // A watchdog check only mutates state while descriptors are
+            // tracked, strikes are accruing, or some tile holds work (a
+            // frozen tile wedges without ever hinting activity itself);
+            // checks outside those conditions are pure no-ops and safe
+            // to skip.
+            let relevant = wd.pending() > 0
+                || !fr.strikes.is_empty()
+                || self.tiles.values().any(|slot| match slot {
+                    TileSlot::Engine(t) => t.queue_depth() > 0 || t.is_busy() || !t.rx_ready(),
+                    TileSlot::RmtPortal => false,
+                });
+            if relevant {
+                let interval = wd.config().check_interval.count().max(1);
+                let next_check = Cycle((now.0 / interval + 1) * interval);
+                hint = merge_hint(hint, Some(next_check));
+            }
+        }
+        hint
+    }
+
+    /// PCIe flush-timer contribution to [`PanicNic::next_activity`]:
+    /// the next flush cycle while any coalescer holds pending events
+    /// (flushing an empty coalescer is a no-op, so idle multiples are
+    /// safe to skip).
+    fn pcie_flush_next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let flush = self.config.pcie_flush_interval;
+        if flush == 0 {
+            return None;
+        }
+        let pending = self.tiles.values().any(|slot| match slot {
+            TileSlot::Engine(t) => t
+                .offload_as::<PcieEngine>()
+                .is_some_and(|p| p.pending() > 0),
+            TileSlot::RmtPortal => false,
+        });
+        if pending {
+            Some(Cycle((now.0 / flush + 1) * flush))
+        } else {
+            None
+        }
+    }
+
+    /// Drains frames transmitted on the wire since the last call into
+    /// `out`, keeping the internal buffer's allocation (the zero-alloc
+    /// alternative to [`PanicNic::take_wire_tx`]).
+    pub fn drain_wire_tx_into(&mut self, out: &mut Vec<Message>) {
+        out.append(&mut self.wire_tx);
+    }
+
+    /// Drains host deliveries since the last call into `out`, keeping
+    /// the internal buffer's allocation.
+    pub fn drain_host_rx_into(&mut self, out: &mut Vec<Message>) {
+        out.append(&mut self.host_rx);
+    }
+
     /// True when nothing is in flight anywhere (mesh, pipeline, or
     /// tile queues/service).
     #[must_use]
@@ -1344,6 +1510,81 @@ mod tests {
         assert_eq!(nic.stats().tx_wire as usize, n);
         assert_eq!(nic.stats().unrouted, 0);
         assert_eq!(nic.stats().consumed, 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run() {
+        // Gap-dominated workload: three frames 400 cycles apart, then a
+        // long drain. The fast-forwarded run must be byte-identical to
+        // the stepped run — same Chrome trace, same metrics JSON.
+        let run = |ff: bool| {
+            let (mut nic, eth, _, _) = tiny_nic();
+            let tracer = Tracer::ring(8192);
+            nic.attach_tracer(&tracer);
+            let mut f = FrameFactory::for_nic_port(0);
+            let mut now = Cycle(0);
+            let mut skipped_total = 0u64;
+            for burst in 0..3u64 {
+                let at = Cycle(burst * 400);
+                let gap = at.0 - now.0;
+                if ff {
+                    let (n, skipped) = nic.run_ff(now, gap);
+                    now = n;
+                    skipped_total += skipped;
+                } else {
+                    now = nic.run(now, gap);
+                }
+                nic.rx_frame(
+                    eth,
+                    f.min_frame(burst as u16, 80),
+                    TenantId(1),
+                    Priority::Normal,
+                    now,
+                );
+            }
+            if ff {
+                let (n, skipped) = nic.run_ff(now, 2000 - now.0);
+                now = n;
+                skipped_total += skipped;
+                assert!(skipped > 0, "gap-dominated run must skip cycles");
+            } else {
+                now = nic.run(now, 2000 - now.0);
+            }
+            assert_eq!(now, Cycle(2000));
+            assert!(nic.is_quiescent());
+            let mut m = MetricsRegistry::new();
+            nic.export_metrics(&mut m);
+            (
+                m.to_json(),
+                tracer.chrome_json(),
+                nic.take_wire_tx().len(),
+                skipped_total,
+            )
+        };
+        let (m_s, t_s, tx_s, _) = run(false);
+        let (m_f, t_f, tx_f, skipped) = run(true);
+        assert_eq!(tx_s, tx_f);
+        assert_eq!(m_s, m_f, "metrics must be byte-identical");
+        assert_eq!(t_s, t_f, "traces must be byte-identical");
+        assert!(skipped > 1000, "most of the run is idle: skipped={skipped}");
+    }
+
+    #[test]
+    fn next_activity_none_when_quiescent() {
+        let (mut nic, eth, _, _) = tiny_nic();
+        assert_eq!(nic.next_activity(Cycle(0)), None);
+        let mut f = FrameFactory::for_nic_port(0);
+        nic.rx_frame(
+            eth,
+            f.min_frame(1, 80),
+            TenantId(1),
+            Priority::Normal,
+            Cycle(0),
+        );
+        assert!(nic.next_activity(Cycle(0)).is_some());
+        let (end, _) = nic.run_ff(Cycle(0), 1000);
+        assert!(nic.is_quiescent());
+        assert_eq!(nic.next_activity(end), None);
     }
 
     #[test]

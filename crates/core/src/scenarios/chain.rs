@@ -134,6 +134,15 @@ pub struct ChainScenario {
     rng: SimRng,
     offered: u64,
     now: Cycle,
+    /// Whether [`ChainScenario::run`]/[`ChainScenario::drain`] may jump
+    /// over provably idle cycles (byte-identical either way; see
+    /// `docs/PERF.md`).
+    fastforward: bool,
+    /// Cycles skipped by fast-forward so far.
+    skipped: u64,
+    /// Reusable egress drain buffer (steady-state runs allocate
+    /// nothing per cycle).
+    wire_scratch: Vec<packet::message::Message>,
 }
 
 impl std::fmt::Debug for ChainScenario {
@@ -356,7 +365,26 @@ impl ChainScenario {
     /// construction or simulation.
     #[must_use]
     pub fn lint_spec(config: &ChainScenarioConfig) -> panic_verify::NicSpec {
-        Self::builder_for(config).0.to_spec()
+        let mut spec = Self::builder_for(config).0.to_spec();
+        spec.arrivals = Self::arrival_processes(config)
+            .iter()
+            .enumerate()
+            .map(|(p, a)| super::arrival_lint_spec(format!("port{p}"), a))
+            .collect();
+        spec
+    }
+
+    /// The per-port arrival processes `config` induces: the offered
+    /// fraction of min-frame line rate, expressed exactly as a
+    /// periodic per-cycle rate.
+    fn arrival_processes(config: &ChainScenarioConfig) -> Vec<ArrivalProcess> {
+        let mac_probe = MacEngine::new("probe", config.line_rate, Freq::PANIC_DEFAULT);
+        let ser = mac_probe.serialization_cycles(64).count();
+        // rate per cycle = offered_fraction / ser  -> periodic(num, den)
+        let den = (ser as f64 * 1000.0 / config.offered_fraction).round() as u64;
+        (0..config.ports)
+            .map(|_| ArrivalProcess::periodic(1000, den.max(1000)))
+            .collect()
     }
 
     /// Builds the scenario.
@@ -371,13 +399,7 @@ impl ChainScenario {
 
         // Offered rate: fraction of min-frame line rate. One min frame
         // per `ser` cycles is line rate for this MAC.
-        let mac_probe = MacEngine::new("probe", config.line_rate, Freq::PANIC_DEFAULT);
-        let ser = mac_probe.serialization_cycles(64).count();
-        // rate per cycle = offered_fraction / ser  -> periodic(num, den)
-        let den = (ser as f64 * 1000.0 / config.offered_fraction).round() as u64;
-        let arrivals = (0..config.ports)
-            .map(|_| ArrivalProcess::periodic(1000, den.max(1000)))
-            .collect();
+        let arrivals = Self::arrival_processes(&config);
 
         ChainScenario {
             nic: b.build(),
@@ -388,8 +410,25 @@ impl ChainScenario {
             rng: SimRng::new(config.seed),
             offered: 0,
             now: Cycle::ZERO,
+            fastforward: true,
+            skipped: 0,
+            wire_scratch: Vec::new(),
             config,
         }
+    }
+
+    /// Enables or disables quiescence fast-forward for subsequent
+    /// [`ChainScenario::run`]/[`ChainScenario::drain`] calls. On by
+    /// default; the two modes produce byte-identical traces, metrics,
+    /// and reports (`tests/fastforward_equiv.rs` holds the line).
+    pub fn set_fastforward(&mut self, on: bool) {
+        self.fastforward = on;
+    }
+
+    /// Cycles fast-forward has skipped so far.
+    #[must_use]
+    pub fn cycles_skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// The NIC under test.
@@ -410,9 +449,11 @@ impl ChainScenario {
         self.nic.export_metrics(m);
     }
 
-    /// Runs for `cycles` cycles.
-    pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+    /// One simulated cycle: optional arrivals, a NIC tick, and an
+    /// egress drain (into a reusable buffer — steady state allocates
+    /// nothing per cycle).
+    fn step(&mut self, inject: bool) {
+        if inject {
             for (i, arr) in self.arrivals.iter_mut().enumerate() {
                 if arr.poll(&mut self.rng) {
                     let frame = self.factory.min_frame(i as u16, 80);
@@ -426,24 +467,120 @@ impl ChainScenario {
                     self.offered += 1;
                 }
             }
-            self.nic.tick(self.now);
-            self.now = self.now.next();
-            // Egressed frames just leave; drain so memory stays flat.
-            let _ = self.nic.take_wire_tx();
+        }
+        self.nic.tick(self.now);
+        self.now = self.now.next();
+        // Egressed frames just leave; drain so memory stays flat.
+        self.wire_scratch.clear();
+        self.nic.drain_wire_tx_into(&mut self.wire_scratch);
+    }
+
+    /// Runs for `cycles` cycles, fast-forwarding over provably idle
+    /// gaps unless [`ChainScenario::set_fastforward`] disabled it.
+    pub fn run(&mut self, cycles: u64) {
+        if self.fastforward {
+            let _ = self.run_ff(cycles);
+        } else {
+            self.run_stepped(cycles);
         }
     }
 
+    /// Runs for `cycles` cycles, one tick per cycle (the reference
+    /// semantics fast-forward must reproduce byte-for-byte).
+    pub fn run_stepped(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step(true);
+        }
+    }
+
+    /// Runs for `cycles` cycles with quiescence fast-forward: when
+    /// neither the NIC nor any arrival process can act before cycle
+    /// `t`, jump straight to `t` (replaying per-cycle bookkeeping via
+    /// `skip_idle`). Returns the number of cycles skipped. Traces,
+    /// metrics, and reports are byte-identical to
+    /// [`ChainScenario::run_stepped`]; see `docs/PERF.md`.
+    pub fn run_ff(&mut self, cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + cycles);
+        let before = self.skipped;
+        while self.now < end {
+            let prev = self.now;
+            self.step(true);
+            let next = self.now;
+            let mut hint = self.nic.next_activity(prev);
+            let mut skippable = true;
+            for a in &self.arrivals {
+                match a.cycles_to_next() {
+                    // Stochastic arrivals draw RNG every cycle; no
+                    // cycle is skippable without changing the stream.
+                    None => {
+                        skippable = false;
+                        break;
+                    }
+                    Some(u64::MAX) => {}
+                    Some(k) => {
+                        let at = Cycle(prev.0.saturating_add(k));
+                        hint = Some(hint.map_or(at, |h| h.min(at)));
+                    }
+                }
+            }
+            if !skippable {
+                continue;
+            }
+            let target = hint.unwrap_or(end).max(next).min(end);
+            if target > next {
+                let delta = target.0 - next.0;
+                self.nic.skip_idle(next, target);
+                for a in &mut self.arrivals {
+                    a.skip(delta);
+                }
+                self.skipped += delta;
+                self.now = target;
+            }
+        }
+        self.skipped - before
+    }
+
     /// Drains in-flight traffic (no new arrivals) for up to
-    /// `max_cycles`.
+    /// `max_cycles`, fast-forwarding unless disabled.
     pub fn drain(&mut self, max_cycles: u64) {
+        if self.fastforward {
+            let _ = self.drain_ff(max_cycles);
+        } else {
+            self.drain_stepped(max_cycles);
+        }
+    }
+
+    /// Drains in-flight traffic one tick per cycle.
+    pub fn drain_stepped(&mut self, max_cycles: u64) {
         for _ in 0..max_cycles {
             if self.nic.is_quiescent() {
                 break;
             }
-            self.nic.tick(self.now);
-            self.now = self.now.next();
-            let _ = self.nic.take_wire_tx();
+            self.step(false);
         }
+    }
+
+    /// Drains with quiescence fast-forward; returns cycles skipped.
+    pub fn drain_ff(&mut self, max_cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + max_cycles);
+        let before = self.skipped;
+        while self.now < end {
+            if self.nic.is_quiescent() {
+                break;
+            }
+            let prev = self.now;
+            self.step(false);
+            let next = self.now;
+            if let Some(hint) = self.nic.next_activity(prev) {
+                let target = hint.max(next).min(end);
+                if target > next {
+                    self.nic.skip_idle(next, target);
+                    self.skipped += target.0 - next.0;
+                    self.now = target;
+                }
+            }
+        }
+        self.skipped - before
     }
 
     /// Builds the report for everything run so far.
@@ -540,6 +677,47 @@ mod tests {
             r.delivered_per_cycle
         );
         assert!(r.delivered < r.offered, "saturated");
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run_exactly() {
+        let build = |tracer: &trace::Tracer| {
+            let mut s = ChainScenario::new(ChainScenarioConfig {
+                offered_fraction: 0.02,
+                chain_len: 2,
+                ..ChainScenarioConfig::default()
+            });
+            s.attach_tracer(tracer);
+            s
+        };
+        let t1 = trace::Tracer::chrome();
+        let mut stepped = build(&t1);
+        stepped.set_fastforward(false);
+        stepped.run(5_000);
+        stepped.drain(5_000);
+        let t2 = trace::Tracer::chrome();
+        let mut ff = build(&t2);
+        ff.run(5_000);
+        ff.drain(5_000);
+        assert!(
+            ff.cycles_skipped() > 1_000,
+            "skipped {}",
+            ff.cycles_skipped()
+        );
+        let (ra, rb) = (stepped.report(), ff.report());
+        assert_eq!(ra.offered, rb.offered);
+        assert_eq!(ra.delivered, rb.delivered);
+        assert_eq!(ra.latency, rb.latency);
+        assert_eq!(stepped.now, ff.now, "drain must stop at the same cycle");
+        let (mut m1, mut m2) = (trace::MetricsRegistry::new(), trace::MetricsRegistry::new());
+        stepped.export_metrics(&mut m1);
+        ff.export_metrics(&mut m2);
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(
+            t1.chrome_json().expect("chrome tracer"),
+            t2.chrome_json().expect("chrome tracer"),
+            "Chrome traces must be byte-identical"
+        );
     }
 
     #[test]

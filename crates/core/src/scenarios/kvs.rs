@@ -186,6 +186,11 @@ pub struct KvsScenario {
     hit_latency: Histogram,
     host_latency: Histogram,
     now: Cycle,
+    /// Whether [`KvsScenario::run`] may jump over provably idle cycles
+    /// (byte-identical either way; see `docs/PERF.md`).
+    fastforward: bool,
+    /// Cycles skipped by fast-forward so far.
+    skipped: u64,
 }
 
 impl std::fmt::Debug for KvsScenario {
@@ -328,7 +333,13 @@ impl KvsScenario {
     /// construction or simulation.
     #[must_use]
     pub fn lint_spec(config: &KvsScenarioConfig) -> panic_verify::NicSpec {
-        Self::builder_for(config).to_spec()
+        let mut spec = Self::builder_for(config).to_spec();
+        spec.arrivals = config
+            .tenants
+            .iter()
+            .map(|t| super::arrival_lint_spec(format!("tenant{}", t.tenant.0), &t.arrivals))
+            .collect();
+        spec
     }
 
     /// Builds the scenario: NIC, engines, program, warm cache, store.
@@ -422,8 +433,24 @@ impl KvsScenario {
             hit_latency: Histogram::new(),
             host_latency: Histogram::new(),
             now: Cycle::ZERO,
+            fastforward: true,
+            skipped: 0,
             config,
         }
+    }
+
+    /// Enables or disables quiescence fast-forward for subsequent
+    /// [`KvsScenario::run`] calls. On by default; both modes produce
+    /// byte-identical traces, metrics, and reports
+    /// (`tests/fastforward_equiv.rs` holds the line).
+    pub fn set_fastforward(&mut self, on: bool) {
+        self.fastforward = on;
+    }
+
+    /// Cycles fast-forward has skipped so far.
+    #[must_use]
+    pub fn cycles_skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// The NIC under test.
@@ -606,11 +633,60 @@ impl KvsScenario {
         KvsRequest::decode(&frame[n1 + n2 + n3..]).ok()
     }
 
-    /// Runs `cycles` cycles.
+    /// Runs `cycles` cycles, fast-forwarding over provably idle gaps
+    /// unless [`KvsScenario::set_fastforward`] disabled it.
     pub fn run(&mut self, cycles: u64) {
+        if self.fastforward {
+            let _ = self.run_ff(cycles);
+        } else {
+            self.run_stepped(cycles);
+        }
+    }
+
+    /// Runs `cycles` cycles, one tick per cycle (the reference
+    /// semantics fast-forward must reproduce byte-for-byte).
+    pub fn run_stepped(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.tick();
         }
+    }
+
+    /// Runs `cycles` cycles with quiescence fast-forward: when the
+    /// NIC, the host-software event queue, and every tenant's arrival
+    /// process are all provably idle until cycle `t`, jump straight to
+    /// `t` (replaying per-cycle bookkeeping via `skip_idle`). Returns
+    /// the cycles skipped. Byte-identical to
+    /// [`KvsScenario::run_stepped`]; see `docs/PERF.md`.
+    pub fn run_ff(&mut self, cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + cycles);
+        let before = self.skipped;
+        while self.now < end {
+            let prev = self.now;
+            self.tick();
+            let next = self.now;
+            // Stochastic tenants draw RNG every cycle: unskippable.
+            let Some(k) = self.workload.cycles_to_next() else {
+                continue;
+            };
+            let mut hint = self.nic.next_activity(prev);
+            if k < u64::MAX {
+                let at = Cycle(prev.0.saturating_add(k));
+                hint = Some(hint.map_or(at, |h| h.min(at)));
+            }
+            if let Some(due) = self.host_events.next_due() {
+                let at = due.max(next);
+                hint = Some(hint.map_or(at, |h| h.min(at)));
+            }
+            let target = hint.unwrap_or(end).max(next).min(end);
+            if target > next {
+                let delta = target.0 - next.0;
+                self.nic.skip_idle(next, target);
+                self.workload.skip(delta);
+                self.skipped += delta;
+                self.now = target;
+            }
+        }
+        self.skipped - before
     }
 
     /// Builds the report.
@@ -659,6 +735,65 @@ mod tests {
         c.tenants[0].arrivals = ArrivalProcess::periodic(1, 200);
         c.tenants[1].arrivals = ArrivalProcess::periodic(1, 400);
         c
+    }
+
+    /// PV501 end-to-end: a tenant on stochastic arrivals pins the run
+    /// to stepped speed, and `lint_spec` surfaces that; the shipped
+    /// periodic defaults stay clean.
+    #[test]
+    fn lint_spec_flags_stochastic_tenants_with_pv501() {
+        use workloads::arrivals::ArrivalProcess;
+        let mut c = small_config();
+        c.tenants[1].arrivals = ArrivalProcess::bernoulli(0.01);
+        let report = panic_verify::verify(&KvsScenario::lint_spec(&c));
+        assert!(
+            report.has(panic_verify::Code::PV501),
+            "{}",
+            report.render_human()
+        );
+        assert!(report.is_clean(), "PV501 is a warning, not an error");
+        let clean = panic_verify::verify(&KvsScenario::lint_spec(&small_config()));
+        assert!(
+            !clean.has(panic_verify::Code::PV501),
+            "{}",
+            clean.render_human()
+        );
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_run_exactly() {
+        let build = |tracer: &trace::Tracer| {
+            let mut s = KvsScenario::new(small_config());
+            s.attach_tracer(tracer);
+            s
+        };
+        let t1 = trace::Tracer::chrome();
+        let mut stepped = build(&t1);
+        stepped.set_fastforward(false);
+        stepped.run(30_000);
+        let t2 = trace::Tracer::chrome();
+        let mut ff = build(&t2);
+        ff.run(30_000);
+        assert!(
+            ff.cycles_skipped() > 3_000,
+            "skipped {}",
+            ff.cycles_skipped()
+        );
+        let (ra, rb) = (stepped.report(), ff.report());
+        assert_eq!(
+            format!("{ra:?}"),
+            format!("{rb:?}"),
+            "reports must be identical"
+        );
+        let (mut m1, mut m2) = (trace::MetricsRegistry::new(), trace::MetricsRegistry::new());
+        stepped.export_metrics(&mut m1);
+        ff.export_metrics(&mut m2);
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(
+            t1.chrome_json().expect("chrome tracer"),
+            t2.chrome_json().expect("chrome tracer"),
+            "Chrome traces must be byte-identical"
+        );
     }
 
     #[test]

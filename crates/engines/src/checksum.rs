@@ -105,14 +105,15 @@ impl Offload for ChecksumEngine {
         Cycles((msg.payload.len() as u64).div_ceil(64).max(1))
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         // An invalid IP header (checksum) fails Ipv4Header::parse, so
         // udp_offset None covers both "not UDP" and "corrupt IP".
         let Some(off) = Self::udp_offset(&msg.payload) else {
-            return match self.mode {
+            match self.mode {
                 ChecksumMode::Verify => {
                     // Distinguish non-UDP (forward) from corrupt IP (drop).
                     match EthernetHeader::parse(&msg.payload)
@@ -121,36 +122,37 @@ impl Offload for ChecksumEngine {
                     {
                         Some(true) | None => {
                             self.ok += 1;
-                            vec![Output::Forward(msg)]
+                            out.push(Output::Forward(msg));
                         }
                         Some(false) => {
                             self.failed += 1;
-                            vec![Output::Consumed]
+                            out.push(Output::Consumed);
                         }
                     }
                 }
-                ChecksumMode::Compute => vec![Output::Forward(msg)],
-            };
+                ChecksumMode::Compute => out.push(Output::Forward(msg)),
+            }
+            return;
         };
         match self.mode {
             ChecksumMode::Verify => {
                 let (udp, _) = UdpHeader::parse(&msg.payload[off..]).expect("udp_offset checked");
                 if udp.checksum == 0 || udp.checksum == udp_payload_checksum(&msg.payload[off..]) {
                     self.ok += 1;
-                    vec![Output::Forward(msg)]
+                    out.push(Output::Forward(msg));
                 } else {
                     self.failed += 1;
-                    vec![Output::Consumed]
+                    out.push(Output::Consumed);
                 }
             }
             ChecksumMode::Compute => {
                 let csum = udp_payload_checksum(&msg.payload[off..]);
                 let mut bytes = BytesMut::from(&msg.payload[..]);
                 bytes[off + 6..off + 8].copy_from_slice(&csum.to_be_bytes());
-                let mut out = msg;
-                out.payload = bytes.freeze();
+                let mut fwd = msg;
+                fwd.payload = bytes.freeze();
                 self.ok += 1;
-                vec![Output::Forward(out)]
+                out.push(Output::Forward(fwd));
             }
         }
     }

@@ -160,7 +160,7 @@ impl Offload for CompressEngine {
         Cycles(4 + (msg.payload.len() as u64).div_ceil(32) * self.cycles_per_32b)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         self.bytes_in += msg.payload.len() as u64;
         let transformed = match self.mode {
             CompressMode::Compress => Some(compress(&msg.payload)),
@@ -169,13 +169,13 @@ impl Offload for CompressEngine {
         match transformed {
             Some(data) => {
                 self.bytes_out += data.len() as u64;
-                let mut out = msg;
-                out.payload = Bytes::from(data);
-                vec![Output::Forward(out)]
+                let mut fwd = msg;
+                fwd.payload = Bytes::from(data);
+                out.push(Output::Forward(fwd));
             }
             None => {
                 self.errors += 1;
-                vec![Output::Consumed]
+                out.push(Output::Consumed);
             }
         }
     }

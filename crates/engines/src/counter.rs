@@ -92,7 +92,7 @@ impl Offload for CounterEngine {
         Cycles(1) // one read-modify-write
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind == MessageKind::EthernetFrame {
             let parsed = EthernetHeader::parse(&msg.payload)
                 .ok()
@@ -112,7 +112,7 @@ impl Offload for CounterEngine {
                 None => self.unparsed += 1,
             }
         }
-        vec![Output::Forward(msg)]
+        out.push(Output::Forward(msg));
     }
 }
 

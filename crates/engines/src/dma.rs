@@ -222,34 +222,36 @@ impl Offload for DmaEngine {
         self.config.base_latency + self.transfer_cycles(bytes) + self.contention(msg.id.0)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         match msg.kind {
             MessageKind::DmaRead => {
                 let Some(desc) = DmaDescriptor::decode(&msg.payload) else {
-                    return vec![Output::Consumed];
+                    out.push(Output::Consumed);
+                    return;
                 };
                 self.reads += 1;
                 let data = self.host.read(desc.addr, desc.len as usize);
                 let mut completion = BytesMut::with_capacity(8 + data.len());
                 completion.put_u64(desc.tag);
                 completion.put_slice(&data);
-                let mut out = msg;
-                out.kind = MessageKind::DmaCompletion;
-                out.payload = completion.freeze();
-                vec![Output::Forward(out)]
+                let mut fwd = msg;
+                fwd.kind = MessageKind::DmaCompletion;
+                fwd.payload = completion.freeze();
+                out.push(Output::Forward(fwd));
             }
             MessageKind::DmaWrite => {
                 let Some(desc) = DmaDescriptor::decode(&msg.payload) else {
-                    return vec![Output::Consumed];
+                    out.push(Output::Consumed);
+                    return;
                 };
                 self.writes += 1;
                 self.host.write(desc.addr, &desc.data);
                 let mut completion = BytesMut::with_capacity(8);
                 completion.put_u64(desc.tag);
-                let mut out = msg;
-                out.kind = MessageKind::DmaCompletion;
-                out.payload = completion.freeze();
-                vec![Output::Forward(out)]
+                let mut fwd = msg;
+                fwd.kind = MessageKind::DmaCompletion;
+                fwd.payload = completion.freeze();
+                out.push(Output::Forward(fwd));
             }
             MessageKind::EthernetFrame => {
                 // Host delivery: append to the ring the pipeline chose.
@@ -264,19 +266,17 @@ impl Offload for DmaEngine {
                 self.rx_cursor[q] += msg.payload.len() as u64;
                 self.deliveries += 1;
 
-                let mut outs = Vec::with_capacity(2);
                 if let Some(pcie) = self.pcie {
                     let event = Message::builder(self.ids.next_id(), MessageKind::PcieEvent)
                         .tenant(msg.tenant)
                         .priority(msg.priority)
                         .injected_at(msg.injected_at)
                         .build();
-                    outs.push(Output::ForwardTo(pcie, event));
+                    out.push(Output::ForwardTo(pcie, event));
                 }
-                outs.push(Output::Egress(EgressKind::Host, msg));
-                outs
+                out.push(Output::Egress(EgressKind::Host, msg));
             }
-            _ => vec![Output::Forward(msg)],
+            _ => out.push(Output::Forward(msg)),
         }
     }
 }

@@ -99,10 +99,21 @@ pub trait Offload {
         Cycles::ZERO
     }
 
-    /// Transforms the message after `service_time` elapsed. May return
-    /// zero, one, or several outputs (e.g. a DMA engine returning both
-    /// a completion and an interrupt request).
-    fn process(&mut self, msg: Message, now: Cycle) -> Vec<Output>;
+    /// Transforms the message after `service_time` elapsed, pushing
+    /// zero, one, or several outputs into `out` (e.g. a DMA engine
+    /// producing both a completion and an interrupt request). `out` is
+    /// *appended to*, never cleared — the caller owns the buffer so the
+    /// steady-state tick loop performs no allocation (see
+    /// `docs/PERF.md`).
+    fn process_into(&mut self, msg: Message, now: Cycle, out: &mut Vec<Output>);
+
+    /// Allocating convenience wrapper over
+    /// [`Offload::process_into`] for tests and cold paths.
+    fn process(&mut self, msg: Message, now: Cycle) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.process_into(msg, now, &mut out);
+        out
+    }
 }
 
 /// A trivial pass-through offload with a fixed service time — the unit
@@ -160,9 +171,9 @@ impl Offload for NullOffload {
         self.service
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         self.processed += 1;
-        vec![Output::Forward(msg)]
+        out.push(Output::Forward(msg));
     }
 }
 

@@ -86,9 +86,10 @@ impl Offload for FirewallEngine {
         Cycles(2 + strides * groups)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         self.inspected += 1;
         if self.matches(&msg.payload) {
@@ -96,12 +97,12 @@ impl Offload for FirewallEngine {
             match self.action {
                 MatchAction::Drop => {
                     self.dropped += 1;
-                    vec![Output::Consumed]
+                    out.push(Output::Consumed);
                 }
-                MatchAction::Count => vec![Output::Forward(msg)],
+                MatchAction::Count => out.push(Output::Forward(msg)),
             }
         } else {
-            vec![Output::Forward(msg)]
+            out.push(Output::Forward(msg));
         }
     }
 }

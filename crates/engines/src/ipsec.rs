@@ -210,23 +210,24 @@ impl Offload for IpsecEngine {
         Cycles(self.base_cycles + blocks * self.cycles_per_32b)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         if Self::is_esp(&msg.payload) {
             match decrypt_frame(&msg.payload, &self.sas) {
                 Some(inner) => {
                     self.decrypted += 1;
-                    let mut out = msg;
-                    out.payload = inner;
+                    let mut fwd = msg;
+                    fwd.payload = inner;
                     // The inner headers are new to the NIC: second pass
                     // through the heavyweight pipeline (§3.1.2).
-                    vec![Output::ToPipeline(out)]
+                    out.push(Output::ToPipeline(fwd));
                 }
                 None => {
                     self.auth_failures += 1;
-                    vec![Output::Consumed]
+                    out.push(Output::Consumed);
                 }
             }
         } else {
@@ -236,15 +237,15 @@ impl Offload for IpsecEngine {
                     self.tx_seq += 1;
                     let enc = encrypt_frame(&msg.payload, t, seq);
                     self.encrypted += 1;
-                    let mut out = msg;
-                    out.payload = enc;
-                    vec![Output::Forward(out)]
+                    let mut fwd = msg;
+                    fwd.payload = enc;
+                    out.push(Output::Forward(fwd));
                 }
                 None => {
                     // No tunnel: a plaintext frame at a decrypt-only
                     // engine is a policy violation.
                     self.auth_failures += 1;
-                    vec![Output::Consumed]
+                    out.push(Output::Consumed);
                 }
             }
         }

@@ -240,7 +240,7 @@ impl Offload for KvsCacheEngine {
         Cycles(self.lookup_cycles)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind == MessageKind::DmaCompletion {
             // A SET's log write finished: the location is now safe to
             // serve, so install it.
@@ -250,14 +250,17 @@ impl Offload for KvsCacheEngine {
                     self.cache.insert(key, addr, len);
                 }
             }
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         }
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         let Some((req, _)) = Self::parse_kvs(&msg.payload) else {
             // Not KVS traffic: continue along the chain untouched.
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         };
         match req.op {
             KvsOp::Get => match self.cache.get(req.key) {
@@ -268,14 +271,14 @@ impl Offload for KvsCacheEngine {
                         len,
                         frame: msg.payload.clone(),
                     };
-                    let mut out = msg;
-                    out.kind = MessageKind::RdmaWork;
-                    out.payload = work.encode();
-                    vec![Output::ForwardTo(self.rdma, out)]
+                    let mut work_msg = msg;
+                    work_msg.kind = MessageKind::RdmaWork;
+                    work_msg.payload = work.encode();
+                    out.push(Output::ForwardTo(self.rdma, work_msg));
                 }
                 None => {
                     self.misses += 1;
-                    vec![Output::ForwardTo(self.dma, msg)]
+                    out.push(Output::ForwardTo(self.dma, msg));
                 }
             },
             KvsOp::Set => {
@@ -293,19 +296,20 @@ impl Offload for KvsCacheEngine {
                     tag: u64::from(req.request_id),
                     data: req.value.slice(..len as usize),
                 };
-                let mut out = msg;
-                out.kind = MessageKind::DmaWrite;
-                out.payload = desc.encode();
-                out.chain = ChainHeader::uniform(&[self.dma, self.self_id], out.current_slack())
-                    .expect("2 hops");
-                vec![Output::ForwardTo(self.dma, out)]
+                let mut write = msg;
+                write.kind = MessageKind::DmaWrite;
+                write.payload = desc.encode();
+                write.chain =
+                    ChainHeader::uniform(&[self.dma, self.self_id], write.current_slack())
+                        .expect("2 hops");
+                out.push(Output::ForwardTo(self.dma, write));
             }
             KvsOp::Del => {
                 self.dels += 1;
                 self.cache.remove(req.key);
-                vec![Output::ForwardTo(self.dma, msg)]
+                out.push(Output::ForwardTo(self.dma, msg));
             }
-            KvsOp::Reply => vec![Output::Forward(msg)],
+            KvsOp::Reply => out.push(Output::Forward(msg)),
         }
     }
 }

@@ -86,10 +86,10 @@ impl Offload for MacEngine {
         self.serialization_cycles(msg.payload.len() as u64)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         self.tx_frames += 1;
         self.tx_bytes += msg.payload.len() as u64;
-        vec![Output::Egress(EgressKind::Wire, msg)]
+        out.push(Output::Egress(EgressKind::Wire, msg));
     }
 }
 

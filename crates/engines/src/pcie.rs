@@ -87,7 +87,7 @@ impl Offload for PcieEngine {
         Cycles(1)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         match msg.kind {
             MessageKind::PcieEvent => {
                 self.events += 1;
@@ -95,14 +95,14 @@ impl Offload for PcieEngine {
                 if self.pending >= self.threshold {
                     self.pending = 0;
                     self.interrupts += 1;
-                    vec![Output::Egress(EgressKind::Host, msg)]
+                    out.push(Output::Egress(EgressKind::Host, msg));
                 } else {
-                    vec![Output::Consumed]
+                    out.push(Output::Consumed);
                 }
             }
             // Anything else passes through (e.g. a descriptor doorbell
             // heading host->NIC in a TX model).
-            _ => vec![Output::Forward(msg)],
+            _ => out.push(Output::Forward(msg)),
         }
     }
 }

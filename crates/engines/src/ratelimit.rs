@@ -103,9 +103,10 @@ impl Offload for RateLimitEngine {
         Cycles(1)
     }
 
-    fn process(&mut self, msg: Message, now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, now: Cycle, out: &mut Vec<Output>) {
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         let bucket = match self.buckets.get_mut(&msg.tenant) {
             Some(b) => b,
@@ -116,7 +117,8 @@ impl Offload for RateLimitEngine {
                 }
                 None => {
                     self.conformed += 1;
-                    return vec![Output::Forward(msg)];
+                    out.push(Output::Forward(msg));
+                    return;
                 }
             },
         };
@@ -125,10 +127,10 @@ impl Offload for RateLimitEngine {
         if bucket.tokens >= need {
             bucket.tokens -= need;
             self.conformed += 1;
-            vec![Output::Forward(msg)]
+            out.push(Output::Forward(msg));
         } else {
             self.policed += 1;
-            vec![Output::Consumed]
+            out.push(Output::Consumed);
         }
     }
 }

@@ -132,11 +132,12 @@ impl Offload for RdmaEngine {
         Cycles(self.work_cycles)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         match msg.kind {
             MessageKind::RdmaWork => {
                 let Some(work) = RdmaWorkDesc::decode(&msg.payload) else {
-                    return vec![Output::Consumed];
+                    out.push(Output::Consumed);
+                    return;
                 };
                 let tag = self.next_tag;
                 self.next_tag += 1;
@@ -157,18 +158,20 @@ impl Offload for RdmaEngine {
                 let slack = read.current_slack();
                 read.chain =
                     ChainHeader::uniform(&[self.dma, self.self_id], slack).expect("2 hops");
-                vec![Output::ForwardTo(self.dma, read)]
+                out.push(Output::ForwardTo(self.dma, read));
             }
             MessageKind::DmaCompletion => {
                 if msg.payload.len() < 8 {
                     self.orphan_completions += 1;
-                    return vec![Output::Consumed];
+                    out.push(Output::Consumed);
+                    return;
                 }
                 let tag = u64::from_be_bytes(msg.payload[0..8].try_into().expect("8 bytes"));
                 let value = msg.payload.slice(8..);
                 let Some(frame) = self.pending.remove(&tag) else {
                     self.orphan_completions += 1;
-                    return vec![Output::Consumed];
+                    out.push(Output::Consumed);
+                    return;
                 };
                 match Self::build_reply(&frame, value) {
                     Some(reply_frame) => {
@@ -178,15 +181,15 @@ impl Offload for RdmaEngine {
                         reply.payload = reply_frame;
                         reply.chain = ChainHeader::empty();
                         // "inject this new response into the pipeline".
-                        vec![Output::ToPipeline(reply)]
+                        out.push(Output::ToPipeline(reply));
                     }
                     None => {
                         self.orphan_completions += 1;
-                        vec![Output::Consumed]
+                        out.push(Output::Consumed);
                     }
                 }
             }
-            _ => vec![Output::Forward(msg)],
+            _ => out.push(Output::Forward(msg)),
         }
     }
 }

@@ -190,8 +190,13 @@ impl TcpEngine {
 
     /// Delivers `msg` in order and releases any now-contiguous OOO
     /// segments. Returns the outputs (deliveries + possibly an ACK).
-    fn deliver_in_order(&mut self, key: FlowKey, msg: Message, seg_len: u32) -> Vec<Output> {
-        let mut outs = Vec::new();
+    fn deliver_in_order(
+        &mut self,
+        key: FlowKey,
+        msg: Message,
+        seg_len: u32,
+        outs: &mut Vec<Output>,
+    ) {
         let conn = self.conns.get_mut(&key).expect("caller checked");
         conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg_len.max(1));
         conn.unacked += 1;
@@ -225,7 +230,6 @@ impl TcpEngine {
                     .build(),
             ));
         }
-        outs
     }
 }
 
@@ -252,20 +256,23 @@ impl Offload for TcpEngine {
         Cycles(4 + (msg.payload.len() as u64) / 128)
     }
 
-    fn process(&mut self, msg: Message, _now: Cycle) -> Vec<Output> {
+    fn process_into(&mut self, msg: Message, _now: Cycle, out: &mut Vec<Output>) {
         if msg.kind != MessageKind::EthernetFrame {
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         }
         let Some(seg) = Self::parse(&msg.payload) else {
             // Not TCP: none of this engine's business.
-            return vec![Output::Forward(msg)];
+            out.push(Output::Forward(msg));
+            return;
         };
 
         if seg.tcp.flags & flags::RST != 0 {
             if self.conns.remove(&seg.key).is_some() {
                 self.closed += 1;
             }
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         }
         if seg.tcp.flags & flags::SYN != 0 {
             self.conns.insert(
@@ -285,36 +292,40 @@ impl Offload for TcpEngine {
             self.opened += 1;
             // SYN itself is consumed; the SYN-ACK would come from the
             // host stack or a full TOE — out of scope for RX offload.
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         }
         let Some(conn) = self.conns.get_mut(&seg.key) else {
             self.dropped += 1;
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         };
         if seg.tcp.flags & flags::FIN != 0 {
             self.conns.remove(&seg.key);
             self.closed += 1;
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         }
         if seg.payload_len == 0 {
             // Pure ACK from the peer: nothing to deliver.
-            return vec![Output::Consumed];
+            out.push(Output::Consumed);
+            return;
         }
         if seg.tcp.seq == conn.rcv_nxt {
-            self.deliver_in_order(seg.key, msg, seg.payload_len)
+            self.deliver_in_order(seg.key, msg, seg.payload_len, out);
         } else if seg.tcp.seq.wrapping_sub(conn.rcv_nxt) < 1 << 30 {
             // Ahead of the window: buffer out of order.
             if conn.ooo.len() >= self.ooo_capacity {
                 self.dropped += 1;
-                return vec![Output::Consumed];
+                out.push(Output::Consumed);
+                return;
             }
             conn.ooo.insert(seg.tcp.seq, msg);
             self.reordered += 1;
-            vec![]
         } else {
             // Duplicate / old segment.
             self.dropped += 1;
-            vec![Output::Consumed]
+            out.push(Output::Consumed);
         }
     }
 }

@@ -142,6 +142,9 @@ pub struct EngineTile {
     /// True once any fault/watchdog API touched this tile; gates the
     /// fault-only metrics so fault-free output stays byte-identical.
     faulted: bool,
+    /// Reusable buffer for [`Offload::process_into`] outputs, so the
+    /// steady-state tick performs no allocation (see `docs/PERF.md`).
+    out_scratch: Vec<Output>,
 }
 
 impl std::fmt::Debug for EngineTile {
@@ -173,6 +176,7 @@ impl EngineTile {
             down: false,
             last_progress: Cycle::ZERO,
             faulted: false,
+            out_scratch: Vec::new(),
         }
     }
 
@@ -317,12 +321,24 @@ impl EngineTile {
     }
 
     /// Advances one cycle. Returns everything the tile emits.
+    ///
+    /// Convenience wrapper over [`EngineTile::tick_into`]; hot loops
+    /// reuse a caller-owned buffer instead.
     pub fn tick(&mut self, now: Cycle) -> Vec<Emit> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// [`EngineTile::tick`] into a caller-owned buffer (cleared first),
+    /// so the steady-state tick loop performs no allocation.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Emit>) {
+        out.clear();
         // Fault states: a DOWN tile is inert; a crashed or stalled
         // tile is frozen (work in flight neither completes nor
         // advances, which is exactly what the watchdog must detect).
         if self.down || self.crashed || now < self.stall_until {
-            return Vec::new();
+            return;
         }
 
         // Retry a refused RX message first: its slot blocks the
@@ -333,8 +349,6 @@ impl EngineTile {
                 Admission::Refused(m) => self.pending = Some(m),
             }
         }
-
-        let mut emits = Vec::new();
 
         // Complete service.
         if let Some((_, _, done_at)) = &self.in_service {
@@ -352,9 +366,7 @@ impl EngineTile {
                         msg.id.0,
                     );
                 }
-                for out in self.offload.process(msg, now) {
-                    emits.push(self.route_output(out));
-                }
+                self.process_and_route(msg, now, out);
             }
         }
 
@@ -381,9 +393,7 @@ impl EngineTile {
                             msg.id.0,
                         );
                     }
-                    for out in self.offload.process(msg, now) {
-                        emits.push(self.route_output(out));
-                    }
+                    self.process_and_route(msg, now, out);
                 } else {
                     self.in_service = Some((msg, now, now + st));
                 }
@@ -399,7 +409,81 @@ impl EngineTile {
             // without advancing it.
             self.last_progress = now;
         }
-        emits
+    }
+
+    /// Runs the offload on `msg` and routes every output, reusing the
+    /// tile's scratch buffer for the offload outputs.
+    fn process_and_route(&mut self, msg: Message, now: Cycle, out: &mut Vec<Emit>) {
+        let mut scratch = std::mem::take(&mut self.out_scratch);
+        self.offload.process_into(msg, now, &mut scratch);
+        for o in scratch.drain(..) {
+            out.push(self.route_output(o));
+        }
+        self.out_scratch = scratch;
+    }
+
+    /// Fast-forward hint (see `sim_core::Clocked::next_activity` for the
+    /// contract): the next cycle at which this tile's `tick` would do
+    /// anything observable, or `None` when it never will without
+    /// external input.
+    ///
+    /// * DOWN / crashed tiles are inert until an external actor (the
+    ///   watchdog, the fault plane) touches them: `None`.
+    /// * A stalled tile wakes at `stall_until` (the first live tick —
+    ///   a completion whose deadline passed during the stall fires
+    ///   there, and an idle tile's progress clock resumes there).
+    /// * A parked RX message or a non-empty queue retries/pops every
+    ///   cycle — and each refused retry bumps the queue's `refused`
+    ///   counter, so those cycles cannot be skipped.
+    /// * A busy tile's next event is its service completion; the
+    ///   skipped cycles only accrue `busy_cycles`, which
+    ///   [`EngineTile::skip_idle`] replays.
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.down || self.crashed {
+            return None;
+        }
+        if self.stall_until > now {
+            return Some(self.stall_until.max(now.next()));
+        }
+        if self.pending.is_some() || !self.queue.is_empty() {
+            return Some(now.next());
+        }
+        if let Some((_, _, done_at)) = &self.in_service {
+            return Some((*done_at).max(now.next()));
+        }
+        None
+    }
+
+    /// Replays the per-cycle bookkeeping of the skipped ticks
+    /// `[from, to)` exactly as a stepped run would have performed it:
+    /// a frozen tile does nothing; a busy tile accrues one
+    /// `busy_cycles` per cycle; an idle tile refreshes its progress
+    /// clock. Keeps fast-forwarded runs byte-identical to stepped ones
+    /// (see `docs/PERF.md`).
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        if self.down || self.crashed {
+            return;
+        }
+        if self.stall_until >= to {
+            // Every skipped tick fell inside the stall window: the
+            // stepped run's ticks were all no-ops.
+            return;
+        }
+        debug_assert!(
+            self.stall_until <= from,
+            "skip window straddles a stall boundary (hint bug)"
+        );
+        debug_assert!(
+            self.pending.is_none() && self.queue.is_empty(),
+            "skip_idle with queued work (hint bug)"
+        );
+        if let Some((_, _, done_at)) = &self.in_service {
+            debug_assert!(*done_at >= to, "skip window crosses a service completion");
+            self.stats.busy_cycles += to.0 - from.0;
+        } else {
+            self.last_progress = Cycle(to.0 - 1);
+        }
     }
 
     // ---- fault plane -----------------------------------------------
@@ -782,6 +866,96 @@ mod tests {
         let mut m2 = MetricsRegistry::new();
         t.export_metrics(&mut m2, "engine.5.null");
         assert_eq!(m2.counter("engine.5.null.flushed"), Some(0));
+    }
+
+    #[test]
+    fn next_activity_hints() {
+        let mut t = tile(4);
+        // Idle tile: quiescent.
+        assert_eq!(t.next_activity(Cycle(0)), None);
+        // Queued work: active next cycle.
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        assert_eq!(t.next_activity(Cycle(0)), Some(Cycle(1)));
+        // In service (started at 0, done at 4): next event is the
+        // completion.
+        let _ = t.tick(Cycle(0));
+        assert_eq!(t.next_activity(Cycle(0)), Some(Cycle(4)));
+        // Completed: quiescent again.
+        for c in 1..=4u64 {
+            let _ = t.tick(Cycle(c));
+        }
+        assert_eq!(t.next_activity(Cycle(4)), None);
+        // Crashed tiles are inert.
+        t.fault_crash();
+        assert_eq!(t.next_activity(Cycle(5)), None);
+    }
+
+    #[test]
+    fn stalled_tile_hints_wake_cycle() {
+        let mut t = tile(4);
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        t.fault_stall(Cycle(10));
+        assert_eq!(t.next_activity(Cycle(0)), Some(Cycle(10)));
+        // Skipping the frozen window replays nothing (stepped ticks
+        // were no-ops) and the tile resumes identically.
+        let mut stepped = tile(4);
+        stepped.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        stepped.fault_stall(Cycle(10));
+        for c in 0..10u64 {
+            let _ = stepped.tick(Cycle(c));
+        }
+        t.skip_idle(Cycle(0), Cycle(10));
+        for c in 10..20u64 {
+            let a = t.tick(Cycle(c)).len();
+            let b = stepped.tick(Cycle(c)).len();
+            assert_eq!(a, b, "divergence at cycle {c}");
+        }
+        assert_eq!(t.stats().processed, stepped.stats().processed);
+        assert_eq!(t.stats().busy_cycles, stepped.stats().busy_cycles);
+    }
+
+    #[test]
+    fn skip_idle_matches_stepped_busy_and_idle_bookkeeping() {
+        // Busy window: skipping accrues the same busy_cycles.
+        let run = |skip: bool| {
+            let mut t = tile(10);
+            t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+            let _ = t.tick(Cycle(0)); // service starts, done at 10
+            if skip {
+                t.skip_idle(Cycle(1), Cycle(10));
+            } else {
+                for c in 1..10u64 {
+                    let _ = t.tick(Cycle(c));
+                }
+            }
+            let emits = t.tick(Cycle(10));
+            assert_eq!(emits.len(), 1);
+            // Idle window after completion.
+            if skip {
+                t.skip_idle(Cycle(11), Cycle(20));
+            } else {
+                for c in 11..20u64 {
+                    let _ = t.tick(Cycle(c));
+                }
+            }
+            (t.stats().busy_cycles, t.stats().processed)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn pending_rx_pins_the_hint() {
+        let cfg = TileConfig::lossless(1);
+        let mut t = EngineTile::new(
+            EngineId(5),
+            Box::new(NullOffload::new("slow", EngineClass::Dma, Cycles(1000))),
+            cfg,
+        );
+        t.accept(msg_with_chain(1, &[5], Slack::BULK), Cycle(0));
+        t.accept(msg_with_chain(2, &[5], Slack::BULK), Cycle(0));
+        assert!(!t.rx_ready());
+        // The parked message retries every cycle: never skippable.
+        assert_eq!(t.next_activity(Cycle(0)), Some(Cycle(1)));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use packet::{EngineId, Flit, Message, MessageId};
+use packet::{EngineId, Flit, Message, MessageId, MessagePool};
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer, TrackId};
@@ -145,6 +145,13 @@ pub struct MeshNetwork {
     /// Fault-injection state; `None` (no cost, no metrics) until a
     /// `fault_*` method is called.
     faults: Option<Box<NetFaults>>,
+    /// Free-list arena for the boxed message copies tail flits carry;
+    /// keeps the steady-state send/eject path allocation-free.
+    pool: MessagePool,
+    /// Per-router staging buffers reused every cycle (phase 1 writes,
+    /// phase 2 drains). Hoisted out of [`MeshNetwork::tick`] so the hot
+    /// loop performs no per-cycle allocation.
+    staged_scratch: Vec<StagedOutputs>,
 }
 
 impl MeshNetwork {
@@ -159,17 +166,22 @@ impl MeshNetwork {
             .map(|c| Router::new(c, config.topology, config.router))
             .collect();
         let n = config.topology.nodes();
+        // Ejection occupancy is bounded by the Local credit pool, so
+        // the buffers can be sized once and never grow.
+        let eject_cap = config.router.ejection_buffer_flits + 1;
         MeshNetwork {
             config,
             placement,
             routers,
             source: (0..n).map(|_| VecDeque::new()).collect(),
-            ejection: (0..n).map(|_| VecDeque::new()).collect(),
+            ejection: (0..n).map(|_| VecDeque::with_capacity(eject_cap)).collect(),
             in_flight: HashMap::new(),
             stats: NetworkStats::new(),
             tracer: Tracer::disabled(),
             tracks: Vec::new(),
             faults: None,
+            pool: MessagePool::new(),
+            staged_scratch: (0..n).map(|_| StagedOutputs::default()).collect(),
         }
     }
 
@@ -361,9 +373,10 @@ impl MeshNetwork {
         let _ = self.tile_of(to);
         self.in_flight.insert(msg.id, now);
         self.stats.injected_messages += 1;
-        for flit in Flit::segment(msg, to, self.config.width_bits) {
-            self.source[tile].push_back(flit);
-        }
+        let source = &mut self.source[tile];
+        Flit::segment_with(msg, to, self.config.width_bits, &mut self.pool, |flit| {
+            source.push_back(flit);
+        });
     }
 
     /// Flits waiting in `engine`'s source queue (growth here means the
@@ -396,7 +409,7 @@ impl MeshNetwork {
                         *armed -= 1;
                         faults.lost_messages += 1;
                         faults.leaked_credits += 1;
-                        let msg = flit.into_message();
+                        let msg = flit.take_message(&mut self.pool);
                         self.in_flight.remove(&msg.id);
                         if self.tracer.enabled() {
                             self.tracer.instant_arg(
@@ -414,7 +427,7 @@ impl MeshNetwork {
         }
         self.routers[tile].refill_credit(PortDir::Local);
         if flit.kind.is_tail() {
-            let msg = flit.into_message();
+            let msg = flit.take_message(&mut self.pool);
             if let Some(sent) = self.in_flight.remove(&msg.id) {
                 let dur = now.since(sent);
                 self.stats.latency.record(dur.count());
@@ -467,15 +480,16 @@ impl MeshNetwork {
             }
         }
 
-        // Phase 1: all routers allocate and stage.
-        let staged: Vec<StagedOutputs> = self
-            .routers
-            .iter_mut()
-            .map(|r| r.compute(topo, &self.placement))
-            .collect();
+        // Phase 1: all routers allocate and stage into the reused
+        // per-router scratch buffers (no per-cycle allocation).
+        let mut staged = std::mem::take(&mut self.staged_scratch);
+        debug_assert_eq!(staged.len(), n);
+        for (r, s) in self.routers.iter_mut().zip(staged.iter_mut()) {
+            r.compute_into(topo, &self.placement, s);
+        }
 
         // Phase 2: commit all transfers.
-        for (tile, out) in staged.into_iter().enumerate() {
+        for (tile, out) in staged.iter_mut().enumerate() {
             let coord = topo.coord(tile);
             let StagedOutputs {
                 flits,
@@ -511,8 +525,8 @@ impl MeshNetwork {
                 }
             }
             // Flit transfers.
-            for (p, slot) in flits.into_iter().enumerate() {
-                let Some(flit) = slot else { continue };
+            for (p, slot) in flits.iter_mut().enumerate() {
+                let Some(flit) = slot.take() else { continue };
                 let port = PortDir::ALL[p];
                 if self.tracer.enabled() {
                     self.tracer.instant_arg(
@@ -535,6 +549,26 @@ impl MeshNetwork {
                     self.routers[down_idx].accept(port.opposite(), flit);
                 }
             }
+        }
+        self.staged_scratch = staged;
+    }
+
+    /// Fast-forward hint (see [`sim_core::Clocked::next_activity`] for
+    /// the contract): `None` while the network is quiescent — with no
+    /// flit anywhere, ticking is a pure no-op until the next
+    /// [`MeshNetwork::send`] — otherwise `Some(now + 1)`, because an
+    /// active network moves flits every cycle.
+    ///
+    /// Pending fault expirations (slow-link unmask, credit-hold return)
+    /// do not pin the hint: they only matter once a flit wants the
+    /// affected link, and [`MeshNetwork::tick`] re-derives their state
+    /// from `now` on the next active cycle.
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(now.next())
         }
     }
 

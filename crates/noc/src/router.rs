@@ -137,6 +137,18 @@ pub struct StagedOutputs {
     pub stalled: [bool; PortDir::COUNT],
 }
 
+impl StagedOutputs {
+    /// Resets to the empty (all-idle) state so the buffer can be reused
+    /// next cycle without reallocating.
+    pub fn clear(&mut self) {
+        for f in &mut self.flits {
+            *f = None;
+        }
+        self.credits = [false; PortDir::COUNT];
+        self.stalled = [false; PortDir::COUNT];
+    }
+}
+
 /// The wormhole router at one tile.
 #[derive(Debug)]
 pub struct Router {
@@ -308,7 +320,34 @@ impl Router {
     /// Reads only this router's own input FIFOs and credit counters;
     /// all externally visible effects are in the returned
     /// [`StagedOutputs`], which the network applies in the commit phase.
+    ///
+    /// Convenience wrapper over [`Router::compute_into`]; the network's
+    /// hot loop reuses one staging buffer per router instead (see
+    /// `docs/PERF.md`).
     pub fn compute(&mut self, topology: Topology, placement: &Placement) -> StagedOutputs {
+        let mut staged = StagedOutputs::default();
+        self.compute_into(topology, placement, &mut staged);
+        staged
+    }
+
+    /// True when no flit is buffered in any input FIFO — the router
+    /// cannot do anything until a neighbor or the local source delivers
+    /// one. Quiescent routers contribute `None` to the network's
+    /// fast-forward hint.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(BoundedQueue::is_empty)
+    }
+
+    /// Phase 1 into a caller-owned staging buffer (cleared first), so
+    /// the per-cycle hot path performs no allocation and no large
+    /// by-value moves.
+    pub fn compute_into(
+        &mut self,
+        topology: Topology,
+        placement: &Placement,
+        staged: &mut StagedOutputs,
+    ) {
         // Runtime shadow of the static credit lints: a credit counter
         // must stay within [0, buffer capacity] (capacity 0 would make
         // the link permanently mute — panic-verify PV102; the capacity
@@ -323,7 +362,7 @@ impl Router {
              (see lints PV102/PV103)",
             self.coord
         );
-        let mut staged = StagedOutputs::default();
+        staged.clear();
         let mut input_used = [false; PortDir::COUNT];
 
         for &out in &PortDir::ALL {
@@ -395,7 +434,6 @@ impl Router {
             staged.flits[o] = Some(flit);
             self.forwarded += 1;
         }
-        staged
     }
 }
 

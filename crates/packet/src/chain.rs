@@ -120,6 +120,17 @@ pub struct Hop {
     pub slack: Slack,
 }
 
+/// Chain capacity, as a module const so the inline array below can name
+/// it; re-exported as [`ChainHeader::MAX_HOPS`].
+const MAX_HOPS: usize = 16;
+
+/// Filler value for unused inline slots — never observable through the
+/// public API, which only ever exposes `hops[..len]`.
+const FILLER: Hop = Hop {
+    engine: EngineId(0),
+    slack: Slack::BULK,
+};
+
 /// The chain header: an ordered list of hops and a cursor.
 ///
 /// The cursor (`next`) is advanced by each engine's local lookup table
@@ -127,10 +138,44 @@ pub struct Hop {
 /// chain is complete. A chain may end with an RMT engine as its last
 /// hop — that is how "the RMT pipeline includes itself as a nexthop...so
 /// that it can generate the remainder of the chain" (§3.1.2) is encoded.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Hops are stored **inline** (a fixed `[Hop; MAX_HOPS]` array, mirroring
+/// the fixed-size header a real NIC would carve out of the message) so
+/// that building, cloning, and dropping a chain never touches the heap —
+/// a requirement of the zero-allocation steady-state tick loop (see
+/// `docs/PERF.md`). Equality and `Debug` consider only the live prefix.
+#[derive(Clone)]
 pub struct ChainHeader {
-    hops: Vec<Hop>,
-    next: usize,
+    hops: [Hop; MAX_HOPS],
+    len: u8,
+    next: u8,
+}
+
+impl Default for ChainHeader {
+    fn default() -> ChainHeader {
+        ChainHeader {
+            hops: [FILLER; MAX_HOPS],
+            len: 0,
+            next: 0,
+        }
+    }
+}
+
+impl PartialEq for ChainHeader {
+    fn eq(&self, other: &ChainHeader) -> bool {
+        self.next == other.next && self.hops() == other.hops()
+    }
+}
+
+impl Eq for ChainHeader {}
+
+impl fmt::Debug for ChainHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainHeader")
+            .field("hops", &self.hops())
+            .field("next", &self.next)
+            .finish()
+    }
 }
 
 /// Chain parse/validity errors.
@@ -157,7 +202,7 @@ impl ChainHeader {
     /// Maximum chain length. Table 3's longest sustainable average chain
     /// is 8.80 hops; 16 gives headroom for explicit experiments beyond
     /// the sustainable point.
-    pub const MAX_HOPS: usize = 16;
+    pub const MAX_HOPS: usize = MAX_HOPS;
 
     /// Bytes per encoded hop: 2 (engine) + 4 (slack).
     pub const HOP_BYTES: usize = 6;
@@ -170,39 +215,54 @@ impl ChainHeader {
         ChainHeader::default()
     }
 
+    /// Builds a chain from hops (allocation-free: the slice is copied
+    /// into the header's inline storage).
+    ///
+    /// # Errors
+    /// [`ChainError::TooLong`] if more than [`Self::MAX_HOPS`] hops.
+    pub fn from_slice(hops: &[Hop]) -> Result<ChainHeader, ChainError> {
+        if hops.len() > Self::MAX_HOPS {
+            return Err(ChainError::TooLong);
+        }
+        let mut h = ChainHeader::default();
+        h.hops[..hops.len()].copy_from_slice(hops);
+        h.len = hops.len() as u8;
+        Ok(h)
+    }
+
     /// Builds a chain from hops.
     ///
     /// # Errors
     /// [`ChainError::TooLong`] if more than [`Self::MAX_HOPS`] hops.
     pub fn new(hops: Vec<Hop>) -> Result<ChainHeader, ChainError> {
-        if hops.len() > Self::MAX_HOPS {
-            return Err(ChainError::TooLong);
-        }
-        Ok(ChainHeader { hops, next: 0 })
+        ChainHeader::from_slice(&hops)
     }
 
     /// Convenience: a chain visiting `engines` in order, all with the
     /// same `slack`.
     pub fn uniform(engines: &[EngineId], slack: Slack) -> Result<ChainHeader, ChainError> {
-        ChainHeader::new(
-            engines
-                .iter()
-                .map(|&engine| Hop { engine, slack })
-                .collect(),
-        )
+        if engines.len() > Self::MAX_HOPS {
+            return Err(ChainError::TooLong);
+        }
+        let mut h = ChainHeader::default();
+        for (slot, &engine) in h.hops.iter_mut().zip(engines) {
+            *slot = Hop { engine, slack };
+        }
+        h.len = engines.len() as u8;
+        Ok(h)
     }
 
     /// The hop the message should travel to next, if any.
     #[must_use]
     pub fn current(&self) -> Option<Hop> {
-        self.hops.get(self.next).copied()
+        self.hops().get(usize::from(self.next)).copied()
     }
 
     /// Advances the cursor past the current hop (called by the engine's
     /// local lookup table when processing completes) and returns the new
     /// current hop.
     pub fn advance(&mut self) -> Option<Hop> {
-        if self.next < self.hops.len() {
+        if self.next < self.len {
             self.next += 1;
         }
         self.current()
@@ -211,31 +271,31 @@ impl ChainHeader {
     /// True when every hop has been visited.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.next >= self.hops.len()
+        self.next >= self.len
     }
 
     /// Hops remaining (including the current one).
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.hops.len() - self.next
+        usize::from(self.len - self.next)
     }
 
     /// Total hops in the chain.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.hops.len()
+        usize::from(self.len)
     }
 
     /// True if the chain has no hops at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.hops.is_empty()
+        self.len == 0
     }
 
     /// All hops (visited and pending).
     #[must_use]
     pub fn hops(&self) -> &[Hop] {
-        &self.hops
+        &self.hops[..usize::from(self.len)]
     }
 
     /// Appends hops produced by a later pipeline pass (the "RMT includes
@@ -244,10 +304,12 @@ impl ChainHeader {
     /// # Errors
     /// [`ChainError::TooLong`] if the result would exceed `MAX_HOPS`.
     pub fn extend(&mut self, more: &[Hop]) -> Result<(), ChainError> {
-        if self.hops.len() + more.len() > Self::MAX_HOPS {
+        let len = usize::from(self.len);
+        if len + more.len() > Self::MAX_HOPS {
             return Err(ChainError::TooLong);
         }
-        self.hops.extend_from_slice(more);
+        self.hops[len..len + more.len()].copy_from_slice(more);
+        self.len = (len + more.len()) as u8;
         Ok(())
     }
 
@@ -262,7 +324,7 @@ impl ChainHeader {
     /// lightweight, locally-patchable structure §3.1.2 intends.
     pub fn rewrite_pending(&mut self, from: EngineId, to: EngineId) -> usize {
         let mut rewritten = 0;
-        for hop in &mut self.hops[self.next..] {
+        for hop in &mut self.hops[usize::from(self.next)..usize::from(self.len)] {
             if hop.engine == from {
                 hop.engine = to;
                 rewritten += 1;
@@ -291,7 +353,7 @@ impl ChainHeader {
         let mut out = Vec::with_capacity(self.wire_bytes());
         out.push(self.remaining() as u8);
         out.push(0);
-        for hop in &self.hops[self.next..] {
+        for hop in &self.hops[usize::from(self.next)..usize::from(self.len)] {
             out.extend_from_slice(&hop.engine.0.to_be_bytes());
             out.extend_from_slice(&hop.slack.0.to_be_bytes());
         }
@@ -312,7 +374,7 @@ impl ChainHeader {
         if data.len() < need {
             return Err(ChainError::Truncated);
         }
-        let mut hops = Vec::with_capacity(count);
+        let mut h = ChainHeader::default();
         for i in 0..count {
             let off = Self::FIXED_BYTES + i * Self::HOP_BYTES;
             let engine = EngineId(u16::from_be_bytes([data[off], data[off + 1]]));
@@ -322,26 +384,22 @@ impl ChainHeader {
                 data[off + 4],
                 data[off + 5],
             ]));
-            hops.push(Hop { engine, slack });
+            h.hops[i] = Hop { engine, slack };
         }
-        Ok((
-            ChainHeader {
-                hops,
-                next: next.min(count),
-            },
-            need,
-        ))
+        h.len = count as u8;
+        h.next = next.min(count) as u8;
+        Ok((h, need))
     }
 }
 
 impl fmt::Display for ChainHeader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, hop) in self.hops.iter().enumerate() {
+        for (i, hop) in self.hops().iter().enumerate() {
             if i > 0 {
                 write!(f, " -> ")?;
             }
-            if i == self.next {
+            if i == usize::from(self.next) {
                 write!(f, "*")?;
             }
             write!(f, "{}", hop.engine)?;

@@ -60,21 +60,54 @@ impl Flit {
     /// Segments `msg` into flits for a `width_bits`-wide channel headed
     /// to `dest`. Always produces at least one flit.
     ///
+    /// Convenience wrapper over [`Flit::segment_with`] for call sites
+    /// that don't care about steady-state allocation; hot paths should
+    /// use [`Flit::segment_with`] with a long-lived [`MessagePool`] and
+    /// a reused output buffer.
+    ///
     /// # Panics
     /// Panics if `width_bits` is zero.
     #[must_use]
     pub fn segment(msg: Message, dest: EngineId, width_bits: u64) -> Vec<Flit> {
-        let total = msg.wire_size().beats(width_bits).max(1) as u32;
-        let msg_id = msg.id;
+        let total = Self::flits_for(&msg, width_bits);
+        let mut pool = MessagePool::new();
         let mut flits = Vec::with_capacity(total as usize);
-        for seq in 0..total {
-            let kind = match (seq, total) {
-                (0, 1) => FlitKind::HeadTail,
-                (0, _) => FlitKind::Head,
-                (s, t) if s + 1 == t => FlitKind::Tail,
-                _ => FlitKind::Body,
+        Self::segment_with(msg, dest, width_bits, &mut pool, |f| flits.push(f));
+        flits
+    }
+
+    /// Number of flits `msg` occupies on a `width_bits`-wide channel.
+    ///
+    /// # Panics
+    /// Panics if `width_bits` is zero.
+    #[must_use]
+    pub fn flits_for(msg: &Message, width_bits: u64) -> u32 {
+        msg.wire_size().beats(width_bits).max(1) as u32
+    }
+
+    /// Segments `msg` into flits, handing each to `push` in sequence
+    /// order. The tail flit's box comes from `pool`, so a warm pool
+    /// makes segmentation allocation-free apart from whatever `push`
+    /// itself does.
+    ///
+    /// # Panics
+    /// Panics if `width_bits` is zero.
+    pub fn segment_with(
+        msg: Message,
+        dest: EngineId,
+        width_bits: u64,
+        pool: &mut MessagePool,
+        mut push: impl FnMut(Flit),
+    ) {
+        let total = Self::flits_for(&msg, width_bits);
+        let msg_id = msg.id;
+        for seq in 0..total.saturating_sub(1) {
+            let kind = if seq == 0 {
+                FlitKind::Head
+            } else {
+                FlitKind::Body
             };
-            flits.push(Flit {
+            push(Flit {
                 msg_id,
                 kind,
                 dest,
@@ -84,8 +117,18 @@ impl Flit {
             });
         }
         // The tail flit carries the message object.
-        flits.last_mut().expect("at least one flit").message = Some(Box::new(msg));
-        flits
+        push(Flit {
+            msg_id,
+            kind: if total == 1 {
+                FlitKind::HeadTail
+            } else {
+                FlitKind::Tail
+            },
+            dest,
+            seq: total - 1,
+            total,
+            message: Some(pool.boxed(msg)),
+        });
     }
 
     /// Extracts the message from a tail flit.
@@ -97,6 +140,73 @@ impl Flit {
     pub fn into_message(self) -> Message {
         assert!(self.kind.is_tail(), "into_message on non-tail flit");
         *self.message.expect("tail flit must carry its message")
+    }
+
+    /// Extracts the message from a tail flit, returning the box to
+    /// `pool` for reuse. Semantically identical to
+    /// [`Flit::into_message`]; this variant keeps the steady-state
+    /// datapath allocation-free.
+    ///
+    /// # Panics
+    /// Panics if called on a non-tail flit.
+    #[must_use]
+    pub fn take_message(self, pool: &mut MessagePool) -> Message {
+        assert!(self.kind.is_tail(), "take_message on non-tail flit");
+        pool.unbox(self.message.expect("tail flit must carry its message"))
+    }
+}
+
+/// Free-list arena for the boxed in-flight message copies that tail
+/// flits carry.
+///
+/// Every [`Flit::segment`] used to pay one `Box::new` per message and
+/// every [`Flit::into_message`] one deallocation — per-message churn on
+/// the hottest path in the NoC. The pool recycles the boxes instead:
+/// [`MessagePool::boxed`] overwrites a spare box in place (falling back
+/// to a real allocation only while the pool is cold), and
+/// [`MessagePool::unbox`] swaps the message out against
+/// [`Message::placeholder`] and keeps the box. After warm-up the
+/// steady-state datapath performs no heap allocation for flit carriage;
+/// see `docs/PERF.md`.
+#[derive(Debug, Default)]
+pub struct MessagePool {
+    // The boxes themselves are the resource being pooled (tail flits
+    // carry `Box<Message>`), so `Vec<Message>` would defeat the point.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Message>>,
+}
+
+impl MessagePool {
+    /// Creates an empty (cold) pool.
+    #[must_use]
+    pub fn new() -> MessagePool {
+        MessagePool { free: Vec::new() }
+    }
+
+    /// Boxes `msg`, reusing a pooled allocation when one is free.
+    #[must_use]
+    pub fn boxed(&mut self, msg: Message) -> Box<Message> {
+        match self.free.pop() {
+            Some(mut b) => {
+                *b = msg;
+                b
+            }
+            None => Box::new(msg),
+        }
+    }
+
+    /// Unboxes `b`, keeping the allocation for later reuse.
+    #[must_use]
+    pub fn unbox(&mut self, mut b: Box<Message>) -> Message {
+        let msg = std::mem::replace(&mut *b, Message::placeholder());
+        self.free.push(b);
+        msg
+    }
+
+    /// Number of spare boxes currently pooled.
+    #[must_use]
+    pub fn spare(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -149,6 +259,49 @@ mod tests {
         let wide = Flit::segment(msg(64), EngineId(0), 128).len();
         assert_eq!(narrow, 9);
         assert_eq!(wide, 5); // 528 bits / 128 = 4.125 -> 5
+    }
+
+    #[test]
+    fn pool_recycles_boxes_and_preserves_messages() {
+        let mut pool = MessagePool::new();
+        let mut sink = Vec::new();
+        Flit::segment_with(msg(64), EngineId(1), 64, &mut pool, |f| sink.push(f));
+        assert_eq!(sink.len(), 9);
+        let tail = sink.pop().unwrap();
+        let m = tail.take_message(&mut pool);
+        assert_eq!(m.id, MessageId(9));
+        assert_eq!(pool.spare(), 1);
+        // The next segmentation reuses the pooled box.
+        sink.clear();
+        Flit::segment_with(msg(4), EngineId(2), 64, &mut pool, |f| sink.push(f));
+        assert_eq!(pool.spare(), 0);
+        let m2 = sink.pop().unwrap().take_message(&mut pool);
+        assert_eq!(m2.id, MessageId(9));
+        assert_eq!(m2.wire_size().0, 6);
+        assert_eq!(pool.spare(), 1);
+    }
+
+    #[test]
+    fn segment_with_matches_segment() {
+        let a = Flit::segment(msg(64), EngineId(1), 64);
+        let mut pool = MessagePool::new();
+        let mut b = Vec::new();
+        Flit::segment_with(msg(64), EngineId(1), 64, &mut pool, |f| b.push(f));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.dest, y.dest);
+            assert_eq!(x.message.is_some(), y.message.is_some());
+        }
+    }
+
+    #[test]
+    fn placeholder_is_conspicuous() {
+        let p = Message::placeholder();
+        assert_eq!(p.id, MessageId(u64::MAX));
+        assert!(p.payload.is_empty());
     }
 
     #[test]

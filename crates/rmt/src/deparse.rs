@@ -31,6 +31,22 @@ fn mac_from_u64(v: u64) -> MacAddr {
 #[must_use]
 pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
     let mut out = BytesMut::with_capacity(original.len() + 8);
+    deparse_into(original, outcome, phv, &mut out);
+    out.freeze()
+}
+
+/// [`deparse`] into a caller-owned, reusable buffer (cleared first).
+/// Allocation-free once the buffer has grown to the working set's
+/// largest frame — except for the KVS layer, whose header re-encode
+/// still builds a temporary (KVS rewrites are genuinely-modified
+/// payloads, outside the steady-state zero-alloc envelope; see
+/// `docs/PERF.md`).
+///
+/// # Panics
+/// Panics if `outcome` does not describe `original` (offsets out of
+/// range) — the pair must come from the same parse.
+pub fn deparse_into(original: &[u8], outcome: &ParseOutcome, phv: &Phv, out: &mut BytesMut) {
+    out.clear();
     for &(layer, offset) in &outcome.layers {
         let slice = &original[offset..];
         match layer {
@@ -45,7 +61,7 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
                 if let Some(v) = phv.get(Field::EthType) {
                     h.ethertype = v as u16;
                 }
-                h.emit(&mut out);
+                h.emit(out);
             }
             Layer::Ipv4 => {
                 let (mut h, _) = Ipv4Header::parse(slice).expect("reparse");
@@ -71,7 +87,7 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
                     h.dst = Ipv4Addr::from_u32(v as u32);
                 }
                 // emit() recomputes the checksum over the patched header.
-                h.emit(&mut out);
+                h.emit(out);
             }
             Layer::Udp => {
                 let (mut h, _) = UdpHeader::parse(slice).expect("reparse");
@@ -81,7 +97,7 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
                 if let Some(v) = phv.get(Field::L4DstPort) {
                     h.dst_port = v as u16;
                 }
-                h.emit(&mut out);
+                h.emit(out);
             }
             Layer::Tcp => {
                 let (mut h, _) = TcpHeader::parse(slice).expect("reparse");
@@ -94,7 +110,7 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
                 if let Some(v) = phv.get(Field::TcpFlags) {
                     h.flags = v as u8;
                 }
-                h.emit(&mut out);
+                h.emit(out);
             }
             Layer::Esp => {
                 let (mut h, _) = EspHeader::parse(slice).expect("reparse");
@@ -104,7 +120,7 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
                 if let Some(v) = phv.get(Field::EspSeq) {
                     h.seq = v as u32;
                 }
-                h.emit(&mut out);
+                h.emit(out);
             }
             Layer::Kvs => {
                 let mut r = KvsRequest::decode(slice).expect("reparse");
@@ -135,7 +151,6 @@ pub fn deparse(original: &[u8], outcome: &ParseOutcome, phv: &Phv) -> Bytes {
         }
     }
     out.put_slice(&original[outcome.payload_offset..]);
-    out.freeze()
 }
 
 #[cfg(test)]

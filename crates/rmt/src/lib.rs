@@ -35,5 +35,5 @@ pub mod table;
 pub use action::{Action, Primitive, SlackExpr, Verdict};
 pub use parse::{ParseGraph, ParseOutcome};
 pub use pipeline::{PipelineConfig, PipelineStats, RmtPipeline};
-pub use program::{ProgramBuilder, RmtProgram};
+pub use program::{ProgramBuilder, ProgramScratch, RmtProgram};
 pub use table::{MatchKey, MatchKind, Table, TableEntry};

@@ -106,6 +106,19 @@ pub struct ParseOutcome {
     pub payload_offset: usize,
 }
 
+impl Default for ParseOutcome {
+    /// An outcome describing "nothing parsed": empty PHV, no layers,
+    /// payload at offset zero. Use as the reusable target of
+    /// [`ParseGraph::parse_into`].
+    fn default() -> ParseOutcome {
+        ParseOutcome {
+            phv: Phv::new(),
+            layers: Vec::new(),
+            payload_offset: 0,
+        }
+    }
+}
+
 impl ParseOutcome {
     /// True if `layer` was recognized.
     #[must_use]
@@ -184,14 +197,25 @@ impl ParseGraph {
     /// [`Field::IpSrc`] etc. and can route the packet to an error path.
     #[must_use]
     pub fn parse(&self, data: &[u8]) -> ParseOutcome {
-        let mut phv = Phv::new();
-        let mut layers = Vec::new();
+        let mut out = ParseOutcome::default();
+        self.parse_into(data, &mut out);
+        out
+    }
+
+    /// [`ParseGraph::parse`] into a caller-owned, reusable
+    /// [`ParseOutcome`] (reset first). Once `out.layers` has grown to
+    /// the working set's deepest header stack this performs **no heap
+    /// allocation** — the hot-path variant the RMT pipeline's
+    /// per-message scratch uses (see `docs/PERF.md`).
+    pub fn parse_into(&self, data: &[u8], out: &mut ParseOutcome) {
+        out.phv = Phv::new();
+        out.layers.clear();
         let mut offset = 0usize;
         let mut layer = self.start;
         while let Some((sel_a, sel_b)) =
-            self.extract(layer, &data[offset.min(data.len())..], &mut phv)
+            self.extract(layer, &data[offset.min(data.len())..], &mut out.phv)
         {
-            layers.push((layer, offset));
+            out.layers.push((layer, offset));
             offset += layer.header_size();
             // L4 layers branch on either port (a KVS *reply* carries the
             // service port as its source), so each layer may offer a
@@ -204,11 +228,7 @@ impl ParseGraph {
                 None => break,
             }
         }
-        ParseOutcome {
-            phv,
-            layers,
-            payload_offset: offset,
-        }
+        out.payload_offset = offset;
     }
 
     /// Extracts one layer at the front of `data` into `phv`, returning

@@ -23,7 +23,7 @@ use sim_core::time::{Cycle, Cycles, Freq};
 use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::action::Verdict;
-use crate::program::RmtProgram;
+use crate::program::{ProgramScratch, RmtProgram};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +103,10 @@ pub struct RmtPipeline {
     tracer: Tracer,
     /// The pipeline's track (`rmt.pipeline`).
     track: TrackId,
+    /// Reusable per-message program scratch (parse outcome, hop
+    /// accumulator, deparse buffer) — keeps the steady-state tick loop
+    /// allocation-free (see `docs/PERF.md`).
+    scratch: ProgramScratch,
 }
 
 impl RmtPipeline {
@@ -122,6 +126,7 @@ impl RmtPipeline {
             stage_misses: vec![0; stages],
             tracer: Tracer::disabled(),
             track: TrackId(0),
+            scratch: ProgramScratch::default(),
         }
     }
 
@@ -210,7 +215,66 @@ impl RmtPipeline {
     /// queue (processing them functionally, completion scheduled
     /// `depth` cycles out) and returns the messages whose latency
     /// elapsed this cycle.
+    ///
+    /// Convenience wrapper over [`RmtPipeline::tick_into`]; hot loops
+    /// reuse a caller-owned buffer instead.
     pub fn tick(&mut self, now: Cycle) -> Vec<PipelineOutput> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Fast-forward hint (see [`sim_core::Clocked::next_activity`] for
+    /// the contract): with a backlog the pipeline accepts every cycle
+    /// (`now + 1`); with only in-flight messages nothing observable
+    /// happens until the earliest one emerges; empty means quiescent.
+    ///
+    /// Idle ticks still mutate [`PipelineStats::idle_slots`] (and emit
+    /// `rmt.backlog` counter samples when traced), so any driver that
+    /// skips cycles must replay them via [`RmtPipeline::skip_idle`].
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if !self.input.is_empty() {
+            Some(now.next())
+        } else {
+            // After `tick(now)` every event due at or before `now` has
+            // drained, so the earliest pending completion is in the
+            // future.
+            self.in_flight.next_due().map(|due| due.max(now.next()))
+        }
+    }
+
+    /// Replays the bookkeeping of the skipped idle cycles `[from, to)`
+    /// exactly as [`RmtPipeline::tick`] would have performed it with an
+    /// empty input queue: `P` idle slots per cycle, and one
+    /// `rmt.backlog` counter sample per cycle when traced — byte-for-
+    /// byte what a stepped run records.
+    ///
+    /// # Panics
+    /// Debug-asserts the input queue is empty: skipping cycles in which
+    /// the pipeline would have accepted work is a driver bug.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(
+            self.input.is_empty(),
+            "skip_idle with a non-empty pipeline backlog"
+        );
+        debug_assert!(
+            self.in_flight.next_due().is_none_or(|due| due >= to),
+            "skip_idle across a pending pipeline completion"
+        );
+        let skipped = to.0.saturating_sub(from.0);
+        self.stats.idle_slots += skipped * u64::from(self.config.parallel);
+        if self.tracer.enabled() {
+            for c in from.0..to.0 {
+                self.tracer.counter(self.track, "rmt.backlog", Cycle(c), 0);
+            }
+        }
+    }
+
+    /// [`RmtPipeline::tick`] into a caller-owned buffer (cleared
+    /// first), so the steady-state tick loop performs no allocation.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<PipelineOutput>) {
+        out.clear();
         // Accept.
         for _ in 0..self.config.parallel {
             match self.input.pop_front() {
@@ -218,29 +282,32 @@ impl RmtPipeline {
                     self.stats.accepted += 1;
                     let msg_id = msg.id.0;
                     // Split borrows: the observer mutates the stage
-                    // counters while the program runs.
-                    let (program, hits, misses, tracer, track) = (
+                    // counters while the program runs over the
+                    // pipeline-owned scratch.
+                    let (program, scratch, hits, misses, tracer, track) = (
                         &self.program,
+                        &mut self.scratch,
                         &mut self.stage_hits,
                         &mut self.stage_misses,
                         &self.tracer,
                         self.track,
                     );
-                    let verdict = program.process_observed(&mut msg, &mut |stage, _name, hit| {
-                        if hit {
-                            hits[stage] += 1;
-                        } else {
-                            misses[stage] += 1;
-                        }
-                        if tracer.enabled() {
-                            let name = if hit { "rmt.match" } else { "rmt.miss" };
-                            tracer.emit(
-                                trace::Event::instant(track, name, now)
-                                    .with_arg("stage", stage as u64)
-                                    .with_arg("msg", msg_id),
-                            );
-                        }
-                    });
+                    let verdict =
+                        program.process_scratch(&mut msg, scratch, &mut |stage, _name, hit| {
+                            if hit {
+                                hits[stage] += 1;
+                            } else {
+                                misses[stage] += 1;
+                            }
+                            if tracer.enabled() {
+                                let name = if hit { "rmt.match" } else { "rmt.miss" };
+                                tracer.emit(
+                                    trace::Event::instant(track, name, now)
+                                        .with_arg("stage", stage as u64)
+                                        .with_arg("msg", msg_id),
+                                );
+                            }
+                        });
                     match verdict {
                         Verdict::Drop => {
                             self.stats.dropped += 1;
@@ -262,7 +329,7 @@ impl RmtPipeline {
             }
         }
         // Emit.
-        let out = self.in_flight.drain_due(now);
+        self.in_flight.drain_due_into(now, out);
         self.stats.emitted += out.len() as u64;
         if self.tracer.enabled() {
             // Each emerging message spent exactly `depth` cycles inside
@@ -271,7 +338,7 @@ impl RmtPipeline {
             // Messages emerge no earlier than cycle `depth`, but guard
             // anyway (saturate) so an empty drain at cycle 0 is safe.
             let start = Cycle(now.0.saturating_sub(depth));
-            for o in &out {
+            for o in out.iter() {
                 self.tracer.complete_arg(
                     self.track,
                     "rmt.pipeline",
@@ -284,7 +351,6 @@ impl RmtPipeline {
             self.tracer
                 .counter(self.track, "rmt.backlog", now, self.input.len() as u64);
         }
-        out
     }
 }
 
@@ -533,5 +599,68 @@ mod tests {
     #[should_panic(expected = "zero pipelines")]
     fn zero_parallel_rejected() {
         let _ = RmtPipeline::new(cfg(0, 3), route_all_program());
+    }
+
+    #[test]
+    fn next_activity_hints() {
+        let mut p = RmtPipeline::new(cfg(2, 5), route_all_program());
+        // Empty pipeline: quiescent.
+        assert_eq!(p.next_activity(Cycle(0)), None);
+        // Backlogged: active next cycle.
+        p.submit(msg(1, 80));
+        assert_eq!(p.next_activity(Cycle(0)), Some(Cycle(1)));
+        // Accepted at cycle 0, due at cycle 5: the hint is the
+        // completion cycle once the backlog drains.
+        let _ = p.tick(Cycle(0));
+        assert_eq!(p.next_activity(Cycle(0)), Some(Cycle(5)));
+        // Drain at cycle 5: quiescent again.
+        for c in 1..=5 {
+            let _ = p.tick(Cycle(c));
+        }
+        assert_eq!(p.next_activity(Cycle(5)), None);
+    }
+
+    #[test]
+    fn skip_idle_matches_stepped_idle_ticks() {
+        // Stepped: tick through 10 empty cycles.
+        let mut stepped = RmtPipeline::new(cfg(2, 5), route_all_program());
+        for c in 0..10 {
+            let _ = stepped.tick(Cycle(c));
+        }
+        // Fast-forwarded: tick once, then replay cycles 1..10.
+        let mut ff = RmtPipeline::new(cfg(2, 5), route_all_program());
+        let _ = ff.tick(Cycle(0));
+        ff.skip_idle(Cycle(1), Cycle(10));
+        assert_eq!(ff.stats().idle_slots, stepped.stats().idle_slots);
+        assert_eq!(ff.stats().idle_slots, 20);
+    }
+
+    #[test]
+    fn skip_idle_replays_traced_backlog_counters() {
+        use trace::EventKind;
+        let run = |skip: bool| {
+            let tracer = Tracer::ring(256);
+            let mut p = RmtPipeline::new(cfg(1, 3), route_all_program());
+            p.attach_tracer(&tracer);
+            if skip {
+                let _ = p.tick(Cycle(0));
+                p.skip_idle(Cycle(1), Cycle(6));
+            } else {
+                for c in 0..6 {
+                    let _ = p.tick(Cycle(c));
+                }
+            }
+            tracer
+                .ring_snapshot()
+                .unwrap()
+                .iter()
+                .filter(|e| e.name == "rmt.backlog")
+                .map(|e| (e.ts, e.kind))
+                .collect::<Vec<_>>()
+        };
+        let stepped = run(false);
+        let skipped = run(true);
+        assert_eq!(stepped, skipped);
+        assert!(matches!(stepped[0].1, EventKind::Counter { value: 0 }));
     }
 }

@@ -6,14 +6,26 @@
 //! configuration — the same [`RmtPipeline`](crate::pipeline::RmtPipeline)
 //! timing model runs any program.
 
+use bytes::{Bytes, BytesMut};
 use packet::chain::{ChainHeader, Hop};
 use packet::message::Message;
 use packet::phv::Field;
 
 use crate::action::{priority_code, priority_from_code, Verdict};
-use crate::deparse::deparse;
-use crate::parse::ParseGraph;
+use crate::deparse::deparse_into;
+use crate::parse::{ParseGraph, ParseOutcome};
 use crate::table::Table;
+
+/// Reusable per-pipeline scratch for [`RmtProgram::process_scratch`]:
+/// the parse outcome, the hop accumulator, and the deparse buffer all
+/// keep their capacity across messages, so a warm pipeline processes a
+/// message without touching the heap (see `docs/PERF.md`).
+#[derive(Debug, Default)]
+pub struct ProgramScratch {
+    outcome: ParseOutcome,
+    hops: Vec<Hop>,
+    deparse_buf: BytesMut,
+}
 
 /// A complete RMT program.
 #[derive(Debug, Clone)]
@@ -70,20 +82,38 @@ impl RmtProgram {
         msg: &mut Message,
         observer: &mut dyn FnMut(usize, &str, bool),
     ) -> Verdict {
-        let outcome = self.parser.parse(&msg.payload);
-        let mut phv = outcome.phv.clone();
+        self.process_scratch(msg, &mut ProgramScratch::default(), observer)
+    }
+
+    /// Like [`RmtProgram::process_observed`], but works through a
+    /// caller-owned reusable [`ProgramScratch`] so a warm pipeline
+    /// processes messages without heap allocation. The only remaining
+    /// allocation is for payloads the program *actually rewrites*
+    /// (fresh `Bytes` for the patched frame): the deparsed bytes are
+    /// built in the scratch buffer and, when identical to the incoming
+    /// payload — the common forwarding case — the message keeps its
+    /// existing refcounted payload.
+    pub fn process_scratch(
+        &self,
+        msg: &mut Message,
+        scratch: &mut ProgramScratch,
+        observer: &mut dyn FnMut(usize, &str, bool),
+    ) -> Verdict {
+        self.parser.parse_into(&msg.payload, &mut scratch.outcome);
+        // `Phv` is a fixed inline array: this clone is a memcpy.
+        let mut phv = scratch.outcome.phv.clone();
 
         // Standard metadata available to every program.
         phv.set(Field::MetaIngress, u64::from(msg.source.0));
         phv.set(Field::MetaPasses, u64::from(msg.pipeline_passes));
         phv.set(Field::MetaPriority, priority_code(msg.priority));
 
-        let mut hops: Vec<Hop> = Vec::new();
+        scratch.hops.clear();
         let mut verdict = Verdict::Forward;
         for (stage, table) in self.tables.iter().enumerate() {
             let (action, hit) = table.lookup(&phv);
             observer(stage, table.name(), hit);
-            match action.apply(&mut phv, &mut hops) {
+            match action.apply(&mut phv, &mut scratch.hops) {
                 Verdict::Forward => {}
                 Verdict::Drop => {
                     verdict = Verdict::Drop;
@@ -98,8 +128,17 @@ impl RmtProgram {
             return verdict;
         }
 
-        msg.payload = deparse(&msg.payload, &outcome, &phv);
-        msg.chain = ChainHeader::new(hops).expect("programs cannot build chains beyond MAX_HOPS");
+        deparse_into(
+            &msg.payload,
+            &scratch.outcome,
+            &phv,
+            &mut scratch.deparse_buf,
+        );
+        if scratch.deparse_buf.as_ref() != &msg.payload[..] {
+            msg.payload = Bytes::copy_from_slice(&scratch.deparse_buf);
+        }
+        msg.chain = ChainHeader::from_slice(&scratch.hops)
+            .expect("programs cannot build chains beyond MAX_HOPS");
         msg.priority = priority_from_code(phv.get_or_zero(Field::MetaPriority));
         msg.phv = Some(phv);
         verdict

@@ -15,6 +15,24 @@
 //! The driver calls `compute` on every component, then `commit` on every
 //! component, once per cycle. Any ordering of components within a phase
 //! yields the same result as long as components follow the contract.
+//!
+//! # Quiescence fast-forward
+//!
+//! Evaluating every component every cycle is wasteful when the whole
+//! system is idle between widely spaced arrivals. The protocol therefore
+//! carries an *activity hint*: [`Clocked::next_activity`] names the next
+//! cycle at which ticking the component could change any observable
+//! state. The default, `Some(now + 1)`, opts a component out of
+//! fast-forward entirely — hints are strictly opt-in, and a wrong hint
+//! can only ever make the simulation slower-but-correct if it is
+//! *earlier* than necessary; a hint later than the component's true next
+//! activity is a contract violation.
+//!
+//! A driver that jumps over cycles `[from, to)` must give every skipped
+//! component the chance to account for them via [`Clocked::skip_idle`],
+//! so per-cycle bookkeeping (idle-slot counters, progress watermarks)
+//! stays byte-identical with a stepped run. See `docs/PERF.md` for the
+//! full contract and its interaction with the two-phase tick.
 
 use crate::time::Cycle;
 
@@ -27,6 +45,32 @@ pub trait Clocked {
 
     /// Phase 2: make staged updates externally visible.
     fn commit(&mut self, now: Cycle);
+
+    /// The earliest future cycle at which ticking this component could
+    /// have any observable effect, given no external input arrives
+    /// first. Contract:
+    ///
+    /// * `None` — fully quiescent: ticking at *any* future cycle is a
+    ///   no-op until new input is offered from outside.
+    /// * `Some(t)` with `t > now` — ticking during `(now, t)` is a
+    ///   no-op (after [`Clocked::skip_idle`] compensation); the driver
+    ///   may jump straight to `t`.
+    ///
+    /// The default is `Some(now + 1)` — "tick me every cycle" — so
+    /// components opt in explicitly. Returning a hint *earlier* than
+    /// necessary is always safe; returning one later than the true next
+    /// activity breaks equivalence with a stepped run.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
+
+    /// Account for the skipped cycles `[from, to)` as if the component
+    /// had been ticked through them while idle. Implementations that
+    /// maintain per-cycle bookkeeping (idle-slot counters, progress
+    /// watermarks) must replay it here so a fast-forwarded run stays
+    /// byte-identical with a stepped one. The default is a no-op, which
+    /// is correct for components whose idle ticks touch no state.
+    fn skip_idle(&mut self, _from: Cycle, _to: Cycle) {}
 }
 
 /// Runs `components` for `cycles` cycles starting at `start`, returning
@@ -47,6 +91,51 @@ pub fn run_for<C: Clocked + ?Sized>(components: &mut [&mut C], start: Cycle, cyc
         now = now.next();
     }
     now
+}
+
+/// Like [`run_for`], but fast-forwards over cycles where every
+/// component's [`Clocked::next_activity`] hint says nothing can happen.
+/// Returns `(next_now, skipped)` where `skipped` counts the cycles that
+/// were jumped over rather than ticked.
+///
+/// The run is observably identical to [`run_for`]: components are
+/// ticked at exactly the cycles where they could act, and skipped spans
+/// are replayed through [`Clocked::skip_idle`] so per-cycle bookkeeping
+/// matches a stepped run byte for byte.
+pub fn run_for_ff<C: Clocked + ?Sized>(
+    components: &mut [&mut C],
+    start: Cycle,
+    cycles: u64,
+) -> (Cycle, u64) {
+    let end = Cycle(start.0 + cycles);
+    let mut now = start;
+    let mut skipped = 0u64;
+    while now < end {
+        for c in components.iter_mut() {
+            c.compute(now);
+        }
+        for c in components.iter_mut() {
+            c.commit(now);
+        }
+        // The earliest cycle at which any component can act again.
+        // `None` from every component means "idle until external input":
+        // inside a bounded run with no external input that is the end.
+        let hint = components
+            .iter()
+            .filter_map(|c| c.next_activity(now))
+            .min()
+            .unwrap_or(end);
+        let next = now.next();
+        let target = hint.max(next).min(end);
+        if target > next {
+            for c in components.iter_mut() {
+                c.skip_idle(next, target);
+            }
+            skipped += target.0 - next.0;
+        }
+        now = target;
+    }
+    (now, skipped)
 }
 
 #[cfg(test)]
@@ -120,6 +209,104 @@ mod tests {
             (out[0], out[1])
         }
         assert_eq!(run(false), run(true));
+    }
+
+    /// A component that wakes every `period` cycles, counts its ticks,
+    /// and accounts skipped idle cycles — to prove `run_for_ff` calls
+    /// it at exactly the right cycles and replays the gaps.
+    struct Waker {
+        period: u64,
+        active_ticks: u64,
+        idle_ticks: u64,
+        accounted: u64,
+    }
+
+    impl Clocked for Waker {
+        fn compute(&mut self, now: Cycle) {
+            if now.0.is_multiple_of(self.period) {
+                self.active_ticks += 1;
+            } else {
+                self.idle_ticks += 1;
+                self.accounted += 1;
+            }
+        }
+        fn commit(&mut self, _now: Cycle) {}
+        fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+            Some(Cycle((now.0 / self.period + 1) * self.period))
+        }
+        fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+            self.accounted += to.0 - from.0;
+        }
+    }
+
+    #[test]
+    fn run_for_ff_matches_stepped_run() {
+        let mut stepped = Waker {
+            period: 10,
+            active_ticks: 0,
+            idle_ticks: 0,
+            accounted: 0,
+        };
+        let mut ff = Waker {
+            period: 10,
+            active_ticks: 0,
+            idle_ticks: 0,
+            accounted: 0,
+        };
+        let end_a = run_for(&mut [&mut stepped], Cycle(0), 95);
+        let (end_b, skipped) = run_for_ff(&mut [&mut ff], Cycle(0), 95);
+        assert_eq!(end_a, end_b);
+        assert_eq!(stepped.active_ticks, ff.active_ticks);
+        // The fast-forwarded run never ticked an idle cycle...
+        assert_eq!(ff.idle_ticks, 0);
+        assert!(skipped > 0, "expected skipping, got none");
+        // ...but the per-cycle accounting is identical.
+        assert_eq!(stepped.accounted, ff.accounted);
+        assert_eq!(skipped, stepped.idle_ticks);
+    }
+
+    #[test]
+    fn run_for_ff_default_hint_means_no_skipping() {
+        let mut a = Stage {
+            input: 10,
+            staged: 0,
+            output: 0,
+            computes: 0,
+            commits: 0,
+        };
+        let (end, skipped) = run_for_ff(&mut [&mut a], Cycle(0), 7);
+        assert_eq!(end, Cycle(7));
+        assert_eq!(skipped, 0);
+        assert_eq!(a.computes, 7);
+    }
+
+    #[test]
+    fn run_for_ff_all_quiescent_jumps_to_end() {
+        struct Idle {
+            ticks: u64,
+            replayed: u64,
+        }
+        impl Clocked for Idle {
+            fn compute(&mut self, _now: Cycle) {
+                self.ticks += 1;
+            }
+            fn commit(&mut self, _now: Cycle) {}
+            fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+                self.replayed += to.0 - from.0;
+            }
+        }
+        let mut c = Idle {
+            ticks: 0,
+            replayed: 0,
+        };
+        let (end, skipped) = run_for_ff(&mut [&mut c], Cycle(0), 1000);
+        assert_eq!(end, Cycle(1000));
+        assert_eq!(c.ticks, 1, "one probe tick, then a jump to the end");
+        assert_eq!(skipped, 999);
+        assert_eq!(c.replayed, 999, "skipped span replayed via skip_idle");
     }
 
     #[test]

@@ -124,10 +124,16 @@ impl<E> EventQueue<E> {
     /// order.
     pub fn drain_due(&mut self, now: Cycle) -> Vec<E> {
         let mut out = Vec::new();
+        self.drain_due_into(now, &mut out);
+        out
+    }
+
+    /// Like [`EventQueue::drain_due`], but appends into a caller-owned
+    /// buffer so steady-state tick loops can reuse one allocation.
+    pub fn drain_due_into(&mut self, now: Cycle, out: &mut Vec<E>) {
         while let Some(e) = self.pop_due(now) {
             out.push(e);
         }
-        out
     }
 }
 

@@ -34,7 +34,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use clock::{run_for, Clocked};
+pub use clock::{run_for, run_for_ff, Clocked};
 pub use events::EventQueue;
 pub use queue::{BoundedQueue, CreditCounter};
 pub use rng::{SimRng, SplitMix64};

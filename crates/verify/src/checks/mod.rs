@@ -1,4 +1,4 @@
-//! The four check families, individually callable.
+//! The check families, individually callable.
 //!
 //! [`verify`] runs everything; the per-family functions exist so that
 //! callers configuring only a slice of the NIC (e.g. the baselines,
@@ -7,12 +7,14 @@
 pub mod chain;
 pub mod faultplane;
 pub mod noc;
+pub mod perf;
 pub mod rmt;
 pub mod sched;
 
 pub use chain::check_chain;
 pub use faultplane::check_faultplane;
 pub use noc::check_noc;
+pub use perf::check_perf;
 pub use rmt::check_rmt;
 pub use sched::check_sched;
 
@@ -28,5 +30,6 @@ pub fn verify(spec: &NicSpec) -> Report {
     diags.extend(check_rmt(spec));
     diags.extend(check_sched(spec));
     diags.extend(check_faultplane(spec));
+    diags.extend(check_perf(spec));
     Report::new(diags)
 }

@@ -17,7 +17,8 @@ use std::fmt;
 /// * `PV1xx` — NoC deadlock and buffer checks,
 /// * `PV2xx` — RMT program checks,
 /// * `PV3xx` — scheduler checks,
-/// * `PV4xx` — fault-plane / watchdog checks.
+/// * `PV4xx` — fault-plane / watchdog checks,
+/// * `PV5xx` — simulator-performance checks (fast-forward efficacy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -38,11 +39,12 @@ pub enum Code {
     PV401,
     PV402,
     PV403,
+    PV501,
 }
 
 impl Code {
     /// Every code the verifier can emit, in numeric order.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 18] = [
         Code::PV001,
         Code::PV002,
         Code::PV003,
@@ -60,6 +62,7 @@ impl Code {
         Code::PV401,
         Code::PV402,
         Code::PV403,
+        Code::PV501,
     ];
 
     /// The code's stable name.
@@ -83,6 +86,7 @@ impl Code {
             Code::PV401 => "PV401",
             Code::PV402 => "PV402",
             Code::PV403 => "PV403",
+            Code::PV501 => "PV501",
         }
     }
 
@@ -116,6 +120,11 @@ impl Code {
             Code::PV403 => {
                 "watchdog deadline not longer than the slowest engine's \
                  worst-case service time (guaranteed spurious re-issues)"
+            }
+            Code::PV501 => {
+                "workload makes quiescence fast-forward a no-op (stochastic \
+                 arrivals or per-cycle gaps); run with --no-fastforward or \
+                 expect no speedup"
             }
         }
     }

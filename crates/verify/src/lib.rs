@@ -5,7 +5,7 @@
 //! does the moral equivalent for the simulated NIC. Given a plain-data
 //! [`NicSpec`] describing the mesh, the routing function, the engines,
 //! the scheduler parameters and (optionally) the RMT program, it runs
-//! five families of checks and returns a [`Report`] of
+//! six families of checks and returns a [`Report`] of
 //! [`Diagnostic`]s with stable codes:
 //!
 //! * **`PV0xx` — chains & placement** ([`checks::chain`]): hop targets
@@ -29,6 +29,11 @@
 //!   a non-zero retry budget when failover is on (PV402), and a
 //!   descriptor deadline clearing the slowest engine's service time
 //!   (PV403).
+//! * **`PV5xx` — simulator performance** ([`checks::perf`], declared
+//!   workloads only): the traffic sources leave idle windows for
+//!   quiescence fast-forward to skip — stochastic sources and
+//!   every-cycle periodic sources pin the run to stepped speed
+//!   (PV501; see `docs/PERF.md`).
 //!
 //! Severities: an `Error` means the simulation would deadlock, panic,
 //! or silently break a modeled hardware invariant; a `Warn` means the
@@ -58,9 +63,11 @@ pub mod checks;
 pub mod diag;
 pub mod spec;
 
-pub use checks::{check_chain, check_faultplane, check_noc, check_rmt, check_sched, verify};
+pub use checks::{
+    check_chain, check_faultplane, check_noc, check_perf, check_rmt, check_sched, verify,
+};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
-pub use spec::{EngineSpec, NicSpec, RoutingKind, SchedSpec};
+pub use spec::{ArrivalKind, ArrivalSpec, EngineSpec, NicSpec, RoutingKind, SchedSpec};
 
 #[cfg(test)]
 mod tests {
@@ -82,6 +89,7 @@ mod tests {
             max_retries: 0, // PV402 (failover defaults to enabled)
             ..faults::WatchdogConfig::default()
         }); // the lone "dma" engine also has no replica -> PV401
+        spec.arrivals = vec![ArrivalSpec::stochastic("burst")]; // PV501
         let report = verify(&spec);
         for code in [
             Code::PV101,
@@ -91,6 +99,7 @@ mod tests {
             Code::PV303,
             Code::PV401,
             Code::PV402,
+            Code::PV501,
         ] {
             assert!(
                 report.has(code),

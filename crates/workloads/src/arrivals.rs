@@ -104,6 +104,52 @@ impl ArrivalProcess {
         }
     }
 
+    /// Fast-forward hint: how many polls from now until the next
+    /// arrival, given the current state.
+    ///
+    /// * `Some(k)` (Periodic only): the next `k - 1` polls
+    ///   deterministically return `false` and consume no randomness;
+    ///   the `k`-th returns `true`. A zero-rate process returns
+    ///   `Some(u64::MAX)` ("never").
+    /// * `None` (Bernoulli, OnOff): the process consumes one RNG draw
+    ///   *every* poll, so no cycle is skippable — skipping would change
+    ///   the RNG stream and break byte-identical replay (see
+    ///   `docs/PERF.md`).
+    #[must_use]
+    pub fn cycles_to_next(&self) -> Option<u64> {
+        match self {
+            ArrivalProcess::Periodic { num, den, acc } => {
+                if *num == 0 {
+                    return Some(u64::MAX);
+                }
+                // Smallest k >= 1 with acc + k*num >= den.
+                Some((den - acc).div_ceil(*num))
+            }
+            ArrivalProcess::Bernoulli { .. } | ArrivalProcess::OnOff { .. } => None,
+        }
+    }
+
+    /// Replays `cycles` arrival-free polls at once (Periodic only):
+    /// advances the accumulator exactly as `cycles` calls to
+    /// [`ArrivalProcess::poll`] would have, provided none of them would
+    /// have produced an arrival (`cycles < cycles_to_next()`).
+    ///
+    /// # Panics
+    /// Debug-asserts that no skipped poll would have fired, and that
+    /// the process is not stochastic (stochastic processes have no
+    /// skippable cycles).
+    pub fn skip(&mut self, cycles: u64) {
+        match self {
+            ArrivalProcess::Periodic { num, den, acc } => {
+                *acc += num.saturating_mul(cycles);
+                debug_assert!(*acc < *den, "skip crossed an arrival (hint bug)");
+            }
+            ArrivalProcess::Bernoulli { .. } | ArrivalProcess::OnOff { .. } => {
+                debug_assert!(cycles == 0, "stochastic arrivals cannot skip cycles");
+            }
+        }
+    }
+
     /// Polls the process for this cycle: `true` = one packet arrives.
     pub fn poll(&mut self, rng: &mut SimRng) -> bool {
         match self {
@@ -235,5 +281,56 @@ mod tests {
     #[should_panic(expected = "rate above one")]
     fn super_unit_rate_rejected() {
         let _ = ArrivalProcess::periodic(2, 1);
+    }
+
+    #[test]
+    fn cycles_to_next_predicts_periodic_firing() {
+        let mut rng = SimRng::new(1);
+        let mut p = ArrivalProcess::periodic(1, 4);
+        // Fresh state: the 4th poll fires.
+        assert_eq!(p.cycles_to_next(), Some(4));
+        for expect in [false, false, false, true] {
+            assert_eq!(p.poll(&mut rng), expect);
+        }
+        // Right after an arrival: four again.
+        assert_eq!(p.cycles_to_next(), Some(4));
+        assert!(!p.poll(&mut rng));
+        // One poll in: three to go.
+        assert_eq!(p.cycles_to_next(), Some(3));
+    }
+
+    #[test]
+    fn cycles_to_next_zero_rate_never_fires() {
+        let p = ArrivalProcess::periodic(0, 5);
+        assert_eq!(p.cycles_to_next(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn stochastic_processes_are_unskippable() {
+        assert_eq!(ArrivalProcess::bernoulli(0.5).cycles_to_next(), None);
+        assert_eq!(
+            ArrivalProcess::on_off(1, 2, 0.1, 0.1).cycles_to_next(),
+            None
+        );
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_arrival_free_polls() {
+        let mut rng = SimRng::new(7);
+        // Two clones of the same periodic process: one stepped, one
+        // fast-forwarded. After skip(k-1) + poll they must agree on
+        // every subsequent poll.
+        let mut stepped = ArrivalProcess::periodic(3, 11);
+        let mut skipped = stepped.clone();
+        for _ in 0..5 {
+            let k = stepped.cycles_to_next().unwrap();
+            for i in 0..k {
+                assert_eq!(stepped.poll(&mut rng), i == k - 1, "only the k-th fires");
+            }
+            skipped.skip(k - 1);
+            assert!(skipped.poll(&mut rng), "skipped process fires on poll k");
+        }
+        // Internal state converged: hints agree from here on.
+        assert_eq!(stepped.cycles_to_next(), skipped.cycles_to_next());
     }
 }

@@ -119,6 +119,32 @@ impl KvsWorkload {
         Bytes::from(v)
     }
 
+    /// Fast-forward hint: how many ticks from now until the next
+    /// request from *any* tenant, mirroring
+    /// [`ArrivalProcess::cycles_to_next`]. `None` when any tenant's
+    /// arrivals are stochastic (every tick then consumes RNG and no
+    /// tick is skippable); `Some(u64::MAX)` when no tenant will ever
+    /// fire again.
+    #[must_use]
+    pub fn cycles_to_next(&self) -> Option<u64> {
+        let mut min = u64::MAX;
+        for t in &self.tenants {
+            match t.arrivals.cycles_to_next() {
+                None => return None,
+                Some(k) => min = min.min(k),
+            }
+        }
+        Some(min)
+    }
+
+    /// Replays `cycles` arrival-free ticks at once (valid only when
+    /// `cycles < cycles_to_next()`; see [`ArrivalProcess::skip`]).
+    pub fn skip(&mut self, cycles: u64) {
+        for t in &mut self.tenants {
+            t.arrivals.skip(cycles);
+        }
+    }
+
     /// Advances one cycle, returning the requests arriving this cycle
     /// (at most one per tenant).
     pub fn tick(&mut self) -> Vec<KvsEvent> {
@@ -302,6 +328,27 @@ mod tests {
             assert_eq!(e1.len(), e2.len());
             for (a, b) in e1.iter().zip(&e2) {
                 assert_eq!(a.frame, b.frame);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_matches_stepped_ticks() {
+        let mut stepped = KvsWorkload::new(config());
+        let mut skipped = KvsWorkload::new(config());
+        for _ in 0..50 {
+            let k = stepped.cycles_to_next().expect("periodic tenants");
+            assert!(k < u64::MAX);
+            let mut events = Vec::new();
+            for _ in 0..k {
+                events = stepped.tick();
+            }
+            assert!(!events.is_empty(), "tick {k} fires");
+            skipped.skip(k - 1);
+            let fast = skipped.tick();
+            assert_eq!(events.len(), fast.len());
+            for (a, b) in events.iter().zip(&fast) {
+                assert_eq!(a.frame, b.frame, "RNG stream must be unperturbed");
             }
         }
     }

@@ -1,0 +1,322 @@
+//! Fast-forward ≡ stepped execution (cross-crate, hence workspace
+//! root; see `docs/PERF.md` for the contract).
+//!
+//! Quiescence fast-forward is only admissible because it is
+//! *invisible*: a fast-forwarded run must be byte-identical to the
+//! stepped run in every observable — Chrome traces (timestamps
+//! included), exported metrics, reports, conservation accounting, and
+//! RNG-dependent outcomes. These tests hold that line:
+//!
+//! 1. **Chain scenario** (proptest): random chain lengths, offered
+//!    loads, port counts, and seeds — identical traces, metrics, and
+//!    reports, with a nonzero skip count on gap-dominated points.
+//! 2. **KVS scenario** (golden): the §3.2 end-to-end workload with
+//!    crypto, caches, DMA, and host events — identical traces and
+//!    metrics.
+//! 3. **Fault plane** (proptest + golden): a seeded [`FaultPlan`]
+//!    injecting crashes/stalls/degradations while a fast-forward
+//!    driver jumps idle gaps — identical traces, conservation
+//!    reports, and headline counters for every seed.
+
+use engines::engine::NullOffload;
+use engines::mac::MacEngine;
+use engines::tile::TileConfig;
+use faults::{FaultPlan, FaultUniverse, WatchdogConfig};
+use noc::router::RouterConfig;
+use noc::topology::Topology;
+use packet::chain::{EngineClass, EngineId};
+use packet::message::{Priority, TenantId};
+use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
+use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
+use proptest::prelude::*;
+use rmt::action::{Action, Primitive, SlackExpr};
+use rmt::parse::ParseGraph;
+use rmt::pipeline::PipelineConfig;
+use rmt::program::ProgramBuilder;
+use rmt::table::{MatchKind, Table};
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use workloads::frames::FrameFactory;
+
+// ---------------------------------------------------------------------------
+// Chain scenario
+// ---------------------------------------------------------------------------
+
+/// Runs `config` in one mode and returns every observable: the Chrome
+/// trace, the exported metrics JSON, the report (debug-formatted —
+/// every field), and the skip count.
+fn chain_artifacts(
+    config: &ChainScenarioConfig,
+    fastforward: bool,
+) -> (String, String, String, u64) {
+    let tracer = trace::Tracer::chrome();
+    let mut s = ChainScenario::new(config.clone());
+    s.attach_tracer(&tracer);
+    s.set_fastforward(fastforward);
+    s.run(4_000);
+    s.drain(4_000);
+    let mut m = trace::MetricsRegistry::new();
+    s.export_metrics(&mut m);
+    (
+        tracer.chrome_json().expect("chrome tracer renders JSON"),
+        m.to_json(),
+        format!("{:?}", s.report()),
+        s.cycles_skipped(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any chain configuration produces byte-identical traces,
+    /// metrics, and reports in both execution modes.
+    #[test]
+    fn chain_fastforward_is_byte_identical(
+        chain_len in 0usize..=3,
+        load_idx in 0usize..3,
+        ports in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let offered_fraction = [0.01, 0.05, 0.2][load_idx];
+        let config = ChainScenarioConfig {
+            chain_len,
+            offered_fraction,
+            ports,
+            seed,
+            ..ChainScenarioConfig::default()
+        };
+        let (trace_s, metrics_s, report_s, skipped_s) = chain_artifacts(&config, false);
+        let (trace_f, metrics_f, report_f, skipped_f) = chain_artifacts(&config, true);
+        prop_assert_eq!(skipped_s, 0, "stepped runs never skip");
+        prop_assert_eq!(report_s, report_f);
+        prop_assert_eq!(metrics_s, metrics_f);
+        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+        // Gap-dominated points must actually skip something, or the
+        // fast path has silently regressed into a stepped loop.
+        if offered_fraction <= 0.01 {
+            prop_assert!(skipped_f > 500, "only skipped {skipped_f} cycles");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS scenario
+// ---------------------------------------------------------------------------
+
+/// Runs the KVS workload in one mode and returns (trace, metrics,
+/// report, skipped).
+fn kvs_artifacts(fastforward: bool) -> (String, String, String, u64) {
+    let mut config = KvsScenarioConfig::two_tenant_default();
+    config.keys_per_tenant = 60;
+    config.cached_hot_keys = 12;
+    let tracer = trace::Tracer::chrome();
+    let mut s = KvsScenario::new(config);
+    s.attach_tracer(&tracer);
+    s.set_fastforward(fastforward);
+    s.run(20_000);
+    let mut m = trace::MetricsRegistry::new();
+    s.export_metrics(&mut m);
+    (
+        tracer.chrome_json().expect("chrome tracer renders JSON"),
+        m.to_json(),
+        format!("{:?}", s.report()),
+        s.cycles_skipped(),
+    )
+}
+
+/// The full §3.2 workload — IPSec passes, cache hits and misses, DMA
+/// contention, host events — replays byte-identically under
+/// fast-forward, and the periodic tenants leave real gaps to skip.
+#[test]
+fn kvs_fastforward_is_byte_identical() {
+    let (trace_s, metrics_s, report_s, _) = kvs_artifacts(false);
+    let (trace_f, metrics_f, report_f, skipped) = kvs_artifacts(true);
+    assert_eq!(report_s, report_f);
+    assert_eq!(metrics_s, metrics_f);
+    assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+    assert!(skipped > 1_000, "only skipped {skipped} cycles");
+}
+
+// ---------------------------------------------------------------------------
+// Fault plane
+// ---------------------------------------------------------------------------
+
+/// A replicated-offload NIC with an armed watchdog, the configuration
+/// the chaos tests exercise: `eth0 -> off0 -> eth0` with `off1` as the
+/// same-stem failover replica.
+fn watchdog_nic() -> (PanicNic, EngineId) {
+    let freq = Freq::mhz(500);
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(3, 3),
+        width_bits: 64,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 1,
+            depth: 3,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth0", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let off0 = b.engine(
+        Box::new(NullOffload::new("off0", EngineClass::Asic, Cycles(2))),
+        TileConfig::default(),
+    );
+    let _off1 = b.engine(
+        Box::new(NullOffload::new("off1", EngineClass::Asic, Cycles(2))),
+        TileConfig::default(),
+    );
+    let _ = b.rmt_portal();
+    b.program(
+        ProgramBuilder::new("ff-fault-equiv", ParseGraph::standard(6379))
+            .stage(Table::new(
+                "route",
+                MatchKind::Exact(vec![Field::EthType]),
+                Action::named(
+                    "chain",
+                    vec![
+                        Primitive::PushHop {
+                            engine: off0,
+                            slack: SlackExpr::Const(100),
+                        },
+                        Primitive::PushHop {
+                            engine: eth,
+                            slack: SlackExpr::Const(200),
+                        },
+                    ],
+                ),
+            ))
+            .build(),
+    );
+    b.watchdog(WatchdogConfig {
+        deadline: Cycles(256),
+        max_retries: 4,
+        backoff: 2,
+        engine_timeout: Cycles(64),
+        down_after: 2,
+        check_interval: Cycles(16),
+        failover: true,
+    });
+    (b.build(), eth)
+}
+
+const FRAMES: u64 = 40;
+/// Sparse enough that fast-forward has gaps to jump, even with the
+/// watchdog polling every 16 cycles while work is tracked.
+const GAP: u64 = 400;
+const BOUND: u64 = FRAMES * GAP + 200_000;
+
+fn fault_universe() -> FaultUniverse {
+    FaultUniverse::new(vec![EngineId(1), EngineId(2)], Cycle(FRAMES * GAP * 3 / 4))
+}
+
+/// Drives `nic` to quiescence-with-faults-settled, injecting one frame
+/// every [`GAP`] cycles, stepping every cycle (`fastforward == false`)
+/// or jumping provably idle gaps. Returns the cycles skipped.
+///
+/// The injection schedule is deterministic, so the fast-forward driver
+/// folds the next injection cycle into the jump target exactly like
+/// the scenarios fold their arrival processes in.
+fn drive(nic: &mut PanicNic, eth: EngineId, fastforward: bool) -> u64 {
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut now = Cycle(0);
+    let mut sent = 0u64;
+    let mut skipped = 0u64;
+    while now.0 < BOUND {
+        if sent < FRAMES && now.0.is_multiple_of(GAP) {
+            nic.rx_frame(
+                eth,
+                factory.min_frame(sent as u16, 80),
+                TenantId(1),
+                Priority::Normal,
+                now,
+            );
+            sent += 1;
+        }
+        nic.tick(now);
+        if sent == FRAMES && nic.is_quiescent() && nic.faults_settled() {
+            return skipped;
+        }
+        let next = now.next();
+        if !fastforward {
+            now = next;
+            continue;
+        }
+        let mut hint = nic.next_activity(now);
+        if sent < FRAMES {
+            // Next injection: the smallest multiple of GAP >= now + 1.
+            let inject_at = Cycle((now.0 / GAP + 1) * GAP);
+            hint = Some(hint.map_or(inject_at, |h| h.min(inject_at)));
+        }
+        let target = hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND));
+        if target > next {
+            nic.skip_idle(next, target);
+            skipped += target.0 - next.0;
+        }
+        now = target;
+    }
+    panic!(
+        "did not drain within {BOUND} cycles:\n{}",
+        nic.conservation()
+    );
+}
+
+/// One observed fault run: (Chrome trace, conservation report,
+/// headline counters, cycles skipped).
+fn fault_artifacts(seed: u64, intensity: u32, fastforward: bool) -> (String, String, String, u64) {
+    let plan = FaultPlan::generate(seed, &fault_universe(), intensity);
+    let (mut nic, eth) = watchdog_nic();
+    let tracer = trace::Tracer::chrome();
+    nic.attach_tracer(&tracer);
+    nic.enable_faults(plan);
+    let skipped = drive(&mut nic, eth, fastforward);
+    let s = nic.stats();
+    let counters = format!(
+        "tx={} fb={} re={} fail={} dup={} down={:?}",
+        s.tx_wire,
+        s.host_fallback,
+        s.reissued,
+        s.failed,
+        s.duplicates,
+        nic.downed_engines()
+    );
+    (
+        tracer.chrome_json().expect("chrome tracer renders JSON"),
+        nic.conservation().to_string(),
+        counters,
+        skipped,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeded chaos replays byte-identically under fast-forward:
+    /// crashes, stalls, degradations, watchdog strikes, failover, and
+    /// re-issues all land on the same cycles with the same outcomes.
+    #[test]
+    fn seeded_fault_plans_are_ff_equivalent(seed in any::<u64>(), intensity in 1u32..=8) {
+        let (trace_s, cons_s, counters_s, _) = fault_artifacts(seed, intensity, false);
+        let (trace_f, cons_f, counters_f, _) = fault_artifacts(seed, intensity, true);
+        prop_assert_eq!(counters_s, counters_f);
+        prop_assert_eq!(cons_s, cons_f);
+        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+    }
+}
+
+/// Golden fixed-seed run, independent of proptest shrinking: the fault
+/// plane replays exactly *and* fast-forward actually skips cycles
+/// while the watchdog is armed.
+#[test]
+fn fault_plan_golden_seed_skips_and_matches() {
+    let (trace_s, cons_s, counters_s, skipped_s) = fault_artifacts(0x00C0_FFEE, 8, false);
+    let (trace_f, cons_f, counters_f, skipped_f) = fault_artifacts(0x00C0_FFEE, 8, true);
+    assert_eq!(skipped_s, 0, "stepped runs never skip");
+    assert_eq!(counters_s, counters_f);
+    assert_eq!(cons_s, cons_f);
+    assert_eq!(trace_s, trace_f);
+    assert!(skipped_f > 1_000, "only skipped {skipped_f} cycles");
+}

@@ -1,0 +1,266 @@
+//! Steady-state ticks perform **zero heap allocations** (workspace
+//! root because the counting `#[global_allocator]` needs `unsafe`,
+//! which the library crates forbid; see `docs/PERF.md`).
+//!
+//! The hot loop was de-allocated in layers — router `compute_into`
+//! scratch, staged network buffers, the flit [`packet`] `MessagePool`
+//! arena, engine `process_into`, and the scenarios' reusable drain
+//! buffers — and this test is what keeps it that way: after a warm-up
+//! window, every `tick` (and wire drain) of a busy NIC must allocate
+//! nothing.
+//!
+//! ## Warm-up allowlist
+//!
+//! Allocation during the warm-up window is expected and legitimate:
+//!
+//! * scratch buffers growing to their steady-state capacity (router
+//!   route scratch, network stage buffers, the NIC's wire/host drain
+//!   buffers);
+//! * the `MessagePool` arena minting its working set of flit
+//!   buffers (recycled, never freed, thereafter);
+//! * per-tile queue and scheduler storage reaching peak occupancy;
+//! * lazily built engine state (e.g. a MAC's first-use histograms).
+//!
+//! Frame *injection* allocates by design (fresh payload bytes per
+//! frame — that is workload state, not simulator state) and is
+//! excluded from the counted region, exactly as `docs/PERF.md`
+//! documents.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use engines::engine::NullOffload;
+use engines::mac::MacEngine;
+use engines::tile::TileConfig;
+use noc::router::RouterConfig;
+use noc::topology::Topology;
+use packet::chain::{EngineClass, EngineId};
+use packet::message::{Message, Priority, TenantId};
+use packet::phv::Field;
+use panic_core::nic::{NicConfig, PanicNic};
+use rmt::action::{Action, Primitive, SlackExpr};
+use rmt::parse::ParseGraph;
+use rmt::pipeline::PipelineConfig;
+use rmt::program::ProgramBuilder;
+use rmt::table::{MatchKind, Table};
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use workloads::frames::FrameFactory;
+
+/// Counts allocations (and reallocations) while armed; forwards
+/// everything to the system allocator.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+/// Debug aid: set `ZERO_ALLOC_PANIC=1` to panic (with a backtrace) at
+/// the first counted allocation instead of tallying. Latched once in
+/// [`counted`] — reading the environment inside `alloc` would itself
+/// allocate.
+static PANIC_ON_ALLOC: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            if PANIC_ON_ALLOC.load(Ordering::Relaxed) {
+                ARMED.store(false, Ordering::SeqCst);
+                panic!("counted allocation of {} bytes", layout.size());
+            }
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed; returns (result, allocations,
+/// bytes requested).
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    PANIC_ON_ALLOC.store(
+        std::env::var_os("ZERO_ALLOC_PANIC").is_some(),
+        Ordering::SeqCst,
+    );
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let r = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (
+        r,
+        ALLOCS.load(Ordering::SeqCst),
+        BYTES.load(Ordering::SeqCst),
+    )
+}
+
+/// A busy little NIC: two offload hops then back out the port, RMT
+/// portal, everything the real scenarios exercise except the fault
+/// plane (covered separately below).
+fn chain_nic() -> (PanicNic, EngineId) {
+    let freq = Freq::mhz(500);
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(3, 3),
+        width_bits: 64,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 1,
+            depth: 3,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth0", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let off0 = b.engine(
+        Box::new(NullOffload::new("off0", EngineClass::Asic, Cycles(2))),
+        TileConfig::default(),
+    );
+    let off1 = b.engine(
+        Box::new(NullOffload::new("off1", EngineClass::Asic, Cycles(3))),
+        TileConfig::default(),
+    );
+    let _ = b.rmt_portal();
+    b.program(
+        ProgramBuilder::new("zero-alloc-chain", ParseGraph::standard(6379))
+            .stage(Table::new(
+                "route",
+                MatchKind::Exact(vec![Field::EthType]),
+                Action::named(
+                    "chain",
+                    vec![
+                        Primitive::PushHop {
+                            engine: off0,
+                            slack: SlackExpr::Const(400),
+                        },
+                        Primitive::PushHop {
+                            engine: off1,
+                            slack: SlackExpr::Const(400),
+                        },
+                        Primitive::PushHop {
+                            engine: eth,
+                            slack: SlackExpr::Const(800),
+                        },
+                    ],
+                ),
+            ))
+            .build(),
+    );
+    (b.build(), eth)
+}
+
+/// One simulated cycle of the measured loop: inject (uncounted —
+/// workload-side allocation), then tick and drain the wire (counted
+/// when armed).
+fn step(
+    nic: &mut PanicNic,
+    eth: EngineId,
+    factory: &mut FrameFactory,
+    scratch: &mut Vec<Message>,
+    now: Cycle,
+    inject_every: u64,
+) -> u64 {
+    let mut delivered = 0;
+    if now.0.is_multiple_of(inject_every) {
+        let was = ARMED.swap(false, Ordering::SeqCst);
+        nic.rx_frame(
+            eth,
+            factory.min_frame((now.0 % 4096) as u16, 80),
+            TenantId(1),
+            Priority::Normal,
+            now,
+        );
+        ARMED.store(was, Ordering::SeqCst);
+    }
+    nic.tick(now);
+    scratch.clear();
+    nic.drain_wire_tx_into(scratch);
+    delivered += scratch.len() as u64;
+    delivered
+}
+
+/// The headline claim: once warm, a busy steady-state cycle — frames
+/// in flight through the mesh, the RMT pipeline, three engines, and
+/// the wire drain — performs zero heap allocations.
+#[test]
+fn steady_state_tick_allocates_nothing() {
+    const INJECT_EVERY: u64 = 24;
+    const WARMUP: u64 = 6_000;
+    const MEASURE: u64 = 6_000;
+
+    let (mut nic, eth) = chain_nic();
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut scratch: Vec<Message> = Vec::new();
+    let mut delivered = 0u64;
+
+    // Warm-up: scratch buffers, pools, and queues reach steady state
+    // (see the module-level allowlist).
+    for c in 0..WARMUP {
+        delivered += step(
+            &mut nic,
+            eth,
+            &mut factory,
+            &mut scratch,
+            Cycle(c),
+            INJECT_EVERY,
+        );
+    }
+    assert!(delivered > 0, "warm-up must reach the wire");
+
+    // Measurement: the same loop, counted.
+    let (delivered, allocs, bytes) = counted(|| {
+        let mut d = 0u64;
+        for c in WARMUP..WARMUP + MEASURE {
+            d += step(
+                &mut nic,
+                eth,
+                &mut factory,
+                &mut scratch,
+                Cycle(c),
+                INJECT_EVERY,
+            );
+        }
+        d
+    });
+    assert!(
+        delivered > MEASURE / INJECT_EVERY / 2,
+        "measured window must stay busy (delivered {delivered})"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state ticks allocated {allocs} times ({bytes} bytes) over \
+         {MEASURE} cycles — the zero-alloc hot path has regressed"
+    );
+}
+
+/// Idle ticks are trivially allocation-free too (the cheap case the
+/// fast-forward hint machinery usually skips entirely).
+#[test]
+fn idle_tick_allocates_nothing() {
+    let (mut nic, _eth) = chain_nic();
+    // Settle construction-time lazies.
+    for c in 0..64 {
+        nic.tick(Cycle(c));
+    }
+    let ((), allocs, bytes) = counted(|| {
+        for c in 64..1_064 {
+            nic.tick(Cycle(c));
+        }
+    });
+    assert_eq!(allocs, 0, "idle ticks allocated {allocs}x / {bytes}B");
+}

@@ -25,11 +25,25 @@ pub struct Bytes {
     end: usize,
 }
 
+/// The shared zero-length allocation behind every empty `Bytes`.
+/// Initialized once; afterwards `Bytes::new()` is a refcount bump, not
+/// an allocation (the simulator's steady-state hot loop builds empty
+/// placeholders per ejected flit — see `tests/zero_alloc.rs`).
+fn empty_shared() -> Arc<[u8]> {
+    static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new().into_boxed_slice())))
+}
+
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Creates an empty `Bytes` without allocating (all empty values
+    /// share one static allocation, as upstream does).
     #[must_use]
     pub fn new() -> Bytes {
-        Bytes::from_vec(Vec::new())
+        Bytes {
+            data: empty_shared(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Creates a `Bytes` from a static slice.
@@ -48,6 +62,9 @@ impl Bytes {
     }
 
     fn from_vec(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let end = v.len();
         Bytes {
             data: Arc::from(v.into_boxed_slice()),
