@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use panic_bench::experiments::{
-    chain_crossover, hol, isolation, kvs_e2e, manycore_latency, memory_pressure, rmt_limits,
-    rmt_throughput,
+    chain_crossover, hol, kvs_e2e, manycore_latency, memory_pressure, rmt_limits, rmt_throughput,
+    slack_isolation,
 };
 use panic_bench::RunCtx;
 
@@ -41,7 +41,7 @@ fn bench_architecture_comparisons(c: &mut Criterion) {
 
 fn bench_panic_design(c: &mut Criterion) {
     println!("{}", kvs_e2e::run(&mut RunCtx::new(true)));
-    println!("{}", isolation::run(&mut RunCtx::new(true)));
+    println!("{}", slack_isolation::run(&mut RunCtx::new(true)));
     println!("{}", memory_pressure::run(&mut RunCtx::new(true)));
     let mut g = c.benchmark_group("panic");
     g.sample_size(10);

@@ -51,8 +51,8 @@ fn preflight_lint() {
 
 fn print_catalog(all: &[experiments::Experiment]) {
     eprintln!("experiments:");
-    for (id, desc, _) in all {
-        eprintln!("  {id:<16} {desc}");
+    for e in all {
+        eprintln!("  {:<16} {}", e.id, e.desc);
     }
 }
 
@@ -64,8 +64,17 @@ fn print_help(all: &[experiments::Experiment]) {
     eprintln!("                     windows to <path> (\"-\" = stdout); open in Perfetto");
     eprintln!("  --metrics <path>   write counters/histograms JSON to <path>");
     eprintln!("                     (\"-\" = render a markdown summary to stdout)");
+    // Derived from the registry so the list can't go stale.
+    let fault_aware: Vec<&str> = all
+        .iter()
+        .filter(|e| e.faults_aware)
+        .map(|e| e.id)
+        .collect();
     eprintln!("  --faults <arg>     fault schedule for fault-aware experiments");
-    eprintln!("                     (today: fault-recovery): a seed (decimal or 0x-hex)");
+    eprintln!(
+        "                     ({}): a seed (decimal or 0x-hex)",
+        fault_aware.join(", ")
+    );
     eprintln!("                     for the deterministic generator, or an explicit");
     eprintln!("                     plan spec like `crash:1@500,stall:2@800+64`");
     eprintln!("  --no-fastforward   step every cycle instead of jumping provably idle");
@@ -225,7 +234,7 @@ fn main() {
     // loudly, not silently run the subset that happened to match.
     let unknown: Vec<&String> = selected
         .iter()
-        .filter(|s| s.as_str() != "all" && !all.iter().any(|(id, _, _)| id == *s))
+        .filter(|s| s.as_str() != "all" && !all.iter().any(|e| e.id == s.as_str()))
         .collect();
     if !unknown.is_empty() {
         for u in &unknown {
@@ -248,10 +257,10 @@ fn main() {
     ctx.fastforward = !args.no_fastforward;
 
     let run_all = selected.iter().any(|s| s.as_str() == "all");
-    for (id, desc, runner) in &all {
-        if run_all || selected.iter().any(|s| s.as_str() == *id) {
-            eprintln!("running {id}: {desc} ...");
-            print!("{}", runner(&mut ctx));
+    for e in &all {
+        if run_all || selected.iter().any(|s| s.as_str() == e.id) {
+            eprintln!("running {}: {} ...", e.id, e.desc);
+            print!("{}", (e.run)(&mut ctx));
         }
     }
 

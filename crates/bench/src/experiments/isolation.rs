@@ -1,52 +1,103 @@
-//! §3.1.3: the logical scheduler isolates latency-sensitive traffic at
-//! a contended engine.
+//! §2.2 / §3.2: the tenancy plane's isolation claim, measured.
 //!
-//! The setup is the paper's own example: "Due to possible memory
-//! contention from applications on the main CPU, the DMA engine has
-//! variable performance and may become a bottleneck. However, the
-//! PANIC design is still able to avoid queuing latency for
-//! high-priority messages."
+//! Two tenants share one NIC and one offload chain (IPSec-class
+//! crypto at 40 cycles/packet, then compression at 12): a **victim**
+//! KVS tenant sending a request every [`VICTIM_PERIOD`] cycles, and an
+//! **aggressor** flooding the same chain at one frame every
+//! [`AGGRESSOR_PERIOD`] cycles — ~6× the chain's service capacity.
 //!
-//! A bulk tenant hammers the DMA engine with large frames; a latency
-//! tenant sends small probes. The only thing that changes between the
-//! two runs is the slack profile the RMT program computes: distinct
-//! budgets (LSTF) versus a flat budget (plain FIFO — what a scheduler-
-//! less NIC gives you).
+//! On PANIC the tenancy plane (`crates/tenancy`) gives each tenant a
+//! virtual NIC: the aggressor's tiny credit quota caps how many of its
+//! packets can be *inside* the datapath at once, so the shared crypto
+//! queue never fills with its backlog — the excess waits in the
+//! aggressor's own vNIC queue (backpressure, not drops). The victim's
+//! p99 stays within 1.5× of its solo run. The three §2.3 baselines
+//! have no tenant boundary: the pipeline NIC queues the victim FIFO
+//! behind the flood (then drops), the manycore NIC saturates its core
+//! pool, and the RMT-only NIC melts down recirculating the
+//! aggressor's crypto emulation.
+//!
+//! Everything is strictly periodic and seeded-free: `repro isolation`
+//! is deterministic down to the byte.
 
-use engines::dma::{DmaConfig, DmaEngine};
+use baselines::manycore::{ManycoreConfig, ManycoreNic};
+use baselines::pipeline_nic::{PipelineNic, PipelineNicConfig, StageSpec};
+use baselines::rmt_only::{ComplexPolicy, RmtOnlyConfig, RmtOnlyNic};
+use engines::engine::NullOffload;
+use engines::ipsec::{encrypt_frame, SecurityAssoc, TunnelConfig};
+use engines::mac::MacEngine;
 use engines::tile::TileConfig;
 use noc::router::RouterConfig;
 use noc::topology::Topology;
-use packet::message::{Priority, TenantId};
+use packet::chain::EngineClass;
+use packet::headers::{Ipv4Addr, MacAddr};
+use packet::message::{Message, MessageId, MessageKind, Priority, TenantId};
 use panic_core::nic::{NicConfig, PanicNic};
-use panic_core::programs::{host_delivery_program, SlackProfile};
+use panic_core::programs::chain_program;
 use rmt::pipeline::PipelineConfig;
-use sched::admission::AdmissionPolicy;
 use sim_core::stats::Summary;
-use sim_core::time::{Cycle, Cycles, Freq};
-use workloads::frames::{ports, FrameFactory};
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use tenancy::{TenancyConfig, VNicSpec};
+use workloads::frames::FrameFactory;
 
-use crate::fmt::TableFmt;
+use crate::fmt::{f, TableFmt};
 
-/// Results of one isolation run.
+/// Crypto (IPSec-class) service time, cycles/packet.
+const CRYPTO_SERVICE: u64 = 40;
+/// Compression service time, cycles/packet.
+const COMP_SERVICE: u64 = 12;
+/// Victim sends one request every this many cycles (fixed load).
+pub const VICTIM_PERIOD: u64 = 400;
+/// Aggressor floods one frame every this many cycles — ~6× the
+/// chain's `CRYPTO_SERVICE` capacity, a saturating overload.
+pub const AGGRESSOR_PERIOD: u64 = 8;
+/// The victim KVS tenant.
+pub const VICTIM: TenantId = TenantId(1);
+/// The flooding tenant.
+pub const AGGRESSOR: TenantId = TenantId(2);
+/// Post-injection drain budget (cycles) so in-flight victim packets
+/// are counted; saturated baselines deliberately don't finish.
+const DRAIN: u64 = 20_000;
+
+/// Victim-tenant measurement from one run.
 #[derive(Debug, Clone, Copy)]
-pub struct IsolationPoint {
-    /// Latency-class delivery latency.
-    pub probe: Summary,
-    /// Bulk-class delivery latency.
-    pub bulk: Summary,
-    /// Bulk frames delivered (throughput sanity: isolation must not
-    /// starve bulk).
-    pub bulk_delivered: u64,
+pub struct VictimPoint {
+    /// Victim end-to-end latency (cycles, injection → wire).
+    pub latency: Summary,
+    /// Victim packets offered.
+    pub offered: u64,
+    /// Victim packets that made it back to the wire.
+    pub delivered: u64,
 }
 
-/// Runs the contended-DMA experiment with the given slack profile.
+impl VictimPoint {
+    /// Delivered / offered.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        self.delivered as f64 / self.offered.max(1) as f64
+    }
+}
+
+/// The two-tenant vNIC table used by the PANIC run: the victim gets
+/// the weight and in-flight headroom of a paying latency tenant; the
+/// aggressor gets a best-effort weight and a 2-message credit quota,
+/// so at most two of its packets ever occupy the shared chain.
 #[must_use]
-pub fn run_with_profile(profile: SlackProfile, cycles: u64) -> IsolationPoint {
+pub fn isolation_tenancy() -> TenancyConfig {
+    TenancyConfig::new(vec![
+        VNicSpec::new(VICTIM, "victim-kvs", 8).credit_quota(32),
+        VNicSpec::new(AGGRESSOR, "aggressor", 1).credit_quota(2),
+    ])
+    .shared_credits(64)
+}
+
+/// PANIC with the tenancy plane: victim latency, solo or contended.
+#[must_use]
+pub fn panic_point(with_aggressor: bool, cycles: u64) -> VictimPoint {
     let freq = Freq::PANIC_DEFAULT;
     let mut b = PanicNic::builder(NicConfig {
         topology: Topology::mesh(4, 4),
-        width_bits: 64,
+        width_bits: 128,
         router: RouterConfig::default(),
         pipeline: PipelineConfig {
             parallel: 2,
@@ -56,121 +107,332 @@ pub fn run_with_profile(profile: SlackProfile, cycles: u64) -> IsolationPoint {
         pcie_flush_interval: 0,
     });
     let eth = b.engine(
-        Box::new(engines::mac::MacEngine::new(
-            "eth",
-            sim_core::time::Bandwidth::gbps(100),
-            freq,
-        )),
+        Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
         TileConfig::default(),
     );
-    // A DMA engine with host memory contention: 30% of operations pay
-    // an extra 1500 cycles.
-    let dma = b.engine(
-        Box::new(DmaEngine::new(
-            "dma",
-            1,
-            DmaConfig {
-                base_latency: Cycles(50),
-                bytes_per_cycle: 32,
-                contention_pct: 25,
-                contention_extra: Cycles(400),
-            },
-            4,
-            None,
+    let crypto = b.engine(
+        Box::new(NullOffload::new(
+            "ipsec",
+            EngineClass::Asic,
+            Cycles(CRYPTO_SERVICE),
         )),
         TileConfig {
-            queue_capacity: 512,
-            admission: AdmissionPolicy::TailDrop,
+            queue_capacity: 256,
+            ..TileConfig::default()
+        },
+    );
+    let comp = b.engine(
+        Box::new(NullOffload::new(
+            "comp",
+            EngineClass::Asic,
+            Cycles(COMP_SERVICE),
+        )),
+        TileConfig {
+            queue_capacity: 256,
             ..TileConfig::default()
         },
     );
     let _ = b.rmt_portal();
     let _ = b.rmt_portal();
-    b.program(host_delivery_program(dma, profile));
+    // Flat slack: the engine PIFOs degrade to FIFO, so any isolation
+    // measured here is the tenancy plane's doing, not LSTF's.
+    b.program(chain_program(&[crypto, comp], eth, Some(5_000)));
+    b.tenancy(isolation_tenancy());
     let mut nic = b.build();
 
     let mut factory = FrameFactory::for_nic_port(0);
+    let mut offered = 0u64;
     let mut now = Cycle(0);
-    let mut bulk_delivered = 0u64;
     for step in 0..cycles {
-        // Bulk: a 1 KB frame every 190 cycles — ~0.96 utilization of
-        // the DMA engine once contention is averaged in.
-        if step % 190 == 0 {
-            let frame =
-                factory.inbound_udp(FrameFactory::lan_client_ip(2), 9, ports::BULK, &[], 1024);
-            nic.rx_frame(eth, frame, TenantId(2), Priority::Normal, now);
-        }
-        // Probe: a min frame every 400 cycles.
-        if step % 400 == 0 {
+        if step % VICTIM_PERIOD == 0 {
             nic.rx_frame(
                 eth,
-                factory.min_frame(1, ports::ECHO),
-                TenantId(1),
-                Priority::Latency,
+                factory.min_frame((step % 50) as u16, 80),
+                VICTIM,
+                Priority::Normal,
+                now,
+            );
+            offered += 1;
+        }
+        if with_aggressor && step % AGGRESSOR_PERIOD == 0 {
+            nic.rx_frame(
+                eth,
+                factory.min_frame((step % 64) as u16, 443),
+                AGGRESSOR,
+                Priority::Normal,
                 now,
             );
         }
         nic.tick(now);
         now = now.next();
-        bulk_delivered += nic
-            .take_host_rx()
-            .iter()
-            .filter(|m| m.tenant == TenantId(2))
-            .count() as u64;
+        let _ = nic.take_wire_tx();
     }
-    IsolationPoint {
-        probe: nic.stats().latency_of(Priority::Latency).summary(),
-        bulk: nic.stats().latency_of(Priority::Normal).summary(),
-        bulk_delivered,
+    for _ in 0..DRAIN {
+        if nic.is_quiescent() {
+            break;
+        }
+        nic.tick(now);
+        now = now.next();
+        let _ = nic.take_wire_tx();
+    }
+    let tn = nic.tenancy().expect("tenancy plane is configured");
+    VictimPoint {
+        latency: tn.latency(VICTIM).expect("victim vNIC exists").summary(),
+        offered,
+        delivered: tn.ledger(VICTIM).expect("victim vNIC exists").tx_wire,
     }
 }
 
-/// Regenerates the isolation comparison.
+/// Drives a baseline through one closure that accepts this cycle's
+/// injections, ticks the NIC, and returns its egress; counts the
+/// victim's deliveries by tenant tag on the egress stream.
+fn drive_baseline(
+    cycles: u64,
+    with_aggressor: bool,
+    mut make_aggressor: impl FnMut(u64, &mut FrameFactory) -> bytes::Bytes,
+    mut step_fn: impl FnMut(Cycle, Vec<Message>) -> Vec<Message>,
+) -> (u64, u64) {
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut offered = 0u64;
+    let mut delivered = 0u64;
+    let mut now = Cycle(0);
+    for step in 0..cycles {
+        let mut inject = Vec::new();
+        if step % VICTIM_PERIOD == 0 {
+            inject.push(
+                Message::builder(MessageId(step), MessageKind::EthernetFrame)
+                    .payload(factory.min_frame((step % 50) as u16, 80))
+                    .tenant(VICTIM)
+                    .priority(Priority::Latency)
+                    .injected_at(now)
+                    .build(),
+            );
+            offered += 1;
+        }
+        if with_aggressor && step % AGGRESSOR_PERIOD == 0 {
+            let payload = make_aggressor(step, &mut factory);
+            inject.push(
+                Message::builder(MessageId(1_000_000 + step), MessageKind::EthernetFrame)
+                    .payload(payload)
+                    .tenant(AGGRESSOR)
+                    .priority(Priority::Bulk)
+                    .injected_at(now)
+                    .build(),
+            );
+        }
+        let out = step_fn(now, inject);
+        delivered += out.iter().filter(|m| m.tenant == VICTIM).count() as u64;
+        now = now.next();
+    }
+    for _ in 0..DRAIN {
+        let out = step_fn(now, Vec::new());
+        delivered += out.iter().filter(|m| m.tenant == VICTIM).count() as u64;
+        now = now.next();
+    }
+    (offered, delivered)
+}
+
+/// The pipeline NIC: both tenants share FIFO stage queues for the
+/// same crypto + compression stages. No tenant boundary exists.
+#[must_use]
+pub fn pipeline_point(with_aggressor: bool, cycles: u64) -> VictimPoint {
+    let mut nic = PipelineNic::new(PipelineNicConfig {
+        stages: vec![
+            StageSpec {
+                offload: Box::new(NullOffload::new(
+                    "ipsec",
+                    EngineClass::Asic,
+                    Cycles(CRYPTO_SERVICE),
+                )),
+                applies_to_ports: None,
+            },
+            StageSpec {
+                offload: Box::new(NullOffload::new(
+                    "comp",
+                    EngineClass::Asic,
+                    Cycles(COMP_SERVICE),
+                )),
+                applies_to_ports: None,
+            },
+        ],
+        bypass_logic: false,
+        stage_queue_capacity: 256,
+    });
+    let (offered, delivered) = drive_baseline(
+        cycles,
+        with_aggressor,
+        |step, factory| factory.min_frame((step % 64) as u16, 443),
+        |now, inject| {
+            for m in inject {
+                nic.rx(m);
+            }
+            nic.tick(now);
+            nic.take_egress()
+        },
+    );
+    VictimPoint {
+        latency: nic.latency_of(Priority::Latency).summary(),
+        offered,
+        delivered,
+    }
+}
+
+/// The manycore NIC: every packet pays software orchestration on a
+/// shared core pool before the same two engines. The flood saturates
+/// the cores; the victim queues (and then drops) behind it.
+#[must_use]
+pub fn manycore_point(with_aggressor: bool, cycles: u64) -> VictimPoint {
+    let mut nic = ManycoreNic::new(ManycoreConfig {
+        cores: 16,
+        orchestration_cycles: 5_000,
+        engines: vec![
+            (
+                Box::new(NullOffload::new(
+                    "ipsec",
+                    EngineClass::Asic,
+                    Cycles(CRYPTO_SERVICE),
+                )),
+                None,
+            ),
+            (
+                Box::new(NullOffload::new(
+                    "comp",
+                    EngineClass::Asic,
+                    Cycles(COMP_SERVICE),
+                )),
+                None,
+            ),
+        ],
+        core_queue_capacity: 256,
+    });
+    let (offered, delivered) = drive_baseline(
+        cycles,
+        with_aggressor,
+        |step, factory| factory.min_frame((step % 64) as u16, 443),
+        |now, inject| {
+            for m in inject {
+                nic.rx(m);
+            }
+            nic.tick(now);
+            nic.take_egress()
+        },
+    );
+    VictimPoint {
+        latency: nic.latency_of(Priority::Latency).summary(),
+        offered,
+        delivered,
+    }
+}
+
+fn tunnel() -> TunnelConfig {
+    TunnelConfig {
+        sa: SecurityAssoc {
+            spi: 0x2002,
+            key: 0xdead_c0de_5555_aaaa,
+        },
+        outer_src_mac: MacAddr::for_port(0xbbbb),
+        outer_dst_mac: MacAddr::for_port(0),
+        outer_src_ip: Ipv4Addr::new(198, 51, 9, 9),
+        outer_dst_ip: Ipv4Addr::new(10, 2, 0, 0),
+    }
+}
+
+/// The RMT-only NIC: the aggressor's crypto has no engine to run on,
+/// so each of its (ESP) frames recirculates ×24 to emulate it —
+/// stealing pipeline slots from everyone. The victim's plain requests
+/// need a single pass, yet still drown.
+#[must_use]
+pub fn rmt_only_point(with_aggressor: bool, cycles: u64) -> VictimPoint {
+    let mut nic = RmtOnlyNic::new(RmtOnlyConfig {
+        pipeline: PipelineConfig {
+            parallel: 2,
+            depth: 18,
+            freq: Freq::mhz(500),
+        },
+        complex: ComplexPolicy::Recirculate { passes: 24 },
+    });
+    let t = tunnel();
+    let mut seq = 0u32;
+    let (offered, delivered) = drive_baseline(
+        cycles,
+        with_aggressor,
+        |step, factory| {
+            seq += 1;
+            encrypt_frame(&factory.min_frame((step % 64) as u16, 443), &t, seq)
+        },
+        |now, inject| {
+            for m in inject {
+                nic.rx(m);
+            }
+            nic.tick(now);
+            nic.take_egress()
+        },
+    );
+    VictimPoint {
+        latency: nic.latency_of(Priority::Latency).summary(),
+        offered,
+        delivered,
+    }
+}
+
+/// Regenerates the isolation table.
 #[must_use]
 pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
     let quick = ctx.quick;
-    let cycles = if quick { 60_000 } else { 600_000 };
-    let lstf = run_with_profile(
-        SlackProfile {
-            latency: 100,
-            normal: 100_000,
-        },
-        cycles,
-    );
-    let fifo = run_with_profile(SlackProfile::flat(5_000), cycles);
+    let cycles = if quick { 40_000 } else { 300_000 };
     let mut t = TableFmt::new(
-        "S3.1.3 — probe latency at a contended DMA engine: slack (LSTF) vs FIFO (cycles)",
+        "S2.2 / S3.2 — tenant isolation: victim latency with a saturating aggressor \
+         on the shared IPSec+comp chain (cycles)",
         &[
-            "Scheduler",
-            "Probe p50",
-            "Probe p99",
-            "Probe max",
-            "Bulk p99",
-            "Bulk delivered",
+            "Design",
+            "Solo p50/p99",
+            "+aggr p50/p99",
+            "p99 blowup",
+            "Victim delivered",
         ],
     );
-    t.row(vec![
-        "Slack/LSTF (PANIC)".into(),
-        lstf.probe.p50.to_string(),
-        lstf.probe.p99.to_string(),
-        lstf.probe.max.to_string(),
-        lstf.bulk.p99.to_string(),
-        lstf.bulk_delivered.to_string(),
-    ]);
-    t.row(vec![
-        "FIFO (flat slack)".into(),
-        fifo.probe.p50.to_string(),
-        fifo.probe.p99.to_string(),
-        fifo.probe.max.to_string(),
-        fifo.bulk.p99.to_string(),
-        fifo.bulk_delivered.to_string(),
-    ]);
-    t.note(
-        "Same NIC, same traffic, same contended DMA engine; only the slack values computed by \
-         the RMT program differ. LSTF lets probes bypass queued bulk transfers (§3.2's \
-         'dependent accesses ... bypass other pending DMA requests'); FIFO makes them wait \
-         behind every queued kilobyte.",
+    let mut row = |name: &str, solo: VictimPoint, loaded: VictimPoint| {
+        t.row(vec![
+            name.into(),
+            format!("{}/{}", solo.latency.p50, solo.latency.p99),
+            format!("{}/{}", loaded.latency.p50, loaded.latency.p99),
+            format!(
+                "{:.2}x",
+                loaded.latency.p99 as f64 / solo.latency.p99.max(1) as f64
+            ),
+            f(loaded.delivered_fraction(), 2),
+        ]);
+    };
+    row(
+        "PANIC (tenancy plane)",
+        panic_point(false, cycles),
+        panic_point(true, cycles),
     );
+    row(
+        "Pipeline NIC (FIFO stages)",
+        pipeline_point(false, cycles),
+        pipeline_point(true, cycles),
+    );
+    row(
+        "Manycore (16 cores)",
+        manycore_point(false, cycles),
+        manycore_point(true, cycles),
+    );
+    row(
+        "RMT-only (recirc x24)",
+        rmt_only_point(false, cycles),
+        rmt_only_point(true, cycles),
+    );
+    t.note(format!(
+        "Aggressor floods 1 frame / {AGGRESSOR_PERIOD} cycles at a {CRYPTO_SERVICE}-cycle \
+         crypto engine (~6x capacity); victim sends 1 request / {VICTIM_PERIOD} cycles. \
+         PANIC's vNIC credit quota (2 in-flight) keeps the aggressor's backlog out of the \
+         shared queues — it waits in its own vNIC queue under backpressure — so the victim's \
+         p99 holds within 1.5x of solo while delivering 100%. The baselines have no tenant \
+         boundary: the flood owns their shared FIFOs and the victim's tail (or goodput) \
+         collapses. Engine PIFOs run with flat slack, so this is the tenancy plane's \
+         isolation, not the scheduler's."
+    ));
     t.render()
 }
 
@@ -178,41 +440,66 @@ pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
 mod tests {
     use super::*;
 
+    const CYCLES: u64 = 40_000;
+
+    /// The headline acceptance criterion: victim p99 on PANIC stays
+    /// within 1.5× of its solo p99 under the saturating flood, with
+    /// nothing dropped.
     #[test]
-    fn lstf_protects_probe_tail_latency() {
-        let lstf = run_with_profile(
-            SlackProfile {
-                latency: 100,
-                normal: 100_000,
-            },
-            80_000,
-        );
-        let fifo = run_with_profile(SlackProfile::flat(5_000), 80_000);
-        assert!(
-            lstf.probe.count > 100,
-            "probes measured: {}",
-            lstf.probe.count
+    fn panic_victim_p99_within_1p5x_of_solo() {
+        let solo = panic_point(false, CYCLES);
+        let loaded = panic_point(true, CYCLES);
+        assert_eq!(solo.delivered, solo.offered, "solo run must fully drain");
+        assert_eq!(
+            loaded.delivered, loaded.offered,
+            "tenancy backpressures, never drops the victim"
         );
         assert!(
-            fifo.probe.p99 > lstf.probe.p99 * 2,
-            "FIFO p99 {} vs LSTF p99 {}",
-            fifo.probe.p99,
-            lstf.probe.p99
+            (loaded.latency.p99 as f64) <= solo.latency.p99 as f64 * 1.5,
+            "victim p99 {} exceeds 1.5x solo p99 {}",
+            loaded.latency.p99,
+            solo.latency.p99
         );
     }
 
+    /// At least one baseline must degrade unboundedly or drop: the
+    /// pipeline NIC does both — its shared FIFO fills with the flood.
     #[test]
-    fn bulk_is_not_starved_by_isolation() {
-        let lstf = run_with_profile(
-            SlackProfile {
-                latency: 100,
-                normal: 100_000,
-            },
-            80_000,
+    fn pipeline_baseline_degrades() {
+        let solo = pipeline_point(false, CYCLES);
+        let loaded = pipeline_point(true, CYCLES);
+        let blown_up = loaded.latency.p99 > solo.latency.p99 * 3;
+        let dropping = loaded.delivered_fraction() < 0.9;
+        assert!(
+            blown_up || dropping,
+            "pipeline NIC should blow up or drop: solo p99 {} loaded p99 {} delivered {:.2}",
+            solo.latency.p99,
+            loaded.latency.p99,
+            loaded.delivered_fraction()
         );
-        let fifo = run_with_profile(SlackProfile::flat(5_000), 80_000);
-        // Bulk throughput within ~15% either way: probes are rare.
-        let ratio = lstf.bulk_delivered as f64 / fifo.bulk_delivered.max(1) as f64;
-        assert!((0.85..1.18).contains(&ratio), "bulk ratio {ratio}");
+    }
+
+    /// The RMT-only NIC collapses recirculating the aggressor's
+    /// crypto emulation even though the victim needs one pass.
+    #[test]
+    fn rmt_only_baseline_degrades() {
+        let solo = rmt_only_point(false, CYCLES);
+        let loaded = rmt_only_point(true, CYCLES);
+        assert!(
+            loaded.latency.p99 > solo.latency.p99 * 3 || loaded.delivered_fraction() < 0.9,
+            "solo p99 {} loaded p99 {} delivered {:.2}",
+            solo.latency.p99,
+            loaded.latency.p99,
+            loaded.delivered_fraction()
+        );
+    }
+
+    /// Periodic arrivals, no RNG: the experiment is bit-deterministic.
+    #[test]
+    fn panic_point_is_deterministic() {
+        let a = panic_point(true, 20_000);
+        let b = panic_point(true, 20_000);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.delivered, b.delivered);
     }
 }

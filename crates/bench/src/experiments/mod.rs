@@ -17,117 +17,176 @@ pub mod open_lossless;
 pub mod open_questions;
 pub mod rmt_limits;
 pub mod rmt_throughput;
+pub mod slack_isolation;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
-/// One experiment entry: `(id, description, runner)`. The runner takes
-/// a [`crate::obs::RunCtx`] (quick flag + optional tracer/metrics) and
-/// returns its rendered report.
-pub type Experiment = (
-    &'static str,
-    &'static str,
-    fn(&mut crate::obs::RunCtx) -> String,
-);
+/// One experiment in the registry. The `repro` catalog (`--help`),
+/// name validation, and the run loop all derive from [`all`], so an
+/// experiment registered here can never be silently missing from the
+/// CLI surface.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Stable CLI id (hyphenated).
+    pub id: &'static str,
+    /// One-line description shown in the catalog.
+    pub desc: &'static str,
+    /// True when the runner consumes [`crate::obs::RunCtx::faults`];
+    /// `repro --help` derives the `--faults` applicability note from
+    /// this flag.
+    pub faults_aware: bool,
+    /// The runner: takes a [`crate::obs::RunCtx`] (quick flag +
+    /// optional tracer/metrics) and returns its rendered report.
+    pub run: fn(&mut crate::obs::RunCtx) -> String,
+}
 
-/// Every experiment: `(id, description, runner)`.
+/// Shorthand for a registry entry.
+const fn exp(
+    id: &'static str,
+    desc: &'static str,
+    run: fn(&mut crate::obs::RunCtx) -> String,
+) -> Experiment {
+    Experiment {
+        id,
+        desc,
+        faults_aware: false,
+        run,
+    }
+}
+
+/// Every experiment, in catalog order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
     vec![
-        (
+        exp(
             "table1",
             "Table 1: offload taxonomy of prior work",
             table1::run,
         ),
-        (
+        exp(
             "table2",
             "Table 2: line-rate PPS requirements + RMT pipeline throughput",
             table2::run,
         ),
-        (
+        exp(
             "table3",
             "Table 3: mesh bisection/capacity/chain length (analytic + simulated)",
             table3::run,
         ),
-        (
+        exp(
             "rmt-throughput",
             "S4.2: F x P pipeline throughput vs line-rate requirements",
             rmt_throughput::run,
         ),
-        (
+        exp(
             "chain-crossover",
             "S4.2: NoC-switched vs pipeline-switched chaining",
             chain_crossover::run,
         ),
-        (
+        exp(
             "hol",
             "S2.3.1 / Fig 2a: head-of-line blocking in the pipeline NIC vs PANIC",
             hol::run,
         ),
-        (
+        exp(
             "manycore",
             "S2.3.2 / Fig 2b: manycore orchestration latency vs PANIC",
             manycore_latency::run,
         ),
-        (
+        exp(
             "rmt-limits",
             "S2.3.3 / Fig 2c: RMT-only NIC vs PANIC under complex offload share",
             rmt_limits::run,
         ),
-        (
+        exp(
             "kvs",
             "S3.2: end-to-end multi-tenant KVS walk-through",
             kvs_e2e::run,
         ),
-        (
+        exp(
             "isolation",
-            "S3.1.3: slack scheduling isolates latency traffic at a contended DMA",
+            "S2.2 / S3.2: tenancy plane holds victim p99 under an aggressor flood",
             isolation::run,
         ),
-        (
+        exp(
+            "slack-isolation",
+            "S3.1.3: slack scheduling isolates latency traffic at a contended DMA",
+            slack_isolation::run,
+        ),
+        exp(
             "memory",
             "S4.3: intelligent drop vs tail drop under overload",
             memory_pressure::run,
         ),
-        (
-            "fault-recovery",
-            "Robustness: goodput + watchdog failover under seeded fault plans",
-            fault_recovery::run,
-        ),
-        (
+        Experiment {
+            faults_aware: true,
+            ..exp(
+                "fault-recovery",
+                "Robustness: goodput + watchdog failover under seeded fault plans",
+                fault_recovery::run,
+            )
+        },
+        exp(
             "ab-chaining",
             "Ablation: lookup-table chains vs recirculate-per-hop",
             ablation_chaining::run,
         ),
-        (
+        exp(
             "ab-sched",
             "Ablation: LSTF vs FIFO vs DRR at one contended engine",
             ablation_sched::run,
         ),
-        (
+        exp(
             "ab-crossbar",
             "Ablation: 2D mesh vs single crossbar (throughput + wiring)",
             ablation_crossbar::run,
         ),
-        (
+        exp(
             "ab-pointer",
             "Ablation: full packets vs pointer descriptors on chain hops",
             ablation_pointer::run,
         ),
-        (
+        exp(
             "ab-splitnet",
             "Ablation: unified network vs per-class split networks",
             ablation_split_net::run,
         ),
-        (
+        exp(
             "open-questions",
             "S6: placement and topology-shape sweeps",
             open_questions::run,
         ),
-        (
+        exp(
             "open-lossless",
             "S6: lossless control + lossy data coexistence",
             open_lossless::run,
         ),
     ]
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_hyphenated() {
+        let all = all();
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate experiment id");
+        for e in &all {
+            assert!(!e.id.contains('_'), "{}: use hyphens in ids", e.id);
+            assert!(!e.desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn isolation_experiments_are_both_registered() {
+        let all = all();
+        assert!(all.iter().any(|e| e.id == "isolation"));
+        assert!(all.iter().any(|e| e.id == "slack-isolation"));
+    }
 }

@@ -102,7 +102,7 @@ pub fn run_flood(flood_rate: f64, cycles: u64) -> LosslessPoint {
                         point.flood_done += 1;
                     }
                 }
-                Emit::Egress(_, _) | Emit::Consumed => {}
+                Emit::Egress(_, _) | Emit::Consumed(_) => {}
             }
         }
     }

@@ -38,6 +38,7 @@ use rmt::pipeline::{PipelineConfig, RmtPipeline};
 use rmt::program::RmtProgram;
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
+use tenancy::{ExitKind, SubmitSource, TenancyConfig, TenancyRuntime, TenantConservation};
 use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::faultplane::{Conservation, FaultRuntime};
@@ -173,6 +174,7 @@ pub struct NicBuilder {
     next_id: u16,
     program: Option<RmtProgram>,
     watchdog: Option<WatchdogConfig>,
+    tenancy: Option<TenancyConfig>,
 }
 
 enum SlotSpec {
@@ -200,6 +202,7 @@ impl NicBuilder {
             next_id: 0,
             program: None,
             watchdog: None,
+            tenancy: None,
         }
     }
 
@@ -257,6 +260,18 @@ impl NicBuilder {
         self.watchdog = Some(config);
     }
 
+    /// Enables the tenancy plane: per-tenant virtual NICs with
+    /// weighted-fair scheduling, credit-based admission, and rate
+    /// limiting ahead of the shared datapath. Frames whose
+    /// [`TenantId`] matches a configured vNIC are parked in a
+    /// per-tenant pending queue at the NIC boundary and released by
+    /// the tenancy scheduler; unknown tenants bypass it entirely. The
+    /// configuration is linted by the PV6xx checks at
+    /// [`NicBuilder::build`] time.
+    pub fn tenancy(&mut self, config: TenancyConfig) {
+        self.tenancy = Some(config);
+    }
+
     /// Extracts the plain-data description of everything configured so
     /// far, for the static verifier (`panic-verify`) or external tools.
     ///
@@ -278,6 +293,7 @@ impl NicBuilder {
         spec.pipeline = self.config.pipeline;
         spec.program = self.program.clone();
         spec.watchdog = self.watchdog;
+        spec.tenancy = self.tenancy.clone();
 
         let mut ports = 0u32;
         let mut line_rate = None;
@@ -441,6 +457,7 @@ impl NicBuilder {
                     Some(Watchdog::new(cfg)),
                 ))
             }),
+            tenancy: self.tenancy.map(|c| Box::new(TenancyRuntime::new(c))),
         }
     }
 }
@@ -473,6 +490,10 @@ pub struct PanicNic {
     /// fault-free fast path: one `is_some` check per tick, no extra
     /// metrics or trace tracks, byte-identical output.
     faults: Option<Box<FaultRuntime>>,
+    /// Tenancy runtime. Same contract as `faults`: `None` (the
+    /// default) costs one `is_some` check per tick and keeps every
+    /// trace, metric, and report byte-identical to an untenanted NIC.
+    tenancy: Option<Box<TenancyRuntime>>,
     /// Tile ids in iteration order, cached at build time (the tile set
     /// is fixed after construction) so the tick loop doesn't rebuild a
     /// `Vec` every cycle.
@@ -633,6 +654,9 @@ impl PanicNic {
                 tile.attach_tracer(tracer);
             }
         }
+        if let Some(tn) = self.tenancy.as_mut() {
+            tn.attach_tracer(tracer);
+        }
     }
 
     /// Exports every component's statistics into `m` under the uniform
@@ -661,6 +685,11 @@ impl PanicNic {
             if self.stats.time_to_failover.count() > 0 {
                 m.merge_histogram("nic.time_to_failover", &self.stats.time_to_failover);
             }
+        }
+        // Tenancy counters likewise exist only when the tenancy plane
+        // is engaged.
+        if let Some(tn) = &self.tenancy {
+            tn.export_metrics(m);
         }
         for (name, p) in [
             ("latency", Priority::Latency),
@@ -732,6 +761,17 @@ impl PanicNic {
         self.stats.rx_frames += 1;
         self.tracer
             .instant_arg(self.track, "nic.rx_frame", now, "msg", id.0);
+        // Tenancy interception: frames belonging to a configured vNIC
+        // park in its pending queue and enter the datapath when the
+        // tenancy scheduler releases them (admission + rate + DRR).
+        // Unknown tenants — and every frame on an untenanted NIC —
+        // take the direct path below.
+        if let Some(tn) = self.tenancy.as_mut() {
+            if tn.knows(tenant) {
+                tn.submit(SubmitSource::Rx, msg, now);
+                return id;
+            }
+        }
         self.watchdog_track(&msg, port, now);
         let portal = self.next_portal();
         self.network.send(port, portal, msg, now);
@@ -757,6 +797,12 @@ impl PanicNic {
             .injected_at(now)
             .build();
         self.stats.injected_internal += 1;
+        if let Some(tn) = self.tenancy.as_mut() {
+            if tn.knows(tenant) {
+                tn.submit(SubmitSource::Injected, msg, now);
+                return id;
+            }
+        }
         self.watchdog_track(&msg, source, now);
         let portal = self.next_portal();
         self.network.send(source, portal, msg, now);
@@ -788,7 +834,28 @@ impl PanicNic {
     fn route_onward(&mut self, from: EngineId, msg: Message, now: Cycle) {
         match msg.next_engine() {
             Some(next) => self.send_resolved(from, next, msg, now),
-            None => self.stats.unrouted += 1,
+            None => {
+                self.stats.unrouted += 1;
+                self.tenancy_exit(msg.tenant, ExitKind::Unrouted, None, now);
+            }
+        }
+    }
+
+    /// Records a message exit with the tenancy plane, when one is
+    /// engaged and the tenant belongs to a configured vNIC. A no-op
+    /// otherwise, so untenanted runs pay one `is_some` check.
+    fn tenancy_exit(
+        &mut self,
+        tenant: TenantId,
+        kind: ExitKind,
+        injected_at: Option<Cycle>,
+        now: Cycle,
+    ) {
+        if let Some(tn) = self.tenancy.as_mut() {
+            if tn.knows(tenant) {
+                let latency = injected_at.map(|at| now.saturating_since(at));
+                tn.note_exit(tenant, kind, latency);
+            }
         }
     }
 
@@ -822,9 +889,17 @@ impl PanicNic {
                     self.tracer
                         .instant_arg(self.track, "failover.host", now, "msg", msg.id.0);
                 }
-                if !duplicate {
+                if duplicate {
+                    self.tenancy_exit(msg.tenant, ExitKind::Duplicate, None, now);
+                } else {
                     self.stats.host_fallback += 1;
                     self.stats.record_latency(&msg, now);
+                    self.tenancy_exit(
+                        msg.tenant,
+                        ExitKind::HostFallback,
+                        Some(msg.injected_at),
+                        now,
+                    );
                     self.host_rx.push(msg);
                 }
             }
@@ -873,34 +948,46 @@ impl PanicNic {
                 if msg.kind == MessageKind::EthernetFrame {
                     let portal = self.next_portal();
                     self.network.send(from, portal, msg, now);
-                } else if !self.complete_descriptor(msg.id, now) {
+                } else if self.complete_descriptor(msg.id, now) {
+                    self.tenancy_exit(msg.tenant, ExitKind::Duplicate, None, now);
+                } else {
                     // A control message whose chain is complete has
                     // simply finished its job. (A late duplicate is
                     // charged to `duplicates` instead.)
                     self.stats.control_completed += 1;
+                    self.tenancy_exit(msg.tenant, ExitKind::Control, None, now);
                 }
             }
             Emit::Egress(engines::engine::EgressKind::Wire, msg) => {
                 if self.complete_descriptor(msg.id, now) {
-                    return; // late copy of an already-delivered frame
+                    // late copy of an already-delivered frame
+                    self.tenancy_exit(msg.tenant, ExitKind::Duplicate, None, now);
+                    return;
                 }
                 self.stats.tx_wire += 1;
                 self.stats.record_latency(&msg, now);
+                self.tenancy_exit(msg.tenant, ExitKind::Wire, Some(msg.injected_at), now);
                 self.tracer
                     .instant_arg(self.track, "nic.tx_wire", now, "msg", msg.id.0);
                 self.wire_tx.push(msg);
             }
             Emit::Egress(engines::engine::EgressKind::Host, msg) => {
                 if self.complete_descriptor(msg.id, now) {
-                    return; // late copy of an already-delivered frame
+                    // late copy of an already-delivered frame
+                    self.tenancy_exit(msg.tenant, ExitKind::Duplicate, None, now);
+                    return;
                 }
                 self.stats.host_deliveries += 1;
                 self.stats.record_latency(&msg, now);
+                self.tenancy_exit(msg.tenant, ExitKind::Host, Some(msg.injected_at), now);
                 self.tracer
                     .instant_arg(self.track, "nic.host_delivery", now, "msg", msg.id.0);
                 self.host_rx.push(msg);
             }
-            Emit::Consumed => self.stats.consumed += 1,
+            Emit::Consumed(tenant) => {
+                self.stats.consumed += 1;
+                self.tenancy_exit(tenant, ExitKind::Consumed, None, now);
+            }
         }
     }
 
@@ -911,6 +998,14 @@ impl PanicNic {
         //    pay exactly this one branch.
         if self.faults.is_some() {
             self.drive_fault_plane(now);
+        }
+
+        // 0b. Tenancy plane: reconcile implicit exits (drops/flushes/
+        //     losses return credits), then release pending messages
+        //     that pass rate, credit, and deficit checks into the
+        //     mesh. Untenanted NICs pay exactly this one branch.
+        if self.tenancy.is_some() {
+            self.drive_tenancy(now);
         }
 
         // 1. Ejections: tiles pull from the mesh, portals feed the
@@ -984,6 +1079,7 @@ impl PanicNic {
                 };
                 if let Some(engines::engine::Output::Egress(_, msg)) = pcie.flush() {
                     self.stats.host_deliveries += 1;
+                    self.tenancy_exit(msg.tenant, ExitKind::Host, None, now);
                     self.host_rx.push(msg);
                 }
             }
@@ -991,6 +1087,68 @@ impl PanicNic {
 
         // 4. Mesh.
         self.network.tick(now);
+    }
+
+    // ---- tenancy driver --------------------------------------------
+
+    /// One tenancy-plane step. First reconciles *implicit* exits —
+    /// per-tenant scheduler drops, watchdog flushes, and NoC losses
+    /// counted by the components themselves — so the buffer credits
+    /// those copies held return to their tenants. Then runs the
+    /// release scheduler (token-bucket rate → credit admission → DRR
+    /// deficit → SFQ rank spreading), sending each released message
+    /// into the mesh exactly as the direct `rx_frame` path would.
+    ///
+    /// Uses the same take-pattern as [`PanicNic::drive_fault_plane`]
+    /// so the emit closure can borrow the rest of the NIC.
+    fn drive_tenancy(&mut self, now: Cycle) {
+        let Some(mut tn) = self.tenancy.take() else {
+            return;
+        };
+        tn.sync_implicit_all(|t| {
+            let mut implicit = self.network.lost_of(t);
+            for slot in self.tiles.values() {
+                if let TileSlot::Engine(tile) = slot {
+                    implicit += tile.queue_stats().dropped_of(t);
+                    implicit += tile.stats().flushed_of(t);
+                }
+            }
+            implicit
+        });
+        tn.release(now, |_, msg| {
+            let src = msg.source;
+            self.watchdog_track(&msg, src, now);
+            let portal = self.next_portal();
+            self.network.send(src, portal, msg, now);
+        });
+        self.tenancy = Some(tn);
+    }
+
+    /// The tenancy runtime (ledgers, latency histograms, vNIC
+    /// catalog), when the tenancy plane is engaged.
+    #[must_use]
+    pub fn tenancy(&self) -> Option<&TenancyRuntime> {
+        self.tenancy.as_deref()
+    }
+
+    /// Per-tenant copy-level conservation identity (see
+    /// [`TenantConservation`]): everything `tenant` submitted or the
+    /// watchdog re-issued on its behalf is delivered, absorbed,
+    /// dropped, or still pending. `None` when the tenancy plane is
+    /// off or `tenant` has no vNIC. Meaningful once
+    /// `is_quiescent() && faults_settled()`.
+    #[must_use]
+    pub fn tenant_conservation(&self, tenant: TenantId) -> Option<TenantConservation> {
+        let tn = self.tenancy.as_ref()?;
+        let mut c = tn.conservation_base(tenant)?;
+        for slot in self.tiles.values() {
+            if let TileSlot::Engine(t) = slot {
+                c.sched_drops += t.queue_stats().dropped_of(tenant);
+                c.flushed += t.stats().flushed_of(tenant);
+            }
+        }
+        c.lost_noc = self.network.lost_of(tenant);
+        Some(c)
     }
 
     // ---- fault-plane driver ----------------------------------------
@@ -1175,6 +1333,11 @@ impl PanicNic {
                     attempt,
                 } => {
                     self.stats.reissued += 1;
+                    if let Some(tn) = self.tenancy.as_mut() {
+                        if tn.knows(msg.tenant) {
+                            tn.note_reissued(msg.tenant);
+                        }
+                    }
                     if self.tracer.enabled() {
                         let track = *fr.track.get_or_insert_with(|| self.tracer.track("faults"));
                         self.tracer.instant_arg(
@@ -1287,6 +1450,10 @@ impl PanicNic {
         }
         hint = merge_hint(hint, self.fault_plane_next_activity(now));
         hint = merge_hint(hint, self.pcie_flush_next_activity(now));
+        hint = merge_hint(
+            hint,
+            self.tenancy.as_ref().and_then(|t| t.next_activity(now)),
+        );
         hint
     }
 
@@ -1300,6 +1467,9 @@ impl PanicNic {
             if let TileSlot::Engine(t) = slot {
                 t.skip_idle(from, to);
             }
+        }
+        if let Some(tn) = self.tenancy.as_mut() {
+            tn.skip_idle(from, to);
         }
     }
 
@@ -1380,6 +1550,7 @@ impl PanicNic {
                 TileSlot::Engine(t) => t.queue_depth() == 0 && !t.is_busy() && t.rx_ready(),
                 TileSlot::RmtPortal => true,
             })
+            && self.tenancy.as_ref().is_none_or(|t| t.pending_total() == 0)
     }
 }
 
@@ -2096,5 +2267,135 @@ mod tests {
             now = now.next();
         }
         assert_eq!(nic.stats().unrouted, 1);
+    }
+
+    // ---- tenancy plane ---------------------------------------------
+
+    /// Two-tenant config over the tiny NIC: "alpha" (weight 3) and
+    /// "beta" (weight 1), both credit-bounded.
+    fn two_tenant_config() -> tenancy::TenancyConfig {
+        tenancy::TenancyConfig::new(vec![
+            tenancy::VNicSpec::new(TenantId(1), "alpha", 3).credit_quota(8),
+            tenancy::VNicSpec::new(TenantId(2), "beta", 1).credit_quota(8),
+        ])
+    }
+
+    #[test]
+    fn tenanted_frames_flow_and_conservation_closes() {
+        let (mut b, eth, _, _) = tiny_builder();
+        b.tenancy(two_tenant_config());
+        let mut nic = b.build();
+        let mut f = FrameFactory::for_nic_port(0);
+        let mut now = Cycle(0);
+        for i in 0..10u16 {
+            let t = TenantId(1 + u16::from(i.is_multiple_of(2)));
+            nic.rx_frame(eth, f.min_frame(i, 80), t, Priority::Normal, now);
+        }
+        let mut tx = 0;
+        for _ in 0..20_000 {
+            nic.tick(now);
+            now = now.next();
+            tx += nic.take_wire_tx().len();
+            if tx == 10 && nic.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(tx, 10, "all tenanted frames transmitted");
+        assert!(nic.is_quiescent());
+        for t in [TenantId(1), TenantId(2)] {
+            let c = nic.tenant_conservation(t).expect("configured tenant");
+            assert!(c.holds(), "tenant {t:?} conservation violated: {c}");
+            assert_eq!(c.tx_wire, 5);
+            assert_eq!(c.pending, 0);
+            let lat = nic.tenancy().unwrap().latency(t).unwrap();
+            assert_eq!(lat.count(), 5);
+        }
+        // Credits fully returned.
+        assert_eq!(nic.tenancy().unwrap().shared_in_use(), 0);
+    }
+
+    #[test]
+    fn unknown_tenant_bypasses_tenancy_plane() {
+        let (mut b, eth, _, _) = tiny_builder();
+        b.tenancy(two_tenant_config());
+        let mut nic = b.build();
+        let mut f = FrameFactory::for_nic_port(0);
+        // TenantId(9) has no vNIC: it takes the direct path.
+        nic.rx_frame(
+            eth,
+            f.min_frame(1, 80),
+            TenantId(9),
+            Priority::Normal,
+            Cycle(0),
+        );
+        assert_eq!(nic.tenancy().unwrap().pending_total(), 0);
+        let mut now = Cycle(0);
+        let mut tx = 0;
+        for _ in 0..500 {
+            nic.tick(now);
+            now = now.next();
+            tx += nic.take_wire_tx().len();
+        }
+        assert_eq!(tx, 1);
+        assert!(nic.tenant_conservation(TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn tenancy_ff_matches_stepped_run() {
+        // Rate-limited tenant (one release per 16 cycles) over a
+        // gap-dominated run: fast-forward must replay token refills and
+        // stall counts exactly, producing byte-identical metrics.
+        let config = || {
+            tenancy::TenancyConfig::new(vec![tenancy::VNicSpec::new(TenantId(1), "slow", 1)
+                .rate(tenancy::RateSpec::one_per(16))
+                .credit_quota(8)])
+        };
+        let run = |ff: bool| {
+            let (mut b, eth, _, _) = tiny_builder();
+            b.tenancy(config());
+            let mut nic = b.build();
+            let mut f = FrameFactory::for_nic_port(0);
+            let mut now = Cycle(0);
+            for i in 0..6u16 {
+                nic.rx_frame(eth, f.min_frame(i, 80), TenantId(1), Priority::Normal, now);
+            }
+            if ff {
+                let (n, _) = nic.run_ff(now, 3000);
+                now = n;
+            } else {
+                now = nic.run(now, 3000);
+            }
+            assert_eq!(now, Cycle(3000));
+            assert!(nic.is_quiescent(), "drained");
+            let mut m = MetricsRegistry::new();
+            nic.export_metrics(&mut m);
+            (m.to_json(), nic.take_wire_tx().len())
+        };
+        let (m_s, tx_s) = run(false);
+        let (m_f, tx_f) = run(true);
+        assert_eq!(tx_s, tx_f);
+        assert_eq!(m_s, m_f, "tenanted ff metrics must be byte-identical");
+    }
+
+    #[test]
+    fn untenanted_nic_has_no_tenancy_artifacts() {
+        let (mut nic, eth, _, _) = tiny_nic();
+        assert!(nic.tenancy().is_none());
+        let mut f = FrameFactory::for_nic_port(0);
+        nic.rx_frame(
+            eth,
+            f.min_frame(1, 80),
+            TenantId(1),
+            Priority::Normal,
+            Cycle(0),
+        );
+        nic.run(Cycle(0), 500);
+        let mut m = MetricsRegistry::new();
+        nic.export_metrics(&mut m);
+        assert!(
+            !m.to_json().contains("tenancy."),
+            "untenanted metrics must not mention tenancy"
+        );
+        assert!(nic.tenant_conservation(TenantId(1)).is_none());
     }
 }

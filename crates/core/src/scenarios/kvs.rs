@@ -92,6 +92,7 @@ impl KvsScenarioConfig {
                     get_ratio: 0.95,
                     wan: false,
                     value_size: 64,
+                    zipf_theta: None,
                 },
                 TenantSpec {
                     tenant: TenantId(2),
@@ -100,6 +101,7 @@ impl KvsScenarioConfig {
                     get_ratio: 0.5,
                     wan: true,
                     value_size: 256,
+                    zipf_theta: None,
                 },
             ],
             keys_per_tenant: 1000,
@@ -408,6 +410,7 @@ impl KvsScenario {
             keys_per_tenant: config.keys_per_tenant,
             zipf_theta: config.zipf_theta,
             seed: config.seed,
+            partitioned_keys: false,
         });
 
         KvsScenario {

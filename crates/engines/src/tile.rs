@@ -14,8 +14,10 @@
 //! requires. Loss, when permitted, happens only in the scheduling
 //! queue's admission policy (§4.3).
 
+use std::collections::BTreeMap;
+
 use packet::chain::EngineId;
-use packet::message::Message;
+use packet::message::{Message, TenantId};
 use sched::admission::{Admission, AdmissionPolicy};
 use sched::queue::SchedQueue;
 use sim_core::stats::Histogram;
@@ -72,7 +74,9 @@ pub enum Emit {
     /// The message left the NIC.
     Egress(EgressKind, Message),
     /// The message was absorbed by the offload (e.g. failed a check).
-    Consumed,
+    /// Carries the consumed message's tenant tag so the tenancy plane
+    /// can account the exit and return the admission credit.
+    Consumed(TenantId),
 }
 
 /// Tile counters.
@@ -93,6 +97,10 @@ pub struct TileStats {
     /// Messages destroyed by a watchdog DOWN-flush or absorbed by a
     /// DOWN tile (fault plane only; always 0 in fault-free runs).
     pub flushed: u64,
+    /// Flushes attributed per tenant, for the tenancy plane's
+    /// conservation identity. Cold path: only touched when a flush
+    /// actually happens.
+    pub flushed_by_tenant: BTreeMap<TenantId, u64>,
     /// Observed service times.
     pub service: Histogram,
 }
@@ -103,8 +111,21 @@ impl TileStats {
             processed: 0,
             busy_cycles: 0,
             flushed: 0,
+            flushed_by_tenant: BTreeMap::new(),
             service: Histogram::new(),
         }
+    }
+
+    /// Records one flushed/absorbed message of `tenant`.
+    fn record_flush(&mut self, tenant: TenantId) {
+        self.flushed += 1;
+        *self.flushed_by_tenant.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Flushes attributed to `tenant` so far.
+    #[must_use]
+    pub fn flushed_of(&self, tenant: TenantId) -> u64 {
+        self.flushed_by_tenant.get(&tenant).copied().unwrap_or(0)
     }
 }
 
@@ -302,7 +323,7 @@ impl EngineTile {
             // A DOWN tile is a black hole: anything still addressed to
             // it (in-flight before failover rewrote the chains) is
             // absorbed and charged to the flushed bucket.
-            self.stats.flushed += 1;
+            self.stats.record_flush(msg.tenant);
             return;
         }
         match self.queue.offer(msg, now) {
@@ -412,12 +433,15 @@ impl EngineTile {
     }
 
     /// Runs the offload on `msg` and routes every output, reusing the
-    /// tile's scratch buffer for the offload outputs.
+    /// tile's scratch buffer for the offload outputs. The input
+    /// message's tenant tag is captured first so a `Consumed` output —
+    /// which carries no message — can still be attributed.
     fn process_and_route(&mut self, msg: Message, now: Cycle, out: &mut Vec<Emit>) {
+        let tenant = msg.tenant;
         let mut scratch = std::mem::take(&mut self.out_scratch);
         self.offload.process_into(msg, now, &mut scratch);
         for o in scratch.drain(..) {
-            out.push(self.route_output(o));
+            out.push(self.route_output(o, tenant));
         }
         self.out_scratch = scratch;
     }
@@ -530,14 +554,19 @@ impl EngineTile {
     pub fn watchdog_down(&mut self) -> u64 {
         self.faulted = true;
         self.down = true;
-        let mut flushed = self.queue.drain_for_flush().len() as u64;
-        if self.pending.take().is_some() {
+        let mut flushed = 0u64;
+        for msg in self.queue.drain_for_flush() {
+            self.stats.record_flush(msg.tenant);
             flushed += 1;
         }
-        if self.in_service.take().is_some() {
+        if let Some(msg) = self.pending.take() {
+            self.stats.record_flush(msg.tenant);
             flushed += 1;
         }
-        self.stats.flushed += flushed;
+        if let Some((msg, _, _)) = self.in_service.take() {
+            self.stats.record_flush(msg.tenant);
+            flushed += 1;
+        }
         flushed
     }
 
@@ -567,7 +596,7 @@ impl EngineTile {
     /// emission, advancing the chain cursor for forwards and falling
     /// back to the pipeline when the chain is exhausted (§3.1.2's
     /// "default route back to the heavyweight RMT pipeline").
-    fn route_output(&mut self, out: Output) -> Emit {
+    fn route_output(&mut self, out: Output, tenant: TenantId) -> Emit {
         match out {
             Output::Forward(mut msg) => match msg.chain.advance() {
                 Some(hop) => Emit::To(hop.engine, msg),
@@ -576,7 +605,7 @@ impl EngineTile {
             Output::ForwardTo(dest, msg) => Emit::To(dest, msg),
             Output::ToPipeline(msg) => Emit::ToPipeline(msg),
             Output::Egress(kind, msg) => Emit::Egress(kind, msg),
-            Output::Consumed => Emit::Consumed,
+            Output::Consumed => Emit::Consumed(tenant),
         }
     }
 }
@@ -807,6 +836,61 @@ mod tests {
         assert_eq!(t.stats().flushed, 3);
         assert!(t.rx_ready(), "DOWN tile never backpressures");
         assert!(t.tick(Cycle(202)).is_empty());
+    }
+
+    #[test]
+    fn flushes_attribute_to_tenants() {
+        let mut t = tile(1000);
+        let tagged = |id: u64, tenant: u16| {
+            Message::builder(MessageId(id), MessageKind::EthernetFrame)
+                .tenant(TenantId(tenant))
+                .chain(ChainHeader::uniform(&[EngineId(5)], Slack::BULK).unwrap())
+                .build()
+        };
+        t.accept(tagged(1, 3), Cycle(0));
+        t.accept(tagged(2, 4), Cycle(0));
+        assert_eq!(t.watchdog_down(), 2);
+        assert_eq!(t.stats().flushed, 2);
+        assert_eq!(t.stats().flushed_of(TenantId(3)), 1);
+        assert_eq!(t.stats().flushed_of(TenantId(4)), 1);
+        // DOWN-absorption attributes too.
+        t.accept(tagged(3, 3), Cycle(1));
+        assert_eq!(t.stats().flushed_of(TenantId(3)), 2);
+    }
+
+    #[test]
+    fn consumed_emit_carries_tenant() {
+        /// A sink offload: consumes everything it is given.
+        #[derive(Debug)]
+        struct SinkOffload;
+        impl Offload for SinkOffload {
+            fn name(&self) -> &str {
+                "sink"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn class(&self) -> EngineClass {
+                EngineClass::Asic
+            }
+            fn service_time(&self, _msg: &Message) -> Cycles {
+                Cycles::ZERO
+            }
+            fn process_into(&mut self, _msg: Message, _now: Cycle, out: &mut Vec<Output>) {
+                out.push(Output::Consumed);
+            }
+        }
+        let mut t = EngineTile::new(EngineId(5), Box::new(SinkOffload), TileConfig::default());
+        let m = Message::builder(MessageId(1), MessageKind::EthernetFrame)
+            .tenant(TenantId(9))
+            .chain(ChainHeader::uniform(&[EngineId(5)], Slack::BULK).unwrap())
+            .build();
+        t.accept(m, Cycle(0));
+        let emits = t.tick(Cycle(0));
+        assert!(matches!(emits[0], Emit::Consumed(TenantId(9))), "{emits:?}");
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! buffering the paper assigns to engines that don't run at line rate
 //! (§4.3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use packet::{EngineId, Flit, Message, MessageId, MessagePool};
+use packet::{EngineId, Flit, Message, MessageId, MessagePool, TenantId};
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer, TrackId};
@@ -121,6 +121,10 @@ struct NetFaults {
     lost_messages: u64,
     /// Local credits leaked by ejection drops (never returned).
     leaked_credits: u64,
+    /// Losses attributed per tenant, for the tenancy plane's
+    /// conservation identity. Cold path: only touched when a message
+    /// is actually destroyed.
+    lost_by_tenant: BTreeMap<TenantId, u64>,
 }
 
 /// The mesh network of routers.
@@ -319,6 +323,16 @@ impl MeshNetwork {
         self.faults.as_ref().map_or(0, |f| f.leaked_credits)
     }
 
+    /// Messages destroyed by injected ejection drops, attributed to
+    /// `tenant` via the flit tenant tag (0 when no fault API has been
+    /// used or the tenant never lost a message).
+    #[must_use]
+    pub fn lost_of(&self, tenant: TenantId) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.lost_by_tenant.get(&tenant).copied().unwrap_or(0))
+    }
+
     /// Applies time-varying fault state for this cycle: expires and
     /// applies link slowdowns, returns credits whose hold elapsed.
     /// Called at the top of [`MeshNetwork::tick`] when faults exist.
@@ -409,6 +423,7 @@ impl MeshNetwork {
                         *armed -= 1;
                         faults.lost_messages += 1;
                         faults.leaked_credits += 1;
+                        *faults.lost_by_tenant.entry(flit.tenant).or_insert(0) += 1;
                         let msg = flit.take_message(&mut self.pool);
                         self.in_flight.remove(&msg.id);
                         if self.tracer.enabled() {

@@ -8,7 +8,7 @@
 //! the [`Message`] object itself so ownership moves with the data.
 
 use crate::chain::EngineId;
-use crate::message::{Message, MessageId};
+use crate::message::{Message, MessageId, TenantId};
 
 /// Position of a flit within its message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,11 @@ pub struct Flit {
     pub seq: u32,
     /// Total flits in the message.
     pub total: u32,
+    /// Tenant tag, copied from the message at segmentation time so the
+    /// NoC and its fault hooks can attribute every flit — including
+    /// head/body flits that don't carry the message object — to a
+    /// virtual NIC without chasing the tail flit.
+    pub tenant: TenantId,
     /// The message itself, carried by the tail flit only.
     pub message: Option<Box<Message>>,
 }
@@ -101,6 +106,7 @@ impl Flit {
     ) {
         let total = Self::flits_for(&msg, width_bits);
         let msg_id = msg.id;
+        let tenant = msg.tenant;
         for seq in 0..total.saturating_sub(1) {
             let kind = if seq == 0 {
                 FlitKind::Head
@@ -113,6 +119,7 @@ impl Flit {
                 dest,
                 seq,
                 total,
+                tenant,
                 message: None,
             });
         }
@@ -127,6 +134,7 @@ impl Flit {
             dest,
             seq: total - 1,
             total,
+            tenant,
             message: Some(pool.boxed(msg)),
         });
     }
@@ -295,6 +303,17 @@ mod tests {
             assert_eq!(x.dest, y.dest);
             assert_eq!(x.message.is_some(), y.message.is_some());
         }
+    }
+
+    #[test]
+    fn tenant_tag_rides_every_flit() {
+        let m = Message::builder(MessageId(4), MessageKind::EthernetFrame)
+            .tenant(TenantId(7))
+            .payload(Bytes::from(vec![0u8; 64]))
+            .build();
+        let flits = Flit::segment(m, EngineId(1), 64);
+        assert!(flits.len() > 1);
+        assert!(flits.iter().all(|f| f.tenant == TenantId(7)));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! "Local Scheduling" block): a bounded PIFO ranked by LSTF deadline,
 //! with a configurable admission policy and wait-time accounting.
 
-use packet::message::Message;
+use std::collections::BTreeMap;
+
+use packet::message::{Message, TenantId};
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer, TrackId};
@@ -33,6 +35,11 @@ pub struct SchedStats {
     pub wait: Histogram,
     /// High-water mark of queue occupancy.
     pub peak_depth: usize,
+    /// Drops attributed per tenant — the tenancy plane's conservation
+    /// identity needs to know *whose* message was shed. Cold path:
+    /// only touched when a drop actually happens, so untenanted runs
+    /// pay nothing beyond an empty map.
+    pub dropped_by_tenant: BTreeMap<TenantId, u64>,
 }
 
 impl SchedStats {
@@ -43,7 +50,20 @@ impl SchedStats {
             refused: 0,
             wait: Histogram::new(),
             peak_depth: 0,
+            dropped_by_tenant: BTreeMap::new(),
         }
+    }
+
+    /// Records one drop of a `tenant`-tagged message.
+    fn record_drop(&mut self, tenant: TenantId) {
+        self.dropped += 1;
+        *self.dropped_by_tenant.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Drops attributed to `tenant` so far.
+    #[must_use]
+    pub fn dropped_of(&self, tenant: TenantId) -> u64 {
+        self.dropped_by_tenant.get(&tenant).copied().unwrap_or(0)
     }
 }
 
@@ -200,7 +220,7 @@ impl SchedQueue {
         }
         match self.policy {
             AdmissionPolicy::TailDrop => {
-                self.stats.dropped += 1;
+                self.stats.record_drop(msg.tenant);
                 self.trace_instant("sched.drop", &msg, now);
                 Admission::Dropped { victim: msg }
             }
@@ -212,7 +232,7 @@ impl SchedQueue {
                 if rank >= max_rank {
                     // Arrival is the victim; put the evicted one back.
                     self.pifo.push(max_rank, victim);
-                    self.stats.dropped += 1;
+                    self.stats.record_drop(msg.tenant);
                     self.trace_instant("sched.drop", &msg, now);
                     Admission::Dropped { victim: msg }
                 } else {
@@ -225,7 +245,7 @@ impl SchedQueue {
                         },
                     );
                     self.stats.accepted += 1;
-                    self.stats.dropped += 1;
+                    self.stats.record_drop(victim.msg.tenant);
                     self.trace_instant("sched.drop", &victim.msg, now);
                     Admission::Dropped { victim: victim.msg }
                 }
@@ -477,6 +497,24 @@ mod tests {
         assert_eq!(flushed.len(), 2);
         assert!(q.is_empty());
         assert_eq!(q.stats().wait.count(), 0, "flush must not record waits");
+    }
+
+    #[test]
+    fn drops_attribute_to_the_victims_tenant() {
+        let mut q = SchedQueue::new(1, AdmissionPolicy::TailDrop);
+        let tagged = |id: u64, tenant: u16| {
+            Message::builder(MessageId(id), MessageKind::EthernetFrame)
+                .tenant(TenantId(tenant))
+                .chain(ChainHeader::uniform(&[EngineId(1)], Slack(5)).unwrap())
+                .build()
+        };
+        assert!(q.offer(tagged(1, 7), Cycle(0)).is_accepted());
+        let _ = q.offer(tagged(2, 7), Cycle(0)); // tail drop
+        let _ = q.offer(tagged(3, 9), Cycle(0)); // tail drop
+        assert_eq!(q.stats().dropped, 2);
+        assert_eq!(q.stats().dropped_of(TenantId(7)), 1);
+        assert_eq!(q.stats().dropped_of(TenantId(9)), 1);
+        assert_eq!(q.stats().dropped_of(TenantId(0)), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod noc;
 pub mod perf;
 pub mod rmt;
 pub mod sched;
+pub mod tenancy;
 
 pub use chain::check_chain;
 pub use faultplane::check_faultplane;
@@ -17,6 +18,7 @@ pub use noc::check_noc;
 pub use perf::check_perf;
 pub use rmt::check_rmt;
 pub use sched::check_sched;
+pub use tenancy::check_tenancy;
 
 use crate::diag::Report;
 use crate::spec::NicSpec;
@@ -31,5 +33,6 @@ pub fn verify(spec: &NicSpec) -> Report {
     diags.extend(check_sched(spec));
     diags.extend(check_faultplane(spec));
     diags.extend(check_perf(spec));
+    diags.extend(check_tenancy(spec));
     Report::new(diags)
 }

@@ -18,7 +18,8 @@ use std::fmt;
 /// * `PV2xx` — RMT program checks,
 /// * `PV3xx` — scheduler checks,
 /// * `PV4xx` — fault-plane / watchdog checks,
-/// * `PV5xx` — simulator-performance checks (fast-forward efficacy).
+/// * `PV5xx` — simulator-performance checks (fast-forward efficacy),
+/// * `PV6xx` — tenancy-plane checks (vNIC catalog soundness).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -40,11 +41,15 @@ pub enum Code {
     PV402,
     PV403,
     PV501,
+    PV601,
+    PV602,
+    PV603,
+    PV604,
 }
 
 impl Code {
     /// Every code the verifier can emit, in numeric order.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 22] = [
         Code::PV001,
         Code::PV002,
         Code::PV003,
@@ -63,6 +68,10 @@ impl Code {
         Code::PV402,
         Code::PV403,
         Code::PV501,
+        Code::PV601,
+        Code::PV602,
+        Code::PV603,
+        Code::PV604,
     ];
 
     /// The code's stable name.
@@ -87,6 +96,10 @@ impl Code {
             Code::PV402 => "PV402",
             Code::PV403 => "PV403",
             Code::PV501 => "PV501",
+            Code::PV601 => "PV601",
+            Code::PV602 => "PV602",
+            Code::PV603 => "PV603",
+            Code::PV604 => "PV604",
         }
     }
 
@@ -125,6 +138,19 @@ impl Code {
                 "workload makes quiescence fast-forward a no-op (stochastic \
                  arrivals or per-cycle gaps); run with --no-fastforward or \
                  expect no speedup"
+            }
+            Code::PV601 => "two virtual NICs claim the same tenant id",
+            Code::PV602 => {
+                "every vNIC weight is zero: the weighted-fair scheduler \
+                 has no shares to divide"
+            }
+            Code::PV603 => {
+                "a vNIC's credit quota exceeds the shared buffer pool \
+                 (Error) or the quotas oversubscribe it (Info)"
+            }
+            Code::PV604 => {
+                "a vNIC's declared offload chain references an engine the \
+                 tenant is not entitled to (or that does not exist)"
             }
         }
     }

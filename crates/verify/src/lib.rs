@@ -64,7 +64,8 @@ pub mod diag;
 pub mod spec;
 
 pub use checks::{
-    check_chain, check_faultplane, check_noc, check_perf, check_rmt, check_sched, verify,
+    check_chain, check_faultplane, check_noc, check_perf, check_rmt, check_sched, check_tenancy,
+    verify,
 };
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use spec::{ArrivalKind, ArrivalSpec, EngineSpec, NicSpec, RoutingKind, SchedSpec};

@@ -198,6 +198,9 @@ pub struct NicSpec {
     /// The traffic sources driving the NIC, when known statically
     /// (empty = unknown; enables the PV5xx fast-forward checks).
     pub arrivals: Vec<ArrivalSpec>,
+    /// Tenancy-plane configuration, when per-tenant virtual NICs are
+    /// enabled (`None` on untenanted NICs; enables the PV6xx checks).
+    pub tenancy: Option<tenancy::TenancyConfig>,
 }
 
 impl NicSpec {
@@ -223,6 +226,7 @@ impl NicSpec {
             program: None,
             watchdog: None,
             arrivals: Vec::new(),
+            tenancy: None,
         }
     }
 

@@ -16,7 +16,7 @@ use sim_core::rng::SimRng;
 
 use crate::arrivals::ArrivalProcess;
 use crate::frames::{ports, FrameFactory};
-use crate::zipf::Zipf;
+use crate::zipf::{PartitionedZipf, Zipf};
 
 /// One tenant's traffic description.
 #[derive(Debug, Clone)]
@@ -33,6 +33,11 @@ pub struct TenantSpec {
     pub wan: bool,
     /// Value size for SETs (and for values stored under this tenant).
     pub value_size: usize,
+    /// Per-tenant Zipf exponent override; `None` uses the workload's
+    /// [`KvsWorkloadConfig::zipf_theta`]. Lets one tenant run a
+    /// uniform scan while another hammers a hot set — the per-tenant
+    /// arrival *mix* of a real multi-tenant store.
+    pub zipf_theta: Option<f64>,
 }
 
 /// Workload configuration.
@@ -46,6 +51,12 @@ pub struct KvsWorkloadConfig {
     pub zipf_theta: f64,
     /// RNG seed.
     pub seed: u64,
+    /// `true` carves one shared global key space into seeded,
+    /// per-tenant [`PartitionedZipf`] stripes: tenants draw disjoint,
+    /// individually Zipfian key streams from independent RNG streams.
+    /// `false` (the legacy layout) namespaces keys by tenant id in the
+    /// top 32 bits and draws ranks from the workload's single RNG.
+    pub partitioned_keys: bool,
 }
 
 /// One generated request.
@@ -69,7 +80,12 @@ pub struct KvsEvent {
 #[derive(Debug)]
 pub struct KvsWorkload {
     tenants: Vec<TenantSpec>,
-    zipf: Zipf,
+    /// One sampler per tenant (per-tenant θ override applied); all
+    /// draw from the shared RNG in the legacy layout.
+    zipfs: Vec<Zipf>,
+    /// Per-tenant partitioned samplers (own RNG streams) when
+    /// [`KvsWorkloadConfig::partitioned_keys`] is set.
+    partitions: Option<Vec<PartitionedZipf>>,
     rng: SimRng,
     factory: FrameFactory,
     next_request_id: u32,
@@ -85,8 +101,32 @@ impl KvsWorkload {
     #[must_use]
     pub fn new(config: KvsWorkloadConfig) -> KvsWorkload {
         assert!(!config.tenants.is_empty(), "no tenants");
+        let theta_of = |spec: &TenantSpec| -> f64 { spec.zipf_theta.unwrap_or(config.zipf_theta) };
+        let zipfs = config
+            .tenants
+            .iter()
+            .map(|t| Zipf::new(config.keys_per_tenant, theta_of(t)))
+            .collect();
+        let partitions = config.partitioned_keys.then(|| {
+            let n = config.tenants.len() as u64;
+            config
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(idx, t)| {
+                    PartitionedZipf::new(
+                        config.seed,
+                        idx as u64,
+                        n,
+                        config.keys_per_tenant,
+                        theta_of(t),
+                    )
+                })
+                .collect()
+        });
         KvsWorkload {
-            zipf: Zipf::new(config.keys_per_tenant, config.zipf_theta),
+            zipfs,
+            partitions,
             tenants: config.tenants,
             rng: SimRng::new(config.seed),
             factory: FrameFactory::for_nic_port(0),
@@ -98,7 +138,7 @@ impl KvsWorkload {
     /// The key space size per tenant.
     #[must_use]
     pub fn keys_per_tenant(&self) -> usize {
-        self.zipf.len()
+        self.zipfs[0].len()
     }
 
     /// Namespaced key: tenant in the top bits, rank below.
@@ -155,8 +195,14 @@ impl KvsWorkload {
                 continue;
             }
             let spec = &self.tenants[idx];
-            let rank = self.zipf.sample(&mut self.rng);
-            let key = Self::key_for(spec.tenant, rank);
+            let key = if let Some(parts) = &mut self.partitions {
+                // Partitioned layout: the tenant's own sampler + RNG
+                // stream; the shared RNG is not consumed for the key.
+                parts[idx].next_key()
+            } else {
+                let rank = self.zipfs[idx].sample(&mut self.rng);
+                Self::key_for(spec.tenant, rank)
+            };
             let request_id = self.next_request_id;
             self.next_request_id = self.next_request_id.wrapping_add(1);
             let is_get = self.rng.gen_bool(spec.get_ratio);
@@ -211,6 +257,7 @@ mod tests {
                     get_ratio: 0.9,
                     wan: false,
                     value_size: 32,
+                    zipf_theta: None,
                 },
                 TenantSpec {
                     tenant: TenantId(2),
@@ -219,11 +266,13 @@ mod tests {
                     get_ratio: 0.5,
                     wan: true,
                     value_size: 128,
+                    zipf_theta: None,
                 },
             ],
             keys_per_tenant: 100,
             zipf_theta: 0.99,
             seed: 11,
+            partitioned_keys: false,
         }
     }
 
@@ -361,6 +410,73 @@ mod tests {
             keys_per_tenant: 1,
             zipf_theta: 0.0,
             seed: 0,
+            partitioned_keys: false,
         });
+    }
+
+    /// The tenancy satellite's contract: two tenants built from the
+    /// *same* workload seed but different `TenantId`s draw disjoint,
+    /// individually Zipf-skewed key streams in the partitioned layout.
+    #[test]
+    fn partitioned_tenants_draw_disjoint_zipfian_streams() {
+        let mut cfg = config();
+        cfg.partitioned_keys = true;
+        let mut w = KvsWorkload::new(cfg);
+        let mut keys: [std::collections::BTreeMap<u64, u32>; 2] = Default::default();
+        for _ in 0..20_000 {
+            for e in w.tick() {
+                *keys[e.tenant_idx].entry(e.request.key).or_insert(0) += 1;
+            }
+        }
+        let a: std::collections::BTreeSet<u64> = keys[0].keys().copied().collect();
+        let b: std::collections::BTreeSet<u64> = keys[1].keys().copied().collect();
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.is_disjoint(&b), "tenant key streams must be disjoint");
+        for (idx, per_key) in keys.iter().enumerate() {
+            let total: u32 = per_key.values().sum();
+            let hottest = *per_key.values().max().unwrap();
+            let frac = f64::from(hottest) / f64::from(total);
+            // θ=0.99 over 100 keys: the hottest key carries ~19% of
+            // the mass; uniform would be 1%.
+            assert!(frac > 0.08, "tenant {idx} hottest-key fraction {frac}");
+        }
+    }
+
+    /// A per-tenant θ override changes only that tenant's skew.
+    #[test]
+    fn per_tenant_theta_override_changes_mix() {
+        let mut cfg = config();
+        cfg.partitioned_keys = true;
+        cfg.tenants[0].zipf_theta = Some(0.0); // uniform scanner
+        cfg.tenants[1].zipf_theta = Some(1.2); // hot-set hammer
+        let mut w = KvsWorkload::new(cfg);
+        let mut keys: [std::collections::BTreeMap<u64, u32>; 2] = Default::default();
+        for _ in 0..20_000 {
+            for e in w.tick() {
+                *keys[e.tenant_idx].entry(e.request.key).or_insert(0) += 1;
+            }
+        }
+        let frac = |m: &std::collections::BTreeMap<u64, u32>| {
+            let total: u32 = m.values().sum();
+            f64::from(*m.values().max().unwrap()) / f64::from(total)
+        };
+        let uniform = frac(&keys[0]);
+        let skewed = frac(&keys[1]);
+        assert!(
+            skewed > uniform * 3.0,
+            "skewed {skewed} vs uniform {uniform}"
+        );
+    }
+
+    /// The legacy (non-partitioned) layout is byte-identical with the
+    /// new per-tenant samplers in place: same seed, same frames.
+    #[test]
+    fn legacy_layout_keys_stay_tenant_namespaced() {
+        let mut w = KvsWorkload::new(config());
+        for _ in 0..500 {
+            for e in w.tick() {
+                assert_eq!(e.request.key >> 32, u64::from(e.tenant.0));
+            }
+        }
     }
 }

@@ -9,7 +9,8 @@
 //! * [`arrivals`] — arrival processes: periodic (line-rate), Bernoulli
 //!   (Poisson-like), and Markov on/off (bursty).
 //! * [`zipf`] — Zipf-distributed key popularity, the standard KVS
-//!   skew model.
+//!   skew model, plus seeded per-tenant key-space partitioning
+//!   ([`zipf::PartitionedZipf`]) for the tenancy experiments.
 //! * [`frames`] — frame factories: addressed, parseable Ethernet/IPv4/
 //!   UDP frames of configurable size.
 //! * [`kvs`] — the multi-tenant KVS request stream of the paper's
@@ -28,4 +29,4 @@ pub mod zipf;
 pub use arrivals::ArrivalProcess;
 pub use frames::FrameFactory;
 pub use kvs::{KvsEvent, KvsWorkload, KvsWorkloadConfig, TenantSpec};
-pub use zipf::Zipf;
+pub use zipf::{PartitionedZipf, Zipf};

@@ -68,6 +68,89 @@ impl Zipf {
     }
 }
 
+/// A per-tenant Zipf sampler over a seeded partition of one shared
+/// global key space.
+///
+/// Multi-tenant stores don't give every tenant its own address space —
+/// they carve one. The global space of `keys × num_partitions` keys is
+/// striped by residue class: partition `p` owns every key `k` with
+/// `k % num_partitions == p`, so two partitions are **disjoint by
+/// construction**. Within its stripe, a seeded Fisher–Yates shuffle
+/// maps Zipf rank to concrete key, so each partition's *hot set* lands
+/// on different, seed-dependent keys. Each partition owns its own RNG
+/// stream (derived from `seed` + the partition index), so two tenants
+/// built from the same seed still draw independent, individually
+/// Zipfian streams.
+#[derive(Debug, Clone)]
+pub struct PartitionedZipf {
+    zipf: Zipf,
+    rng: SimRng,
+    /// Rank → global key (seeded permutation of the stripe).
+    slots: Vec<u64>,
+    num_partitions: u64,
+    partition: u64,
+}
+
+impl PartitionedZipf {
+    /// Builds the sampler for `partition` of `num_partitions`, with
+    /// `keys` keys per partition and Zipf exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `partition >= num_partitions`, or on the [`Zipf::new`]
+    /// preconditions.
+    #[must_use]
+    pub fn new(seed: u64, partition: u64, num_partitions: u64, keys: usize, theta: f64) -> Self {
+        assert!(
+            partition < num_partitions,
+            "partition {partition} out of {num_partitions}"
+        );
+        let mut rng = SimRng::new(seed).derive(&format!("kvs-partition-{partition}"));
+        let mut slots: Vec<u64> = (0..keys as u64)
+            .map(|r| r * num_partitions + partition)
+            .collect();
+        rng.shuffle(&mut slots);
+        PartitionedZipf {
+            zipf: Zipf::new(keys, theta),
+            rng,
+            slots,
+            num_partitions,
+            partition,
+        }
+    }
+
+    /// Draws the next key from this partition's stream.
+    pub fn next_key(&mut self) -> u64 {
+        self.slots[self.zipf.sample(&mut self.rng)]
+    }
+
+    /// The global key this partition maps rank `r` to.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn key_of_rank(&self, r: usize) -> u64 {
+        self.slots[r]
+    }
+
+    /// True when `key` belongs to this partition's stripe.
+    #[must_use]
+    pub fn owns(&self, key: u64) -> bool {
+        key % self.num_partitions == self.partition
+    }
+
+    /// Keys in this partition.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false (`Zipf` enforces ≥ 1 key).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +215,58 @@ mod tests {
     #[should_panic(expected = "empty key space")]
     fn zero_items_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_individually_zipfian() {
+        // Two tenants, SAME seed, different partition index.
+        let mut a = PartitionedZipf::new(42, 0, 2, 200, 0.99);
+        let mut b = PartitionedZipf::new(42, 1, 2, 200, 0.99);
+        let mut keys_a = std::collections::BTreeSet::new();
+        let mut keys_b = std::collections::BTreeSet::new();
+        let mut top_a = std::collections::BTreeMap::new();
+        let mut top_b = std::collections::BTreeMap::new();
+        let n = 40_000;
+        for _ in 0..n {
+            let ka = a.next_key();
+            let kb = b.next_key();
+            assert!(a.owns(ka) && !b.owns(ka));
+            assert!(b.owns(kb) && !a.owns(kb));
+            keys_a.insert(ka);
+            keys_b.insert(kb);
+            *top_a.entry(ka).or_insert(0u32) += 1;
+            *top_b.entry(kb).or_insert(0u32) += 1;
+        }
+        assert!(keys_a.is_disjoint(&keys_b), "partitions must not overlap");
+        // Each stream is individually Zipf-skewed: the hottest key is
+        // far above the uniform 1/200 = 0.5% share.
+        for top in [&top_a, &top_b] {
+            let hottest = *top.values().max().unwrap();
+            let frac = f64::from(hottest) / f64::from(n);
+            assert!(frac > 0.05, "hottest-key fraction {frac}");
+        }
+        // Same seed, but per-partition RNG streams and shuffles: the
+        // hot ranks land on different global keys.
+        assert_ne!(a.key_of_rank(0) >> 1, b.key_of_rank(0) >> 1);
+    }
+
+    #[test]
+    fn partition_mapping_is_seed_deterministic() {
+        let mut x = PartitionedZipf::new(7, 1, 3, 64, 0.9);
+        let mut y = PartitionedZipf::new(7, 1, 3, 64, 0.9);
+        let mut z = PartitionedZipf::new(8, 1, 3, 64, 0.9);
+        let xs: Vec<u64> = (0..500).map(|_| x.next_key()).collect();
+        let ys: Vec<u64> = (0..500).map(|_| y.next_key()).collect();
+        let zs: Vec<u64> = (0..500).map(|_| z.next_key()).collect();
+        assert_eq!(xs, ys, "same seed + partition => same stream");
+        assert_ne!(xs, zs, "different seed => different stream");
+        assert_eq!(x.len(), 64);
+        assert!(!x.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn partition_index_out_of_range_rejected() {
+        let _ = PartitionedZipf::new(0, 3, 3, 10, 1.0);
     }
 }

@@ -6,7 +6,7 @@
 //! cargo run --example tenant_isolation
 //! ```
 
-use panic_bench::experiments::isolation::run_with_profile;
+use panic_bench::experiments::slack_isolation::run_with_profile;
 use panic_core::programs::SlackProfile;
 
 fn main() {

@@ -10,7 +10,13 @@
 //! panic-lint kvs chain       # lint a subset
 //! panic-lint --json all      # machine-readable diagnostics
 //! panic-lint --deny-warnings # exit nonzero on warnings too
+//! panic-lint --check-fixtures # self-test: negative fixtures must fire
 //! ```
+//!
+//! `--check-fixtures` lints a set of deliberately broken tenancy
+//! configurations (one per PV601–PV604) and *fails unless each one
+//! fires its expected diagnostic* — the lint pass's own negative test,
+//! runnable in CI against the shipped binary.
 //!
 //! Exit status: `0` when no scenario has error-severity diagnostics
 //! (or, with `--deny-warnings`, no warnings either), `1` otherwise,
@@ -18,9 +24,11 @@
 
 #![forbid(unsafe_code)]
 
+use packet::{EngineId, TenantId};
 use panic_core::scenarios::chain::PlacementStrategy;
 use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
 use panic_verify::{NicSpec, Report, Severity};
+use tenancy::{TenancyConfig, VNicSpec};
 
 /// A lintable scenario: name, description, spec producer.
 type Entry = (&'static str, &'static str, fn() -> NicSpec);
@@ -62,8 +70,89 @@ fn scenarios() -> Vec<Entry> {
     ]
 }
 
+/// A negative fixture: name, the diagnostic it must trigger, and a
+/// producer for the deliberately broken spec.
+type Fixture = (&'static str, &'static str, fn() -> NicSpec);
+
+/// The kvs scenario spec with `cfg` attached as its tenancy plane —
+/// a realistic host for the PV6xx fixtures (real mesh, real engines).
+fn kvs_with_tenancy(cfg: TenancyConfig) -> NicSpec {
+    let mut spec = KvsScenario::lint_spec(&KvsScenarioConfig::two_tenant_default());
+    spec.tenancy = Some(cfg);
+    spec
+}
+
+/// Deliberately broken tenancy configs, one per PV6xx lint. Kept out
+/// of [`scenarios`] so `panic-lint all` stays green; exercised by
+/// `--check-fixtures` (CI) and `tests/panic_lint_fixtures.rs`.
+fn fixtures() -> Vec<Fixture> {
+    vec![
+        ("fixture-pv601", "PV601", || {
+            // Two vNICs claim tenant id 1.
+            kvs_with_tenancy(TenancyConfig::new(vec![
+                VNicSpec::new(TenantId(1), "first", 4),
+                VNicSpec::new(TenantId(1), "imposter", 2),
+            ]))
+        }),
+        ("fixture-pv602", "PV602", || {
+            // Every weight is zero: nothing to divide.
+            kvs_with_tenancy(TenancyConfig::new(vec![
+                VNicSpec::new(TenantId(1), "a", 0),
+                VNicSpec::new(TenantId(2), "b", 0),
+            ]))
+        }),
+        ("fixture-pv603", "PV603", || {
+            // A quota larger than the whole shared pool.
+            kvs_with_tenancy(
+                TenancyConfig::new(vec![
+                    VNicSpec::new(TenantId(1), "greedy", 1).credit_quota(128)
+                ])
+                .shared_credits(16),
+            )
+        }),
+        ("fixture-pv604", "PV604", || {
+            // A declared chain through an engine outside the tenant's
+            // entitlement list.
+            kvs_with_tenancy(TenancyConfig::new(vec![VNicSpec::new(
+                TenantId(1),
+                "walled-in",
+                1,
+            )
+            .entitled_to([EngineId(0)])
+            .chain([EngineId(0), EngineId(1)])]))
+        }),
+    ]
+}
+
+/// Runs every negative fixture and checks its expected code fires at
+/// error severity. Returns `true` when all pass.
+fn check_fixtures() -> bool {
+    let mut ok = true;
+    for (name, code, spec_fn) in fixtures() {
+        let report = panic_verify::verify(&spec_fn());
+        let fired = report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code.as_str() == code && d.severity == Severity::Error);
+        println!(
+            "{name}: {} (expects {code} at Error)",
+            if fired { "ok" } else { "MISSING" }
+        );
+        if !fired {
+            for d in report.diagnostics() {
+                println!("  saw {}", d.render());
+            }
+        }
+        ok &= fired;
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check-fixtures") {
+        std::process::exit(i32::from(!check_fixtures()));
+    }
     let json = args.iter().any(|a| a == "--json");
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings" || a == "-W");
     let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();

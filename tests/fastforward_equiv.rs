@@ -17,6 +17,10 @@
 //!    injecting crashes/stalls/degradations while a fast-forward
 //!    driver jumps idle gaps — identical traces, conservation
 //!    reports, and headline counters for every seed.
+//! 4. **Tenancy plane** (proptest + golden): two rate-limited vNICs
+//!    whose token buckets refill across skipped windows — identical
+//!    traces, exported metrics (including `tenancy.*` ledgers and
+//!    stall counters), and per-tenant conservation reports.
 
 use engines::engine::NullOffload;
 use engines::mac::MacEngine;
@@ -319,4 +323,181 @@ fn fault_plan_golden_seed_skips_and_matches() {
     assert_eq!(cons_s, cons_f);
     assert_eq!(trace_s, trace_f);
     assert!(skipped_f > 1_000, "only skipped {skipped_f} cycles");
+}
+
+// ---------------------------------------------------------------------------
+// Tenancy plane
+// ---------------------------------------------------------------------------
+
+/// The watchdog NIC with the tenancy plane engaged: a shaped tenant
+/// whose token bucket must refill *across* skipped windows, plus an
+/// unshaped competitor — the configuration most likely to betray a
+/// `skip_idle` bookkeeping bug.
+fn tenanted_watchdog_nic(shaped_gap: u64) -> (PanicNic, EngineId) {
+    use tenancy::{RateSpec, TenancyConfig, VNicSpec};
+    let (mut b, eth) = {
+        // Same topology/program/watchdog as `watchdog_nic`, rebuilt
+        // here because the builder is consumed by `build()`.
+        let freq = Freq::mhz(500);
+        let mut b = PanicNic::builder(NicConfig {
+            topology: Topology::mesh(3, 3),
+            width_bits: 64,
+            router: RouterConfig::default(),
+            pipeline: PipelineConfig {
+                parallel: 1,
+                depth: 3,
+                freq,
+            },
+            pcie_flush_interval: 0,
+        });
+        let eth = b.engine(
+            Box::new(MacEngine::new("eth0", Bandwidth::gbps(100), freq)),
+            TileConfig::default(),
+        );
+        let off0 = b.engine(
+            Box::new(NullOffload::new("off0", EngineClass::Asic, Cycles(2))),
+            TileConfig::default(),
+        );
+        let _off1 = b.engine(
+            Box::new(NullOffload::new("off1", EngineClass::Asic, Cycles(2))),
+            TileConfig::default(),
+        );
+        let _ = b.rmt_portal();
+        b.program(
+            ProgramBuilder::new("ff-tenancy-equiv", ParseGraph::standard(6379))
+                .stage(Table::new(
+                    "route",
+                    MatchKind::Exact(vec![Field::EthType]),
+                    Action::named(
+                        "chain",
+                        vec![
+                            Primitive::PushHop {
+                                engine: off0,
+                                slack: SlackExpr::Const(100),
+                            },
+                            Primitive::PushHop {
+                                engine: eth,
+                                slack: SlackExpr::Const(200),
+                            },
+                        ],
+                    ),
+                ))
+                .build(),
+        );
+        b.watchdog(WatchdogConfig {
+            deadline: Cycles(256),
+            max_retries: 4,
+            backoff: 2,
+            engine_timeout: Cycles(64),
+            down_after: 2,
+            check_interval: Cycles(16),
+            failover: true,
+        });
+        (b, eth)
+    };
+    b.tenancy(TenancyConfig::new(vec![
+        VNicSpec::new(TenantId(1), "unshaped", 3).credit_quota(12),
+        VNicSpec::new(TenantId(2), "shaped", 1)
+            .credit_quota(4)
+            .rate(RateSpec::one_per(shaped_gap)),
+    ]));
+    (b.build(), eth)
+}
+
+/// One observed tenancy run: (Chrome trace, exported metrics JSON,
+/// per-tenant conservation reports, cycles skipped). Frames alternate
+/// between the unshaped and the shaped tenant.
+fn tenancy_artifacts(shaped_gap: u64, fastforward: bool) -> (String, String, String, u64) {
+    let (mut nic, eth) = tenanted_watchdog_nic(shaped_gap);
+    let tracer = trace::Tracer::chrome();
+    nic.attach_tracer(&tracer);
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut now = Cycle(0);
+    let mut sent = 0u64;
+    let mut skipped = 0u64;
+    loop {
+        assert!(now.0 < BOUND, "tenancy run did not drain within {BOUND}");
+        if sent < FRAMES && now.0.is_multiple_of(GAP) {
+            let tenant = TenantId(1 + (sent % 2) as u16);
+            nic.rx_frame(
+                eth,
+                factory.min_frame(sent as u16, 80),
+                tenant,
+                Priority::Normal,
+                now,
+            );
+            sent += 1;
+        }
+        nic.tick(now);
+        if sent == FRAMES && nic.is_quiescent() {
+            break;
+        }
+        let next = now.next();
+        if !fastforward {
+            now = next;
+            continue;
+        }
+        let mut hint = nic.next_activity(now);
+        if sent < FRAMES {
+            let inject_at = Cycle((now.0 / GAP + 1) * GAP);
+            hint = Some(hint.map_or(inject_at, |h| h.min(inject_at)));
+        }
+        let target = hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND));
+        if target > next {
+            nic.skip_idle(next, target);
+            skipped += target.0 - next.0;
+        }
+        now = target;
+    }
+    let mut m = trace::MetricsRegistry::new();
+    nic.export_metrics(&mut m);
+    let cons = format!(
+        "{}\n{}",
+        nic.tenant_conservation(TenantId(1)).unwrap(),
+        nic.tenant_conservation(TenantId(2)).unwrap()
+    );
+    (
+        tracer.chrome_json().expect("chrome tracer renders JSON"),
+        m.to_json(),
+        cons,
+        skipped,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any shaping gap replays byte-identically under fast-forward:
+    /// token refills, DRR grants, rate-stall counters, and release
+    /// cycles land exactly where the stepped run put them.
+    #[test]
+    fn tenancy_plane_is_ff_equivalent(shaped_gap in 1u64..=96) {
+        let (trace_s, metrics_s, cons_s, _) = tenancy_artifacts(shaped_gap, false);
+        let (trace_f, metrics_f, cons_f, _) = tenancy_artifacts(shaped_gap, true);
+        prop_assert_eq!(cons_s, cons_f);
+        prop_assert_eq!(metrics_s, metrics_f);
+        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+    }
+}
+
+/// Golden tenancy run: byte-identical artifacts *and* a real skip
+/// count, with the shaped tenant actually stalled at least once (so
+/// the rate-refill wake-up path — not just the trivial empty-queue
+/// hint — is exercised).
+#[test]
+fn tenancy_golden_skips_and_matches() {
+    // Shaping slower than the injection gap guarantees rate stalls.
+    let (trace_s, metrics_s, cons_s, skipped_s) = tenancy_artifacts(3 * GAP, false);
+    let (trace_f, metrics_f, cons_f, skipped_f) = tenancy_artifacts(3 * GAP, true);
+    assert_eq!(skipped_s, 0, "stepped runs never skip");
+    assert_eq!(cons_s, cons_f);
+    assert_eq!(metrics_s, metrics_f);
+    assert_eq!(trace_s, trace_f);
+    assert!(skipped_f > 1_000, "only skipped {skipped_f} cycles");
+    assert!(
+        metrics_f.contains("\"tenancy.shaped.rate_stalls\":")
+            && !metrics_f.contains("\"tenancy.shaped.rate_stalls\":0"),
+        "shaped tenant never hit the rate gate — the refill wake-up \
+         path went unexercised: {metrics_f}"
+    );
 }

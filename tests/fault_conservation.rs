@@ -160,6 +160,146 @@ proptest! {
     }
 }
 
+// ---- tenancy × faults ------------------------------------------------
+
+/// The replicated NIC with the tenancy plane engaged: two vNICs of
+/// unequal weight sharing the credit pool. Faults now have to leave
+/// *each tenant's* books balanced, not just the NIC's.
+fn tenanted_nic() -> (PanicNic, EngineId) {
+    use tenancy::{TenancyConfig, VNicSpec};
+    let freq = Freq::mhz(500);
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(3, 3),
+        width_bits: 64,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 1,
+            depth: 3,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth0", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let off0 = b.engine(
+        Box::new(NullOffload::new("off0", EngineClass::Asic, Cycles(2))),
+        TileConfig::default(),
+    );
+    let _off1 = b.engine(
+        Box::new(NullOffload::new("off1", EngineClass::Asic, Cycles(2))),
+        TileConfig::default(),
+    );
+    let _ = b.rmt_portal();
+    b.program(
+        ProgramBuilder::new("fault-prop-tn", ParseGraph::standard(6379))
+            .stage(Table::new(
+                "route",
+                MatchKind::Exact(vec![Field::EthType]),
+                Action::named(
+                    "chain",
+                    vec![
+                        Primitive::PushHop {
+                            engine: off0,
+                            slack: SlackExpr::Const(100),
+                        },
+                        Primitive::PushHop {
+                            engine: eth,
+                            slack: SlackExpr::Const(200),
+                        },
+                    ],
+                ),
+            ))
+            .build(),
+    );
+    b.watchdog(WatchdogConfig {
+        deadline: Cycles(256),
+        max_retries: 4,
+        backoff: 2,
+        engine_timeout: Cycles(64),
+        down_after: 2,
+        check_interval: Cycles(16),
+        failover: true,
+    });
+    b.tenancy(TenancyConfig::new(vec![
+        VNicSpec::new(TenantId(1), "heavy", 3).credit_quota(12),
+        VNicSpec::new(TenantId(2), "light", 1).credit_quota(4),
+    ]));
+    (b.build(), eth)
+}
+
+/// Like [`drive`], but alternates submissions between the two tenants
+/// (even frames → tenant 1, odd → tenant 2).
+fn drive_two_tenants(nic: &mut PanicNic, eth: EngineId, frames: u64, gap: u64) -> Option<u64> {
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut now = Cycle(0);
+    let mut sent = 0u64;
+    let bound = frames * gap + 200_000;
+    while now.0 < bound {
+        if sent < frames && now.0.is_multiple_of(gap) {
+            let tenant = TenantId(1 + (sent % 2) as u16);
+            nic.rx_frame(
+                eth,
+                factory.min_frame(sent as u16, 80),
+                tenant,
+                Priority::Normal,
+                now,
+            );
+            sent += 1;
+        }
+        nic.tick(now);
+        now = now.next();
+        if sent == frames && nic.is_quiescent() && nic.faults_settled() {
+            return None;
+        }
+    }
+    Some(bound)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tenancy ledgers close under arbitrary seeded faults: for
+    /// each tenant, everything submitted or re-issued on its behalf is
+    /// delivered, absorbed, dropped, flushed, lost, or suppressed —
+    /// per tenant, not just in aggregate — and the global identity
+    /// still holds with the plane engaged.
+    #[test]
+    fn two_tenant_fault_plans_conserve_per_tenant(seed in any::<u64>(), intensity in 1u32..=8) {
+        let plan = FaultPlan::generate(seed, &test_universe(), intensity);
+        let (mut nic, eth) = tenanted_nic();
+        nic.enable_faults(plan.clone());
+        let stuck = drive_two_tenants(&mut nic, eth, FRAMES, GAP);
+        prop_assert!(
+            stuck.is_none(),
+            "plan `{plan}` did not drain within {:?} cycles:\n{}",
+            stuck,
+            nic.conservation()
+        );
+        let c = nic.conservation();
+        prop_assert!(c.holds(), "plan `{plan}` violates global conservation:\n{c}");
+        let mut submitted_total = 0u64;
+        for t in [TenantId(1), TenantId(2)] {
+            let tc = nic.tenant_conservation(t).expect("tenancy engaged");
+            prop_assert!(
+                tc.holds(),
+                "plan `{plan}` violates tenant {} conservation:\n{tc}",
+                t.0
+            );
+            prop_assert_eq!(tc.pending, 0, "quiescent NIC left tenant {} backlog", t.0);
+            submitted_total += tc.submitted;
+        }
+        prop_assert_eq!(submitted_total, FRAMES, "every offered frame reached a vNIC");
+        // Dedupe still caps egress at offered load with the plane on.
+        let s = nic.stats();
+        prop_assert!(
+            s.tx_wire + s.host_fallback <= FRAMES,
+            "more egress than offered frames: {s:?}"
+        );
+    }
+}
+
 /// Renders one traced run of a seeded plan: (Chrome JSON, conservation
 /// report, headline counters).
 fn traced_run(seed: u64) -> (String, String, String) {

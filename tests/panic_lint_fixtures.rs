@@ -1,0 +1,42 @@
+//! Negative-fixture self-test for `panic-lint` (satellite of the
+//! tenancy-plane PR): the shipped binary must (a) stay green on the
+//! shipped scenarios and (b) fail each deliberately broken PV6xx
+//! tenancy fixture with the expected diagnostic.
+//!
+//! Exercising the *binary* (via `CARGO_BIN_EXE_panic-lint`) rather
+//! than the library keeps the CLI surface — argument parsing, exit
+//! codes, fixture wiring — under test, not just the lint pass.
+
+use std::process::Command;
+
+fn lint(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_panic-lint"))
+        .args(args)
+        .output()
+        .expect("spawn panic-lint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn shipped_scenarios_stay_green() {
+    let (ok, text) = lint(&["all"]);
+    assert!(ok, "shipped scenarios must lint clean:\n{text}");
+}
+
+#[test]
+fn pv6xx_fixtures_all_fire() {
+    let (ok, text) = lint(&["--check-fixtures"]);
+    assert!(ok, "a PV6xx fixture failed to fire:\n{text}");
+    for code in ["PV601", "PV602", "PV603", "PV604"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(code))
+            .unwrap_or_else(|| panic!("no fixture line for {code}:\n{text}"));
+        assert!(line.contains("ok"), "fixture for {code} missing:\n{text}");
+    }
+}
