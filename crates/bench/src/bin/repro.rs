@@ -77,6 +77,9 @@ fn print_help(all: &[experiments::Experiment]) {
     );
     eprintln!("                     for the deterministic generator, or an explicit");
     eprintln!("                     plan spec like `crash:1@500,stall:2@800+64`");
+    eprintln!("  --threads <n>      worker threads for multi-NIC fabric experiments");
+    eprintln!("                     (rack; byte-identical output for every n — see");
+    eprintln!("                     docs/FABRIC.md) and the bench sweep runner");
     eprintln!("  --no-fastforward   step every cycle instead of jumping provably idle");
     eprintln!("                     gaps (byte-identical output; debugging/measurement");
     eprintln!("                     aid — see docs/PERF.md)");
@@ -118,13 +121,13 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut flag_with_value = |name: &str, a: &str| -> Option<String> {
+        let mut flag_with_value = |name: &str, a: &str, wants: &str| -> Option<String> {
             if let Some(v) = a.strip_prefix(&format!("{name}=")) {
                 return Some(v.to_string());
             }
             if a == name {
                 return Some(it.next().unwrap_or_else(|| {
-                    eprintln!("{name} requires a path argument (\"-\" = stdout)");
+                    eprintln!("{name} requires {wants}");
                     std::process::exit(2);
                 }));
             }
@@ -137,15 +140,16 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
         } else if a == "--help" || a == "-h" {
             print_help(all);
             std::process::exit(0);
-        } else if let Some(v) = flag_with_value("--trace", &a) {
+        } else if let Some(v) = flag_with_value("--trace", &a, "a path argument (\"-\" = stdout)") {
             out.trace = Some(v);
-        } else if let Some(v) = flag_with_value("--metrics", &a) {
+        } else if let Some(v) = flag_with_value("--metrics", &a, "a path argument (\"-\" = stdout)")
+        {
             out.metrics = Some(v);
-        } else if let Some(v) = flag_with_value("--out", &a) {
+        } else if let Some(v) = flag_with_value("--out", &a, "a path argument") {
             out.bench_out = Some(v);
-        } else if let Some(v) = flag_with_value("--check", &a) {
+        } else if let Some(v) = flag_with_value("--check", &a, "a path argument") {
             out.bench_check = Some(v);
-        } else if let Some(v) = flag_with_value("--threads", &a) {
+        } else if let Some(v) = flag_with_value("--threads", &a, "a positive integer") {
             match v.parse::<usize>() {
                 Ok(n) if n > 0 => out.threads = Some(n),
                 _ => {
@@ -153,7 +157,7 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
                     std::process::exit(2);
                 }
             }
-        } else if let Some(v) = flag_with_value("--faults", &a) {
+        } else if let Some(v) = flag_with_value("--faults", &a, "a seed or plan spec") {
             match v.parse::<faults::FaultArg>() {
                 Ok(arg) => out.faults = Some(arg),
                 Err(e) => {
@@ -255,6 +259,7 @@ fn main() {
     let mut ctx = RunCtx::observed(args.quick, tracer, args.metrics.is_some());
     ctx.faults = args.faults.clone();
     ctx.fastforward = !args.no_fastforward;
+    ctx.threads = args.threads.unwrap_or(1);
 
     let run_all = selected.iter().any(|s| s.as_str() == "all");
     for e in &all {

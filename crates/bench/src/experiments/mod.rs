@@ -15,6 +15,7 @@ pub mod manycore_latency;
 pub mod memory_pressure;
 pub mod open_lossless;
 pub mod open_questions;
+pub mod rack;
 pub mod rmt_limits;
 pub mod rmt_throughput;
 pub mod slack_isolation;
@@ -151,6 +152,11 @@ pub fn all() -> Vec<Experiment> {
             "ab-splitnet",
             "Ablation: unified network vs per-class split networks",
             ablation_split_net::run,
+        ),
+        exp(
+            "rack",
+            "Rack-scale fabric: cross-NIC chains over a simulated ToR, 1-8 NICs",
+            rack::run,
         ),
         exp(
             "open-questions",

@@ -1,0 +1,358 @@
+//! Rack-scale fabric: cross-NIC offload chains over a simulated ToR.
+//!
+//! The paper's closing argument is that once every NIC is a switch,
+//! the rack is a two-level switching fabric — so the offload-chain
+//! abstraction should survive the hop across the ToR. This experiment
+//! scales a ring of 1/2/4/8 member NICs (`crates/fabric`): every
+//! member's RMT pipeline encodes a chain whose tail runs on the *next*
+//! member (`crc` here, then that member's MAC egress), so at N ≥ 2
+//! every packet takes exactly one inter-NIC hop through a
+//! credit-windowed, latency- and serialization-modelled link. At
+//! N = 1 the same remote-encoded program resolves locally (a remote
+//! hop addressed to the NIC it is already on never leaves the mesh),
+//! which keeps per-packet work constant across the sweep — the
+//! latency delta between rows is the fabric crossing, nothing else.
+//!
+//! Tenancy scales by **striping, not instantiation**: the fleet's
+//! tenant key space is [`TENANT_SPACE`] (10⁶) keys, carved into
+//! disjoint per-member stripes by `workloads::PartitionedZipf`
+//! (partition *i* of *N* owns every key ≡ *i* mod *N*). Each member
+//! instantiates vNICs only for its stripe's [`ACTIVE`] hottest ranks —
+//! runtime state stays O(active) per NIC while addressing the full
+//! million-key space, which is how §3.2's "thousands of tenants"
+//! extrapolates to a rack.
+//!
+//! Everything is seeded and periodic: `repro rack` is deterministic
+//! down to the byte, **including across `--threads` values** — members
+//! share nothing within an epoch and the boundary exchange is serial
+//! (see docs/FABRIC.md).
+
+use engines::engine::NullOffload;
+use engines::mac::MacEngine;
+use engines::tile::TileConfig;
+use fabric::{Fabric, FabricBuilder, LinkSpec, PeriodicDriver};
+use noc::router::RouterConfig;
+use noc::topology::Topology;
+use packet::chain::EngineClass;
+use packet::message::{Priority, TenantId};
+use packet::EngineId;
+use panic_core::nic::{NicBuilder, NicConfig, PanicNic};
+use panic_core::programs::chain_program;
+use rmt::pipeline::PipelineConfig;
+use sim_core::stats::{Histogram, Summary};
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use tenancy::{TenancyConfig, VNicSpec};
+use workloads::frames::FrameFactory;
+use workloads::zipf::{PartitionedZipf, Zipf};
+
+use crate::fmt::{f, TableFmt};
+
+/// Global tenant key space striped across the rack (the "toward 10⁶
+/// vNICs" axis: addressable, not instantiated).
+pub const TENANT_SPACE: usize = 1_000_000;
+/// vNICs actually instantiated per member — the stripe's hottest ranks.
+pub const ACTIVE: usize = 32;
+/// CRC-class engine service time, cycles/packet.
+const CRC_SERVICE: u64 = 8;
+/// One frame per member every this many cycles.
+const PERIOD: u64 = 120;
+/// Inter-NIC link: propagation latency (cycles), ToR port rate
+/// (bytes/cycle), credit window (messages in flight).
+const LINK_LATENCY: u64 = 48;
+const LINK_RATE: u64 = 16;
+const LINK_CREDITS: u64 = 32;
+/// Seed for the tenant-stripe permutations and traffic skew.
+const SEED: u64 = 0xD1CE;
+
+/// One row of the rack sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackPoint {
+    /// End-to-end latency (cycles, injection at the home NIC → wire at
+    /// the egress NIC), merged across members.
+    pub latency: Summary,
+    /// Frames offered fleet-wide.
+    pub offered: u64,
+    /// Frames that reached a wire egress.
+    pub delivered: u64,
+    /// Inter-NIC link crossings.
+    pub crossings: u64,
+    /// Boundary rounds stalled on a full credit window.
+    pub backpressured: u64,
+    /// vNICs instantiated fleet-wide (vs [`TENANT_SPACE`] addressable).
+    pub vnics: u64,
+}
+
+impl RackPoint {
+    /// Delivered / offered.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        self.delivered as f64 / self.offered.max(1) as f64
+    }
+}
+
+/// One member NIC: MAC uplink, CRC-class offload, two RMT portals,
+/// and a chain whose tail runs on member `(i + 1) % nics`.
+fn member(i: usize, nics: usize) -> (NicBuilder, EngineId) {
+    let freq = Freq::PANIC_DEFAULT;
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(4, 4),
+        width_bits: 128,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 2,
+            depth: 18,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let crc = b.engine(
+        Box::new(NullOffload::new(
+            "crc",
+            EngineClass::Asic,
+            Cycles(CRC_SERVICE),
+        )),
+        TileConfig {
+            queue_capacity: 256,
+            ..TileConfig::default()
+        },
+    );
+    let _ = b.rmt_portal();
+    let _ = b.rmt_portal();
+    let next = (i + 1) % nics;
+    // Engine ids are declaration-ordered and every member declares the
+    // same engines, so this member's crc/eth ids address its neighbor's
+    // too. At nics == 1, remote(0, ..) resolves locally on member 0.
+    b.program(chain_program(
+        &[crc, EngineId::remote(next, crc)],
+        EngineId::remote(next, eth),
+        Some(5_000),
+    ));
+    b.tenancy(stripe_tenancy(i, nics));
+    (b, eth)
+}
+
+/// The vNIC table for member `i`'s stripe: compact per-member tenant
+/// ids, each pinned to one global key from the stripe's hot set.
+fn stripe_tenancy(i: usize, nics: usize) -> TenancyConfig {
+    let stripe = PartitionedZipf::new(SEED, i as u64, nics as u64, TENANT_SPACE / nics, 0.99);
+    let specs = (0..ACTIVE)
+        .map(|rank| {
+            let key = stripe.key_of_rank(rank);
+            VNicSpec::new(
+                tenant_id(i, rank),
+                format!("stripe{i}-key{key}"),
+                if rank == 0 { 4 } else { 1 },
+            )
+            .credit_quota(16)
+        })
+        .collect();
+    TenancyConfig::new(specs).shared_credits(256)
+}
+
+/// Member-unique compact id for the stripe's rank-`rank` tenant
+/// (`TenantId` is 16-bit; the million-key space is addressed through
+/// the stripe permutation, not the id).
+fn tenant_id(member: usize, rank: usize) -> TenantId {
+    TenantId((member * ACTIVE + rank + 1) as u16)
+}
+
+/// Builds the N-member ring fabric with its per-member drivers.
+fn build_rack(nics: usize, frames_per_nic: u64) -> Fabric {
+    let mut fb = FabricBuilder::new();
+    let mut uplinks = Vec::new();
+    for i in 0..nics {
+        let (b, eth) = member(i, nics);
+        uplinks.push((fb.member(b, eth), eth));
+    }
+    if nics > 1 {
+        // Ring neighbors, as deduplicated unordered pairs (a 2-NIC
+        // ring has one pair, not two).
+        let pairs: std::collections::BTreeSet<(usize, usize)> = (0..nics)
+            .map(|i| {
+                let next = (i + 1) % nics;
+                (i.min(next), i.max(next))
+            })
+            .collect();
+        for (a, b) in pairs {
+            fb.link_pair(
+                a,
+                b,
+                LinkSpec::new(0, 0)
+                    .latency(LINK_LATENCY)
+                    .bytes_per_cycle(LINK_RATE)
+                    .credits(LINK_CREDITS as usize),
+            );
+        }
+    }
+    for (i, (mi, eth)) in uplinks.into_iter().enumerate() {
+        // Traffic skew: Zipf over the member's ACTIVE hot ranks, on a
+        // per-member RNG stream derived from the shared seed.
+        let zipf = Zipf::new(ACTIVE, 0.99);
+        let mut rng = sim_core::rng::SimRng::new(SEED).derive(&format!("rack-traffic-{i}"));
+        let mut factory = FrameFactory::for_nic_port(i as u32);
+        fb.driver(
+            mi,
+            Box::new(PeriodicDriver::new(
+                (i as u64) * 7,
+                PERIOD,
+                frames_per_nic,
+                move |nic: &mut PanicNic, now: Cycle, k: u64| {
+                    let rank = zipf.sample(&mut rng);
+                    nic.rx_frame(
+                        eth,
+                        factory.min_frame((k % 50) as u16, 80),
+                        tenant_id(i, rank),
+                        Priority::Normal,
+                        now,
+                    );
+                },
+            )),
+        );
+    }
+    fb.build()
+}
+
+/// Runs one rack configuration to quiescence.
+#[must_use]
+pub fn rack_point(nics: usize, threads: usize, quick: bool) -> RackPoint {
+    let frames_per_nic: u64 = if quick { 300 } else { 2_000 };
+    let mut fabric = build_rack(nics, frames_per_nic);
+    fabric.set_threads(threads);
+    let horizon = (frames_per_nic + 2) * PERIOD + 50_000;
+    let mut now = fabric.run_ff(Cycle(0), horizon).0;
+    for _ in 0..64 {
+        if fabric.is_quiescent() {
+            break;
+        }
+        now = fabric.run_ff(now, 10_000).0;
+    }
+    assert!(fabric.is_quiescent(), "rack failed to drain");
+    let c = fabric.conservation();
+    assert!(c.holds(), "fleet conservation violated:\n{c}");
+    point_of(&fabric, frames_per_nic * nics as u64)
+}
+
+/// Collapses a drained fabric into a [`RackPoint`].
+fn point_of(fabric: &Fabric, offered: u64) -> RackPoint {
+    let mut latency = Histogram::new();
+    let mut delivered = 0;
+    for i in 0..fabric.len() {
+        let stats = fabric.member(i).stats();
+        latency.merge(stats.latency_of(Priority::Normal));
+        delivered += stats.tx_wire;
+    }
+    RackPoint {
+        latency: latency.summary(),
+        offered,
+        delivered,
+        crossings: fabric.stats().forwarded,
+        backpressured: fabric.stats().backpressured,
+        vnics: (fabric.len() * ACTIVE) as u64,
+    }
+}
+
+/// Regenerates the rack-fabric table.
+#[must_use]
+pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
+    let quick = ctx.quick;
+    let mut t = TableFmt::new(
+        "Rack-scale fabric: cross-NIC chains over a simulated ToR \
+         (per-NIC load held constant; latency in cycles, injection -> wire)",
+        &[
+            "NICs",
+            "vNICs (of 10^6 keys)",
+            "p50/p99",
+            "Crossings",
+            "Backpressured",
+            "Delivered",
+        ],
+    );
+    for nics in [1usize, 2, 4, 8] {
+        let p = rack_point(nics, ctx.threads, quick);
+        t.row(vec![
+            nics.to_string(),
+            p.vnics.to_string(),
+            format!("{}/{}", p.latency.p50, p.latency.p99),
+            p.crossings.to_string(),
+            p.backpressured.to_string(),
+            f(p.delivered_fraction(), 2),
+        ]);
+    }
+    // The observed window: a 2-NIC rack with the tracer/metrics
+    // attached (tracing forces the serial member loop; the numbers are
+    // identical either way).
+    if ctx.observing() {
+        let frames: u64 = if quick { 100 } else { 400 };
+        let mut fabric = build_rack(2, frames);
+        fabric.set_threads(ctx.threads);
+        fabric.attach_tracer(&ctx.tracer);
+        let mut now = fabric.run_ff(Cycle(0), (frames + 2) * PERIOD + 50_000).0;
+        for _ in 0..64 {
+            if fabric.is_quiescent() {
+                break;
+            }
+            now = fabric.run_ff(now, 10_000).0;
+        }
+        if ctx.collect_metrics {
+            fabric.export_metrics(&mut ctx.metrics);
+        }
+    }
+    t.note(format!(
+        "Every member's chain tail (crc + MAC egress) runs on the next member over a \
+         {LINK_LATENCY}-cycle, {LINK_RATE} B/cycle, {LINK_CREDITS}-credit link; at 1 NIC the \
+         same remote-encoded program resolves locally, so per-packet work is constant and the \
+         latency step from row 1 to row 2 is the ToR crossing itself. Tenants are striped, not \
+         instantiated: each member owns a disjoint PartitionedZipf stripe of the 10^6-key space \
+         and instantiates vNICs for its {ACTIVE} hottest keys. Fleet conservation is asserted \
+         on every row; output is byte-identical for any --threads value."
+    ));
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion: chains cross, and everything offered
+    /// reaches a wire with fleet conservation closing (asserted inside
+    /// `rack_point`).
+    #[test]
+    fn two_nic_rack_delivers_everything_via_crossings() {
+        let p = rack_point(2, 1, true);
+        assert_eq!(p.delivered, p.offered, "lossless rack");
+        assert_eq!(p.crossings, p.offered, "every frame crosses once");
+    }
+
+    /// One NIC takes no crossings — the remote-encoded tail resolves
+    /// locally.
+    #[test]
+    fn one_nic_rack_stays_local() {
+        let p = rack_point(1, 1, true);
+        assert_eq!(p.crossings, 0);
+        assert_eq!(p.delivered, p.offered);
+    }
+
+    /// `repro rack` is byte-identical across thread counts.
+    #[test]
+    fn rack_point_is_thread_count_invariant() {
+        let serial = rack_point(4, 1, true);
+        let parallel = rack_point(4, 4, true);
+        assert_eq!(serial, parallel);
+    }
+
+    /// Striping is disjoint: no global key appears in two members'
+    /// stripes, while every member's hot set addresses the full space.
+    #[test]
+    fn stripes_are_disjoint() {
+        let a = PartitionedZipf::new(SEED, 0, 4, TENANT_SPACE / 4, 0.99);
+        let b = PartitionedZipf::new(SEED, 1, 4, TENANT_SPACE / 4, 0.99);
+        for rank in 0..ACTIVE {
+            assert!(a.owns(a.key_of_rank(rank)));
+            assert!(!b.owns(a.key_of_rank(rank)));
+        }
+    }
+}

@@ -47,6 +47,10 @@ pub struct RunCtx {
     /// debugging the fast-forward machinery itself, and for measuring
     /// its benefit (`repro bench` times both modes).
     pub fastforward: bool,
+    /// Worker threads for experiments that run a multi-NIC fabric
+    /// (`repro --threads <n>`; also the `bench` sweep width). Fabric
+    /// results are byte-identical for every value — see docs/FABRIC.md.
+    pub threads: usize,
 }
 
 impl RunCtx {
@@ -60,6 +64,7 @@ impl RunCtx {
             collect_metrics: false,
             faults: None,
             fastforward: true,
+            threads: 1,
         }
     }
 
@@ -74,6 +79,7 @@ impl RunCtx {
             collect_metrics,
             faults: None,
             fastforward: true,
+            threads: 1,
         }
     }
 

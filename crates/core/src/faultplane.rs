@@ -81,11 +81,18 @@ impl FaultRuntime {
 /// Identity ([`Conservation::holds`]):
 ///
 /// ```text
-/// rx_frames + injected_internal + reissued ==
+/// rx_frames + injected_internal + reissued + remote_rx ==
 ///     tx_wire + host_deliveries + host_fallback + consumed
 ///   + control_completed + unrouted + sched_drops + lost_noc
-///   + flushed + duplicates
+///   + flushed + duplicates + remote_tx
 /// ```
+///
+/// On a rack-fabric member, copies arriving over an inter-NIC link are
+/// a source (`remote_rx`) and copies handed to the fabric are a sink
+/// (`remote_tx`); summed over every member plus the copies still on
+/// the links, the per-NIC identities compose into the fleet-wide one
+/// (`fabric::FleetConservation`, docs/FABRIC.md). Both are always zero
+/// on a standalone NIC.
 ///
 /// Watchdog re-issues mint *copies* of a descriptor, so they appear on
 /// the source side; late copies suppressed at egress appear on the
@@ -109,13 +116,15 @@ pub struct Conservation {
     pub lost_noc: u64,
     pub flushed: u64,
     pub duplicates: u64,
+    pub remote_rx: u64,
+    pub remote_tx: u64,
 }
 
 impl Conservation {
     /// Copies that entered the NIC boundary.
     #[must_use]
     pub fn sources(&self) -> u64 {
-        self.rx_frames + self.injected_internal + self.reissued
+        self.rx_frames + self.injected_internal + self.reissued + self.remote_rx
     }
 
     /// Copies that left (or were destroyed inside) the NIC boundary.
@@ -131,6 +140,7 @@ impl Conservation {
             + self.lost_noc
             + self.flushed
             + self.duplicates
+            + self.remote_tx
     }
 
     /// True when every copy is accounted for.
@@ -144,16 +154,18 @@ impl fmt::Display for Conservation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "sources {} = rx {} + injected {} + reissued {}",
+            "sources {} = rx {} + injected {} + reissued {} + remote_rx {}",
             self.sources(),
             self.rx_frames,
             self.injected_internal,
-            self.reissued
+            self.reissued,
+            self.remote_rx
         )?;
         writeln!(
             f,
             "sinks   {} = tx {} + host {} + fallback {} + consumed {} + control {} \
-             + unrouted {} + sched_drops {} + lost_noc {} + flushed {} + duplicates {}",
+             + unrouted {} + sched_drops {} + lost_noc {} + flushed {} + duplicates {} \
+             + remote_tx {}",
             self.sinks(),
             self.tx_wire,
             self.host_deliveries,
@@ -164,7 +176,8 @@ impl fmt::Display for Conservation {
             self.sched_drops,
             self.lost_noc,
             self.flushed,
-            self.duplicates
+            self.duplicates,
+            self.remote_tx
         )?;
         write!(
             f,
@@ -194,9 +207,11 @@ mod tests {
             lost_noc: 1,
             flushed: 1,
             duplicates: 1,
+            remote_rx: 2,
+            remote_tx: 2,
         };
-        assert_eq!(c.sources(), 15);
-        assert_eq!(c.sinks(), 15);
+        assert_eq!(c.sources(), 17);
+        assert_eq!(c.sinks(), 17);
         assert!(c.holds());
         let shown = c.to_string();
         assert!(shown.contains("HOLDS"), "{shown}");

@@ -117,6 +117,12 @@ pub struct NicStats {
     /// Messages steered to the host because their next engine was
     /// DOWN with no replica available (fault plane only).
     pub host_fallback: u64,
+    /// Messages handed to the rack fabric because their current chain
+    /// hop addresses another NIC (fabric only; always 0 standalone).
+    pub remote_tx: u64,
+    /// Messages accepted from the rack fabric via
+    /// [`PanicNic::rx_remote`] (fabric only; always 0 standalone).
+    pub remote_rx: u64,
     /// Recovery latency: first descriptor timeout → eventual
     /// completion (fault plane only).
     pub recovery: Histogram,
@@ -141,6 +147,8 @@ impl NicStats {
             failed: 0,
             duplicates: 0,
             host_fallback: 0,
+            remote_tx: 0,
+            remote_rx: 0,
             recovery: Histogram::new(),
             time_to_failover: Histogram::new(),
             latency: [Histogram::new(), Histogram::new(), Histogram::new()],
@@ -448,6 +456,8 @@ impl NicBuilder {
             next_msg_id: 0,
             wire_tx: Vec::new(),
             host_rx: Vec::new(),
+            remote_egress: Vec::new(),
+            fabric_index: None,
             stats: NicStats::new(),
             tracer: Tracer::disabled(),
             track: TrackId(0),
@@ -483,6 +493,16 @@ pub struct PanicNic {
     next_msg_id: u64,
     wire_tx: Vec<Message>,
     host_rx: Vec<Message>,
+    /// Messages whose current chain hop addresses another NIC
+    /// ([`EngineId::is_remote`]), parked here for the fabric to drain
+    /// onto an inter-NIC link. Always empty on a standalone NIC, so
+    /// the rack machinery costs non-fabric runs nothing.
+    remote_egress: Vec<Message>,
+    /// This NIC's index in a rack fabric, `None` standalone. A chain
+    /// hop remote-addressed to this index (the tail of a chain some
+    /// *other* NIC's pipeline encoded) resolves locally instead of
+    /// re-crossing the ToR.
+    fabric_index: Option<usize>,
     stats: NicStats,
     tracer: Tracer,
     track: TrackId,
@@ -635,6 +655,8 @@ impl PanicNic {
             lost_noc: self.network.lost_messages(),
             flushed,
             duplicates: self.stats.duplicates,
+            remote_rx: self.stats.remote_rx,
+            remote_tx: self.stats.remote_tx,
         }
     }
 
@@ -685,6 +707,12 @@ impl PanicNic {
             if self.stats.time_to_failover.count() > 0 {
                 m.merge_histogram("nic.time_to_failover", &self.stats.time_to_failover);
             }
+        }
+        // Fabric counters exist only once fabric traffic flowed, so a
+        // 1-NIC fabric run exports byte-identically to a bare NIC.
+        if self.stats.remote_tx > 0 || self.stats.remote_rx > 0 {
+            m.counter_set("nic.remote_tx", self.stats.remote_tx);
+            m.counter_set("nic.remote_rx", self.stats.remote_rx);
         }
         // Tenancy counters likewise exist only when the tenancy plane
         // is engaged.
@@ -829,6 +857,103 @@ impl PanicNic {
         std::mem::take(&mut self.host_rx)
     }
 
+    // ---- rack-fabric boundary --------------------------------------
+    //
+    // A standalone NIC never calls any of these; `crates/fabric` uses
+    // them to carry chain hops across NICs (docs/FABRIC.md).
+
+    /// Messages parked for the fabric (oldest first). Non-empty only
+    /// mid-run on a fabric member.
+    #[must_use]
+    pub fn remote_egress(&self) -> &[Message] {
+        &self.remote_egress
+    }
+
+    /// Pops the oldest fabric-bound message, if its link has capacity
+    /// (the fabric checks credits before popping; messages left here
+    /// are backpressured, not dropped).
+    pub fn pop_remote_egress(&mut self) -> Option<Message> {
+        if self.remote_egress.is_empty() {
+            None
+        } else {
+            Some(self.remote_egress.remove(0))
+        }
+    }
+
+    /// Accepts a message arriving over an inter-NIC link. The current
+    /// chain hop must be remote-encoded; it is localized
+    /// ([`packet::ChainHeader::localize_current`]) and the message injected
+    /// into this NIC's mesh at `uplink` (the member's fabric
+    /// attachment tile), heading straight for the target engine — the
+    /// chain was computed by the *source* NIC's pipeline, and §3.1.2's
+    /// one-heavyweight-pass discipline holds fleet-wide.
+    ///
+    /// Counts a `remote_rx` source; tracks the copy with this NIC's
+    /// watchdog when one is armed; notes a tenancy `remote_rx` source
+    /// when the tenant has a vNIC here (no credit is charged — the
+    /// copy was admitted at its home NIC).
+    ///
+    /// Returns `false` (counting the copy as `unrouted`) when the
+    /// current hop is missing, not remote, or targets an engine this
+    /// NIC doesn't have — the dynamic counterpart of the PV701 lint.
+    pub fn rx_remote(&mut self, mut msg: Message, uplink: EngineId, now: Cycle) -> bool {
+        let target = msg.chain.current().map(|h| h.engine);
+        let local = match target {
+            Some(t) if t.is_remote() => t.local_part(),
+            _ => {
+                self.stats.remote_rx += 1;
+                self.stats.unrouted += 1;
+                self.tenancy_remote_rx(msg.tenant);
+                self.tenancy_exit(msg.tenant, ExitKind::Unrouted, None, now);
+                return false;
+            }
+        };
+        if !self.tiles.contains_key(&local) {
+            self.stats.remote_rx += 1;
+            self.stats.unrouted += 1;
+            self.tenancy_remote_rx(msg.tenant);
+            self.tenancy_exit(msg.tenant, ExitKind::Unrouted, None, now);
+            return false;
+        }
+        msg.chain.localize_current(local);
+        self.stats.remote_rx += 1;
+        self.tenancy_remote_rx(msg.tenant);
+        if self.tracer.enabled() {
+            self.tracer
+                .instant_arg(self.track, "nic.remote_rx", now, "msg", msg.id.0);
+        }
+        self.watchdog_track(&msg, uplink, now);
+        self.network.send(uplink, local, msg, now);
+        true
+    }
+
+    /// Notes a fabric-ingress copy with the tenancy plane, when the
+    /// tenant has a vNIC on *this* NIC (cross-NIC chains of striped
+    /// tenants bypass the plane on non-home members).
+    fn tenancy_remote_rx(&mut self, tenant: TenantId) {
+        if let Some(tn) = self.tenancy.as_mut() {
+            if tn.knows(tenant) {
+                tn.note_remote_rx(tenant);
+            }
+        }
+    }
+
+    /// Offsets this NIC's message-id allocator so ids are unique
+    /// fleet-wide (the fabric gives member *i* base `i << 48`; the
+    /// watchdog's completion ledger and trace `msg` args stay
+    /// unambiguous when copies cross NICs). Call before any traffic.
+    pub fn set_msg_id_base(&mut self, base: u64) {
+        debug_assert_eq!(self.next_msg_id, 0, "id base set after traffic started");
+        self.next_msg_id = base;
+    }
+
+    /// Tells this NIC its own index in a rack fabric, so chain hops
+    /// remote-addressed to *it* resolve locally (see
+    /// [`PanicNic::rx_remote`]). Standalone NICs never call this.
+    pub fn set_fabric_index(&mut self, index: usize) {
+        self.fabric_index = Some(index);
+    }
+
     /// Routes a message that is leaving the pipeline or a tile toward
     /// its next chain hop, from mesh position `from`.
     fn route_onward(&mut self, from: EngineId, msg: Message, now: Cycle) {
@@ -863,7 +988,44 @@ impl PanicNic {
     /// `dest` is DOWN: rewrite the remaining chain hops onto the
     /// replica and send there, or — with no replica — deliver the
     /// message to the host (degraded but not lost).
+    ///
+    /// A *remote* `dest` ([`EngineId::is_remote`]) never enters this
+    /// NIC's mesh: the message parks in the remote-egress buffer for
+    /// the rack fabric to carry over an inter-NIC link, and this NIC's
+    /// books close on it here (a `remote_tx` sink, a tenancy
+    /// [`ExitKind::Remote`], a completed watchdog descriptor — the
+    /// destination NIC owns the copy from the link onward).
     fn send_resolved(&mut self, from: EngineId, dest: EngineId, mut msg: Message, now: Cycle) {
+        if dest.is_remote() {
+            // Remote-addressed to *this* member: localize and stay on
+            // the mesh — no ToR crossing, no remote_tx. This is how the
+            // tail of a cross-NIC chain (encoded by the source NIC's
+            // pipeline, every hop fabric-qualified) runs out on the
+            // destination without bouncing through the uplink again.
+            if self.fabric_index.is_some() && dest.remote_nic() == self.fabric_index {
+                let local = dest.local_part();
+                if !self.tiles.contains_key(&local) {
+                    self.stats.unrouted += 1;
+                    self.tenancy_exit(msg.tenant, ExitKind::Unrouted, None, now);
+                    return;
+                }
+                msg.chain.localize_current(local);
+                self.send_resolved(from, local, msg, now);
+                return;
+            }
+            if self.complete_descriptor(msg.id, now) {
+                self.tenancy_exit(msg.tenant, ExitKind::Duplicate, None, now);
+                return;
+            }
+            self.stats.remote_tx += 1;
+            self.tenancy_exit(msg.tenant, ExitKind::Remote, None, now);
+            if self.tracer.enabled() {
+                self.tracer
+                    .instant_arg(self.track, "nic.remote_tx", now, "msg", msg.id.0);
+            }
+            self.remote_egress.push(msg);
+            return;
+        }
         let redirect = match &self.faults {
             Some(fr) if fr.failover.contains_key(&dest) => fr.failover[&dest],
             _ => {
@@ -1539,11 +1701,12 @@ impl PanicNic {
         out.append(&mut self.host_rx);
     }
 
-    /// True when nothing is in flight anywhere (mesh, pipeline, or
-    /// tile queues/service).
+    /// True when nothing is in flight anywhere (mesh, pipeline, tile
+    /// queues/service, or the fabric-egress buffer).
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.network.is_quiescent()
+        self.remote_egress.is_empty()
+            && self.network.is_quiescent()
             && self.pipeline.backlog() == 0
             && self.pipeline.occupancy() == 0
             && self.tiles.values().all(|slot| match slot {

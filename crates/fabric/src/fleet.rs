@@ -1,0 +1,641 @@
+//! The [`Fabric`]: N member NICs, one simulated ToR, epoch-boundary
+//! synchronization, and fleet-wide conservation.
+
+use std::collections::VecDeque;
+
+use packet::message::Message;
+use packet::EngineId;
+use panic_core::{Conservation, NicBuilder, PanicNic};
+use panic_verify::{verify_fabric, FabricSpec, LinkSpec, Report};
+use sim_core::time::Cycle;
+use trace::{MetricsRegistry, Tracer};
+
+use crate::driver::NicDriver;
+
+/// One member NIC plus its fabric-side state.
+struct Member {
+    nic: PanicNic,
+    /// The tile where inter-NIC arrivals enter this member's mesh.
+    uplink: EngineId,
+    /// Deterministic workload source, if any.
+    driver: Option<Box<dyn NicDriver>>,
+    /// When this member's uplink serializer frees up (one uplink port
+    /// into the ToR per NIC, shared by all of its outgoing links).
+    uplink_free_at: Cycle,
+}
+
+impl std::fmt::Debug for Member {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Member")
+            .field("uplink", &self.uplink)
+            .field("has_driver", &self.driver.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runtime state of one directed link: its spec plus the in-flight
+/// window (messages serialized onto the wire but not yet delivered).
+#[derive(Debug)]
+struct Link {
+    spec: LinkSpec,
+    /// `(arrival_cycle, message)`, oldest first. Its length against
+    /// `spec.credits` is the credit check.
+    in_flight: VecDeque<(Cycle, Message)>,
+}
+
+/// Fabric-level counters (link traffic only; per-NIC counters live in
+/// each member's `NicStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Messages serialized onto a link.
+    pub forwarded: u64,
+    /// Messages handed to their destination NIC (`rx_remote` calls).
+    pub delivered: u64,
+    /// Delivered messages the destination could not route (its
+    /// `rx_remote` returned false; also counted in that member's
+    /// `unrouted`).
+    pub rejected: u64,
+    /// Messages dropped at the ToR: remote address past the member
+    /// list, or no link between source and destination. The dynamic
+    /// counterparts of the PV701/PV704 lints; a linted fabric never
+    /// increments this.
+    pub fabric_unrouted: u64,
+    /// Exchange rounds where a member's egress head found its link's
+    /// credit window full and the member stalled (head-of-line, by
+    /// design: one uplink port per NIC).
+    pub backpressured: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Cycles the whole fleet skipped at once (quiescent-fleet
+    /// fast-forward, on top of each member's own `run_ff` skips).
+    pub fleet_skipped: u64,
+}
+
+/// Fleet-wide copy conservation: every member's per-NIC identity plus
+/// the cross-NIC closure.
+///
+/// The per-NIC identity (see `panic_core::faultplane::Conservation`)
+/// treats `remote_tx` as a sink and `remote_rx` as a source, so each
+/// member balances on its own. The *fabric* identity is what ties the
+/// members together:
+///
+/// ```text
+/// Σ remote_tx == Σ remote_rx + link_in_flight + egress_backlog
+///              + fabric_unrouted
+/// ```
+///
+/// — every copy handed to the fabric is either delivered into some
+/// member (`remote_rx`), still on a link, still waiting in a
+/// backpressured egress queue, or dropped at the ToR for want of a
+/// route. [`FleetConservation::holds`] requires both levels.
+#[derive(Debug, Clone)]
+pub struct FleetConservation {
+    /// Per-member conservation reports, by fabric index.
+    pub per_nic: Vec<Conservation>,
+    /// Sum of members' `remote_tx`.
+    pub remote_tx: u64,
+    /// Sum of members' `remote_rx`.
+    pub remote_rx: u64,
+    /// Copies currently on a link.
+    pub link_in_flight: u64,
+    /// Copies parked in members' fabric-egress queues.
+    pub egress_backlog: u64,
+    /// Copies dropped at the ToR (unroutable).
+    pub fabric_unrouted: u64,
+}
+
+impl FleetConservation {
+    /// True when every member's identity holds *and* the cross-NIC
+    /// closure balances.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.per_nic.iter().all(Conservation::holds)
+            && self.remote_tx
+                == self.remote_rx + self.link_in_flight + self.egress_backlog + self.fabric_unrouted
+    }
+}
+
+impl std::fmt::Display for FleetConservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, c) in self.per_nic.iter().enumerate() {
+            writeln!(
+                f,
+                "nic{i}: {}",
+                if c.holds() { "HOLDS" } else { "VIOLATED" }
+            )?;
+        }
+        writeln!(
+            f,
+            "fabric: remote_tx {} = remote_rx {} + on-link {} + backlog {} + unrouted {} [{}]",
+            self.remote_tx,
+            self.remote_rx,
+            self.link_in_flight,
+            self.egress_backlog,
+            self.fabric_unrouted,
+            if self.holds() { "HOLDS" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Builds a [`Fabric`] the way `NicBuilder` builds a `PanicNic`:
+/// declaratively, with a lint gate before anything is constructed.
+#[derive(Default)]
+pub struct FabricBuilder {
+    members: Vec<(NicBuilder, EngineId)>,
+    drivers: Vec<Option<Box<dyn NicDriver>>>,
+    links: Vec<LinkSpec>,
+}
+
+impl std::fmt::Debug for FabricBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FabricBuilder")
+            .field("members", &self.members.len())
+            .field("links", &self.links)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FabricBuilder {
+    /// An empty fabric.
+    #[must_use]
+    pub fn new() -> FabricBuilder {
+        FabricBuilder::default()
+    }
+
+    /// Adds a member NIC; `uplink` is the tile (typically the MAC
+    /// engine) where inter-NIC arrivals enter its mesh. Returns the
+    /// member's fabric index — the address remote hops carry.
+    pub fn member(&mut self, nic: NicBuilder, uplink: EngineId) -> usize {
+        self.members.push((nic, uplink));
+        self.drivers.push(None);
+        self.members.len() - 1
+    }
+
+    /// Attaches a deterministic workload driver to `member`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range member index.
+    pub fn driver(&mut self, member: usize, driver: Box<dyn NicDriver>) {
+        self.drivers[member] = Some(driver);
+    }
+
+    /// Declares one directed link.
+    pub fn link(&mut self, spec: LinkSpec) {
+        self.links.push(spec);
+    }
+
+    /// Declares the pair of links `a → b` and `b → a`, both carrying
+    /// `template`'s latency/rate/credits.
+    pub fn link_pair(&mut self, a: usize, b: usize, template: LinkSpec) {
+        self.links.push(LinkSpec {
+            from: a,
+            to: b,
+            ..template
+        });
+        self.links.push(LinkSpec {
+            from: b,
+            to: a,
+            ..template
+        });
+    }
+
+    /// Extracts the plain-data spec the `PV7xx` checks lint.
+    #[must_use]
+    pub fn to_spec(&self) -> FabricSpec {
+        FabricSpec {
+            members: self.members.iter().map(|(b, _)| b.to_spec()).collect(),
+            links: self.links.clone(),
+        }
+    }
+
+    /// Lints the configuration ([`verify_fabric`]) without building.
+    #[must_use]
+    pub fn validate(&self) -> Report {
+        verify_fabric(&self.to_spec())
+    }
+
+    /// Builds the fabric, statically verifying first.
+    ///
+    /// # Panics
+    /// Panics if the verifier finds an error-severity diagnostic (any
+    /// member-level `PVxxx`, or a fabric-level `PV701`/`PV702`/`PV704`),
+    /// or if a member's uplink tile does not exist.
+    #[must_use]
+    pub fn build(self) -> Fabric {
+        let report = self.validate();
+        assert!(
+            report.error_count() == 0,
+            "fabric configuration failed verification:\n{}",
+            report.render_human()
+        );
+        for (i, (b, uplink)) in self.members.iter().enumerate() {
+            assert!(
+                b.to_spec().engine(*uplink).is_some(),
+                "member {i}'s uplink {uplink} is not one of its tiles"
+            );
+        }
+        self.build_unvalidated()
+    }
+
+    /// Builds without the lint gate — the escape hatch for tests that
+    /// construct deliberately broken racks.
+    #[must_use]
+    pub fn build_unvalidated(self) -> Fabric {
+        let FabricBuilder {
+            members,
+            drivers,
+            links,
+        } = self;
+        let members: Vec<Member> = members
+            .into_iter()
+            .zip(drivers)
+            .enumerate()
+            .map(|(i, ((builder, uplink), driver))| {
+                let mut nic = builder.build_unvalidated();
+                nic.set_fabric_index(i);
+                if i > 0 {
+                    // Fleet-unique message ids; member 0 keeps base 0
+                    // so a 1-NIC fabric is byte-identical to bare.
+                    nic.set_msg_id_base((i as u64) << 48);
+                }
+                Member {
+                    nic,
+                    uplink,
+                    driver,
+                    uplink_free_at: Cycle(0),
+                }
+            })
+            .collect();
+        let epoch = links.iter().map(|l| l.latency.0.max(1)).min();
+        Fabric {
+            members,
+            links: links
+                .into_iter()
+                .map(|spec| Link {
+                    spec,
+                    in_flight: VecDeque::new(),
+                })
+                .collect(),
+            epoch,
+            threads: 1,
+            traced: false,
+            stats: FleetStats::default(),
+        }
+    }
+}
+
+/// A rack of PANIC NICs behind one simulated ToR.
+///
+/// Members run in lockstep *epochs* (no longer than the smallest link
+/// latency); messages cross NICs only at epoch boundaries, through
+/// credit-windowed links with serialization and propagation delay.
+/// See the crate docs and `docs/FABRIC.md` for the model.
+#[derive(Debug)]
+pub struct Fabric {
+    members: Vec<Member>,
+    links: Vec<Link>,
+    /// Epoch length in cycles; `None` (no links) means "one epoch per
+    /// run call" — nothing can cross, so nothing needs a boundary.
+    epoch: Option<u64>,
+    threads: usize,
+    /// Set when a tracer is attached: tracing interleaves events from
+    /// all members through one sink, so the member loop stays serial
+    /// to keep event order deterministic.
+    traced: bool,
+    stats: FleetStats,
+}
+
+impl Fabric {
+    /// Starts building a fabric.
+    #[must_use]
+    pub fn builder() -> FabricBuilder {
+        FabricBuilder::new()
+    }
+
+    /// Number of member NICs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the fabric has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member at `index`.
+    #[must_use]
+    pub fn member(&self, index: usize) -> &PanicNic {
+        &self.members[index].nic
+    }
+
+    /// Mutable access to the member at `index` (inject traffic, read
+    /// stats mid-run).
+    pub fn member_mut(&mut self, index: usize) -> &mut PanicNic {
+        &mut self.members[index].nic
+    }
+
+    /// Fabric-level counters.
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// The epoch length in cycles (`None` on a linkless fabric).
+    #[must_use]
+    pub fn epoch_len(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// Sets how many worker threads the per-epoch member loop may use.
+    /// Results are byte-identical for every value — members share
+    /// nothing within an epoch, and the exchange is serial. Ignored
+    /// (forced to 1) while a tracer is attached, so trace event order
+    /// stays deterministic too.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Attaches `tracer` to every member. Track names are shared
+    /// across members, so per-component tracks merge; runs with a
+    /// tracer attached execute the member loop serially (see
+    /// [`Fabric::set_threads`]).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        for m in &mut self.members {
+            m.nic.attach_tracer(tracer);
+        }
+        self.traced = self.traced || tracer.enabled();
+    }
+
+    /// Runs `cycles` cycles from `start` with per-member stepped
+    /// execution (no fast-forward anywhere). Returns the next cycle.
+    pub fn run(&mut self, start: Cycle, cycles: u64) -> Cycle {
+        self.run_inner(start, cycles, false).0
+    }
+
+    /// Runs `cycles` cycles from `start` with quiescence fast-forward
+    /// at both levels: each member's own `run_ff` within epochs, plus
+    /// whole-fleet jumps when every member is quiescent and no link
+    /// holds a message. Fleet jumps land on the epoch grid, so the
+    /// boundary schedule — and therefore every exchange — is
+    /// byte-identical to [`Fabric::run`].
+    ///
+    /// Returns the next cycle and total cycles skipped (member-level
+    /// skips plus fleet-level jumps).
+    pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        self.run_inner(start, cycles, true)
+    }
+
+    fn run_inner(&mut self, start: Cycle, cycles: u64, ff: bool) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut now = start;
+        let mut skipped = 0u64;
+        while now < end {
+            self.deliver_due(now);
+            if ff {
+                if let Some(target) = self.fleet_jump_target(start, now, end) {
+                    for m in &mut self.members {
+                        m.nic.skip_idle(now, target);
+                    }
+                    skipped += target.0 - now.0;
+                    self.stats.fleet_skipped += target.0 - now.0;
+                    now = target;
+                    continue;
+                }
+            }
+            let boundary = match self.epoch {
+                Some(len) => Cycle((now.0 + len).min(end.0)),
+                None => end,
+            };
+            skipped += self.run_members(now, boundary, ff);
+            self.stats.epochs += 1;
+            now = boundary;
+            self.drain_egress(now);
+        }
+        (now, skipped)
+    }
+
+    /// Delivers every link arrival due at or before `now` into its
+    /// destination member, in link order then FIFO order.
+    fn deliver_due(&mut self, now: Cycle) {
+        for li in 0..self.links.len() {
+            while self.links[li]
+                .in_flight
+                .front()
+                .is_some_and(|(arrival, _)| *arrival <= now)
+            {
+                let (_, msg) = self.links[li].in_flight.pop_front().expect("checked front");
+                let to = self.links[li].spec.to;
+                let uplink = self.members[to].uplink;
+                let ok = self.members[to].nic.rx_remote(msg, uplink, now);
+                self.stats.delivered += 1;
+                if !ok {
+                    self.stats.rejected += 1;
+                }
+            }
+        }
+    }
+
+    /// When the whole fleet is quiescent, the epoch-grid-aligned cycle
+    /// to jump to (strictly past `now`), or `None` to run normally.
+    fn fleet_jump_target(&self, start: Cycle, now: Cycle, end: Cycle) -> Option<Cycle> {
+        let quiet = self.links.iter().all(|l| l.in_flight.is_empty())
+            && self.members.iter().all(|m| m.nic.is_quiescent());
+        if !quiet {
+            return None;
+        }
+        let mut next: Option<Cycle> = None;
+        for m in &self.members {
+            next = merge_hint(next, m.nic.next_activity(now));
+            if let Some(d) = &m.driver {
+                next = merge_hint(next, d.next_arrival(now));
+            }
+        }
+        // Nothing will ever happen again: jump straight to the end.
+        let raw = next.unwrap_or(end).min(end);
+        // Land on the epoch grid (anchored at this call's `start`) so
+        // the exchange schedule matches the non-fast-forwarded run.
+        let target = match self.epoch {
+            Some(len) => Cycle(start.0 + (raw.0.saturating_sub(start.0) / len) * len),
+            None => raw,
+        };
+        (target > now).then_some(target)
+    }
+
+    /// Runs every member over `[from, to)`, in parallel when allowed.
+    /// Returns the members' summed fast-forward skip counts.
+    fn run_members(&mut self, from: Cycle, to: Cycle, ff: bool) -> u64 {
+        let threads = if self.traced { 1 } else { self.threads };
+        let threads = threads.min(self.members.len().max(1));
+        if threads <= 1 {
+            return self
+                .members
+                .iter_mut()
+                .map(|m| run_member(m, from, to, ff))
+                .sum();
+        }
+        let chunk = self.members.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .members
+                .chunks_mut(chunk)
+                .map(|slice| {
+                    s.spawn(move || {
+                        slice
+                            .iter_mut()
+                            .map(|m| run_member(m, from, to, ff))
+                            .sum::<u64>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fabric worker panicked"))
+                .sum()
+        })
+    }
+
+    /// Boundary exchange: drains each member's fabric egress onto its
+    /// links, with per-member uplink serialization and per-link credit
+    /// backpressure (head-of-line: a blocked head parks the whole
+    /// queue until the next boundary).
+    fn drain_egress(&mut self, boundary: Cycle) {
+        for i in 0..self.members.len() {
+            while let Some(head) = self.members[i].nic.remote_egress().first() {
+                let dest = head
+                    .chain
+                    .current()
+                    .and_then(|h| h.engine.remote_nic())
+                    .filter(|&d| d < self.members.len() && d != i);
+                let Some(dest) = dest else {
+                    // Unroutable at the ToR — the dynamic PV701 case.
+                    let _ = self.members[i].nic.pop_remote_egress();
+                    self.stats.fabric_unrouted += 1;
+                    continue;
+                };
+                let Some(li) = self
+                    .links
+                    .iter()
+                    .position(|l| l.spec.from == i && l.spec.to == dest)
+                else {
+                    // No link for this crossing — the dynamic PV704 case.
+                    let _ = self.members[i].nic.pop_remote_egress();
+                    self.stats.fabric_unrouted += 1;
+                    continue;
+                };
+                if self.links[li].in_flight.len() >= self.links[li].spec.credits {
+                    // Credit window full: head-of-line backpressure.
+                    self.stats.backpressured += 1;
+                    break;
+                }
+                let msg = self.members[i]
+                    .nic
+                    .pop_remote_egress()
+                    .expect("head observed above");
+                let spec = self.links[li].spec;
+                let departure = boundary.max(self.members[i].uplink_free_at);
+                let ser = msg.wire_size().0.div_ceil(spec.bytes_per_cycle).max(1);
+                self.members[i].uplink_free_at = Cycle(departure.0 + ser);
+                let arrival = Cycle(departure.0 + ser + spec.latency.0);
+                self.links[li].in_flight.push_back((arrival, msg));
+                self.stats.forwarded += 1;
+            }
+        }
+    }
+
+    /// True when no member holds in-flight work and no link carries a
+    /// message — the fleet-wide analogue of `PanicNic::is_quiescent`.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.links.iter().all(|l| l.in_flight.is_empty())
+            && self.members.iter().all(|m| m.nic.is_quiescent())
+    }
+
+    /// The fleet-wide conservation report (see [`FleetConservation`]).
+    #[must_use]
+    pub fn conservation(&self) -> FleetConservation {
+        let per_nic: Vec<Conservation> =
+            self.members.iter().map(|m| m.nic.conservation()).collect();
+        FleetConservation {
+            remote_tx: per_nic.iter().map(|c| c.remote_tx).sum(),
+            remote_rx: per_nic.iter().map(|c| c.remote_rx).sum(),
+            link_in_flight: self.links.iter().map(|l| l.in_flight.len() as u64).sum(),
+            egress_backlog: self
+                .members
+                .iter()
+                .map(|m| m.nic.remote_egress().len() as u64)
+                .sum(),
+            fabric_unrouted: self.stats.fabric_unrouted,
+            per_nic,
+        }
+    }
+
+    /// Exports every member's metrics plus the fabric's link counters.
+    ///
+    /// A 1-member fabric exports exactly what its bare member would
+    /// (no prefix, no fabric counters unless a link carried traffic) —
+    /// the metrics half of the byte-identity golden test. Members of a
+    /// larger fabric export under `nic<i>.`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        if self.members.len() == 1 {
+            self.members[0].nic.export_metrics(m);
+        } else {
+            for (i, member) in self.members.iter().enumerate() {
+                let mut tmp = MetricsRegistry::new();
+                member.nic.export_metrics(&mut tmp);
+                for (name, v) in tmp.counters() {
+                    m.counter_set(&format!("nic{i}.{name}"), v);
+                }
+                for (name, h) in tmp.histograms() {
+                    m.merge_histogram(&format!("nic{i}.{name}"), h);
+                }
+            }
+        }
+        if self.stats.forwarded > 0 || self.stats.delivered > 0 {
+            m.counter_set("fabric.forwarded", self.stats.forwarded);
+            m.counter_set("fabric.delivered", self.stats.delivered);
+            m.counter_set("fabric.backpressured", self.stats.backpressured);
+            m.counter_set("fabric.fabric_unrouted", self.stats.fabric_unrouted);
+        }
+    }
+}
+
+/// Runs one member over `[from, to)`, interleaving its driver's
+/// injections with (fast-forwarded) execution. Returns cycles skipped.
+fn run_member(m: &mut Member, from: Cycle, to: Cycle, ff: bool) -> u64 {
+    let mut now = from;
+    let mut skipped = 0u64;
+    while now < to {
+        let next_arr = m
+            .driver
+            .as_ref()
+            .and_then(|d| d.next_arrival(now))
+            .filter(|a| *a < to);
+        let chunk_end = next_arr.unwrap_or(to);
+        if chunk_end > now {
+            if ff {
+                let (next, s) = m.nic.run_ff(now, chunk_end.0 - now.0);
+                skipped += s;
+                now = next;
+            } else {
+                now = m.nic.run(now, chunk_end.0 - now.0);
+            }
+        } else {
+            // An arrival due right now: inject, then keep going. The
+            // driver contract guarantees next_arrival then advances.
+            let driver = m.driver.as_mut().expect("filtered Some above");
+            driver.inject(&mut m.nic, now);
+        }
+    }
+    skipped
+}
+
+/// Minimum of two optional hints (`None` = no constraint).
+fn merge_hint(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}

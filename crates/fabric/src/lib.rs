@@ -1,0 +1,56 @@
+//! `panic-fabric`: a rack-scale fabric of PANIC NICs behind one
+//! simulated top-of-rack switch.
+//!
+//! The paper argues a programmable NIC should *be* a programmable
+//! switch; a rack of them is then a two-level switching fabric, and
+//! the natural next question is whether the offload-chain abstraction
+//! survives the hop across the ToR. This crate answers it in the
+//! simulator: a [`Fabric`] owns N complete [`panic_core::PanicNic`]s
+//! (each with its own mesh, engines, fault plane, and tenancy
+//! runtime), wires them together with explicit directed links
+//! ([`panic_verify::LinkSpec`]: propagation latency, serialization
+//! rate, credit window), and lets chain hops address engines on
+//! *other* members through remote-encoded [`packet::EngineId`]s —
+//! the same 6-byte hop wire format, one heavyweight RMT pass
+//! fleet-wide.
+//!
+//! # Execution model
+//!
+//! Members synchronize at *epoch boundaries*: the run is cut into
+//! epochs no longer than the smallest link latency, each member
+//! simulates an epoch completely independently (its own cycle loop,
+//! its own quiescence fast-forward — the PR that introduced
+//! `run_ff` proved chunked calls byte-identical to one long call),
+//! and messages cross NICs only in the serial exchange at each
+//! boundary. Because members share nothing *within* an epoch, the
+//! per-epoch member loop can run on worker threads
+//! ([`Fabric::set_threads`]) with results byte-identical to the
+//! serial order — the determinism the `rack` experiment's golden
+//! tests pin. See `docs/FABRIC.md` for the full synchronization
+//! argument.
+//!
+//! # Conservation
+//!
+//! Each member's copy-conservation identity gains a `remote_rx`
+//! source and a `remote_tx` sink; [`Fabric::conservation`] composes
+//! them with the copies still sitting on links into a fleet-wide
+//! identity ([`FleetConservation`]) that must close exactly.
+//!
+//! # Configuration
+//!
+//! [`FabricBuilder`] mirrors `panic-core`'s `NicBuilder`: member
+//! configurations go in as builders, [`FabricBuilder::to_spec`]
+//! extracts a plain-data [`panic_verify::FabricSpec`], and
+//! [`FabricBuilder::build`] refuses configurations with `PV7xx` (or
+//! member-level) error findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod fleet;
+
+pub use driver::{NicDriver, PeriodicDriver};
+pub use fleet::{Fabric, FabricBuilder, FleetConservation, FleetStats};
+pub use panic_verify::{FabricSpec, LinkSpec};

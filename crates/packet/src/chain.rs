@@ -22,12 +22,83 @@ use std::fmt;
 /// `EngineId` is a *logical* address; the NoC maps it to mesh
 /// coordinates. Keeping the two separate lets the same chain program run
 /// on any topology/placement (one of the paper's §6 open questions).
+///
+/// ## Remote addresses (rack fabric)
+///
+/// A chain hop may target an engine on *another* NIC in a rack fabric
+/// (§5: RDMA-style remote engine hops). Remote addresses reuse the
+/// same 16 bits — and therefore the same 6-byte wire encoding — by
+/// carving the id space:
+///
+/// ```text
+/// bit 15      : remote flag (0 = local tile, 1 = fabric address)
+/// bits 14..10 : destination NIC index within the fabric (0..=31)
+/// bits  9..0  : engine id local to that NIC           (0..=1023)
+/// ```
+///
+/// Local NICs never allocate ids with bit 15 set (tile ids count up
+/// from zero), so a remote address can never collide with a local
+/// tile. See `docs/FABRIC.md` for the full remote-hop lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EngineId(pub u16);
 
+impl EngineId {
+    /// Remote-address flag bit.
+    const REMOTE_BIT: u16 = 0x8000;
+    /// Bit offset of the NIC index within a remote address.
+    const NIC_SHIFT: u16 = 10;
+    /// Largest NIC index a remote address can carry (5 bits).
+    pub const MAX_FABRIC_NIC: usize = 31;
+    /// Largest local engine id a remote address can carry (10 bits).
+    pub const MAX_REMOTE_LOCAL: u16 = 0x3FF;
+
+    /// The fabric address of engine `local` on fabric member `nic`.
+    ///
+    /// # Panics
+    /// If `nic` exceeds [`EngineId::MAX_FABRIC_NIC`], or `local` is
+    /// itself remote or exceeds [`EngineId::MAX_REMOTE_LOCAL`] — both
+    /// statically preventable (the PV701 lint checks fabric specs).
+    #[must_use]
+    pub fn remote(nic: usize, local: EngineId) -> EngineId {
+        assert!(
+            nic <= Self::MAX_FABRIC_NIC,
+            "fabric NIC index {nic} exceeds {}",
+            Self::MAX_FABRIC_NIC
+        );
+        assert!(
+            local.0 <= Self::MAX_REMOTE_LOCAL,
+            "engine id {local} does not fit a remote address"
+        );
+        EngineId(Self::REMOTE_BIT | ((nic as u16) << Self::NIC_SHIFT) | local.0)
+    }
+
+    /// True when this address targets an engine on another NIC.
+    #[must_use]
+    pub fn is_remote(self) -> bool {
+        self.0 & Self::REMOTE_BIT != 0
+    }
+
+    /// The fabric member index of a remote address, `None` for local.
+    #[must_use]
+    pub fn remote_nic(self) -> Option<usize> {
+        self.is_remote()
+            .then_some(usize::from((self.0 >> Self::NIC_SHIFT) & 0x1F))
+    }
+
+    /// The NIC-local engine id, with any remote addressing stripped.
+    /// Identity for local addresses.
+    #[must_use]
+    pub fn local_part(self) -> EngineId {
+        EngineId(self.0 & Self::MAX_REMOTE_LOCAL)
+    }
+}
+
 impl fmt::Display for EngineId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "E{}", self.0)
+        match self.remote_nic() {
+            Some(nic) => write!(f, "E{}@N{nic}", self.local_part().0),
+            None => write!(f, "E{}", self.0),
+        }
     }
 }
 
@@ -333,6 +404,26 @@ impl ChainHeader {
         rewritten
     }
 
+    /// Rewrites the *current* hop's engine to `to`, returning the old
+    /// address. `None` (and no change) when the chain is complete.
+    ///
+    /// This is the fabric-ingress primitive: a message arriving over an
+    /// inter-NIC link carries a remote-encoded current hop
+    /// ([`EngineId::is_remote`]); the receiving NIC localizes exactly
+    /// that hop before injecting the message into its own mesh. Only
+    /// the current hop is touched — later hops may legitimately
+    /// address *other* NICs (or re-address this one) and stay encoded
+    /// until their own delivery.
+    pub fn localize_current(&mut self, to: EngineId) -> Option<EngineId> {
+        let hop = self.hops.get_mut(usize::from(self.next))?;
+        if self.next >= self.len {
+            return None;
+        }
+        let old = hop.engine;
+        hop.engine = to;
+        Some(old)
+    }
+
     /// Size of the encoded header in bytes — this is charged against
     /// channel bandwidth when the message is flitted.
     ///
@@ -411,6 +502,68 @@ impl fmt::Display for ChainHeader {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn remote_addresses_round_trip() {
+        for nic in [0usize, 1, 17, 31] {
+            for local in [0u16, 1, 511, 1023] {
+                let addr = EngineId::remote(nic, EngineId(local));
+                assert!(addr.is_remote());
+                assert_eq!(addr.remote_nic(), Some(nic));
+                assert_eq!(addr.local_part(), EngineId(local));
+            }
+        }
+    }
+
+    #[test]
+    fn local_addresses_are_not_remote() {
+        for id in [0u16, 1, 1023, 0x7FFF] {
+            let e = EngineId(id);
+            assert!(!e.is_remote());
+            assert_eq!(e.remote_nic(), None);
+        }
+        // Ids below the remote-local mask localize to themselves.
+        assert_eq!(EngineId(42).local_part(), EngineId(42));
+    }
+
+    #[test]
+    fn remote_display_names_the_nic() {
+        assert_eq!(EngineId::remote(3, EngineId(7)).to_string(), "E7@N3");
+        assert_eq!(EngineId(7).to_string(), "E7");
+    }
+
+    #[test]
+    #[should_panic(expected = "fabric NIC index")]
+    fn remote_rejects_oversized_nic_index() {
+        let _ = EngineId::remote(32, EngineId(0));
+    }
+
+    #[test]
+    fn remote_hops_survive_the_wire_encoding() {
+        let remote = EngineId::remote(2, EngineId(5));
+        let mut h = ChainHeader::new(vec![
+            Hop {
+                engine: remote,
+                slack: Slack(80),
+            },
+            Hop {
+                engine: EngineId(3),
+                slack: Slack(40),
+            },
+        ])
+        .unwrap();
+        let (decoded, _) = ChainHeader::decode(&h.encode()).unwrap();
+        assert_eq!(decoded.hops()[0].engine, remote);
+        assert!(decoded.hops()[0].engine.is_remote());
+
+        // Fabric ingress: localize exactly the current hop.
+        assert_eq!(h.localize_current(EngineId(5)), Some(remote));
+        assert_eq!(h.current().unwrap().engine, EngineId(5));
+        assert_eq!(h.hops()[1].engine, EngineId(3), "later hops untouched");
+        h.advance();
+        h.advance();
+        assert_eq!(h.localize_current(EngineId(9)), None, "complete chain");
+    }
 
     fn chain3() -> ChainHeader {
         ChainHeader::new(vec![

@@ -75,6 +75,11 @@ pub enum ExitKind {
     /// the original). Does **not** return a credit: the surviving
     /// copy's exit already did.
     Duplicate,
+    /// Handed to the rack fabric: the current chain hop addresses an
+    /// engine on another NIC, so this NIC's books close on the copy
+    /// here (the destination member owns it from the link onward —
+    /// see docs/FABRIC.md). Returns the credit like a wire exit.
+    Remote,
 }
 
 /// Cumulative per-tenant event counts — the tenancy plane's half of
@@ -104,6 +109,12 @@ pub struct TenantLedger {
     pub unrouted: u64,
     /// Duplicate copies suppressed at egress.
     pub duplicates: u64,
+    /// Exited toward another NIC over the rack fabric.
+    pub remote_tx: u64,
+    /// Copies that *entered* this NIC over the rack fabric (a source,
+    /// like `submitted`; no credit is charged — admission happened at
+    /// the tenant's home NIC).
+    pub remote_rx: u64,
     /// Implicit exits discovered in component stats (scheduler drops +
     /// tile flushes + NoC losses), synced by the NIC shell.
     pub implicit_exits: u64,
@@ -126,10 +137,17 @@ impl TenantLedger {
 /// attribution in component stats:
 ///
 /// ```text
-/// submitted + reissued ==
+/// submitted + reissued + remote_rx ==
 ///     tx_wire + host + host_fallback + consumed + control + unrouted
-///   + duplicates + sched_drops + flushed + lost_noc + pending
+///   + duplicates + sched_drops + flushed + lost_noc + remote_tx
+///   + pending
 /// ```
+///
+/// `remote_rx`/`remote_tx` count fabric crossings (always zero on a
+/// standalone NIC); summed across every member of a rack, the
+/// per-member identities compose into one fleet-wide per-tenant
+/// identity because each crossing appears once as a sink on the
+/// sending NIC and once as a source on the receiving one.
 ///
 /// Evaluate after the NIC has drained (`is_quiescent`): messages still
 /// inside the datapath are otherwise unaccounted.
@@ -157,6 +175,10 @@ pub struct TenantConservation {
     pub unrouted: u64,
     /// Duplicate copies suppressed at egress.
     pub duplicates: u64,
+    /// Exited toward another NIC over the rack fabric.
+    pub remote_tx: u64,
+    /// Entered this NIC over the rack fabric.
+    pub remote_rx: u64,
     /// Dropped by engine scheduling queues (per-tenant attribution).
     pub sched_drops: u64,
     /// Flushed from downed engine tiles.
@@ -171,7 +193,7 @@ impl TenantConservation {
     /// Source side of the identity.
     #[must_use]
     pub fn sources(&self) -> u64 {
-        self.submitted + self.reissued
+        self.submitted + self.reissued + self.remote_rx
     }
 
     /// Sink side of the identity (including still-pending holds).
@@ -184,6 +206,7 @@ impl TenantConservation {
             + self.control
             + self.unrouted
             + self.duplicates
+            + self.remote_tx
             + self.sched_drops
             + self.flushed
             + self.lost_noc
@@ -208,15 +231,17 @@ impl fmt::Display for TenantConservation {
         )?;
         writeln!(
             f,
-            "  sources {} = submitted {} + reissued {}",
+            "  sources {} = submitted {} + reissued {} + remote_rx {}",
             self.sources(),
             self.submitted,
-            self.reissued
+            self.reissued,
+            self.remote_rx
         )?;
         write!(
             f,
             "  sinks   {} = wire {} + host {} + fallback {} + consumed {} + control {} \
-             + unrouted {} + dup {} + sched_drops {} + flushed {} + lost_noc {} + pending {}",
+             + unrouted {} + dup {} + remote_tx {} + sched_drops {} + flushed {} \
+             + lost_noc {} + pending {}",
             self.sinks(),
             self.tx_wire,
             self.host,
@@ -225,6 +250,7 @@ impl fmt::Display for TenantConservation {
             self.control,
             self.unrouted,
             self.duplicates,
+            self.remote_tx,
             self.sched_drops,
             self.flushed,
             self.lost_noc,
@@ -496,6 +522,7 @@ impl TenancyRuntime {
             ExitKind::Consumed => state.ledger.consumed += 1,
             ExitKind::Control => state.ledger.control += 1,
             ExitKind::Unrouted => state.ledger.unrouted += 1,
+            ExitKind::Remote => state.ledger.remote_tx += 1,
             ExitKind::Duplicate => {
                 state.ledger.duplicates += 1;
                 return; // the surviving copy's exit returned the credit
@@ -508,6 +535,18 @@ impl TenancyRuntime {
         // reissue can both try to return the same credit.
         state.credits_in_use = state.credits_in_use.saturating_sub(1);
         self.shared_in_use = self.shared_in_use.saturating_sub(1);
+    }
+
+    /// Records a copy of `tenant`'s traffic *entering* this NIC over
+    /// the rack fabric — a ledger source. No credit is charged: the
+    /// copy passed admission at its home NIC, and its eventual exit
+    /// here returns a credit only saturatingly (see
+    /// [`TenancyRuntime::note_exit`]), so remote traffic can never
+    /// free more credits than this NIC's tenants hold.
+    pub fn note_remote_rx(&mut self, tenant: TenantId) {
+        if let Some(state) = self.tenants.get_mut(&tenant) {
+            state.ledger.remote_rx += 1;
+        }
     }
 
     /// Records a watchdog reissue (an extra in-flight copy). Reissues
@@ -612,6 +651,8 @@ impl TenancyRuntime {
             control: l.control,
             unrouted: l.unrouted,
             duplicates: l.duplicates,
+            remote_tx: l.remote_tx,
+            remote_rx: l.remote_rx,
             sched_drops: 0,
             flushed: 0,
             lost_noc: 0,
@@ -687,6 +728,12 @@ impl TenancyRuntime {
             set(m, "control", l.control);
             set(m, "unrouted", l.unrouted);
             set(m, "duplicates", l.duplicates);
+            // Fabric crossings exist only once one happened, keeping
+            // single-NIC metrics output byte-identical.
+            if l.remote_tx > 0 || l.remote_rx > 0 {
+                set(m, "remote_tx", l.remote_tx);
+                set(m, "remote_rx", l.remote_rx);
+            }
             set(m, "implicit_exits", l.implicit_exits);
             set(m, "rate_stalls", l.rate_stalls);
             set(m, "credit_stalls", l.credit_stalls);

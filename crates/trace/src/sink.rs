@@ -18,7 +18,11 @@ use crate::json;
 /// cycle; a [`EventKind::Complete`] span's `ts` is its start, which may
 /// precede previously emitted events' timestamps — exporters that need
 /// `ts` order sort on render).
-pub trait TraceSink: std::fmt::Debug {
+///
+/// `Send` is required so a [`Tracer`](crate::Tracer) — and any NIC
+/// holding one — can move to a fabric worker thread; sinks are plain
+/// data, so this costs implementations nothing.
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Called once per interned track, before any event on it.
     fn register_track(&mut self, id: TrackId, name: &str);
 

@@ -1,8 +1,7 @@
 //! The [`Tracer`] handle components emit events through.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use sim_core::time::{Cycle, Cycles};
 
@@ -34,15 +33,23 @@ impl std::fmt::Debug for Inner {
 /// "zero cost when disabled" contract the `NullSink` builds are
 /// benchmarked against.
 ///
-/// Clones share the same sink; the simulation is single-threaded (the
-/// two-phase [`sim_core::clock`] discipline), so interior mutability
-/// via `RefCell` is safe and cheap.
+/// Clones share the same sink behind a mutex, so a `Tracer` (and any
+/// component holding one) is `Send`: the rack fabric shards NICs
+/// across threads (`crates/fabric`), and a NIC must be movable to its
+/// worker. Within one NIC the simulation stays single-threaded, so
+/// the lock is uncontended; the disabled tracer never takes it.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Option<Rc<RefCell<Inner>>>,
+    inner: Option<Arc<Mutex<Inner>>>,
 }
 
 impl Tracer {
+    /// Locks the shared state. The mutex can only be poisoned by a
+    /// panic mid-emit, at which point the run is already lost —
+    /// propagate rather than reason about half-written traces.
+    fn lock(inner: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
+        inner.lock().expect("tracer poisoned by an earlier panic")
+    }
     /// The disabled tracer: drops everything, allocates nothing.
     #[must_use]
     pub fn disabled() -> Tracer {
@@ -53,7 +60,7 @@ impl Tracer {
     #[must_use]
     pub fn with_sink(sink: Box<dyn TraceSink>) -> Tracer {
         Tracer {
-            inner: Some(Rc::new(RefCell::new(Inner {
+            inner: Some(Arc::new(Mutex::new(Inner {
                 sink,
                 tracks: BTreeMap::new(),
                 // TrackId(0) is reserved for "untracked".
@@ -91,7 +98,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return TrackId(0);
         };
-        let mut inner = inner.borrow_mut();
+        let mut inner = Tracer::lock(inner);
         if let Some(&id) = inner.tracks.get(name) {
             return id;
         }
@@ -105,7 +112,7 @@ impl Tracer {
     /// Emits a pre-built event. Prefer the shape-specific helpers.
     pub fn emit(&self, event: Event) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().sink.record(event);
+            Tracer::lock(inner).sink.record(event);
         }
     }
 
@@ -163,7 +170,7 @@ impl Tracer {
     /// trace as Chrome JSON. `None` for other sinks or when disabled.
     #[must_use]
     pub fn chrome_json(&self) -> Option<String> {
-        let inner = self.inner.as_ref()?.borrow();
+        let inner = Tracer::lock(self.inner.as_ref()?);
         inner
             .sink
             .as_any()
@@ -175,7 +182,7 @@ impl Tracer {
     /// (oldest first). `None` for other sinks or when disabled.
     #[must_use]
     pub fn ring_snapshot(&self) -> Option<Vec<Event>> {
-        let inner = self.inner.as_ref()?.borrow();
+        let inner = Tracer::lock(self.inner.as_ref()?);
         inner
             .sink
             .as_any()

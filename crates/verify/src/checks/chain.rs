@@ -115,6 +115,12 @@ fn check_hop_targets(
         for action in actions(table) {
             for p in action.primitives() {
                 if let Primitive::PushHop { engine, .. } = p {
+                    // Remote-encoded hops name engines on *other* fabric
+                    // members; only the fabric-level PV701/PV704 checks
+                    // can resolve them.
+                    if engine.is_remote() {
+                        continue;
+                    }
                     if !known.contains(engine) {
                         out.push(Diagnostic::new(
                             Code::PV001,

@@ -5,6 +5,7 @@
 //! which have no RMT program) can lint exactly the part they use.
 
 pub mod chain;
+pub mod fabric;
 pub mod faultplane;
 pub mod noc;
 pub mod perf;
@@ -13,6 +14,7 @@ pub mod sched;
 pub mod tenancy;
 
 pub use chain::check_chain;
+pub use fabric::{check_fabric, verify_fabric};
 pub use faultplane::check_faultplane;
 pub use noc::check_noc;
 pub use perf::check_perf;

@@ -106,6 +106,11 @@ pub fn check_tenancy(spec: &NicSpec) -> Vec<Diagnostic> {
     for v in &tc.vnics {
         for (ci, chain) in v.chains.iter().enumerate() {
             for &hop in chain {
+                // Remote hops resolve on another fabric member; the
+                // fabric-level PV701/PV704 checks own their validity.
+                if hop.is_remote() {
+                    continue;
+                }
                 if engines_known && spec.engine(hop).is_none() {
                     diags.push(Diagnostic::new(
                         Code::PV604,

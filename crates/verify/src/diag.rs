@@ -19,7 +19,8 @@ use std::fmt;
 /// * `PV3xx` — scheduler checks,
 /// * `PV4xx` — fault-plane / watchdog checks,
 /// * `PV5xx` — simulator-performance checks (fast-forward efficacy),
-/// * `PV6xx` — tenancy-plane checks (vNIC catalog soundness).
+/// * `PV6xx` — tenancy-plane checks (vNIC catalog soundness),
+/// * `PV7xx` — rack-fabric checks (inter-NIC links and remote hops).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -45,11 +46,15 @@ pub enum Code {
     PV602,
     PV603,
     PV604,
+    PV701,
+    PV702,
+    PV703,
+    PV704,
 }
 
 impl Code {
     /// Every code the verifier can emit, in numeric order.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 26] = [
         Code::PV001,
         Code::PV002,
         Code::PV003,
@@ -72,6 +77,10 @@ impl Code {
         Code::PV602,
         Code::PV603,
         Code::PV604,
+        Code::PV701,
+        Code::PV702,
+        Code::PV703,
+        Code::PV704,
     ];
 
     /// The code's stable name.
@@ -100,6 +109,10 @@ impl Code {
             Code::PV602 => "PV602",
             Code::PV603 => "PV603",
             Code::PV604 => "PV604",
+            Code::PV701 => "PV701",
+            Code::PV702 => "PV702",
+            Code::PV703 => "PV703",
+            Code::PV704 => "PV704",
         }
     }
 
@@ -151,6 +164,24 @@ impl Code {
             Code::PV604 => {
                 "a vNIC's declared offload chain references an engine the \
                  tenant is not entitled to (or that does not exist)"
+            }
+            Code::PV701 => {
+                "dangling remote hop: a chain addresses a fabric member or \
+                 a remote engine that does not exist (or the fabric exceeds \
+                 the 32-member remote-address space)"
+            }
+            Code::PV702 => {
+                "unroutable inter-NIC link: an endpoint is out of range, the \
+                 link is a self-loop or a duplicate, or it has zero credits \
+                 or zero bandwidth"
+            }
+            Code::PV703 => {
+                "asymmetric link declaration: a link has no reverse-direction \
+                 counterpart, so replies and credit returns cannot flow back"
+            }
+            Code::PV704 => {
+                "a remote hop crosses between two fabric members that no \
+                 declared link connects"
             }
         }
     }

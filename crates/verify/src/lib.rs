@@ -5,7 +5,7 @@
 //! does the moral equivalent for the simulated NIC. Given a plain-data
 //! [`NicSpec`] describing the mesh, the routing function, the engines,
 //! the scheduler parameters and (optionally) the RMT program, it runs
-//! six families of checks and returns a [`Report`] of
+//! its families of checks and returns a [`Report`] of
 //! [`Diagnostic`]s with stable codes:
 //!
 //! * **`PV0xx` — chains & placement** ([`checks::chain`]): hop targets
@@ -34,6 +34,11 @@
 //!   quiescence fast-forward to skip — stochastic sources and
 //!   every-cycle periodic sources pin the run to stepped speed
 //!   (PV501; see `docs/PERF.md`).
+//! * **`PV7xx` — rack fabric** ([`checks::fabric`], [`FabricSpec`]s
+//!   only, via [`verify_fabric`]): remote chain hops resolve to real
+//!   members and engines (PV701), inter-NIC links are routable
+//!   (PV702), declared in both directions (PV703), and every remote
+//!   crossing has a link to carry it (PV704); see `docs/FABRIC.md`.
 //!
 //! Severities: an `Error` means the simulation would deadlock, panic,
 //! or silently break a modeled hardware invariant; a `Warn` means the
@@ -64,11 +69,13 @@ pub mod diag;
 pub mod spec;
 
 pub use checks::{
-    check_chain, check_faultplane, check_noc, check_perf, check_rmt, check_sched, check_tenancy,
-    verify,
+    check_chain, check_fabric, check_faultplane, check_noc, check_perf, check_rmt, check_sched,
+    check_tenancy, verify, verify_fabric,
 };
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
-pub use spec::{ArrivalKind, ArrivalSpec, EngineSpec, NicSpec, RoutingKind, SchedSpec};
+pub use spec::{
+    ArrivalKind, ArrivalSpec, EngineSpec, FabricSpec, LinkSpec, NicSpec, RoutingKind, SchedSpec,
+};
 
 #[cfg(test)]
 mod tests {

@@ -249,6 +249,160 @@ impl NicSpec {
     }
 }
 
+/// One directed inter-NIC link through the simulated top-of-rack
+/// switch: member `from`'s uplink to member `to`'s downlink.
+///
+/// Links are *directed*; a usable fabric declares both directions
+/// (PV703 warns otherwise). The three parameters are the whole link
+/// model the fabric simulates — propagation delay, serialization rate,
+/// and the credit window that bounds in-flight messages:
+///
+/// ```
+/// use panic_verify::LinkSpec;
+///
+/// let link = LinkSpec::new(0, 1);
+/// assert_eq!(link.latency, sim_core::Cycles(16));
+/// assert_eq!(link.bytes_per_cycle, 32);
+/// assert_eq!(link.credits, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Sending member's index into [`FabricSpec::members`].
+    pub from: usize,
+    /// Receiving member's index into [`FabricSpec::members`].
+    pub to: usize,
+    /// Propagation delay through the ToR, in cycles. Also the lower
+    /// bound on the fabric's synchronization epoch: NICs may only
+    /// exchange at epoch boundaries, and an epoch no longer than the
+    /// smallest link latency cannot reorder deliveries.
+    pub latency: Cycles,
+    /// Serialization rate: a `b`-byte message occupies the uplink for
+    /// `ceil(b / bytes_per_cycle)` cycles (minimum 1).
+    pub bytes_per_cycle: u64,
+    /// In-flight message window. A full window backpressures the
+    /// sender's egress queue (messages are never dropped on a link).
+    pub credits: usize,
+}
+
+impl LinkSpec {
+    /// A link `from → to` with the reference rack parameters:
+    /// 16-cycle ToR latency, 32 bytes/cycle (~128 Gbps at 500 MHz),
+    /// a 16-message credit window.
+    #[must_use]
+    pub fn new(from: usize, to: usize) -> LinkSpec {
+        LinkSpec {
+            from,
+            to,
+            latency: Cycles(16),
+            bytes_per_cycle: 32,
+            credits: 16,
+        }
+    }
+
+    /// Sets the propagation latency.
+    #[must_use]
+    pub fn latency(mut self, cycles: u64) -> LinkSpec {
+        self.latency = Cycles(cycles);
+        self
+    }
+
+    /// Sets the serialization rate.
+    #[must_use]
+    pub fn bytes_per_cycle(mut self, bytes: u64) -> LinkSpec {
+        self.bytes_per_cycle = bytes;
+        self
+    }
+
+    /// Sets the credit window.
+    #[must_use]
+    pub fn credits(mut self, credits: usize) -> LinkSpec {
+        self.credits = credits;
+        self
+    }
+}
+
+/// A rack-scale fabric, as data: N member NICs attached to one
+/// simulated top-of-rack switch by explicit directed links.
+///
+/// This is the fabric analogue of [`NicSpec`]: `crates/fabric`'s
+/// builder produces one via `to_spec()` and lints it by default, and
+/// the `PV7xx` checks ([`crate::verify_fabric`]) run against it. Member
+/// indices are the fabric-wide NIC addresses that remote-encoded
+/// [`packet::EngineId`]s carry (at most 32 members, bits 14..10 of the
+/// engine address).
+///
+/// ```
+/// use noc::Topology;
+/// use packet::{EngineClass, EngineId};
+/// use panic_verify::{verify_fabric, EngineSpec, FabricSpec, LinkSpec, NicSpec};
+///
+/// // Two identical members, each with one portal tile.
+/// let member = {
+///     let mut spec = NicSpec::new(Topology::mesh(2, 2));
+///     let mut portal = EngineSpec::new(EngineId(0), "portal", EngineClass::Rmt);
+///     portal.is_portal = true;
+///     spec.engines.push(portal);
+///     spec
+/// };
+/// let fabric = FabricSpec::full_mesh(vec![member.clone(), member], LinkSpec::new(0, 0));
+/// assert_eq!(fabric.links.len(), 2, "both directions declared");
+/// assert!(fabric.link(0, 1).is_some());
+/// let report = verify_fabric(&fabric);
+/// assert!(report.is_clean(), "{}", report.render_human());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FabricSpec {
+    /// The member NICs, indexed by fabric-wide NIC address.
+    pub members: Vec<NicSpec>,
+    /// Directed inter-NIC links through the ToR.
+    pub links: Vec<LinkSpec>,
+}
+
+impl FabricSpec {
+    /// A fabric over `members` with no links yet.
+    #[must_use]
+    pub fn new(members: Vec<NicSpec>) -> FabricSpec {
+        FabricSpec {
+            members,
+            links: Vec::new(),
+        }
+    }
+
+    /// A fabric over `members` whose ToR connects every ordered pair of
+    /// distinct members with a copy of `template` (its `from`/`to` are
+    /// ignored; latency, rate, and credits are taken as-is).
+    #[must_use]
+    pub fn full_mesh(members: Vec<NicSpec>, template: LinkSpec) -> FabricSpec {
+        let n = members.len();
+        let mut links = Vec::new();
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    links.push(LinkSpec {
+                        from,
+                        to,
+                        ..template
+                    });
+                }
+            }
+        }
+        FabricSpec { members, links }
+    }
+
+    /// Looks up the directed link `from → to`, if declared.
+    #[must_use]
+    pub fn link(&self, from: usize, to: usize) -> Option<&LinkSpec> {
+        self.links.iter().find(|l| l.from == from && l.to == to)
+    }
+
+    /// The smallest declared link latency — the upper bound on the
+    /// fabric's synchronization epoch ([`LinkSpec::latency`]).
+    #[must_use]
+    pub fn min_link_latency(&self) -> Option<Cycles> {
+        self.links.iter().map(|l| l.latency).min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +449,36 @@ mod tests {
             .push(EngineSpec::new(EngineId(7), "crypto", EngineClass::Asic));
         assert_eq!(s.engine(EngineId(7)).unwrap().name, "crypto");
         assert!(s.engine(EngineId(8)).is_none());
+    }
+
+    #[test]
+    fn full_mesh_declares_both_directions() {
+        let members = vec![
+            NicSpec::new(Topology::mesh(2, 2)),
+            NicSpec::new(Topology::mesh(2, 2)),
+            NicSpec::new(Topology::mesh(2, 2)),
+        ];
+        let f = FabricSpec::full_mesh(members, LinkSpec::new(0, 0).latency(4));
+        // 3 members -> 6 directed links, no self-loops.
+        assert_eq!(f.links.len(), 6);
+        assert!(f.links.iter().all(|l| l.from != l.to));
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    assert!(f.link(a, b).is_some(), "missing {a}->{b}");
+                }
+            }
+        }
+        assert_eq!(f.min_link_latency(), Some(Cycles(4)));
+        assert_eq!(FabricSpec::new(Vec::new()).min_link_latency(), None);
+    }
+
+    #[test]
+    fn link_builder_round_trips() {
+        let l = LinkSpec::new(1, 2).latency(9).bytes_per_cycle(8).credits(4);
+        assert_eq!((l.from, l.to), (1, 2));
+        assert_eq!(l.latency, Cycles(9));
+        assert_eq!(l.bytes_per_cycle, 8);
+        assert_eq!(l.credits, 4);
     }
 }

@@ -13,10 +13,11 @@
 //! panic-lint --check-fixtures # self-test: negative fixtures must fire
 //! ```
 //!
-//! `--check-fixtures` lints a set of deliberately broken tenancy
-//! configurations (one per PV601–PV604) and *fails unless each one
-//! fires its expected diagnostic* — the lint pass's own negative test,
-//! runnable in CI against the shipped binary.
+//! `--check-fixtures` lints a set of deliberately broken
+//! configurations — tenancy (one per PV601–PV604) and rack-fabric (one
+//! per PV701–PV704) — and *fails unless each one fires its expected
+//! diagnostic* — the lint pass's own negative test, runnable in CI
+//! against the shipped binary.
 //!
 //! Exit status: `0` when no scenario has error-severity diagnostics
 //! (or, with `--deny-warnings`, no warnings either), `1` otherwise,
@@ -27,7 +28,7 @@
 use packet::{EngineId, TenantId};
 use panic_core::scenarios::chain::PlacementStrategy;
 use panic_core::scenarios::{ChainScenario, ChainScenarioConfig, KvsScenario, KvsScenarioConfig};
-use panic_verify::{NicSpec, Report, Severity};
+use panic_verify::{FabricSpec, LinkSpec, NicSpec, Report, Severity};
 use tenancy::{TenancyConfig, VNicSpec};
 
 /// A lintable scenario: name, description, spec producer.
@@ -124,18 +125,70 @@ fn fixtures() -> Vec<Fixture> {
     ]
 }
 
+/// A broken rack fixture: name, the diagnostic it must trigger, the
+/// severity it fires at, and a producer for the fabric spec.
+type FabricFixture = (&'static str, &'static str, Severity, fn() -> FabricSpec);
+
+/// A two-member rack of kvs-scenario NICs, bidirectionally linked —
+/// the clean baseline the PV7xx fixtures each break one way.
+fn two_kvs_fabric() -> FabricSpec {
+    let member = || KvsScenario::lint_spec(&KvsScenarioConfig::two_tenant_default());
+    FabricSpec {
+        members: vec![member(), member()],
+        links: vec![LinkSpec::new(0, 1), LinkSpec::new(1, 0)],
+    }
+}
+
+/// Attaches a single-vNIC tenancy whose declared chain is `hops` to
+/// member 0 of the clean two-member rack.
+fn fabric_with_chain(hops: Vec<EngineId>) -> FabricSpec {
+    let mut fabric = two_kvs_fabric();
+    let mut spec = VNicSpec::new(TenantId(1), "crosser", 1);
+    spec = spec.chain(hops);
+    fabric.members[0].tenancy = Some(TenancyConfig::new(vec![spec]));
+    fabric
+}
+
+/// Deliberately broken rack configurations, one per PV7xx lint.
+/// Exercised by `--check-fixtures` alongside the PV6xx set.
+fn fabric_fixtures() -> Vec<FabricFixture> {
+    vec![
+        ("fixture-pv701", "PV701", Severity::Error, || {
+            // A chain hop addressing member 7 of a 2-member rack.
+            fabric_with_chain(vec![EngineId::remote(7, EngineId(0))])
+        }),
+        ("fixture-pv702", "PV702", Severity::Error, || {
+            // A self-loop link with an empty credit window.
+            let mut fabric = two_kvs_fabric();
+            fabric.links.push(LinkSpec::new(1, 1).credits(0));
+            fabric
+        }),
+        ("fixture-pv703", "PV703", Severity::Warn, || {
+            // 0 -> 1 declared, 1 -> 0 missing.
+            let mut fabric = two_kvs_fabric();
+            fabric.links.truncate(1);
+            fabric
+        }),
+        ("fixture-pv704", "PV704", Severity::Error, || {
+            // A chain crossing 0 -> 1 on a rack with no links at all.
+            let mut fabric = fabric_with_chain(vec![EngineId::remote(1, EngineId(0))]);
+            fabric.links.clear();
+            fabric
+        }),
+    ]
+}
+
 /// Runs every negative fixture and checks its expected code fires at
-/// error severity. Returns `true` when all pass.
+/// the expected severity. Returns `true` when all pass.
 fn check_fixtures() -> bool {
     let mut ok = true;
-    for (name, code, spec_fn) in fixtures() {
-        let report = panic_verify::verify(&spec_fn());
+    let mut show = |name: &str, code: &str, severity: Severity, report: &Report| {
         let fired = report
             .diagnostics()
             .iter()
-            .any(|d| d.code.as_str() == code && d.severity == Severity::Error);
+            .any(|d| d.code.as_str() == code && d.severity == severity);
         println!(
-            "{name}: {} (expects {code} at Error)",
+            "{name}: {} (expects {code} at {severity:?})",
             if fired { "ok" } else { "MISSING" }
         );
         if !fired {
@@ -144,6 +197,22 @@ fn check_fixtures() -> bool {
             }
         }
         ok &= fired;
+    };
+    for (name, code, spec_fn) in fixtures() {
+        show(
+            name,
+            code,
+            Severity::Error,
+            &panic_verify::verify(&spec_fn()),
+        );
+    }
+    for (name, code, severity, spec_fn) in fabric_fixtures() {
+        show(
+            name,
+            code,
+            severity,
+            &panic_verify::verify_fabric(&spec_fn()),
+        );
     }
     ok
 }

@@ -29,10 +29,12 @@ fn shipped_scenarios_stay_green() {
 }
 
 #[test]
-fn pv6xx_fixtures_all_fire() {
+fn pv6xx_and_pv7xx_fixtures_all_fire() {
     let (ok, text) = lint(&["--check-fixtures"]);
-    assert!(ok, "a PV6xx fixture failed to fire:\n{text}");
-    for code in ["PV601", "PV602", "PV603", "PV604"] {
+    assert!(ok, "a lint fixture failed to fire:\n{text}");
+    for code in [
+        "PV601", "PV602", "PV603", "PV604", "PV701", "PV702", "PV703", "PV704",
+    ] {
         let line = text
             .lines()
             .find(|l| l.contains(code))
