@@ -64,33 +64,45 @@ fn print_help(all: &[experiments::Experiment]) {
     eprintln!("                     windows to <path> (\"-\" = stdout); open in Perfetto");
     eprintln!("  --metrics <path>   write counters/histograms JSON to <path>");
     eprintln!("                     (\"-\" = render a markdown summary to stdout)");
-    // Derived from the registry so the list can't go stale.
-    let fault_aware: Vec<&str> = all
-        .iter()
-        .filter(|e| e.faults_aware)
-        .map(|e| e.id)
-        .collect();
-    eprintln!("  --faults <arg>     fault schedule for fault-aware experiments");
+    // Derived from the registry so the lists can't go stale.
+    let by_scope = |scope: experiments::FaultScope| -> String {
+        all.iter()
+            .filter(|e| e.faults == scope)
+            .map(|e| e.id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    eprintln!("  --faults <arg>     fault schedule for fault-aware experiments:");
+    eprintln!("                     a seed (decimal or 0x-hex) for the deterministic");
+    eprintln!("                     generators, a NIC-level plan spec like");
     eprintln!(
-        "                     ({}): a seed (decimal or 0x-hex)",
-        fault_aware.join(", ")
+        "                     `crash:1@500,stall:2@800+64` ({}),",
+        by_scope(experiments::FaultScope::Nic)
     );
-    eprintln!("                     for the deterministic generator, or an explicit");
-    eprintln!("                     plan spec like `crash:1@500,stall:2@800+64`");
+    eprintln!("                     or a fabric-level plan spec like");
+    eprintln!(
+        "                     `flap:0-1@500+64,mcrash:2@900+8` ({})",
+        by_scope(experiments::FaultScope::Fabric)
+    );
+    eprintln!("                     — exit 2 if a plan's scope cannot match the selected");
+    eprintln!("                     experiment or names components absent from the fabric");
     eprintln!("  --threads <n>      worker threads for multi-NIC fabric experiments");
-    eprintln!("                     (rack; byte-identical output for every n — see");
-    eprintln!("                     docs/FABRIC.md) and the bench sweep runner");
+    eprintln!("                     (rack, rack-chaos; byte-identical output for every n —");
+    eprintln!("                     see docs/FABRIC.md) and the bench sweep runner");
     eprintln!("  --no-fastforward   step every cycle instead of jumping provably idle");
     eprintln!("                     gaps (byte-identical output; debugging/measurement");
     eprintln!("                     aid — see docs/PERF.md)");
     eprintln!("  -h, --help         this catalog\n");
     eprintln!("bench subcommand (simulator performance, see docs/PERF.md):");
-    eprintln!("  repro bench [--quick] [--out <path>] [--check <path>] [--threads <n>]");
+    eprintln!("  repro bench [--quick] [--saturated] [--out <path>] [--check <path>]");
+    eprintln!("              [--threads <n>]");
     eprintln!("    times the stepped vs fast-forward loop on a gap-dominated workload");
     eprintln!("    and the serial vs parallel sweep runner; writes BENCH_PR4.json");
     eprintln!("    (--out, default ./BENCH_PR4.json). With --check <path>, compares");
     eprintln!("    against the committed baseline instead of writing: fails on a >5x");
-    eprintln!("    cycles/sec regression or a fast-forward speedup below 3x.\n");
+    eprintln!("    cycles/sec regression or a fast-forward speedup below 3x.");
+    eprintln!("    With --saturated, runs the non-gap-dominated steady-state workload");
+    eprintln!("    instead and writes/checks BENCH_PR8.json (tick-loop throughput).\n");
     print_catalog(all);
 }
 
@@ -101,6 +113,7 @@ struct Args {
     metrics: Option<String>,
     faults: Option<faults::FaultArg>,
     no_fastforward: bool,
+    bench_saturated: bool,
     bench_out: Option<String>,
     bench_check: Option<String>,
     threads: Option<usize>,
@@ -114,6 +127,7 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
         metrics: None,
         faults: None,
         no_fastforward: false,
+        bench_saturated: false,
         bench_out: None,
         bench_check: None,
         threads: None,
@@ -137,6 +151,8 @@ fn parse_args(all: &[experiments::Experiment]) -> Args {
             out.quick = true;
         } else if a == "--no-fastforward" {
             out.no_fastforward = true;
+        } else if a == "--saturated" {
+            out.bench_saturated = true;
         } else if a == "--help" || a == "-h" {
             print_help(all);
             std::process::exit(0);
@@ -186,18 +202,37 @@ fn write_artifact(path: &str, contents: &str) {
     }
 }
 
+/// Baseline validator produced by one bench run, applied to the
+/// committed artifact when `--check` is given.
+type BaselineCheck = Box<dyn Fn(&str) -> Result<(), String>>;
+
 /// `repro bench`: time stepped vs fast-forward and the parallel sweep
-/// runner; write (or, with `--check`, validate against) the
-/// `BENCH_PR4.json` perf baseline.
+/// runner (or, with `--saturated`, the non-gap-dominated steady-state
+/// workload); write (or, with `--check`, validate against) the
+/// `BENCH_PR4.json` / `BENCH_PR8.json` perf baseline.
 fn run_bench_command(args: &Args) -> ! {
-    let report = panic_bench::perf::run_bench(args.quick, args.threads);
-    print!("{}", report.render_markdown());
+    let (markdown, json, check): (String, String, BaselineCheck) = if args.bench_saturated {
+        let report = panic_bench::perf::run_saturated_bench(args.quick);
+        (
+            report.render_markdown(),
+            report.to_json(),
+            Box::new(move |committed| panic_bench::perf::check_saturated(&report, committed)),
+        )
+    } else {
+        let report = panic_bench::perf::run_bench(args.quick, args.threads);
+        (
+            report.render_markdown(),
+            report.to_json(),
+            Box::new(move |committed| panic_bench::perf::check(&report, committed)),
+        )
+    };
+    print!("{markdown}");
     if let Some(baseline_path) = &args.bench_check {
         let committed = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
             eprintln!("--check: cannot read {baseline_path}: {e}");
             std::process::exit(1);
         });
-        match panic_bench::perf::check(&report, &committed) {
+        match check(&committed) {
             Ok(()) => {
                 eprintln!("perf check against {baseline_path}: ok");
                 std::process::exit(0);
@@ -208,8 +243,13 @@ fn run_bench_command(args: &Args) -> ! {
             }
         }
     }
-    let out = args.bench_out.as_deref().unwrap_or("BENCH_PR4.json");
-    write_artifact(out, &report.to_json());
+    let default_out = if args.bench_saturated {
+        "BENCH_PR8.json"
+    } else {
+        "BENCH_PR4.json"
+    };
+    let out = args.bench_out.as_deref().unwrap_or(default_out);
+    write_artifact(out, &json);
     std::process::exit(0);
 }
 
@@ -249,6 +289,37 @@ fn main() {
         std::process::exit(2);
     }
 
+    let run_all = selected.iter().any(|s| s.as_str() == "all");
+
+    // An explicit fault plan has a scope; handing it to an experiment
+    // on the other plane is a spec error, not something to silently
+    // ignore. Seeds are scope-agnostic, and under `all` both planes
+    // run — each fault-aware experiment picks the argument up where it
+    // applies.
+    if let (Some(arg), false) = (&args.faults, run_all) {
+        use experiments::FaultScope;
+        let mismatch = |e: &experiments::Experiment| match (arg, e.faults) {
+            (faults::FaultArg::Plan(_), FaultScope::Fabric) => Some(
+                "a single-NIC fault plan, but it models rack-scale fabric faults — \
+                 use fabric clauses (flap:/lag:/freeze:/part:/mcrash:/mloss:) or a seed",
+            ),
+            (faults::FaultArg::Fabric(_), FaultScope::Nic) => Some(
+                "a fabric-level fault plan, but it models a single NIC — \
+                 use NIC clauses (e.g. `crash:1@500,stall:2@800+64`) or a seed",
+            ),
+            _ => None,
+        };
+        for e in all
+            .iter()
+            .filter(|e| e.faults != FaultScope::None && selected.iter().any(|s| s.as_str() == e.id))
+        {
+            if let Some(why) = mismatch(e) {
+                eprintln!("--faults: `{}` was handed {why}", e.id);
+                std::process::exit(2);
+            }
+        }
+    }
+
     preflight_lint();
 
     let tracer = if args.trace.is_some() {
@@ -261,7 +332,6 @@ fn main() {
     ctx.fastforward = !args.no_fastforward;
     ctx.threads = args.threads.unwrap_or(1);
 
-    let run_all = selected.iter().any(|s| s.as_str() == "all");
     for e in &all {
         if run_all || selected.iter().any(|s| s.as_str() == e.id) {
             eprintln!("running {}: {} ...", e.id, e.desc);

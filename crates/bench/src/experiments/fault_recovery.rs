@@ -226,7 +226,9 @@ pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
     let (seed, pinned_plan) = match ctx.faults.clone() {
         Some(FaultArg::Seed(s)) => (s, None),
         Some(FaultArg::Plan(p)) => (DEFAULT_SEED, Some(p)),
-        None => (DEFAULT_SEED, None),
+        // A fabric-scope spec is rejected by the repro CLI before any
+        // experiment runs; a NIC-scope experiment ignores it.
+        Some(FaultArg::Fabric(_)) | None => (DEFAULT_SEED, None),
     };
 
     let mut intensities = vec![0u32, 2, 4, 8];

@@ -16,12 +16,29 @@ pub mod memory_pressure;
 pub mod open_lossless;
 pub mod open_questions;
 pub mod rack;
+pub mod rack_chaos;
 pub mod rmt_limits;
 pub mod rmt_throughput;
 pub mod slack_isolation;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+
+/// Which fault plane an experiment's `--faults` argument addresses.
+/// The `repro` CLI uses this to derive the `--help` applicability note
+/// and to reject explicit plans whose scope cannot match the selected
+/// experiment (a fabric clause handed to a single-NIC experiment, or
+/// vice versa) with exit status 2. Seeds are scope-agnostic: every
+/// fault-aware experiment feeds them to its own generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Ignores [`crate::obs::RunCtx::faults`] entirely.
+    None,
+    /// Single-NIC fault plane (`crash:3@100`-style clauses).
+    Nic,
+    /// Rack-scale fabric fault plane (`flap:0-1@500+64`-style clauses).
+    Fabric,
+}
 
 /// One experiment in the registry. The `repro` catalog (`--help`),
 /// name validation, and the run loop all derive from [`all`], so an
@@ -33,10 +50,9 @@ pub struct Experiment {
     pub id: &'static str,
     /// One-line description shown in the catalog.
     pub desc: &'static str,
-    /// True when the runner consumes [`crate::obs::RunCtx::faults`];
-    /// `repro --help` derives the `--faults` applicability note from
-    /// this flag.
-    pub faults_aware: bool,
+    /// Which fault plane (if any) the runner models when
+    /// [`crate::obs::RunCtx::faults`] is set.
+    pub faults: FaultScope,
     /// The runner: takes a [`crate::obs::RunCtx`] (quick flag +
     /// optional tracer/metrics) and returns its rendered report.
     pub run: fn(&mut crate::obs::RunCtx) -> String,
@@ -51,7 +67,7 @@ const fn exp(
     Experiment {
         id,
         desc,
-        faults_aware: false,
+        faults: FaultScope::None,
         run,
     }
 }
@@ -121,7 +137,7 @@ pub fn all() -> Vec<Experiment> {
             memory_pressure::run,
         ),
         Experiment {
-            faults_aware: true,
+            faults: FaultScope::Nic,
             ..exp(
                 "fault-recovery",
                 "Robustness: goodput + watchdog failover under seeded fault plans",
@@ -153,11 +169,22 @@ pub fn all() -> Vec<Experiment> {
             "Ablation: unified network vs per-class split networks",
             ablation_split_net::run,
         ),
-        exp(
-            "rack",
-            "Rack-scale fabric: cross-NIC chains over a simulated ToR, 1-8 NICs",
-            rack::run,
-        ),
+        Experiment {
+            faults: FaultScope::Fabric,
+            ..exp(
+                "rack",
+                "Rack-scale fabric: cross-NIC chains over a simulated ToR, 1-8 NICs",
+                rack::run,
+            )
+        },
+        Experiment {
+            faults: FaultScope::Fabric,
+            ..exp(
+                "rack-chaos",
+                "Robustness: fabric fault intensity x rack size; retry/reroute/failover",
+                rack_chaos::run,
+            )
+        },
         exp(
             "open-questions",
             "S6: placement and topology-shape sweeps",
@@ -187,6 +214,15 @@ mod registry_tests {
             assert!(!e.id.contains('_'), "{}: use hyphens in ids", e.id);
             assert!(!e.desc.is_empty());
         }
+    }
+
+    #[test]
+    fn fault_scopes_cover_both_planes() {
+        let all = all();
+        let scope = |id: &str| all.iter().find(|e| e.id == id).expect(id).faults;
+        assert_eq!(scope("fault-recovery"), FaultScope::Nic);
+        assert_eq!(scope("rack"), FaultScope::Fabric);
+        assert_eq!(scope("rack-chaos"), FaultScope::Fabric);
     }
 
     #[test]

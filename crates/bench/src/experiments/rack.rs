@@ -31,6 +31,7 @@ use engines::engine::NullOffload;
 use engines::mac::MacEngine;
 use engines::tile::TileConfig;
 use fabric::{Fabric, FabricBuilder, LinkSpec, PeriodicDriver};
+use faults::{FabricFaultConfig, FabricFaultPlan, FaultArg};
 use noc::router::RouterConfig;
 use noc::topology::Topology;
 use packet::chain::EngineClass;
@@ -55,10 +56,10 @@ pub const ACTIVE: usize = 32;
 /// CRC-class engine service time, cycles/packet.
 const CRC_SERVICE: u64 = 8;
 /// One frame per member every this many cycles.
-const PERIOD: u64 = 120;
+pub(crate) const PERIOD: u64 = 120;
 /// Inter-NIC link: propagation latency (cycles), ToR port rate
 /// (bytes/cycle), credit window (messages in flight).
-const LINK_LATENCY: u64 = 48;
+pub(crate) const LINK_LATENCY: u64 = 48;
 const LINK_RATE: u64 = 16;
 const LINK_CREDITS: u64 = 32;
 /// Seed for the tenant-stripe permutations and traffic skew.
@@ -160,8 +161,26 @@ fn tenant_id(member: usize, rank: usize) -> TenantId {
     TenantId((member * ACTIVE + rank + 1) as u16)
 }
 
-/// Builds the N-member ring fabric with its per-member drivers.
-fn build_rack(nics: usize, frames_per_nic: u64) -> Fabric {
+/// The ring's deduplicated unordered link pairs (a 2-NIC ring has one
+/// pair, not two); also the link universe the fabric fault generator
+/// and `--faults` spec validation draw from.
+pub(crate) fn ring_pairs(nics: usize) -> Vec<(usize, usize)> {
+    let pairs: std::collections::BTreeSet<(usize, usize)> = (0..nics)
+        .map(|i| {
+            let next = (i + 1) % nics;
+            (i.min(next), i.max(next))
+        })
+        .collect();
+    pairs.into_iter().collect()
+}
+
+/// Builds the N-member ring fabric with its per-member drivers,
+/// optionally arming the fabric fault plane.
+pub(crate) fn build_rack(
+    nics: usize,
+    frames_per_nic: u64,
+    faults: Option<FabricFaultConfig>,
+) -> Fabric {
     let mut fb = FabricBuilder::new();
     let mut uplinks = Vec::new();
     for i in 0..nics {
@@ -169,15 +188,7 @@ fn build_rack(nics: usize, frames_per_nic: u64) -> Fabric {
         uplinks.push((fb.member(b, eth), eth));
     }
     if nics > 1 {
-        // Ring neighbors, as deduplicated unordered pairs (a 2-NIC
-        // ring has one pair, not two).
-        let pairs: std::collections::BTreeSet<(usize, usize)> = (0..nics)
-            .map(|i| {
-                let next = (i + 1) % nics;
-                (i.min(next), i.max(next))
-            })
-            .collect();
-        for (a, b) in pairs {
+        for (a, b) in ring_pairs(nics) {
             fb.link_pair(
                 a,
                 b,
@@ -187,6 +198,9 @@ fn build_rack(nics: usize, frames_per_nic: u64) -> Fabric {
                     .credits(LINK_CREDITS as usize),
             );
         }
+    }
+    if let Some(cfg) = faults {
+        fb.fault_plane(cfg);
     }
     for (i, (mi, eth)) in uplinks.into_iter().enumerate() {
         // Traffic skew: Zipf over the member's ACTIVE hot ranks, on a
@@ -216,28 +230,53 @@ fn build_rack(nics: usize, frames_per_nic: u64) -> Fabric {
     fb.build()
 }
 
-/// Runs one rack configuration to quiescence.
-#[must_use]
-pub fn rack_point(nics: usize, threads: usize, quick: bool) -> RackPoint {
-    let frames_per_nic: u64 = if quick { 300 } else { 2_000 };
-    let mut fabric = build_rack(nics, frames_per_nic);
-    fabric.set_threads(threads);
+/// Frames each member injects over the sweep.
+pub(crate) fn frames_per_nic(quick: bool) -> u64 {
+    if quick {
+        300
+    } else {
+        2_000
+    }
+}
+
+/// Runs a built rack to quiescence — including any armed fault plane's
+/// deferred work (retry deadlines, parked copies, member recoveries) —
+/// and asserts the fleet conservation identity. Returns the drain
+/// cycle.
+pub(crate) fn drain(fabric: &mut Fabric, frames_per_nic: u64) -> Cycle {
     let horizon = (frames_per_nic + 2) * PERIOD + 50_000;
     let mut now = fabric.run_ff(Cycle(0), horizon).0;
-    for _ in 0..64 {
-        if fabric.is_quiescent() {
+    // Chaos plans can hold work far past the nominal horizon (a
+    // crashed member recovers, a retry backoff expires, a partition
+    // window closes); the fast-forwarded chunks make the long tail
+    // cheap.
+    for _ in 0..1024 {
+        if fabric.is_quiescent() && !fabric.faults_pending() {
             break;
         }
         now = fabric.run_ff(now, 10_000).0;
     }
-    assert!(fabric.is_quiescent(), "rack failed to drain");
+    assert!(
+        fabric.is_quiescent() && !fabric.faults_pending(),
+        "rack failed to drain"
+    );
     let c = fabric.conservation();
     assert!(c.holds(), "fleet conservation violated:\n{c}");
-    point_of(&fabric, frames_per_nic * nics as u64)
+    now
+}
+
+/// Runs one rack configuration to quiescence.
+#[must_use]
+pub fn rack_point(nics: usize, threads: usize, quick: bool) -> RackPoint {
+    let frames = frames_per_nic(quick);
+    let mut fabric = build_rack(nics, frames, None);
+    fabric.set_threads(threads);
+    drain(&mut fabric, frames);
+    point_of(&fabric, frames * nics as u64)
 }
 
 /// Collapses a drained fabric into a [`RackPoint`].
-fn point_of(fabric: &Fabric, offered: u64) -> RackPoint {
+pub(crate) fn point_of(fabric: &Fabric, offered: u64) -> RackPoint {
     let mut latency = Histogram::new();
     let mut delivered = 0;
     for i in 0..fabric.len() {
@@ -255,44 +294,146 @@ fn point_of(fabric: &Fabric, offered: u64) -> RackPoint {
     }
 }
 
+/// How `repro rack --faults <seed|spec>` lands on the sweep.
+enum RackFaults {
+    /// No fault plane (no `--faults`, or a NIC-level plan that a
+    /// fabric experiment has no use for — under `repro all` the same
+    /// argument still reaches `fault-recovery`).
+    Off,
+    /// Seed for the deterministic fabric generator, re-drawn per row
+    /// over that row's ring universe.
+    Seed(u64),
+    /// Explicit fabric plan, armed on every row whose topology names
+    /// all of its components.
+    Plan(FabricFaultPlan),
+}
+
+/// Events the seeded generator schedules per armed row.
+const CHAOS_INTENSITY: u32 = 6;
+
+/// Resolves `--faults` for the rack sweep. Exits 2 when an explicit
+/// fabric plan names components absent even from the largest rack in
+/// the sweep — the clear-message contract of the `repro` CLI.
+fn rack_faults(ctx: &crate::obs::RunCtx) -> RackFaults {
+    match &ctx.faults {
+        None | Some(FaultArg::Plan(_)) => RackFaults::Off,
+        Some(FaultArg::Seed(seed)) => RackFaults::Seed(*seed),
+        Some(FaultArg::Fabric(plan)) => {
+            let largest = 8;
+            if let Err(e) = plan.validate(largest, &ring_pairs(largest)) {
+                eprintln!("--faults: {e} (the rack sweep tops out at {largest} members)");
+                std::process::exit(2);
+            }
+            RackFaults::Plan(plan.clone())
+        }
+    }
+}
+
+/// The fault plane for one sweep row: `None` when the row runs
+/// fault-free (1-NIC racks have no fabric to break; an explicit plan
+/// skips rows whose topology lacks a named component).
+fn row_faults(mode: &RackFaults, nics: usize, frames_per_nic: u64) -> Option<FabricFaultConfig> {
+    if nics < 2 {
+        return None;
+    }
+    match mode {
+        RackFaults::Off => None,
+        RackFaults::Seed(seed) => {
+            let universe = faults::FabricFaultUniverse::new(
+                nics,
+                ring_pairs(nics),
+                Cycle(frames_per_nic * PERIOD),
+            );
+            Some(FabricFaultConfig::new(FabricFaultPlan::generate(
+                *seed,
+                &universe,
+                CHAOS_INTENSITY,
+            )))
+        }
+        RackFaults::Plan(plan) => plan
+            .validate(nics, &ring_pairs(nics))
+            .ok()
+            .map(|()| FabricFaultConfig::new(plan.clone())),
+    }
+}
+
 /// Regenerates the rack-fabric table.
 #[must_use]
 pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
     let quick = ctx.quick;
-    let mut t = TableFmt::new(
-        "Rack-scale fabric: cross-NIC chains over a simulated ToR \
-         (per-NIC load held constant; latency in cycles, injection -> wire)",
-        &[
-            "NICs",
-            "vNICs (of 10^6 keys)",
-            "p50/p99",
-            "Crossings",
-            "Backpressured",
-            "Delivered",
-        ],
-    );
+    let mode = rack_faults(ctx);
+    let armed = !matches!(mode, RackFaults::Off);
+    let frames = frames_per_nic(quick);
+    let mut t = if armed {
+        TableFmt::new(
+            "Rack-scale fabric under `--faults`: cross-NIC chains over a faulty ToR \
+             (latency in cycles, injection -> wire)",
+            &[
+                "NICs",
+                "Faults",
+                "p50/p99",
+                "Crossings",
+                "Retries",
+                "Rewrites",
+                "Lost",
+                "Delivered",
+            ],
+        )
+    } else {
+        TableFmt::new(
+            "Rack-scale fabric: cross-NIC chains over a simulated ToR \
+             (per-NIC load held constant; latency in cycles, injection -> wire)",
+            &[
+                "NICs",
+                "vNICs (of 10^6 keys)",
+                "p50/p99",
+                "Crossings",
+                "Backpressured",
+                "Delivered",
+            ],
+        )
+    };
     for nics in [1usize, 2, 4, 8] {
-        let p = rack_point(nics, ctx.threads, quick);
-        t.row(vec![
-            nics.to_string(),
-            p.vnics.to_string(),
-            format!("{}/{}", p.latency.p50, p.latency.p99),
-            p.crossings.to_string(),
-            p.backpressured.to_string(),
-            f(p.delivered_fraction(), 2),
-        ]);
+        if armed {
+            let mut fabric = build_rack(nics, frames, row_faults(&mode, nics, frames));
+            fabric.set_threads(ctx.threads);
+            drain(&mut fabric, frames);
+            let p = point_of(&fabric, frames * nics as u64);
+            let cs = fabric.chaos_stats().unwrap_or_default();
+            let c = fabric.conservation();
+            t.row(vec![
+                nics.to_string(),
+                cs.events_fired.to_string(),
+                format!("{}/{}", p.latency.p50, p.latency.p99),
+                p.crossings.to_string(),
+                c.retries.to_string(),
+                cs.replica_rewrites.to_string(),
+                cs.lost_link.to_string(),
+                f(p.delivered_fraction(), 2),
+            ]);
+        } else {
+            let p = rack_point(nics, ctx.threads, quick);
+            t.row(vec![
+                nics.to_string(),
+                p.vnics.to_string(),
+                format!("{}/{}", p.latency.p50, p.latency.p99),
+                p.crossings.to_string(),
+                p.backpressured.to_string(),
+                f(p.delivered_fraction(), 2),
+            ]);
+        }
     }
     // The observed window: a 2-NIC rack with the tracer/metrics
     // attached (tracing forces the serial member loop; the numbers are
     // identical either way).
     if ctx.observing() {
         let frames: u64 = if quick { 100 } else { 400 };
-        let mut fabric = build_rack(2, frames);
+        let mut fabric = build_rack(2, frames, row_faults(&mode, 2, frames));
         fabric.set_threads(ctx.threads);
         fabric.attach_tracer(&ctx.tracer);
         let mut now = fabric.run_ff(Cycle(0), (frames + 2) * PERIOD + 50_000).0;
-        for _ in 0..64 {
-            if fabric.is_quiescent() {
+        for _ in 0..1024 {
+            if fabric.is_quiescent() && !fabric.faults_pending() {
                 break;
             }
             now = fabric.run_ff(now, 10_000).0;
@@ -300,6 +441,20 @@ pub fn run(ctx: &mut crate::obs::RunCtx) -> String {
         if ctx.collect_metrics {
             fabric.export_metrics(&mut ctx.metrics);
         }
+    }
+    if armed {
+        t.note(
+            "Fault plane armed from `--faults`: a seed draws a per-row plan from the \
+             deterministic fabric generator over that row's ring; an explicit fabric plan \
+             (flap:/lag:/freeze:/part:/mcrash:/mloss: clauses) is armed on every row whose \
+             topology names all of its components (other rows run fault-free; 1 NIC has no \
+             fabric to break). Retries are ledger retransmissions, Rewrites are chains \
+             re-pointed at a replica of a crashed member, Lost are copies destroyed on a \
+             downed link (all re-sent). Fleet conservation under faults is asserted on every \
+             row; same seed + same plan is byte-identical for any --threads value."
+                .to_string(),
+        );
+        return t.render();
     }
     t.note(format!(
         "Every member's chain tail (crc + MAC egress) runs on the next member over a \

@@ -18,6 +18,13 @@
 //! fails on a >5× cycles/second regression — a loose floor by design:
 //! CI machines vary, but an accidental O(n) regression in the tick
 //! loop is comfortably larger than 5×. See `docs/PERF.md`.
+//!
+//! `repro bench --saturated` is the complementary measurement
+//! (`BENCH_PR8.json`): the same chain shape driven at full min-frame
+//! line rate, where quiescence fast-forward has nothing to skip and
+//! the number that matters is raw steady-state tick throughput.
+//! Tracking both artifacts keeps a regression in either regime —
+//! idle-skipping or the hot loop — visible in CI.
 
 use std::time::Instant;
 
@@ -224,6 +231,144 @@ impl BenchReport {
     }
 }
 
+/// Results of one `repro bench --saturated` run — the steady-state
+/// throughput artifact (`BENCH_PR8.json`).
+#[derive(Debug, Clone)]
+pub struct SaturatedBench {
+    /// Quick (CI-sized) run?
+    pub quick: bool,
+    /// Human description of the saturated workload.
+    pub workload: String,
+    /// Simulated cycles (run + drain budget).
+    pub cycles: u64,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles per wall second — the tracked number.
+    pub cycles_per_sec: f64,
+    /// Frames delivered end-to-end over the run.
+    pub frames_delivered: u64,
+    /// Delivered frames per wall second.
+    pub frames_per_sec: f64,
+    /// Cycles fast-forward managed to skip — near zero by
+    /// construction, which is what makes the workload a tick-loop
+    /// benchmark rather than a fast-forward one.
+    pub cycles_skipped: u64,
+}
+
+/// Runs the saturated (non-gap-dominated) benchmark: the gap-dominated
+/// chain shape at `offered_fraction = 1.0`, back-to-back min-frame
+/// arrivals on every port.
+///
+/// # Panics
+/// Panics if fast-forward found more than 10% of the horizon to skip —
+/// that would mean the workload is no longer saturated and the
+/// artifact would silently turn back into an idle-skipping benchmark.
+#[must_use]
+pub fn run_saturated_bench(quick: bool) -> SaturatedBench {
+    let cycles = if quick { 150_000 } else { 1_500_000 };
+    let config = ChainScenarioConfig {
+        chain_len: 2,
+        offered_fraction: 1.0,
+        ..ChainScenarioConfig::default()
+    };
+    let mut s = ChainScenario::new(config);
+    let t0 = Instant::now();
+    s.run(cycles);
+    s.drain(cycles);
+    let wall_ms = ms(t0);
+    let skipped = s.cycles_skipped();
+    assert!(
+        skipped * 10 < cycles,
+        "saturated bench skipped {skipped} of {cycles} cycles — workload is gap-dominated"
+    );
+    let r = s.report();
+    let wall_s = (wall_ms / 1e3).max(1e-9);
+    SaturatedBench {
+        quick,
+        workload: "chain scenario, mesh6x6, chain_len=2, offered_fraction=1.0 (saturated)".into(),
+        cycles,
+        wall_ms,
+        cycles_per_sec: cycles as f64 / wall_s,
+        frames_delivered: r.delivered,
+        frames_per_sec: r.delivered as f64 / wall_s,
+        cycles_skipped: skipped,
+    }
+}
+
+impl SaturatedBench {
+    /// Serializes the report as the `BENCH_PR8.json` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"panic-bench-pr8-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"wall_ms\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"frames_delivered\": {},\n  \"frames_per_sec\": {:.0},\n  \"cycles_skipped\": {}\n}}\n",
+            self.quick,
+            self.workload,
+            self.cycles,
+            self.wall_ms,
+            self.cycles_per_sec,
+            self.frames_delivered,
+            self.frames_per_sec,
+            self.cycles_skipped,
+        )
+    }
+
+    /// Renders the human-readable summary table.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut t = TableFmt::new(
+            "Simulator performance — saturated steady state (tick-loop throughput)",
+            &["Wall (ms)", "Cycles/sec", "Frames", "Frames/sec", "Skipped"],
+        );
+        t.row(vec![
+            format!("{:.1}", self.wall_ms),
+            format!("{:.2e}", self.cycles_per_sec),
+            self.frames_delivered.to_string(),
+            format!("{:.2e}", self.frames_per_sec),
+            self.cycles_skipped.to_string(),
+        ]);
+        t.note(format!(
+            "Workload: {}; {} simulated cycles. Fast-forward is left on but finds \
+             (almost) nothing to skip — this artifact tracks the hot tick loop, \
+             BENCH_PR4.json tracks idle-skipping (see docs/PERF.md).",
+            self.workload, self.cycles
+        ));
+        t.render()
+    }
+}
+
+/// Validates a fresh saturated run against the committed
+/// `BENCH_PR8.json`: cycles/second and frames/second must each stay
+/// within 5× of the committed floor (same loose-by-design bound as
+/// [`check`]).
+///
+/// # Errors
+/// Returns every violated bound, one message per line.
+pub fn check_saturated(fresh: &SaturatedBench, committed_json: &str) -> Result<(), String> {
+    let mut problems = Vec::new();
+    if !committed_json.contains("\"schema\": \"panic-bench-pr8-v1\"") {
+        return Err("baseline JSON missing or malformed (wrong schema)".into());
+    }
+    for (key, fresh_v) in [
+        ("cycles_per_sec", fresh.cycles_per_sec),
+        ("frames_per_sec", fresh.frames_per_sec),
+    ] {
+        let Some(floor) = json_f64(committed_json, key) else {
+            problems.push(format!("baseline JSON lacks `{key}`"));
+            continue;
+        };
+        if fresh_v * 5.0 < floor {
+            problems.push(format!(
+                "{key} regressed >5x: fresh {fresh_v:.0} vs committed {floor:.0}"
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
 /// Extracts a numeric field from the (machine-written) baseline JSON.
 /// Not a general JSON parser — just enough for our own artifact, which
 /// keeps the vendored-dependency footprint at zero.
@@ -336,6 +481,42 @@ mod tests {
     fn check_rejects_malformed_baseline() {
         assert!(check(&fake_report(), "").is_err());
         assert!(check(&fake_report(), "{}").is_err());
+    }
+
+    fn fake_saturated() -> SaturatedBench {
+        SaturatedBench {
+            quick: true,
+            workload: "w".into(),
+            cycles: 1000,
+            wall_ms: 10.0,
+            cycles_per_sec: 1e5,
+            frames_delivered: 400,
+            frames_per_sec: 4e4,
+            cycles_skipped: 0,
+        }
+    }
+
+    #[test]
+    fn saturated_check_accepts_rerun_and_rejects_regression() {
+        let r = fake_saturated();
+        assert!(check_saturated(&r, &r.to_json()).is_ok());
+        let mut slow = r.clone();
+        slow.frames_per_sec = r.frames_per_sec / 10.0;
+        let err = check_saturated(&slow, &r.to_json()).expect_err("regression");
+        assert!(err.contains("frames_per_sec regressed >5x"), "{err}");
+        assert!(check_saturated(&r, "{}").is_err(), "wrong schema");
+    }
+
+    #[test]
+    fn quick_saturated_bench_is_not_gap_dominated() {
+        let r = run_saturated_bench(true);
+        assert!(r.frames_delivered > 0, "a saturated run must move frames");
+        assert!(
+            r.cycles_skipped * 10 < r.cycles,
+            "saturation leaves fast-forward nothing to skip"
+        );
+        assert!(r.to_json().contains("panic-bench-pr8-v1"));
+        assert!(r.render_markdown().contains("saturated"));
     }
 
     #[test]

@@ -10,6 +10,8 @@ use panic_verify::{verify_fabric, FabricSpec, LinkSpec, Report};
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer};
 
+pub use crate::chaos::ChaosStats;
+use crate::chaos::{ChaosRuntime, MemberSig, Parked, Phase};
 use crate::driver::NicDriver;
 
 /// One member NIC plus its fabric-side state.
@@ -33,14 +35,29 @@ impl std::fmt::Debug for Member {
     }
 }
 
+/// One copy on the wire: when it lands, the copy itself, and the hop
+/// ledger bookkeeping that outlives the crossing (which member tracks
+/// it, and under which crossing generation).
+#[derive(Debug)]
+struct Flight {
+    arrival: Cycle,
+    msg: Message,
+    /// Member whose hop ledger tracks this crossing (the original
+    /// sender; transit copies keep it across intermediate hops).
+    origin: usize,
+    /// Crossing generation the copy belongs to (0 when untracked —
+    /// no fault plane armed).
+    generation: u32,
+}
+
 /// Runtime state of one directed link: its spec plus the in-flight
 /// window (messages serialized onto the wire but not yet delivered).
 #[derive(Debug)]
 struct Link {
     spec: LinkSpec,
-    /// `(arrival_cycle, message)`, oldest first. Its length against
+    /// In-flight copies, oldest first. Its length against
     /// `spec.credits` is the credit check.
-    in_flight: VecDeque<(Cycle, Message)>,
+    in_flight: VecDeque<Flight>,
 }
 
 /// Fabric-level counters (link traffic only; per-NIC counters live in
@@ -88,6 +105,20 @@ pub struct FleetStats {
 /// member (`remote_rx`), still on a link, still waiting in a
 /// backpressured egress queue, or dropped at the ToR for want of a
 /// route. [`FleetConservation::holds`] requires both levels.
+///
+/// With a fault plane armed the identity gains five terms — the
+/// retransmit copies the hop ledgers create, and the fault-specific
+/// fates a copy can meet:
+///
+/// ```text
+/// Σ remote_tx + retries == Σ remote_rx + dup_suppressed
+///                        + link_in_flight + egress_backlog + parked
+///                        + lost_link + redirected + fabric_unrouted
+/// ```
+///
+/// Every term is zero on a fault-free run, collapsing the identity
+/// back to the fabric closure above. It holds at *every instant*, not
+/// just at quiescence — mid-flap, mid-drain, mid-retry.
 #[derive(Debug, Clone)]
 pub struct FleetConservation {
     /// Per-member conservation reports, by fabric index.
@@ -102,6 +133,18 @@ pub struct FleetConservation {
     pub egress_backlog: u64,
     /// Copies dropped at the ToR (unroutable).
     pub fabric_unrouted: u64,
+    /// Retransmit copies created by the hop ledgers (a source).
+    pub retries: u64,
+    /// Copies suppressed at delivery as duplicates of an
+    /// already-delivered crossing.
+    pub dup_suppressed: u64,
+    /// Copies held by the ToR: parked for a down link / crashed
+    /// member, or in transit between hops of a reroute.
+    pub parked: u64,
+    /// Copies destroyed on a link by a flap or partition.
+    pub lost_link: u64,
+    /// Copies terminally absorbed by the host-fallback path.
+    pub redirected: u64,
 }
 
 impl FleetConservation {
@@ -110,8 +153,15 @@ impl FleetConservation {
     #[must_use]
     pub fn holds(&self) -> bool {
         self.per_nic.iter().all(Conservation::holds)
-            && self.remote_tx
-                == self.remote_rx + self.link_in_flight + self.egress_backlog + self.fabric_unrouted
+            && self.remote_tx + self.retries
+                == self.remote_rx
+                    + self.dup_suppressed
+                    + self.link_in_flight
+                    + self.egress_backlog
+                    + self.parked
+                    + self.lost_link
+                    + self.redirected
+                    + self.fabric_unrouted
     }
 }
 
@@ -124,16 +174,37 @@ impl std::fmt::Display for FleetConservation {
                 if c.holds() { "HOLDS" } else { "VIOLATED" }
             )?;
         }
-        writeln!(
-            f,
-            "fabric: remote_tx {} = remote_rx {} + on-link {} + backlog {} + unrouted {} [{}]",
-            self.remote_tx,
-            self.remote_rx,
-            self.link_in_flight,
-            self.egress_backlog,
-            self.fabric_unrouted,
-            if self.holds() { "HOLDS" } else { "VIOLATED" }
-        )
+        let chaos =
+            self.retries + self.dup_suppressed + self.parked + self.lost_link + self.redirected;
+        if chaos == 0 {
+            writeln!(
+                f,
+                "fabric: remote_tx {} = remote_rx {} + on-link {} + backlog {} + unrouted {} [{}]",
+                self.remote_tx,
+                self.remote_rx,
+                self.link_in_flight,
+                self.egress_backlog,
+                self.fabric_unrouted,
+                if self.holds() { "HOLDS" } else { "VIOLATED" }
+            )
+        } else {
+            writeln!(
+                f,
+                "fabric: remote_tx {} + retries {} = remote_rx {} + dup {} + on-link {} \
+                 + backlog {} + parked {} + lost {} + redirected {} + unrouted {} [{}]",
+                self.remote_tx,
+                self.retries,
+                self.remote_rx,
+                self.dup_suppressed,
+                self.link_in_flight,
+                self.egress_backlog,
+                self.parked,
+                self.lost_link,
+                self.redirected,
+                self.fabric_unrouted,
+                if self.holds() { "HOLDS" } else { "VIOLATED" }
+            )
+        }
     }
 }
 
@@ -144,6 +215,7 @@ pub struct FabricBuilder {
     members: Vec<(NicBuilder, EngineId)>,
     drivers: Vec<Option<Box<dyn NicDriver>>>,
     links: Vec<LinkSpec>,
+    faults: Option<faults::FabricFaultConfig>,
 }
 
 impl std::fmt::Debug for FabricBuilder {
@@ -184,6 +256,14 @@ impl FabricBuilder {
         self.links.push(spec);
     }
 
+    /// Arms the fabric fault plane. An empty plan still arms it (the
+    /// chaos runtime runs but fires nothing), which the golden tests
+    /// use to prove the armed-but-idle fabric is byte-identical to an
+    /// unarmed one.
+    pub fn fault_plane(&mut self, config: faults::FabricFaultConfig) {
+        self.faults = Some(config);
+    }
+
     /// Declares the pair of links `a → b` and `b → a`, both carrying
     /// `template`'s latency/rate/credits.
     pub fn link_pair(&mut self, a: usize, b: usize, template: LinkSpec) {
@@ -205,6 +285,7 @@ impl FabricBuilder {
         FabricSpec {
             members: self.members.iter().map(|(b, _)| b.to_spec()).collect(),
             links: self.links.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -245,7 +326,20 @@ impl FabricBuilder {
             members,
             drivers,
             links,
+            faults,
         } = self;
+        // Engine signatures for replica matching: members with equal
+        // signatures are interchangeable crash-failover targets.
+        let sigs: Vec<MemberSig> = members
+            .iter()
+            .map(|(b, _)| {
+                b.to_spec()
+                    .engines
+                    .iter()
+                    .map(|e| (e.id.0, format!("{:?}/{}", e.class, e.name)))
+                    .collect()
+            })
+            .collect();
         let members: Vec<Member> = members
             .into_iter()
             .zip(drivers)
@@ -267,6 +361,7 @@ impl FabricBuilder {
             })
             .collect();
         let epoch = links.iter().map(|l| l.latency.0.max(1)).min();
+        let chaos = faults.map(|cfg| ChaosRuntime::new(cfg, members.len(), links.len(), sigs));
         Fabric {
             members,
             links: links
@@ -280,6 +375,8 @@ impl FabricBuilder {
             threads: 1,
             traced: false,
             stats: FleetStats::default(),
+            chaos,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -303,6 +400,12 @@ pub struct Fabric {
     /// to keep event order deterministic.
     traced: bool,
     stats: FleetStats,
+    /// The armed fault plane, if any. `None` runs the exact pre-fault
+    /// code paths.
+    chaos: Option<ChaosRuntime>,
+    /// The attached tracer (disabled by default); chaos events emit
+    /// through it onto a lazily created `fabric.chaos` track.
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -365,7 +468,25 @@ impl Fabric {
         for m in &mut self.members {
             m.nic.attach_tracer(tracer);
         }
+        if tracer.enabled() {
+            self.tracer = tracer.clone();
+        }
         self.traced = self.traced || tracer.enabled();
+    }
+
+    /// Fault-plane counters, when a fault plane is armed.
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.stats)
+    }
+
+    /// Distribution of serialization-to-delivery times for crossings
+    /// that left their nominal path (replica redirect or link
+    /// reroute) — the time-to-reroute numbers the `rack-chaos`
+    /// experiment reports.
+    #[must_use]
+    pub fn reroute_summary(&self) -> Option<sim_core::stats::Summary> {
+        self.chaos.as_ref().map(|c| c.reroute_wait.summary())
     }
 
     /// Runs `cycles` cycles from `start` with per-member stepped
@@ -393,6 +514,9 @@ impl Fabric {
         let mut skipped = 0u64;
         while now < end {
             self.deliver_due(now);
+            if self.chaos.is_some() {
+                self.chaos_apply(now);
+            }
             if ff {
                 if let Some(target) = self.fleet_jump_target(start, now, end) {
                     for m in &mut self.members {
@@ -419,14 +543,104 @@ impl Fabric {
     /// Delivers every link arrival due at or before `now` into its
     /// destination member, in link order then FIFO order.
     fn deliver_due(&mut self, now: Cycle) {
+        if self.chaos.is_some() {
+            self.chaos_deliver_due(now);
+            return;
+        }
         for li in 0..self.links.len() {
             while self.links[li]
                 .in_flight
                 .front()
-                .is_some_and(|(arrival, _)| *arrival <= now)
+                .is_some_and(|f| f.arrival <= now)
             {
-                let (_, msg) = self.links[li].in_flight.pop_front().expect("checked front");
+                let flight = self.links[li].in_flight.pop_front().expect("checked front");
                 let to = self.links[li].spec.to;
+                let uplink = self.members[to].uplink;
+                let ok = self.members[to].nic.rx_remote(flight.msg, uplink, now);
+                self.stats.delivered += 1;
+                if !ok {
+                    self.stats.rejected += 1;
+                }
+            }
+        }
+    }
+
+    /// Chaos-aware arrival handling: receiver-side duplicate
+    /// suppression, transit forwarding for multi-hop reroutes, and
+    /// redirect decisions for copies landing at a crashed member.
+    fn chaos_deliver_due(&mut self, now: Cycle) {
+        let mut chaos = self.chaos.take().expect("chaos checked by caller");
+        for li in 0..self.links.len() {
+            while self.links[li]
+                .in_flight
+                .front()
+                .is_some_and(|f| f.arrival <= now)
+            {
+                let flight = self.links[li].in_flight.pop_front().expect("checked front");
+                let to = self.links[li].spec.to;
+                let dest = flight
+                    .msg
+                    .chain
+                    .current()
+                    .and_then(|h| h.engine.remote_nic());
+                if dest.is_some_and(|d| d != to) {
+                    // A transit hop of a reroute: hold at this
+                    // member's ToR port; the next boundary exchange
+                    // dispatches it onward.
+                    chaos.parked[to].push_back(Parked {
+                        msg: flight.msg,
+                        generation: flight.generation,
+                        origin: flight.origin,
+                        tracked: true,
+                        via: true,
+                    });
+                    continue;
+                }
+                if chaos.is_up(to) {
+                    self.chaos_deliver(&mut chaos, flight, to, now);
+                } else {
+                    // Arrived at a crashed member: decide its fate at
+                    // the ToR port.
+                    self.chaos_absorb_at_down_member(&mut chaos, flight, to, now);
+                }
+            }
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// Final delivery into an Up member, through the origin ledger's
+    /// duplicate check.
+    fn chaos_deliver(&mut self, chaos: &mut ChaosRuntime, flight: Flight, to: usize, now: Cycle) {
+        use faults::HopOutcome;
+        let Flight {
+            msg,
+            origin,
+            generation,
+            ..
+        } = flight;
+        match chaos.ledgers[origin].on_delivered(msg.id, generation, now) {
+            HopOutcome::Duplicate => {
+                chaos_mark(&self.tracer, chaos, "fabric.dup_suppressed", now, msg.id.0);
+            }
+            HopOutcome::First {
+                waited,
+                retried,
+                redirected,
+            } => {
+                if retried {
+                    chaos.stats.recovered_by_retry += 1;
+                }
+                if redirected {
+                    chaos.reroute_wait.record_cycles(waited);
+                }
+                let uplink = self.members[to].uplink;
+                let ok = self.members[to].nic.rx_remote(msg, uplink, now);
+                self.stats.delivered += 1;
+                if !ok {
+                    self.stats.rejected += 1;
+                }
+            }
+            HopOutcome::Untracked => {
                 let uplink = self.members[to].uplink;
                 let ok = self.members[to].nic.rx_remote(msg, uplink, now);
                 self.stats.delivered += 1;
@@ -437,20 +651,71 @@ impl Fabric {
         }
     }
 
+    /// A copy addressed to a member that is not Up: re-point it at a
+    /// replica, absorb it into the host-fallback path, or park it
+    /// until the member recovers.
+    fn chaos_absorb_at_down_member(
+        &mut self,
+        chaos: &mut ChaosRuntime,
+        flight: Flight,
+        to: usize,
+        now: Cycle,
+    ) {
+        let Flight {
+            mut msg,
+            origin,
+            generation,
+            ..
+        } = flight;
+        if let Some(replica) = chaos.replica_for(to) {
+            msg.chain.rewrite_pending_nic(to, replica);
+            chaos.ledgers[origin].note_redirected(msg.id);
+            chaos.stats.replica_rewrites += 1;
+            chaos_mark(&self.tracer, chaos, "fabric.redirect", now, replica as u64);
+            chaos.parked[to].push_back(Parked {
+                msg,
+                generation,
+                origin,
+                tracked: true,
+                via: true,
+            });
+        } else if chaos.config.host_fallback {
+            chaos.ledgers[origin].complete_terminal(msg.id);
+            chaos.stats.redirected += 1;
+            chaos_mark(&self.tracer, chaos, "fabric.host_fallback", now, msg.id.0);
+        } else {
+            chaos.parked[to].push_back(Parked {
+                msg,
+                generation,
+                origin,
+                tracked: true,
+                via: false,
+            });
+        }
+    }
+
     /// When the whole fleet is quiescent, the epoch-grid-aligned cycle
     /// to jump to (strictly past `now`), or `None` to run normally.
     fn fleet_jump_target(&self, start: Cycle, now: Cycle, end: Cycle) -> Option<Cycle> {
         let quiet = self.links.iter().all(|l| l.in_flight.is_empty())
-            && self.members.iter().all(|m| m.nic.is_quiescent());
+            && self.members.iter().all(|m| m.nic.is_quiescent())
+            && self.chaos.as_ref().is_none_or(ChaosRuntime::quiet);
         if !quiet {
             return None;
         }
         let mut next: Option<Cycle> = None;
-        for m in &self.members {
+        for (i, m) in self.members.iter().enumerate() {
             next = merge_hint(next, m.nic.next_activity(now));
-            if let Some(d) = &m.driver {
+            // A non-Up member's driver is suppressed: its backlog
+            // bursts in at recovery (hinted by the chaos wake), so it
+            // must not drag the jump target earlier than that.
+            let driving = self.chaos.as_ref().is_none_or(|c| c.is_up(i));
+            if let (true, Some(d)) = (driving, &m.driver) {
                 next = merge_hint(next, d.next_arrival(now));
             }
+        }
+        if let Some(c) = &self.chaos {
+            next = merge_hint(next, c.next_wake(now));
         }
         // Nothing will ever happen again: jump straight to the end.
         let raw = next.unwrap_or(end).min(end);
@@ -463,16 +728,377 @@ impl Fabric {
         (target > now).then_some(target)
     }
 
+    /// Applies the fault plane at an epoch boundary: phase
+    /// transitions (drain-complete, recovery) first, then every plan
+    /// event whose fire cycle has been reached. All serial.
+    fn chaos_apply(&mut self, now: Cycle) {
+        let mut chaos = self.chaos.take().expect("chaos checked by caller");
+        for i in 0..self.members.len() {
+            match chaos.phases[i] {
+                Phase::Draining { recover_at } if self.members[i].nic.is_quiescent() => {
+                    chaos.phases[i] = Phase::Down { recover_at };
+                    chaos_mark(
+                        &self.tracer,
+                        &mut chaos,
+                        "fabric.member_down",
+                        now,
+                        i as u64,
+                    );
+                }
+                Phase::Down {
+                    recover_at: Some(r),
+                } if now >= r => {
+                    chaos.phases[i] = Phase::Up;
+                    chaos.stats.member_recoveries += 1;
+                    chaos_mark(
+                        &self.tracer,
+                        &mut chaos,
+                        "fabric.member_recover",
+                        now,
+                        i as u64,
+                    );
+                }
+                _ => {}
+            }
+        }
+        while let Some(e) = chaos.config.plan.events().get(chaos.cursor) {
+            if e.at > now {
+                break;
+            }
+            let e = *e;
+            chaos.cursor += 1;
+            chaos.stats.events_fired += 1;
+            self.chaos_fire(&mut chaos, &e, now);
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// Applies one plan event.
+    fn chaos_fire(&mut self, chaos: &mut ChaosRuntime, e: &faults::FabricFaultEvent, now: Cycle) {
+        use faults::FabricFaultKind as K;
+        match e.kind {
+            K::LinkFlap { from, to, duration } => {
+                chaos_mark(&self.tracer, chaos, "fabric.flap", now, pack_pair(from, to));
+                let until = Cycle(now.0.saturating_add(duration.0));
+                self.chaos_cut(chaos, |s| joins(s, from, to), until, now);
+            }
+            K::LinkDegrade {
+                from,
+                to,
+                duration,
+                factor,
+            } => {
+                chaos_mark(&self.tracer, chaos, "fabric.lag", now, pack_pair(from, to));
+                let until = Cycle(now.0.saturating_add(duration.0));
+                for (li, l) in self.links.iter().enumerate() {
+                    if joins(&l.spec, from, to) {
+                        chaos.links[li].lag = Some((until, factor));
+                    }
+                }
+            }
+            K::CreditFreeze { from, to, duration } => {
+                chaos_mark(
+                    &self.tracer,
+                    chaos,
+                    "fabric.freeze",
+                    now,
+                    pack_pair(from, to),
+                );
+                let until = Cycle(now.0.saturating_add(duration.0));
+                for (li, l) in self.links.iter().enumerate() {
+                    if joins(&l.spec, from, to) {
+                        chaos.links[li].freeze_until = Some(until);
+                    }
+                }
+            }
+            K::Partition { member, duration } => {
+                chaos_mark(&self.tracer, chaos, "fabric.partition", now, member as u64);
+                let until = match duration {
+                    Some(d) => Cycle(now.0.saturating_add(d.0)),
+                    None => Cycle(u64::MAX),
+                };
+                self.chaos_cut(chaos, |s| s.from == member || s.to == member, until, now);
+            }
+            K::MemberCrash {
+                member,
+                recover_epochs,
+            } => {
+                let len = self.epoch.unwrap_or(1);
+                chaos.phases[member] = Phase::Draining {
+                    recover_at: Some(Cycle(now.0.saturating_add(recover_epochs * len))),
+                };
+                chaos.stats.member_crashes += 1;
+                chaos_mark(
+                    &self.tracer,
+                    chaos,
+                    "fabric.member_crash",
+                    now,
+                    member as u64,
+                );
+            }
+            K::MemberLoss { member } => {
+                chaos.phases[member] = Phase::Draining { recover_at: None };
+                chaos.stats.member_crashes += 1;
+                chaos_mark(
+                    &self.tracer,
+                    chaos,
+                    "fabric.member_loss",
+                    now,
+                    member as u64,
+                );
+            }
+        }
+    }
+
+    /// Takes down every link matching `f` until `until`, destroying
+    /// the copies in flight on it (`lost_link`; their armed ledger
+    /// entries drive the retransmissions).
+    fn chaos_cut<F: Fn(&LinkSpec) -> bool>(
+        &mut self,
+        chaos: &mut ChaosRuntime,
+        f: F,
+        until: Cycle,
+        now: Cycle,
+    ) {
+        for (li, l) in self.links.iter_mut().enumerate() {
+            if !f(&l.spec) {
+                continue;
+            }
+            let held = chaos.links[li].down_until.map_or(0, |c| c.0);
+            chaos.links[li].down_until = Some(Cycle(held.max(until.0)));
+            let lost = l.in_flight.len() as u64;
+            if lost > 0 {
+                chaos.stats.lost_link += lost;
+                l.in_flight.clear();
+            }
+            chaos_mark(&self.tracer, chaos, "fabric.link_down", now, li as u64);
+        }
+    }
+
+    /// BFS over currently-up links (in declaration order, so the
+    /// chosen path is deterministic) from `from` to `dest`; transit
+    /// may only pass through Up members. Returns the first hop.
+    fn chaos_first_hop(
+        &self,
+        chaos: &ChaosRuntime,
+        from: usize,
+        dest: usize,
+        now: Cycle,
+    ) -> Option<usize> {
+        let n = self.members.len();
+        let mut first: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[from] = true;
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            for (li, l) in self.links.iter().enumerate() {
+                if l.spec.from != u || !chaos.links[li].up(now) {
+                    continue;
+                }
+                let v = l.spec.to;
+                if visited[v] || (v != dest && !chaos.is_up(v)) {
+                    continue;
+                }
+                visited[v] = true;
+                first[v] = if u == from { Some(v) } else { first[u] };
+                if v == dest {
+                    return first[v];
+                }
+                q.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// One dispatch attempt for a ToR-held copy (a retransmission, a
+    /// parked copy, or a transit hop) from member `i`'s uplink.
+    /// Returns the copy when it must stay parked.
+    fn chaos_dispatch(
+        &mut self,
+        chaos: &mut ChaosRuntime,
+        i: usize,
+        mut item: Parked,
+        boundary: Cycle,
+    ) -> Option<Parked> {
+        let n = self.members.len();
+        let dest = item.msg.chain.current().and_then(|h| h.engine.remote_nic());
+        let Some(mut d) = dest.filter(|&d| d < n) else {
+            // Dangling address (dynamic PV701): drop at the ToR. A
+            // tracked entry stays armed — its retries meet the same
+            // fate until the budget runs out.
+            self.stats.fabric_unrouted += 1;
+            return None;
+        };
+        if d == i {
+            // Parked at its own destination.
+            if chaos.is_up(i) {
+                let flight = Flight {
+                    arrival: boundary,
+                    msg: item.msg,
+                    origin: item.origin,
+                    generation: item.generation,
+                };
+                self.chaos_deliver(chaos, flight, i, boundary);
+            } else {
+                let flight = Flight {
+                    arrival: boundary,
+                    msg: item.msg,
+                    origin: item.origin,
+                    generation: item.generation,
+                };
+                self.chaos_absorb_at_down_member(chaos, flight, i, boundary);
+            }
+            return None;
+        }
+        if !chaos.is_up(d) {
+            if let Some(replica) = chaos.replica_for(d) {
+                item.msg.chain.rewrite_pending_nic(d, replica);
+                chaos.stats.replica_rewrites += 1;
+                chaos_mark(
+                    &self.tracer,
+                    chaos,
+                    "fabric.redirect",
+                    boundary,
+                    replica as u64,
+                );
+                item.via = true;
+                d = replica;
+                if d == i {
+                    // Redirected to the member it is already at.
+                    let flight = Flight {
+                        arrival: boundary,
+                        msg: item.msg,
+                        origin: item.origin,
+                        generation: item.generation,
+                    };
+                    self.chaos_deliver(chaos, flight, i, boundary);
+                    return None;
+                }
+            } else if chaos.config.host_fallback {
+                if item.tracked {
+                    chaos.ledgers[item.origin].complete_terminal(item.msg.id);
+                }
+                chaos.stats.redirected += 1;
+                chaos_mark(
+                    &self.tracer,
+                    chaos,
+                    "fabric.host_fallback",
+                    boundary,
+                    item.msg.id.0,
+                );
+                return None;
+            } else {
+                return Some(item);
+            }
+        }
+        let direct = self
+            .links
+            .iter()
+            .position(|l| l.spec.from == i && l.spec.to == d);
+        let (li, rerouted) = match direct {
+            Some(li) if chaos.links[li].up(boundary) => (li, false),
+            Some(_) => match self.chaos_first_hop(chaos, i, d, boundary) {
+                Some(f) => {
+                    let li = self
+                        .links
+                        .iter()
+                        .position(|l| l.spec.from == i && l.spec.to == f)
+                        .expect("BFS returned a declared up link");
+                    (li, true)
+                }
+                None => return Some(item),
+            },
+            None if item.via => match self.chaos_first_hop(chaos, i, d, boundary) {
+                Some(f) => {
+                    let li = self
+                        .links
+                        .iter()
+                        .position(|l| l.spec.from == i && l.spec.to == f)
+                        .expect("BFS returned a declared up link");
+                    (li, f != d)
+                }
+                None => return Some(item),
+            },
+            None => {
+                // An original-path copy with no declared link for its
+                // crossing — the dynamic PV704 case, same as the
+                // fault-free fabric.
+                self.stats.fabric_unrouted += 1;
+                return None;
+            }
+        };
+        if chaos.links[li].frozen(boundary)
+            || self.links[li].in_flight.len() >= self.links[li].spec.credits
+        {
+            return Some(item);
+        }
+        self.chaos_serialize(chaos, i, item, li, rerouted, boundary);
+        None
+    }
+
+    /// Serializes a copy onto link `li`, arming the origin's hop
+    /// ledger on first serialization and applying any lag window.
+    fn chaos_serialize(
+        &mut self,
+        chaos: &mut ChaosRuntime,
+        i: usize,
+        mut item: Parked,
+        li: usize,
+        rerouted: bool,
+        boundary: Cycle,
+    ) {
+        if !item.tracked {
+            item.generation = chaos.ledgers[item.origin].track(&item.msg, boundary);
+            item.tracked = true;
+        }
+        if rerouted {
+            chaos.stats.reroutes += 1;
+            item.via = true;
+            chaos_mark(&self.tracer, chaos, "fabric.reroute", boundary, li as u64);
+        }
+        if item.via {
+            // Off-nominal path: mark the crossing so its delivery
+            // lands in the time-to-reroute distribution.
+            chaos.ledgers[item.origin].note_redirected(item.msg.id);
+        }
+        let spec = self.links[li].spec;
+        let departure = boundary.max(self.members[i].uplink_free_at);
+        let ser = item.msg.wire_size().0.div_ceil(spec.bytes_per_cycle).max(1);
+        self.members[i].uplink_free_at = Cycle(departure.0 + ser);
+        let lat = spec.latency.0 * chaos.links[li].lag_factor(departure);
+        let arrival = Cycle(departure.0 + ser + lat);
+        self.links[li].in_flight.push_back(Flight {
+            arrival,
+            msg: item.msg,
+            origin: item.origin,
+            generation: item.generation,
+        });
+        self.stats.forwarded += 1;
+    }
+
     /// Runs every member over `[from, to)`, in parallel when allowed.
     /// Returns the members' summed fast-forward skip counts.
     fn run_members(&mut self, from: Cycle, to: Cycle, ff: bool) -> u64 {
+        let modes: Vec<MemberMode> = match &self.chaos {
+            None => vec![MemberMode::Run; self.members.len()],
+            Some(c) => c
+                .phases
+                .iter()
+                .map(|p| match p {
+                    Phase::Up => MemberMode::Run,
+                    Phase::Draining { .. } => MemberMode::Drain,
+                    Phase::Down { .. } => MemberMode::Skip,
+                })
+                .collect(),
+        };
         let threads = if self.traced { 1 } else { self.threads };
         let threads = threads.min(self.members.len().max(1));
         if threads <= 1 {
             return self
                 .members
                 .iter_mut()
-                .map(|m| run_member(m, from, to, ff))
+                .zip(&modes)
+                .map(|(m, &mode)| run_member(m, from, to, ff, mode))
                 .sum();
         }
         let chunk = self.members.len().div_ceil(threads);
@@ -480,11 +1106,13 @@ impl Fabric {
             let handles: Vec<_> = self
                 .members
                 .chunks_mut(chunk)
-                .map(|slice| {
+                .zip(modes.chunks(chunk))
+                .map(|(slice, modes)| {
                     s.spawn(move || {
                         slice
                             .iter_mut()
-                            .map(|m| run_member(m, from, to, ff))
+                            .zip(modes)
+                            .map(|(m, &mode)| run_member(m, from, to, ff, mode))
                             .sum::<u64>()
                     })
                 })
@@ -501,6 +1129,10 @@ impl Fabric {
     /// backpressure (head-of-line: a blocked head parks the whole
     /// queue until the next boundary).
     fn drain_egress(&mut self, boundary: Cycle) {
+        if self.chaos.is_some() {
+            self.chaos_drain_egress(boundary);
+            return;
+        }
         for i in 0..self.members.len() {
             while let Some(head) = self.members[i].nic.remote_egress().first() {
                 let dest = head
@@ -538,10 +1170,127 @@ impl Fabric {
                 let ser = msg.wire_size().0.div_ceil(spec.bytes_per_cycle).max(1);
                 self.members[i].uplink_free_at = Cycle(departure.0 + ser);
                 let arrival = Cycle(departure.0 + ser + spec.latency.0);
-                self.links[li].in_flight.push_back((arrival, msg));
+                self.links[li].in_flight.push_back(Flight {
+                    arrival,
+                    msg,
+                    origin: i,
+                    generation: 0,
+                });
                 self.stats.forwarded += 1;
             }
         }
+    }
+
+    /// Chaos-aware boundary exchange. Per member, in order: due
+    /// retransmissions, one attempt for every parked/transit copy,
+    /// then the fresh egress queue with the exact fault-free
+    /// head-of-line credit semantics.
+    fn chaos_drain_egress(&mut self, boundary: Cycle) {
+        let mut chaos = self.chaos.take().expect("chaos checked by caller");
+        for i in 0..self.members.len() {
+            // 1. Retransmissions whose deadline has passed.
+            for r in chaos.ledgers[i].expired(boundary) {
+                chaos_mark(
+                    &self.tracer,
+                    &mut chaos,
+                    "fabric.retry",
+                    boundary,
+                    r.msg.id.0,
+                );
+                let item = Parked {
+                    msg: r.msg,
+                    generation: r.generation,
+                    origin: i,
+                    tracked: true,
+                    via: false,
+                };
+                if let Some(item) = self.chaos_dispatch(&mut chaos, i, item, boundary) {
+                    chaos.parked[i].push_back(item);
+                }
+            }
+            // 2. Parked and transit copies: one attempt each. Entries
+            //    re-parked (or newly parked) this boundary go to the
+            //    back and wait for the next one.
+            for _ in 0..chaos.parked[i].len() {
+                let item = chaos.parked[i].pop_front().expect("length checked");
+                if let Some(item) = self.chaos_dispatch(&mut chaos, i, item, boundary) {
+                    chaos.parked[i].push_back(item);
+                }
+            }
+            // 3. Fresh egress. The head is only popped once its fate
+            //    is decided, so credit backpressure keeps the exact
+            //    head-of-line semantics of the fault-free exchange.
+            while let Some(head) = self.members[i].nic.remote_egress().first() {
+                let dest = head
+                    .chain
+                    .current()
+                    .and_then(|h| h.engine.remote_nic())
+                    .filter(|&d| d < self.members.len() && d != i);
+                let Some(dest) = dest else {
+                    let _ = self.members[i].nic.pop_remote_egress();
+                    self.stats.fabric_unrouted += 1;
+                    continue;
+                };
+                let direct = self
+                    .links
+                    .iter()
+                    .position(|l| l.spec.from == i && l.spec.to == dest);
+                if chaos.is_up(dest) {
+                    if let Some(li) = direct {
+                        if chaos.links[li].up(boundary) {
+                            if chaos.links[li].frozen(boundary)
+                                || self.links[li].in_flight.len() >= self.links[li].spec.credits
+                            {
+                                // Credit window shut: head-of-line
+                                // backpressure, identical to the
+                                // fault-free exchange.
+                                self.stats.backpressured += 1;
+                                break;
+                            }
+                            let msg = self.members[i]
+                                .nic
+                                .pop_remote_egress()
+                                .expect("head observed above");
+                            let item = Parked {
+                                msg,
+                                generation: 0,
+                                origin: i,
+                                tracked: false,
+                                via: false,
+                            };
+                            self.chaos_serialize(&mut chaos, i, item, li, false, boundary);
+                            continue;
+                        }
+                    } else {
+                        // No declared link for a nominal-path copy —
+                        // the dynamic PV704 case, unchanged.
+                        let _ = self.members[i].nic.pop_remote_egress();
+                        self.stats.fabric_unrouted += 1;
+                        continue;
+                    }
+                }
+                // Destination crashed, or its direct link is down:
+                // pull the copy into the ToR and let the dispatch
+                // logic redirect, reroute, or park it. Parking frees
+                // the queue behind it (the fault, unlike credit
+                // backpressure, may outlast any boundary).
+                let msg = self.members[i]
+                    .nic
+                    .pop_remote_egress()
+                    .expect("head observed above");
+                let item = Parked {
+                    msg,
+                    generation: 0,
+                    origin: i,
+                    tracked: false,
+                    via: false,
+                };
+                if let Some(item) = self.chaos_dispatch(&mut chaos, i, item, boundary) {
+                    chaos.parked[i].push_back(item);
+                }
+            }
+        }
+        self.chaos = Some(chaos);
     }
 
     /// True when no member holds in-flight work and no link carries a
@@ -550,6 +1299,29 @@ impl Fabric {
     pub fn is_quiescent(&self) -> bool {
         self.links.iter().all(|l| l.in_flight.is_empty())
             && self.members.iter().all(|m| m.nic.is_quiescent())
+            && self.chaos.as_ref().is_none_or(ChaosRuntime::quiet)
+    }
+
+    /// True while the armed fault plane still has work ahead of it:
+    /// unapplied plan events, a member mid-drain, or a recovery yet
+    /// to happen. A chaos run's drain loop must spin until this goes
+    /// false *and* [`Fabric::is_quiescent`] goes true — a crashed
+    /// member can look quiescent right up until its driver's backlog
+    /// bursts in at recovery.
+    #[must_use]
+    pub fn faults_pending(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| {
+            c.cursor < c.config.plan.len()
+                || c.phases.iter().any(|p| {
+                    matches!(
+                        p,
+                        Phase::Draining { .. }
+                            | Phase::Down {
+                                recover_at: Some(_)
+                            }
+                    )
+                })
+        })
     }
 
     /// The fleet-wide conservation report (see [`FleetConservation`]).
@@ -557,6 +1329,10 @@ impl Fabric {
     pub fn conservation(&self) -> FleetConservation {
         let per_nic: Vec<Conservation> =
             self.members.iter().map(|m| m.nic.conservation()).collect();
+        let (retries, dup_suppressed, parked, lost_link, redirected) = self
+            .chaos
+            .as_ref()
+            .map_or((0, 0, 0, 0, 0), ChaosRuntime::conservation_terms);
         FleetConservation {
             remote_tx: per_nic.iter().map(|c| c.remote_tx).sum(),
             remote_rx: per_nic.iter().map(|c| c.remote_rx).sum(),
@@ -567,6 +1343,11 @@ impl Fabric {
                 .map(|m| m.nic.remote_egress().len() as u64)
                 .sum(),
             fabric_unrouted: self.stats.fabric_unrouted,
+            retries,
+            dup_suppressed,
+            parked,
+            lost_link,
+            redirected,
             per_nic,
         }
     }
@@ -598,19 +1379,61 @@ impl Fabric {
             m.counter_set("fabric.backpressured", self.stats.backpressured);
             m.counter_set("fabric.fabric_unrouted", self.stats.fabric_unrouted);
         }
+        // Chaos counters appear only once a fault has actually fired,
+        // so an armed-but-silent fault plane exports byte-identical
+        // metrics to an unarmed fabric.
+        if let Some(c) = &self.chaos {
+            if c.stats.any() {
+                let (retries, dup, parked, lost, fallback) = c.conservation_terms();
+                m.counter_set("fabric.chaos.events", c.stats.events_fired);
+                m.counter_set("fabric.chaos.retries", retries);
+                m.counter_set("fabric.chaos.dup_suppressed", dup);
+                m.counter_set("fabric.chaos.parked", parked);
+                m.counter_set("fabric.chaos.lost_link", lost);
+                m.counter_set("fabric.chaos.host_fallback", fallback);
+                m.counter_set("fabric.chaos.replica_rewrites", c.stats.replica_rewrites);
+                m.counter_set("fabric.chaos.reroutes", c.stats.reroutes);
+                m.counter_set(
+                    "fabric.chaos.recovered_by_retry",
+                    c.stats.recovered_by_retry,
+                );
+                m.counter_set("fabric.chaos.member_crashes", c.stats.member_crashes);
+                m.counter_set("fabric.chaos.member_recoveries", c.stats.member_recoveries);
+                m.merge_histogram("fabric.chaos.reroute_wait", &c.reroute_wait);
+            }
+        }
     }
+}
+
+/// How one member executes an epoch, set by its chaos phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberMode {
+    /// Healthy: driver injects, NIC runs.
+    Run,
+    /// Crashed, draining: NIC runs its in-flight work, driver
+    /// suppressed. The driver's pending arrivals burst in on
+    /// recovery — `next_arrival` keeps returning them, so the first
+    /// `Run` epoch injects the whole backlog at its opening cycle,
+    /// deterministically.
+    Drain,
+    /// Fully down: the NIC is skipped over, in *both* run modes, so
+    /// stepped and fast-forwarded execution stay trivially identical.
+    Skip,
 }
 
 /// Runs one member over `[from, to)`, interleaving its driver's
 /// injections with (fast-forwarded) execution. Returns cycles skipped.
-fn run_member(m: &mut Member, from: Cycle, to: Cycle, ff: bool) -> u64 {
+fn run_member(m: &mut Member, from: Cycle, to: Cycle, ff: bool, mode: MemberMode) -> u64 {
+    if mode == MemberMode::Skip {
+        m.nic.skip_idle(from, to);
+        return 0;
+    }
     let mut now = from;
     let mut skipped = 0u64;
     while now < to {
-        let next_arr = m
-            .driver
-            .as_ref()
-            .and_then(|d| d.next_arrival(now))
+        let next_arr = (mode == MemberMode::Run)
+            .then(|| m.driver.as_ref().and_then(|d| d.next_arrival(now)))
+            .flatten()
             .filter(|a| *a < to);
         let chunk_end = next_arr.unwrap_or(to);
         if chunk_end > now {
@@ -638,4 +1461,28 @@ fn merge_hint(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
         (x, None) => x,
         (None, y) => y,
     }
+}
+
+/// Emits one chaos instant event, creating the `fabric.chaos` track
+/// on first use — a silent fault plane never allocates a track, so
+/// its trace stays byte-identical to an unarmed run.
+fn chaos_mark(tracer: &Tracer, chaos: &mut ChaosRuntime, name: &'static str, now: Cycle, v: u64) {
+    if !tracer.enabled() {
+        return;
+    }
+    let track = *chaos
+        .track
+        .get_or_insert_with(|| tracer.track("fabric.chaos"));
+    tracer.instant_arg(track, name, now, "v", v);
+}
+
+/// True when the directed link joins the unordered pair `{a, b}` —
+/// link faults have cable semantics, hitting both directions.
+fn joins(spec: &LinkSpec, a: usize, b: usize) -> bool {
+    (spec.from == a && spec.to == b) || (spec.from == b && spec.to == a)
+}
+
+/// Packs an unordered member pair into one trace-arg value.
+fn pack_pair(a: usize, b: usize) -> u64 {
+    (a.min(b) as u64) * 100 + (a.max(b) as u64)
 }

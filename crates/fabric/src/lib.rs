@@ -36,6 +36,22 @@
 //! them with the copies still sitting on links into a fleet-wide
 //! identity ([`FleetConservation`]) that must close exactly.
 //!
+//! # Fault plane
+//!
+//! [`FabricBuilder::fault_plane`] arms a rack-scale chaos runtime
+//! (`faults::FabricFaultConfig`): seeded link flaps / latency
+//! degrades / credit freezes / partitions and whole-member crashes
+//! with drain-before-down and recovery. Every cross-NIC hop gets a
+//! deadline in its origin member's `faults::HopLedger`
+//! (exponential-backoff retransmission, receiver-side duplicate
+//! suppression); the ToR reroutes around down links when the topology
+//! offers an alternate path, re-points chains addressed to a crashed
+//! member at a same-signature replica (or the host-fallback path),
+//! and parks what it cannot move. The conservation identity gains
+//! matching terms and still closes exactly at every instant — and a
+//! fabric whose armed plan never fires stays byte-identical to an
+//! unarmed one, traces and metrics included.
+//!
 //! # Configuration
 //!
 //! [`FabricBuilder`] mirrors `panic-core`'s `NicBuilder`: member
@@ -48,9 +64,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod driver;
 mod fleet;
 
+pub use chaos::ChaosStats;
 pub use driver::{NicDriver, PeriodicDriver};
 pub use fleet::{Fabric, FabricBuilder, FleetConservation, FleetStats};
 pub use panic_verify::{FabricSpec, LinkSpec};

@@ -17,6 +17,13 @@
 //! * [`WatchdogConfig`] — deadlines, retry budgets, and the engine
 //!   health / failover policy knobs, also consumed by the static
 //!   verifier's PV4xx lints.
+//! * [`FabricFaultPlan`] / [`FabricFaultConfig`] / [`HopLedger`]
+//!   ([`fabric`]) — the rack-scale layer: link flaps / latency
+//!   degrades / credit freezes / partitions and whole-member crashes,
+//!   plus per-member deadline tracking with retransmission and
+//!   receiver-side duplicate suppression for cross-NIC hops.
+//!   `crates/fabric` threads these through the ToR; the PV8xx lints
+//!   check the configuration.
 //!
 //! The crate is deliberately *mechanism only*: it owns no simulator
 //! state. `panic-core` threads the plan into the datapath and drives
@@ -29,9 +36,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fabric;
 pub mod plan;
 pub mod watchdog;
 
+pub use fabric::{
+    FabricFaultConfig, FabricFaultEvent, FabricFaultKind, FabricFaultPlan, FabricFaultUniverse,
+    HopLedger, HopOutcome, HopRetry, HopRetryConfig,
+};
 pub use plan::{FaultArg, FaultEvent, FaultKind, FaultPlan, FaultUniverse};
 pub use watchdog::{CompleteOutcome, Expiry, ExpiryAction, Watchdog, WatchdogConfig};
 

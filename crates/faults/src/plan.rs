@@ -512,22 +512,28 @@ fn parse_clause(clause: &str) -> Result<FaultEvent, String> {
     }
 }
 
-/// The `--faults` CLI argument: either a seed for [`FaultPlan::generate`]
-/// or an explicit plan.
+/// The `--faults` CLI argument: a seed for the deterministic
+/// generators, an explicit NIC-level plan, or an explicit fabric-level
+/// plan (the two DSLs use disjoint kind names, so the spec form picks
+/// the variant).
 ///
 /// ```
 /// use faults::FaultArg;
 /// assert!(matches!("0xC0FFEE".parse(), Ok(FaultArg::Seed(0xC0FFEE))));
 /// assert!(matches!("42".parse(), Ok(FaultArg::Seed(42))));
 /// assert!(matches!("crash:3@100".parse(), Ok(FaultArg::Plan(_))));
+/// assert!(matches!("flap:0-1@100+64".parse(), Ok(FaultArg::Fabric(_))));
 /// assert!("crash:3".parse::<FaultArg>().is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultArg {
-    /// Generate a plan from this seed.
+    /// Generate a plan from this seed (NIC- or fabric-level, decided
+    /// by the experiment that consumes it).
     Seed(u64),
-    /// Use this explicit plan.
+    /// Use this explicit NIC-level plan.
     Plan(FaultPlan),
+    /// Use this explicit fabric-level plan.
+    Fabric(crate::fabric::FabricFaultPlan),
 }
 
 impl FromStr for FaultArg {
@@ -546,7 +552,18 @@ impl FromStr for FaultArg {
                 .map(FaultArg::Seed)
                 .map_err(|_| format!("fault seed out of range {s:?}"));
         }
-        FaultPlan::parse(s).map(FaultArg::Plan)
+        // The kind names are disjoint between the two DSLs, so report
+        // the error from the family the first clause belongs to.
+        const FABRIC_KINDS: [&str; 6] = ["flap:", "lag:", "freeze:", "part:", "mcrash:", "mloss:"];
+        let looks_fabric = FABRIC_KINDS.iter().any(|k| s.starts_with(k));
+        match (
+            FaultPlan::parse(s),
+            crate::fabric::FabricFaultPlan::parse(s),
+        ) {
+            (Ok(p), _) => Ok(FaultArg::Plan(p)),
+            (_, Ok(p)) => Ok(FaultArg::Fabric(p)),
+            (Err(nic), Err(fab)) => Err(if looks_fabric { fab } else { nic }),
+        }
     }
 }
 

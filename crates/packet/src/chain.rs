@@ -404,6 +404,27 @@ impl ChainHeader {
         rewritten
     }
 
+    /// Rewrites every *pending* remote hop addressed to member
+    /// `from_nic` so it targets the same local engine on `to_nic`
+    /// instead, returning how many hops were rewritten.
+    ///
+    /// This is the fabric-failover primitive: when a member NIC
+    /// crashes, the ToR re-points the remaining chain steps of
+    /// affected messages at a replica member that declares the same
+    /// engine set — the member-level analogue of
+    /// [`ChainHeader::rewrite_pending`]. Local hops and remote hops
+    /// addressed to other members are untouched.
+    pub fn rewrite_pending_nic(&mut self, from_nic: usize, to_nic: usize) -> usize {
+        let mut rewritten = 0;
+        for hop in &mut self.hops[usize::from(self.next)..usize::from(self.len)] {
+            if hop.engine.remote_nic() == Some(from_nic) {
+                hop.engine = EngineId::remote(to_nic, hop.engine.local_part());
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
     /// Rewrites the *current* hop's engine to `to`, returning the old
     /// address. `None` (and no change) when the chain is complete.
     ///
@@ -686,6 +707,35 @@ mod tests {
         // Rewriting at the current hop works too.
         assert_eq!(c.rewrite_pending(EngineId(9), EngineId(7)), 1);
         assert_eq!(c.current().unwrap().engine, EngineId(7));
+    }
+
+    #[test]
+    fn rewrite_pending_nic_repoints_only_that_member() {
+        // Chain: local E4 -> remote(2, E9) -> remote(1, E9) ->
+        // remote(2, E1); fail member 2 over to member 3.
+        let mut c = ChainHeader::uniform(
+            &[
+                EngineId(4),
+                EngineId::remote(2, EngineId(9)),
+                EngineId::remote(1, EngineId(9)),
+                EngineId::remote(2, EngineId(1)),
+            ],
+            Slack(10),
+        )
+        .unwrap();
+        assert_eq!(c.rewrite_pending_nic(2, 3), 2);
+        assert_eq!(c.hops()[0].engine, EngineId(4), "local hop untouched");
+        assert_eq!(c.hops()[1].engine, EngineId::remote(3, EngineId(9)));
+        assert_eq!(
+            c.hops()[2].engine,
+            EngineId::remote(1, EngineId(9)),
+            "other member untouched"
+        );
+        assert_eq!(c.hops()[3].engine, EngineId::remote(3, EngineId(1)));
+        // Visited hops are history.
+        c.advance();
+        assert_eq!(c.rewrite_pending_nic(3, 0), 2, "only pending hops");
+        assert_eq!(c.hops()[1].engine, EngineId::remote(0, EngineId(9)));
     }
 
     #[test]

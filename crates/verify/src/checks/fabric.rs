@@ -25,6 +25,20 @@
 //!   members that no declared link connects. The hop is well-formed
 //!   (PV701-clean) but the ToR has no wire to carry it.
 //!
+//! When the spec arms a fabric fault plane ([`FabricSpec::faults`]),
+//! the `PV8xx` family lints the chaos configuration itself:
+//!
+//! * **PV801** (Error): a hop retry budget without duplicate
+//!   suppression — retransmissions would double-deliver.
+//! * **PV802** (Error): a pinned failover replica that cannot take
+//!   traffic — out of range, the failed member itself, or a member no
+//!   other member has a link into.
+//! * **PV803** (Error): the plan permanently isolates a member while
+//!   host fallback is disabled — its traffic can never drain.
+//! * **PV804** (Error): the hop retry timeout is shorter than the
+//!   round trip the slowest declared link implies, so every crossing
+//!   on that link would retransmit spuriously.
+//!
 //! [`verify_fabric`] additionally runs the full single-NIC [`verify`]
 //! pass over every member, prefixing each finding's subject with
 //! `nic<i>/` so a report over an 8-NIC rack still points at the
@@ -191,6 +205,11 @@ pub fn check_fabric(spec: &FabricSpec) -> Vec<Diagnostic> {
         }
     }
 
+    // PV8xx: the fault-plane configuration, when one is armed.
+    if let Some(cfg) = &spec.faults {
+        check_fault_plane(spec, cfg, &directions, &mut out);
+    }
+
     // PV701/PV704: remote hops in declared chains — per-tenant vNIC
     // chains and RMT program PushHops alike.
     for (i, m) in spec.members.iter().enumerate() {
@@ -227,6 +246,115 @@ pub fn check_fabric(spec: &FabricSpec) -> Vec<Diagnostic> {
     }
 
     out
+}
+
+/// The `PV8xx` lints over an armed fault plane. `directions` is the
+/// set of valid directed links (the PV702-clean subset), so a fabric
+/// with broken links is not double-flagged here.
+fn check_fault_plane(
+    spec: &FabricSpec,
+    cfg: &faults::FabricFaultConfig,
+    directions: &BTreeSet<(usize, usize)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let n = spec.members.len();
+
+    // PV801: retries without receiver-side dedup double-deliver.
+    if cfg.retry.max_retries > 0 && !cfg.retry.dedup {
+        out.push(Diagnostic::new(
+            Code::PV801,
+            Severity::Error,
+            Span::at("fabric", "faults.retry"),
+            format!(
+                "hop retry budget of {} with duplicate suppression disabled: \
+                 a late original plus its retransmission would both deliver",
+                cfg.retry.max_retries
+            ),
+        ));
+    }
+
+    // PV802: every pinned replica must be a distinct, in-range member
+    // that at least one *other* member has a link into — otherwise the
+    // redirect target can never receive the redirected traffic.
+    for &(member, replica) in &cfg.replicas {
+        let subject = format!("faults.replica[nic{member}]");
+        if member >= n || replica >= n {
+            out.push(Diagnostic::new(
+                Code::PV802,
+                Severity::Error,
+                Span::at("fabric", subject),
+                format!(
+                    "failover pin nic{member} -> nic{replica} falls outside \
+                     the {n}-member fabric"
+                ),
+            ));
+        } else if replica == member {
+            out.push(Diagnostic::new(
+                Code::PV802,
+                Severity::Error,
+                Span::at("fabric", subject),
+                format!("failover pin nic{member} -> nic{replica} names the failed member itself"),
+            ));
+        } else {
+            // Surviving senders are every member other than the
+            // crashed one; the replica itself delivers locally. If any
+            // third member exists, at least one must have a wire in.
+            let outsider = |s: &usize| *s != member && *s != replica;
+            let has_outsider = (0..n).any(|s| outsider(&s));
+            let reachable = (0..n)
+                .filter(outsider)
+                .any(|s| directions.contains(&(s, replica)));
+            if has_outsider && !reachable {
+                out.push(Diagnostic::new(
+                    Code::PV802,
+                    Severity::Error,
+                    Span::at("fabric", subject),
+                    format!(
+                        "failover pin nic{member} -> nic{replica}, but no \
+                         surviving member has a link into nic{replica}: \
+                         redirected traffic could never reach it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // PV803: a permanently isolated member with nowhere to fall back.
+    if let Some(m) = cfg.plan.has_permanent_isolation() {
+        if !cfg.host_fallback {
+            out.push(Diagnostic::new(
+                Code::PV803,
+                Severity::Error,
+                Span::at("fabric", "faults.plan"),
+                format!(
+                    "the plan permanently partitions nic{m} while host \
+                     fallback is disabled: traffic addressed to it can \
+                     neither deliver nor drain"
+                ),
+            ));
+        }
+    }
+
+    // PV804: the retry clock must outlast the slowest declared link's
+    // round trip, or every crossing on that link retransmits before
+    // its first copy can possibly arrive.
+    if let Some(worst) = spec.links.iter().map(|l| l.latency.0).max() {
+        let rtt = worst.saturating_mul(2);
+        if cfg.retry.timeout.0 < rtt {
+            out.push(Diagnostic::new(
+                Code::PV804,
+                Severity::Error,
+                Span::at("fabric", "faults.retry"),
+                format!(
+                    "hop retry timeout of {} cycles is shorter than the \
+                     {rtt}-cycle round trip the slowest link (latency \
+                     {worst}) implies: healthy crossings would retransmit \
+                     spuriously",
+                    cfg.retry.timeout.0
+                ),
+            ));
+        }
+    }
 }
 
 /// Runs every single-NIC check family against every member (findings
@@ -388,6 +516,122 @@ mod tests {
             "{}",
             pv704[0].message
         );
+    }
+
+    fn armed(mut fabric: FabricSpec, cfg: faults::FabricFaultConfig) -> FabricSpec {
+        fabric.faults = Some(cfg);
+        fabric
+    }
+
+    #[test]
+    fn clean_fault_plane_passes() {
+        let cfg = faults::FabricFaultConfig::new(
+            faults::FabricFaultPlan::parse("flap:0-1@100+64").unwrap(),
+        );
+        let fabric = armed(two_nic_fabric(), cfg);
+        let diags = check_fabric(&fabric);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn pv801_flags_retries_without_dedup() {
+        let cfg = faults::FabricFaultConfig {
+            retry: faults::HopRetryConfig {
+                dedup: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let diags = check_fabric(&armed(two_nic_fabric(), cfg));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::PV801);
+        assert_eq!(diags[0].severity, Severity::Error);
+
+        // Zero retries never retransmit, so dedup-off is then fine.
+        let cfg = faults::FabricFaultConfig {
+            retry: faults::HopRetryConfig {
+                dedup: false,
+                max_retries: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(check_fabric(&armed(two_nic_fabric(), cfg)).is_empty());
+    }
+
+    #[test]
+    fn pv802_flags_bad_replica_pins() {
+        // Three members, links only 0<->1: pinning 0 -> 2 leaves the
+        // redirect target with no wire in from the survivor (nic1).
+        let mut fabric = two_nic_fabric();
+        fabric.members.push(member());
+        let cfg = faults::FabricFaultConfig {
+            replicas: vec![(0, 2)],
+            ..Default::default()
+        };
+        let diags = check_fabric(&armed(fabric.clone(), cfg));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::PV802 && d.message.contains("no")),
+            "{diags:?}"
+        );
+
+        // Out of range and self-pins are flat errors.
+        for pin in [(0, 9), (7, 1), (1, 1)] {
+            let cfg = faults::FabricFaultConfig {
+                replicas: vec![pin],
+                ..Default::default()
+            };
+            let diags = check_fabric(&armed(fabric.clone(), cfg));
+            assert!(
+                diags.iter().any(|d| d.code == Code::PV802),
+                "pin {pin:?}: {diags:?}"
+            );
+        }
+
+        // In the 2-member rack the survivor IS the replica — local
+        // delivery, nothing to lint.
+        let cfg = faults::FabricFaultConfig {
+            replicas: vec![(0, 1)],
+            ..Default::default()
+        };
+        assert!(check_fabric(&armed(two_nic_fabric(), cfg)).is_empty());
+    }
+
+    #[test]
+    fn pv803_flags_permanent_isolation_without_fallback() {
+        let plan = faults::FabricFaultPlan::parse("part:1@50").unwrap();
+        let mut cfg = faults::FabricFaultConfig::new(plan.clone());
+        cfg.host_fallback = false;
+        let diags = check_fabric(&armed(two_nic_fabric(), cfg));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::PV803);
+        assert!(diags[0].message.contains("nic1"), "{}", diags[0].message);
+
+        // With host fallback the isolated member's traffic can drain.
+        let cfg = faults::FabricFaultConfig::new(plan);
+        assert!(check_fabric(&armed(two_nic_fabric(), cfg)).is_empty());
+
+        // A *bounded* partition recovers on its own.
+        let mut cfg = faults::FabricFaultConfig::new(
+            faults::FabricFaultPlan::parse("part:1@50+200").unwrap(),
+        );
+        cfg.host_fallback = false;
+        assert!(check_fabric(&armed(two_nic_fabric(), cfg)).is_empty());
+    }
+
+    #[test]
+    fn pv804_flags_timeout_under_link_rtt() {
+        let mut fabric = two_nic_fabric();
+        for l in &mut fabric.links {
+            l.latency = sim_core::time::Cycles(600);
+        }
+        let cfg = faults::FabricFaultConfig::default(); // timeout 1024 < 1200
+        let diags = check_fabric(&armed(fabric, cfg));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::PV804);
+        assert!(diags[0].message.contains("1200"), "{}", diags[0].message);
     }
 
     #[test]

@@ -20,7 +20,9 @@ use std::fmt;
 /// * `PV4xx` — fault-plane / watchdog checks,
 /// * `PV5xx` — simulator-performance checks (fast-forward efficacy),
 /// * `PV6xx` — tenancy-plane checks (vNIC catalog soundness),
-/// * `PV7xx` — rack-fabric checks (inter-NIC links and remote hops).
+/// * `PV7xx` — rack-fabric checks (inter-NIC links and remote hops),
+/// * `PV8xx` — fabric fault-plane checks (hop retry policy, failover
+///   reachability, partition survivability).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -50,11 +52,15 @@ pub enum Code {
     PV702,
     PV703,
     PV704,
+    PV801,
+    PV802,
+    PV803,
+    PV804,
 }
 
 impl Code {
     /// Every code the verifier can emit, in numeric order.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 30] = [
         Code::PV001,
         Code::PV002,
         Code::PV003,
@@ -81,6 +87,10 @@ impl Code {
         Code::PV702,
         Code::PV703,
         Code::PV704,
+        Code::PV801,
+        Code::PV802,
+        Code::PV803,
+        Code::PV804,
     ];
 
     /// The code's stable name.
@@ -113,6 +123,10 @@ impl Code {
             Code::PV702 => "PV702",
             Code::PV703 => "PV703",
             Code::PV704 => "PV704",
+            Code::PV801 => "PV801",
+            Code::PV802 => "PV802",
+            Code::PV803 => "PV803",
+            Code::PV804 => "PV804",
         }
     }
 
@@ -182,6 +196,25 @@ impl Code {
             Code::PV704 => {
                 "a remote hop crosses between two fabric members that no \
                  declared link connects"
+            }
+            Code::PV801 => {
+                "hop retry budget without duplicate suppression: retransmitted \
+                 crossings would be delivered twice into the destination mesh"
+            }
+            Code::PV802 => {
+                "replica redirect target with no route: a failover pin names a \
+                 member that is out of range, the member itself, or one no \
+                 other member has a link to"
+            }
+            Code::PV803 => {
+                "a permanent partition isolates a member while host fallback \
+                 is disabled: traffic addressed to it parks forever and the \
+                 fabric can never drain"
+            }
+            Code::PV804 => {
+                "hop retry timeout shorter than the round trip implied by \
+                 LinkSpec: every crossing on the slowest link would \
+                 retransmit spuriously"
             }
         }
     }

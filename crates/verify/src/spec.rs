@@ -356,6 +356,10 @@ pub struct FabricSpec {
     pub members: Vec<NicSpec>,
     /// Directed inter-NIC links through the ToR.
     pub links: Vec<LinkSpec>,
+    /// Fabric fault plane, when armed: the fault schedule, the hop
+    /// retry policy, and the failover pins. `None` = fault-free fabric
+    /// (the PV8xx checks are skipped).
+    pub faults: Option<faults::FabricFaultConfig>,
 }
 
 impl FabricSpec {
@@ -365,6 +369,7 @@ impl FabricSpec {
         FabricSpec {
             members,
             links: Vec::new(),
+            faults: None,
         }
     }
 
@@ -386,7 +391,11 @@ impl FabricSpec {
                 }
             }
         }
-        FabricSpec { members, links }
+        FabricSpec {
+            members,
+            links,
+            faults: None,
+        }
     }
 
     /// Looks up the directed link `from → to`, if declared.

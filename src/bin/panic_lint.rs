@@ -14,10 +14,11 @@
 //! ```
 //!
 //! `--check-fixtures` lints a set of deliberately broken
-//! configurations — tenancy (one per PV601–PV604) and rack-fabric (one
-//! per PV701–PV704) — and *fails unless each one fires its expected
-//! diagnostic* — the lint pass's own negative test, runnable in CI
-//! against the shipped binary.
+//! configurations — tenancy (one per PV601–PV604), rack-fabric (one
+//! per PV701–PV704), and fabric fault plane (one per PV801–PV804) —
+//! and *fails unless each one fires its expected diagnostic* — the
+//! lint pass's own negative test, runnable in CI against the shipped
+//! binary.
 //!
 //! Exit status: `0` when no scenario has error-severity diagnostics
 //! (or, with `--deny-warnings`, no warnings either), `1` otherwise,
@@ -136,6 +137,7 @@ fn two_kvs_fabric() -> FabricSpec {
     FabricSpec {
         members: vec![member(), member()],
         links: vec![LinkSpec::new(0, 1), LinkSpec::new(1, 0)],
+        faults: None,
     }
 }
 
@@ -173,6 +175,54 @@ fn fabric_fixtures() -> Vec<FabricFixture> {
             // A chain crossing 0 -> 1 on a rack with no links at all.
             let mut fabric = fabric_with_chain(vec![EngineId::remote(1, EngineId(0))]);
             fabric.links.clear();
+            fabric
+        }),
+        ("fixture-pv801", "PV801", Severity::Error, || {
+            // Retransmission armed without receiver-side duplicate
+            // suppression: every retry risks double delivery.
+            let mut fabric = two_kvs_fabric();
+            fabric.faults = Some(faults::FabricFaultConfig {
+                retry: faults::HopRetryConfig {
+                    dedup: false,
+                    ..faults::HopRetryConfig::default()
+                },
+                ..faults::FabricFaultConfig::default()
+            });
+            fabric
+        }),
+        ("fixture-pv802", "PV802", Severity::Error, || {
+            // Member 0 pinned to fail over to member 2, but the only
+            // other member (1) has no link into the replica: failed-over
+            // crossings from it could never be delivered.
+            let member = || KvsScenario::lint_spec(&KvsScenarioConfig::two_tenant_default());
+            FabricSpec {
+                members: vec![member(), member(), member()],
+                links: vec![LinkSpec::new(0, 1), LinkSpec::new(1, 0)],
+                faults: Some(faults::FabricFaultConfig {
+                    replicas: vec![(0, 2)],
+                    ..faults::FabricFaultConfig::default()
+                }),
+            }
+        }),
+        ("fixture-pv803", "PV803", Severity::Error, || {
+            // A permanent partition isolates member 1, and the
+            // host-fallback path is disabled: its traffic parks forever.
+            let mut fabric = two_kvs_fabric();
+            fabric.faults = Some(faults::FabricFaultConfig {
+                plan: faults::FabricFaultPlan::parse("part:1@50").expect("fixture plan"),
+                ..faults::FabricFaultConfig::default()
+            });
+            fabric
+        }),
+        ("fixture-pv804", "PV804", Severity::Error, || {
+            // A hop-retry timeout shorter than the round trip the
+            // slowest link implies: every crossing would "time out".
+            let mut fabric = two_kvs_fabric();
+            fabric.links = vec![
+                LinkSpec::new(0, 1).latency(600),
+                LinkSpec::new(1, 0).latency(600),
+            ];
+            fabric.faults = Some(faults::FabricFaultConfig::default());
             fabric
         }),
     ]
