@@ -96,13 +96,14 @@ fn print_help(all: &[experiments::Experiment]) {
     eprintln!("bench subcommand (simulator performance, see docs/PERF.md):");
     eprintln!("  repro bench [--quick] [--saturated] [--out <path>] [--check <path>]");
     eprintln!("              [--threads <n>]");
-    eprintln!("    times the stepped vs fast-forward loop on a gap-dominated workload");
-    eprintln!("    and the serial vs parallel sweep runner; writes BENCH_PR4.json");
-    eprintln!("    (--out, default ./BENCH_PR4.json). With --check <path>, compares");
-    eprintln!("    against the committed baseline instead of writing: fails on a >5x");
-    eprintln!("    cycles/sec regression or a fast-forward speedup below 3x.");
+    eprintln!("    times the stepped vs fast-forward vs event-driven loops on a");
+    eprintln!("    gap-dominated workload and the serial vs parallel sweep runner;");
+    eprintln!("    writes BENCH_PR4.json (--out, default ./BENCH_PR4.json). With");
+    eprintln!("    --check <path>, compares against the committed baseline instead of");
+    eprintln!("    writing: fails on a >5x cycles/sec regression or a speedup below 3x,");
+    eprintln!("    printing the failing metric, its baseline, and the measured value.");
     eprintln!("    With --saturated, runs the non-gap-dominated steady-state workload");
-    eprintln!("    instead and writes/checks BENCH_PR8.json (tick-loop throughput).\n");
+    eprintln!("    instead and writes/checks BENCH_PR9.json (tick-loop throughput).\n");
     print_catalog(all);
 }
 
@@ -206,10 +207,10 @@ fn write_artifact(path: &str, contents: &str) {
 /// committed artifact when `--check` is given.
 type BaselineCheck = Box<dyn Fn(&str) -> Result<(), String>>;
 
-/// `repro bench`: time stepped vs fast-forward and the parallel sweep
-/// runner (or, with `--saturated`, the non-gap-dominated steady-state
-/// workload); write (or, with `--check`, validate against) the
-/// `BENCH_PR4.json` / `BENCH_PR8.json` perf baseline.
+/// `repro bench`: time stepped vs fast-forward vs event-driven and the
+/// parallel sweep runner (or, with `--saturated`, the non-gap-dominated
+/// steady-state workload); write (or, with `--check`, validate against)
+/// the `BENCH_PR4.json` / `BENCH_PR9.json` perf baseline.
 fn run_bench_command(args: &Args) -> ! {
     let (markdown, json, check): (String, String, BaselineCheck) = if args.bench_saturated {
         let report = panic_bench::perf::run_saturated_bench(args.quick);
@@ -244,7 +245,7 @@ fn run_bench_command(args: &Args) -> ! {
         }
     }
     let default_out = if args.bench_saturated {
-        "BENCH_PR8.json"
+        "BENCH_PR9.json"
     } else {
         "BENCH_PR4.json"
     };

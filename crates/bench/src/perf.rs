@@ -9,7 +9,9 @@
 //! 2. **Fast-forward** — the same workload, same seeds, byte-identical
 //!    results, with idle gaps skipped. The headline number is the
 //!    cycles/second ratio (`speedup`), which the perf-smoke CI job
-//!    requires to stay ≥ 3×.
+//!    requires to stay ≥ 3×. The **event-driven** kernel (PR 9's
+//!    timer-wheel run mode) is measured alongside it on the same
+//!    workload, byte-identity checked the same way.
 //! 3. **Sweep** — a chain-length sweep executed serially and through
 //!    [`crate::sweep::run_sweep`], checking the parallel merge is
 //!    byte-identical and recording the wall-clock win.
@@ -20,7 +22,8 @@
 //! loop is comfortably larger than 5×. See `docs/PERF.md`.
 //!
 //! `repro bench --saturated` is the complementary measurement
-//! (`BENCH_PR8.json`): the same chain shape driven at full min-frame
+//! (`BENCH_PR9.json`, superseding the pre-compiled-dispatch
+//! `BENCH_PR8.json`): the same chain shape driven at full min-frame
 //! line rate, where quiescence fast-forward has nothing to skip and
 //! the number that matters is raw steady-state tick throughput.
 //! Tracking both artifacts keeps a regression in either regime —
@@ -54,6 +57,12 @@ pub struct BenchReport {
     pub cycles_skipped: u64,
     /// `ff_cycles_per_sec / stepped_cycles_per_sec`.
     pub speedup: f64,
+    /// Event-driven (timer-wheel) wall time, milliseconds.
+    pub event_wall_ms: f64,
+    /// Event-driven simulated cycles per wall second.
+    pub event_cycles_per_sec: f64,
+    /// `event_cycles_per_sec / stepped_cycles_per_sec`.
+    pub event_speedup: f64,
     /// Worker threads used for the sweep measurement.
     pub sweep_threads: usize,
     /// Sweep points.
@@ -105,14 +114,28 @@ pub fn run_bench(quick: bool, threads: Option<usize>) -> BenchReport {
     ff.drain(cycles);
     let ff_wall_ms = ms(t0);
 
+    // Event-driven (timer-wheel) kernel, identical seeds.
+    let mut ev = ChainScenario::new(gap_dominated_config(chain_len));
+    ev.set_event_driven(true);
+    let t0 = Instant::now();
+    ev.run(cycles);
+    ev.drain(cycles);
+    let event_wall_ms = ms(t0);
+
     // Same results or no benchmark: a fast wrong simulator is useless.
-    let (rs, rf) = (stepped.report(), ff.report());
+    let (rs, rf, re) = (stepped.report(), ff.report(), ev.report());
     assert_eq!(rs.offered, rf.offered, "fast-forward diverged (offered)");
     assert_eq!(
         rs.delivered, rf.delivered,
         "fast-forward diverged (delivered)"
     );
     assert_eq!(rs.latency, rf.latency, "fast-forward diverged (latency)");
+    assert_eq!(rs.offered, re.offered, "event kernel diverged (offered)");
+    assert_eq!(
+        rs.delivered, re.delivered,
+        "event kernel diverged (delivered)"
+    );
+    assert_eq!(rs.latency, re.latency, "event kernel diverged (latency)");
 
     // Parallel sweep: chain-length points, serial vs sharded.
     let lens: Vec<usize> = vec![0, 1, 2, 3, 4, 6];
@@ -139,6 +162,7 @@ pub fn run_bench(quick: bool, threads: Option<usize>) -> BenchReport {
     let cps = |wall_ms: f64| cycles as f64 / (wall_ms / 1e3).max(1e-9);
     let stepped_cycles_per_sec = cps(stepped_wall_ms);
     let ff_cycles_per_sec = cps(ff_wall_ms);
+    let event_cycles_per_sec = cps(event_wall_ms);
     BenchReport {
         quick,
         workload: format!(
@@ -151,6 +175,9 @@ pub fn run_bench(quick: bool, threads: Option<usize>) -> BenchReport {
         ff_cycles_per_sec,
         cycles_skipped: ff.cycles_skipped(),
         speedup: ff_cycles_per_sec / stepped_cycles_per_sec,
+        event_wall_ms,
+        event_cycles_per_sec,
+        event_speedup: event_cycles_per_sec / stepped_cycles_per_sec,
         sweep_threads: threads,
         sweep_points: lens.len(),
         sweep_serial_wall_ms,
@@ -159,11 +186,13 @@ pub fn run_bench(quick: bool, threads: Option<usize>) -> BenchReport {
 }
 
 impl BenchReport {
-    /// Serializes the report as the `BENCH_PR4.json` artifact.
+    /// Serializes the report as the `BENCH_PR4.json` artifact. The
+    /// schema stays `pr4-v1` — the event-kernel keys are additive, so
+    /// a pre-PR9 committed baseline still validates.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"panic-bench-pr4-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"stepped_wall_ms\": {:.3},\n  \"stepped_cycles_per_sec\": {:.0},\n  \"ff_wall_ms\": {:.3},\n  \"ff_cycles_per_sec\": {:.0},\n  \"cycles_skipped\": {},\n  \"speedup\": {:.2},\n  \"sweep_threads\": {},\n  \"sweep_points\": {},\n  \"sweep_serial_wall_ms\": {:.3},\n  \"sweep_parallel_wall_ms\": {:.3}\n}}\n",
+            "{{\n  \"schema\": \"panic-bench-pr4-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"stepped_wall_ms\": {:.3},\n  \"stepped_cycles_per_sec\": {:.0},\n  \"ff_wall_ms\": {:.3},\n  \"ff_cycles_per_sec\": {:.0},\n  \"event_wall_ms\": {:.3},\n  \"event_cycles_per_sec\": {:.0},\n  \"event_speedup\": {:.2},\n  \"cycles_skipped\": {},\n  \"speedup\": {:.2},\n  \"sweep_threads\": {},\n  \"sweep_points\": {},\n  \"sweep_serial_wall_ms\": {:.3},\n  \"sweep_parallel_wall_ms\": {:.3}\n}}\n",
             self.quick,
             self.workload,
             self.cycles,
@@ -171,6 +200,9 @@ impl BenchReport {
             self.stepped_cycles_per_sec,
             self.ff_wall_ms,
             self.ff_cycles_per_sec,
+            self.event_wall_ms,
+            self.event_cycles_per_sec,
+            self.event_speedup,
             self.cycles_skipped,
             self.speedup,
             self.sweep_threads,
@@ -200,6 +232,13 @@ impl BenchReport {
             format!("{:.2e}", self.ff_cycles_per_sec),
             self.cycles_skipped.to_string(),
             format!("{:.2}x", self.speedup),
+        ]);
+        t.row(vec![
+            "event-driven".into(),
+            format!("{:.1}", self.event_wall_ms),
+            format!("{:.2e}", self.event_cycles_per_sec),
+            "-".into(),
+            format!("{:.2}x", self.event_speedup),
         ]);
         t.row(vec![
             format!("sweep x{} (serial)", self.sweep_points),
@@ -232,7 +271,8 @@ impl BenchReport {
 }
 
 /// Results of one `repro bench --saturated` run — the steady-state
-/// throughput artifact (`BENCH_PR8.json`).
+/// throughput artifact (`BENCH_PR9.json`; `BENCH_PR8.json` is the
+/// retained pre-compiled-dispatch measurement).
 #[derive(Debug, Clone)]
 pub struct SaturatedBench {
     /// Quick (CI-sized) run?
@@ -253,6 +293,12 @@ pub struct SaturatedBench {
     /// construction, which is what makes the workload a tick-loop
     /// benchmark rather than a fast-forward one.
     pub cycles_skipped: u64,
+    /// Event-driven (timer-wheel) wall time, milliseconds. At
+    /// saturation the kernel finds (almost) nothing to jump, so this
+    /// tracks the wheel's bookkeeping overhead on a busy NIC.
+    pub event_wall_ms: f64,
+    /// Event-driven simulated cycles per wall second.
+    pub event_cycles_per_sec: f64,
 }
 
 /// Runs the saturated (non-gap-dominated) benchmark: the gap-dominated
@@ -271,7 +317,7 @@ pub fn run_saturated_bench(quick: bool) -> SaturatedBench {
         offered_fraction: 1.0,
         ..ChainScenarioConfig::default()
     };
-    let mut s = ChainScenario::new(config);
+    let mut s = ChainScenario::new(config.clone());
     let t0 = Instant::now();
     s.run(cycles);
     s.drain(cycles);
@@ -282,6 +328,24 @@ pub fn run_saturated_bench(quick: bool) -> SaturatedBench {
         "saturated bench skipped {skipped} of {cycles} cycles — workload is gap-dominated"
     );
     let r = s.report();
+
+    // Event-driven kernel on the same saturated workload: nothing to
+    // jump, so this measures pure wheel overhead — and the results
+    // must still be byte-identical.
+    let mut ev = ChainScenario::new(config);
+    ev.set_event_driven(true);
+    let t0 = Instant::now();
+    ev.run(cycles);
+    ev.drain(cycles);
+    let event_wall_ms = ms(t0);
+    let re = ev.report();
+    assert_eq!(r.offered, re.offered, "event kernel diverged (offered)");
+    assert_eq!(
+        r.delivered, re.delivered,
+        "event kernel diverged (delivered)"
+    );
+    assert_eq!(r.latency, re.latency, "event kernel diverged (latency)");
+
     let wall_s = (wall_ms / 1e3).max(1e-9);
     SaturatedBench {
         quick,
@@ -292,15 +356,17 @@ pub fn run_saturated_bench(quick: bool) -> SaturatedBench {
         frames_delivered: r.delivered,
         frames_per_sec: r.delivered as f64 / wall_s,
         cycles_skipped: skipped,
+        event_wall_ms,
+        event_cycles_per_sec: cycles as f64 / (event_wall_ms / 1e3).max(1e-9),
     }
 }
 
 impl SaturatedBench {
-    /// Serializes the report as the `BENCH_PR8.json` artifact.
+    /// Serializes the report as the `BENCH_PR9.json` artifact.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"panic-bench-pr8-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"wall_ms\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"frames_delivered\": {},\n  \"frames_per_sec\": {:.0},\n  \"cycles_skipped\": {}\n}}\n",
+            "{{\n  \"schema\": \"panic-bench-pr9-v1\",\n  \"quick\": {},\n  \"workload\": \"{}\",\n  \"cycles\": {},\n  \"wall_ms\": {:.3},\n  \"cycles_per_sec\": {:.0},\n  \"frames_delivered\": {},\n  \"frames_per_sec\": {:.0},\n  \"cycles_skipped\": {},\n  \"event_wall_ms\": {:.3},\n  \"event_cycles_per_sec\": {:.0}\n}}\n",
             self.quick,
             self.workload,
             self.cycles,
@@ -309,6 +375,8 @@ impl SaturatedBench {
             self.frames_delivered,
             self.frames_per_sec,
             self.cycles_skipped,
+            self.event_wall_ms,
+            self.event_cycles_per_sec,
         )
     }
 
@@ -317,17 +385,33 @@ impl SaturatedBench {
     pub fn render_markdown(&self) -> String {
         let mut t = TableFmt::new(
             "Simulator performance — saturated steady state (tick-loop throughput)",
-            &["Wall (ms)", "Cycles/sec", "Frames", "Frames/sec", "Skipped"],
+            &[
+                "Mode",
+                "Wall (ms)",
+                "Cycles/sec",
+                "Frames",
+                "Frames/sec",
+                "Skipped",
+            ],
         );
         t.row(vec![
+            "fast-forward".into(),
             format!("{:.1}", self.wall_ms),
             format!("{:.2e}", self.cycles_per_sec),
             self.frames_delivered.to_string(),
             format!("{:.2e}", self.frames_per_sec),
             self.cycles_skipped.to_string(),
         ]);
+        t.row(vec![
+            "event-driven".into(),
+            format!("{:.1}", self.event_wall_ms),
+            format!("{:.2e}", self.event_cycles_per_sec),
+            self.frames_delivered.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
         t.note(format!(
-            "Workload: {}; {} simulated cycles. Fast-forward is left on but finds \
+            "Workload: {}; {} simulated cycles per mode. Both modes find \
              (almost) nothing to skip — this artifact tracks the hot tick loop, \
              BENCH_PR4.json tracks idle-skipping (see docs/PERF.md).",
             self.workload, self.cycles
@@ -336,29 +420,47 @@ impl SaturatedBench {
     }
 }
 
+/// Formats one failed bound so the operator sees, in one line, *which*
+/// metric failed, the committed baseline it was held to, and what was
+/// actually measured (satellite requirement of PR 9 — no grepping the
+/// artifact to find out what went wrong).
+fn bound_failure(metric: &str, baseline: f64, measured: f64, bound: &str) -> String {
+    format!("metric `{metric}`: baseline {baseline:.2}, measured {measured:.2} — {bound}")
+}
+
 /// Validates a fresh saturated run against the committed
-/// `BENCH_PR8.json`: cycles/second and frames/second must each stay
-/// within 5× of the committed floor (same loose-by-design bound as
-/// [`check`]).
+/// `BENCH_PR9.json` (the pre-PR9 `BENCH_PR8.json` schema is still
+/// accepted, minus the event-kernel key it predates): cycles/second,
+/// frames/second, and event-kernel cycles/second must each stay within
+/// 5× of the committed floor (same loose-by-design bound as [`check`]).
 ///
 /// # Errors
-/// Returns every violated bound, one message per line.
+/// Returns every violated bound, one message per line, each naming the
+/// metric, the committed baseline, and the measured value.
 pub fn check_saturated(fresh: &SaturatedBench, committed_json: &str) -> Result<(), String> {
     let mut problems = Vec::new();
-    if !committed_json.contains("\"schema\": \"panic-bench-pr8-v1\"") {
+    let pr9 = committed_json.contains("\"schema\": \"panic-bench-pr9-v1\"");
+    if !pr9 && !committed_json.contains("\"schema\": \"panic-bench-pr8-v1\"") {
         return Err("baseline JSON missing or malformed (wrong schema)".into());
     }
-    for (key, fresh_v) in [
+    let mut keys = vec![
         ("cycles_per_sec", fresh.cycles_per_sec),
         ("frames_per_sec", fresh.frames_per_sec),
-    ] {
+    ];
+    if pr9 {
+        keys.push(("event_cycles_per_sec", fresh.event_cycles_per_sec));
+    }
+    for (key, fresh_v) in keys {
         let Some(floor) = json_f64(committed_json, key) else {
             problems.push(format!("baseline JSON lacks `{key}`"));
             continue;
         };
         if fresh_v * 5.0 < floor {
-            problems.push(format!(
-                "{key} regressed >5x: fresh {fresh_v:.0} vs committed {floor:.0}"
+            problems.push(bound_failure(
+                key,
+                floor,
+                fresh_v,
+                "regressed more than the allowed 5x",
             ));
         }
     }
@@ -385,37 +487,56 @@ fn json_f64(json: &str, key: &str) -> Option<f64> {
 /// Validates a fresh run against the committed baseline:
 ///
 /// * the fast-forward speedup must stay ≥ 3× (the PR's headline
-///   property), and
-/// * stepped and fast-forward cycles/second must each be within 5× of
-///   the committed floor (catches gross tick-loop regressions while
-///   tolerating slow CI machines).
+///   property),
+/// * the event-kernel speedup must stay ≥ 3× when the baseline has
+///   event keys (pre-PR9 baselines don't), and
+/// * stepped, fast-forward, and event-kernel cycles/second must each
+///   be within 5× of the committed floor (catches gross tick-loop
+///   regressions while tolerating slow CI machines).
 ///
 /// # Errors
-/// Returns every violated bound, one message per line.
+/// Returns every violated bound, one message per line, each naming the
+/// metric, the committed baseline, and the measured value.
 pub fn check(fresh: &BenchReport, committed_json: &str) -> Result<(), String> {
     let mut problems = Vec::new();
     if !committed_json.contains("\"schema\": \"panic-bench-pr4-v1\"") {
         return Err("baseline JSON missing or malformed (wrong schema)".into());
     }
+    let baseline_has_event = json_f64(committed_json, "event_cycles_per_sec").is_some();
     if fresh.speedup < 3.0 {
-        problems.push(format!(
-            "fast-forward speedup {:.2}x below the required 3x",
-            fresh.speedup
+        problems.push(bound_failure(
+            "speedup",
+            json_f64(committed_json, "speedup").unwrap_or(f64::NAN),
+            fresh.speedup,
+            "fast-forward speedup below the required 3x",
         ));
     }
-    for key in ["stepped_cycles_per_sec", "ff_cycles_per_sec"] {
+    if baseline_has_event && fresh.event_speedup < 3.0 {
+        problems.push(bound_failure(
+            "event_speedup",
+            json_f64(committed_json, "event_speedup").unwrap_or(f64::NAN),
+            fresh.event_speedup,
+            "event-kernel speedup below the required 3x",
+        ));
+    }
+    let mut keys = vec![
+        ("stepped_cycles_per_sec", fresh.stepped_cycles_per_sec),
+        ("ff_cycles_per_sec", fresh.ff_cycles_per_sec),
+    ];
+    if baseline_has_event {
+        keys.push(("event_cycles_per_sec", fresh.event_cycles_per_sec));
+    }
+    for (key, fresh_v) in keys {
         let Some(floor) = json_f64(committed_json, key) else {
             problems.push(format!("baseline JSON lacks `{key}`"));
             continue;
         };
-        let fresh_v = if key == "stepped_cycles_per_sec" {
-            fresh.stepped_cycles_per_sec
-        } else {
-            fresh.ff_cycles_per_sec
-        };
         if fresh_v * 5.0 < floor {
-            problems.push(format!(
-                "{key} regressed >5x: fresh {fresh_v:.0} vs committed {floor:.0}"
+            problems.push(bound_failure(
+                key,
+                floor,
+                fresh_v,
+                "regressed more than the allowed 5x",
             ));
         }
     }
@@ -441,6 +562,9 @@ mod tests {
             ff_cycles_per_sec: 1e7,
             cycles_skipped: 900,
             speedup: 10.0,
+            event_wall_ms: 1.0,
+            event_cycles_per_sec: 1e7,
+            event_speedup: 10.0,
             sweep_threads: 2,
             sweep_points: 3,
             sweep_serial_wall_ms: 9.0,
@@ -470,11 +594,27 @@ mod tests {
         let mut slow = r.clone();
         slow.stepped_cycles_per_sec = r.stepped_cycles_per_sec / 10.0;
         let err = check(&slow, &r.to_json()).expect_err("regression");
-        assert!(err.contains("regressed >5x"), "{err}");
+        assert!(
+            err.contains("metric `stepped_cycles_per_sec`")
+                && err.contains("regressed more than the allowed 5x"),
+            "{err}"
+        );
         let mut no_ff = r.clone();
         no_ff.speedup = 1.2;
         let err = check(&no_ff, &r.to_json()).expect_err("speedup");
-        assert!(err.contains("below the required 3x"), "{err}");
+        assert!(
+            err.contains("metric `speedup`") && err.contains("below the required 3x"),
+            "{err}"
+        );
+        // The failure line carries baseline and measured values.
+        assert!(
+            err.contains("baseline 10.00") && err.contains("measured 1.20"),
+            "{err}"
+        );
+        let mut no_ev = r.clone();
+        no_ev.event_speedup = 0.9;
+        let err = check(&no_ev, &r.to_json()).expect_err("event speedup");
+        assert!(err.contains("metric `event_speedup`"), "{err}");
     }
 
     #[test]
@@ -493,6 +633,8 @@ mod tests {
             frames_delivered: 400,
             frames_per_sec: 4e4,
             cycles_skipped: 0,
+            event_wall_ms: 10.0,
+            event_cycles_per_sec: 1e5,
         }
     }
 
@@ -503,8 +645,21 @@ mod tests {
         let mut slow = r.clone();
         slow.frames_per_sec = r.frames_per_sec / 10.0;
         let err = check_saturated(&slow, &r.to_json()).expect_err("regression");
-        assert!(err.contains("frames_per_sec regressed >5x"), "{err}");
+        assert!(
+            err.contains("metric `frames_per_sec`")
+                && err.contains("regressed more than the allowed 5x"),
+            "{err}"
+        );
         assert!(check_saturated(&r, "{}").is_err(), "wrong schema");
+    }
+
+    #[test]
+    fn saturated_check_accepts_pre_pr9_baseline() {
+        // A pr8-era artifact has no event keys; the check must not
+        // demand them from it.
+        let pr8 = "{\n  \"schema\": \"panic-bench-pr8-v1\",\n  \
+                   \"cycles_per_sec\": 100000,\n  \"frames_per_sec\": 40000\n}\n";
+        assert!(check_saturated(&fake_saturated(), pr8).is_ok());
     }
 
     #[test]
@@ -515,8 +670,10 @@ mod tests {
             r.cycles_skipped * 10 < r.cycles,
             "saturation leaves fast-forward nothing to skip"
         );
-        assert!(r.to_json().contains("panic-bench-pr8-v1"));
+        assert!(r.to_json().contains("panic-bench-pr9-v1"));
+        assert!(r.to_json().contains("event_cycles_per_sec"));
         assert!(r.render_markdown().contains("saturated"));
+        assert!(r.render_markdown().contains("event-driven"));
     }
 
     #[test]
@@ -528,7 +685,13 @@ mod tests {
             "fast-forward slower than stepped: {:.2}x",
             r.speedup
         );
+        assert!(
+            r.event_speedup > 1.0,
+            "event kernel slower than stepped: {:.2}x",
+            r.event_speedup
+        );
         assert!(r.to_json().contains("panic-bench-pr4-v1"));
         assert!(r.render_markdown().contains("fast-forward"));
+        assert!(r.render_markdown().contains("event-driven"));
     }
 }

@@ -20,7 +20,6 @@
 //!    fallback, or NIC egress);
 //! 4. advance the mesh one cycle.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
@@ -38,6 +37,7 @@ use rmt::pipeline::{PipelineConfig, RmtPipeline};
 use rmt::program::RmtProgram;
 use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
+use sim_core::wheel::TimerWheel;
 use tenancy::{ExitKind, SubmitSource, TenancyConfig, TenancyRuntime, TenantConservation};
 use trace::{MetricsRegistry, Tracer, TrackId};
 
@@ -81,6 +81,29 @@ enum TileSlot {
     Engine(Box<EngineTile>),
     /// A portal into the shared heavyweight pipeline.
     RmtPortal,
+}
+
+/// Per-layer cycle attribution (`perf.layer.*` metrics): for each
+/// simulation layer, the number of cycles in which it *held work*.
+/// The NoC's share lives in [`noc::MeshNetwork::active_cycles`]; these
+/// cover the layers the NIC drives directly.
+///
+/// A layer is charged whether or not it makes progress in a given
+/// cycle, so the charge for a quiescent-window cycle is always zero —
+/// which is what keeps the counters byte-identical across stepped,
+/// fast-forwarded, and event-driven runs: ticked idle cycles charge
+/// nothing, and skipped spans are replayed by [`PanicNic::skip_idle`]
+/// against the same (window-constant) held-work conditions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LayerCycles {
+    /// Cycles with pipeline backlog or messages in flight in a stage.
+    pub rmt: u64,
+    /// Cycles where at least one engine tile held work.
+    pub engines: u64,
+    /// Cycles where at least one tile's scheduler queue was non-empty.
+    pub sched: u64,
+    /// Cycles where the tenancy plane held pending messages.
+    pub tenancy: u64,
 }
 
 /// NIC-level counters.
@@ -131,6 +154,8 @@ pub struct NicStats {
     pub time_to_failover: Histogram,
     /// End-to-end latency (injection → wire/host egress), by priority.
     pub latency: [Histogram; 3],
+    /// Per-layer cycle attribution (see [`LayerCycles`]).
+    pub layer: LayerCycles,
 }
 
 impl NicStats {
@@ -152,6 +177,7 @@ impl NicStats {
             recovery: Histogram::new(),
             time_to_failover: Histogram::new(),
             latency: [Histogram::new(), Histogram::new(), Histogram::new()],
+            layer: LayerCycles::default(),
         }
     }
 
@@ -424,30 +450,42 @@ impl NicBuilder {
             placement,
         );
 
-        let mut tiles = BTreeMap::new();
+        let mut slots: Vec<(EngineId, TileSlot)> = Vec::new();
         let mut portals = Vec::new();
         for (id, _, spec) in self.slots {
             match spec {
                 SlotSpec::Engine(offload, cfg) => {
-                    tiles.insert(
+                    slots.push((
                         id,
                         TileSlot::Engine(Box::new(EngineTile::new(id, offload, cfg))),
-                    );
+                    ));
                 }
                 SlotSpec::Portal => {
                     portals.push(id);
-                    tiles.insert(id, TileSlot::RmtPortal);
+                    slots.push((id, TileSlot::RmtPortal));
                 }
             }
         }
         assert!(!portals.is_empty(), "NIC needs at least one RMT portal");
 
-        let tile_ids: Vec<EngineId> = tiles.keys().copied().collect();
+        // Dense id-sorted storage: the tick loop indexes straight into
+        // the `Vec` (no tree walk per tile per cycle), and by-id access
+        // binary-searches `tile_ids` — the per-message slow path.
+        slots.sort_by_key(|(id, _)| *id);
+        let tile_ids: Vec<EngineId> = slots.iter().map(|(id, _)| *id).collect();
+        let tiles: Vec<TileSlot> = slots.into_iter().map(|(_, slot)| slot).collect();
+        let slot_noc_tile: Vec<u32> = tile_ids
+            .iter()
+            .map(|id| topology.index(network.coord_of(*id)) as u32)
+            .collect();
+        let tile_idle = vec![false; tiles.len()];
         PanicNic {
             pipeline: RmtPipeline::new(self.config.pipeline, program),
             config: self.config,
             network,
             tiles,
+            slot_noc_tile,
+            tile_idle,
             tile_ids,
             pipeline_scratch: Vec::new(),
             emit_scratch: Vec::new(),
@@ -486,7 +524,15 @@ fn merge_hint(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
 pub struct PanicNic {
     config: NicConfig,
     network: MeshNetwork,
-    tiles: BTreeMap<EngineId, TileSlot>,
+    /// Tile slots, parallel to `tile_ids` (id-sorted, fixed at build).
+    tiles: Vec<TileSlot>,
+    /// Slot index -> NoC tile index, parallel to `tile_ids`, so the
+    /// ejection pass tests the network's ejection-pending bitmask
+    /// per slot without any per-id lookup.
+    slot_noc_tile: Vec<u32>,
+    /// Per-slot flag: the tile was skipped as workless and owes a
+    /// [`EngineTile::catch_up_idle`] replay before its next tick.
+    tile_idle: Vec<bool>,
     portals: Vec<EngineId>,
     pipeline: RmtPipeline,
     rr_portal: usize,
@@ -635,7 +681,7 @@ impl PanicNic {
     pub fn conservation(&self) -> Conservation {
         let mut sched_drops = 0;
         let mut flushed = 0;
-        for slot in self.tiles.values() {
+        for slot in self.tiles.iter() {
             if let TileSlot::Engine(t) = slot {
                 sched_drops += t.drops();
                 flushed += t.stats().flushed;
@@ -671,7 +717,7 @@ impl PanicNic {
         self.track = tracer.track("nic");
         self.network.attach_tracer(tracer);
         self.pipeline.attach_tracer(tracer);
-        for slot in self.tiles.values_mut() {
+        for slot in self.tiles.iter_mut() {
             if let TileSlot::Engine(tile) = slot {
                 tile.attach_tracer(tracer);
             }
@@ -729,19 +775,41 @@ impl PanicNic {
                 m.merge_histogram(&format!("nic.latency.{name}"), h);
             }
         }
+        // Per-layer cycle attribution: where simulated time goes when
+        // the NIC is busy. The tenancy share appears only when the
+        // tenancy plane is engaged, like the rest of its counters.
+        m.counter_set("perf.layer.noc", self.network.active_cycles());
+        m.counter_set("perf.layer.rmt", self.stats.layer.rmt);
+        m.counter_set("perf.layer.engines", self.stats.layer.engines);
+        m.counter_set("perf.layer.sched", self.stats.layer.sched);
+        if self.tenancy.is_some() {
+            m.counter_set("perf.layer.tenancy", self.stats.layer.tenancy);
+        }
         self.network.export_metrics(m, "noc");
         self.pipeline.export_metrics(m, "rmt");
-        for (id, slot) in &self.tiles {
+        for (id, slot) in self.tile_ids.iter().zip(&self.tiles) {
             if let TileSlot::Engine(tile) = slot {
                 tile.export_metrics(m, &format!("engine.{}.{}", id.0, tile.offload_name()));
             }
         }
     }
 
+    /// Index of `id` in the id-sorted tile arrays, if placed.
+    #[inline]
+    fn tile_index(&self, id: EngineId) -> Option<usize> {
+        self.tile_ids.binary_search(&id).ok()
+    }
+
+    /// True when `id` occupies a tile (engine or portal).
+    #[inline]
+    fn has_tile(&self, id: EngineId) -> bool {
+        self.tile_index(id).is_some()
+    }
+
     /// A tile's engine wrapper, if `id` is an engine tile.
     #[must_use]
     pub fn tile(&self, id: EngineId) -> Option<&EngineTile> {
-        match self.tiles.get(&id) {
+        match self.tile_index(id).map(|i| &self.tiles[i]) {
             Some(TileSlot::Engine(t)) => Some(t),
             _ => None,
         }
@@ -749,7 +817,7 @@ impl PanicNic {
 
     /// Mutable tile access (for scenario setup).
     pub fn tile_mut(&mut self, id: EngineId) -> Option<&mut EngineTile> {
-        match self.tiles.get_mut(&id) {
+        match self.tile_index(id).map(|i| &mut self.tiles[i]) {
             Some(TileSlot::Engine(t)) => Some(t),
             _ => None,
         }
@@ -908,7 +976,7 @@ impl PanicNic {
                 return false;
             }
         };
-        if !self.tiles.contains_key(&local) {
+        if !self.has_tile(local) {
             self.stats.remote_rx += 1;
             self.stats.unrouted += 1;
             self.tenancy_remote_rx(msg.tenant);
@@ -1004,7 +1072,7 @@ impl PanicNic {
             // destination without bouncing through the uplink again.
             if self.fabric_index.is_some() && dest.remote_nic() == self.fabric_index {
                 let local = dest.local_part();
-                if !self.tiles.contains_key(&local) {
+                if !self.has_tile(local) {
                     self.stats.unrouted += 1;
                     self.tenancy_exit(msg.tenant, ExitKind::Unrouted, None, now);
                     return;
@@ -1166,16 +1234,25 @@ impl PanicNic {
         //     losses return credits), then release pending messages
         //     that pass rate, credit, and deficit checks into the
         //     mesh. Untenanted NICs pay exactly this one branch.
-        if self.tenancy.is_some() {
+        if let Some(tn) = &self.tenancy {
+            if tn.pending_total() > 0 {
+                self.stats.layer.tenancy += 1;
+            }
             self.drive_tenancy(now);
         }
 
         // 1. Ejections: tiles pull from the mesh, portals feed the
-        //    pipeline. `tile_ids` is cached at build time; the index
-        //    loop sidesteps borrowing `self` across the mutations.
+        //    pipeline. The network's ejection-pending bitmask marks
+        //    exactly the tiles with a flit waiting; testing it per
+        //    slot skips the poll call for every idle tile while
+        //    keeping the id-sorted visit order.
         for i in 0..self.tile_ids.len() {
+            let t = self.slot_noc_tile[i] as usize;
+            if self.network.ejection_pending_word(t / 64) & (1 << (t % 64)) == 0 {
+                continue;
+            }
             let id = self.tile_ids[i];
-            match self.tiles.get_mut(&id).expect("known id") {
+            match &mut self.tiles[i] {
                 TileSlot::Engine(tile) => {
                     if tile.rx_ready() {
                         if let Some(msg) = self.network.poll_ejected(id, now) {
@@ -1192,6 +1269,9 @@ impl PanicNic {
         }
 
         // 2. Pipeline (into the reused scratch buffer).
+        if self.pipeline.backlog() > 0 || self.pipeline.occupancy() > 0 {
+            self.stats.layer.rmt += 1;
+        }
         let mut outputs = std::mem::take(&mut self.pipeline_scratch);
         self.pipeline.tick_into(now, &mut outputs);
         for out in outputs.drain(..) {
@@ -1215,11 +1295,30 @@ impl PanicNic {
         self.pipeline_scratch = outputs;
 
         // 3. Tiles (one reused emission buffer across all tiles).
+        //    Workless tiles are skipped outright: their tick is a pure
+        //    no-op apart from the progress-clock refresh, which
+        //    `catch_up_idle` replays just before the tile next acts
+        //    (the watchdog cannot observe the deferred clock meanwhile
+        //    because `wedged` gates on held work).
         let mut emits = std::mem::take(&mut self.emit_scratch);
+        let mut any_engine = false;
+        let mut any_sched = false;
         for i in 0..self.tile_ids.len() {
             let id = self.tile_ids[i];
-            match self.tiles.get_mut(&id).expect("known id") {
-                TileSlot::Engine(tile) => tile.tick_into(now, &mut emits),
+            match &mut self.tiles[i] {
+                TileSlot::Engine(tile) => {
+                    if !tile.has_work() {
+                        self.tile_idle[i] = true;
+                        continue;
+                    }
+                    any_engine = true;
+                    any_sched |= tile.queue_depth() > 0;
+                    if self.tile_idle[i] {
+                        self.tile_idle[i] = false;
+                        tile.catch_up_idle(now);
+                    }
+                    tile.tick_into(now, &mut emits);
+                }
                 TileSlot::RmtPortal => continue,
             }
             for emit in emits.drain(..) {
@@ -1227,13 +1326,14 @@ impl PanicNic {
             }
         }
         self.emit_scratch = emits;
+        self.stats.layer.engines += u64::from(any_engine);
+        self.stats.layer.sched += u64::from(any_sched);
 
         // 3b. PCIe coalescing flush timer.
         let flush = self.config.pcie_flush_interval;
         if flush > 0 && now.0 > 0 && now.0.is_multiple_of(flush) {
-            for i in 0..self.tile_ids.len() {
-                let id = self.tile_ids[i];
-                let Some(TileSlot::Engine(tile)) = self.tiles.get_mut(&id) else {
+            for i in 0..self.tiles.len() {
+                let TileSlot::Engine(tile) = &mut self.tiles[i] else {
                     continue;
                 };
                 let Some(pcie) = tile.offload_as_mut::<PcieEngine>() else {
@@ -1269,7 +1369,7 @@ impl PanicNic {
         };
         tn.sync_implicit_all(|t| {
             let mut implicit = self.network.lost_of(t);
-            for slot in self.tiles.values() {
+            for slot in self.tiles.iter() {
                 if let TileSlot::Engine(tile) = slot {
                     implicit += tile.queue_stats().dropped_of(t);
                     implicit += tile.stats().flushed_of(t);
@@ -1303,7 +1403,7 @@ impl PanicNic {
     pub fn tenant_conservation(&self, tenant: TenantId) -> Option<TenantConservation> {
         let tn = self.tenancy.as_ref()?;
         let mut c = tn.conservation_base(tenant)?;
-        for slot in self.tiles.values() {
+        for slot in self.tiles.iter() {
             if let TileSlot::Engine(t) = slot {
                 c.sched_drops += t.queue_stats().dropped_of(tenant);
                 c.flushed += t.stats().flushed_of(tenant);
@@ -1382,7 +1482,7 @@ impl PanicNic {
                 duration,
                 period,
             } => {
-                if self.tiles.contains_key(&engine) {
+                if self.has_tile(engine) {
                     self.network
                         .fault_link_slow(engine, port_of(port), now + duration, period);
                 }
@@ -1393,7 +1493,7 @@ impl PanicNic {
                 credits,
                 duration,
             } => {
-                if self.tiles.contains_key(&engine) {
+                if self.has_tile(engine) {
                     let _taken = self.network.fault_hold_credits(
                         engine,
                         port_of(port),
@@ -1403,7 +1503,7 @@ impl PanicNic {
                 }
             }
             FaultKind::FlitDrop { engine } => {
-                if self.tiles.contains_key(&engine) {
+                if self.has_tile(engine) {
                     self.network.fault_drop_next_ejection(engine);
                 }
             }
@@ -1428,7 +1528,7 @@ impl PanicNic {
         //    strikes; any progress clears them. `down_after` strikes
         //    isolate the engine.
         let mut to_down: Vec<EngineId> = Vec::new();
-        for (&id, slot) in &self.tiles {
+        for (&id, slot) in self.tile_ids.iter().zip(&self.tiles) {
             let TileSlot::Engine(t) = slot else { continue };
             if t.is_down() {
                 continue;
@@ -1534,18 +1634,21 @@ impl PanicNic {
         let tile = self.tile(down)?;
         let stem = faults::name_stem(tile.offload_name()).to_string();
         let class = tile.offload().class();
-        self.tiles.iter().find_map(|(&id, slot)| match slot {
-            TileSlot::Engine(t)
-                if id != down
-                    && !t.is_down()
-                    && !t.is_crashed()
-                    && t.offload().class() == class
-                    && faults::name_stem(t.offload_name()) == stem =>
-            {
-                Some(id)
-            }
-            _ => None,
-        })
+        self.tile_ids
+            .iter()
+            .zip(&self.tiles)
+            .find_map(|(&id, slot)| match slot {
+                TileSlot::Engine(t)
+                    if id != down
+                        && !t.is_down()
+                        && !t.is_crashed()
+                        && t.offload().class() == class
+                        && faults::name_stem(t.offload_name()) == stem =>
+                {
+                    Some(id)
+                }
+                _ => None,
+            })
     }
 
     /// Runs `cycles` cycles from `start`, returning the next cycle.
@@ -1584,6 +1687,41 @@ impl PanicNic {
         (now, skipped)
     }
 
+    /// Runs `cycles` cycles from `start` event-driven: wake-up hints
+    /// from [`PanicNic::next_activity`] are posted to a hierarchical
+    /// [`TimerWheel`] and the clock sleeps until the earliest pending
+    /// wake instead of re-deriving a jump target inline. Observable
+    /// state — traces, metrics, conservation counts — is byte-identical
+    /// to [`PanicNic::run`] and [`PanicNic::run_ff`]; only the skip
+    /// count may differ (a stale wheel entry costs at worst a spurious
+    /// idle tick, which stepped runs perform anyway). See
+    /// [`sim_core::run_for_event`] for the full argument.
+    ///
+    /// Returns the next cycle and the number of cycles skipped.
+    pub fn run_event(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        let end = Cycle(start.0 + cycles);
+        let mut now = start;
+        let mut skipped = 0u64;
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        while now < end {
+            self.tick(now);
+            if let Some(t) = self.next_activity(now) {
+                wheel.schedule(t.max(now.next()), ());
+            }
+            // Retire wakes at or before the cycle just ticked.
+            while wheel.pop_due(now).is_some() {}
+            let hint = wheel.next_event_time(end).unwrap_or(end);
+            let next = now.next();
+            let target = hint.max(next).min(end);
+            if target > next {
+                self.skip_idle(next, target);
+                skipped += target.0 - next.0;
+            }
+            now = target;
+        }
+        (now, skipped)
+    }
+
     /// Fast-forward hint: the earliest future cycle at which any NIC
     /// component could do observable work, or `None` when the whole NIC
     /// is quiescent (no in-flight message anywhere, no pending fault
@@ -1605,7 +1743,7 @@ impl PanicNic {
             self.network.next_activity(now),
             self.pipeline.next_activity(now),
         );
-        for slot in self.tiles.values() {
+        for slot in self.tiles.iter() {
             if let TileSlot::Engine(t) = slot {
                 hint = merge_hint(hint, t.next_activity(now));
             }
@@ -1625,13 +1763,38 @@ impl PanicNic {
     /// replay — see [`MeshNetwork::next_activity`].
     pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
         self.pipeline.skip_idle(from, to);
-        for slot in self.tiles.values_mut() {
+        for slot in self.tiles.iter_mut() {
             if let TileSlot::Engine(t) = slot {
                 t.skip_idle(from, to);
             }
         }
         if let Some(tn) = self.tenancy.as_mut() {
             tn.skip_idle(from, to);
+        }
+        // Replay the per-layer cycle attribution the skipped ticks
+        // would have charged. Held work is constant across an idle
+        // window (nothing ticks, nothing arrives — that is what made
+        // it skippable), so one check per layer covers the whole span.
+        let span = to.0 - from.0;
+        if self.pipeline.backlog() > 0 || self.pipeline.occupancy() > 0 {
+            self.stats.layer.rmt += span;
+        }
+        let mut any_engine = false;
+        let mut any_sched = false;
+        for slot in self.tiles.iter() {
+            if let TileSlot::Engine(t) = slot {
+                any_engine |= t.has_work();
+                any_sched |= t.queue_depth() > 0;
+            }
+        }
+        self.stats.layer.engines += span * u64::from(any_engine);
+        self.stats.layer.sched += span * u64::from(any_sched);
+        if self
+            .tenancy
+            .as_ref()
+            .is_some_and(|tn| tn.pending_total() > 0)
+        {
+            self.stats.layer.tenancy += span;
         }
     }
 
@@ -1653,7 +1816,7 @@ impl PanicNic {
             // to skip.
             let relevant = wd.pending() > 0
                 || !fr.strikes.is_empty()
-                || self.tiles.values().any(|slot| match slot {
+                || self.tiles.iter().any(|slot| match slot {
                     TileSlot::Engine(t) => t.queue_depth() > 0 || t.is_busy() || !t.rx_ready(),
                     TileSlot::RmtPortal => false,
                 });
@@ -1675,7 +1838,7 @@ impl PanicNic {
         if flush == 0 {
             return None;
         }
-        let pending = self.tiles.values().any(|slot| match slot {
+        let pending = self.tiles.iter().any(|slot| match slot {
             TileSlot::Engine(t) => t
                 .offload_as::<PcieEngine>()
                 .is_some_and(|p| p.pending() > 0),
@@ -1709,7 +1872,7 @@ impl PanicNic {
             && self.network.is_quiescent()
             && self.pipeline.backlog() == 0
             && self.pipeline.occupancy() == 0
-            && self.tiles.values().all(|slot| match slot {
+            && self.tiles.iter().all(|slot| match slot {
                 TileSlot::Engine(t) => t.queue_depth() == 0 && !t.is_busy() && t.rx_ready(),
                 TileSlot::RmtPortal => true,
             })

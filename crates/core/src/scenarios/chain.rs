@@ -23,6 +23,7 @@ use rmt::table::{MatchKey, MatchKind, Table, TableEntry};
 use sim_core::rng::SimRng;
 use sim_core::stats::Summary;
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use sim_core::wheel::TimerWheel;
 use workloads::arrivals::ArrivalProcess;
 use workloads::frames::FrameFactory;
 
@@ -138,6 +139,10 @@ pub struct ChainScenario {
     /// over provably idle cycles (byte-identical either way; see
     /// `docs/PERF.md`).
     fastforward: bool,
+    /// Whether runs use the event-driven kernel (timer-wheel wake-ups)
+    /// instead of inline fast-forward; takes precedence over
+    /// `fastforward`. Byte-identical either way.
+    event_driven: bool,
     /// Cycles skipped by fast-forward so far.
     skipped: u64,
     /// Reusable egress drain buffer (steady-state runs allocate
@@ -411,6 +416,7 @@ impl ChainScenario {
             offered: 0,
             now: Cycle::ZERO,
             fastforward: true,
+            event_driven: false,
             skipped: 0,
             wire_scratch: Vec::new(),
             config,
@@ -423,6 +429,16 @@ impl ChainScenario {
     /// and reports (`tests/fastforward_equiv.rs` holds the line).
     pub fn set_fastforward(&mut self, on: bool) {
         self.fastforward = on;
+    }
+
+    /// Selects the event-driven kernel for subsequent
+    /// [`ChainScenario::run`]/[`ChainScenario::drain`] calls: wake-ups
+    /// go through a [`TimerWheel`] instead of the inline fast-forward
+    /// jump. Off by default; overrides `set_fastforward` when on. All
+    /// three modes produce byte-identical traces, metrics, and reports
+    /// (`tests/fastforward_equiv.rs` holds the line).
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
     }
 
     /// Cycles fast-forward has skipped so far.
@@ -478,7 +494,9 @@ impl ChainScenario {
     /// Runs for `cycles` cycles, fast-forwarding over provably idle
     /// gaps unless [`ChainScenario::set_fastforward`] disabled it.
     pub fn run(&mut self, cycles: u64) {
-        if self.fastforward {
+        if self.event_driven {
+            let _ = self.run_event(cycles);
+        } else if self.fastforward {
             let _ = self.run_ff(cycles);
         } else {
             self.run_stepped(cycles);
@@ -540,10 +558,61 @@ impl ChainScenario {
         self.skipped - before
     }
 
+    /// Runs for `cycles` cycles event-driven: the NIC's
+    /// `next_activity` hint and every deterministic arrival's next
+    /// firing cycle are posted to a [`TimerWheel`], and the clock jumps
+    /// to the wheel's earliest pending wake. Returns cycles skipped.
+    /// Byte-identical to [`ChainScenario::run_stepped`] and
+    /// [`ChainScenario::run_ff`] (a stale wheel entry costs at worst a
+    /// spurious idle tick, which the stepped reference performs
+    /// anyway); see `docs/PERF.md`.
+    pub fn run_event(&mut self, cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + cycles);
+        let before = self.skipped;
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        while self.now < end {
+            let prev = self.now;
+            self.step(true);
+            let next = self.now;
+            if let Some(h) = self.nic.next_activity(prev) {
+                wheel.schedule(h.max(next), ());
+            }
+            let mut skippable = true;
+            for a in &self.arrivals {
+                match a.cycles_to_next() {
+                    None => {
+                        skippable = false;
+                        break;
+                    }
+                    Some(u64::MAX) => {}
+                    Some(k) => wheel.schedule(Cycle(prev.0.saturating_add(k)).max(next), ()),
+                }
+            }
+            // Retire wakes for the cycle just ticked.
+            while wheel.pop_due(prev).is_some() {}
+            if !skippable {
+                continue;
+            }
+            let target = wheel.next_event_time(end).unwrap_or(end).max(next).min(end);
+            if target > next {
+                let delta = target.0 - next.0;
+                self.nic.skip_idle(next, target);
+                for a in &mut self.arrivals {
+                    a.skip(delta);
+                }
+                self.skipped += delta;
+                self.now = target;
+            }
+        }
+        self.skipped - before
+    }
+
     /// Drains in-flight traffic (no new arrivals) for up to
     /// `max_cycles`, fast-forwarding unless disabled.
     pub fn drain(&mut self, max_cycles: u64) {
-        if self.fastforward {
+        if self.event_driven {
+            let _ = self.drain_event(max_cycles);
+        } else if self.fastforward {
             let _ = self.drain_ff(max_cycles);
         } else {
             self.drain_stepped(max_cycles);
@@ -578,6 +647,39 @@ impl ChainScenario {
                     self.skipped += target.0 - next.0;
                     self.now = target;
                 }
+            }
+        }
+        self.skipped - before
+    }
+
+    /// Drains event-driven (see [`ChainScenario::run_event`]); returns
+    /// cycles skipped.
+    pub fn drain_event(&mut self, max_cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + max_cycles);
+        let before = self.skipped;
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        while self.now < end {
+            if self.nic.is_quiescent() {
+                break;
+            }
+            let prev = self.now;
+            self.step(false);
+            let next = self.now;
+            if let Some(h) = self.nic.next_activity(prev) {
+                wheel.schedule(h.max(next), ());
+            }
+            while wheel.pop_due(prev).is_some() {}
+            if self.nic.is_quiescent() {
+                // Stop exactly where the fast-forward drain stops:
+                // stale wheel entries must not push the clock (and its
+                // idle bookkeeping) past the quiescent point.
+                continue;
+            }
+            let target = wheel.next_event_time(end).unwrap_or(end).max(next).min(end);
+            if target > next {
+                self.nic.skip_idle(next, target);
+                self.skipped += target.0 - next.0;
+                self.now = target;
             }
         }
         self.skipped - before

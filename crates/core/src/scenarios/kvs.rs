@@ -40,6 +40,7 @@ use sched::admission::AdmissionPolicy;
 use sim_core::events::EventQueue;
 use sim_core::stats::{Histogram, Summary};
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use sim_core::wheel::TimerWheel;
 use workloads::kvs::{KvsWorkload, KvsWorkloadConfig, TenantSpec};
 
 use crate::nic::{NicBuilder, NicConfig, PanicNic};
@@ -191,6 +192,10 @@ pub struct KvsScenario {
     /// Whether [`KvsScenario::run`] may jump over provably idle cycles
     /// (byte-identical either way; see `docs/PERF.md`).
     fastforward: bool,
+    /// Whether runs use the event-driven kernel (timer-wheel wake-ups)
+    /// instead of inline fast-forward; takes precedence over
+    /// `fastforward`. Byte-identical either way.
+    event_driven: bool,
     /// Cycles skipped by fast-forward so far.
     skipped: u64,
 }
@@ -437,6 +442,7 @@ impl KvsScenario {
             host_latency: Histogram::new(),
             now: Cycle::ZERO,
             fastforward: true,
+            event_driven: false,
             skipped: 0,
             config,
         }
@@ -448,6 +454,16 @@ impl KvsScenario {
     /// (`tests/fastforward_equiv.rs` holds the line).
     pub fn set_fastforward(&mut self, on: bool) {
         self.fastforward = on;
+    }
+
+    /// Selects the event-driven kernel for subsequent
+    /// [`KvsScenario::run`] calls: wake-ups go through a [`TimerWheel`]
+    /// instead of the inline fast-forward jump. Off by default;
+    /// overrides `set_fastforward` when on. All three modes produce
+    /// byte-identical traces, metrics, and reports
+    /// (`tests/fastforward_equiv.rs` holds the line).
+    pub fn set_event_driven(&mut self, on: bool) {
+        self.event_driven = on;
     }
 
     /// Cycles fast-forward has skipped so far.
@@ -639,7 +655,9 @@ impl KvsScenario {
     /// Runs `cycles` cycles, fast-forwarding over provably idle gaps
     /// unless [`KvsScenario::set_fastforward`] disabled it.
     pub fn run(&mut self, cycles: u64) {
-        if self.fastforward {
+        if self.event_driven {
+            let _ = self.run_event(cycles);
+        } else if self.fastforward {
             let _ = self.run_ff(cycles);
         } else {
             self.run_stepped(cycles);
@@ -681,6 +699,47 @@ impl KvsScenario {
                 hint = Some(hint.map_or(at, |h| h.min(at)));
             }
             let target = hint.unwrap_or(end).max(next).min(end);
+            if target > next {
+                let delta = target.0 - next.0;
+                self.nic.skip_idle(next, target);
+                self.workload.skip(delta);
+                self.skipped += delta;
+                self.now = target;
+            }
+        }
+        self.skipped - before
+    }
+
+    /// Runs for `cycles` cycles event-driven: the NIC's
+    /// `next_activity` hint, the workload's next deterministic
+    /// arrival, and the next host-software completion are posted to a
+    /// [`TimerWheel`], and the clock jumps to the wheel's earliest
+    /// pending wake. Returns cycles skipped. Byte-identical to
+    /// [`KvsScenario::run_stepped`] and [`KvsScenario::run_ff`]; see
+    /// `docs/PERF.md`.
+    pub fn run_event(&mut self, cycles: u64) -> u64 {
+        let end = Cycle(self.now.0 + cycles);
+        let before = self.skipped;
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        while self.now < end {
+            let prev = self.now;
+            self.tick();
+            let next = self.now;
+            // Stochastic tenants draw RNG every cycle: unskippable.
+            let Some(k) = self.workload.cycles_to_next() else {
+                continue;
+            };
+            if let Some(h) = self.nic.next_activity(prev) {
+                wheel.schedule(h.max(next), ());
+            }
+            if k < u64::MAX {
+                wheel.schedule(Cycle(prev.0.saturating_add(k)).max(next), ());
+            }
+            if let Some(due) = self.host_events.next_due() {
+                wheel.schedule(due.max(next), ());
+            }
+            while wheel.pop_due(prev).is_some() {}
+            let target = wheel.next_event_time(end).unwrap_or(end).max(next).min(end);
             if target > next {
                 let delta = target.0 - next.0;
                 self.nic.skip_idle(next, target);

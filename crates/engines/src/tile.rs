@@ -479,6 +479,32 @@ impl EngineTile {
         None
     }
 
+    /// True when the tile holds any work: a parked RX message, queued
+    /// messages, or a message in service. A workless tile's tick is a
+    /// pure no-op apart from refreshing the progress clock, which
+    /// [`EngineTile::catch_up_idle`] replays — the NIC's tick loop uses
+    /// this pair to visit only tiles that can act this cycle.
+    #[inline]
+    #[must_use]
+    pub fn has_work(&self) -> bool {
+        self.pending.is_some() || self.in_service.is_some() || !self.queue.is_empty()
+    }
+
+    /// Replays the only stepped effect of workless skipped ticks
+    /// ending at `to` (exclusive): each tick at `t >= stall_until`
+    /// refreshed the progress clock to `t`; frozen or stalled ticks
+    /// were inert. Safe only for a span in which the tile held no work
+    /// (see [`EngineTile::has_work`]); the watchdog cannot observe the
+    /// deferred clock meanwhile because `wedged` gates on held work.
+    pub fn catch_up_idle(&mut self, to: Cycle) {
+        if self.down || self.crashed {
+            return;
+        }
+        if to.0 > self.stall_until.0 {
+            self.last_progress = self.last_progress.max(Cycle(to.0 - 1));
+        }
+    }
+
     /// Replays the per-cycle bookkeeping of the skipped ticks
     /// `[from, to)` exactly as a stepped run would have performed it:
     /// a frozen tile does nothing; a busy tile accrues one

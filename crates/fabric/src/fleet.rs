@@ -492,7 +492,7 @@ impl Fabric {
     /// Runs `cycles` cycles from `start` with per-member stepped
     /// execution (no fast-forward anywhere). Returns the next cycle.
     pub fn run(&mut self, start: Cycle, cycles: u64) -> Cycle {
-        self.run_inner(start, cycles, false).0
+        self.run_inner(start, cycles, RunMode::Stepped).0
     }
 
     /// Runs `cycles` cycles from `start` with quiescence fast-forward
@@ -505,10 +505,22 @@ impl Fabric {
     /// Returns the next cycle and total cycles skipped (member-level
     /// skips plus fleet-level jumps).
     pub fn run_ff(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
-        self.run_inner(start, cycles, true)
+        self.run_inner(start, cycles, RunMode::Ff)
     }
 
-    fn run_inner(&mut self, start: Cycle, cycles: u64, ff: bool) -> (Cycle, u64) {
+    /// Like [`Fabric::run_ff`], but event-driven at both levels: each
+    /// member advances with [`PanicNic::run_event`] (timer-wheel
+    /// wake-ups instead of inline jump-target derivation), and whole-
+    /// fleet quiescent stretches jump on the epoch grid exactly as in
+    /// fast-forward. Boundary schedule, exchanges, traces, and metrics
+    /// are byte-identical to [`Fabric::run`] and [`Fabric::run_ff`].
+    ///
+    /// Returns the next cycle and total cycles skipped.
+    pub fn run_event(&mut self, start: Cycle, cycles: u64) -> (Cycle, u64) {
+        self.run_inner(start, cycles, RunMode::Event)
+    }
+
+    fn run_inner(&mut self, start: Cycle, cycles: u64, run: RunMode) -> (Cycle, u64) {
         let end = Cycle(start.0 + cycles);
         let mut now = start;
         let mut skipped = 0u64;
@@ -517,7 +529,7 @@ impl Fabric {
             if self.chaos.is_some() {
                 self.chaos_apply(now);
             }
-            if ff {
+            if run != RunMode::Stepped {
                 if let Some(target) = self.fleet_jump_target(start, now, end) {
                     for m in &mut self.members {
                         m.nic.skip_idle(now, target);
@@ -532,7 +544,7 @@ impl Fabric {
                 Some(len) => Cycle((now.0 + len).min(end.0)),
                 None => end,
             };
-            skipped += self.run_members(now, boundary, ff);
+            skipped += self.run_members(now, boundary, run);
             self.stats.epochs += 1;
             now = boundary;
             self.drain_egress(now);
@@ -1078,7 +1090,7 @@ impl Fabric {
 
     /// Runs every member over `[from, to)`, in parallel when allowed.
     /// Returns the members' summed fast-forward skip counts.
-    fn run_members(&mut self, from: Cycle, to: Cycle, ff: bool) -> u64 {
+    fn run_members(&mut self, from: Cycle, to: Cycle, run: RunMode) -> u64 {
         let modes: Vec<MemberMode> = match &self.chaos {
             None => vec![MemberMode::Run; self.members.len()],
             Some(c) => c
@@ -1098,7 +1110,7 @@ impl Fabric {
                 .members
                 .iter_mut()
                 .zip(&modes)
-                .map(|(m, &mode)| run_member(m, from, to, ff, mode))
+                .map(|(m, &mode)| run_member(m, from, to, run, mode))
                 .sum();
         }
         let chunk = self.members.len().div_ceil(threads);
@@ -1112,7 +1124,7 @@ impl Fabric {
                         slice
                             .iter_mut()
                             .zip(modes)
-                            .map(|(m, &mode)| run_member(m, from, to, ff, mode))
+                            .map(|(m, &mode)| run_member(m, from, to, run, mode))
                             .sum::<u64>()
                     })
                 })
@@ -1405,6 +1417,21 @@ impl Fabric {
     }
 }
 
+/// How the clock advances inside an epoch — all three modes produce
+/// byte-identical traces and metrics; they differ only in how many
+/// idle cycles are actually ticked (see `docs/PERF.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// Tick every member every cycle.
+    Stepped,
+    /// Quiescence fast-forward: re-derive the jump target inline after
+    /// every tick ([`PanicNic::run_ff`]).
+    Ff,
+    /// Event-driven: members sleep on timer-wheel wake-ups
+    /// ([`PanicNic::run_event`]).
+    Event,
+}
+
 /// How one member executes an epoch, set by its chaos phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MemberMode {
@@ -1423,7 +1450,7 @@ enum MemberMode {
 
 /// Runs one member over `[from, to)`, interleaving its driver's
 /// injections with (fast-forwarded) execution. Returns cycles skipped.
-fn run_member(m: &mut Member, from: Cycle, to: Cycle, ff: bool, mode: MemberMode) -> u64 {
+fn run_member(m: &mut Member, from: Cycle, to: Cycle, run: RunMode, mode: MemberMode) -> u64 {
     if mode == MemberMode::Skip {
         m.nic.skip_idle(from, to);
         return 0;
@@ -1437,12 +1464,18 @@ fn run_member(m: &mut Member, from: Cycle, to: Cycle, ff: bool, mode: MemberMode
             .filter(|a| *a < to);
         let chunk_end = next_arr.unwrap_or(to);
         if chunk_end > now {
-            if ff {
-                let (next, s) = m.nic.run_ff(now, chunk_end.0 - now.0);
-                skipped += s;
-                now = next;
-            } else {
-                now = m.nic.run(now, chunk_end.0 - now.0);
+            match run {
+                RunMode::Stepped => now = m.nic.run(now, chunk_end.0 - now.0),
+                RunMode::Ff => {
+                    let (next, s) = m.nic.run_ff(now, chunk_end.0 - now.0);
+                    skipped += s;
+                    now = next;
+                }
+                RunMode::Event => {
+                    let (next, s) = m.nic.run_event(now, chunk_end.0 - now.0);
+                    skipped += s;
+                    now = next;
+                }
             }
         } else {
             // An arrival due right now: inject, then keep going. The

@@ -24,8 +24,8 @@ use sim_core::stats::Histogram;
 use sim_core::time::Cycle;
 use trace::{MetricsRegistry, Tracer, TrackId};
 
-use crate::router::{PortDir, Router, RouterConfig, StagedOutputs};
-use crate::topology::{Coord, Placement, Topology};
+use crate::router::{PortDir, RoutePlan, Router, RouterConfig};
+use crate::topology::{Coord, Placement, RouteLut, Topology};
 
 /// Network configuration.
 #[derive(Debug, Clone)]
@@ -132,6 +132,12 @@ struct NetFaults {
 pub struct MeshNetwork {
     config: NetworkConfig,
     placement: Placement,
+    /// Dense engine→coord/tile tables snapshotted from `placement` —
+    /// the per-flit routing path never touches the hash maps.
+    lut: RouteLut,
+    /// `neighbor_idx[tile][port]` — downstream tile index per output
+    /// port (`u32::MAX` where no link exists; own tile for Local).
+    neighbor_idx: Vec<[u32; PortDir::COUNT]>,
     routers: Vec<Router>,
     /// Per-tile source (injection) queues. Unbounded: they model the
     /// sending engine's own buffering; occupancy is observable so
@@ -152,10 +158,25 @@ pub struct MeshNetwork {
     /// Free-list arena for the boxed message copies tail flits carry;
     /// keeps the steady-state send/eject path allocation-free.
     pool: MessagePool,
-    /// Per-router staging buffers reused every cycle (phase 1 writes,
-    /// phase 2 drains). Hoisted out of [`MeshNetwork::tick`] so the hot
-    /// loop performs no per-cycle allocation.
-    staged_scratch: Vec<StagedOutputs>,
+    /// Per-router switch-allocation plans reused every cycle (phase 1
+    /// writes, phase 2 executes). Hoisted out of [`MeshNetwork::tick`]
+    /// so the hot loop performs no per-cycle allocation.
+    plan_scratch: Vec<RoutePlan>,
+    /// Tiles whose router computed this cycle (phase 2 only visits
+    /// these; idle routers stage nothing and are skipped entirely).
+    touched_scratch: Vec<u32>,
+    /// Bitmask of tiles whose source queue is non-empty (one u64 word
+    /// per 64 tiles), so injection visits only tiles with traffic.
+    source_pending: Vec<u64>,
+    /// Bitmask of tiles whose ejection buffer is non-empty, same
+    /// layout as `source_pending`, so the NIC's ejection pass visits
+    /// only tiles with a flit waiting.
+    ejection_pending: Vec<u64>,
+    /// Flits currently anywhere in the network (sources, router
+    /// buffers, ejection buffers) — O(1) quiescence.
+    resident_flits: u64,
+    /// Ticks in which the network held at least one flit (`perf.layer.noc`).
+    active_cycles: u64,
 }
 
 impl MeshNetwork {
@@ -170,12 +191,33 @@ impl MeshNetwork {
             .map(|c| Router::new(c, config.topology, config.router))
             .collect();
         let n = config.topology.nodes();
+        let lut = RouteLut::build(&placement, config.topology);
+        let neighbor_idx = config
+            .topology
+            .coords()
+            .enumerate()
+            .map(|(tile, c)| {
+                let mut row = [u32::MAX; PortDir::COUNT];
+                for &p in &PortDir::ALL {
+                    row[p.index()] = match p.direction() {
+                        Some(d) => config
+                            .topology
+                            .neighbor(c, d)
+                            .map_or(u32::MAX, |nc| config.topology.index(nc) as u32),
+                        None => tile as u32,
+                    };
+                }
+                row
+            })
+            .collect();
         // Ejection occupancy is bounded by the Local credit pool, so
         // the buffers can be sized once and never grow.
         let eject_cap = config.router.ejection_buffer_flits + 1;
         MeshNetwork {
             config,
             placement,
+            lut,
+            neighbor_idx,
             routers,
             source: (0..n).map(|_| VecDeque::new()).collect(),
             ejection: (0..n).map(|_| VecDeque::with_capacity(eject_cap)).collect(),
@@ -185,7 +227,12 @@ impl MeshNetwork {
             tracks: Vec::new(),
             faults: None,
             pool: MessagePool::new(),
-            staged_scratch: (0..n).map(|_| StagedOutputs::default()).collect(),
+            plan_scratch: vec![RoutePlan::default(); n],
+            source_pending: vec![0u64; n.div_ceil(64)],
+            ejection_pending: vec![0u64; n.div_ceil(64)],
+            touched_scratch: Vec::with_capacity(n),
+            resident_flits: 0,
+            active_cycles: 0,
         }
     }
 
@@ -365,12 +412,11 @@ impl MeshNetwork {
         self.faults = Some(faults);
     }
 
+    #[inline]
     fn tile_of(&self, engine: EngineId) -> usize {
-        let coord = self
-            .placement
-            .coord_of(engine)
-            .unwrap_or_else(|| panic!("engine {engine} not placed"));
-        self.config.topology.index(coord)
+        self.lut
+            .tile_of(engine)
+            .unwrap_or_else(|| panic!("engine {engine} not placed"))
     }
 
     /// Queues `msg` for transmission from `from` toward
@@ -388,9 +434,12 @@ impl MeshNetwork {
         self.in_flight.insert(msg.id, now);
         self.stats.injected_messages += 1;
         let source = &mut self.source[tile];
+        let before = source.len();
         Flit::segment_with(msg, to, self.config.width_bits, &mut self.pool, |flit| {
             source.push_back(flit);
         });
+        self.resident_flits += (source.len() - before) as u64;
+        self.source_pending[tile / 64] |= 1 << (tile % 64);
     }
 
     /// Flits waiting in `engine`'s source queue (growth here means the
@@ -406,12 +455,33 @@ impl MeshNetwork {
         self.ejection[self.tile_of(engine)].len()
     }
 
+    /// One word of the non-empty-ejection-buffer bitmask (bit `t % 64`
+    /// of word `t / 64` is set while tile `t` holds an ejected flit).
+    /// The NIC's ejection pass iterates set bits instead of polling
+    /// every tile every cycle.
+    #[inline]
+    #[must_use]
+    pub fn ejection_pending_word(&self, word: usize) -> u64 {
+        self.ejection_pending[word]
+    }
+
+    /// Number of words in the ejection-pending bitmask.
+    #[inline]
+    #[must_use]
+    pub fn ejection_pending_words(&self) -> usize {
+        self.ejection_pending.len()
+    }
+
     /// Drains one flit from `engine`'s ejection buffer (the tile's
     /// one-flit-per-cycle RX interface). Returns the assembled message
     /// when the drained flit is a tail.
     pub fn poll_ejected(&mut self, engine: EngineId, now: Cycle) -> Option<Message> {
         let tile = self.tile_of(engine);
         let flit = self.ejection[tile].pop_front()?;
+        self.resident_flits -= 1;
+        if self.ejection[tile].is_empty() {
+            self.ejection_pending[tile / 64] &= !(1 << (tile % 64));
+        }
         // Injected ejection drop: destroy the message at the tail (the
         // earlier flits of the message were drained and credited
         // normally) and leak the tail's Local credit — the canonical
@@ -482,39 +552,59 @@ impl MeshNetwork {
         if self.faults.is_some() {
             self.drive_faults(now);
         }
+        if self.resident_flits > 0 {
+            self.active_cycles += 1;
+        }
         let n = self.routers.len();
         let topo = self.config.topology;
+        let traced = self.tracer.enabled();
 
         // Injection: each tile's Local input accepts at most one flit
         // per cycle from the source queue (the local channel is one
-        // flit wide, like every other channel).
-        for tile in 0..n {
-            if !self.source[tile].is_empty() && self.routers[tile].input_space(PortDir::Local) > 0 {
-                let flit = self.source[tile].pop_front().expect("non-empty");
-                self.routers[tile].accept(PortDir::Local, flit);
+        // flit wide, like every other channel). The pending bitmask
+        // visits only tiles that actually hold queued traffic.
+        for word in 0..self.source_pending.len() {
+            let mut bits = self.source_pending[word];
+            while bits != 0 {
+                let tile = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.routers[tile].input_space(PortDir::Local) > 0 {
+                    let flit = self.source[tile].pop_front().expect("non-empty");
+                    self.routers[tile].accept(PortDir::Local, flit);
+                    if self.source[tile].is_empty() {
+                        self.source_pending[word] &= !(1 << (tile % 64));
+                    }
+                }
             }
         }
 
-        // Phase 1: all routers allocate and stage into the reused
-        // per-router scratch buffers (no per-cycle allocation).
-        let mut staged = std::mem::take(&mut self.staged_scratch);
-        debug_assert_eq!(staged.len(), n);
-        for (r, s) in self.routers.iter_mut().zip(staged.iter_mut()) {
-            r.compute_into(topo, &self.placement, s);
+        // Phase 1: routers holding flits allocate and stage into the
+        // reused per-router scratch buffers (no per-cycle allocation).
+        // An idle router (all input FIFOs empty) can stage neither a
+        // flit, a credit return, nor a stall, so it is skipped and its
+        // scratch entry — consumed by its last commit — stays clean.
+        let mut plans = std::mem::take(&mut self.plan_scratch);
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        debug_assert_eq!(plans.len(), n);
+        touched.clear();
+        for (tile, (r, p)) in self.routers.iter_mut().zip(plans.iter_mut()).enumerate() {
+            if r.is_idle() {
+                continue;
+            }
+            r.plan_into(topo, &self.lut, p, traced);
+            touched.push(tile as u32);
         }
 
-        // Phase 2: commit all transfers.
-        for (tile, out) in staged.iter_mut().enumerate() {
-            let coord = topo.coord(tile);
-            let StagedOutputs {
-                flits,
-                credits,
-                stalled,
-            } = out;
+        // Phase 2: execute the plans — move each winning flit straight
+        // from its input FIFO to the downstream buffer (one move per
+        // hop) and return one credit to the upstream router it vacated.
+        for &tile_u in &touched {
+            let tile = tile_u as usize;
+            let plan = plans[tile];
             // Credit stalls: outputs that wanted to send but were
             // blocked by a full downstream buffer.
-            if self.tracer.enabled() {
-                for (p, &s) in stalled.iter().enumerate() {
+            if traced {
+                for (p, &s) in plan.stalled.iter().enumerate() {
                     if s {
                         self.tracer.instant_arg(
                             self.tracks[tile],
@@ -526,24 +616,19 @@ impl MeshNetwork {
                     }
                 }
             }
-            // Credit returns to upstream routers (Local input drains
-            // come from the source queue, which is not credited).
-            for (p, &drained) in credits.iter().enumerate() {
-                let port = PortDir::ALL[p];
-                if drained && port != PortDir::Local {
-                    let dir = port.direction().expect("non-local");
-                    let up = topo
-                        .neighbor(coord, dir)
-                        .expect("credit from a port with no link");
-                    let up_idx = topo.index(up);
-                    self.routers[up_idx].refill_credit(port.opposite());
+            for (o, winner) in plan.winner.iter().enumerate() {
+                let Some(i) = winner else { continue };
+                let i = usize::from(*i);
+                let flit = self.routers[tile].commit_pop(i);
+                // Credit return to the upstream router the flit vacated
+                // (Local input drains come from the source queue, which
+                // is not credited).
+                if i != PortDir::Local.index() {
+                    let up_idx = self.neighbor_idx[tile][i];
+                    debug_assert_ne!(up_idx, u32::MAX, "credit from a port with no link");
+                    self.routers[up_idx as usize].refill_credit(PortDir::ALL[i].opposite());
                 }
-            }
-            // Flit transfers.
-            for (p, slot) in flits.iter_mut().enumerate() {
-                let Some(flit) = slot.take() else { continue };
-                let port = PortDir::ALL[p];
-                if self.tracer.enabled() {
+                if traced {
                     self.tracer.instant_arg(
                         self.tracks[tile],
                         "noc.hop",
@@ -552,20 +637,19 @@ impl MeshNetwork {
                         flit.msg_id.0,
                     );
                 }
-                if port == PortDir::Local {
+                if o == PortDir::Local.index() {
                     self.stats.delivered_flits += 1;
                     self.ejection[tile].push_back(flit);
+                    self.ejection_pending[tile / 64] |= 1 << (tile % 64);
                 } else {
-                    let dir = port.direction().expect("non-local");
-                    let down = topo
-                        .neighbor(coord, dir)
-                        .expect("staged flit toward a missing link");
-                    let down_idx = topo.index(down);
-                    self.routers[down_idx].accept(port.opposite(), flit);
+                    let down_idx = self.neighbor_idx[tile][o];
+                    debug_assert_ne!(down_idx, u32::MAX, "staged flit toward a missing link");
+                    self.routers[down_idx as usize].accept(PortDir::ALL[o].opposite(), flit);
                 }
             }
         }
-        self.staged_scratch = staged;
+        self.plan_scratch = plans;
+        self.touched_scratch = touched;
     }
 
     /// Fast-forward hint (see [`sim_core::Clocked::next_activity`] for
@@ -591,9 +675,22 @@ impl MeshNetwork {
     /// buffers, or ejection buffers).
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.source.iter().all(VecDeque::is_empty)
-            && self.ejection.iter().all(VecDeque::is_empty)
-            && self.routers.iter().all(|r| r.buffered_flits() == 0)
+        debug_assert_eq!(
+            self.resident_flits == 0,
+            self.source.iter().all(VecDeque::is_empty)
+                && self.ejection.iter().all(VecDeque::is_empty)
+                && self.routers.iter().all(|r| r.buffered_flits() == 0),
+            "resident-flit counter out of sync with buffer occupancy"
+        );
+        self.resident_flits == 0
+    }
+
+    /// Cycles on which [`MeshNetwork::tick`] found at least one flit
+    /// resident anywhere in the network (sources, router buffers, or
+    /// ejection buffers) — the NoC's share of simulated activity.
+    #[must_use]
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
     }
 
     /// Total flits forwarded by all routers (≈ flit-hops).

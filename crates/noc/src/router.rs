@@ -20,9 +20,8 @@
 //! two-phase discipline of [`sim_core::clock`].
 
 use packet::{EngineId, Flit};
-use sim_core::queue::{BoundedQueue, CreditCounter};
 
-use crate::topology::{Coord, Direction, Placement, Topology};
+use crate::topology::{Coord, Direction, RouteLut, Topology};
 
 /// A router port: four mesh directions plus the local engine port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,14 +148,52 @@ impl StagedOutputs {
     }
 }
 
+/// One cycle's switch-allocation decisions, by reference: `winner[o]`
+/// names the input whose front flit traverses output `o` this cycle.
+///
+/// This is the hot-path counterpart of [`StagedOutputs`]: instead of
+/// popping flits into a staging buffer during the compute phase (one
+/// flit copy in, one out), the router only records *which* input won
+/// each output and the network moves each flit once, straight from the
+/// winning input FIFO to the downstream buffer, in the commit phase.
+/// Credits to return upstream are implied (`winner[o] == Some(i)`
+/// means input `i` drained one flit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoutePlan {
+    /// `winner[o]`: input index draining through output port `o`.
+    pub winner: [Option<u8>; PortDir::COUNT],
+    /// `stalled[o]`: output `o` had traffic blocked on credits (see
+    /// [`StagedOutputs::stalled`]); recorded only when the caller asks.
+    pub stalled: [bool; PortDir::COUNT],
+}
+
 /// The wormhole router at one tile.
+///
+/// Input FIFOs and credit counters are stored flat — one contiguous
+/// flit arena for all five inputs and plain per-port count arrays —
+/// instead of one heap queue per port. The mesh ticks every non-idle
+/// router every cycle, so router state is the hottest data in the
+/// simulator and pointer-chasing five scattered `VecDeque`s per router
+/// dominated the tick loop before this layout (see `docs/PERF.md`).
 #[derive(Debug)]
 pub struct Router {
     coord: Coord,
-    inputs: Vec<BoundedQueue<Flit>>,
-    /// Credits toward each downstream buffer; `None` where no link
-    /// exists (mesh edge).
-    out_credits: Vec<Option<CreditCounter>>,
+    /// Flit storage for all five input FIFOs: input `i` is a ring
+    /// buffer over `buf[i * cap .. (i + 1) * cap]`.
+    buf: Box<[Option<Flit>]>,
+    /// Capacity of each input FIFO, in flits.
+    cap: u32,
+    /// Ring head (index of the oldest flit) per input, relative to the
+    /// input's slice of `buf`.
+    head: [u32; PortDir::COUNT],
+    /// Current occupancy per input.
+    len: [u32; PortDir::COUNT],
+    /// Credits toward each downstream buffer per output port.
+    credit: [u32; PortDir::COUNT],
+    /// Initial (maximum) credit count per output; `0` where no link
+    /// exists (mesh edge) — a real link always has a non-zero buffer
+    /// (lint PV102).
+    credit_init: [u32; PortDir::COUNT],
     /// Wormhole ownership: input index currently holding each output.
     out_owner: [Option<usize>; PortDir::COUNT],
     /// Round-robin pointer per output port.
@@ -173,29 +210,94 @@ pub struct Router {
 
 impl Router {
     /// Builds the router for tile `coord` of `topology`.
+    ///
+    /// # Panics
+    /// Panics if `config.input_buffer_flits` is zero — a zero-capacity
+    /// input FIFO can never make progress (lint PV102).
     #[must_use]
     pub fn new(coord: Coord, topology: Topology, config: RouterConfig) -> Router {
-        let inputs = (0..PortDir::COUNT)
-            .map(|_| BoundedQueue::new(config.input_buffer_flits))
+        assert!(config.input_buffer_flits > 0, "zero-capacity input FIFO");
+        let cap = config.input_buffer_flits;
+        let buf = std::iter::repeat_with(|| None)
+            .take(cap * PortDir::COUNT)
             .collect();
-        let out_credits = PortDir::ALL
-            .iter()
-            .map(|&p| match p.direction() {
-                Some(d) => topology
-                    .neighbor(coord, d)
-                    .map(|_| CreditCounter::new(config.input_buffer_flits)),
-                None => Some(CreditCounter::new(config.ejection_buffer_flits)),
-            })
-            .collect();
+        let mut credit_init = [0u32; PortDir::COUNT];
+        for (p, init) in credit_init.iter_mut().enumerate() {
+            *init = match PortDir::ALL[p].direction() {
+                Some(d) => match topology.neighbor(coord, d) {
+                    Some(_) => config.input_buffer_flits as u32,
+                    None => 0,
+                },
+                None => config.ejection_buffer_flits as u32,
+            };
+        }
         Router {
             coord,
-            inputs,
-            out_credits,
+            buf,
+            cap: cap as u32,
+            head: [0; PortDir::COUNT],
+            len: [0; PortDir::COUNT],
+            credit: credit_init,
+            credit_init,
             out_owner: [None; PortDir::COUNT],
             rr: [0; PortDir::COUNT],
             forwarded: 0,
             blocked: [false; PortDir::COUNT],
         }
+    }
+
+    /// Oldest flit queued on input `i`, if any.
+    #[inline]
+    fn q_front(&self, i: usize) -> Option<&Flit> {
+        if self.len[i] == 0 {
+            return None;
+        }
+        self.buf[i * self.cap as usize + self.head[i] as usize].as_ref()
+    }
+
+    /// Pops the oldest flit from input `i`.
+    #[inline]
+    fn q_pop(&mut self, i: usize) -> Option<Flit> {
+        if self.len[i] == 0 {
+            return None;
+        }
+        let slot = i * self.cap as usize + self.head[i] as usize;
+        let flit = self.buf[slot].take();
+        debug_assert!(flit.is_some(), "occupied ring slot holds a flit");
+        // Conditional wrap instead of `%`: `cap` is a runtime value, so
+        // a modulo here would be a hardware divide on the hottest path.
+        self.head[i] = if self.head[i] + 1 == self.cap {
+            0
+        } else {
+            self.head[i] + 1
+        };
+        self.len[i] -= 1;
+        flit
+    }
+
+    /// Appends `flit` to input `i`; `false` when the FIFO is full.
+    #[inline]
+    fn q_push(&mut self, i: usize, flit: Flit) -> bool {
+        if self.len[i] >= self.cap {
+            return false;
+        }
+        let mut off = self.head[i] + self.len[i];
+        if off >= self.cap {
+            off -= self.cap;
+        }
+        let slot = i * self.cap as usize + off as usize;
+        debug_assert!(self.buf[slot].is_none(), "free ring slot is empty");
+        self.buf[slot] = Some(flit);
+        self.len[i] += 1;
+        true
+    }
+
+    /// Credit capacity of the downstream buffer behind `port`, or
+    /// `None` where no link exists (mesh edge).
+    #[must_use]
+    pub fn link_capacity(&self, port: PortDir) -> Option<usize> {
+        let init = self.credit_init[port.index()];
+        (init > 0).then_some(init as usize)
     }
 
     /// Fault injection: masks output `port` on (`true`) or off. While
@@ -212,14 +314,12 @@ impl Router {
     /// [`Router::fault_return_credits`] or the output is permanently
     /// throttled.
     pub fn fault_take_credits(&mut self, port: PortDir, n: usize) -> usize {
-        let Some(credits) = self.out_credits[port.index()].as_mut() else {
+        let p = port.index();
+        if self.credit_init[p] == 0 {
             return 0;
-        };
-        let mut taken = 0;
-        while taken < n && credits.available() {
-            credits.consume();
-            taken += 1;
         }
+        let taken = (self.credit[p] as usize).min(n);
+        self.credit[p] -= taken as u32;
         taken
     }
 
@@ -231,12 +331,17 @@ impl Router {
     /// buffer capacity — returning credits that were never taken is a
     /// fault-driver bug, not a modelled failure.
     pub fn fault_return_credits(&mut self, port: PortDir, n: usize) {
-        let credits = self.out_credits[port.index()]
-            .as_mut()
-            .expect("credit return on a port with no link");
-        for _ in 0..n {
-            credits.refill();
-        }
+        let p = port.index();
+        assert!(
+            self.credit_init[p] > 0,
+            "credit return on a port with no link"
+        );
+        assert!(
+            self.credit[p] + n as u32 <= self.credit_init[p],
+            "credit overflow: refill beyond initial {}",
+            self.credit_init[p]
+        );
+        self.credit[p] += n as u32;
     }
 
     /// This tile's coordinate.
@@ -255,13 +360,13 @@ impl Router {
     /// Local port's space to draw from the tile's source queue).
     #[must_use]
     pub fn input_space(&self, port: PortDir) -> usize {
-        self.inputs[port.index()].free()
+        (self.cap - self.len[port.index()]) as usize
     }
 
     /// Total flits currently buffered in all input FIFOs.
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(BoundedQueue::len).sum()
+        self.len.iter().map(|&l| l as usize).sum()
     }
 
     /// Delivers a flit into the input FIFO on `port`.
@@ -270,7 +375,7 @@ impl Router {
     /// Panics if the FIFO is full — with credit flow control a delivery
     /// into a full buffer is a protocol violation, not backpressure.
     pub fn accept(&mut self, port: PortDir, flit: Flit) {
-        if self.inputs[port.index()].push(flit).is_err() {
+        if !self.q_push(port.index(), flit) {
             panic!(
                 "router {}: input overrun on {:?} (credit protocol violated)",
                 self.coord, port
@@ -281,16 +386,29 @@ impl Router {
     /// Returns one credit for the downstream buffer behind `port`
     /// (called by the network when the neighbor drains a flit we sent,
     /// or when the tile pops a flit from its ejection buffer).
+    ///
+    /// # Panics
+    /// Panics if `port` has no link, or if the refill would exceed the
+    /// downstream buffer's capacity — a phantom credit means the flow
+    /// control protocol double-counted a drain.
     pub fn refill_credit(&mut self, port: PortDir) {
-        self.out_credits[port.index()]
-            .as_mut()
-            .expect("credit refill on a port with no link")
-            .refill();
+        let p = port.index();
+        assert!(
+            self.credit_init[p] > 0,
+            "credit refill on a port with no link"
+        );
+        assert!(
+            self.credit[p] < self.credit_init[p],
+            "credit overflow: refill beyond initial {}",
+            self.credit_init[p]
+        );
+        self.credit[p] += 1;
     }
 
     /// The output port a flit at this tile should leave through.
-    fn route(&self, dest: EngineId, topology: Topology, placement: &Placement) -> PortDir {
-        let dest_coord = placement
+    #[inline]
+    fn route(&self, dest: EngineId, topology: Topology, lut: &RouteLut) -> PortDir {
+        let dest_coord = lut
             .coord_of(dest)
             .unwrap_or_else(|| panic!("routing to unplaced engine {dest}"));
         match topology.route_xy(self.coord, dest_coord) {
@@ -299,19 +417,15 @@ impl Router {
         }
     }
 
-    /// True when some input holds a flit that would leave through
-    /// `out` this cycle if the output had a credit: either the
-    /// wormhole owner has its next flit ready, or (for an unowned
-    /// output) some head flit routes to it.
-    fn wants_output(&self, out: PortDir, topology: Topology, placement: &Placement) -> bool {
-        let o = out.index();
-        if let Some(i) = self.out_owner[o] {
-            return !self.inputs[i].is_empty();
-        }
-        self.inputs.iter().any(|q| {
-            q.front().is_some_and(|head| {
-                head.kind.is_head() && self.route(head.dest, topology, placement) == out
-            })
+    /// Route of the head flit at the front of input `i`, or `None`
+    /// when the input is empty or its front is a body/tail flit (those
+    /// only move via wormhole ownership, never via arbitration).
+    #[inline]
+    fn head_route(&self, i: usize, topology: Topology, lut: &RouteLut) -> Option<PortDir> {
+        self.q_front(i).and_then(|head| {
+            head.kind
+                .is_head()
+                .then(|| self.route(head.dest, topology, lut))
         })
     }
 
@@ -324,9 +438,9 @@ impl Router {
     /// Convenience wrapper over [`Router::compute_into`]; the network's
     /// hot loop reuses one staging buffer per router instead (see
     /// `docs/PERF.md`).
-    pub fn compute(&mut self, topology: Topology, placement: &Placement) -> StagedOutputs {
+    pub fn compute(&mut self, topology: Topology, lut: &RouteLut) -> StagedOutputs {
         let mut staged = StagedOutputs::default();
-        self.compute_into(topology, placement, &mut staged);
+        self.compute_into(topology, lut, &mut staged, true);
         staged
     }
 
@@ -336,89 +450,151 @@ impl Router {
     /// fast-forward hint.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.inputs.iter().all(BoundedQueue::is_empty)
+        self.len == [0; PortDir::COUNT]
     }
 
-    /// Phase 1 into a caller-owned staging buffer (cleared first), so
-    /// the per-cycle hot path performs no allocation and no large
-    /// by-value moves.
+    /// Phase 1 into a caller-owned staging buffer (cleared first).
+    ///
+    /// Equivalent to [`Router::plan_into`] followed by materializing
+    /// the planned flits into `staged` — kept for tests and callers
+    /// that want the staged flits by value; the network's hot loop
+    /// uses [`Router::plan_into`] directly so each flit is moved once.
     pub fn compute_into(
         &mut self,
         topology: Topology,
-        placement: &Placement,
+        lut: &RouteLut,
         staged: &mut StagedOutputs,
+        record_stalls: bool,
+    ) {
+        let mut plan = RoutePlan::default();
+        self.plan_into(topology, lut, &mut plan, record_stalls);
+        staged.clear();
+        staged.stalled = plan.stalled;
+        for o in 0..PortDir::COUNT {
+            if let Some(i) = plan.winner[o] {
+                let i = i as usize;
+                let flit = self.q_pop(i).expect("planned winner input non-empty");
+                staged.credits[i] = true;
+                staged.flits[o] = Some(flit);
+            }
+        }
+    }
+
+    /// Pops the flit a [`Router::plan_into`] winner promised for this
+    /// cycle (commit phase; the network moves it downstream).
+    ///
+    /// # Panics
+    /// Panics if input `i` is empty — the plan staged a flit that is no
+    /// longer there, which is a commit-ordering bug.
+    pub fn commit_pop(&mut self, i: usize) -> Flit {
+        self.q_pop(i).expect("planned winner input non-empty")
+    }
+
+    /// Phase 1: switch allocation for one cycle, by reference.
+    ///
+    /// Decides which input (if any) traverses each output port this
+    /// cycle, updating wormhole ownership, round-robin pointers, and
+    /// output credits, and records the winners in `plan`. Flits are
+    /// *not* popped here — the commit phase pops each winner exactly
+    /// once via [`Router::commit_pop`], so a flit is moved a single
+    /// time per hop. Reads only pre-tick input state, preserving the
+    /// two-phase discipline.
+    ///
+    /// `record_stalls` controls whether creditless outputs scan their
+    /// inputs to distinguish a stall from an idle port. The stall flags
+    /// feed only the `noc.credit_stall` trace event, so the network
+    /// passes `false` whenever the tracer is disabled and the scan
+    /// would be unobservable work.
+    pub fn plan_into(
+        &mut self,
+        topology: Topology,
+        lut: &RouteLut,
+        plan: &mut RoutePlan,
+        record_stalls: bool,
     ) {
         // Runtime shadow of the static credit lints: a credit counter
         // must stay within [0, buffer capacity] (capacity 0 would make
         // the link permanently mute — panic-verify PV102; the capacity
-        // bound itself is PV103's sizing model). `CreditCounter`
-        // asserts each transition; this checks the aggregate per cycle.
+        // bound itself is PV103's sizing model). Every transition is
+        // asserted at its call site; this checks the aggregate per
+        // cycle.
         debug_assert!(
-            self.out_credits
+            self.credit
                 .iter()
-                .flatten()
-                .all(|c| c.count() <= c.initial() && c.initial() > 0),
+                .zip(self.credit_init.iter())
+                .all(|(&c, &init)| c <= init),
             "router {}: credit counter outside [0, buffer capacity] \
              (see lints PV102/PV103)",
             self.coord
         );
-        staged.clear();
-        let mut input_used = [false; PortDir::COUNT];
+        plan.winner = [None; PortDir::COUNT];
+        plan.stalled = [false; PortDir::COUNT];
 
-        for &out in &PortDir::ALL {
-            let o = out.index();
-            // No link, or downstream full: this output idles.
-            let Some(credits) = self.out_credits[o].as_ref() else {
+        // Inputs not yet claimed by an earlier output this cycle.
+        let mut avail: u32 = (1 << PortDir::COUNT) - 1;
+        // want[o]: bitmask of inputs whose front flit is a *head*
+        // routing to output o. Body/tail fronts belong to a wormhole
+        // owned by some output (ownership persists until tail) and
+        // only move via that ownership, never via arbitration. Pops
+        // are deferred to the commit phase, so fronts are stable for
+        // the whole plan: one eager pass over the inputs replaces a
+        // per-output rescan.
+        let mut want: [u32; PortDir::COUNT] = [0; PortDir::COUNT];
+        for i in 0..PortDir::COUNT {
+            if self.len[i] > 0 {
+                if let Some(out) = self.head_route(i, topology, lut) {
+                    want[out.index()] |= 1 << i;
+                }
+            }
+        }
+        // `o` indexes five parallel per-output arrays, not just `want`.
+        #[allow(clippy::needless_range_loop)]
+        for o in 0..PortDir::COUNT {
+            // No link: this output idles.
+            if self.credit_init[o] == 0 {
                 continue;
-            };
-            if !credits.available() || self.blocked[o] {
+            }
+            if self.credit[o] == 0 || self.blocked[o] {
                 // Out of credits (or fault-masked): record whether
                 // traffic actually wanted this output, so the cycle
                 // shows up as a credit stall rather than an idle port.
-                staged.stalled[o] = self.wants_output(out, topology, placement);
+                if record_stalls {
+                    plan.stalled[o] = match self.out_owner[o] {
+                        Some(i) => self.len[i] > 0,
+                        None => (want[o] & avail) != 0,
+                    };
+                }
                 continue;
             }
 
-            // Wormhole continuation: the owner input sends its next flit.
-            let winner = if let Some(i) = self.out_owner[o] {
-                if input_used[i] || self.inputs[i].is_empty() {
-                    None
-                } else {
-                    Some(i)
-                }
-            } else {
-                // Arbitrate among inputs whose head flit is a *head*
-                // routing to this output, round-robin from rr[o].
-                let mut found = None;
-                for step in 0..PortDir::COUNT {
-                    let i = (self.rr[o] + step) % PortDir::COUNT;
-                    if input_used[i] {
-                        continue;
-                    }
-                    let Some(head) = self.inputs[i].front() else {
-                        continue;
-                    };
-                    if !head.kind.is_head() {
-                        // A body/tail flit whose wormhole lost its output
-                        // ownership can't happen (ownership persists until
-                        // tail), so a non-head head-of-queue belongs to a
-                        // wormhole owned by some other output.
-                        continue;
-                    }
-                    if self.route(head.dest, topology, placement) == out {
-                        found = Some(i);
-                        break;
+            // Wormhole continuation: the owner input sends its next
+            // flit. Otherwise arbitrate round-robin from rr[o] among
+            // the inputs whose head flit routes here; the 5-bit rotate
+            // finds the first candidate at or after rr[o] without a
+            // scan, so an uncontended output costs a couple of ALU ops.
+            let winner = match self.out_owner[o] {
+                Some(i) => (avail & (1 << i) != 0 && self.len[i] > 0).then_some(i),
+                None => {
+                    let b = want[o] & avail;
+                    if b == 0 {
+                        None
+                    } else {
+                        let p = self.rr[o] as u32;
+                        let rot = ((b >> p) | (b << (PortDir::COUNT as u32 - p)))
+                            & ((1 << PortDir::COUNT) - 1);
+                        Some((self.rr[o] + rot.trailing_zeros() as usize) % PortDir::COUNT)
                     }
                 }
-                found
             };
 
             let Some(i) = winner else { continue };
-            let flit = self.inputs[i].pop().expect("winner input non-empty");
-            input_used[i] = true;
+            // Peek the winning flit for wormhole bookkeeping; the pop
+            // itself is deferred to the commit phase.
+            let kind = self.q_front(i).expect("winner input non-empty").kind;
+            avail &= !(1 << i);
 
             // Update wormhole ownership.
-            if flit.kind.is_tail() {
+            if kind.is_tail() {
                 self.out_owner[o] = None;
                 // Advance round-robin past the input that just finished.
                 self.rr[o] = (i + 1) % PortDir::COUNT;
@@ -426,12 +602,8 @@ impl Router {
                 self.out_owner[o] = Some(i);
             }
 
-            self.out_credits[o]
-                .as_mut()
-                .expect("checked above")
-                .consume();
-            staged.credits[i] = true;
-            staged.flits[o] = Some(flit);
+            self.credit[o] -= 1;
+            plan.winner[o] = Some(i as u8);
             self.forwarded += 1;
         }
     }
@@ -447,8 +619,8 @@ mod tests {
         Topology::mesh(3, 3)
     }
 
-    fn place() -> Placement {
-        Placement::row_major(topo())
+    fn place() -> RouteLut {
+        RouteLut::build(&crate::topology::Placement::row_major(topo()), topo())
     }
 
     fn flits_for(dest: EngineId, payload: usize, id: u64) -> Vec<Flit> {
@@ -638,10 +810,10 @@ mod tests {
     fn edge_router_has_no_credits_off_mesh() {
         let r = Router::new(Coord::new(0, 0), topo(), RouterConfig::default());
         // North and West links don't exist at the corner.
-        assert!(r.out_credits[PortDir::North.index()].is_none());
-        assert!(r.out_credits[PortDir::West.index()].is_none());
-        assert!(r.out_credits[PortDir::East.index()].is_some());
-        assert!(r.out_credits[PortDir::South.index()].is_some());
-        assert!(r.out_credits[PortDir::Local.index()].is_some());
+        assert!(r.link_capacity(PortDir::North).is_none());
+        assert!(r.link_capacity(PortDir::West).is_none());
+        assert_eq!(r.link_capacity(PortDir::East), Some(8));
+        assert_eq!(r.link_capacity(PortDir::South), Some(8));
+        assert_eq!(r.link_capacity(PortDir::Local), Some(16));
     }
 }

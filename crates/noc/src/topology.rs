@@ -328,6 +328,57 @@ impl Placement {
     }
 }
 
+/// Dense routing caches derived from a finished [`Placement`]: engine →
+/// coordinate and engine → tile index as direct array loads. Routers
+/// resolve a destination once per head flit per hop, and the hash-map
+/// [`Placement`] was the single hottest lookup in the saturated tick
+/// loop — the LUT replaces it on every per-flit path (see
+/// `docs/PERF.md`). The `Placement` remains the mutable build-time
+/// source of truth; the LUT is a frozen snapshot.
+#[derive(Debug, Clone)]
+pub struct RouteLut {
+    /// `coords[engine.0]` — coordinate of the engine's tile.
+    coords: Vec<Option<Coord>>,
+    /// `tiles[engine.0]` — row-major tile index, `u32::MAX` if absent.
+    tiles: Vec<u32>,
+}
+
+impl RouteLut {
+    /// Snapshots `placement` over `topology` into dense tables.
+    #[must_use]
+    pub fn build(placement: &Placement, topology: Topology) -> RouteLut {
+        let max_id = placement
+            .iter()
+            .map(|(e, _)| usize::from(e.0) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut coords = vec![None; max_id];
+        let mut tiles = vec![u32::MAX; max_id];
+        for (e, c) in placement.iter() {
+            coords[usize::from(e.0)] = Some(c);
+            tiles[usize::from(e.0)] = topology.index(c) as u32;
+        }
+        RouteLut { coords, tiles }
+    }
+
+    /// Tile coordinate of `engine`, if placed.
+    #[inline]
+    #[must_use]
+    pub fn coord_of(&self, engine: EngineId) -> Option<Coord> {
+        self.coords.get(usize::from(engine.0)).copied().flatten()
+    }
+
+    /// Row-major tile index of `engine`, if placed.
+    #[inline]
+    #[must_use]
+    pub fn tile_of(&self, engine: EngineId) -> Option<usize> {
+        match self.tiles.get(usize::from(engine.0)) {
+            Some(&t) if t != u32::MAX => Some(t as usize),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

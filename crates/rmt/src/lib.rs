@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod action;
+pub mod compile;
 pub mod deparse;
 pub mod parse;
 pub mod pipeline;
@@ -33,6 +34,7 @@ pub mod program;
 pub mod table;
 
 pub use action::{Action, Primitive, SlackExpr, Verdict};
+pub use compile::CompiledProgram;
 pub use parse::{ParseGraph, ParseOutcome};
 pub use pipeline::{PipelineConfig, PipelineStats, RmtPipeline};
 pub use program::{ProgramBuilder, ProgramScratch, RmtProgram};

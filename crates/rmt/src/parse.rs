@@ -235,6 +235,18 @@ impl ParseGraph {
     /// the (primary, secondary) selector values for the next
     /// transition, or `None` if the layer did not parse.
     fn extract(&self, layer: Layer, data: &[u8], phv: &mut Phv) -> Option<(u64, u64)> {
+        extract_layer(layer, data, phv)
+    }
+}
+
+/// Extracts one layer at the front of `data` into `phv`, returning the
+/// (primary, secondary) selector values for the next transition, or
+/// `None` if the layer did not parse. Shared by the interpreted
+/// [`ParseGraph`] walk and the compiled parser
+/// ([`crate::compile::CompiledProgram`]) so both extract byte-identical
+/// fields.
+pub(crate) fn extract_layer(layer: Layer, data: &[u8], phv: &mut Phv) -> Option<(u64, u64)> {
+    {
         match layer {
             Layer::Ethernet => {
                 let (h, _) = EthernetHeader::parse(data).ok()?;

@@ -23,6 +23,7 @@ use sim_core::time::{Cycle, Cycles, Freq};
 use trace::{MetricsRegistry, Tracer, TrackId};
 
 use crate::action::Verdict;
+use crate::compile::CompiledProgram;
 use crate::program::{ProgramScratch, RmtProgram};
 
 /// Pipeline configuration.
@@ -86,6 +87,12 @@ pub struct PipelineOutput {
 pub struct RmtPipeline {
     config: PipelineConfig,
     program: RmtProgram,
+    /// The program lowered into monomorphized dispatch at construction
+    /// time (the "per-spec compilation pass" — `NicBuilder::build()`
+    /// reaches this through [`RmtPipeline::new`]). The per-packet path
+    /// runs this; `program` stays as the executable reference the
+    /// equivalence tests diff against. See [`crate::compile`].
+    compiled: CompiledProgram,
     /// Shared input queue feeding all parallel pipelines. Unbounded:
     /// admission control is the *caller's* job (in PANIC, upstream
     /// engines see backpressure through the NoC; in the RMT-only
@@ -118,6 +125,7 @@ impl RmtPipeline {
         let stages = program.stages();
         RmtPipeline {
             config,
+            compiled: CompiledProgram::compile(&program),
             program,
             input: VecDeque::new(),
             in_flight: EventQueue::new(),
@@ -282,10 +290,10 @@ impl RmtPipeline {
                     self.stats.accepted += 1;
                     let msg_id = msg.id.0;
                     // Split borrows: the observer mutates the stage
-                    // counters while the program runs over the
+                    // counters while the compiled program runs over the
                     // pipeline-owned scratch.
-                    let (program, scratch, hits, misses, tracer, track) = (
-                        &self.program,
+                    let (compiled, scratch, hits, misses, tracer, track) = (
+                        &self.compiled,
                         &mut self.scratch,
                         &mut self.stage_hits,
                         &mut self.stage_misses,
@@ -293,7 +301,7 @@ impl RmtPipeline {
                         self.track,
                     );
                     let verdict =
-                        program.process_scratch(&mut msg, scratch, &mut |stage, _name, hit| {
+                        compiled.process_scratch(&mut msg, scratch, &mut |stage, _name, hit| {
                             if hit {
                                 hits[stage] += 1;
                             } else {

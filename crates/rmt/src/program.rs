@@ -27,6 +27,16 @@ pub struct ProgramScratch {
     deparse_buf: BytesMut,
 }
 
+impl ProgramScratch {
+    /// Split borrow of the three scratch areas, for program executors
+    /// outside this module (the compiled dispatch in
+    /// [`crate::compile`] runs the same parse → match → deparse flow
+    /// over the same scratch).
+    pub(crate) fn parts_mut(&mut self) -> (&mut ParseOutcome, &mut Vec<Hop>, &mut BytesMut) {
+        (&mut self.outcome, &mut self.hops, &mut self.deparse_buf)
+    }
+}
+
 /// A complete RMT program.
 #[derive(Debug, Clone)]
 pub struct RmtProgram {

@@ -35,6 +35,7 @@
 //! full contract and its interaction with the two-phase tick.
 
 use crate::time::Cycle;
+use crate::wheel::TimerWheel;
 
 /// A component advanced by the global clock.
 pub trait Clocked {
@@ -125,6 +126,63 @@ pub fn run_for_ff<C: Clocked + ?Sized>(
             .filter_map(|c| c.next_activity(now))
             .min()
             .unwrap_or(end);
+        let next = now.next();
+        let target = hint.max(next).min(end);
+        if target > next {
+            for c in components.iter_mut() {
+                c.skip_idle(next, target);
+            }
+            skipped += target.0 - next.0;
+        }
+        now = target;
+    }
+    (now, skipped)
+}
+
+/// Like [`run_for_ff`], but event-driven: instead of re-deriving the
+/// jump target from scratch each cycle, wake-up hints are posted to a
+/// [`TimerWheel`] and the driver sleeps until the earliest pending wake.
+/// Returns `(next_now, skipped)` like [`run_for_ff`].
+///
+/// Observable component state is byte-identical to [`run_for`] and
+/// [`run_for_ff`]: at every wake the driver ticks *all* components
+/// (exactly as the fast-forward driver does at every non-skipped
+/// cycle), and skipped spans are replayed through
+/// [`Clocked::skip_idle`]. Stale wheel entries — a component re-hinting
+/// earlier than a wake it already posted — cause at worst a *spurious
+/// wake*: an idle tick that a stepped run would have performed anyway,
+/// with the surrounding skip spans split around it. Because stepped ≡
+/// fast-forwarded already proves idle ticks are fully compensated,
+/// spurious wakes cannot change observable state; only the `skipped`
+/// count may differ from [`run_for_ff`]'s.
+pub fn run_for_event<C: Clocked + ?Sized>(
+    components: &mut [&mut C],
+    start: Cycle,
+    cycles: u64,
+) -> (Cycle, u64) {
+    let end = Cycle(start.0 + cycles);
+    let mut now = start;
+    let mut skipped = 0u64;
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
+    while now < end {
+        for c in components.iter_mut() {
+            c.compute(now);
+        }
+        for c in components.iter_mut() {
+            c.commit(now);
+        }
+        // Post each component's wake. `None` posts nothing: a fully
+        // quiescent component is woken only by another's activity (all
+        // quiescent → the wheel drains empty → jump to the end).
+        for c in components.iter() {
+            if let Some(t) = c.next_activity(now) {
+                wheel.schedule(t.max(now.next()), ());
+            }
+        }
+        // Retire wakes at or before the cycle just ticked; they are
+        // satisfied (or stale — both mean "already handled").
+        while wheel.pop_due(now).is_some() {}
+        let hint = wheel.next_event_time(end).unwrap_or(end);
         let next = now.next();
         let target = hint.max(next).min(end);
         if target > next {
@@ -263,6 +321,71 @@ mod tests {
         // ...but the per-cycle accounting is identical.
         assert_eq!(stepped.accounted, ff.accounted);
         assert_eq!(skipped, stepped.idle_ticks);
+    }
+
+    #[test]
+    fn run_for_event_matches_stepped_and_ff() {
+        // Two wakers with coprime periods: their wakes interleave, so
+        // each is regularly woken "early" by the other's activity and
+        // its earlier-posted wheel entry goes stale — exercising the
+        // spurious-wake path of the event driver.
+        fn fresh() -> (Waker, Waker) {
+            let w = |period| Waker {
+                period,
+                active_ticks: 0,
+                idle_ticks: 0,
+                accounted: 0,
+            };
+            (w(7), w(10))
+        }
+        let (mut s1, mut s2) = fresh();
+        let (mut f1, mut f2) = fresh();
+        let (mut e1, mut e2) = fresh();
+        let end_s = run_for(&mut [&mut s1, &mut s2], Cycle(0), 223);
+        let (end_f, _) = run_for_ff(&mut [&mut f1, &mut f2], Cycle(0), 223);
+        let (end_e, skipped) = run_for_event(&mut [&mut e1, &mut e2], Cycle(0), 223);
+        assert_eq!(end_s, end_e);
+        assert_eq!(end_f, end_e);
+        for (s, e) in [(&s1, &e1), (&s2, &e2)] {
+            assert_eq!(s.active_ticks, e.active_ticks);
+            // Ticks at the other waker's wake cycles are idle but real;
+            // total per-cycle accounting must still match stepped.
+            assert_eq!(s.accounted, e.accounted);
+        }
+        assert!(skipped > 0, "expected event-driven skipping, got none");
+        for (f, e) in [(&f1, &e1), (&f2, &e2)] {
+            assert_eq!(f.active_ticks, e.active_ticks);
+            assert_eq!(f.accounted, e.accounted);
+        }
+    }
+
+    #[test]
+    fn run_for_event_all_quiescent_jumps_to_end() {
+        struct Idle {
+            ticks: u64,
+            replayed: u64,
+        }
+        impl Clocked for Idle {
+            fn compute(&mut self, _now: Cycle) {
+                self.ticks += 1;
+            }
+            fn commit(&mut self, _now: Cycle) {}
+            fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+                self.replayed += to.0 - from.0;
+            }
+        }
+        let mut c = Idle {
+            ticks: 0,
+            replayed: 0,
+        };
+        let (end, skipped) = run_for_event(&mut [&mut c], Cycle(0), 1000);
+        assert_eq!(end, Cycle(1000));
+        assert_eq!(c.ticks, 1, "one probe tick, then a jump to the end");
+        assert_eq!(skipped, 999);
+        assert_eq!(c.replayed, 999);
     }
 
     #[test]

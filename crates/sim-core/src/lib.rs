@@ -33,10 +33,12 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use clock::{run_for, run_for_ff, Clocked};
+pub use clock::{run_for, run_for_event, run_for_ff, Clocked};
 pub use events::EventQueue;
 pub use queue::{BoundedQueue, CreditCounter};
 pub use rng::{SimRng, SplitMix64};
 pub use stats::{Counter, Histogram, RateMeter, Summary};
 pub use time::{Bandwidth, ByteSize, Cycle, Cycles, Freq, Time};
+pub use wheel::TimerWheel;

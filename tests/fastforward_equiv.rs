@@ -1,11 +1,13 @@
-//! Fast-forward ≡ stepped execution (cross-crate, hence workspace
-//! root; see `docs/PERF.md` for the contract).
+//! Fast-forward ≡ stepped ≡ event-driven execution (cross-crate,
+//! hence workspace root; see `docs/PERF.md` for the contract).
 //!
-//! Quiescence fast-forward is only admissible because it is
-//! *invisible*: a fast-forwarded run must be byte-identical to the
-//! stepped run in every observable — Chrome traces (timestamps
+//! Quiescence fast-forward — and the event-driven kernel built on the
+//! same `next_activity`/`skip_idle` contract — is only admissible
+//! because it is *invisible*: every run mode must be byte-identical to
+//! the stepped run in every observable — Chrome traces (timestamps
 //! included), exported metrics, reports, conservation accounting, and
-//! RNG-dependent outcomes. These tests hold that line:
+//! RNG-dependent outcomes. These tests hold that line across all
+//! three modes (stepped, inline fast-forward, timer-wheel events):
 //!
 //! 1. **Chain scenario** (proptest): random chain lengths, offered
 //!    loads, port counts, and seeds — identical traces, metrics, and
@@ -21,6 +23,10 @@
 //!    whose token buckets refill across skipped windows — identical
 //!    traces, exported metrics (including `tenancy.*` ledgers and
 //!    stall counters), and per-tenant conservation reports.
+//! 5. **Fabric ring** (proptest): a 2–4-NIC ring with cross-NIC
+//!    chains, run stepped / fast-forwarded / event-driven and at 1 vs
+//!    4 worker threads — identical metrics, fleet stats, and
+//!    conservation everywhere.
 
 use engines::engine::NullOffload;
 use engines::mac::MacEngine;
@@ -40,7 +46,21 @@ use rmt::pipeline::PipelineConfig;
 use rmt::program::ProgramBuilder;
 use rmt::table::{MatchKind, Table};
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use sim_core::wheel::TimerWheel;
 use workloads::frames::FrameFactory;
+
+/// The three clock-advance strategies under test. All must be
+/// observably indistinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Tick every cycle — the reference semantics.
+    Stepped,
+    /// Inline quiescence fast-forward (`run_ff`).
+    Ff,
+    /// Timer-wheel event kernel (`run_event`).
+    Event,
+}
+use Mode::{Event, Ff, Stepped};
 
 // ---------------------------------------------------------------------------
 // Chain scenario
@@ -49,14 +69,12 @@ use workloads::frames::FrameFactory;
 /// Runs `config` in one mode and returns every observable: the Chrome
 /// trace, the exported metrics JSON, the report (debug-formatted —
 /// every field), and the skip count.
-fn chain_artifacts(
-    config: &ChainScenarioConfig,
-    fastforward: bool,
-) -> (String, String, String, u64) {
+fn chain_artifacts(config: &ChainScenarioConfig, mode: Mode) -> (String, String, String, u64) {
     let tracer = trace::Tracer::chrome();
     let mut s = ChainScenario::new(config.clone());
     s.attach_tracer(&tracer);
-    s.set_fastforward(fastforward);
+    s.set_fastforward(mode == Ff);
+    s.set_event_driven(mode == Event);
     s.run(4_000);
     s.drain(4_000);
     let mut m = trace::MetricsRegistry::new();
@@ -73,7 +91,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Any chain configuration produces byte-identical traces,
-    /// metrics, and reports in both execution modes.
+    /// metrics, and reports in all three execution modes.
     #[test]
     fn chain_fastforward_is_byte_identical(
         chain_len in 0usize..=3,
@@ -89,16 +107,21 @@ proptest! {
             seed,
             ..ChainScenarioConfig::default()
         };
-        let (trace_s, metrics_s, report_s, skipped_s) = chain_artifacts(&config, false);
-        let (trace_f, metrics_f, report_f, skipped_f) = chain_artifacts(&config, true);
+        let (trace_s, metrics_s, report_s, skipped_s) = chain_artifacts(&config, Stepped);
+        let (trace_f, metrics_f, report_f, skipped_f) = chain_artifacts(&config, Ff);
+        let (trace_e, metrics_e, report_e, skipped_e) = chain_artifacts(&config, Event);
         prop_assert_eq!(skipped_s, 0, "stepped runs never skip");
-        prop_assert_eq!(report_s, report_f);
-        prop_assert_eq!(metrics_s, metrics_f);
-        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+        prop_assert_eq!(&report_s, &report_f);
+        prop_assert_eq!(&metrics_s, &metrics_f);
+        prop_assert_eq!(&trace_s, &trace_f, "Chrome traces must be byte-identical");
+        prop_assert_eq!(&report_s, &report_e);
+        prop_assert_eq!(&metrics_s, &metrics_e);
+        prop_assert_eq!(&trace_s, &trace_e, "event-driven trace must be byte-identical");
         // Gap-dominated points must actually skip something, or the
-        // fast path has silently regressed into a stepped loop.
+        // fast paths have silently regressed into a stepped loop.
         if offered_fraction <= 0.01 {
-            prop_assert!(skipped_f > 500, "only skipped {skipped_f} cycles");
+            prop_assert!(skipped_f > 500, "ff only skipped {skipped_f} cycles");
+            prop_assert!(skipped_e > 500, "event only skipped {skipped_e} cycles");
         }
     }
 }
@@ -109,14 +132,15 @@ proptest! {
 
 /// Runs the KVS workload in one mode and returns (trace, metrics,
 /// report, skipped).
-fn kvs_artifacts(fastforward: bool) -> (String, String, String, u64) {
+fn kvs_artifacts(mode: Mode) -> (String, String, String, u64) {
     let mut config = KvsScenarioConfig::two_tenant_default();
     config.keys_per_tenant = 60;
     config.cached_hot_keys = 12;
     let tracer = trace::Tracer::chrome();
     let mut s = KvsScenario::new(config);
     s.attach_tracer(&tracer);
-    s.set_fastforward(fastforward);
+    s.set_fastforward(mode == Ff);
+    s.set_event_driven(mode == Event);
     s.run(20_000);
     let mut m = trace::MetricsRegistry::new();
     s.export_metrics(&mut m);
@@ -133,12 +157,20 @@ fn kvs_artifacts(fastforward: bool) -> (String, String, String, u64) {
 /// fast-forward, and the periodic tenants leave real gaps to skip.
 #[test]
 fn kvs_fastforward_is_byte_identical() {
-    let (trace_s, metrics_s, report_s, _) = kvs_artifacts(false);
-    let (trace_f, metrics_f, report_f, skipped) = kvs_artifacts(true);
+    let (trace_s, metrics_s, report_s, _) = kvs_artifacts(Stepped);
+    let (trace_f, metrics_f, report_f, skipped) = kvs_artifacts(Ff);
+    let (trace_e, metrics_e, report_e, skipped_e) = kvs_artifacts(Event);
     assert_eq!(report_s, report_f);
     assert_eq!(metrics_s, metrics_f);
     assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
     assert!(skipped > 1_000, "only skipped {skipped} cycles");
+    assert_eq!(report_s, report_e);
+    assert_eq!(metrics_s, metrics_e);
+    assert_eq!(
+        trace_s, trace_e,
+        "event-driven trace must be byte-identical"
+    );
+    assert!(skipped_e > 1_000, "event only skipped {skipped_e} cycles");
 }
 
 // ---------------------------------------------------------------------------
@@ -218,17 +250,19 @@ fn fault_universe() -> FaultUniverse {
 }
 
 /// Drives `nic` to quiescence-with-faults-settled, injecting one frame
-/// every [`GAP`] cycles, stepping every cycle (`fastforward == false`)
-/// or jumping provably idle gaps. Returns the cycles skipped.
+/// every [`GAP`] cycles — stepping every cycle, jumping provably idle
+/// gaps inline, or sleeping on timer-wheel wake-ups, per `mode`.
+/// Returns the cycles skipped.
 ///
-/// The injection schedule is deterministic, so the fast-forward driver
-/// folds the next injection cycle into the jump target exactly like
-/// the scenarios fold their arrival processes in.
-fn drive(nic: &mut PanicNic, eth: EngineId, fastforward: bool) -> u64 {
+/// The injection schedule is deterministic, so the fast drivers fold
+/// the next injection cycle into the jump target exactly like the
+/// scenarios fold their arrival processes in.
+fn drive(nic: &mut PanicNic, eth: EngineId, mode: Mode) -> u64 {
     let mut factory = FrameFactory::for_nic_port(0);
     let mut now = Cycle(0);
     let mut sent = 0u64;
     let mut skipped = 0u64;
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
     while now.0 < BOUND {
         if sent < FRAMES && now.0.is_multiple_of(GAP) {
             nic.rx_frame(
@@ -245,17 +279,36 @@ fn drive(nic: &mut PanicNic, eth: EngineId, fastforward: bool) -> u64 {
             return skipped;
         }
         let next = now.next();
-        if !fastforward {
+        if mode == Stepped {
             now = next;
             continue;
         }
-        let mut hint = nic.next_activity(now);
-        if sent < FRAMES {
-            // Next injection: the smallest multiple of GAP >= now + 1.
-            let inject_at = Cycle((now.0 / GAP + 1) * GAP);
-            hint = Some(hint.map_or(inject_at, |h| h.min(inject_at)));
-        }
-        let target = hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND));
+        // Next injection: the smallest multiple of GAP >= now + 1.
+        let inject_at = (sent < FRAMES).then(|| Cycle((now.0 / GAP + 1) * GAP));
+        let target = match mode {
+            Stepped => unreachable!(),
+            Ff => {
+                let mut hint = nic.next_activity(now);
+                if let Some(at) = inject_at {
+                    hint = Some(hint.map_or(at, |h| h.min(at)));
+                }
+                hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND))
+            }
+            Event => {
+                if let Some(h) = nic.next_activity(now) {
+                    wheel.schedule(h.max(next), ());
+                }
+                if let Some(at) = inject_at {
+                    wheel.schedule(at, ());
+                }
+                while wheel.pop_due(now).is_some() {}
+                wheel
+                    .next_event_time(Cycle(BOUND))
+                    .unwrap_or(Cycle(BOUND))
+                    .max(next)
+                    .min(Cycle(BOUND))
+            }
+        };
         if target > next {
             nic.skip_idle(next, target);
             skipped += target.0 - next.0;
@@ -270,13 +323,13 @@ fn drive(nic: &mut PanicNic, eth: EngineId, fastforward: bool) -> u64 {
 
 /// One observed fault run: (Chrome trace, conservation report,
 /// headline counters, cycles skipped).
-fn fault_artifacts(seed: u64, intensity: u32, fastforward: bool) -> (String, String, String, u64) {
+fn fault_artifacts(seed: u64, intensity: u32, mode: Mode) -> (String, String, String, u64) {
     let plan = FaultPlan::generate(seed, &fault_universe(), intensity);
     let (mut nic, eth) = watchdog_nic();
     let tracer = trace::Tracer::chrome();
     nic.attach_tracer(&tracer);
     nic.enable_faults(plan);
-    let skipped = drive(&mut nic, eth, fastforward);
+    let skipped = drive(&mut nic, eth, mode);
     let s = nic.stats();
     let counters = format!(
         "tx={} fb={} re={} fail={} dup={} down={:?}",
@@ -298,16 +351,21 @@ fn fault_artifacts(seed: u64, intensity: u32, fastforward: bool) -> (String, Str
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Seeded chaos replays byte-identically under fast-forward:
-    /// crashes, stalls, degradations, watchdog strikes, failover, and
-    /// re-issues all land on the same cycles with the same outcomes.
+    /// Seeded chaos replays byte-identically under fast-forward and
+    /// the event kernel: crashes, stalls, degradations, watchdog
+    /// strikes, failover, and re-issues all land on the same cycles
+    /// with the same outcomes.
     #[test]
     fn seeded_fault_plans_are_ff_equivalent(seed in any::<u64>(), intensity in 1u32..=8) {
-        let (trace_s, cons_s, counters_s, _) = fault_artifacts(seed, intensity, false);
-        let (trace_f, cons_f, counters_f, _) = fault_artifacts(seed, intensity, true);
-        prop_assert_eq!(counters_s, counters_f);
-        prop_assert_eq!(cons_s, cons_f);
-        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+        let (trace_s, cons_s, counters_s, _) = fault_artifacts(seed, intensity, Stepped);
+        let (trace_f, cons_f, counters_f, _) = fault_artifacts(seed, intensity, Ff);
+        let (trace_e, cons_e, counters_e, _) = fault_artifacts(seed, intensity, Event);
+        prop_assert_eq!(&counters_s, &counters_f);
+        prop_assert_eq!(&cons_s, &cons_f);
+        prop_assert_eq!(&trace_s, &trace_f, "Chrome traces must be byte-identical");
+        prop_assert_eq!(&counters_s, &counters_e);
+        prop_assert_eq!(&cons_s, &cons_e);
+        prop_assert_eq!(&trace_s, &trace_e, "event-driven trace must be byte-identical");
     }
 }
 
@@ -316,13 +374,18 @@ proptest! {
 /// while the watchdog is armed.
 #[test]
 fn fault_plan_golden_seed_skips_and_matches() {
-    let (trace_s, cons_s, counters_s, skipped_s) = fault_artifacts(0x00C0_FFEE, 8, false);
-    let (trace_f, cons_f, counters_f, skipped_f) = fault_artifacts(0x00C0_FFEE, 8, true);
+    let (trace_s, cons_s, counters_s, skipped_s) = fault_artifacts(0x00C0_FFEE, 8, Stepped);
+    let (trace_f, cons_f, counters_f, skipped_f) = fault_artifacts(0x00C0_FFEE, 8, Ff);
+    let (trace_e, cons_e, counters_e, skipped_e) = fault_artifacts(0x00C0_FFEE, 8, Event);
     assert_eq!(skipped_s, 0, "stepped runs never skip");
     assert_eq!(counters_s, counters_f);
     assert_eq!(cons_s, cons_f);
     assert_eq!(trace_s, trace_f);
-    assert!(skipped_f > 1_000, "only skipped {skipped_f} cycles");
+    assert!(skipped_f > 1_000, "ff only skipped {skipped_f} cycles");
+    assert_eq!(counters_e, counters_f);
+    assert_eq!(cons_e, cons_f);
+    assert_eq!(trace_e, trace_f);
+    assert!(skipped_e > 1_000, "event only skipped {skipped_e} cycles");
 }
 
 // ---------------------------------------------------------------------------
@@ -407,7 +470,7 @@ fn tenanted_watchdog_nic(shaped_gap: u64) -> (PanicNic, EngineId) {
 /// One observed tenancy run: (Chrome trace, exported metrics JSON,
 /// per-tenant conservation reports, cycles skipped). Frames alternate
 /// between the unshaped and the shaped tenant.
-fn tenancy_artifacts(shaped_gap: u64, fastforward: bool) -> (String, String, String, u64) {
+fn tenancy_artifacts(shaped_gap: u64, mode: Mode) -> (String, String, String, u64) {
     let (mut nic, eth) = tenanted_watchdog_nic(shaped_gap);
     let tracer = trace::Tracer::chrome();
     nic.attach_tracer(&tracer);
@@ -415,6 +478,7 @@ fn tenancy_artifacts(shaped_gap: u64, fastforward: bool) -> (String, String, Str
     let mut now = Cycle(0);
     let mut sent = 0u64;
     let mut skipped = 0u64;
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
     loop {
         assert!(now.0 < BOUND, "tenancy run did not drain within {BOUND}");
         if sent < FRAMES && now.0.is_multiple_of(GAP) {
@@ -433,16 +497,35 @@ fn tenancy_artifacts(shaped_gap: u64, fastforward: bool) -> (String, String, Str
             break;
         }
         let next = now.next();
-        if !fastforward {
+        if mode == Stepped {
             now = next;
             continue;
         }
-        let mut hint = nic.next_activity(now);
-        if sent < FRAMES {
-            let inject_at = Cycle((now.0 / GAP + 1) * GAP);
-            hint = Some(hint.map_or(inject_at, |h| h.min(inject_at)));
-        }
-        let target = hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND));
+        let inject_at = (sent < FRAMES).then(|| Cycle((now.0 / GAP + 1) * GAP));
+        let target = match mode {
+            Stepped => unreachable!(),
+            Ff => {
+                let mut hint = nic.next_activity(now);
+                if let Some(at) = inject_at {
+                    hint = Some(hint.map_or(at, |h| h.min(at)));
+                }
+                hint.unwrap_or(Cycle(BOUND)).max(next).min(Cycle(BOUND))
+            }
+            Event => {
+                if let Some(h) = nic.next_activity(now) {
+                    wheel.schedule(h.max(next), ());
+                }
+                if let Some(at) = inject_at {
+                    wheel.schedule(at, ());
+                }
+                while wheel.pop_due(now).is_some() {}
+                wheel
+                    .next_event_time(Cycle(BOUND))
+                    .unwrap_or(Cycle(BOUND))
+                    .max(next)
+                    .min(Cycle(BOUND))
+            }
+        };
         if target > next {
             nic.skip_idle(next, target);
             skipped += target.0 - next.0;
@@ -467,16 +550,21 @@ fn tenancy_artifacts(shaped_gap: u64, fastforward: bool) -> (String, String, Str
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Any shaping gap replays byte-identically under fast-forward:
-    /// token refills, DRR grants, rate-stall counters, and release
-    /// cycles land exactly where the stepped run put them.
+    /// Any shaping gap replays byte-identically under fast-forward and
+    /// the event kernel: token refills, DRR grants, rate-stall
+    /// counters, and release cycles land exactly where the stepped run
+    /// put them.
     #[test]
     fn tenancy_plane_is_ff_equivalent(shaped_gap in 1u64..=96) {
-        let (trace_s, metrics_s, cons_s, _) = tenancy_artifacts(shaped_gap, false);
-        let (trace_f, metrics_f, cons_f, _) = tenancy_artifacts(shaped_gap, true);
-        prop_assert_eq!(cons_s, cons_f);
-        prop_assert_eq!(metrics_s, metrics_f);
-        prop_assert_eq!(trace_s, trace_f, "Chrome traces must be byte-identical");
+        let (trace_s, metrics_s, cons_s, _) = tenancy_artifacts(shaped_gap, Stepped);
+        let (trace_f, metrics_f, cons_f, _) = tenancy_artifacts(shaped_gap, Ff);
+        let (trace_e, metrics_e, cons_e, _) = tenancy_artifacts(shaped_gap, Event);
+        prop_assert_eq!(&cons_s, &cons_f);
+        prop_assert_eq!(&metrics_s, &metrics_f);
+        prop_assert_eq!(&trace_s, &trace_f, "Chrome traces must be byte-identical");
+        prop_assert_eq!(&cons_s, &cons_e);
+        prop_assert_eq!(&metrics_s, &metrics_e);
+        prop_assert_eq!(&trace_s, &trace_e, "event-driven trace must be byte-identical");
     }
 }
 
@@ -487,17 +575,148 @@ proptest! {
 #[test]
 fn tenancy_golden_skips_and_matches() {
     // Shaping slower than the injection gap guarantees rate stalls.
-    let (trace_s, metrics_s, cons_s, skipped_s) = tenancy_artifacts(3 * GAP, false);
-    let (trace_f, metrics_f, cons_f, skipped_f) = tenancy_artifacts(3 * GAP, true);
+    let (trace_s, metrics_s, cons_s, skipped_s) = tenancy_artifacts(3 * GAP, Stepped);
+    let (trace_f, metrics_f, cons_f, skipped_f) = tenancy_artifacts(3 * GAP, Ff);
+    let (trace_e, metrics_e, cons_e, skipped_e) = tenancy_artifacts(3 * GAP, Event);
     assert_eq!(skipped_s, 0, "stepped runs never skip");
     assert_eq!(cons_s, cons_f);
     assert_eq!(metrics_s, metrics_f);
     assert_eq!(trace_s, trace_f);
-    assert!(skipped_f > 1_000, "only skipped {skipped_f} cycles");
+    assert!(skipped_f > 1_000, "ff only skipped {skipped_f} cycles");
+    assert_eq!(cons_e, cons_f);
+    assert_eq!(metrics_e, metrics_f);
+    assert_eq!(trace_e, trace_f);
+    assert!(skipped_e > 1_000, "event only skipped {skipped_e} cycles");
     assert!(
         metrics_f.contains("\"tenancy.shaped.rate_stalls\":")
             && !metrics_f.contains("\"tenancy.shaped.rate_stalls\":0"),
         "shaped tenant never hit the rate gate — the refill wake-up \
          path went unexercised: {metrics_f}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fabric ring
+// ---------------------------------------------------------------------------
+
+/// An `nics`-member ring with cross-NIC chains (each member's chain
+/// finishes on its successor), run to quiescence in `mode` with
+/// `threads` worker threads. Returns (metrics JSON, fleet stats
+/// debug, total skipped).
+fn ring_artifacts(nics: usize, mode: Mode, threads: usize) -> (String, String, u64) {
+    use engines::mac::MacEngine;
+    use fabric::{FabricBuilder, LinkSpec, PeriodicDriver};
+    use panic_core::nic::NicConfig;
+    use panic_core::programs::chain_program;
+
+    let freq = Freq::mhz(500);
+    let mut fb = FabricBuilder::new();
+    let mut uplinks = Vec::new();
+    for i in 0..nics {
+        let mut b = PanicNic::builder(NicConfig {
+            topology: Topology::mesh(3, 3),
+            width_bits: 64,
+            router: RouterConfig::default(),
+            pipeline: PipelineConfig {
+                parallel: 1,
+                depth: 3,
+                freq,
+            },
+            pcie_flush_interval: 0,
+        });
+        let eth = b.engine(
+            Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
+            TileConfig::default(),
+        );
+        let crc = b.engine(
+            Box::new(NullOffload::new("crc", EngineClass::Asic, Cycles(4))),
+            TileConfig::default(),
+        );
+        let _ = b.rmt_portal();
+        let next = (i + 1) % nics;
+        b.program(chain_program(
+            &[crc, EngineId::remote(next, crc)],
+            EngineId::remote(next, eth),
+            Some(5_000),
+        ));
+        uplinks.push((fb.member(b, eth), eth));
+    }
+    for i in 0..nics {
+        fb.link_pair(
+            i,
+            (i + 1) % nics,
+            LinkSpec::new(0, 0).latency(12).credits(8),
+        );
+    }
+    for (i, &(mi, eth)) in uplinks.iter().enumerate() {
+        let mut factory = FrameFactory::for_nic_port(0);
+        fb.driver(
+            mi,
+            Box::new(PeriodicDriver::new(
+                (i as u64) * 7,
+                90,
+                20,
+                move |nic: &mut PanicNic, now, k| {
+                    nic.rx_frame(
+                        eth,
+                        factory.min_frame((k % 50) as u16, 80),
+                        TenantId(0),
+                        Priority::Normal,
+                        now,
+                    );
+                },
+            )),
+        );
+    }
+    let mut fabric = fb.build();
+    fabric.set_threads(threads);
+    let mut skipped = 0u64;
+    let mut now = Cycle(0);
+    let advance = |f: &mut fabric::Fabric, at: Cycle, cycles: u64| match mode {
+        Stepped => (f.run(at, cycles), 0),
+        Ff => f.run_ff(at, cycles),
+        Event => f.run_event(at, cycles),
+    };
+    let (next, s) = advance(&mut fabric, now, 30_000);
+    now = next;
+    skipped += s;
+    for _ in 0..64 {
+        if fabric.is_quiescent() {
+            break;
+        }
+        let (next, s) = advance(&mut fabric, now, 10_000);
+        now = next;
+        skipped += s;
+    }
+    assert!(fabric.is_quiescent(), "ring failed to drain");
+    let c = fabric.conservation();
+    assert!(c.holds(), "fleet conservation violated:\n{c}");
+    let mut m = trace::MetricsRegistry::new();
+    fabric.export_metrics(&mut m);
+    (m.to_json(), format!("{:?}", fabric.stats()), skipped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A 2–4-NIC ring with cross-NIC chains produces byte-identical
+    /// metrics and fleet stats stepped, fast-forwarded, and
+    /// event-driven — and, for the event kernel, at 1 vs 4 worker
+    /// threads.
+    #[test]
+    fn fabric_ring_modes_and_threads_are_byte_identical(nics in 2usize..=4) {
+        let (m_s, _, skipped_s) = ring_artifacts(nics, Stepped, 1);
+        let (m_f, _, _) = ring_artifacts(nics, Ff, 1);
+        let (m_e1, f_e1, skipped_e) = ring_artifacts(nics, Event, 1);
+        let (m_e4, f_e4, _) = ring_artifacts(nics, Event, 4);
+        prop_assert_eq!(skipped_s, 0, "stepped runs never skip");
+        prop_assert_eq!(&m_s, &m_f);
+        prop_assert_eq!(&m_s, &m_e1, "event-driven metrics must be byte-identical");
+        // Fleet stats include mode-dependent execution counters
+        // (epochs, fleet jumps), so they are compared only across
+        // thread counts within a mode.
+        prop_assert_eq!(&m_e1, &m_e4, "metrics must not depend on the thread count");
+        prop_assert_eq!(&f_e1, &f_e4, "fleet stats must not depend on the thread count");
+        prop_assert!(skipped_e > 1_000, "event only skipped {} cycles", skipped_e);
+    }
 }

@@ -19,7 +19,10 @@
 //! * the `MessagePool` arena minting its working set of flit
 //!   buffers (recycled, never freed, thereafter);
 //! * per-tile queue and scheduler storage reaching peak occupancy;
-//! * lazily built engine state (e.g. a MAC's first-use histograms).
+//! * lazily built engine state (e.g. a MAC's first-use histograms);
+//! * the event kernel's [`TimerWheel`] slot buckets and due buffer
+//!   growing to their working set (buckets are taken and restored,
+//!   never freed, thereafter).
 //!
 //! Frame *injection* allocates by design (fresh payload bytes per
 //! frame — that is workload state, not simulator state) and is
@@ -44,6 +47,7 @@ use rmt::pipeline::PipelineConfig;
 use rmt::program::ProgramBuilder;
 use rmt::table::{MatchKind, Table};
 use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use sim_core::wheel::TimerWheel;
 use workloads::frames::FrameFactory;
 
 /// Counts allocations (and reallocations) while armed; forwards
@@ -245,6 +249,112 @@ fn steady_state_tick_allocates_nothing() {
         allocs, 0,
         "steady-state ticks allocated {allocs} times ({bytes} bytes) over \
          {MEASURE} cycles — the zero-alloc hot path has regressed"
+    );
+}
+
+/// One turn of the wake-on-event loop, mirroring
+/// `PanicNic::run_event`: tick at `now` (via [`step`], so injection
+/// stays uncounted), re-arm the NIC's `next_activity` wake plus the
+/// workload's injection clock in the wheel, retire due wakes, then
+/// jump straight to the next wake, replaying idle bookkeeping with
+/// `skip_idle`.
+#[allow(clippy::too_many_arguments)]
+fn event_turn(
+    nic: &mut PanicNic,
+    eth: EngineId,
+    factory: &mut FrameFactory,
+    scratch: &mut Vec<Message>,
+    wheel: &mut TimerWheel<()>,
+    now: &mut Cycle,
+    end: Cycle,
+    inject_every: u64,
+) -> u64 {
+    let delivered = step(nic, eth, factory, scratch, *now, inject_every);
+    if let Some(t) = nic.next_activity(*now) {
+        wheel.schedule(t.max(now.next()), ());
+    }
+    // The injection clock is a wake source the NIC can't see. Armed
+    // once per period (at injection time) so the wheel isn't flooded
+    // with duplicate wakes while the NIC ticks every cycle.
+    if now.0.is_multiple_of(inject_every) {
+        wheel.schedule(Cycle(now.0 + inject_every), ());
+    }
+    while wheel.pop_due(*now).is_some() {}
+    let next = now.next();
+    let target = wheel.next_event_time(end).unwrap_or(end).max(next).min(end);
+    if target > next {
+        nic.skip_idle(next, target);
+    }
+    *now = target;
+    delivered
+}
+
+/// The event kernel's steady state is allocation-free too: the same
+/// busy chain driven through timer-wheel schedule/pop, exact
+/// `next_event_time` jumps, and `skip_idle` replay allocates nothing
+/// once warm. (`TimerWheel::new` and first-touch bucket growth are
+/// warm-up, like every scratch buffer in the allowlist above.)
+///
+/// Call-site audit for this test: **no** production
+/// `EventQueue::drain_due` call sites remain — every hot path drains
+/// through `drain_due_into`; the only `drain_due` uses left are the
+/// wheel/queue unit tests themselves.
+#[test]
+fn event_kernel_steady_state_allocates_nothing() {
+    const INJECT_EVERY: u64 = 24;
+    const WARMUP: u64 = 6_000;
+    const MEASURE: u64 = 6_000;
+
+    let (mut nic, eth) = chain_nic();
+    let mut factory = FrameFactory::for_nic_port(0);
+    let mut scratch: Vec<Message> = Vec::new();
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
+    // Bucket capacity is part of the warm-up allowlist; `reserve`
+    // front-loads it so cursor-position-dependent bucket growth can't
+    // leak into the measured window.
+    wheel.reserve(8);
+    let mut now = Cycle(0);
+    let mut delivered = 0u64;
+
+    while now < Cycle(WARMUP) {
+        delivered += event_turn(
+            &mut nic,
+            eth,
+            &mut factory,
+            &mut scratch,
+            &mut wheel,
+            &mut now,
+            Cycle(WARMUP),
+            INJECT_EVERY,
+        );
+    }
+    assert!(delivered > 0, "warm-up must reach the wire");
+
+    let (delivered, allocs, bytes) = counted(|| {
+        let mut d = 0u64;
+        while now < Cycle(WARMUP + MEASURE) {
+            d += event_turn(
+                &mut nic,
+                eth,
+                &mut factory,
+                &mut scratch,
+                &mut wheel,
+                &mut now,
+                Cycle(WARMUP + MEASURE),
+                INJECT_EVERY,
+            );
+        }
+        d
+    });
+    assert!(
+        delivered > MEASURE / INJECT_EVERY / 2,
+        "measured window must stay busy (delivered {delivered})"
+    );
+    assert_eq!(
+        allocs, 0,
+        "event-kernel steady state allocated {allocs} times ({bytes} bytes) \
+         over {MEASURE} cycles — the zero-alloc wake-on-event path has \
+         regressed"
     );
 }
 
