@@ -7,6 +7,7 @@ pub mod ablation_pointer;
 pub mod ablation_sched;
 pub mod ablation_split_net;
 pub mod chain_crossover;
+pub mod ctl;
 pub mod fault_recovery;
 pub mod hol;
 pub mod isolation;
@@ -185,6 +186,11 @@ pub fn all() -> Vec<Experiment> {
                 rack_chaos::run,
             )
         },
+        exp(
+            "ctl",
+            "Live management plane: runtime reconfiguration + telemetry over the control wire",
+            ctl::run,
+        ),
         exp(
             "open-questions",
             "S6: placement and topology-shape sweeps",

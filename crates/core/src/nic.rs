@@ -490,6 +490,7 @@ impl NicBuilder {
             pipeline_scratch: Vec::new(),
             emit_scratch: Vec::new(),
             portals,
+            pipeline_gated: false,
             rr_portal: 0,
             next_msg_id: 0,
             wire_tx: Vec::new(),
@@ -535,6 +536,11 @@ pub struct PanicNic {
     tile_idle: Vec<bool>,
     portals: Vec<EngineId>,
     pipeline: RmtPipeline,
+    /// True while the management plane holds the pipeline gate shut
+    /// (a program hot-swap is draining): portals stop submitting, and
+    /// arriving flits backpressure losslessly in the NoC ejection
+    /// buffers until the gate reopens. Always false outside a swap.
+    pipeline_gated: bool,
     rr_portal: usize,
     next_msg_id: u64,
     wire_tx: Vec<Message>,
@@ -863,7 +869,10 @@ impl PanicNic {
         // Unknown tenants — and every frame on an untenanted NIC —
         // take the direct path below.
         if let Some(tn) = self.tenancy.as_mut() {
-            if tn.knows(tenant) {
+            // `admits`, not `knows`: a vNIC draining toward live
+            // removal stops admitting while its in-flight copies keep
+            // settling through the accounting paths.
+            if tn.admits(tenant) {
                 tn.submit(SubmitSource::Rx, msg, now);
                 return id;
             }
@@ -894,7 +903,7 @@ impl PanicNic {
             .build();
         self.stats.injected_internal += 1;
         if let Some(tn) = self.tenancy.as_mut() {
-            if tn.knows(tenant) {
+            if tn.admits(tenant) {
                 tn.submit(SubmitSource::Injected, msg, now);
                 return id;
             }
@@ -1013,6 +1022,16 @@ impl PanicNic {
     pub fn set_msg_id_base(&mut self, base: u64) {
         debug_assert_eq!(self.next_msg_id, 0, "id base set after traffic started");
         self.next_msg_id = base;
+    }
+
+    /// The next message id this NIC would allocate. Strictly
+    /// monotonic for the life of the NIC: crashes, recoveries, and
+    /// live management-plane mutations never rewind it, so the top
+    /// 16 bits keep carrying the fabric member index set by
+    /// [`PanicNic::set_msg_id_base`].
+    #[must_use]
+    pub fn msg_id_watermark(&self) -> u64 {
+        self.next_msg_id
     }
 
     /// Tells this NIC its own index in a rack fabric, so chain hops
@@ -1261,8 +1280,16 @@ impl PanicNic {
                     }
                 }
                 TileSlot::RmtPortal => {
-                    if let Some(msg) = self.network.poll_ejected(id, now) {
-                        self.pipeline.submit(msg);
+                    // Management-plane gate: during a program swap the
+                    // portal stops feeding the pipeline so it drains;
+                    // flits wait in the NoC ejection buffer (lossless
+                    // backpressure, and the network stays visibly
+                    // non-quiescent so fast-forward hints remain
+                    // conservative).
+                    if !self.pipeline_gated {
+                        if let Some(msg) = self.network.poll_ejected(id, now) {
+                            self.pipeline.submit(msg);
+                        }
                     }
                 }
             }
@@ -1411,6 +1438,81 @@ impl PanicNic {
         }
         c.lost_noc = self.network.lost_of(tenant);
         Some(c)
+    }
+
+    // ---- management-plane hooks ------------------------------------
+    //
+    // The primitives `panic-ctrl`'s `CtrlEndpoint` drives between
+    // cycles. Each is safe to call mid-run; drain preconditions are
+    // asserted rather than awaited — the endpoint owns the waiting
+    // (see docs/CONTROL.md).
+
+    /// Mutable access to the tenancy runtime for live parameter
+    /// rewrites (rate / weight / quota / removal). `None` when the
+    /// tenancy plane is off — use [`PanicNic::ctrl_add_vnic`] to
+    /// engage it.
+    pub fn tenancy_mut(&mut self) -> Option<&mut TenancyRuntime> {
+        self.tenancy.as_deref_mut()
+    }
+
+    /// Adds a tenant vNIC live, engaging the tenancy plane (with
+    /// default pool parameters) if the NIC was untenanted. The new
+    /// vNIC's implicit-exit baseline is seeded from the component
+    /// stats *now*, so drops or losses attributed to this tenant id
+    /// before the vNIC existed cannot return credits it never charged.
+    /// Returns `false` if the tenant already has a vNIC.
+    pub fn ctrl_add_vnic(&mut self, spec: tenancy::VNicSpec) -> bool {
+        let tenant = spec.tenant;
+        let mut baseline = self.network.lost_of(tenant);
+        for slot in self.tiles.iter() {
+            if let TileSlot::Engine(tile) = slot {
+                baseline += tile.queue_stats().dropped_of(tenant);
+                baseline += tile.stats().flushed_of(tenant);
+            }
+        }
+        let tn = self.tenancy.get_or_insert_with(|| {
+            let mut tn = Box::new(TenancyRuntime::new(TenancyConfig::new(Vec::new())));
+            tn.attach_tracer(&self.tracer);
+            tn
+        });
+        tn.add_vnic(spec, baseline)
+    }
+
+    /// Closes (or reopens) the pipeline gate. While shut, portals stop
+    /// submitting and the pipeline drains; arriving traffic waits in
+    /// the NoC ejection buffers. Used by the management plane around
+    /// [`PanicNic::swap_program`].
+    pub fn set_pipeline_gate(&mut self, gated: bool) {
+        self.pipeline_gated = gated;
+    }
+
+    /// True while the management plane holds the pipeline gate shut.
+    #[must_use]
+    pub fn pipeline_gated(&self) -> bool {
+        self.pipeline_gated
+    }
+
+    /// True when the gate is shut *and* the pipeline has fully drained
+    /// (no backlog, nothing inside the stages) — the precondition for
+    /// [`PanicNic::swap_program`].
+    #[must_use]
+    pub fn pipeline_drained(&self) -> bool {
+        self.pipeline_gated && self.pipeline.backlog() == 0 && self.pipeline.occupancy() == 0
+    }
+
+    /// Hot-swaps the RMT program, re-lowering it through
+    /// `rmt::compile`. The gate stays shut; the caller reopens it with
+    /// [`PanicNic::set_pipeline_gate`]`(false)` once the new epoch
+    /// begins.
+    ///
+    /// # Panics
+    /// Panics unless [`PanicNic::pipeline_drained`] holds.
+    pub fn swap_program(&mut self, program: RmtProgram) {
+        assert!(
+            self.pipeline_drained(),
+            "program swap before the pipeline drained (gate the pipeline and wait)"
+        );
+        self.pipeline.set_program(program);
     }
 
     // ---- fault-plane driver ----------------------------------------

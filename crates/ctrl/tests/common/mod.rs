@@ -1,0 +1,124 @@
+//! Shared scaffolding for the control-plane integration tests: one
+//! standalone PANIC NIC with a MAC uplink, an IPSec-class and a
+//! compression offload, two RMT portals, a crypto→comp chain program,
+//! and a single-tenant tenancy plane — the same shape the isolation
+//! experiment uses, small enough to drain in a few thousand cycles.
+#![allow(dead_code)]
+
+use engines::engine::NullOffload;
+use engines::mac::MacEngine;
+use engines::tile::TileConfig;
+use noc::router::RouterConfig;
+use noc::topology::Topology;
+use packet::chain::EngineClass;
+use packet::message::{Priority, TenantId};
+use packet::EngineId;
+use panic_core::nic::{NicConfig, PanicNic};
+use panic_core::programs::chain_program;
+use rmt::pipeline::PipelineConfig;
+use sim_core::time::{Bandwidth, Cycle, Cycles, Freq};
+use tenancy::{TenancyConfig, VNicSpec};
+use workloads::frames::FrameFactory;
+
+/// The tenant configured at build time.
+pub const TENANT: TenantId = TenantId(1);
+/// A tenant id with no build-time vNIC (added live by tests).
+pub const LATE: TenantId = TenantId(2);
+
+/// A built NIC plus everything a test needs to drive and mutate it.
+pub struct Rig {
+    /// The live NIC.
+    pub nic: PanicNic,
+    /// The build-time spec (feed to `CtrlEndpoint::new`).
+    pub spec: panic_verify::NicSpec,
+    /// MAC uplink engine.
+    pub eth: EngineId,
+    /// 40-cycle IPSec-class offload.
+    pub crypto: EngineId,
+    /// 12-cycle compression offload.
+    pub comp: EngineId,
+    /// Frame source for injection.
+    pub factory: FrameFactory,
+}
+
+/// Builds the reference rig: chain program `crypto → comp → eth`,
+/// tenancy plane with [`TENANT`] (weight 8, quota 32, shared 64).
+pub fn rig() -> Rig {
+    let freq = Freq::PANIC_DEFAULT;
+    let mut b = PanicNic::builder(NicConfig {
+        topology: Topology::mesh(4, 4),
+        width_bits: 128,
+        router: RouterConfig::default(),
+        pipeline: PipelineConfig {
+            parallel: 2,
+            depth: 18,
+            freq,
+        },
+        pcie_flush_interval: 0,
+    });
+    let eth = b.engine(
+        Box::new(MacEngine::new("eth", Bandwidth::gbps(100), freq)),
+        TileConfig::default(),
+    );
+    let crypto = b.engine(
+        Box::new(NullOffload::new("ipsec", EngineClass::Asic, Cycles(40))),
+        TileConfig {
+            queue_capacity: 256,
+            ..TileConfig::default()
+        },
+    );
+    let comp = b.engine(
+        Box::new(NullOffload::new("comp", EngineClass::Asic, Cycles(12))),
+        TileConfig {
+            queue_capacity: 256,
+            ..TileConfig::default()
+        },
+    );
+    let _ = b.rmt_portal();
+    let _ = b.rmt_portal();
+    b.program(chain_program(&[crypto, comp], eth, Some(5_000)));
+    b.tenancy(
+        TenancyConfig::new(vec![VNicSpec::new(TENANT, "victim-kvs", 8).credit_quota(32)])
+            .shared_credits(64),
+    );
+    let spec = b.to_spec();
+    Rig {
+        nic: b.build(),
+        spec,
+        eth,
+        crypto,
+        comp,
+        factory: FrameFactory::for_nic_port(0),
+    }
+}
+
+impl Rig {
+    /// Injects one minimal frame for `tenant` at `now`.
+    pub fn inject(&mut self, tenant: TenantId, step: u64, now: Cycle) {
+        self.nic.rx_frame(
+            self.eth,
+            self.factory.min_frame((step % 50) as u16, 80),
+            tenant,
+            Priority::Normal,
+            now,
+        );
+    }
+
+    /// Ticks once, discarding egress.
+    pub fn tick(&mut self, now: Cycle) -> Cycle {
+        self.nic.tick(now);
+        let _ = self.nic.take_wire_tx();
+        now.next()
+    }
+
+    /// Runs until quiescent (bounded), asserting it gets there.
+    pub fn drain(&mut self, mut now: Cycle) -> Cycle {
+        for _ in 0..50_000 {
+            if self.nic.is_quiescent() {
+                return now;
+            }
+            now = self.tick(now);
+        }
+        panic!("rig failed to drain");
+    }
+}

@@ -1,0 +1,197 @@
+//! Drain + epoch-switch semantics under load: a program hot-swap and
+//! a live vNIC add/remove, each with every conservation identity
+//! (NIC copy-level and per-tenant) closing on both sides of the
+//! epoch switch, and traffic demonstrably served by the
+//! post-mutation configuration.
+
+mod common;
+
+use common::{rig, LATE, TENANT};
+use panic_core::programs::chain_program;
+use panic_ctrl::{CtrlBody, CtrlEndpoint, CtrlFrame, CtrlRequest, CtrlResponse};
+use sim_core::time::Cycle;
+use tenancy::VNicSpec;
+
+/// Asserts both identities at a quiescent point and returns the
+/// tenant's wire count.
+fn closed_books(r: &common::Rig, tenant: packet::TenantId) -> u64 {
+    assert!(r.nic.is_quiescent(), "books close at quiescence");
+    let c = r.nic.conservation();
+    assert!(c.holds(), "copy-level conservation violated:\n{c}");
+    let t = r
+        .nic
+        .tenant_conservation(tenant)
+        .expect("tenant has a vNIC");
+    assert!(t.holds(), "tenant conservation violated:\n{t}");
+    t.tx_wire
+}
+
+/// Runs `cycles` cycles injecting for `tenant` every `period`,
+/// servicing the endpoint at each cycle boundary, collecting every
+/// decoded response.
+fn drive(
+    r: &mut common::Rig,
+    ep: &mut CtrlEndpoint,
+    tenant: packet::TenantId,
+    period: u64,
+    cycles: u64,
+    mut now: Cycle,
+) -> (Cycle, Vec<CtrlFrame>) {
+    let mut responses = Vec::new();
+    for step in 0..cycles {
+        if step % period == 0 {
+            r.inject(tenant, step, now);
+        }
+        ep.service(&mut r.nic, now);
+        while let Some(f) = ep.poll_decoded() {
+            responses.push(f);
+        }
+        now = r.tick(now);
+    }
+    (now, responses)
+}
+
+fn ok_epochs(responses: &[CtrlFrame]) -> Vec<(u32, u64)> {
+    responses
+        .iter()
+        .filter_map(|f| match &f.body {
+            CtrlBody::Response(CtrlResponse::Ok { epoch }) => Some((f.seq, *epoch)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The tentpole acceptance test: an RMT program is hot-swapped while
+/// traffic is in flight. The pipeline gate drains losslessly, the
+/// epoch switches exactly once, and the books close on both sides.
+#[test]
+fn program_hot_swap_closes_books_across_the_epoch() {
+    let mut r = rig();
+    let mut ep = CtrlEndpoint::new(r.spec.clone());
+    let mut now = Cycle(0);
+
+    // Epoch 0 under load, then drain: pre-switch snapshot.
+    (now, _) = drive(&mut r, &mut ep, TENANT, 40, 2_000, now);
+    now = r.drain(now);
+    let tx_before = closed_books(&r, TENANT);
+    assert!(tx_before > 0, "warm-up load must reach the wire");
+
+    // Swap to a crypto-free program *while traffic flows*.
+    let swap = CtrlRequest::SwapProgram(chain_program(&[r.comp], r.eth, Some(5_000)));
+    ep.submit(&CtrlFrame::request(0, 11, swap).encode());
+    let (mut now, responses) = drive(&mut r, &mut ep, TENANT, 40, 4_000, now);
+    assert_eq!(
+        ok_epochs(&responses),
+        vec![(11, 1)],
+        "exactly one epoch switch, acknowledged with the request's seq"
+    );
+    assert!(!r.nic.pipeline_gated(), "gate must reopen after the swap");
+    assert_eq!(ep.epoch(), 1);
+
+    // Post-switch snapshot: identities close, and the new program
+    // served traffic (wire count moved past the pre-switch mark).
+    now = r.drain(now);
+    let tx_after = closed_books(&r, TENANT);
+    assert!(
+        tx_after > tx_before,
+        "post-swap traffic must reach the wire ({tx_after} <= {tx_before})"
+    );
+    let _ = now;
+}
+
+/// A vNIC added mid-run serves traffic immediately after its `Ok`,
+/// with both tenants' books closing at the end.
+#[test]
+fn vnic_added_live_serves_traffic() {
+    let mut r = rig();
+    let mut ep = CtrlEndpoint::new(r.spec.clone());
+    let mut now = Cycle(0);
+
+    // Load on the build-time tenant first, so the new tenant joins a
+    // warm NIC with nonzero component stats (the implicit-exit
+    // baseline must shield it from history it never produced).
+    (now, _) = drive(&mut r, &mut ep, TENANT, 40, 1_500, now);
+
+    let add = CtrlRequest::AddVnic(VNicSpec::new(LATE, "late-tenant", 4).credit_quota(16));
+    ep.submit(&CtrlFrame::request(0, 21, add).encode());
+    ep.service(&mut r.nic, now);
+    let responses: Vec<_> = std::iter::from_fn(|| ep.poll_decoded()).collect();
+    assert_eq!(
+        ok_epochs(&responses),
+        vec![(21, 1)],
+        "vNIC add commits immediately"
+    );
+    assert!(r.nic.tenancy().expect("tenancy on").knows(LATE));
+
+    // Both tenants inject; the late one must reach the wire.
+    for step in 0..3_000u64 {
+        if step % 40 == 0 {
+            r.inject(TENANT, step, now);
+        }
+        if step % 60 == 0 {
+            r.inject(LATE, step, now);
+        }
+        ep.service(&mut r.nic, now);
+        let _ = ep.poll_response();
+        now = r.tick(now);
+    }
+    now = r.drain(now);
+    let late_tx = closed_books(&r, LATE);
+    let base_tx = closed_books(&r, TENANT);
+    assert!(late_tx > 0, "live-added vNIC must serve traffic");
+    assert!(base_tx > 0);
+    let _ = now;
+}
+
+/// Removing a vNIC drains first: admission stops at once, queued and
+/// in-flight copies settle, then the tenant disappears and the epoch
+/// switches — with the survivor's books closing.
+#[test]
+fn vnic_removed_live_drains_then_finalizes() {
+    let mut r = rig();
+    let mut ep = CtrlEndpoint::new(r.spec.clone());
+    let mut now = Cycle(0);
+
+    // Add a second tenant and give both some traffic.
+    let add = CtrlRequest::AddVnic(VNicSpec::new(LATE, "late-tenant", 4).credit_quota(16));
+    ep.submit(&CtrlFrame::request(0, 31, add).encode());
+    for step in 0..2_000u64 {
+        if step % 40 == 0 {
+            r.inject(TENANT, step, now);
+        }
+        if step % 60 == 0 {
+            r.inject(LATE, step, now);
+        }
+        ep.service(&mut r.nic, now);
+        let _ = ep.poll_response();
+        now = r.tick(now);
+    }
+
+    // Remove the late tenant while its copies are still in flight;
+    // the base tenant keeps injecting throughout the drain.
+    ep.submit(&CtrlFrame::request(0, 32, CtrlRequest::RemoveVnic { tenant: LATE }).encode());
+    let (mut now, responses) = drive(&mut r, &mut ep, TENANT, 40, 6_000, now);
+    let oks = ok_epochs(&responses);
+    assert_eq!(
+        oks,
+        vec![(32, 2)],
+        "removal finalizes with the second epoch"
+    );
+    assert!(
+        !r.nic.tenancy().expect("tenancy on").knows(LATE),
+        "finalized removal deletes the tenant"
+    );
+    assert!(
+        ep.spec()
+            .tenancy
+            .as_ref()
+            .is_some_and(|tc| tc.vnic(LATE).is_none()),
+        "mirror drops the removed vNIC"
+    );
+
+    // Survivor's books close; the removed tenant is simply gone.
+    now = r.drain(now);
+    let _ = closed_books(&r, TENANT);
+    assert!(r.nic.tenant_conservation(LATE).is_none());
+    let _ = now;
+}

@@ -201,6 +201,30 @@ impl RmtPipeline {
         self.stats
     }
 
+    /// Hot-swaps the loaded program, re-lowering it through
+    /// [`CompiledProgram::compile`]. Per-stage hit/miss counters are
+    /// re-sized and reset — they are meaningless across programs whose
+    /// stage lists differ (aggregate [`PipelineStats`] survive).
+    ///
+    /// # Panics
+    /// Panics unless the pipeline is *drained* (no backlog, nothing
+    /// in flight): messages half-way through the stages were matched
+    /// against tables the new program may not have, so swapping under
+    /// them would emit results no program ever produced. The
+    /// management plane gates submission and waits for the drain
+    /// before calling this (see `docs/CONTROL.md`).
+    pub fn set_program(&mut self, program: RmtProgram) {
+        assert!(
+            self.input.is_empty() && self.in_flight.is_empty(),
+            "program swap on an undrained pipeline"
+        );
+        let stages = program.stages();
+        self.compiled = CompiledProgram::compile(&program);
+        self.program = program;
+        self.stage_hits = vec![0; stages];
+        self.stage_misses = vec![0; stages];
+    }
+
     /// Messages waiting to enter a pipeline. Sustained growth means the
     /// offered load exceeds `F × P`.
     #[must_use]
@@ -607,6 +631,44 @@ mod tests {
     #[should_panic(expected = "zero pipelines")]
     fn zero_parallel_rejected() {
         let _ = RmtPipeline::new(cfg(0, 3), route_all_program());
+    }
+
+    #[test]
+    fn set_program_swaps_behavior_and_resets_stage_counters() {
+        let mut p = RmtPipeline::new(cfg(2, 3), dropping_program());
+        p.submit(msg(1, 23)); // dropped by the telnet entry
+        let mut now = Cycle(0);
+        for _ in 0..10 {
+            let _ = p.tick(now);
+            now = now.next();
+        }
+        assert_eq!(p.stats().dropped, 1);
+        assert_eq!(p.stage_hits(), &[1]);
+        // Drained: swap in the routing program.
+        p.set_program(route_all_program());
+        assert_eq!(p.program().name(), "route-all");
+        assert_eq!(p.stage_hits(), &[0], "stage counters reset on swap");
+        p.submit(msg(2, 23)); // the new program routes instead of dropping
+        let mut routed = false;
+        for _ in 0..10 {
+            for o in p.tick(now) {
+                assert_eq!(o.msg.chain.len(), 1);
+                routed = true;
+            }
+            now = now.next();
+        }
+        assert!(routed);
+        assert_eq!(p.stats().dropped, 1, "aggregate stats survive the swap");
+        assert_eq!(p.stats().accepted, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undrained pipeline")]
+    fn set_program_rejects_undrained_swap() {
+        let mut p = RmtPipeline::new(cfg(1, 5), route_all_program());
+        p.submit(msg(1, 80));
+        let _ = p.tick(Cycle(0)); // in flight for 5 cycles
+        p.set_program(dropping_program());
     }
 
     #[test]

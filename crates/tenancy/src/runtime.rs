@@ -264,6 +264,10 @@ impl fmt::Display for TenantConservation {
 #[derive(Debug)]
 struct TenantState {
     spec: VNicSpec,
+    /// True once a live removal began: the vNIC stops admitting new
+    /// traffic but keeps draining its queue and settling in-flight
+    /// credits until [`TenancyRuntime::removal_drained`] holds.
+    draining: bool,
     /// Parked messages with their submission cycle (for queue-wait
     /// accounting). Unbounded: backpressure, never drop.
     pending: VecDeque<(Cycle, Message)>,
@@ -292,6 +296,7 @@ impl TenantState {
         let tokens = spec.rate.map_or(0, |r| r.burst * r.den);
         TenantState {
             spec,
+            draining: false,
             pending: VecDeque::new(),
             in_active: false,
             tokens,
@@ -392,9 +397,131 @@ impl TenancyRuntime {
         self.tenants.contains_key(&tenant)
     }
 
+    /// True when `tenant` should be *steered into* the tenancy plane
+    /// at ingress: it has a vNIC and that vNIC is not draining toward
+    /// removal. Accounting paths ([`TenancyRuntime::note_exit`] etc.)
+    /// deliberately keep using [`TenancyRuntime::knows`]-style lookups
+    /// so in-flight copies of a draining tenant still settle their
+    /// credits and ledger entries.
+    #[must_use]
+    pub fn admits(&self, tenant: TenantId) -> bool {
+        self.tenants.get(&tenant).is_some_and(|s| !s.draining)
+    }
+
     /// All configured tenants, in id order.
     pub fn tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
         self.tenants.keys().copied()
+    }
+
+    // -- live mutations (management plane) -----------------------------
+    //
+    // These are the primitives `panic-ctrl`'s endpoint drives. Each
+    // keeps `config.vnics` in sync with the runtime state so
+    // `config()` always describes what is actually enforced (and so a
+    // spec snapshot taken for admission control matches reality).
+
+    /// Adds a vNIC live. `implicit_baseline` must be the tenant's
+    /// *current* cumulative implicit-exit count from component stats
+    /// (drops + flushes + NoC losses attributed to this tenant id):
+    /// traffic carrying this tenant id may have flowed — and died —
+    /// before the vNIC existed, and those stale exits must not return
+    /// credits the new vNIC never charged. Returns `false` (no-op) if
+    /// the tenant already has a vNIC, even a draining one.
+    pub fn add_vnic(&mut self, spec: VNicSpec, implicit_baseline: u64) -> bool {
+        if self.tenants.contains_key(&spec.tenant) {
+            return false;
+        }
+        let mut state = TenantState::new(spec.clone());
+        state.ledger.implicit_exits = implicit_baseline;
+        state.track = self.tracer.track(&format!("tenancy.{}", state.spec.name));
+        self.tenants.insert(spec.tenant, state);
+        self.config.vnics.push(spec);
+        true
+    }
+
+    /// Begins removing a vNIC: ingress admission stops immediately
+    /// ([`TenancyRuntime::admits`] turns false) while the queue drains
+    /// and in-flight credits settle. Returns `false` if the tenant has
+    /// no vNIC.
+    pub fn begin_remove(&mut self, tenant: TenantId) -> bool {
+        match self.tenants.get_mut(&tenant) {
+            Some(state) => {
+                state.draining = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when a draining vNIC has fully settled: nothing parked,
+    /// nothing in flight, nothing queued for a DRR visit.
+    #[must_use]
+    pub fn removal_drained(&self, tenant: TenantId) -> bool {
+        self.tenants.get(&tenant).is_some_and(|s| {
+            s.draining && s.pending.is_empty() && s.credits_in_use == 0 && !s.in_active
+        })
+    }
+
+    /// Completes a removal begun by [`TenancyRuntime::begin_remove`].
+    /// Returns `false` unless [`TenancyRuntime::removal_drained`]
+    /// holds — callers must wait for the drain, or the tenant's ledger
+    /// (and its outstanding credits) would vanish mid-flight.
+    pub fn finalize_remove(&mut self, tenant: TenantId) -> bool {
+        if !self.removal_drained(tenant) {
+            return false;
+        }
+        self.tenants.remove(&tenant);
+        self.config.vnics.retain(|v| v.tenant != tenant);
+        true
+    }
+
+    /// Replaces a tenant's token-bucket limit. The balance carries
+    /// over conservatively: unshaped tenants start a new bucket full
+    /// (like construction), while an existing balance is clamped to
+    /// the new depth so a rate *cut* cannot smuggle a burst through.
+    /// Returns `false` if the tenant has no vNIC.
+    pub fn set_rate(&mut self, tenant: TenantId, rate: Option<crate::spec::RateSpec>) -> bool {
+        let Some(state) = self.tenants.get_mut(&tenant) else {
+            return false;
+        };
+        state.tokens = match (state.spec.rate, rate) {
+            (_, None) => 0,
+            (None, Some(r)) => r.burst * r.den,
+            (Some(_), Some(r)) => state.tokens.min(r.burst * r.den),
+        };
+        state.spec.rate = rate;
+        for v in self.config.vnics.iter_mut().filter(|v| v.tenant == tenant) {
+            v.rate = rate;
+        }
+        true
+    }
+
+    /// Rewrites a tenant's DRR weight. Returns `false` if the tenant
+    /// has no vNIC.
+    pub fn set_weight(&mut self, tenant: TenantId, weight: u64) -> bool {
+        let Some(state) = self.tenants.get_mut(&tenant) else {
+            return false;
+        };
+        state.spec.weight = weight;
+        for v in self.config.vnics.iter_mut().filter(|v| v.tenant == tenant) {
+            v.weight = weight;
+        }
+        true
+    }
+
+    /// Rewrites a tenant's credit quota. A cut below the tenant's
+    /// current in-flight count simply stops further admission until
+    /// exits bring it back under. Returns `false` if the tenant has no
+    /// vNIC.
+    pub fn set_credit_quota(&mut self, tenant: TenantId, quota: u64) -> bool {
+        let Some(state) = self.tenants.get_mut(&tenant) else {
+            return false;
+        };
+        state.spec.credit_quota = quota;
+        for v in self.config.vnics.iter_mut().filter(|v| v.tenant == tenant) {
+            v.credit_quota = quota;
+        }
+        true
     }
 
     /// Routes trace events into `tracer` (one track per vNIC).
@@ -1046,6 +1173,107 @@ mod tests {
         assert_eq!(m.counter("tenancy.a.tx_wire"), Some(1));
         assert_eq!(m.counter("tenancy.b.submitted"), Some(0));
         assert!(m.histogram("tenancy.a.latency").is_some());
+    }
+
+    #[test]
+    fn add_vnic_live_serves_and_updates_config() {
+        let mut rt = two_tenants(8, 64);
+        assert!(!rt.admits(TenantId(9)));
+        assert!(rt.add_vnic(VNicSpec::new(TenantId(9), "late", 2).credit_quota(4), 0));
+        // Double-add is a no-op.
+        assert!(!rt.add_vnic(VNicSpec::new(TenantId(9), "late2", 1), 0));
+        assert!(rt.admits(TenantId(9)));
+        assert!(rt.config().vnic(TenantId(9)).is_some());
+        rt.submit(SubmitSource::Rx, msg(0, TenantId(9), 32), Cycle(5));
+        let out = release_ids(&mut rt, Cycle(5));
+        assert_eq!(out, vec![(TenantId(9), 0)]);
+        rt.note_exit(TenantId(9), ExitKind::Wire, Some(Cycles(3)));
+        let c = rt.conservation_base(TenantId(9)).unwrap();
+        assert!(c.holds(), "{c}");
+    }
+
+    #[test]
+    fn add_vnic_baseline_shields_shared_pool() {
+        let mut rt = two_tenants(8, 64);
+        rt.submit(SubmitSource::Rx, msg(0, TenantId(1), 32), Cycle(0));
+        let _ = release_ids(&mut rt, Cycle(0));
+        assert_eq!(rt.shared_in_use(), 1);
+        // Tenant 9's id racked up 5 implicit exits before its vNIC
+        // existed; the baseline absorbs them so the first sync returns
+        // nothing.
+        assert!(rt.add_vnic(VNicSpec::new(TenantId(9), "late", 1), 5));
+        rt.sync_implicit(TenantId(9), 5);
+        assert_eq!(
+            rt.shared_in_use(),
+            1,
+            "stale implicit exits must not free credits"
+        );
+    }
+
+    #[test]
+    fn remove_vnic_drains_then_finalizes() {
+        let mut rt = two_tenants(8, 64);
+        rt.submit(SubmitSource::Rx, msg(0, TenantId(1), 32), Cycle(0));
+        rt.submit(SubmitSource::Rx, msg(1, TenantId(1), 32), Cycle(0));
+        assert!(rt.begin_remove(TenantId(1)));
+        assert!(!rt.admits(TenantId(1)), "draining vNIC stops admitting");
+        assert!(rt.knows(TenantId(1)), "but keeps settling accounts");
+        // Not drained: two parked messages.
+        assert!(!rt.removal_drained(TenantId(1)));
+        assert!(!rt.finalize_remove(TenantId(1)));
+        let out = release_ids(&mut rt, Cycle(1));
+        assert_eq!(out.len(), 2, "draining queue still releases");
+        assert!(!rt.removal_drained(TenantId(1)), "credits still in flight");
+        rt.note_exit(TenantId(1), ExitKind::Wire, Some(Cycles(2)));
+        rt.note_exit(TenantId(1), ExitKind::Host, Some(Cycles(4)));
+        assert!(rt.removal_drained(TenantId(1)));
+        assert!(rt.finalize_remove(TenantId(1)));
+        assert!(!rt.knows(TenantId(1)));
+        assert!(rt.config().vnic(TenantId(1)).is_none());
+        assert_eq!(rt.shared_in_use(), 0);
+    }
+
+    #[test]
+    fn set_rate_clamps_carryover_tokens() {
+        let mut rt = two_tenants(8, 64);
+        // Unshaped -> shaped: bucket starts full.
+        assert!(rt.set_rate(TenantId(1), Some(RateSpec::per_cycles(1, 4, 2))));
+        rt.submit(SubmitSource::Rx, msg(0, TenantId(1), 32), Cycle(0));
+        rt.submit(SubmitSource::Rx, msg(1, TenantId(1), 32), Cycle(0));
+        rt.submit(SubmitSource::Rx, msg(2, TenantId(1), 32), Cycle(0));
+        assert_eq!(
+            release_ids(&mut rt, Cycle(0)).len(),
+            2,
+            "burst 2 on a full bucket"
+        );
+        // Shaped -> tighter shaped: the balance is clamped, not topped up.
+        assert!(rt.set_rate(TenantId(1), Some(RateSpec::per_cycles(1, 8, 1))));
+        assert!(
+            release_ids(&mut rt, Cycle(1)).is_empty(),
+            "no smuggled burst"
+        );
+        // Shaped -> unshaped releases immediately.
+        assert!(rt.set_rate(TenantId(1), None));
+        assert_eq!(release_ids(&mut rt, Cycle(2)).len(), 1);
+        assert!(!rt.set_rate(TenantId(99), None), "unknown tenant refused");
+    }
+
+    #[test]
+    fn set_weight_and_quota_take_effect_live() {
+        let mut rt = two_tenants(1, 64);
+        assert!(rt.set_credit_quota(TenantId(1), 3));
+        for i in 0..3 {
+            rt.submit(SubmitSource::Rx, msg(i, TenantId(1), 32), Cycle(0));
+        }
+        assert_eq!(
+            release_ids(&mut rt, Cycle(0)).len(),
+            3,
+            "raised quota admits"
+        );
+        assert!(rt.set_weight(TenantId(2), 7));
+        assert_eq!(rt.config().vnic(TenantId(2)).unwrap().weight, 7);
+        assert!(!rt.set_weight(TenantId(99), 1));
+        assert!(!rt.set_credit_quota(TenantId(99), 1));
     }
 
     #[test]

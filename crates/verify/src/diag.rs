@@ -454,6 +454,24 @@ impl Report {
         out.push_str("]}");
         out
     }
+
+    /// The shared diagnostics envelope:
+    /// `{"scenario":"...","proto_version":N,"report":{...}}`.
+    ///
+    /// Both `panic-lint --json` (offline) and the control plane's
+    /// admission rejections (online, `panic-ctrl`) emit exactly this,
+    /// so a rejected live mutation and an offline lint of the same
+    /// spec are byte-identical. `proto_version` is the control wire
+    /// protocol version the findings travelled (or would travel) over.
+    #[must_use]
+    pub fn render_json_enveloped(&self, scenario: &str, proto_version: u32) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"proto_version\":{},\"report\":{}}}",
+            json_escape(scenario),
+            proto_version,
+            self.render_json()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +519,19 @@ mod tests {
         assert!(json.contains("\\n"), "{json}");
         assert!(json.contains("\"code\":\"PV001\""), "{json}");
         assert!(json.contains("\"errors\":0"), "{json}");
+    }
+
+    #[test]
+    fn enveloped_rendering_wraps_the_plain_report() {
+        let r = Report::new(vec![diag(Code::PV102, Severity::Error)]);
+        let enveloped = r.render_json_enveloped("ctl:set-weight", 1);
+        assert!(
+            enveloped
+                .starts_with("{\"scenario\":\"ctl:set-weight\",\"proto_version\":1,\"report\":{"),
+            "{enveloped}"
+        );
+        assert!(enveloped.ends_with("}}"), "{enveloped}");
+        assert!(enveloped.contains(&r.render_json()), "{enveloped}");
     }
 
     #[test]

@@ -306,11 +306,14 @@ fn main() {
     }
 
     if json {
-        // One JSON object per scenario, newline-delimited.
+        // One JSON object per scenario, newline-delimited, in the
+        // same envelope the management plane's online admission
+        // rejections use (`panic-ctrl`): scenario, the control wire
+        // protocol version, then the report.
         for (id, report) in &reports {
             println!(
-                "{{\"scenario\":\"{id}\",\"report\":{}}}",
-                report.render_json()
+                "{}",
+                report.render_json_enveloped(id, u32::from(panic_ctrl::PROTO_VERSION))
             );
         }
     } else {

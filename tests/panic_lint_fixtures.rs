@@ -43,3 +43,21 @@ fn pv6xx_pv7xx_and_pv8xx_fixtures_all_fire() {
         assert!(line.contains("ok"), "fixture for {code} missing:\n{text}");
     }
 }
+
+/// The offline `--json` output uses the same envelope — scenario,
+/// control-protocol version, report — that the management plane's
+/// online admission rejections serialize (`panic-ctrl`), byte for
+/// byte. A drift between the two serializers fails here.
+#[test]
+fn json_envelope_matches_the_online_admission_serializer() {
+    let (ok, text) = lint(&["--json", "kvs"]);
+    assert!(ok, "kvs must lint clean:\n{text}");
+    let line = text.lines().next().expect("one JSON line");
+    let spec = panic_core::scenarios::KvsScenario::lint_spec(
+        &panic_core::scenarios::KvsScenarioConfig::two_tenant_default(),
+    );
+    let expected = panic_verify::verify(&spec)
+        .render_json_enveloped("kvs", u32::from(panic_ctrl::PROTO_VERSION));
+    assert_eq!(line, expected, "offline and online envelopes must agree");
+    assert!(line.starts_with("{\"scenario\":\"kvs\",\"proto_version\":1,\"report\":{"));
+}
